@@ -1,0 +1,1 @@
+bench/fig10.ml: L List Parad_opt Util

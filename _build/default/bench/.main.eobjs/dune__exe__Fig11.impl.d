@@ -1,0 +1,1 @@
+bench/fig11.ml: L List Option Printf Util

@@ -1,0 +1,1 @@
+bench/fig8.ml: L List Util

@@ -1,0 +1,1 @@
+bench/fig9.ml: L List MB Parad_opt Util

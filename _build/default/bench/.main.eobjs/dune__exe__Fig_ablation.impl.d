@@ -1,0 +1,1 @@
+bench/fig_ablation.ml: Func Instr L MB Parad_core Parad_ir Parad_opt Parad_runtime Printf Prog Util

@@ -1,0 +1,1 @@
+bench/fig_overhead.ml: L MB Parad_opt Printf Util

@@ -1,0 +1,1 @@
+bench/fig_verify.ml: Array Exec Float GC L List MB Parad_core Parad_runtime Printf TC Util Value

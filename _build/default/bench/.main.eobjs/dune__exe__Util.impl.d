@@ -1,0 +1,1 @@
+bench/util.ml: Apps_lulesh Apps_minibude Array List Parad_verify Printf String

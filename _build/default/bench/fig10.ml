@@ -1,0 +1,38 @@
+(* Figure 10: OpenMP weak scaling on LULESH — fixed per-thread block,
+   OpenMP vs OpenMP+OpenMPOpt, forward and gradient. *)
+
+open Util
+module Pipe = Parad_opt.Pipeline
+
+let run ~quick =
+  header "Figure 10 — LULESH OpenMP weak scaling (fixed block per thread)";
+  let threads = if quick then [ 1; 4; 16; 64 ] else [ 1; 2; 4; 8; 16; 32; 64 ] in
+  let inp w =
+    {
+      L.nx = (if quick then 3 else 4);
+      ny = (if quick then 3 else 4);
+      nz = max 1 w;
+      niter = 2;
+      dt0 = 0.01;
+      escale = 1.0;
+    }
+  in
+  let fwd ?(pre = []) w = (L.run ~nthreads:w ~pre L.Omp (inp w)).L.makespan in
+  let grad ?(pre = []) w =
+    (L.gradient ~nthreads:w ~pre L.Omp (inp w)).L.g_makespan
+  in
+  cols "threads" threads;
+  let rows =
+    [
+      "OMP forward", List.map fwd threads;
+      "OMP gradient", List.map grad threads;
+      "OMP+Opt forward", List.map (fwd ~pre:Pipe.o2_openmp) threads;
+      "OMP+Opt gradient", List.map (grad ~pre:Pipe.o2_openmp) threads;
+    ]
+  in
+  List.iter (fun (n, ts) -> row_of_floats n ts) rows;
+  subheader "weak-scaling efficiency (T1 / TN)";
+  cols "threads" threads;
+  List.iter
+    (fun (n, ts) -> row_of_floats n (List.map (fun t -> List.hd ts /. t) ts))
+    rows

@@ -1,0 +1,29 @@
+(* Figure 11: hybrid MPI x OpenMP scaling of LULESH — forward and
+   gradient across a (ranks, threads) grid. *)
+
+open Util
+
+let run ~quick =
+  header "Figure 11 — LULESH hybrid MPI x OpenMP";
+  let grid =
+    if quick then [ 1, 1; 2, 2; 4, 4 ]
+    else [ 1, 1; 1, 8; 2, 4; 4, 2; 8, 1; 2, 8; 4, 4; 8, 8 ]
+  in
+  let inp =
+    { L.nx = 4; ny = 4; nz = 16; niter = 2; dt0 = 0.01; escale = 1.0 }
+  in
+  Printf.printf "%-14s %12s %12s %10s %10s\n" "ranks x thr" "forward"
+    "gradient" "overhead" "speedup";
+  let t11 = ref None in
+  List.iter
+    (fun (r, w) ->
+      let fwd = (L.run ~nranks:r ~nthreads:w L.Hybrid inp).L.makespan in
+      let grad =
+        (L.gradient ~nranks:r ~nthreads:w L.Hybrid inp).L.g_makespan
+      in
+      (if !t11 = None then t11 := Some fwd);
+      Printf.printf "%-14s %12.3g %12.3g %10.2f %10.2f\n"
+        (Printf.sprintf "%d x %d" r w)
+        fwd grad (grad /. fwd)
+        (Option.get !t11 /. fwd))
+    grid

@@ -1,0 +1,72 @@
+(* Figure 8: LULESH under MPI — runtime (top), strong scaling (middle),
+   weak scaling (bottom) for Enzyme C++ MPI, Enzyme Julia MPI, Enzyme
+   RAJA MPI and the CoDiPack (tape) C++ MPI baseline.
+
+   Substitution note (DESIGN.md): the paper's cube decompositions
+   {1,8,27,64} become slab decompositions over power-of-two rank counts;
+   the dual-socket NUMA falloff past half the machine is preserved. *)
+
+open Util
+
+let ranks_of quick = if quick then [ 1; 4; 16; 64 ] else [ 1; 2; 8; 16; 32; 64 ]
+
+let run ~quick =
+  header "Figure 8 — LULESH MPI: runtime, strong scaling, weak scaling";
+  let ranks = ranks_of quick in
+  let nz = 64 in
+  let base =
+    {
+      L.nx = (if quick then 2 else 4);
+      ny = (if quick then 2 else 4);
+      nz;
+      niter = 2;
+      dt0 = 0.01;
+      escale = 1.0;
+    }
+  in
+  let fwd flavor n = (L.run ~nranks:n flavor base).L.makespan in
+  let grad flavor n = (L.gradient ~nranks:n flavor base).L.g_makespan in
+  let series name f = name, List.map f ranks in
+  let table =
+    [
+      series "C++ MPI forward" (fwd L.Mpi);
+      series "C++ MPI gradient" (grad L.Mpi);
+      series "Julia MPI forward" (fwd L.Jlmpi);
+      series "Julia MPI gradient" (grad L.Jlmpi);
+      series "RAJA MPI forward" (fwd L.RajaMpi);
+      series "RAJA MPI gradient" (grad L.RajaMpi);
+      series "CoDiPack MPI gradient" (fun n -> lulesh_tape_gradient base ~nranks:n);
+    ]
+  in
+  subheader "top row: runtime (virtual cycles) vs ranks";
+  cols "ranks" ranks;
+  List.iter (fun (n, ts) -> row_of_floats n ts) table;
+  subheader "middle row: strong-scaling speedup (T1 / TN)";
+  cols "ranks" ranks;
+  List.iter (fun (n, ts) -> row_of_floats n (speedups ts)) table;
+  subheader "gradient/forward overhead vs ranks";
+  cols "ranks" ranks;
+  let over fwd_n grad_n = List.map2 (fun a b -> b /. a) fwd_n grad_n in
+  let t n = List.assoc n (List.map (fun (a, b) -> a, b) table) in
+  row_of_floats "C++ (Enzyme)" (over (t "C++ MPI forward") (t "C++ MPI gradient"));
+  row_of_floats "Julia (Enzyme)" (over (t "Julia MPI forward") (t "Julia MPI gradient"));
+  row_of_floats "C++ (CoDiPack)" (over (t "C++ MPI forward") (t "CoDiPack MPI gradient"));
+  (* bottom row: weak scaling — fixed per-rank block *)
+  subheader "bottom row: weak scaling efficiency (T1 / TN, fixed work per rank)";
+  let block = if quick then 2 else 4 in
+  let weak flavor isgrad n =
+    let inp = { base with L.nz = block * n } in
+    if isgrad then (L.gradient ~nranks:n flavor inp).L.g_makespan
+    else (L.run ~nranks:n flavor inp).L.makespan
+  in
+  cols "ranks" ranks;
+  List.iter
+    (fun (name, flavor, isgrad) ->
+      let ts = List.map (weak flavor isgrad) ranks in
+      row_of_floats name (List.map (fun t -> List.hd ts /. t) ts))
+    [
+      "C++ MPI forward", L.Mpi, false;
+      "C++ MPI gradient", L.Mpi, true;
+      "Julia MPI gradient", L.Jlmpi, true;
+      "RAJA MPI gradient", L.RajaMpi, true;
+    ]

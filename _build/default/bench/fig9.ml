@@ -1,0 +1,86 @@
+(* Figure 9: thread-parallel strong scaling. Top: LULESH with OpenMP,
+   OpenMP+OpenMPOpt, RAJA. Bottom: miniBUDE with OpenMP, OpenMP+OpenMPOpt,
+   Julia tasks. The OpenMPOpt configurations run the parallel-region
+   load-hoisting pipeline before differentiation. *)
+
+open Util
+module Pipe = Parad_opt.Pipeline
+
+let threads_of quick = if quick then [ 1; 4; 16; 64 ] else [ 1; 2; 4; 8; 16; 32; 64 ]
+
+let run ~quick =
+  header "Figure 9 — thread strong scaling (LULESH top, miniBUDE bottom)";
+  let threads = threads_of quick in
+  (* LULESH *)
+  let inp =
+    {
+      L.nx = (if quick then 3 else 4);
+      ny = (if quick then 3 else 4);
+      nz = 8;
+      niter = 2;
+      dt0 = 0.01;
+      escale = 1.0;
+    }
+  in
+  let fwd ?(pre = []) flavor w = (L.run ~nthreads:w ~pre flavor inp).L.makespan in
+  let grad ?(pre = []) flavor w =
+    (L.gradient ~nthreads:w ~pre flavor inp).L.g_makespan
+  in
+  subheader "LULESH: runtime vs threads";
+  cols "threads" threads;
+  let rows =
+    [
+      "OMP forward", List.map (fwd L.Omp) threads;
+      "OMP gradient", List.map (grad L.Omp) threads;
+      ( "OMP+OpenMPOpt fwd",
+        List.map (fwd ~pre:Pipe.o2_openmp L.Omp) threads );
+      ( "OMP+OpenMPOpt grad",
+        List.map (grad ~pre:Pipe.o2_openmp L.Omp) threads );
+      "RAJA forward", List.map (fwd L.Raja_) threads;
+      "RAJA gradient", List.map (grad L.Raja_) threads;
+    ]
+  in
+  List.iter (fun (n, ts) -> row_of_floats n ts) rows;
+  subheader "LULESH: speedup and overhead";
+  cols "threads" threads;
+  List.iter (fun (n, ts) -> row_of_floats (n ^ " speedup") (speedups ts)) rows;
+  let over a b = List.map2 (fun x y -> y /. x) (List.assoc a rows) (List.assoc b rows) in
+  row_of_floats "OMP overhead" (over "OMP forward" "OMP gradient");
+  row_of_floats "OMP+Opt overhead"
+    (over "OMP+OpenMPOpt fwd" "OMP+OpenMPOpt grad");
+  row_of_floats "RAJA overhead" (over "RAJA forward" "RAJA gradient");
+  (* miniBUDE *)
+  let deck =
+    MB.deck
+      ~nposes:(if quick then 32 else 64)
+      ~natlig:(if quick then 6 else 8)
+      ~natpro:(if quick then 8 else 10)
+  in
+  let bfwd ?(pre = []) v w = (MB.run ~nthreads:w ~pre v deck).MB.makespan in
+  let bgrad ?(pre = []) v w =
+    (MB.gradient ~nthreads:w ~pre v deck).MB.g_makespan
+  in
+  subheader "miniBUDE: runtime vs threads";
+  cols "threads" threads;
+  let rows =
+    [
+      "OMP forward", List.map (bfwd MB.Omp) threads;
+      "OMP gradient", List.map (bgrad MB.Omp) threads;
+      ( "OMP+OpenMPOpt fwd",
+        List.map (bfwd ~pre:Pipe.o2_openmp MB.Omp) threads );
+      ( "OMP+OpenMPOpt grad",
+        List.map (bgrad ~pre:Pipe.o2_openmp MB.Omp) threads );
+      ( "Julia forward",
+        List.map (bfwd ~pre:Pipe.o2 MB.Julia) threads );
+      ( "Julia gradient",
+        List.map (bgrad ~pre:Pipe.o2 MB.Julia) threads );
+    ]
+  in
+  List.iter (fun (n, ts) -> row_of_floats n ts) rows;
+  subheader "miniBUDE: overhead vs threads";
+  cols "threads" threads;
+  let over a b = List.map2 (fun x y -> y /. x) (List.assoc a rows) (List.assoc b rows) in
+  row_of_floats "OMP overhead" (over "OMP forward" "OMP gradient");
+  row_of_floats "OMP+Opt overhead"
+    (over "OMP+OpenMPOpt fwd" "OMP+OpenMPOpt grad");
+  row_of_floats "Julia overhead" (over "Julia forward" "Julia gradient")

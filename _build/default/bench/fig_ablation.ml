@@ -1,0 +1,59 @@
+(* Ablations of the design choices DESIGN.md calls out:
+   - abl-preopt: optimize before differentiating (§V-E)
+   - abl-mincut: cache-everything vs recompute-vs-cache planning (§IV-C)
+   - abl-tl: thread-locality analysis vs the all-atomic fallback (§VI-A1)
+   - abl-fuse: post-AD fork fusion of the fwd/rev pair (Fig 4) *)
+
+open Util
+module Pipe = Parad_opt.Pipeline
+module Plan = Parad_core.Plan
+module Reverse = Parad_core.Reverse
+open Parad_ir
+
+let run ~quick =
+  header "Ablations";
+  let w = if quick then 8 else 16 in
+  let deck = MB.deck ~nposes:32 ~natlig:6 ~natpro:8 in
+  let inp =
+    { L.nx = 4; ny = 4; nz = 8; niter = 2; dt0 = 0.01; escale = 1.0 }
+  in
+  subheader "abl-preopt: optimization before AD (miniBUDE OMP gradient)";
+  let g pre = (MB.gradient ~nthreads:w ~pre MB.Omp deck).MB.g_makespan in
+  Printf.printf "  no pre-opt      : %12.3g\n" (g []);
+  Printf.printf "  O2              : %12.3g\n" (g Pipe.o2);
+  Printf.printf "  O2 + OpenMPOpt  : %12.3g\n" (g Pipe.o2_openmp);
+  subheader "abl-mincut: cache-everything vs recompute-vs-cache (LULESH OMP)";
+  let g depth =
+    (L.gradient ~nthreads:w
+       ~opts:{ Plan.default_options with Plan.recompute_depth = depth }
+       L.Omp inp)
+      .L.g_makespan
+  in
+  Printf.printf "  cache everything (depth 0) : %12.3g\n" (g 0);
+  Printf.printf "  recompute depth 4          : %12.3g\n" (g 4);
+  Printf.printf "  recompute depth 10         : %12.3g\n" (g 10);
+  subheader "abl-tl: thread-locality analysis vs all-atomic fallback";
+  let g atomic_always =
+    let r =
+      L.gradient ~nthreads:w
+        ~opts:{ Plan.default_options with Plan.atomic_always }
+        L.Omp inp
+    in
+    r.L.g_makespan, r.L.g_stats.Parad_runtime.Stats.atomics
+  in
+  let t_an, a_an = g false and t_at, a_at = g true in
+  Printf.printf "  analysis on  : %12.3g cycles, %8d atomics\n" t_an a_an;
+  Printf.printf "  all atomics  : %12.3g cycles, %8d atomics\n" t_at a_at;
+  subheader "abl-fuse: post-AD fork fusion (Fig 4) on a generated gradient";
+  let prog = MB.program ~ntasks:1 () in
+  let dprog, dname = Reverse.gradient prog "bude_omp" in
+  let count_forks p name =
+    let f = Prog.find_exn p name in
+    Instr.fold_instrs
+      (fun n i -> match i with Instr.Fork _ -> n + 1 | _ -> n)
+      0 f.Func.body
+  in
+  let plain = Pipe.run dprog Pipe.post_ad in
+  let fused = Pipe.run dprog Pipe.post_ad_fuse in
+  Printf.printf "  forks without fusion: %d\n" (count_forks plain dname);
+  Printf.printf "  forks with fusion   : %d\n" (count_forks fused dname)

@@ -1,0 +1,42 @@
+(* Table 1 analog — the abstract's headline: differentiation overhead at
+   64 threads / 64 ranks for every language x framework combination. *)
+
+open Util
+module Pipe = Parad_opt.Pipeline
+
+let run ~quick =
+  header "Overhead summary at 64 threads/ranks (abstract / Table 1 analog)";
+  let n = if quick then 32 else 64 in
+  Printf.printf "%-28s %12s %12s %10s\n" "configuration" "forward" "gradient"
+    "overhead";
+  let line name fwd grad =
+    Printf.printf "%-28s %12.3g %12.3g %10.2f\n" name fwd grad (grad /. fwd)
+  in
+  (* LULESH *)
+  let inp =
+    { L.nx = 4; ny = 4; nz = 64; niter = 2; dt0 = 0.01; escale = 1.0 }
+  in
+  let l name ?(pre = []) ?(nranks = 1) ?(nthreads = 1) flavor =
+    let f = (L.run ~nranks ~nthreads ~pre flavor inp).L.makespan in
+    let g = (L.gradient ~nranks ~nthreads ~pre flavor inp).L.g_makespan in
+    line name f g
+  in
+  l "LULESH C++ OMP" ~nthreads:n L.Omp;
+  l "LULESH C++ OMP+Opt" ~pre:Pipe.o2_openmp ~nthreads:n L.Omp;
+  l "LULESH C++ RAJA" ~nthreads:n L.Raja_;
+  l "LULESH C++ MPI" ~nranks:n L.Mpi;
+  l "LULESH Julia MPI.jl" ~nranks:n L.Jlmpi;
+  l "LULESH hybrid 8x8" ~nranks:8 ~nthreads:8 L.Hybrid;
+  (let f = (L.run ~nranks:n L.Mpi inp).L.makespan in
+   let g = lulesh_tape_gradient inp ~nranks:n in
+   line "LULESH CoDiPack MPI" f g);
+  (* miniBUDE *)
+  let deck = MB.deck ~nposes:n ~natlig:8 ~natpro:10 in
+  let m name ?(pre = []) variant =
+    let f = (MB.run ~nthreads:n ~pre variant deck).MB.makespan in
+    let g = (MB.gradient ~nthreads:n ~pre variant deck).MB.g_makespan in
+    line name f g
+  in
+  m "miniBUDE C++ OMP" MB.Omp;
+  m "miniBUDE C++ OMP+Opt" ~pre:Pipe.o2_openmp MB.Omp;
+  m "miniBUDE Julia tasks" MB.Julia

@@ -1,0 +1,97 @@
+(* Benchmark harness: one driver per paper figure/table (see DESIGN.md's
+   per-experiment index), plus bechamel micro-benchmarks of the framework
+   itself (real wall time: AD transform latency and interpreter
+   throughput).
+
+   Usage: main.exe [--quick] [--figure fig8|fig9|fig10|fig11|overhead|
+                              verify|ablation|micro] *)
+
+let figures =
+  [
+    "fig8", Fig8.run;
+    "fig9", Fig9.run;
+    "fig10", Fig10.run;
+    "fig11", Fig11.run;
+    "overhead", Fig_overhead.run;
+    "verify", Fig_verify.run;
+    "ablation", Fig_ablation.run;
+  ]
+
+(* ---- bechamel micro-benchmarks (real time) ---- *)
+
+let micro ~quick:_ =
+  Util.header "Micro-benchmarks (bechamel, real wall time)";
+  let open Bechamel in
+  let lulesh_prog = Apps_lulesh.Lulesh.program Apps_lulesh.Lulesh.Omp in
+  let bude_prog = Apps_minibude.Minibude.program () in
+  let tiny =
+    {
+      Apps_lulesh.Lulesh.nx = 2;
+      ny = 2;
+      nz = 2;
+      niter = 1;
+      dt0 = 0.01;
+      escale = 1.0;
+    }
+  in
+  let tests =
+    Test.make_grouped ~name:"parad" ~fmt:"%s %s"
+      [
+        Test.make ~name:"ad-transform lulesh_omp"
+          (Staged.stage (fun () ->
+               ignore
+                 (Parad_core.Reverse.gradient lulesh_prog "lulesh_omp")));
+        Test.make ~name:"ad-transform bude_omp"
+          (Staged.stage (fun () ->
+               ignore (Parad_core.Reverse.gradient bude_prog "bude_omp")));
+        Test.make ~name:"interp lulesh 2x2x2"
+          (Staged.stage (fun () ->
+               ignore (Apps_lulesh.Lulesh.run Apps_lulesh.Lulesh.Seq tiny)));
+        Test.make ~name:"o2 pipeline lulesh_omp"
+          (Staged.stage (fun () ->
+               ignore
+                 (Parad_opt.Pipeline.run_on lulesh_prog "lulesh_omp"
+                    Parad_opt.Pipeline.o2)));
+      ]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false
+      ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] ->
+        Printf.printf "%-32s %12.1f ns/run\n" name est
+      | _ -> Printf.printf "%-32s (no estimate)\n" name)
+    results
+
+let () =
+  let quick = Array.exists (( = ) "--quick") Sys.argv in
+  let chosen =
+    let rec find i =
+      if i >= Array.length Sys.argv - 1 then None
+      else if Sys.argv.(i) = "--figure" then Some Sys.argv.(i + 1)
+      else find (i + 1)
+    in
+    find 1
+  in
+  (match chosen with
+  | Some "micro" -> micro ~quick
+  | Some name -> (
+    match List.assoc_opt name figures with
+    | Some f -> f ~quick
+    | None ->
+      Printf.eprintf "unknown figure %S; available: %s micro\n" name
+        (String.concat " " (List.map fst figures));
+      exit 1)
+  | None ->
+    List.iter (fun (_, f) -> f ~quick) figures;
+    micro ~quick);
+  Printf.printf "\nbench: done.\n"

@@ -1,0 +1,68 @@
+(* Table formatting and shared measurement helpers for the figure
+   drivers. All times are virtual cycles from the simulator (see
+   DESIGN.md); "overhead" is gradient/forward, the paper's metric. *)
+
+let header title =
+  Printf.printf "\n=== %s ===\n" title
+
+let subheader t = Printf.printf "--- %s ---\n" t
+
+let row_of_floats name xs =
+  Printf.printf "%-24s %s\n" name
+    (String.concat " "
+       (List.map (fun x -> Printf.sprintf "%12.3g" x) xs))
+
+let row_of_strings name xs =
+  Printf.printf "%-24s %s\n" name
+    (String.concat " " (List.map (Printf.sprintf "%12s") xs))
+
+let cols name xs =
+  row_of_strings name (List.map string_of_int xs)
+
+(* speedup series: t(first) / t(n) *)
+let speedups ts =
+  match ts with
+  | [] -> []
+  | t1 :: _ -> List.map (fun t -> t1 /. t) ts
+
+module L = Apps_lulesh.Lulesh
+module MB = Apps_minibude.Minibude
+module GC = Parad_verify.Grad_check
+module TC = Parad_verify.Tape_check
+
+(* argument list for driving LULESH through the generic (tape) harness *)
+let lulesh_args (inp : L.input) ~nranks ~rank =
+  let m = L.mesh inp ~nranks ~rank in
+  [
+    GC.ABuf m.L.coords.(0);
+    GC.ABuf m.L.coords.(1);
+    GC.ABuf m.L.coords.(2);
+    GC.ABuf m.L.vels.(0);
+    GC.ABuf m.L.vels.(1);
+    GC.ABuf m.L.vels.(2);
+    GC.ABuf m.L.energy;
+    GC.AIntBuf m.L.conn;
+    GC.ABuf m.L.node_mass;
+    GC.AInt inp.L.nx;
+    GC.AInt inp.L.ny;
+    GC.AInt m.L.nzl;
+    GC.AInt inp.L.niter;
+    GC.AScalar inp.L.dt0;
+  ]
+
+let lulesh_zero_seeds (inp : L.input) ~nranks ~rank =
+  let m = L.mesh inp ~nranks ~rank in
+  let nn = Array.length m.L.node_mass in
+  let ne = Array.length m.L.energy in
+  List.map (fun len -> Array.make len 0.0) [ nn; nn; nn; nn; nn; nn; ne; nn ]
+
+(* the CoDiPack-analog gradient of LULESH-MPI in virtual time *)
+let lulesh_tape_gradient (inp : L.input) ~nranks =
+  let prog = L.program L.Mpi in
+  let g, _ =
+    TC.reverse_spmd prog "lulesh_mpi" ~nranks
+      ~args:(fun ~rank -> lulesh_args inp ~nranks ~rank)
+      ~seeds:(fun ~rank -> lulesh_zero_seeds inp ~nranks ~rank)
+      ~d_ret:(fun ~rank -> if rank = 0 then 1.0 else 0.0)
+  in
+  g.GC.s_makespan

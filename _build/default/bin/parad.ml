@@ -1,0 +1,164 @@
+(* The parad command-line tool: inspect IR, differentiate, and run the
+   bundled applications.
+
+     parad ir lulesh_omp            print a variant's IR
+     parad gradient bude_omp        print the generated gradient IR
+     parad run lulesh --flavor mpi --ranks 8
+     parad grad lulesh --flavor omp --threads 16
+     parad check                    finite-difference sanity check *)
+
+open Cmdliner
+module L = Apps_lulesh.Lulesh
+module MB = Apps_minibude.Minibude
+open Parad_ir
+
+let lulesh_flavors =
+  [
+    "seq", L.Seq; "omp", L.Omp; "raja", L.Raja_; "mpi", L.Mpi;
+    "hybrid", L.Hybrid; "raja-mpi", L.RajaMpi; "julia", L.Jlmpi;
+  ]
+
+let program_of_name name =
+  match List.assoc_opt (String.concat "" [ name ]) [] with
+  | Some p -> p
+  | None ->
+    if String.length name >= 6 && String.sub name 0 6 = "lulesh" then
+      let flavor =
+        List.find_opt (fun (_, f) -> L.flavor_name f = name) lulesh_flavors
+      in
+      (match flavor with
+      | Some (_, f) -> L.program f
+      | None -> L.program L.Seq)
+    else MB.program ()
+
+let ir_cmd =
+  let fname =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FUNC" ~doc:"function name (e.g. lulesh_omp, bude_seq)")
+  in
+  let run fname =
+    let prog = program_of_name fname in
+    match Prog.find prog fname with
+    | Some f -> print_endline (Printer.func_to_string f)
+    | None -> Printf.eprintf "no function %S\n" fname
+  in
+  Cmd.v (Cmd.info "ir" ~doc:"print the IR of a bundled kernel")
+    Term.(const run $ fname)
+
+let gradient_cmd =
+  let fname =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FUNC" ~doc:"function to differentiate")
+  in
+  let optimize =
+    Arg.(value & flag & info [ "O" ] ~doc:"run the post-AD cleanup pipeline")
+  in
+  let run fname optimize =
+    let prog = program_of_name fname in
+    let dprog, dname = Parad_core.Reverse.gradient prog fname in
+    let dprog =
+      if optimize then Parad_opt.Pipeline.run dprog Parad_opt.Pipeline.post_ad
+      else dprog
+    in
+    print_endline (Printer.func_to_string (Prog.find_exn dprog dname))
+  in
+  Cmd.v
+    (Cmd.info "gradient"
+       ~doc:"differentiate a bundled kernel and print the gradient IR")
+    Term.(const run $ fname $ optimize)
+
+let flavor_arg =
+  Arg.(
+    value
+    & opt (enum lulesh_flavors) L.Seq
+    & info [ "flavor" ] ~doc:"lulesh variant: seq|omp|raja|mpi|hybrid|julia")
+
+let ranks_arg =
+  Arg.(value & opt int 1 & info [ "ranks" ] ~doc:"MPI ranks (simulated)")
+
+let threads_arg =
+  Arg.(value & opt int 1 & info [ "threads" ] ~doc:"OpenMP threads (simulated)")
+
+let size_arg =
+  Arg.(value & opt int 4 & info [ "size" ] ~doc:"mesh edge elements")
+
+let iters_arg = Arg.(value & opt int 3 & info [ "iters" ] ~doc:"time steps")
+
+let run_cmd =
+  let run flavor ranks threads size iters =
+    let inp =
+      {
+        L.nx = size;
+        ny = size;
+        nz = (size * ranks + ranks - 1) / ranks * ranks;
+        niter = iters;
+        dt0 = 0.01;
+        escale = 1.0;
+      }
+    in
+    let r = L.run ~nranks:ranks ~nthreads:threads flavor inp in
+    Printf.printf "%s: total energy %.6f, %.0f virtual cycles\n"
+      (L.flavor_name flavor) r.L.total_energy r.L.makespan;
+    Printf.printf "stats: %s\n" (Fmt.str "%a" Parad_runtime.Stats.pp r.L.stats)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"run a LULESH variant in the simulator")
+    Term.(const run $ flavor_arg $ ranks_arg $ threads_arg $ size_arg $ iters_arg)
+
+let grad_cmd =
+  let run flavor ranks threads size iters =
+    let inp =
+      {
+        L.nx = size;
+        ny = size;
+        nz = (size * ranks + ranks - 1) / ranks * ranks;
+        niter = iters;
+        dt0 = 0.01;
+        escale = 1.0;
+      }
+    in
+    let p = L.run ~nranks:ranks ~nthreads:threads flavor inp in
+    let g = L.gradient ~nranks:ranks ~nthreads:threads flavor inp in
+    Printf.printf
+      "%s: forward %.0f cycles, gradient %.0f cycles, overhead %.2fx\n"
+      (L.flavor_name flavor) p.L.makespan g.L.g_makespan
+      (g.L.g_makespan /. p.L.makespan);
+    let d = g.L.d_energy.(0) in
+    Printf.printf "d total / d e[0..3] = %.4f %.4f %.4f %.4f\n" d.(0) d.(1)
+      d.(2) d.(3)
+  in
+  Cmd.v
+    (Cmd.info "grad" ~doc:"differentiate a LULESH variant and report overhead")
+    Term.(const run $ flavor_arg $ ranks_arg $ threads_arg $ size_arg $ iters_arg)
+
+let check_cmd =
+  let run () =
+    let tiny =
+      { L.nx = 2; ny = 2; nz = 4; niter = 3; dt0 = 0.01; escale = 1.0 }
+    in
+    let g = L.gradient L.Seq tiny in
+    let m = L.mesh tiny ~nranks:1 ~rank:0 in
+    let directional =
+      Array.fold_left ( +. ) 0.0
+        (Array.mapi (fun k ek -> ek *. g.L.d_energy.(0).(k)) m.L.energy)
+    in
+    let h = 1e-6 in
+    let loss s = (L.run L.Seq { tiny with L.escale = s }).L.total_energy in
+    let fd = (loss (1.0 +. h) -. loss (1.0 -. h)) /. (2.0 *. h) in
+    Printf.printf "reverse-mode projection: %.10g\n" directional;
+    Printf.printf "finite differences:      %.10g\n" fd;
+    let rel = Float.abs (fd -. directional) /. Float.max 1.0 (Float.abs fd) in
+    Printf.printf "relative error:          %.2e  (%s)\n" rel
+      (if rel < 1e-5 then "OK" else "FAIL");
+    if rel >= 1e-5 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"gradient vs finite differences sanity check")
+    Term.(const run $ const ())
+
+let () =
+  let info = Cmd.info "parad" ~doc:"parallel AD through compiler augmentation" in
+  exit (Cmd.eval (Cmd.group info [ ir_cmd; gradient_cmd; run_cmd; grad_cmd; check_cmd ]))

@@ -1,0 +1,1 @@
+examples/docking_opt.ml: Apps_minibude Array Printf

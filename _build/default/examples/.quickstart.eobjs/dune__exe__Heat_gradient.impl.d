@@ -1,0 +1,1 @@
+examples/heat_gradient.ml: Array Builder Func Interp List Parad_ir Parad_runtime Parad_verify Printf Prog Ty

@@ -1,0 +1,1 @@
+examples/lulesh_demo.ml: Apps_lulesh Array List Printf

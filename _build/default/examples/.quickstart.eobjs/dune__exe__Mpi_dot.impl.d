@@ -1,0 +1,1 @@
+examples/mpi_dot.ml: Array Builder Func List Parad_ir Parad_verify Printf Prog String Ty

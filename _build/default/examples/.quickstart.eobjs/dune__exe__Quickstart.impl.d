@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Builder Parad_core Parad_ir Parad_verify Printer Printf Prog Ty

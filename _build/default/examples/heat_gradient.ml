@@ -1,0 +1,65 @@
+(* Differentiating an OpenMP-parallel stencil: a 1-D explicit heat
+   equation solved with `parallel for` time steps, then the gradient of a
+   terminal objective w.r.t. the initial temperature field.
+   `dune exec examples/heat_gradient.exe` *)
+
+open Parad_ir
+open Parad_runtime
+module B = Builder
+module GC = Parad_verify.Grad_check
+
+let n = 32
+let steps = 40
+
+let build () =
+  let prog = Prog.create () in
+  let b, ps =
+    B.func prog "heat"
+      ~attrs:[ Func.noalias; Func.noalias; Func.default_attr ]
+      ~params:
+        [ "u", Ty.Ptr Ty.Float; "scratch", Ty.Ptr Ty.Float; "n", Ty.Int ]
+      ~ret:Ty.Float
+  in
+  let u, w, nn = match ps with [ a; b; c ] -> a, b, c | _ -> assert false in
+  let alpha = B.f64 b 0.2 in
+  let one = B.i64 b 1 in
+  B.for_n b (B.i64 b steps) (fun _t ->
+      (* interior update in parallel; boundaries held fixed *)
+      B.parallel_for b ~lo:one ~hi:(B.sub b nn one) (fun i ->
+          let um = B.load b u (B.sub b i one) in
+          let uc = B.load b u i in
+          let up = B.load b u (B.add b i one) in
+          let lap = B.add b um (B.sub b up (B.mul b (B.f64 b 2.0) uc)) in
+          B.store b w i (B.add b uc (B.mul b alpha lap)));
+      B.parallel_for b ~lo:one ~hi:(B.sub b nn one) (fun i ->
+          B.store b u i (B.load b w i)));
+  (* objective: mean-square of the final field's right half *)
+  let acc = B.alloc b Ty.Float one in
+  B.store b acc (B.i64 b 0) (B.f64 b 0.0);
+  B.for_ b ~lo:(B.div b nn (B.i64 b 2)) ~hi:nn (fun i ->
+      let x = B.load b u i in
+      let cur = B.load b acc (B.i64 b 0) in
+      B.store b acc (B.i64 b 0) (B.add b cur (B.mul b x x)));
+  B.return b (Some (B.load b acc (B.i64 b 0)));
+  ignore (B.finish b);
+  prog
+
+let () =
+  let prog = build () in
+  let u0 =
+    Array.init n (fun i -> if i < n / 4 then 1.0 else 0.0)
+  in
+  let args = [ GC.ABuf u0; GC.ABuf (Array.make n 0.0); GC.AInt n ] in
+  let seeds = [ Array.make n 0.0; Array.make n 0.0 ] in
+  let cfg = { Interp.default_config with nthreads = 8 } in
+  let g = GC.reverse ~cfg prog "heat" args ~seeds in
+  Printf.printf "objective (right-half energy after %d steps): %.6f\n" steps
+    g.GC.primal;
+  print_endline "d objective / d u0 (how the initial heat placement matters):";
+  Array.iteri
+    (fun i d -> if i mod 4 = 0 then Printf.printf "  u0[%2d]: %+.6f\n" i d)
+    (List.hd g.GC.d_bufs);
+  (* cross-check against finite differences *)
+  match GC.check ~cfg prog "heat" args ~seeds with
+  | Ok err -> Printf.printf "finite-difference check OK (max rel err %.2e)\n" err
+  | Error m -> print_endline m

@@ -1,0 +1,693 @@
+(** LULESH proxy: an explicit Lagrangian shock-hydrodynamics mini-app with
+    the data-movement character the paper picks LULESH for — indirection-
+    based gather/scatter over an element-node mesh, a manual min-reduction
+    for the time-step constraint (Fig 7), and slab-decomposed ghost
+    exchange with nonblocking MPI held in request arrays.
+
+    The physics is a faithful *simplification* of LULESH's leapfrog: per
+    iteration it (1) zeroes nodal forces, (2) gathers each hexahedron's
+    nodes, computes volume (corner triple product), an ideal-gas pressure,
+    a velocity-divergence artificial viscosity, and scatter-adds
+    stress+hourglass forces to the nodes, (3) exchanges boundary-plane
+    force contributions between slab neighbours, (4) integrates
+    acceleration/velocity/position, (5) updates internal energy with the
+    p dV work, and (6) computes the next time step as a Courant-style
+    min-reduction (globally min-reduced under MPI). The returned loss is
+    the total internal energy (all-reduced under MPI).
+
+    Variants (one IR function each, sharing the same physics emitters):
+    - ["lulesh_seq"]     sequential C++ baseline
+    - ["lulesh_omp"]     OpenMP: worksharing loops, atomic scatter,
+                         the Fig 7 manual min-reduction
+    - ["lulesh_raja"]    RAJA frontend (lowers onto the OpenMP IR)
+    - ["lulesh_mpi"]     MPI: serial compute per rank + ghost exchange
+    - ["lulesh_hybrid"]  MPI × OpenMP
+    - ["lulesh_jl"]      Julia: descriptor-indirected GC arrays + MPI.jl
+                         wrappers with GC preservation (serial compute per
+                         rank, as LULESH.jl) *)
+
+open Parad_ir
+module B = Builder
+module Jl = Parad_julia.Julia_fe
+module Raja = Parad_raja.Raja
+
+(* ---- array handles: C++ pointers or Julia descriptor arrays ---- *)
+
+type h = Raw of Var.t | Jla of Jl.arr
+
+let ld b h i = match h with Raw p -> B.load b p i | Jla a -> Jl.get b a i
+let st b h i v =
+  match h with Raw p -> B.store b p i v | Jla a -> Jl.set b a i v
+
+type flavor = Seq | Omp | Raja_ | Mpi | Hybrid | RajaMpi | Jlmpi
+
+let flavor_name = function
+  | Seq -> "lulesh_seq"
+  | Omp -> "lulesh_omp"
+  | Raja_ -> "lulesh_raja"
+  | Mpi -> "lulesh_mpi"
+  | Hybrid -> "lulesh_hybrid"
+  | RajaMpi -> "lulesh_raja_mpi"
+  | Jlmpi -> "lulesh_jl"
+
+let uses_mpi = function
+  | Mpi | Hybrid | RajaMpi | Jlmpi -> true
+  | Seq | Omp | Raja_ -> false
+
+let threaded = function
+  | Omp | Raja_ | Hybrid | RajaMpi -> true
+  | Seq | Mpi | Jlmpi -> false
+
+let julia = function Jlmpi -> true | _ -> false
+
+(* parallel-for over [0,hi) per flavor *)
+let pfor flavor b ~hi body =
+  match flavor with
+  | Seq | Mpi | Jlmpi -> B.for_n b hi body
+  | Omp | Hybrid -> B.parallel_for b ~lo:(B.i64 b 0) ~hi body
+  | Raja_ | RajaMpi -> Raja.forall b ~lo:(B.i64 b 0) ~hi body
+
+(* accumulate v into h[i]: atomic when the loop runs threaded (the
+   scatter-add force accumulation; LULESH's OMP version uses atomics) *)
+let scatter flavor b h i v =
+  if threaded flavor then
+    match h with
+    | Raw p -> B.atomic_add b p i v
+    | Jla _ -> invalid_arg "lulesh: threaded julia scatter"
+  else begin
+    let cur = ld b h i in
+    st b h i (B.add b cur v)
+  end
+
+(* min over elements of [body i], per flavor:
+   - threaded: the Fig 7 manual per-thread-slot reduction for Omp/Hybrid,
+     RAJA's ReduceMin for Raja_
+   - otherwise a serial fold *)
+let min_over flavor b ~hi body =
+  match flavor with
+  | Seq | Mpi | Jlmpi ->
+    let cell = B.alloc b Ty.Float (B.i64 b 1) in
+    let z = B.i64 b 0 in
+    B.store b cell z (B.f64 b infinity);
+    B.for_n b hi (fun i ->
+        let v = body i in
+        let cur = B.load b cell z in
+        B.store b cell z (B.min_ b cur v));
+    let r = B.load b cell z in
+    B.free b cell;
+    r
+  | Omp | Hybrid ->
+    (* Fig 7: per-thread partial mins, then a serial combine *)
+    let nt = B.call b ~ret:Ty.Int "omp.max_threads" [] in
+    let per = B.alloc b Ty.Float nt in
+    B.for_n b nt (fun t -> B.store b per t (B.f64 b infinity));
+    B.fork b (fun ~tid ~nth:_ ->
+        let local = B.alloc b Ty.Float (B.i64 b 1) in
+        let z = B.i64 b 0 in
+        B.store b local z (B.f64 b infinity);
+        B.workshare b ~lo:(B.i64 b 0) ~hi (fun i ->
+            let v = body i in
+            let cur = B.load b local z in
+            B.store b local z (B.min_ b cur v));
+        let cur = B.load b per tid in
+        B.store b per tid (B.min_ b cur (B.load b local z)));
+    let cell = B.alloc b Ty.Float (B.i64 b 1) in
+    let z = B.i64 b 0 in
+    B.store b cell z (B.f64 b infinity);
+    B.for_n b nt (fun t ->
+        let cur = B.load b cell z in
+        B.store b cell z (B.min_ b cur (B.load b per t)));
+    let r = B.load b cell z in
+    B.free b cell;
+    B.free b per;
+    r
+  | Raja_ | RajaMpi ->
+    let red = Raja.reduce_min b in
+    Raja.forall_reduce b ~lo:(B.i64 b 0) ~hi (fun ~i ~tid ->
+        Raja.contribute b red ~tid (body i));
+    Raja.get b red
+
+(* ---- the mesh kernel ---- *)
+
+type bufs = {
+  x : h; y : h; z : h;
+  xd : h; yd : h; zd : h;
+  e : h;
+  nodelist : Var.t;  (** Ptr Int, 8 per element *)
+  mass : h;
+  nx : Var.t; ny : Var.t; nzl : Var.t;  (** local element dims *)
+  nn : Var.t;  (** local node count *)
+  ne : Var.t;  (** local element count *)
+}
+
+let emit_body flavor b (m : bufs) ~niter ~dt0 =
+  let f = B.f64 b in
+  let i0 = B.i64 b 0 in
+  let gamma = f 1.4 and qq = f 2.0 and hgc = f 0.02 and scale = f 0.25 in
+  (* force accumulators, allocated per flavor style *)
+  let mk_nodal () =
+    if julia flavor then Jla (Jl.zeros b m.nn) else Raw (B.alloc b Ty.Float m.nn)
+  in
+  let fx = mk_nodal () and fy = mk_nodal () and fz = mk_nodal () in
+  let dtcell = B.alloc b Ty.Float (B.i64 b 1) in
+  B.store b dtcell i0 dt0;
+  (* plane size for ghost exchange *)
+  let np =
+    B.mul b
+      (B.add b m.nx (B.i64 b 1))
+      (B.add b m.ny (B.i64 b 1))
+  in
+  let np3 = B.mul b np (B.i64 b 3) in
+  let rank = B.call b ~ret:Ty.Int "mpi.rank" [] in
+  let size = B.call b ~ret:Ty.Int "mpi.size" [] in
+  let has_lo = B.gt b rank i0 in
+  let has_hi = B.lt b rank (B.sub b size (B.i64 b 1)) in
+  let hi_plane_base =
+    (* first node index of the k = nzl plane *)
+    B.mul b m.nzl np
+  in
+  B.for_n b niter (fun _it ->
+      let dt = B.load b dtcell i0 in
+      (* 1. zero forces *)
+      pfor flavor b ~hi:m.nn (fun n ->
+          st b fx n (f 0.0);
+          st b fy n (f 0.0);
+          st b fz n (f 0.0));
+      (* 2. element force calculation: gather, EOS, scatter *)
+      pfor flavor b ~hi:m.ne (fun k ->
+          let k8 = B.mul b k (B.i64 b 8) in
+          let node j = B.load b m.nodelist (B.add b k8 (B.i64 b j)) in
+          let nodes = Array.init 8 node in
+          let gx = Array.map (fun n -> ld b m.x n) nodes in
+          let gy = Array.map (fun n -> ld b m.y n) nodes in
+          let gz = Array.map (fun n -> ld b m.z n) nodes in
+          let gxd = Array.map (fun n -> ld b m.xd n) nodes in
+          let gyd = Array.map (fun n -> ld b m.yd n) nodes in
+          let gzd = Array.map (fun n -> ld b m.zd n) nodes in
+          let mean8 g =
+            let s =
+              Array.fold_left (fun acc v -> B.add b acc v) (f 0.0) g
+            in
+            B.mul b s (f 0.125)
+          in
+          let cx = mean8 gx and cy = mean8 gy and cz = mean8 gz in
+          let mxd = mean8 gxd and myd = mean8 gyd and mzd = mean8 gzd in
+          (* volume: corner triple product of edges 0->1, 0->3, 0->4 *)
+          let ax = B.sub b gx.(1) gx.(0)
+          and ay = B.sub b gy.(1) gy.(0)
+          and az = B.sub b gz.(1) gz.(0) in
+          let bx = B.sub b gx.(3) gx.(0)
+          and by = B.sub b gy.(3) gy.(0)
+          and bz = B.sub b gz.(3) gz.(0) in
+          let cx' = B.sub b gx.(4) gx.(0)
+          and cy' = B.sub b gy.(4) gy.(0)
+          and cz' = B.sub b gz.(4) gz.(0) in
+          let det =
+            B.add b
+              (B.mul b ax (B.sub b (B.mul b by cz') (B.mul b bz cy')))
+              (B.add b
+                 (B.mul b ay (B.sub b (B.mul b bz cx') (B.mul b bx cz')))
+                 (B.mul b az (B.sub b (B.mul b bx cy') (B.mul b by cx'))))
+          in
+          let vol = B.max_ b det (f 1e-3) in
+          (* pressure (ideal gas) and artificial viscosity *)
+          let ek = ld b m.e k in
+          let p = B.div b (B.mul b (B.sub b gamma (f 1.0)) ek) vol in
+          (* velocity divergence surrogate *)
+          let divv = ref (f 0.0) in
+          for j = 0 to 7 do
+            let t =
+              B.add b
+                (B.mul b gxd.(j) (B.sub b gx.(j) cx))
+                (B.add b
+                   (B.mul b gyd.(j) (B.sub b gy.(j) cy))
+                   (B.mul b gzd.(j) (B.sub b gz.(j) cz)))
+            in
+            divv := B.add b !divv t
+          done;
+          let divv = B.div b !divv vol in
+          let neg = B.lt b divv (f 0.0) in
+          let qv =
+            B.select b neg (B.mul b qq (B.mul b divv divv)) (f 0.0)
+          in
+          let pq = B.add b p qv in
+          (* scatter stress + hourglass forces *)
+          for j = 0 to 7 do
+            let n = nodes.(j) in
+            let fxv =
+              B.sub b
+                (B.mul b (B.neg b pq) (B.mul b scale (B.sub b gx.(j) cx)))
+                (B.mul b hgc (B.sub b gxd.(j) mxd))
+            in
+            let fyv =
+              B.sub b
+                (B.mul b (B.neg b pq) (B.mul b scale (B.sub b gy.(j) cy)))
+                (B.mul b hgc (B.sub b gyd.(j) myd))
+            in
+            let fzv =
+              B.sub b
+                (B.mul b (B.neg b pq) (B.mul b scale (B.sub b gz.(j) cz)))
+                (B.mul b hgc (B.sub b gzd.(j) mzd))
+            in
+            scatter flavor b fx n fxv;
+            scatter flavor b fy n fyv;
+            scatter flavor b fz n fzv
+          done);
+      (* 3. ghost exchange of boundary-plane force contributions *)
+      if uses_mpi flavor then begin
+        let pack plane_base =
+          (* pack fx,fy,fz of a node plane into one buffer *)
+          let buf =
+            if julia flavor then Jla (Jl.zeros b np3)
+            else Raw (B.alloc b Ty.Float np3)
+          in
+          B.for_n b np (fun i ->
+              let n = B.add b plane_base i in
+              st b buf i (ld b fx n);
+              st b buf (B.add b i np) (ld b fy n);
+              st b buf (B.add b i (B.mul b np (B.i64 b 2))) (ld b fz n));
+          buf
+        in
+        let unpack_add plane_base buf =
+          B.for_n b np (fun i ->
+              let n = B.add b plane_base i in
+              let add h v =
+                let cur = ld b h n in
+                st b h n (B.add b cur v)
+              in
+              add fx (ld b buf i);
+              add fy (ld b buf (B.add b i np));
+              add fz (ld b buf (B.add b i (B.mul b np (B.i64 b 2)))))
+        in
+        let tag = B.i64 b 11 in
+        let comm plane_base peer =
+          (* send my contribution on the shared plane, receive the
+             neighbour's, add it in *)
+          if julia flavor then begin
+            let sendb =
+              match pack plane_base with Jla a -> a | Raw _ -> assert false
+            in
+            let recvb = Jl.zeros b np3 in
+            let sreq = Jl.isend b sendb ~dst:peer ~tag in
+            let rreq = Jl.irecv b recvb ~src:peer ~tag in
+            Jl.wait b sreq;
+            Jl.wait b rreq;
+            unpack_add plane_base (Jla recvb)
+          end
+          else begin
+            let sendb = pack plane_base in
+            let recvb = Raw (B.alloc b Ty.Float np3) in
+            let sp = match sendb with Raw p -> p | _ -> assert false in
+            let rp = match recvb with Raw p -> p | _ -> assert false in
+            (* requests kept in an array and waited in a loop (LULESH's
+               CommSend/CommSBN structure) *)
+            let reqs = B.alloc b Ty.Int (B.i64 b 2) in
+            let sreq = B.call b ~ret:Ty.Int "mpi.isend" [ sp; np3; peer; tag ] in
+            B.store b reqs i0 sreq;
+            let rreq = B.call b ~ret:Ty.Int "mpi.irecv" [ rp; np3; peer; tag ] in
+            B.store b reqs (B.i64 b 1) rreq;
+            B.for_n b (B.i64 b 2) (fun r ->
+                ignore
+                  (B.call b ~ret:Ty.Unit "mpi.wait" [ B.load b reqs r ]));
+            unpack_add plane_base recvb;
+            B.free b reqs;
+            B.free b sp;
+            B.free b rp
+          end
+        in
+        B.when_ b has_lo (fun () -> comm i0 (B.sub b rank (B.i64 b 1)));
+        B.when_ b has_hi (fun () -> comm hi_plane_base (B.add b rank (B.i64 b 1)))
+      end;
+      (* 4. acceleration, velocity, position integration *)
+      pfor flavor b ~hi:m.nn (fun n ->
+          let mss = ld b m.mass n in
+          let upd pos vel fc =
+            let a = B.div b (ld b fc n) mss in
+            let v' = B.add b (ld b vel n) (B.mul b dt a) in
+            st b vel n v';
+            st b pos n (B.add b (ld b pos n) (B.mul b dt v'))
+          in
+          upd m.x m.xd fx;
+          upd m.y m.yd fy;
+          upd m.z m.zd fz);
+      (* 5. energy update: p dV work *)
+      pfor flavor b ~hi:m.ne (fun k ->
+          let k8 = B.mul b k (B.i64 b 8) in
+          let node j = B.load b m.nodelist (B.add b k8 (B.i64 b j)) in
+          (* recompute divergence-ish term cheaply from node 0/6 motion *)
+          let n0 = node 0 and n6 = node 6 in
+          let rel =
+            B.add b
+              (B.mul b
+                 (B.sub b (ld b m.xd n6) (ld b m.xd n0))
+                 (B.sub b (ld b m.x n6) (ld b m.x n0)))
+              (B.add b
+                 (B.mul b
+                    (B.sub b (ld b m.yd n6) (ld b m.yd n0))
+                    (B.sub b (ld b m.y n6) (ld b m.y n0)))
+                 (B.mul b
+                    (B.sub b (ld b m.zd n6) (ld b m.zd n0))
+                    (B.sub b (ld b m.z n6) (ld b m.z n0))))
+          in
+          let ek = ld b m.e k in
+          let e' = B.sub b ek (B.mul b (B.mul b (f 0.05) dt) (B.mul b ek rel)) in
+          st b m.e k (B.max_ b e' (f 1e-6)));
+      (* 6. time-step constraint: Courant-style min reduction *)
+      let dtmin =
+        min_over flavor b ~hi:m.ne (fun k ->
+            let ek = ld b m.e k in
+            let ss = B.sqrt_ b (B.mul b gamma (B.max_ b ek (f 1e-6))) in
+            B.div b (f 0.3) ss)
+      in
+      let dtnext =
+        if uses_mpi flavor then begin
+          let sendc = B.alloc b Ty.Float (B.i64 b 1) in
+          let recvc = B.alloc b Ty.Float (B.i64 b 1) in
+          B.store b sendc i0 dtmin;
+          ignore
+            (B.call b ~ret:Ty.Unit "mpi.allreduce_min"
+               [ sendc; recvc; B.i64 b 1 ]);
+          let r = B.load b recvc i0 in
+          B.free b sendc;
+          B.free b recvc;
+          r
+        end
+        else dtmin
+      in
+      B.store b dtcell i0 (B.min_ b (f 0.05) (B.mul b (f 0.9) dtnext)));
+  (* loss: total internal + kinetic energy *)
+  let acc = B.alloc b Ty.Float (B.i64 b 1) in
+  B.store b acc i0 (f 0.0);
+  B.for_n b m.ne (fun k ->
+      let cur = B.load b acc i0 in
+      B.store b acc i0 (B.add b cur (ld b m.e k)));
+  (* nodes on a plane shared with the higher neighbour are owned by that
+     neighbour — avoid double counting under MPI *)
+  let owned_nn = B.select b has_hi hi_plane_base m.nn in
+  B.for_n b owned_nn (fun n ->
+      let mss = ld b m.mass n in
+      let ke =
+        B.mul b (B.mul b (f 0.5) mss)
+          (B.add b
+             (B.mul b (ld b m.xd n) (ld b m.xd n))
+             (B.add b
+                (B.mul b (ld b m.yd n) (ld b m.yd n))
+                (B.mul b (ld b m.zd n) (ld b m.zd n))))
+      in
+      let cur = B.load b acc i0 in
+      B.store b acc i0 (B.add b cur ke));
+  let total =
+    if uses_mpi flavor then begin
+      let recvc = B.alloc b Ty.Float (B.i64 b 1) in
+      ignore
+        (B.call b ~ret:Ty.Unit "mpi.allreduce_sum" [ acc; recvc; B.i64 b 1 ]);
+      let r = B.load b recvc i0 in
+      B.free b recvc;
+      r
+    end
+    else B.load b acc i0
+  in
+  B.free b acc;
+  (match fx with Raw p -> B.free b p | Jla _ -> ());
+  (match fy with Raw p -> B.free b p | Jla _ -> ());
+  (match fz with Raw p -> B.free b p | Jla _ -> ());
+  B.free b dtcell;
+  total
+
+(* ---- variant construction ---- *)
+
+let raw_float_params =
+  [ "x"; "y"; "z"; "xd"; "yd"; "zd"; "e" ]
+
+let build flavor prog =
+  let jl = julia flavor in
+  let fparams =
+    List.map
+      (fun n -> n, if jl then Jl.desc_ty else Ty.Ptr Ty.Float)
+      raw_float_params
+    @ [
+        "nodelist", Ty.Ptr Ty.Int;
+        "mass", (if jl then Jl.desc_ty else Ty.Ptr Ty.Float);
+        "nx", Ty.Int;
+        "ny", Ty.Int;
+        "nzl", Ty.Int;
+        "niter", Ty.Int;
+        "dt0", Ty.Float;
+      ]
+  in
+  let attrs =
+    if jl then List.map (fun _ -> Func.default_attr) fparams
+    else
+      List.map Func.(fun _ -> noalias) raw_float_params
+      @ Func.
+          [
+            noalias_readonly;
+            noalias_readonly;
+            default_attr;
+            default_attr;
+            default_attr;
+            default_attr;
+            default_attr;
+          ]
+  in
+  let b, ps =
+    B.func prog (flavor_name flavor) ~attrs ~params:fparams ~ret:Ty.Float
+  in
+  match ps with
+  | [ x; y; z; xd; yd; zd; e; nodelist; mass; nx; ny; nzl; niter; dt0 ] ->
+    let wrap v = if jl then Jla (Jl.of_param b v ~len:(B.i64 b 0)) else Raw v in
+    let one = B.i64 b 1 in
+    let nn =
+      B.mul b
+        (B.mul b (B.add b nx one) (B.add b ny one))
+        (B.add b nzl one)
+    in
+    let ne = B.mul b (B.mul b nx ny) nzl in
+    let m =
+      {
+        x = wrap x; y = wrap y; z = wrap z;
+        xd = wrap xd; yd = wrap yd; zd = wrap zd;
+        e = wrap e; nodelist; mass = wrap mass;
+        nx; ny; nzl; nn; ne;
+      }
+    in
+    let total = emit_body flavor b m ~niter ~dt0 in
+    B.return b (Some total);
+    ignore (B.finish b)
+  | _ -> assert false
+
+let program flavor =
+  let prog = Prog.create () in
+  build flavor prog;
+  Verifier.check_prog prog;
+  prog
+
+(* ---- mesh generation and harness ---- *)
+
+open Parad_runtime
+
+type input = {
+  nx : int;
+  ny : int;
+  nz : int;  (** global z elements; must divide by nranks *)
+  niter : int;
+  dt0 : float;
+  escale : float;  (** scales the initial energy field (FD probes) *)
+}
+
+type rank_mesh = {
+  coords : float array array;  (** [|x; y; z|] nodal *)
+  vels : float array array;  (** [|xd; yd; zd|] *)
+  energy : float array;
+  conn : int array;  (** nodelist, 8 per element *)
+  node_mass : float array;
+  nzl : int;
+}
+
+(* deterministic small perturbation from global node coordinates *)
+let jiggle gi gj gk axis =
+  let h = ((gi * 73856093) lxor (gj * 19349663) lxor (gk * 83492791) lxor (axis * 2654435761)) land 0xFFFF in
+  (float_of_int h /. 65535.0) -. 0.5
+
+let mesh (inp : input) ~nranks ~rank : rank_mesh =
+  if inp.nz mod nranks <> 0 then
+    invalid_arg "lulesh mesh: nz must be divisible by nranks";
+  let nzl = inp.nz / nranks in
+  let nx = inp.nx and ny = inp.ny in
+  let nnx = nx + 1 and nny = ny + 1 and nnz = nzl + 1 in
+  let nn = nnx * nny * nnz in
+  let ne = nx * ny * nzl in
+  let h = 1.0 /. float_of_int (max inp.nx inp.nz) in
+  let koff = rank * nzl in
+  let node i j k = (k * nny * nnx) + (j * nnx) + i in
+  let coords = Array.init 3 (fun _ -> Array.make nn 0.0) in
+  for k = 0 to nnz - 1 do
+    for j = 0 to nny - 1 do
+      for i = 0 to nnx - 1 do
+        let n = node i j k in
+        let gk = k + koff in
+        let base = [| float_of_int i; float_of_int j; float_of_int gk |] in
+        for axis = 0 to 2 do
+          coords.(axis).(n) <-
+            (base.(axis) +. (0.08 *. jiggle i j gk axis)) *. h
+        done
+      done
+    done
+  done;
+  let conn = Array.make (ne * 8) 0 in
+  let eidx = ref 0 in
+  for k = 0 to nzl - 1 do
+    for j = 0 to ny - 1 do
+      for i = 0 to nx - 1 do
+        let base = !eidx * 8 in
+        conn.(base + 0) <- node i j k;
+        conn.(base + 1) <- node (i + 1) j k;
+        conn.(base + 2) <- node (i + 1) (j + 1) k;
+        conn.(base + 3) <- node i (j + 1) k;
+        conn.(base + 4) <- node i j (k + 1);
+        conn.(base + 5) <- node (i + 1) j (k + 1);
+        conn.(base + 6) <- node (i + 1) (j + 1) (k + 1);
+        conn.(base + 7) <- node i (j + 1) (k + 1);
+        incr eidx
+      done
+    done
+  done;
+  (* initial energy: ambient plus a central deposition (the sedov-like
+     spike), placed by global element coordinates *)
+  let energy = Array.make ne 0.0 in
+  let eidx = ref 0 in
+  for k = 0 to nzl - 1 do
+    for j = 0 to ny - 1 do
+      for i = 0 to nx - 1 do
+        let gk = k + koff in
+        let centerish =
+          i = nx / 2 && j = ny / 2 && gk = inp.nz / 2
+        in
+        energy.(!eidx) <- inp.escale *. (if centerish then 3.0 else 0.2);
+        incr eidx
+      done
+    done
+  done;
+  {
+    coords;
+    vels = Array.init 3 (fun _ -> Array.make nn 0.0);
+    energy;
+    conn;
+    node_mass = Array.make nn 1.0;
+    nzl;
+  }
+
+type run_result = {
+  total_energy : float;
+  makespan : float;
+  stats : Stats.t;
+}
+
+let setup_args flavor (inp : input) ~nranks (ctx : Interp.ctx) ~rank =
+  let m = mesh inp ~nranks ~rank in
+  let jl = julia flavor in
+  let pack data =
+    let d = Exec.floats ctx data in
+    if jl then Exec.ptr_cell ctx d, d else d, d
+  in
+  let x, xb = pack m.coords.(0) in
+  let y, yb = pack m.coords.(1) in
+  let z, zb = pack m.coords.(2) in
+  let xd, xdb = pack m.vels.(0) in
+  let yd, ydb = pack m.vels.(1) in
+  let zd, zdb = pack m.vels.(2) in
+  let e, eb = pack m.energy in
+  let nodelist = Exec.ints ctx m.conn in
+  let mass, _ = pack m.node_mass in
+  ( [
+      x; y; z; xd; yd; zd; e; nodelist; mass;
+      Value.VInt inp.nx; Value.VInt inp.ny; Value.VInt m.nzl;
+      Value.VInt inp.niter; Value.VFloat inp.dt0;
+    ],
+    [ xb; yb; zb; xdb; ydb; zdb; eb ],
+    m )
+
+(** Run a variant; [nranks] > 1 requires an MPI-using flavor. *)
+let run ?(nthreads = 1) ?(nranks = 1) ?(pre = []) flavor (inp : input) :
+    run_result =
+  let cfg = { Interp.default_config with nthreads } in
+  let prog = program flavor in
+  let prog =
+    if pre = [] then prog
+    else Parad_opt.Pipeline.run prog pre
+  in
+  let res =
+    Exec.run_spmd ~cfg prog ~nranks ~fname:(flavor_name flavor)
+      ~setup:(fun ctx ~rank ->
+        let args, _, _ = setup_args flavor inp ~nranks ctx ~rank in
+        args)
+  in
+  {
+    total_energy = Value.to_float res.Exec.values.(0);
+    makespan = res.Exec.makespan;
+    stats = res.Exec.stats;
+  }
+
+type grad_result = {
+  g_total : float;
+  d_coords : float array array;  (** per rank: d x (rank-concatenated) *)
+  d_energy : float array array;  (** per rank *)
+  g_makespan : float;
+  g_stats : Stats.t;
+}
+
+(** Gradient of the returned total energy w.r.t. initial coordinates and
+    element energies (seeded on rank 0's return, as the loss is
+    all-reduced and identical on every rank). *)
+let gradient ?(nthreads = 1) ?(nranks = 1)
+    ?(opts = Parad_core.Plan.default_options) ?(post_opt = true) ?(pre = [])
+    flavor (inp : input) : grad_result =
+  let cfg = { Interp.default_config with nthreads } in
+  let prog = program flavor in
+  let prog =
+    if pre = [] then prog
+    else Parad_opt.Pipeline.run prog pre
+  in
+  let dprog, dname =
+    Parad_core.Reverse.gradient ~opts prog (flavor_name flavor)
+  in
+  let dprog =
+    if post_opt then Parad_opt.Pipeline.run dprog Parad_opt.Pipeline.post_ad
+    else dprog
+  in
+  let jl = julia flavor in
+  let shadows = Array.make nranks [||] in
+  let res =
+    Exec.run_spmd ~cfg dprog ~nranks ~fname:dname ~setup:(fun ctx ~rank ->
+        let args, bufs, m = setup_args flavor inp ~nranks ctx ~rank in
+        ignore bufs;
+        let nn = Array.length m.node_mass in
+        let ne = Array.length m.energy in
+        let mk len =
+          let d = Exec.floats ctx (Array.make len 0.0) in
+          if jl then Exec.ptr_cell ctx d, d else d, d
+        in
+        let svals = Array.init 7 (fun i -> mk (if i < 6 then nn else ne)) in
+        (* shadow of nodelist (Ptr Int) and mass *)
+        let d_nl = Exec.ints ctx (Array.make (ne * 8) 0) in
+        let d_mass, _ = mk nn in
+        shadows.(rank) <- Array.map snd svals;
+        (* dt0 is an active scalar argument: its adjoint lands in d_args *)
+        let d_args = Exec.zeros ctx 1 in
+        args
+        @ Array.to_list (Array.map fst svals)
+        @ [
+            d_nl; d_mass;
+            Value.VFloat (if rank = 0 then 1.0 else 0.0);
+            d_args;
+          ])
+  in
+  {
+    g_total = Value.to_float res.Exec.values.(0);
+    d_coords =
+      Array.init nranks (fun r -> Exec.to_floats shadows.(r).(0));
+    d_energy =
+      Array.init nranks (fun r -> Exec.to_floats shadows.(r).(6));
+    g_makespan = res.Exec.makespan;
+    g_stats = res.Exec.stats;
+  }

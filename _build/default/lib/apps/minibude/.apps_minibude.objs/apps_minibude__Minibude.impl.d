@@ -1,0 +1,1 @@
+lib/apps/minibude/minibude.ml: Array Builder Exec Func Interp List Parad_core Parad_ir Parad_julia Parad_opt Parad_runtime Prog Stats Ty Value Var Verifier

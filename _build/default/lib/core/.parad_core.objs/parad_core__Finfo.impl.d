@@ -1,0 +1,1 @@
+lib/core/finfo.ml: Array Fmt Func Hashtbl Instr List Parad_ir Var

@@ -1,0 +1,1 @@
+lib/core/forward.ml: Array Builder Hashtbl Instr List Option Parad_ir Plan Prog Reverse String Ty Var Verifier

@@ -1,0 +1,1 @@
+lib/core/plan.ml: Array Finfo Fmt Func Hashtbl Instr List Option Parad_ir String Ty Var

@@ -1,0 +1,1 @@
+lib/core/race.ml: Array Finfo Func Hashtbl Instr Int List Parad_ir Plan Set Ty Var

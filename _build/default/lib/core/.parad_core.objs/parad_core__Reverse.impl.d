@@ -1,0 +1,1 @@
+lib/core/reverse.ml: Array Builder Finfo Func Hashtbl Instr List Option Parad_ir Plan Prog Race String Ty Var Verifier

@@ -1,0 +1,114 @@
+(** Per-function static information used by the AD planner: where every
+    SSA variable is defined (instruction, region parameter, or function
+    parameter), at which loop-nest depth, and inside which parallel
+    region.
+
+    Instruction *occurrences* are numbered deterministically (an
+    instruction gets its number before its sub-regions are visited, in
+    {!Parad_ir.Instr.regions} order), so that independent traversals — the
+    planner and the two emission sweeps — can refer to the same syntactic
+    occurrence. *)
+
+open Parad_ir
+
+type def_site =
+  | DParam  (** function parameter *)
+  | DRegionParam of int  (** region parameter of the instr with this occ *)
+  | DInstr of Instr.t * int  (** defining instruction and its occurrence *)
+
+type t = {
+  func : Func.t;
+  def : def_site option array;  (** by var id; [None] = never defined *)
+  idx_depth : int array;
+      (** number of enclosing iteration-indexed regions (For / While /
+          Workshare / Fork) at the definition point *)
+  scope_depth : int array;
+      (** number of enclosing regions of any kind (including If), i.e.
+          lexical nesting: only scope-depth-0 values are in scope for the
+          reverse sweep of a combined-mode gradient *)
+  fork_occ : int option array;
+      (** innermost enclosing Fork occurrence at the definition point *)
+  occ_of_region_parent : (int, int option) Hashtbl.t;
+      (** fork occurrence enclosing each instruction occurrence *)
+  n_occ : int;
+}
+
+let of_func (f : Func.t) =
+  let def = Array.make f.var_count None in
+  let idx_depth = Array.make f.var_count 0 in
+  let scope_depth = Array.make f.var_count 0 in
+  let fork_occ = Array.make f.var_count None in
+  let occ_fork = Hashtbl.create 64 in
+  let counter = ref 0 in
+  let set_def v site ~depth ~sdepth ~fork =
+    def.(Var.id v) <- Some site;
+    idx_depth.(Var.id v) <- depth;
+    scope_depth.(Var.id v) <- sdepth;
+    fork_occ.(Var.id v) <- fork
+  in
+  List.iter (fun p -> set_def p DParam ~depth:0 ~sdepth:0 ~fork:None) f.params;
+  let rec walk ~depth ~sdepth ~fork instrs =
+    List.iter
+      (fun (i : Instr.t) ->
+        let occ = !counter in
+        incr counter;
+        Hashtbl.replace occ_fork occ fork;
+        List.iter
+          (fun v -> set_def v (DInstr (i, occ)) ~depth ~sdepth ~fork)
+          (Instr.defs i);
+        let sub ~depth ~fork (r : Instr.region) =
+          List.iter
+            (fun p -> set_def p (DRegionParam occ) ~depth ~sdepth:(sdepth + 1) ~fork)
+            r.params;
+          walk ~depth ~sdepth:(sdepth + 1) ~fork r.body
+        in
+        match i with
+        | If (_, _, t, e) ->
+          sub ~depth ~fork t;
+          sub ~depth ~fork e
+        | For { body; _ } -> sub ~depth:(depth + 1) ~fork body
+        | While { cond; body } ->
+          sub ~depth:(depth + 1) ~fork cond;
+          sub ~depth:(depth + 1) ~fork body
+        | Fork { body; _ } -> sub ~depth:(depth + 1) ~fork:(Some occ) body
+        | Workshare { body; _ } -> sub ~depth:(depth + 1) ~fork body
+        | Const _ | Bin _ | Cmp _ | Un _ | Select _ | Alloc _ | Free _
+        | Load _ | Store _ | Gep _ | AtomicAdd _ | Call _ | Spawn _ | Sync _
+        | Barrier | Return _ | Yield _ -> ())
+      instrs
+  in
+  walk ~depth:0 ~sdepth:0 ~fork:None f.body;
+  {
+    func = f;
+    def;
+    idx_depth;
+    scope_depth;
+    fork_occ;
+    occ_of_region_parent = occ_fork;
+    n_occ = !counter;
+  }
+
+let def_site t v =
+  match t.def.(Var.id v) with
+  | Some s -> s
+  | None -> invalid_arg (Fmt.str "Finfo: %a has no definition" Var.pp v)
+
+let depth t v = t.idx_depth.(Var.id v)
+let sdepth t v = t.scope_depth.(Var.id v)
+let fork_of t v = t.fork_occ.(Var.id v)
+
+(** Chase the static provenance of a pointer variable: the allocation or
+    parameter it derives from through [Gep]/[Select] chains, or [None] if
+    it was loaded from memory (unknown provenance). Returns the base
+    variable. *)
+let rec pointer_base t v =
+  match def_site t v with
+  | DParam | DRegionParam _ -> Some v
+  | DInstr (Instr.Alloc _, _) -> Some v
+  | DInstr (Instr.Gep (_, p, _), _) -> pointer_base t p
+  | DInstr (Instr.Select (_, _, a, _), _) ->
+    (* conservative: both arms should agree; use the first and let the
+       thread-locality check fall back to atomics when in doubt *)
+    pointer_base t a
+  | DInstr (Instr.Const (_, Instr.Cnull _), _) -> Some v
+  | DInstr _ -> None

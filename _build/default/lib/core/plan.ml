@@ -1,0 +1,396 @@
+(** The cache-vs-recompute planner (paper §IV-C).
+
+    The reverse pass needs certain primal values ("needed values"):
+    operands of nonlinear instructions, loop bounds, branch conditions,
+    shadow pointers, and transform-generated auxiliaries (shadow MPI
+    requests, call cache-block handles, loop trip counts). For each needed
+    value the planner picks an availability strategy:
+
+    - [ADirect] — the value is an SSA register of the combined gradient
+      function defined outside every loop, so it is still live when the
+      reverse sweep runs; no caching at all (Enzyme's "stack variable"
+      case degenerates to nothing in combined mode).
+    - [AParam] — a region parameter (loop induction variable, thread id)
+      reconstructed by the reversed region.
+    - [ARecomp] — a short pure chain re-emitted in the reverse pass
+      (recompute-instead-of-cache).
+    - [ACache] — stored in an iteration/thread-indexed cache during the
+      forward sweep (cases 2 and 3 of §IV-C; worksharing caches are
+      indexed by iteration, fork caches by thread id, §VI-B).
+
+    Keys identify what is needed: a primal SSA value, the shadow of a
+    pointer value, or a per-occurrence auxiliary. *)
+
+open Parad_ir
+
+exception Unsupported of string
+
+let unsupported fmt = Fmt.kstr (fun s -> raise (Unsupported s)) fmt
+
+type key =
+  | KVal of int  (** primal SSA value, by var id *)
+  | KShadow of int  (** shadow of a pointer-typed value, by var id *)
+  | KAux of int * int  (** transform auxiliary: (occurrence, slot) *)
+
+let pp_key ppf = function
+  | KVal i -> Fmt.pf ppf "val:%d" i
+  | KShadow i -> Fmt.pf ppf "shadow:%d" i
+  | KAux (o, s) -> Fmt.pf ppf "aux:%d.%d" o s
+
+type avail =
+  | ADirect
+  | AParam
+  | ACache of int * int  (** cache ordinal, idx-depth of the definition *)
+  | ARecomp
+
+type options = {
+  atomic_always : bool;
+      (** disable the thread-locality analysis: every parallel adjoint
+          accumulation uses atomics (the legal fallback of §VI-A1) *)
+  recompute_depth : int;
+      (** maximum height of a recomputed chain before caching wins; 0
+          caches everything (the "cache-all" ablation baseline) *)
+  prefix : string;  (** prefix for generated function names *)
+}
+
+let default_options =
+  { atomic_always = false; recompute_depth = 10; prefix = "" }
+
+type t = {
+  fi : Finfo.t;
+  split : bool;  (** callee (split) mode: no ADirect availability *)
+  opts : options;
+  vars : Var.t option array;  (** var id -> var *)
+  plans : (key, avail) Hashtbl.t;
+  heights : (key, int) Hashtbl.t;
+  aux_ty : (int * int, Ty.t) Hashtbl.t;
+  occ_depth : (int, int) Hashtbl.t;  (** occurrence -> idx-depth *)
+  occ_sdepth : (int, int) Hashtbl.t;  (** occurrence -> scope-depth *)
+  mutable n_cached : int;
+  mutable while_occs : int list;
+}
+
+(* Collect the vars of a function into an id-indexed array. *)
+let vars_of (f : Func.t) =
+  let vars = Array.make f.var_count None in
+  let reg v = vars.(Var.id v) <- Some v in
+  List.iter reg f.params;
+  let rec walk instrs =
+    List.iter
+      (fun i ->
+        List.iter reg (Instr.defs i);
+        List.iter
+          (fun (r : Instr.region) ->
+            List.iter reg r.params;
+            walk r.body)
+          (Instr.regions i))
+      instrs
+  in
+  walk f.body;
+  vars
+
+let create ~fi ~split ~opts =
+  {
+    fi;
+    split;
+    opts;
+    vars = vars_of fi.Finfo.func;
+    plans = Hashtbl.create 64;
+    heights = Hashtbl.create 64;
+    aux_ty = Hashtbl.create 16;
+    occ_depth = Hashtbl.create 64;
+    occ_sdepth = Hashtbl.create 64;
+    n_cached = 0;
+    while_occs = [];
+  }
+
+let var t id =
+  match t.vars.(id) with
+  | Some v -> v
+  | None -> unsupported "planner: unknown variable id %d" id
+
+let key_ty t = function
+  | KVal id -> Var.ty (var t id)
+  | KShadow id -> Var.ty (var t id)
+  | KAux (o, s) -> (
+    match Hashtbl.find_opt t.aux_ty (o, s) with
+    | Some ty -> ty
+    | None -> unsupported "planner: untyped aux %d.%d" o s)
+
+let fresh_cache t depth =
+  let ord = t.n_cached in
+  t.n_cached <- ord + 1;
+  ACache (ord, depth)
+
+(* Is this a pure instruction we may re-execute in the reverse pass? *)
+let pure_def (i : Instr.t) =
+  match i with
+  | Const _ | Bin _ | Cmp _ | Un _ | Select _ | Gep _ -> true
+  | Call (_, ("mpi.rank" | "mpi.size" | "omp.max_threads"), _) -> true
+  | _ -> false
+
+let height t k = Option.value ~default:0 (Hashtbl.find_opt t.heights k)
+
+let rec plan t (k : key) : avail =
+  match Hashtbl.find_opt t.plans k with
+  | Some a -> a
+  | None ->
+    (* Guard against re-entrancy on the same key (impossible in SSA, but
+       cheap to detect). *)
+    Hashtbl.add t.plans k ADirect;
+    let a = compute t k in
+    Hashtbl.replace t.plans k a;
+    a
+
+(* A load may be re-executed in the reverse pass when the loaded memory
+   provably never changes: its base is a readonly+noalias parameter.
+   This is the alias-analysis-driven cache avoidance of §V-E — exactly
+   what the Julia frontend's pointer indirection defeats (§VIII). *)
+and reload_safe t p =
+  let ro_param base =
+    match Finfo.def_site t.fi base with
+    | Finfo.DParam -> (
+      match Func.param_attr t.fi.Finfo.func base with
+      | Some a -> a.Func.readonly && a.Func.noalias
+      | None -> false)
+    | _ -> false
+  in
+  match Finfo.pointer_base t.fi p with
+  | Some base -> ro_param base
+  | None -> (
+    (* one level of indirection: a field pointer loaded from a readonly
+       noalias parameter table (a kernel-parameter struct). Inside a
+       parallel region the outlined closure's captures erase aliasing
+       information (as in Clang-lowered OpenMP), so the chase only
+       applies when the field load sits outside every Fork — which is
+       precisely what OpenMPOpt's load hoisting establishes. *)
+    match Finfo.def_site t.fi p with
+    | Finfo.DInstr (Instr.Load (_, q, _), _)
+      when Finfo.fork_of t.fi p = None -> (
+      match Finfo.pointer_base t.fi q with
+      | Some qb -> ro_param qb
+      | None -> false)
+    | _ -> false)
+
+and compute t k =
+  let fi = t.fi in
+  match k with
+  | KVal id -> (
+    let v = var t id in
+    match Finfo.def_site fi v with
+    | Finfo.DParam -> if t.split then fresh_cache t 0 else ADirect
+    | Finfo.DRegionParam _ -> AParam
+    | Finfo.DInstr (Instr.Load (_, p, ix), _)
+      when Finfo.sdepth fi v > 0 || t.split ->
+      if reload_safe t p && t.opts.recompute_depth > 0 then begin
+        ignore (plan t (KVal (Var.id p)));
+        ignore (plan t (KVal (Var.id ix)));
+        ARecomp
+      end
+      else fresh_cache t (Finfo.depth fi v)
+    | Finfo.DInstr (i, _) ->
+      let depth = Finfo.depth fi v in
+      if Finfo.sdepth fi v = 0 && not t.split then ADirect
+      else if pure_def i && t.opts.recompute_depth > 0 then begin
+        let operands = Instr.uses i in
+        List.iter (fun o -> ignore (plan t (KVal (Var.id o)))) operands;
+        let h =
+          1
+          + List.fold_left
+              (fun acc o ->
+                let ok = KVal (Var.id o) in
+                let oh =
+                  match Hashtbl.find t.plans ok with
+                  | ARecomp -> height t ok
+                  | ADirect | AParam | ACache _ -> 0
+                in
+                max acc oh)
+              0 operands
+        in
+        if h <= t.opts.recompute_depth then begin
+          Hashtbl.replace t.heights k h;
+          ARecomp
+        end
+        else fresh_cache t depth
+      end
+      else fresh_cache t depth)
+  | KShadow id -> (
+    let v = var t id in
+    if not (Ty.is_ptr (Var.ty v)) then
+      unsupported "shadow of non-pointer %a" Var.pp v;
+    match Finfo.def_site fi v with
+    | Finfo.DParam -> if t.split then fresh_cache t 0 else ADirect
+    | Finfo.DRegionParam _ -> unsupported "pointer region parameter"
+    | Finfo.DInstr (i, _) -> (
+      let depth = Finfo.depth fi v in
+      match i with
+      | Instr.Gep (_, p, ix) ->
+        ignore (plan t (KShadow (Var.id p)));
+        ignore (plan t (KVal (Var.id ix)));
+        ARecomp
+      | Instr.Select (_, c, a, b) ->
+        ignore (plan t (KVal (Var.id c)));
+        ignore (plan t (KShadow (Var.id a)));
+        ignore (plan t (KShadow (Var.id b)));
+        ARecomp
+      | Instr.Const (_, Instr.Cnull _) -> ARecomp
+      | Instr.Alloc _ | Instr.Load _ | Instr.If _ | Instr.Call _ ->
+        if Finfo.sdepth fi v = 0 && not t.split then ADirect
+        else fresh_cache t depth
+      | _ ->
+        unsupported "shadow of %a defined by unsupported instruction" Var.pp v)
+    )
+  | KAux (occ, _) ->
+    let depth =
+      match Hashtbl.find_opt t.occ_depth occ with
+      | Some d -> d
+      | None -> unsupported "planner: unknown occurrence %d" occ
+    in
+    let sdepth =
+      Option.value ~default:1 (Hashtbl.find_opt t.occ_sdepth occ)
+    in
+    if sdepth = 0 && not t.split then ADirect else fresh_cache t depth
+
+let need t k = ignore (plan t k)
+
+let need_aux t ~occ ~slot ty =
+  Hashtbl.replace t.aux_ty (occ, slot) ty;
+  need t (KAux (occ, slot))
+
+(* ---- the needed-set collection walk ---- *)
+
+(* [register_callee] is invoked for every user call/spawn so the engine
+   can (recursively) plan the callee's split transform; [spawned] marks
+   task entry points, whose reverse halves run concurrently and need
+   atomic shadow accumulation (§VI-A1: task shadows are not
+   thread-local). *)
+let rec collect t ~(register_callee : spawned:bool -> string -> unit) =
+  let f = t.fi.Finfo.func in
+  let counter = ref 0 in
+  let val_ k = need t (KVal (Var.id k)) in
+  let shadow_ k = need t (KShadow (Var.id k)) in
+  let rec walk ~depth ~sdepth instrs =
+    List.iter
+      (fun (ins : Instr.t) ->
+        let occ = !counter in
+        incr counter;
+        Hashtbl.replace t.occ_depth occ depth;
+        Hashtbl.replace t.occ_sdepth occ sdepth;
+        (match ins with
+        | Instr.Bin (v, op, a, b) when Ty.equal (Var.ty v) Ty.Float -> (
+          match op with
+          | Add | Sub -> ()
+          | Mul | Div | Min | Max | Pow ->
+            val_ a;
+            val_ b
+          | Rem -> ())
+        | Instr.Bin _ | Instr.Cmp _ -> ()
+        | Instr.Un (v, op, a) when Ty.equal (Var.ty v) Ty.Float -> (
+          match op with
+          | Neg | ToFloat | Floor -> ()
+          | Sqrt | Exp -> val_ v
+          | Sin | Cos | Log | Abs -> val_ a
+          | ToInt | Not -> ())
+        | Instr.Un _ -> ()
+        | Instr.Select (v, c, _, _) when Ty.equal (Var.ty v) Ty.Float -> val_ c
+        | Instr.Select _ -> ()
+        | Instr.Const _ -> ()
+        | Instr.Alloc (v, _, _, _) -> shadow_ v
+        | Instr.Free _ -> ()
+        | Instr.Load (v, p, ix) when Ty.equal (Var.ty v) Ty.Float ->
+          shadow_ p;
+          val_ ix
+        | Instr.Load _ -> ()
+        | Instr.Store (p, ix, x) when Ty.equal (Var.ty x) Ty.Float ->
+          shadow_ p;
+          val_ ix
+        | Instr.Store _ -> ()
+        | Instr.Gep _ -> ()
+        | Instr.AtomicAdd (p, ix, _) ->
+          shadow_ p;
+          val_ ix
+        | Instr.Call (v, name, args) -> collect_call t ~occ ~register_callee v name args
+        | Instr.Spawn (v, g, _) ->
+          register_callee ~spawned:true g;
+          val_ v
+        | Instr.Sync h ->
+          val_ h;
+          need_aux t ~occ ~slot:0 Ty.Int (* blk handle via task.retval *)
+        | Instr.If (_, c, _, _) -> val_ c
+        | Instr.For { lo; hi; step; _ } ->
+          val_ lo;
+          val_ hi;
+          val_ step
+        | Instr.While _ ->
+          t.while_occs <- occ :: t.while_occs;
+          need_aux t ~occ ~slot:0 Ty.Int (* trip count *);
+          need_aux t ~occ ~slot:1 Ty.Int (* start offset *)
+        | Instr.Fork { nth; _ } -> val_ nth
+        | Instr.Workshare { lo; hi; _ } ->
+          val_ lo;
+          val_ hi
+        | Instr.Barrier -> ()
+        | Instr.Return (Some v) ->
+          if Ty.is_ptr (Var.ty v) then
+            unsupported "returning a pointer from a differentiated function"
+        | Instr.Return None -> ()
+        | Instr.Yield _ -> ());
+        let subs = Instr.regions ins in
+        let depth' =
+          match ins with
+          | Instr.For _ | Instr.While _ | Instr.Fork _ | Instr.Workshare _ ->
+            depth + 1
+          | _ -> depth
+        in
+        List.iter
+          (fun (r : Instr.region) ->
+            walk ~depth:depth' ~sdepth:(sdepth + 1) r.body)
+          subs)
+      instrs
+  in
+  walk ~depth:0 ~sdepth:0 f.body
+
+and collect_call t ~occ ~register_callee v name args =
+  let val_ k = need t (KVal (Var.id k)) in
+  let shadow_ k = need t (KShadow (Var.id k)) in
+  if String.contains name '.' then
+    match name, args with
+    | ("mpi.isend" | "mpi.irecv"), _ ->
+      need_aux t ~occ ~slot:0 Ty.Int (* shadow request id *)
+    | "mpi.wait", _ -> need_aux t ~occ ~slot:0 Ty.Int
+    | ("mpi.send" | "mpi.recv"), [ p; n; _; _ ] ->
+      (* blocking p2p: reverse issues the dual blocking op on shadows *)
+      shadow_ p;
+      val_ n;
+      List.iter val_ (List.tl args)
+    | "mpi.allreduce_sum", [ s; r; n ] ->
+      shadow_ s;
+      shadow_ r;
+      val_ n
+    | ("mpi.allreduce_min" | "mpi.allreduce_max"), [ s; r; n ] ->
+      shadow_ s;
+      shadow_ r;
+      val_ n;
+      need_aux t ~occ ~slot:0 (Ty.Ptr Ty.Float) (* primal send snapshot *);
+      need_aux t ~occ ~slot:1 (Ty.Ptr Ty.Float) (* primal result snapshot *)
+    | "mpi.bcast", [ p; n; root ] ->
+      shadow_ p;
+      val_ n;
+      val_ root
+    | ("mpi.barrier" | "mpi.rank" | "mpi.size" | "omp.max_threads"), _ -> ()
+    | "gc.preserve_begin", _ ->
+      List.iter
+        (fun x ->
+          if Ty.is_ptr (Var.ty x) then begin
+            val_ x;
+            shadow_ x
+          end)
+        args
+    | "gc.preserve_end", _ | "gc.collect", _ -> ()
+    | n, _ when String.length n >= 6 && String.sub n 0 6 = "debug." -> ()
+    | n, _ -> unsupported "cannot differentiate intrinsic %S" n
+  else begin
+    register_callee ~spawned:false name;
+    need_aux t ~occ ~slot:0 Ty.Int (* cache-block handle *);
+    ignore v
+  end

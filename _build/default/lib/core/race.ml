@@ -1,0 +1,135 @@
+(** Thread-locality analysis for adjoint accumulation (paper §VI-A1).
+
+    When the reverse pass increments shadow memory inside a parallel
+    region, the increment must be atomic unless the target cell is private
+    to the executing thread. A shadow cell is provably private when the
+    buffer's provenance is alias-free (a non-escaping allocation, or a
+    [noalias] parameter) and *every* access to it inside a parallel region
+    uses an index that is affine in a thread-distinguishing variable (the
+    worksharing induction variable or the thread id), so distinct threads
+    touch distinct cells.
+
+    Buffers allocated inside the parallel region itself are private by
+    construction and classified separately by the emitter. The legal
+    fallback — treating everything as shared, i.e. atomics everywhere — is
+    what [atomic_always] selects (the [abl-tl] ablation). *)
+
+open Parad_ir
+
+type t = {
+  private_base : (int, unit) Hashtbl.t;
+  escaped_base : (int, unit) Hashtbl.t;
+}
+
+let is_private t base = Hashtbl.mem t.private_base (Var.id base)
+let is_escaped t base = Hashtbl.mem t.escaped_base (Var.id base)
+
+module IS = Set.Make (Int)
+
+(* Is [ix] affine in one of the thread-distinguishing variables
+   [qual_ivs], with all other contributions invariant across the team
+   (defined outside fork [fork_occ])? *)
+let rec affine fi ~qual_ivs ~fork_occ (ix : Var.t) =
+  if IS.mem (Var.id ix) qual_ivs then true
+  else
+    match Finfo.def_site fi ix with
+    | Finfo.DInstr (Instr.Bin (_, Instr.Add, a, b), _) ->
+      (affine fi ~qual_ivs ~fork_occ a && invariant fi ~fork_occ b)
+      || (invariant fi ~fork_occ a && affine fi ~qual_ivs ~fork_occ b)
+    | Finfo.DInstr (Instr.Bin (_, Instr.Sub, a, b), _) ->
+      affine fi ~qual_ivs ~fork_occ a && invariant fi ~fork_occ b
+    | Finfo.DInstr (Instr.Bin (_, Instr.Mul, a, b), _) -> (
+      let nonzero_const v =
+        match Finfo.def_site fi v with
+        | Finfo.DInstr (Instr.Const (_, Instr.Cint c), _) -> c <> 0
+        | _ -> false
+      in
+      (affine fi ~qual_ivs ~fork_occ a && nonzero_const b)
+      || (nonzero_const a && affine fi ~qual_ivs ~fork_occ b))
+    | _ -> false
+
+and invariant fi ~fork_occ v =
+  match Finfo.fork_of fi v, fork_occ with
+  | None, _ -> true
+  | Some f, Some f' -> f <> f'
+  | Some _, None -> false
+
+let analyze (fi : Finfo.t) (f : Func.t) =
+  let escaped : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let disqualified : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let seen : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let escape v =
+    if Ty.is_ptr (Var.ty v) then
+      match Finfo.pointer_base fi v with
+      | Some base -> Hashtbl.replace escaped (Var.id base) ()
+      | None -> ()
+  in
+  let access ~qual_ivs ~fork_occ p ix =
+    match Finfo.pointer_base fi p with
+    | None -> ()
+    | Some base ->
+      Hashtbl.replace seen (Var.id base) ();
+      (match fork_occ with
+      | None -> () (* sequential access: no cross-thread race *)
+      | Some _ ->
+        if not (affine fi ~qual_ivs ~fork_occ ix) then
+          Hashtbl.replace disqualified (Var.id base) ())
+  in
+  let rec walk ~qual_ivs ~fork_occ occ_counter instrs =
+    List.iter
+      (fun (i : Instr.t) ->
+        let occ = !occ_counter in
+        incr occ_counter;
+        (match i with
+        | Instr.Store (p, ix, x) ->
+          escape x;
+          if Ty.equal (Var.ty x) Ty.Float then access ~qual_ivs ~fork_occ p ix
+        | Instr.Load (v, p, ix) when Ty.equal (Var.ty v) Ty.Float ->
+          access ~qual_ivs ~fork_occ p ix
+        | Instr.AtomicAdd (p, ix, _) -> access ~qual_ivs ~fork_occ p ix
+        | Instr.Call (_, _, args) | Instr.Spawn (_, _, args) ->
+          List.iter escape args
+        | Instr.Return (Some v) -> escape v
+        | Instr.Yield vs -> List.iter escape vs
+        | _ -> ());
+        let recurse ~qual_ivs ~fork_occ (r : Instr.region) =
+          walk ~qual_ivs ~fork_occ occ_counter r.body
+        in
+        match i with
+        | Instr.If (_, _, t, e) ->
+          recurse ~qual_ivs ~fork_occ t;
+          recurse ~qual_ivs ~fork_occ e
+        | Instr.For { body; _ } -> recurse ~qual_ivs ~fork_occ body
+        | Instr.While { cond; body } ->
+          recurse ~qual_ivs ~fork_occ cond;
+          recurse ~qual_ivs ~fork_occ body
+        | Instr.Fork { tid; body; _ } ->
+          recurse ~qual_ivs:(IS.singleton (Var.id tid)) ~fork_occ:(Some occ)
+            body
+        | Instr.Workshare { iv; body; _ } ->
+          recurse ~qual_ivs:(IS.add (Var.id iv) qual_ivs) ~fork_occ body
+        | _ -> ())
+      instrs
+  in
+  walk ~qual_ivs:IS.empty ~fork_occ:None (ref 0) f.body;
+  let t = { private_base = Hashtbl.create 16; escaped_base = escaped } in
+  let vars = Plan.vars_of f in
+  Hashtbl.iter
+    (fun id () ->
+      if (not (Hashtbl.mem disqualified id)) && not (Hashtbl.mem escaped id)
+      then
+        (* base must be an allocation or a noalias parameter *)
+        match vars.(id) with
+        | None -> ()
+        | Some v -> (
+          match Finfo.def_site fi v with
+          | Finfo.DInstr (Instr.Alloc _, _) ->
+            Hashtbl.replace t.private_base id ()
+          | Finfo.DParam -> (
+            match Func.param_attr f v with
+            | Some a when a.Func.noalias -> Hashtbl.replace t.private_base id ()
+            | _ -> ())
+          | _ -> ())
+    )
+    seen;
+  t

@@ -1,0 +1,1243 @@
+(** Reverse-mode transform: given a function, generate its gradient.
+
+    The entry function is transformed in *combined* mode — one function
+    containing the augmented forward sweep followed by the reverse sweep —
+    while callees are transformed in *split* mode into an [aug_g]
+    (augmented forward returning a cache-block handle) and a [rev_g]
+    (reverse sweep consuming it), so that task adjoints can themselves be
+    spawned as tasks (§IV-A: a primal sync becomes a reverse spawn).
+
+    Parallel constructs reverse structurally (Fork→Fork, Workshare→
+    Workshare over the same range, Barrier→Barrier, Spawn↔Sync); adjoint
+    accumulation into shared shadow memory is serial, or atomic when the
+    thread-locality analysis cannot prove the target thread-local
+    (§VI-A1). Message passing reverses through shadow requests (§IV-B). *)
+
+open Parad_ir
+module B = Builder
+open Plan
+
+(* Slot layout of a callee's cache block: [0, n) sub-cache ids, [n] the
+   scalar-adjoint buffer, [n+1] the primal return value. *)
+let slot_scal n = n
+let slot_ret n = n + 1
+
+(* ---- occurrence-annotated syntax tree (must mirror Finfo's walk) ---- *)
+
+type anode = { occ : int; ins : Instr.t; subs : anode list list }
+
+let annotate (body : Instr.t list) : anode list =
+  let counter = ref 0 in
+  let rec walk instrs =
+    List.map
+      (fun ins ->
+        let occ = !counter in
+        incr counter;
+        let subs =
+          List.map (fun (r : Instr.region) -> walk r.body) (Instr.regions ins)
+        in
+        { occ; ins; subs })
+      instrs
+  in
+  walk body
+
+(* ---- engine ---- *)
+
+type callee_entry = {
+  aug_name : string;
+  rev_name : string;
+  mutable cplan : Plan.t option;
+  mutable emitted : bool;
+  mutable spawned : bool;  (** used as a task entry point somewhere *)
+  orig : Func.t;
+}
+
+type engine = {
+  src : Prog.t;
+  dst : Prog.t;
+  opts : Plan.options;
+  callees : (string, callee_entry) Hashtbl.t;
+}
+
+let scalar_params (f : Func.t) =
+  List.filteri (fun _ p -> Ty.equal (Var.ty p) Ty.Float) f.params
+
+let ptr_params (f : Func.t) =
+  List.filter (fun p -> Ty.is_ptr (Var.ty p)) f.params
+
+let rec ensure_planned eng ~spawned gname : callee_entry =
+  match Hashtbl.find_opt eng.callees gname with
+  | Some e ->
+    if spawned then e.spawned <- true;
+    e
+  | None ->
+    let orig =
+      match Prog.find eng.src gname with
+      | Some f -> f
+      | None -> unsupported "call to unknown function %S" gname
+    in
+    let e =
+      {
+        aug_name = eng.opts.prefix ^ "aug_" ^ gname;
+        rev_name = eng.opts.prefix ^ "rev_" ^ gname;
+        cplan = None;
+        emitted = false;
+        spawned;
+        orig;
+      }
+    in
+    Hashtbl.add eng.callees gname e;
+    let fi = Finfo.of_func orig in
+    let p = Plan.create ~fi ~split:true ~opts:eng.opts in
+    Plan.collect p ~register_callee:(fun ~spawned h ->
+        ignore (ensure_planned eng ~spawned h));
+    e.cplan <- Some p;
+    e
+
+let callee_info eng gname =
+  let e = ensure_planned eng ~spawned:false gname in
+  match e.cplan with
+  | Some p -> e, p
+  | None -> unsupported "recursive callee %S not yet planned" gname
+
+(* ---- shared emission state ---- *)
+
+type fstate = {
+  eng : engine;
+  p : Plan.t;
+  b : B.t;
+  vmap : Var.t option array;
+  shadow : (int, Var.t) Hashtbl.t;
+  auxv : (int * int, Var.t) Hashtbl.t;
+  cache_h : Var.t array;  (** cache handle vars, by ordinal *)
+  while_gcell : (int, Var.t) Hashtbl.t;  (** While occ -> global counter cell *)
+  mutable ret_val : Var.t option;
+  mutable ret_orig : Var.t option;
+}
+
+let fget st v =
+  match st.vmap.(Var.id v) with
+  | Some v' -> v'
+  | None -> unsupported "forward: unmapped variable %a" Var.pp v
+
+let fset st v v' = st.vmap.(Var.id v) <- Some v'
+
+let fshadow st v =
+  match Hashtbl.find_opt st.shadow (Var.id v) with
+  | Some s -> s
+  | None -> unsupported "forward: no shadow for %a" Var.pp v
+
+(* Resolve the shadow of an Int-typed value (an MPI request): either noted
+   directly at its isend/irecv, or chased through a load from a request
+   array (the shadow array holds shadow request ids). *)
+let rec fshadow_int st (v : Var.t) =
+  match Hashtbl.find_opt st.shadow (Var.id v) with
+  | Some s -> s
+  | None -> (
+    match Finfo.def_site st.p.fi v with
+    | Finfo.DInstr (Instr.Load (_, arr, ix), _) ->
+      let s = B.load st.b (fshadow st arr) (fget st ix) in
+      Hashtbl.replace st.shadow (Var.id v) s;
+      s
+    | Finfo.DInstr (Instr.Select (_, c, a, b), _) ->
+      let s =
+        B.select st.b (fget st c) (fshadow_int st a) (fshadow_int st b)
+      in
+      Hashtbl.replace st.shadow (Var.id v) s;
+      s
+    | _ -> unsupported "cannot resolve the shadow request of %a" Var.pp v)
+
+let idx_at idxs d =
+  match List.nth_opt idxs d with
+  | Some v -> v
+  | None -> unsupported "index depth %d out of range" d
+
+(* Store a planned-for-caching value into its cache. *)
+let maybe_cache st ~idxs k (v : Var.t) =
+  match Hashtbl.find_opt st.p.plans k with
+  | Some (ACache (ord, d)) ->
+    ignore
+      (B.call st.b ~ret:Ty.Unit "cache.set"
+         [ st.cache_h.(ord); idx_at idxs d; v ])
+  | Some (ADirect | AParam | ARecomp) | None -> ()
+
+(* ---- forward sweep ---- *)
+
+let rec fwd_emit st ~idxs ~on_yield (nodes : anode list) =
+  List.iter (fwd_node st ~idxs ~on_yield) nodes
+
+and fwd_node st ~idxs ~on_yield { occ; ins; subs } =
+  let b = st.b in
+  let g = fget st in
+  let cache_val v v' = maybe_cache st ~idxs (KVal (Var.id v)) v' in
+  let cache_shadow v s = maybe_cache st ~idxs (KShadow (Var.id v)) s in
+  let cache_aux slot ty v' =
+    Hashtbl.replace st.auxv (occ, slot) v';
+    ignore ty;
+    maybe_cache st ~idxs (KAux (occ, slot)) v'
+  in
+  match ins with
+  | Const (v, c) ->
+    let v' = B.const b ~name:(Var.name v) c in
+    fset st v v';
+    (match c with
+    | Cnull t -> Hashtbl.replace st.shadow (Var.id v) (B.null b t)
+    | _ -> ());
+    cache_val v v'
+  | Bin (v, op, x, y) ->
+    let v' = B.bin b op (g x) (g y) in
+    fset st v v';
+    cache_val v v'
+  | Cmp (v, op, x, y) ->
+    let v' = B.cmp b op (g x) (g y) in
+    fset st v v';
+    cache_val v v'
+  | Un (v, op, x) ->
+    let v' = B.un b op (g x) in
+    fset st v v';
+    cache_val v v'
+  | Select (v, c, x, y) ->
+    let v' = B.select b (g c) (g x) (g y) in
+    fset st v v';
+    if Ty.is_ptr (Var.ty v) then begin
+      let s = B.select b (g c) (fshadow st x) (fshadow st y) in
+      Hashtbl.replace st.shadow (Var.id v) s;
+      cache_shadow v s
+    end;
+    cache_val v v'
+  | Alloc (v, elem, n, kind) ->
+    let v' = B.alloc b ~kind elem (g n) in
+    fset st v v';
+    let s = B.alloc b ~kind elem (g n) in
+    Hashtbl.replace st.shadow (Var.id v) s;
+    cache_val v v';
+    cache_shadow v s
+  | Free p -> B.free b (g p)
+  | Load (v, p, ix) ->
+    let v' = B.load b (g p) (g ix) in
+    fset st v v';
+    (if Ty.is_ptr (Var.ty v) then begin
+       let s = B.load b (fshadow st p) (g ix) in
+       Hashtbl.replace st.shadow (Var.id v) s;
+       cache_shadow v s
+     end);
+    cache_val v v'
+  | Store (p, ix, x) ->
+    B.store b (g p) (g ix) (g x);
+    let xt = Var.ty x in
+    if Ty.is_ptr xt then B.store b (fshadow st p) (g ix) (fshadow st x)
+    else if
+      Ty.equal xt Ty.Int && Hashtbl.mem st.shadow (Var.id x)
+    then B.store b (fshadow st p) (g ix) (fshadow_int st x)
+  | Gep (v, p, ix) ->
+    let v' = B.gep b (g p) (g ix) in
+    fset st v v';
+    let s = B.gep b (fshadow st p) (g ix) in
+    Hashtbl.replace st.shadow (Var.id v) s;
+    cache_val v v';
+    cache_shadow v s
+  | AtomicAdd (p, ix, x) -> B.atomic_add b (g p) (g ix) (g x)
+  | Call (v, name, args) -> fwd_call st ~idxs ~occ v name args
+  | Spawn (v, gname, args) ->
+    let e, _ = callee_info st.eng gname in
+    if not (Ty.equal e.orig.ret_ty Ty.Unit) then
+      unsupported "spawned function %S must return unit" gname;
+    let args' =
+      List.map g args @ List.map (fshadow st) (List.filter (fun a -> Ty.is_ptr (Var.ty a)) args)
+    in
+    let h = B.spawn b e.aug_name args' in
+    fset st v h;
+    cache_val v h
+  | Sync h ->
+    B.sync b (g h);
+    let blk = B.call b ~ret:Ty.Int "task.retval" [ g h ] in
+    cache_aux 0 Ty.Int blk
+  | If (rs, c, _, _) ->
+    let then_nodes, else_nodes =
+      match subs with [ t; e ] -> t, e | _ -> assert false
+    in
+    let ptr_rs = List.filter (fun r -> Ty.is_ptr (Var.ty r)) rs in
+    let result_tys =
+      List.map Var.ty rs @ List.map Var.ty ptr_rs
+    in
+    let emit_branch nodes () =
+      let yielded = ref [] in
+      fwd_emit st ~idxs
+        ~on_yield:(fun vs ->
+          let mapped = List.map g vs in
+          let shadows =
+            List.filter_map
+              (fun v ->
+                if Ty.is_ptr (Var.ty v) then Some (fshadow st v) else None)
+              vs
+          in
+          yielded := mapped @ shadows)
+        nodes;
+      !yielded
+    in
+    let out =
+      B.if_ b (g c) ~results:result_tys
+        ~then_:(emit_branch then_nodes)
+        ~else_:(emit_branch else_nodes)
+    in
+    let n = List.length rs in
+    List.iteri
+      (fun i r ->
+        if i < n then begin
+          fset st r (List.nth out i);
+          cache_val r (List.nth out i)
+        end)
+      rs;
+    List.iteri
+      (fun i r ->
+        let s = List.nth out (n + i) in
+        Hashtbl.replace st.shadow (Var.id r) s;
+        cache_shadow r s)
+      ptr_rs
+  | For { iv; lo; hi; step; _ } ->
+    let body_nodes = match subs with [ x ] -> x | _ -> assert false in
+    let rlo = g lo and rhi = g hi and rstep = g step in
+    (* trip = max 0 ((hi - lo + step - 1) / step) *)
+    let trip =
+      B.max_ b (B.i64 b 0)
+        (B.div b
+           (B.sub b (B.add b rhi rstep) (B.add b rlo (B.i64 b 1)))
+           rstep)
+    in
+    let parent = List.nth idxs (List.length idxs - 1) in
+    B.for_ b ~lo:rlo ~hi:rhi ~step:rstep (fun iv' ->
+        fset st iv iv';
+        let iter = B.div b (B.sub b iv' rlo) rstep in
+        let inner = B.add b (B.mul b parent trip) iter in
+        fwd_emit st ~idxs:(idxs @ [ inner ]) ~on_yield body_nodes)
+  | While _ ->
+    let cond_nodes, body_nodes =
+      match subs with [ c; x ] -> c, x | _ -> assert false
+    in
+    let gcell =
+      match Hashtbl.find_opt st.while_gcell occ with
+      | Some c -> c
+      | None -> unsupported "while: missing counter cell"
+    in
+    let zero = B.i64 b 0 in
+    let start = B.load b gcell zero in
+    cache_aux 1 Ty.Int start;
+    let itercell = B.alloc b Ty.Int (B.i64 b 1) in
+    B.store b itercell zero zero;
+    B.while_ b
+      ~cond:(fun () ->
+        let res = ref None in
+        fwd_emit st ~idxs ~on_yield:(fun vs -> res := Some (List.hd vs |> g))
+          cond_nodes;
+        Option.get !res)
+      ~body:(fun () ->
+        let iter = B.load b itercell zero in
+        let inner = B.add b start iter in
+        fwd_emit st ~idxs:(idxs @ [ inner ]) ~on_yield body_nodes;
+        B.store b itercell zero (B.add b iter (B.i64 b 1)));
+    let trip = B.load b itercell zero in
+    cache_aux 0 Ty.Int trip;
+    B.store b gcell zero (B.add b start trip);
+    B.free b itercell
+  | Fork { tid; nth; body } ->
+    let body_nodes = match subs with [ x ] -> x | _ -> assert false in
+    let nth_param =
+      match body.params with [ _; q ] -> q | _ -> assert false
+    in
+    let parent = List.nth idxs (List.length idxs - 1) in
+    B.fork b ~nth:(g nth) (fun ~tid:tid' ~nth:nth' ->
+        fset st tid tid';
+        fset st nth_param nth';
+        let inner = B.add b (B.mul b parent nth') tid' in
+        fwd_emit st ~idxs:(idxs @ [ inner ]) ~on_yield body_nodes)
+  | Workshare { iv; lo; hi; schedule; nowait; _ } ->
+    let body_nodes = match subs with [ x ] -> x | _ -> assert false in
+    let rlo = g lo and rhi = g hi in
+    let len = B.max_ b (B.i64 b 0) (B.sub b rhi rlo) in
+    let parent = List.nth idxs (List.length idxs - 1) in
+    B.workshare b ~schedule ~nowait ~lo:rlo ~hi:rhi (fun iv' ->
+        fset st iv iv';
+        let inner = B.add b (B.mul b parent len) (B.sub b iv' rlo) in
+        fwd_emit st ~idxs:(idxs @ [ inner ]) ~on_yield body_nodes)
+  | Barrier -> B.barrier b
+  | Return v ->
+    st.ret_orig <- v;
+    st.ret_val <- Option.map g v
+  | Yield vs -> on_yield vs
+
+and fwd_call st ~idxs ~occ v name args =
+  let b = st.b in
+  let g = fget st in
+  let cache_aux slot ty v' =
+    Hashtbl.replace st.auxv (occ, slot) v';
+    ignore ty;
+    maybe_cache st ~idxs (KAux (occ, slot)) v'
+  in
+  if String.contains name '.' then (
+    match name, args with
+    | "mpi.isend", [ p; n; dst; tag ] ->
+      let req = B.call b ~ret:Ty.Int name (List.map g args) in
+      fset st v req;
+      let dreq =
+        B.call b ~ret:Ty.Int "mpi.adjnote_isend"
+          [ fshadow st p; g n; g dst; g tag ]
+      in
+      Hashtbl.replace st.shadow (Var.id v) dreq;
+      cache_aux 0 Ty.Int dreq;
+      maybe_cache st ~idxs (KVal (Var.id v)) req
+    | "mpi.irecv", [ p; n; src; tag ] ->
+      let req = B.call b ~ret:Ty.Int name (List.map g args) in
+      fset st v req;
+      let dreq =
+        B.call b ~ret:Ty.Int "mpi.adjnote_irecv"
+          [ fshadow st p; g n; g src; g tag ]
+      in
+      Hashtbl.replace st.shadow (Var.id v) dreq;
+      cache_aux 0 Ty.Int dreq;
+      maybe_cache st ~idxs (KVal (Var.id v)) req
+    | "mpi.wait", [ r ] ->
+      fset st v (B.call b ~ret:Ty.Unit name [ g r ]);
+      let dreq = fshadow_int st r in
+      cache_aux 0 Ty.Int dreq
+    | ("mpi.allreduce_min" | "mpi.allreduce_max"), [ s; r; n ] ->
+      (* snapshot the send buffer before (it may alias recv) and the
+         result after, for the argmin-style adjoint *)
+      let rn = g n in
+      let snap_s = B.alloc b Ty.Float rn in
+      B.for_n b rn (fun j -> B.store b snap_s j (B.load b (g s) j));
+      fset st v (B.call b ~ret:Ty.Unit name (List.map g args));
+      let snap_r = B.alloc b Ty.Float rn in
+      B.for_n b rn (fun j -> B.store b snap_r j (B.load b (g r) j));
+      cache_aux 0 (Ty.Ptr Ty.Float) snap_s;
+      cache_aux 1 (Ty.Ptr Ty.Float) snap_r
+    | "gc.preserve_begin", _ ->
+      let extended =
+        List.map g args
+        @ List.filter_map
+            (fun x ->
+              if Ty.is_ptr (Var.ty x) then Some (fshadow st x) else None)
+            args
+      in
+      fset st v (B.call b ~ret:Ty.Int name extended)
+    | _ ->
+      (* straight copy: mpi.send/recv/allreduce_sum/bcast/barrier/rank/
+         size, omp.*, gc.*, debug.* *)
+      let ret = intrinsic_ret_ty name in
+      fset st v (B.call b ~ret name (List.map g args));
+      maybe_cache st ~idxs (KVal (Var.id v)) (fget st v))
+  else begin
+    let e, cp = callee_info st.eng name in
+    let args' =
+      List.map g args
+      @ List.map (fshadow st)
+          (List.filter (fun a -> Ty.is_ptr (Var.ty a)) args)
+    in
+    let blk = B.call b ~ret:Ty.Int e.aug_name args' in
+    cache_aux 0 Ty.Int blk;
+    if not (Ty.equal e.orig.ret_ty Ty.Unit) then begin
+      let r =
+        B.call b ~ret:e.orig.ret_ty "cache.get"
+          [ blk; B.i64 b (slot_ret cp.n_cached) ]
+      in
+      fset st v r;
+      maybe_cache st ~idxs (KVal (Var.id v)) r
+    end
+    else fset st v (B.unit_ b)
+  end
+
+and intrinsic_ret_ty = function
+  | "mpi.rank" | "mpi.size" | "omp.max_threads" | "gc.preserve_begin"
+  | "gc.collect" -> Ty.Int
+  | _ -> Ty.Unit
+
+(* ---- reverse sweep ---- *)
+
+type rscope = {
+  rparent : rscope option;
+  memo : (Plan.key, Var.t) Hashtbl.t;
+  ridxs : Var.t list;  (* per-depth reverse region index, outermost first *)
+  pmap : (int, Var.t) Hashtbl.t;  (* orig region-param id -> reverse var *)
+  rfork : int option;  (* current fork occurrence in the reverse sweep *)
+  dlocal : Var.t option;  (* per-thread adjoint registers inside a fork *)
+}
+
+type rstate = {
+  fs : fstate;  (* forward tables, for ADirect resolution *)
+  race : Race.t;
+  dreg : Var.t;  (* shared adjoint registers, indexed by orig var id *)
+  prestok : (int, Var.t) Hashtbl.t;  (* preserve-begin occ -> reverse token *)
+  task_mode : bool;
+      (* this reverse half runs as a task, concurrently with its siblings:
+         shadows of anything shared (parameters, escaped memory) must be
+         accumulated atomically (§VI-A1) *)
+}
+
+let child_scope sc ~idxs ?(fork = sc.rfork) ?(dlocal = sc.dlocal) () =
+  {
+    rparent = Some sc;
+    memo = Hashtbl.create 16;
+    ridxs = idxs;
+    pmap = Hashtbl.create 8;
+    rfork = fork;
+    dlocal;
+  }
+
+let rec memo_find sc k =
+  match Hashtbl.find_opt sc.memo k with
+  | Some v -> Some v
+  | None -> (
+    match sc.rparent with Some p -> memo_find p k | None -> None)
+
+let rec pmap_find sc id =
+  match Hashtbl.find_opt sc.pmap id with
+  | Some v -> Some v
+  | None -> (
+    match sc.rparent with Some p -> pmap_find p id | None -> None)
+
+(* Resolve a needed key to an SSA value at the current reverse point. *)
+let rec resolve rs sc (k : Plan.key) : Var.t =
+  match memo_find sc k with
+  | Some v -> v
+  | None ->
+    let st = rs.fs in
+    let b = st.b in
+    let v =
+      match Hashtbl.find_opt st.p.plans k with
+      | None -> unsupported "reverse: unplanned key %a" Plan.pp_key k
+      | Some ADirect -> (
+        match k with
+        | KVal id -> (
+          match st.vmap.(id) with
+          | Some v -> v
+          | None -> unsupported "reverse: unmapped direct value %d" id)
+        | KShadow id -> (
+          match Hashtbl.find_opt st.shadow id with
+          | Some v -> v
+          | None -> unsupported "reverse: missing direct shadow %d" id)
+        | KAux (o, s) -> (
+          match Hashtbl.find_opt st.auxv (o, s) with
+          | Some v -> v
+          | None -> unsupported "reverse: missing direct aux %d.%d" o s))
+      | Some AParam -> (
+        match k with
+        | KVal id -> (
+          match pmap_find sc id with
+          | Some v -> v
+          | None -> unsupported "reverse: unbound region parameter %d" id)
+        | KShadow _ | KAux _ -> unsupported "reverse: bad param key")
+      | Some (ACache (ord, d)) ->
+        B.call b ~ret:(Plan.key_ty st.p k) "cache.get"
+          [ st.cache_h.(ord); idx_at sc.ridxs d ]
+      | Some ARecomp -> recompute rs sc k
+    in
+    Hashtbl.replace sc.memo k v;
+    v
+
+and recompute rs sc k =
+  let st = rs.fs in
+  let b = st.b in
+  let fi = st.p.fi in
+  match k with
+  | KVal id -> (
+    let v = Plan.var st.p id in
+    match Finfo.def_site fi v with
+    | Finfo.DInstr (i, _) -> (
+      let r x = resolve rs sc (KVal (Var.id x)) in
+      match i with
+      | Const (_, c) -> B.const b c
+      | Bin (_, op, a, b') -> B.bin b op (r a) (r b')
+      | Cmp (_, op, a, b') -> B.cmp b op (r a) (r b')
+      | Un (_, op, a) -> B.un b op (r a)
+      | Select (_, c, a, b') -> B.select b (r c) (r a) (r b')
+      | Gep (_, p, ix) -> B.gep b (r p) (r ix)
+      | Call (_, name, []) -> B.call b ~ret:Ty.Int name []
+      | Load (_, p, ix) ->
+        (* reload from provably-unchanged (readonly noalias) memory *)
+        B.load b (r p) (r ix)
+      | _ -> unsupported "reverse: cannot recompute %a" Var.pp v)
+    | _ -> unsupported "reverse: cannot recompute %a" Var.pp v)
+  | KShadow id -> (
+    let v = Plan.var st.p id in
+    match Finfo.def_site fi v with
+    | Finfo.DInstr (Gep (_, p, ix), _) ->
+      B.gep b (resolve rs sc (KShadow (Var.id p))) (resolve rs sc (KVal (Var.id ix)))
+    | Finfo.DInstr (Select (_, c, a, b'), _) ->
+      B.select b
+        (resolve rs sc (KVal (Var.id c)))
+        (resolve rs sc (KShadow (Var.id a)))
+        (resolve rs sc (KShadow (Var.id b')))
+    | Finfo.DInstr (Const (_, Cnull t), _) -> B.null b t
+    | _ -> unsupported "reverse: cannot recompute shadow of %a" Var.pp v)
+  | KAux _ -> unsupported "reverse: cannot recompute aux"
+
+(* Which adjoint-register buffer hosts the slot of [v] at the current
+   point. Captured-by-value outer registers inside a parallel region go to
+   the shared buffer (atomically); locals go to the per-thread buffer. *)
+let adj_host rs sc (v : Var.t) : Var.t * bool (* atomic *) =
+  let fi = rs.fs.p.fi in
+  match Finfo.fork_of fi v, sc.rfork with
+  | None, None -> rs.dreg, false
+  | None, Some _ -> rs.dreg, true
+  | Some f, Some f' when f = f' -> (
+    match sc.dlocal with
+    | Some d -> d, false
+    | None -> unsupported "reverse: missing per-thread adjoint registers")
+  | Some _, _ ->
+    unsupported "reverse: adjoint of %a escapes its parallel region" Var.pp v
+
+let accum rs sc (v : Var.t) (dv : Var.t) =
+  let is_const =
+    match Finfo.def_site rs.fs.p.fi v with
+    | Finfo.DInstr (Const _, _) -> true
+    | _ -> false
+    | exception _ -> false
+  in
+  if Ty.equal (Var.ty v) Ty.Float && not is_const then begin
+    let b = rs.fs.b in
+    let host, atomic = adj_host rs sc v in
+    let ix = B.i64 b (Var.id v) in
+    if atomic then B.atomic_add b host ix dv
+    else begin
+      let cur = B.load b host ix in
+      B.store b host ix (B.add b cur dv)
+    end
+  end
+
+let read_adj rs sc (v : Var.t) =
+  let b = rs.fs.b in
+  let host, _ = adj_host rs sc v in
+  let ix = B.i64 b (Var.id v) in
+  let d = B.load b host ix in
+  B.store b host ix (B.f64 b 0.0);
+  d
+
+(* Accumulate [dv] into shadow memory cell [sp[ix]]: serial when the
+   thread-locality analysis proves privacy, atomic otherwise (§VI-A1). *)
+let accum_mem rs sc ~(primal_ptr : Var.t) (sp : Var.t) (ix : Var.t) (dv : Var.t)
+    =
+  let b = rs.fs.b in
+  let fi = rs.fs.p.fi in
+  let task_shared () =
+    (* in task mode, only non-escaping local allocations are private *)
+    rs.task_mode
+    &&
+    match Finfo.pointer_base fi primal_ptr with
+    | None -> true
+    | Some base -> (
+      match Finfo.def_site fi base with
+      | Finfo.DInstr (Alloc _, _) -> Race.is_escaped rs.race base
+      | _ -> true)
+  in
+  let atomic =
+    match sc.rfork with
+    | None -> task_shared ()
+    | Some focc ->
+      if rs.fs.p.opts.atomic_always then true
+      else (
+        match Finfo.pointer_base fi primal_ptr with
+        | None -> true
+        | Some base -> (
+          match Finfo.def_site fi base with
+          | Finfo.DInstr (Alloc _, _) when Finfo.fork_of fi base = Some focc ->
+            (* allocated inside this parallel region: thread-local *)
+            false
+          | _ -> not (Race.is_private rs.race base)))
+  in
+  if atomic then B.atomic_add b sp ix dv
+  else begin
+    let cur = B.load b sp ix in
+    B.store b sp ix (B.add b cur dv)
+  end
+
+let rec rev_emit rs sc ?if_results (nodes : anode list) =
+  List.iter (rev_node rs sc ?if_results) (List.rev nodes)
+
+and rev_node rs sc ?if_results { occ; ins; subs } =
+  let b = rs.fs.b in
+  let rval v = resolve rs sc (KVal (Var.id v)) in
+  let rshadow v = resolve rs sc (KShadow (Var.id v)) in
+  let raux slot = resolve rs sc (KAux (occ, slot)) in
+  let is_f v = Ty.equal (Var.ty v) Ty.Float in
+  match ins with
+  | Const _ | Cmp _ | Gep _ | Free _ | Barrier | Return _ -> (
+    match ins with Barrier -> B.barrier b | _ -> ())
+  | Bin (v, op, x, y) when is_f v -> (
+    let dv = read_adj rs sc v in
+    match op with
+    | Add ->
+      accum rs sc x dv;
+      accum rs sc y dv
+    | Sub ->
+      accum rs sc x dv;
+      accum rs sc y (B.neg b dv)
+    | Mul ->
+      accum rs sc x (B.mul b dv (rval y));
+      accum rs sc y (B.mul b dv (rval x))
+    | Div ->
+      let ry = rval y in
+      accum rs sc x (B.div b dv ry);
+      accum rs sc y (B.neg b (B.div b (B.mul b dv (rval x)) (B.mul b ry ry)))
+    | Min ->
+      let c = B.le b (rval x) (rval y) in
+      let zero = B.f64 b 0.0 in
+      accum rs sc x (B.select b c dv zero);
+      accum rs sc y (B.select b c zero dv)
+    | Max ->
+      let c = B.ge b (rval x) (rval y) in
+      let zero = B.f64 b 0.0 in
+      accum rs sc x (B.select b c dv zero);
+      accum rs sc y (B.select b c zero dv)
+    | Pow ->
+      let rx = rval x and ry = rval y in
+      let r = B.pow b rx ry in
+      accum rs sc x
+        (B.mul b dv (B.mul b ry (B.pow b rx (B.sub b ry (B.f64 b 1.0)))));
+      accum rs sc y (B.mul b dv (B.mul b r (B.log_ b rx)))
+    | Rem -> ())
+  | Bin _ -> ()
+  | Un (v, op, x) when is_f v -> (
+    match op with
+    | Neg -> accum rs sc x (B.neg b (read_adj rs sc v))
+    | Sqrt ->
+      let dv = read_adj rs sc v in
+      accum rs sc x (B.div b (B.mul b dv (B.f64 b 0.5)) (rval v))
+    | Exp -> accum rs sc x (B.mul b (read_adj rs sc v) (rval v))
+    | Sin -> accum rs sc x (B.mul b (read_adj rs sc v) (B.cos_ b (rval x)))
+    | Cos ->
+      accum rs sc x (B.neg b (B.mul b (read_adj rs sc v) (B.sin_ b (rval x))))
+    | Log -> accum rs sc x (B.div b (read_adj rs sc v) (rval x))
+    | Abs ->
+      let dv = read_adj rs sc v in
+      let c = B.ge b (rval x) (B.f64 b 0.0) in
+      accum rs sc x (B.select b c dv (B.neg b dv))
+    | Floor | ToFloat -> ()
+    | ToInt | Not -> ())
+  | Un _ -> ()
+  | Select (v, c, x, y) when is_f v ->
+    let dv = read_adj rs sc v in
+    let rc = rval c in
+    let zero = B.f64 b 0.0 in
+    accum rs sc x (B.select b rc dv zero);
+    accum rs sc y (B.select b rc zero dv)
+  | Select _ -> ()
+  | Alloc (v, _, _, kind) -> (
+    match kind with
+    | Instr.Gc -> () (* the collector owns GC shadows *)
+    | Instr.Stack | Instr.Heap -> B.free b (rshadow v))
+  | Load (v, p, ix) when is_f v ->
+    let dv = read_adj rs sc v in
+    accum_mem rs sc ~primal_ptr:p (rshadow p) (rval ix) dv
+  | Load _ -> ()
+  | Store (p, ix, x) when is_f x ->
+    let sp = rshadow p and rix = rval ix in
+    let d = B.load b sp rix in
+    B.store b sp rix (B.f64 b 0.0);
+    accum rs sc x d
+  | Store _ -> ()
+  | AtomicAdd (p, ix, x) ->
+    (* all contributions share the final cell adjoint; nothing is zeroed *)
+    accum rs sc x (B.load b (rshadow p) (rval ix))
+  | Call (v, name, args) -> rev_call rs sc ~occ v name args
+  | Spawn (v, _, args) ->
+    (* reverse of spawn: wait for the adjoint task, then fold its scalar
+       argument adjoints back in *)
+    let h = rval v in
+    let hrev = B.call b ~ret:Ty.Int "ad.map_get1" [ h ] in
+    B.sync b hrev;
+    let blk = B.call b ~ret:Ty.Int "ad.map_get2" [ h ] in
+    let gname = match ins with Spawn (_, g, _) -> g | _ -> assert false in
+    let _, cp = callee_info rs.fs.eng gname in
+    let dscal =
+      B.call b ~ret:(Ty.Ptr Ty.Float) "cache.get"
+        [ blk; B.i64 b (slot_scal cp.n_cached) ]
+    in
+    let scal_args = List.filter (fun a -> Ty.equal (Var.ty a) Ty.Float) args in
+    List.iteri
+      (fun k a -> accum rs sc a (B.load b dscal (B.i64 b k)))
+      scal_args;
+    B.free b dscal;
+    ignore (B.call b ~ret:Ty.Unit "cache.free" [ blk ])
+  | Sync h ->
+    (* reverse of sync: spawn the adjoint task (Fig 2 of the paper) *)
+    let blk = raux 0 in
+    let hp = rval h in
+    (* We do not know statically which function the task ran; the blk
+       handle is enough for rev_g, but we need its name. Task handles are
+       paired with their spawn statically through SSA. *)
+    let gname = task_callee rs h in
+    let e, _ = callee_info rs.fs.eng gname in
+    let hrev = B.spawn b e.rev_name [ blk ] in
+    ignore (B.call b ~ret:Ty.Unit "ad.map_set" [ hp; hrev; blk ])
+  | If (rs_vars, c, _, _) ->
+    let then_nodes, else_nodes =
+      match subs with [ t; e ] -> t, e | _ -> assert false
+    in
+    let rc = rval c in
+    let branch nodes () =
+      let sc' = child_scope sc ~idxs:sc.ridxs () in
+      rev_emit rs sc' ~if_results:rs_vars nodes
+    in
+    B.ite b rc (branch then_nodes) (branch else_nodes)
+  | For { iv; lo; hi; step; _ } ->
+    let body_nodes = match subs with [ x ] -> x | _ -> assert false in
+    let rlo = rval lo and rhi = rval hi and rstep = rval step in
+    let trip =
+      B.max_ b (B.i64 b 0)
+        (B.div b
+           (B.sub b (B.add b rhi rstep) (B.add b rlo (B.i64 b 1)))
+           rstep)
+    in
+    let parent = List.nth sc.ridxs (List.length sc.ridxs - 1) in
+    B.for_ b ~lo:(B.i64 b 0) ~hi:trip (fun j ->
+        let iter = B.sub b (B.sub b trip (B.i64 b 1)) j in
+        let iv' = B.add b rlo (B.mul b iter rstep) in
+        let inner = B.add b (B.mul b parent trip) iter in
+        let sc' = child_scope sc ~idxs:(sc.ridxs @ [ inner ]) () in
+        Hashtbl.replace sc'.pmap (Var.id iv) iv';
+        rev_emit rs sc' body_nodes)
+  | While _ ->
+    let body_nodes = match subs with [ _; x ] -> x | _ -> assert false in
+    let trip = raux 0 and start = raux 1 in
+    B.for_ b ~lo:(B.i64 b 0) ~hi:trip (fun j ->
+        let iter = B.sub b (B.sub b trip (B.i64 b 1)) j in
+        let inner = B.add b start iter in
+        let sc' = child_scope sc ~idxs:(sc.ridxs @ [ inner ]) () in
+        rev_emit rs sc' body_nodes)
+  | Fork { tid; nth; body } ->
+    let body_nodes = match subs with [ x ] -> x | _ -> assert false in
+    let nth_param =
+      match body.params with [ _; q ] -> q | _ -> assert false
+    in
+    let rnth = rval nth in
+    let parent = List.nth sc.ridxs (List.length sc.ridxs - 1) in
+    let var_count = rs.fs.p.fi.Finfo.func.var_count in
+    B.fork b ~nth:rnth (fun ~tid:tid' ~nth:nth' ->
+        let dlocal = B.alloc b Ty.Float (B.i64 b var_count) in
+        let inner = B.add b (B.mul b parent nth') tid' in
+        let sc' =
+          child_scope sc ~idxs:(sc.ridxs @ [ inner ]) ~fork:(Some occ)
+            ~dlocal:(Some dlocal) ()
+        in
+        Hashtbl.replace sc'.pmap (Var.id tid) tid';
+        Hashtbl.replace sc'.pmap (Var.id nth_param) nth';
+        rev_emit rs sc' body_nodes;
+        B.free b dlocal)
+  | Workshare { iv; lo; hi; schedule; _ } ->
+    let body_nodes = match subs with [ x ] -> x | _ -> assert false in
+    let rlo = rval lo and rhi = rval hi in
+    let len = B.max_ b (B.i64 b 0) (B.sub b rhi rlo) in
+    let parent = List.nth sc.ridxs (List.length sc.ridxs - 1) in
+    B.workshare b ~schedule ~nowait:false ~lo:rlo ~hi:rhi (fun iv' ->
+        let inner = B.add b (B.mul b parent len) (B.sub b iv' rlo) in
+        let sc' = child_scope sc ~idxs:(sc.ridxs @ [ inner ]) () in
+        Hashtbl.replace sc'.pmap (Var.id iv) iv';
+        rev_emit rs sc' body_nodes)
+  | Yield vs -> (
+    (* seed the yielded values with the If results' adjoints *)
+    match if_results with
+    | None -> ()
+    | Some results ->
+      List.iter2
+        (fun r v ->
+          if Ty.equal (Var.ty r) Ty.Float then begin
+            let d = read_adj rs sc r in
+            accum rs sc v d
+          end)
+        results vs)
+
+and task_callee rs (h : Var.t) =
+  let fi = rs.fs.p.fi in
+  match Finfo.def_site fi h with
+  | Finfo.DInstr (Spawn (_, g, _), _) -> g
+  | Finfo.DInstr (Load (_, arr, _), _) -> (
+    (* handle loaded from a handle array: every spawn stored into that
+       array must target the same function *)
+    match Finfo.pointer_base fi arr with
+    | None ->
+      unsupported "task handle loaded through an untracked pointer"
+    | Some base ->
+      let callees = ref [] in
+      Instr.iter_instrs
+        (fun i ->
+          match i with
+          | Instr.Store (p, _, x)
+            when Finfo.pointer_base fi p = Some base -> (
+            match Finfo.def_site fi x with
+            | Finfo.DInstr (Instr.Spawn (_, g, _), _) ->
+              if not (List.mem g !callees) then callees := g :: !callees
+            | _ ->
+              unsupported
+                "non-spawn value stored into a task-handle array")
+          | _ -> ())
+        fi.Finfo.func.body;
+      (match !callees with
+      | [ g ] -> g
+      | [] -> unsupported "no spawn found for the task-handle array"
+      | _ ->
+        unsupported
+          "task-handle array mixes tasks of different functions"))
+  | _ -> unsupported "sync of a non-spawned handle"
+
+and rev_call rs sc ~occ v name args =
+  let b = rs.fs.b in
+  let rval x = resolve rs sc (KVal (Var.id x)) in
+  let rshadow x = resolve rs sc (KShadow (Var.id x)) in
+  let raux slot = resolve rs sc (KAux (occ, slot)) in
+  if String.contains name '.' then (
+    match name, args with
+    | "mpi.isend", _ ->
+      ignore (B.call b ~ret:Ty.Unit "mpi.adj_isend_finish" [ raux 0 ])
+    | "mpi.irecv", _ ->
+      ignore (B.call b ~ret:Ty.Unit "mpi.adj_irecv_finish" [ raux 0 ])
+    | "mpi.wait", _ -> ignore (B.call b ~ret:Ty.Unit "mpi.adj_wait" [ raux 0 ])
+    | "mpi.send", [ p; n; dst; tag ] ->
+      ignore
+        (B.call b ~ret:Ty.Unit "mpi.adj_send"
+           [ rshadow p; rval n; rval dst; rval tag ])
+    | "mpi.recv", [ p; n; src; tag ] ->
+      ignore
+        (B.call b ~ret:Ty.Unit "mpi.adj_recv"
+           [ rshadow p; rval n; rval src; rval tag ])
+    | "mpi.allreduce_sum", [ s; r; n ] ->
+      ignore
+        (B.call b ~ret:Ty.Unit "mpi.adj_allreduce_sum"
+           [ rshadow s; rshadow r; rval n ])
+    | ("mpi.allreduce_min" | "mpi.allreduce_max"), [ s; r; n ] ->
+      let snap_s = raux 0 and snap_r = raux 1 in
+      ignore
+        (B.call b ~ret:Ty.Unit "mpi.adj_allreduce_minmax"
+           [ snap_s; snap_r; rshadow s; rshadow r; rval n ]);
+      B.free b snap_s;
+      B.free b snap_r
+    | "mpi.bcast", [ p; n; root ] ->
+      ignore
+        (B.call b ~ret:Ty.Unit "mpi.adj_bcast" [ rshadow p; rval n; rval root ])
+    | "mpi.barrier", _ -> ignore (B.call b ~ret:Ty.Unit "mpi.barrier" [])
+    | ("mpi.rank" | "mpi.size" | "omp.max_threads" | "gc.collect"), _ -> ()
+    | "gc.preserve_begin", _ -> (
+      match Hashtbl.find_opt rs.prestok occ with
+      | Some tok -> ignore (B.call b ~ret:Ty.Unit "gc.preserve_end" [ tok ])
+      | None -> ())
+    | "gc.preserve_end", [ tok ] -> (
+      (* re-preserve the begin's pointers (and shadows) across the
+         reverse region (§VI-C2) *)
+      match Finfo.def_site rs.fs.p.fi tok with
+      | Finfo.DInstr (Call (_, "gc.preserve_begin", xs), bocc) ->
+        let ptrs = List.filter (fun x -> Ty.is_ptr (Var.ty x)) xs in
+        let ext = List.map rval ptrs @ List.map rshadow ptrs in
+        let tok2 = B.call b ~ret:Ty.Int "gc.preserve_begin" ext in
+        Hashtbl.replace rs.prestok bocc tok2
+      | _ -> unsupported "gc.preserve_end of an unknown token")
+    | n, _ when String.length n >= 6 && String.sub n 0 6 = "debug." -> ()
+    | n, _ -> unsupported "reverse of intrinsic %S" n)
+  else begin
+    let e, cp = callee_info rs.fs.eng name in
+    let blk = raux 0 in
+    let rev_args =
+      [ blk ]
+      @
+      if Ty.equal e.orig.ret_ty Ty.Float then [ read_adj rs sc v ] else []
+    in
+    ignore (B.call b ~ret:Ty.Unit e.rev_name rev_args);
+    let scal_args = List.filter (fun a -> Ty.equal (Var.ty a) Ty.Float) args in
+    if scal_args <> [] then begin
+      let dscal =
+        B.call b ~ret:(Ty.Ptr Ty.Float) "cache.get"
+          [ blk; B.i64 b (slot_scal cp.n_cached) ]
+      in
+      List.iteri
+        (fun k a -> accum rs sc a (B.load b dscal (B.i64 b k)))
+        scal_args;
+      B.free b dscal
+    end
+    else begin
+      (* still free the scalar-adjoint buffer allocated by aug *)
+      let dscal =
+        B.call b ~ret:(Ty.Ptr Ty.Float) "cache.get"
+          [ blk; B.i64 b (slot_scal cp.n_cached) ]
+      in
+      B.free b dscal
+    end;
+    ignore (B.call b ~ret:Ty.Unit "cache.free" [ blk ])
+  end
+
+(* ---- function emission ---- *)
+
+let dummy_var = Var.make ~id:(-1) ~ty:Ty.Unit ~name:"dummy"
+
+let ret_var (f : Func.t) =
+  match List.rev f.body with Instr.Return v :: _ -> v | _ -> None
+
+let make_fstate eng p b =
+  {
+    eng;
+    p;
+    b;
+    vmap = Array.make p.fi.Finfo.func.var_count None;
+    shadow = Hashtbl.create 32;
+    auxv = Hashtbl.create 32;
+    cache_h = Array.make (max 1 p.n_cached) dummy_var;
+    while_gcell = Hashtbl.create 4;
+    ret_val = None;
+    ret_orig = None;
+  }
+
+(* Create the cache handles and While counter cells in the preamble. *)
+let emit_preamble st =
+  let b = st.b in
+  for ord = 0 to st.p.n_cached - 1 do
+    st.cache_h.(ord) <- B.call b ~ret:Ty.Int "cache.new" [ B.i64 b 16 ]
+  done;
+  List.iter
+    (fun occ ->
+      Hashtbl.replace st.while_gcell occ (B.alloc b Ty.Int (B.i64 b 1)))
+    st.p.while_occs
+
+let free_caches st =
+  let b = st.b in
+  for ord = 0 to st.p.n_cached - 1 do
+    ignore (B.call b ~ret:Ty.Unit "cache.free" [ st.cache_h.(ord) ])
+  done;
+  Hashtbl.iter (fun _ cell -> B.free b cell) st.while_gcell
+
+let no_yield _ = unsupported "yield outside a region"
+
+(* Combined-mode gradient of the entry function:
+   d_f(args..., shadow-ptr-args..., d_ret?, d_args?) -> f's return.
+   Shadow pointer arguments are accumulated into; when f has active scalar
+   (float) arguments their adjoints are written to the d_args buffer in
+   float-argument order; d_ret seeds the return adjoint when f returns a
+   float. *)
+let emit_combined eng (f : Func.t) (p : Plan.t) dname =
+  let race = Race.analyze p.fi f in
+  let nscal = List.length (scalar_params f) in
+  let pparams = ptr_params f in
+  let params_spec =
+    List.map (fun v -> Var.name v, Var.ty v) f.params
+    @ List.map (fun v -> "d_" ^ Var.name v, Var.ty v) pparams
+    @ (if Ty.equal f.ret_ty Ty.Float then [ "d_ret", Ty.Float ] else [])
+    @ if nscal > 0 then [ "d_args", Ty.Ptr Ty.Float ] else []
+  in
+  let attrs =
+    f.attrs
+    @ List.filter_map
+        (fun (v, a) -> if Ty.is_ptr (Var.ty v) then Some a else None)
+        (List.combine f.params f.attrs)
+    @ (if Ty.equal f.ret_ty Ty.Float then [ Func.default_attr ] else [])
+    @ if nscal > 0 then [ Func.noalias ] else []
+  in
+  let b, newparams = B.func ~attrs eng.dst dname ~params:params_spec ~ret:f.ret_ty in
+  let st = make_fstate eng p b in
+  (* bind params *)
+  let nparams = List.length f.params in
+  List.iteri
+    (fun i v -> if i < nparams then fset st (List.nth f.params i) v)
+    newparams;
+  List.iteri
+    (fun i v ->
+      Hashtbl.replace st.shadow (Var.id (List.nth pparams i)) v)
+    (List.filteri
+       (fun i _ -> i >= nparams && i < nparams + List.length pparams)
+       newparams);
+  let rest =
+    List.filteri (fun i _ -> i >= nparams + List.length pparams) newparams
+  in
+  let d_ret, d_args =
+    match Ty.equal f.ret_ty Ty.Float, nscal > 0, rest with
+    | true, true, [ a; b' ] -> Some a, Some b'
+    | true, false, [ a ] -> Some a, None
+    | false, true, [ b' ] -> None, Some b'
+    | false, false, [] -> None, None
+    | _ -> assert false
+  in
+  emit_preamble st;
+  let idx0 = B.i64 b 0 in
+  let nodes = annotate f.body in
+  fwd_emit st ~idxs:[ idx0 ] ~on_yield:no_yield nodes;
+  (* reverse sweep *)
+  let var_count = f.var_count in
+  let dreg = B.alloc b Ty.Float (B.i64 b var_count) in
+  let rs =
+    { fs = st; race; dreg; prestok = Hashtbl.create 4; task_mode = false }
+  in
+  let root =
+    {
+      rparent = None;
+      memo = Hashtbl.create 32;
+      ridxs = [ idx0 ];
+      pmap = Hashtbl.create 8;
+      rfork = None;
+      dlocal = None;
+    }
+  in
+  (match d_ret, st.ret_orig with
+  | Some d, Some v when Ty.equal (Var.ty v) Ty.Float -> accum rs root v d
+  | _ -> ());
+  rev_emit rs root nodes;
+  (match d_args with
+  | Some da ->
+    List.iteri
+      (fun k sp ->
+        let v = B.load b dreg (B.i64 b (Var.id sp)) in
+        B.store b da (B.i64 b k) v)
+      (scalar_params f)
+  | None -> ());
+  B.free b dreg;
+  free_caches st;
+  (match f.ret_ty, st.ret_val with
+  | Ty.Unit, _ -> B.return b None
+  | _, Some v -> B.return b (Some v)
+  | _, None -> unsupported "function %s has no return value" f.name);
+  ignore (B.finish b)
+
+(* Split-mode emission: aug_g and rev_g (see the module comment). *)
+let emit_split eng gname =
+  let e, p = callee_info eng gname in
+  if not e.emitted then begin
+    e.emitted <- true;
+    let f = e.orig in
+    let race = Race.analyze p.fi f in
+    let nscal = List.length (scalar_params f) in
+    let pparams = ptr_params f in
+    let nodes = annotate f.body in
+    (* ---- aug_g ---- *)
+    let params_spec =
+      List.map (fun v -> Var.name v, Var.ty v) f.params
+      @ List.map (fun v -> "d_" ^ Var.name v, Var.ty v) pparams
+    in
+    let attrs =
+      f.attrs
+      @ List.filter_map
+          (fun (v, a) -> if Ty.is_ptr (Var.ty v) then Some a else None)
+          (List.combine f.params f.attrs)
+    in
+    let b, newparams =
+      B.func ~attrs eng.dst e.aug_name ~params:params_spec ~ret:Ty.Int
+    in
+    let st = make_fstate eng p b in
+    let nparams = List.length f.params in
+    List.iteri
+      (fun i v ->
+        if i < nparams then fset st (List.nth f.params i) v
+        else
+          Hashtbl.replace st.shadow
+            (Var.id (List.nth pparams (i - nparams)))
+            v)
+      newparams;
+    emit_preamble st;
+    let blkc =
+      B.call b ~ret:Ty.Int "cache.new" [ B.i64 b (p.n_cached + 2) ]
+    in
+    for ord = 0 to p.n_cached - 1 do
+      ignore
+        (B.call b ~ret:Ty.Unit "cache.set"
+           [ blkc; B.i64 b ord; st.cache_h.(ord) ])
+    done;
+    let dscal = B.alloc b Ty.Float (B.i64 b (max 1 nscal)) in
+    ignore
+      (B.call b ~ret:Ty.Unit "cache.set"
+         [ blkc; B.i64 b (slot_scal p.n_cached); dscal ]);
+    let idx0 = B.i64 b 0 in
+    (* cache parameter values and shadows (the callee's reverse half has
+       no direct access to them) *)
+    List.iter
+      (fun v -> maybe_cache st ~idxs:[ idx0 ] (KVal (Var.id v)) (fget st v))
+      f.params;
+    List.iter
+      (fun v ->
+        maybe_cache st ~idxs:[ idx0 ] (KShadow (Var.id v)) (fshadow st v))
+      pparams;
+    fwd_emit st ~idxs:[ idx0 ] ~on_yield:no_yield nodes;
+    (if not (Ty.equal f.ret_ty Ty.Unit) then
+       match st.ret_val with
+       | Some v ->
+         ignore
+           (B.call b ~ret:Ty.Unit "cache.set"
+              [ blkc; B.i64 b (slot_ret p.n_cached); v ])
+       | None -> unsupported "function %s has no return value" f.name);
+    B.return b (Some blkc);
+    ignore (B.finish b);
+    (* ---- rev_g ---- *)
+    let rev_params =
+      ("blk", Ty.Int)
+      :: (if Ty.equal f.ret_ty Ty.Float then [ "d_ret", Ty.Float ] else [])
+    in
+    let b, rps = B.func eng.dst e.rev_name ~params:rev_params ~ret:Ty.Unit in
+    let blk = List.hd rps in
+    let d_ret = match rps with [ _; d ] -> Some d | _ -> None in
+    let st = make_fstate eng p b in
+    for ord = 0 to p.n_cached - 1 do
+      st.cache_h.(ord) <-
+        B.call b ~ret:Ty.Int "cache.get" [ blk; B.i64 b ord ]
+    done;
+    let dreg = B.alloc b Ty.Float (B.i64 b f.var_count) in
+    let rs =
+      {
+        fs = st;
+        race;
+        dreg;
+        prestok = Hashtbl.create 4;
+        task_mode = e.spawned;
+      }
+    in
+    let idx0 = B.i64 b 0 in
+    let root =
+      {
+        rparent = None;
+        memo = Hashtbl.create 32;
+        ridxs = [ idx0 ];
+        pmap = Hashtbl.create 8;
+        rfork = None;
+        dlocal = None;
+      }
+    in
+    (match d_ret, ret_var f with
+    | Some d, Some v when Ty.equal (Var.ty v) Ty.Float -> accum rs root v d
+    | _ -> ());
+    rev_emit rs root nodes;
+    let dscal =
+      B.call b ~ret:(Ty.Ptr Ty.Float) "cache.get"
+        [ blk; B.i64 b (slot_scal p.n_cached) ]
+    in
+    List.iteri
+      (fun k sp ->
+        let v = B.load b dreg (B.i64 b (Var.id sp)) in
+        B.store b dscal (B.i64 b k) v)
+      (scalar_params f);
+    B.free b dreg;
+    for ord = 0 to p.n_cached - 1 do
+      ignore (B.call b ~ret:Ty.Unit "cache.free" [ st.cache_h.(ord) ])
+    done;
+    B.return b None;
+    ignore (B.finish b)
+  end
+
+(** [gradient ?opts prog fname] returns a program extended with
+    [d_<fname>] (and any [aug_]/[rev_] split pairs for callees and tasks)
+    plus the name of the gradient function. See {!emit_combined} for the
+    gradient's calling convention. *)
+let gradient ?(opts = Plan.default_options) (src : Prog.t) fname =
+  let f = Prog.find_exn src fname in
+  let dst = Prog.copy src in
+  let eng = { src; dst; opts; callees = Hashtbl.create 8 } in
+  let fi = Finfo.of_func f in
+  let p = Plan.create ~fi ~split:false ~opts in
+  Plan.collect p ~register_callee:(fun ~spawned h ->
+      ignore (ensure_planned eng ~spawned h));
+  let dname = opts.prefix ^ "d_" ^ fname in
+  emit_combined eng f p dname;
+  let rec drain () =
+    let todo =
+      Hashtbl.fold
+        (fun name e acc -> if e.emitted then acc else name :: acc)
+        eng.callees []
+    in
+    match todo with
+    | [] -> ()
+    | l ->
+      List.iter (emit_split eng) (List.sort compare l);
+      drain ()
+  in
+  drain ();
+  Verifier.check_prog dst;
+  dst, dname

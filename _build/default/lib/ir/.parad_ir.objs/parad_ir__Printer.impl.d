@@ -1,0 +1,1 @@
+lib/ir/printer.ml: Fmt Func Instr List Prog String Ty Var

@@ -1,0 +1,1 @@
+lib/ir/prog.ml: Func Hashtbl List Printf

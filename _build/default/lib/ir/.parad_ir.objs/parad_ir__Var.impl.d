@@ -1,0 +1,1 @@
+lib/ir/var.ml: Fmt Int Map Set Ty

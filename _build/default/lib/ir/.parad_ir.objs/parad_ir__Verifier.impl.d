@@ -1,0 +1,1 @@
+lib/ir/verifier.ml: Fmt Func Instr List Prog Ty Var

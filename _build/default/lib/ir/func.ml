@@ -1,0 +1,35 @@
+(** Functions: a parameter list with attributes, a return type, and a body
+    region whose terminator is [Return]. *)
+
+type attr = {
+  noalias : bool;
+      (** the pointer does not alias any other pointer argument or global *)
+  readonly : bool;  (** the callee never writes through this pointer *)
+}
+
+let default_attr = { noalias = false; readonly = false }
+let noalias = { noalias = true; readonly = false }
+let readonly = { noalias = false; readonly = true }
+let noalias_readonly = { noalias = true; readonly = true }
+
+type t = {
+  name : string;
+  params : Var.t list;
+  attrs : attr list;  (** same length as [params] *)
+  ret_ty : Ty.t;
+  body : Instr.t list;
+  var_count : int;  (** all var ids in the function are < [var_count] *)
+}
+
+let make ~name ~params ~attrs ~ret_ty ~body ~var_count =
+  if List.length params <> List.length attrs then
+    invalid_arg "Func.make: params/attrs length mismatch";
+  { name; params; attrs; ret_ty; body; var_count }
+
+let param_attr f v =
+  let rec go ps ats =
+    match ps, ats with
+    | p :: ps, a :: ats -> if Var.equal p v then Some a else go ps ats
+    | _, _ -> None
+  in
+  go f.params f.attrs

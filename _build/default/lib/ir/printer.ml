@@ -1,0 +1,86 @@
+(** Human-readable IR printer (LLVM-flavoured). *)
+
+open Instr
+
+let pp_const ppf = function
+  | Cunit -> Fmt.string ppf "unit"
+  | Cbool x -> Fmt.bool ppf x
+  | Cint x -> Fmt.int ppf x
+  | Cfloat x -> Fmt.pf ppf "%h" x
+  | Cnull t -> Fmt.pf ppf "null<%a>" Ty.pp t
+
+let pp_vars = Fmt.(list ~sep:comma Var.pp)
+
+let rec pp_instr ind ppf i =
+  let pad ppf = Fmt.pf ppf "%s" (String.make ind ' ') in
+  match i with
+  | Const (v, c) -> Fmt.pf ppf "%t%a = const %a" pad Var.pp v pp_const c
+  | Bin (v, op, a, b) ->
+    Fmt.pf ppf "%t%a = %s %a, %a" pad Var.pp v (binop_name op) Var.pp a Var.pp b
+  | Cmp (v, op, a, b) ->
+    Fmt.pf ppf "%t%a = cmp.%s %a, %a" pad Var.pp v (cmpop_name op) Var.pp a
+      Var.pp b
+  | Un (v, op, a) -> Fmt.pf ppf "%t%a = %s %a" pad Var.pp v (unop_name op) Var.pp a
+  | Select (v, c, a, b) ->
+    Fmt.pf ppf "%t%a = select %a, %a, %a" pad Var.pp v Var.pp c Var.pp a Var.pp b
+  | Alloc (v, t, n, k) ->
+    let ks = match k with Stack -> "stack" | Heap -> "heap" | Gc -> "gc" in
+    Fmt.pf ppf "%t%a = alloc.%s %a x %a" pad Var.pp v ks Ty.pp t Var.pp n
+  | Free p -> Fmt.pf ppf "%tfree %a" pad Var.pp p
+  | Load (v, p, ix) -> Fmt.pf ppf "%t%a = load %a[%a]" pad Var.pp v Var.pp p Var.pp ix
+  | Store (p, ix, x) -> Fmt.pf ppf "%tstore %a[%a] <- %a" pad Var.pp p Var.pp ix Var.pp x
+  | Gep (v, p, ix) -> Fmt.pf ppf "%t%a = gep %a, %a" pad Var.pp v Var.pp p Var.pp ix
+  | AtomicAdd (p, ix, x) ->
+    Fmt.pf ppf "%tatomic.add %a[%a] += %a" pad Var.pp p Var.pp ix Var.pp x
+  | Call (v, f, args) ->
+    Fmt.pf ppf "%t%a = call @%s(%a)" pad Var.pp v f pp_vars args
+  | Spawn (v, f, args) ->
+    Fmt.pf ppf "%t%a = spawn @%s(%a)" pad Var.pp v f pp_vars args
+  | Sync t -> Fmt.pf ppf "%tsync %a" pad Var.pp t
+  | If (rs, c, t, e) ->
+    Fmt.pf ppf "%t%a = if %a {@\n%a@\n%t} else {@\n%a@\n%t}" pad pp_vars rs
+      Var.pp c (pp_region (ind + 2)) t pad (pp_region (ind + 2)) e pad
+  | For { iv; lo; hi; step; body } ->
+    Fmt.pf ppf "%tfor %a = %a to %a step %a {@\n%a@\n%t}" pad Var.pp iv Var.pp
+      lo Var.pp hi Var.pp step (pp_region (ind + 2)) body pad
+  | While { cond; body } ->
+    Fmt.pf ppf "%twhile {@\n%a@\n%t} do {@\n%a@\n%t}" pad
+      (pp_region (ind + 2)) cond pad (pp_region (ind + 2)) body pad
+  | Fork { tid = _; nth; body } ->
+    Fmt.pf ppf "%tfork[%a] (%a) {@\n%a@\n%t}" pad Var.pp nth pp_vars
+      body.params (pp_region (ind + 2)) body pad
+  | Workshare { iv; lo; hi; body; schedule; nowait } ->
+    Fmt.pf ppf "%tworkshare%s%s %a = %a to %a {@\n%a@\n%t}" pad
+      (match schedule with Chunked -> "" | Cyclic -> ".cyclic")
+      (if nowait then ".nowait" else "")
+      Var.pp iv Var.pp lo Var.pp hi (pp_region (ind + 2)) body pad
+  | Barrier -> Fmt.pf ppf "%tbarrier" pad
+  | Return None -> Fmt.pf ppf "%treturn" pad
+  | Return (Some v) -> Fmt.pf ppf "%treturn %a" pad Var.pp v
+  | Yield vs -> Fmt.pf ppf "%tyield %a" pad pp_vars vs
+
+and pp_region ind ppf (r : region) =
+  Fmt.pf ppf "%a"
+    (Fmt.list ~sep:(Fmt.any "@\n") (pp_instr ind))
+    r.body
+
+let pp_func ppf (f : Func.t) =
+  let pp_param ppf (v, (a : Func.attr)) =
+    Fmt.pf ppf "%a%s%s" Var.pp_typed v
+      (if a.noalias then " noalias" else "")
+      (if a.readonly then " readonly" else "")
+  in
+  Fmt.pf ppf "func @%s(%a) -> %a {@\n%a@\n}" f.name
+    Fmt.(list ~sep:comma pp_param)
+    (List.combine f.params f.attrs)
+    Ty.pp f.ret_ty
+    (Fmt.list ~sep:(Fmt.any "@\n") (pp_instr 2))
+    f.body
+
+let pp_prog ppf p =
+  Fmt.pf ppf "%a"
+    (Fmt.list ~sep:(Fmt.any "@\n@\n") pp_func)
+    (Prog.functions p)
+
+let func_to_string f = Fmt.str "%a" pp_func f
+let prog_to_string p = Fmt.str "%a" pp_prog p

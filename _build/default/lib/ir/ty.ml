@@ -1,0 +1,36 @@
+(** Types of SSA values and memory buffers.
+
+    The IR is a small, typed, SSA-register machine in the spirit of LLVM IR
+    after lowering: scalar integers and floats, booleans (i1), and typed
+    pointers into homogeneous buffers. Buffers of pointers are allowed so
+    that descriptor-based arrays (the Julia-frontend indirection) can be
+    expressed. *)
+
+type t =
+  | Unit
+  | Bool
+  | Int
+  | Float
+  | Ptr of t  (** pointer into a buffer whose cells have the element type *)
+
+let rec equal a b =
+  match a, b with
+  | Unit, Unit | Bool, Bool | Int, Int | Float, Float -> true
+  | Ptr a, Ptr b -> equal a b
+  | (Unit | Bool | Int | Float | Ptr _), _ -> false
+
+let rec pp ppf = function
+  | Unit -> Fmt.string ppf "unit"
+  | Bool -> Fmt.string ppf "i1"
+  | Int -> Fmt.string ppf "i64"
+  | Float -> Fmt.string ppf "f64"
+  | Ptr t -> Fmt.pf ppf "%a*" pp t
+
+let to_string t = Fmt.str "%a" pp t
+
+let is_ptr = function Ptr _ -> true | Unit | Bool | Int | Float -> false
+
+let elem = function
+  | Ptr t -> t
+  | (Unit | Bool | Int | Float) as t ->
+    invalid_arg (Fmt.str "Ty.elem: %a is not a pointer" pp t)

@@ -1,0 +1,28 @@
+(** SSA variables.
+
+    Identifiers are dense and local to their enclosing function: the builder
+    numbers them from 0, and the interpreter uses them to index frame
+    arrays. Names are for printing only. *)
+
+type t = { id : int; ty : Ty.t; name : string }
+
+let make ~id ~ty ~name = { id; ty; name }
+let id v = v.id
+let ty v = v.ty
+let name v = v.name
+let equal a b = a.id = b.id
+let compare a b = Int.compare a.id b.id
+let pp ppf v = Fmt.pf ppf "%%%s.%d" v.name v.id
+let pp_typed ppf v = Fmt.pf ppf "%a : %a" pp v Ty.pp v.ty
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+module Map = Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

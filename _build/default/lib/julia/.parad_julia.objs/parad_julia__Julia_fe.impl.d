@@ -1,0 +1,1 @@
+lib/julia/julia_fe.ml: Builder Instr Parad_ir Ty Var

@@ -1,0 +1,97 @@
+(** Julia-analog frontend.
+
+    Models the three Julia properties the paper's evaluation isolates:
+
+    - {b Arrays carry an extra pointer indirection}: a GC-allocated
+      descriptor cell holds the data pointer, and element access loads the
+      data pointer first. Alias analysis cannot track loaded pointers, so
+      the AD planner must cache them per iteration — the source of the
+      Julia variants' higher gradient overhead (§VIII).
+    - {b Shared-memory parallelism is task-based} ([Threads.@threads]):
+      a parallel for spawns chunk tasks and waits for them; task shadows
+      are not thread-local, so adjoint accumulation is atomic (§VI-A1).
+    - {b Foreign (MPI) calls need GC preservation} ([GC.@preserve]): the
+      MPI.jl-style wrappers bracket communication with
+      [gc.preserve_begin]/[gc.preserve_end]; the AD engine extends the
+      preservation to shadows and mirrors it in the reverse pass
+      (§VI-C2). *)
+
+open Parad_ir
+module B = Builder
+
+(** A Julia array value: the descriptor (a 1-cell GC buffer of pointers),
+    the data pointer loaded from it, and its static length expression.
+
+    The data-pointer load happens once where the array enters scope (as
+    Julia's compiler hoists `pointer(arr)`), so the *primal* pays the
+    indirection only once per function — but because that pointer was
+    loaded from memory, the AD planner's alias analysis cannot prove the
+    pointee unchanged and must cache values loaded through it (§VIII). *)
+type arr = { desc : Var.t; data : Var.t; len : Var.t }
+
+let desc_ty = Ty.Ptr (Ty.Ptr Ty.Float)
+
+(** Allocate a fresh array of [len] float zeros (GC-managed, with the
+    descriptor indirection). *)
+let zeros b len =
+  let d = B.alloc b ~kind:Instr.Gc Ty.Float len in
+  let desc = B.alloc b ~kind:Instr.Gc (Ty.Ptr Ty.Float) (B.i64 b 1) in
+  B.store b desc (B.i64 b 0) d;
+  { desc; data = B.load b desc (B.i64 b 0); len }
+
+(** View a descriptor passed as a function parameter as an array (loads
+    the data pointer once, at function entry). *)
+let of_param b desc ~len = { desc; data = B.load b desc (B.i64 b 0); len }
+
+let data _b (a : arr) = a.data
+let get b (a : arr) i = B.load b a.data i
+let set b (a : arr) i v = B.store b a.data i v
+
+(** [Threads.@threads]-style parallel for: spawn [ntasks] chunk tasks
+    running [worker] and wait for all of them. The worker function
+    receives [args @ [chunk_lo; chunk_hi]] and must return unit. *)
+let threads_for b ~worker ~args ~lo ~hi ~ntasks =
+  let handles = B.alloc b Ty.Int ntasks in
+  let len = B.sub b hi lo in
+  B.for_n b ntasks (fun t ->
+      let clo = B.add b lo (B.div b (B.mul b len t) ntasks) in
+      let chi =
+        B.add b lo (B.div b (B.mul b len (B.add b t (B.i64 b 1))) ntasks)
+      in
+      let h = B.spawn b worker (args @ [ clo; chi ]) in
+      B.store b handles t h);
+  B.for_n b ntasks (fun t -> B.sync b (B.load b handles t));
+  B.free b handles
+
+(* ---- MPI.jl-style wrappers: foreign calls under GC.@preserve ---- *)
+
+(** Nonblocking send of a whole array; returns (request, preserve token).
+    The preservation models MPI.jl keeping the buffer alive across the
+    foreign call until the wait. *)
+let isend b (a : arr) ~dst ~tag =
+  let d = data b a in
+  let tok = B.call b ~ret:Ty.Int "gc.preserve_begin" [ d ] in
+  let req = B.call b ~ret:Ty.Int "mpi.isend" [ d; a.len; dst; tag ] in
+  req, tok
+
+let irecv b (a : arr) ~src ~tag =
+  let d = data b a in
+  let tok = B.call b ~ret:Ty.Int "gc.preserve_begin" [ d ] in
+  let req = B.call b ~ret:Ty.Int "mpi.irecv" [ d; a.len; src; tag ] in
+  req, tok
+
+let wait b (req, tok) =
+  ignore (B.call b ~ret:Ty.Unit "mpi.wait" [ req ]);
+  ignore (B.call b ~ret:Ty.Unit "gc.preserve_end" [ tok ])
+
+let allreduce_sum b ~(send : arr) ~(recv : arr) =
+  let ds = data b send and dr = data b recv in
+  let tok = B.call b ~ret:Ty.Int "gc.preserve_begin" [ ds; dr ] in
+  ignore (B.call b ~ret:Ty.Unit "mpi.allreduce_sum" [ ds; dr; send.len ]);
+  ignore (B.call b ~ret:Ty.Unit "gc.preserve_end" [ tok ])
+
+let allreduce_min b ~(send : arr) ~(recv : arr) =
+  let ds = data b send and dr = data b recv in
+  let tok = B.call b ~ret:Ty.Int "gc.preserve_begin" [ ds; dr ] in
+  ignore (B.call b ~ret:Ty.Unit "mpi.allreduce_min" [ ds; dr; send.len ]);
+  ignore (B.call b ~ret:Ty.Unit "gc.preserve_end" [ tok ])

@@ -1,0 +1,1 @@
+lib/opt/inline.ml: Array Func Hashtbl Instr List Option Parad_ir Prog Rewrite String Var

@@ -1,0 +1,1 @@
+lib/opt/mem_forward.ml: Fun Func Hashtbl Instr List Parad_ir Rewrite Ty Var

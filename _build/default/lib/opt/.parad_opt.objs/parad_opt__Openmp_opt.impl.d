@@ -1,0 +1,1 @@
+lib/opt/openmp_opt.ml: Func Hashtbl Instr List Parad_ir Rewrite Var

@@ -1,0 +1,1 @@
+lib/opt/passes.ml: Array Fmt Func Hashtbl Instr List Parad_ir Rewrite Var

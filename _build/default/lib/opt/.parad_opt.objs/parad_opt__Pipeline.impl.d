@@ -1,0 +1,1 @@
+lib/opt/pipeline.ml: Fmt Func Inline List Mem_forward Openmp_opt Parad_ir Passes Prog Verifier

@@ -1,0 +1,1 @@
+lib/opt/rewrite.ml: Func Instr List Option Parad_ir Ty Var

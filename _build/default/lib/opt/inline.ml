@@ -1,0 +1,134 @@
+(** Function inlining. Differentiating after inlining gives the AD engine
+    whole-kernel visibility (Enzyme inlines aggressively for the same
+    reason); the pre-AD-optimization ablation measures its effect. *)
+
+open Parad_ir
+open Rewrite
+
+let body_size (f : Func.t) = Instr.fold_instrs (fun n _ -> n + 1) 0 f.body
+
+let rec has_parallel instrs =
+  List.exists
+    (fun (i : Instr.t) ->
+      match i with
+      | Instr.Fork _ | Instr.Workshare _ | Instr.Barrier | Instr.Spawn _
+      | Instr.Sync _ -> true
+      | _ ->
+        List.exists
+          (fun (r : Instr.region) -> has_parallel r.Instr.body)
+          (Instr.regions i))
+    instrs
+
+(* Remap every variable (defs, uses, region params) through [remap]. *)
+let rec remap_instrs remap instrs =
+  List.map
+    (fun (i : Instr.t) ->
+      let open Instr in
+      let r = remap in
+      let i =
+        match i with
+        | Const (v, c) -> Const (r v, c)
+        | Bin (v, op, a, b) -> Bin (r v, op, r a, r b)
+        | Cmp (v, op, a, b) -> Cmp (r v, op, r a, r b)
+        | Un (v, op, a) -> Un (r v, op, r a)
+        | Select (v, c, a, b) -> Select (r v, r c, r a, r b)
+        | Alloc (v, t, n, k) -> Alloc (r v, t, r n, k)
+        | Free p -> Free (r p)
+        | Load (v, p, ix) -> Load (r v, r p, r ix)
+        | Store (p, ix, x) -> Store (r p, r ix, r x)
+        | Gep (v, p, ix) -> Gep (r v, r p, r ix)
+        | AtomicAdd (p, ix, x) -> AtomicAdd (r p, r ix, r x)
+        | Call (v, g, args) -> Call (r v, g, List.map r args)
+        | Spawn (v, g, args) -> Spawn (r v, g, List.map r args)
+        | Sync h -> Sync (r h)
+        | If (rs, c, t, e) -> If (List.map r rs, r c, t, e)
+        | For x ->
+          For { x with iv = r x.iv; lo = r x.lo; hi = r x.hi; step = r x.step }
+        | While _ -> i
+        | Fork x -> Fork { x with tid = r x.tid; nth = r x.nth }
+        | Workshare x ->
+          Workshare { x with iv = r x.iv; lo = r x.lo; hi = r x.hi }
+        | Barrier -> Barrier
+        | Return v -> Return (Option.map r v)
+        | Yield vs -> Yield (List.map r vs)
+      in
+      with_regions i
+        (List.map
+           (fun (reg : Instr.region) ->
+             {
+               Instr.params = List.map r reg.Instr.params;
+               body = remap_instrs remap reg.Instr.body;
+             })
+           (Instr.regions i)))
+    instrs
+
+(* Clone a callee body with fresh ids, substituting arguments; returns the
+   cloned instructions (Return stripped) and the return variable. *)
+let instantiate ctx (g : Func.t) (args : Var.t list) =
+  let map = Array.make g.var_count None in
+  List.iter2 (fun p a -> map.(Var.id p) <- Some a) g.params args;
+  let remap v =
+    if Var.id v >= Array.length map then v
+    else
+      match map.(Var.id v) with
+      | Some v' -> v'
+      | None ->
+        let v' = fresh ctx (Var.ty v) (Var.name v) in
+        map.(Var.id v) <- Some v';
+        v'
+  in
+  let body = remap_instrs remap g.body in
+  let rec strip = function
+    | [ Instr.Return v ] -> [], v
+    | i :: rest ->
+      let rest', rv = strip rest in
+      i :: rest', rv
+    | [] -> [], None
+  in
+  strip body
+
+(* Inline direct calls to small callees (never into a parallel region if
+   the callee itself contains parallelism, and never self-recursively). *)
+let inline_func ?(max_size = 200) (prog : Prog.t) (f : Func.t) : Func.t =
+  let ctx = ctx_of f in
+  let alias : (int, Var.t) Hashtbl.t = Hashtbl.create 8 in
+  let rec go ~in_parallel instrs =
+    List.concat_map
+      (fun (i : Instr.t) ->
+        match i with
+        | Instr.Call (v, gname, args) when not (String.contains gname '.') -> (
+          match Prog.find prog gname with
+          | Some g
+            when body_size g <= max_size
+                 && gname <> f.name
+                 && not (in_parallel && has_parallel g.body) ->
+            let body, ret = instantiate ctx g args in
+            let body = go ~in_parallel body in
+            (match ret with
+            | Some rv -> Hashtbl.replace alias (Var.id v) rv
+            | None -> ());
+            body
+          | _ -> [ i ])
+        | i ->
+          let par =
+            in_parallel
+            || match i with Instr.Fork _ -> true | _ -> false
+          in
+          [
+            with_regions i
+              (List.map
+                 (fun (r : Instr.region) ->
+                   { r with Instr.body = go ~in_parallel:par r.Instr.body })
+                 (Instr.regions i));
+          ])
+      instrs
+  in
+  let body = go ~in_parallel:false f.body in
+  let rec sub v =
+    match Hashtbl.find_opt alias (Var.id v) with
+    | Some v' -> sub v'
+    | None -> v
+  in
+  let body = subst_deep sub body in
+  Func.make ~name:f.name ~params:f.params ~attrs:f.attrs ~ret_ty:f.ret_ty
+    ~body ~var_count:ctx.next

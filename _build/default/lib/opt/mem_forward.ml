@@ -1,0 +1,152 @@
+(** Store-to-load forwarding and dead-store elimination for non-escaping
+    allocations accessed at constant indices.
+
+    The reverse-mode transform materializes SSA adjoints as slots in an
+    "adjoint register" buffer; a real compiler (LLVM's SROA/mem2reg, which
+    Enzyme relies on) promotes those slots to registers. This pass models
+    that: within a straight-line segment, a load from a non-escaping
+    allocation at a known constant index is replaced by the last value
+    stored there, and stores that are overwritten (or freed) before any
+    possible read are deleted. Knowledge is dropped at region boundaries
+    and barriers (other strands may observe captured pointers there), so
+    the transformation is conservative for parallel code. *)
+
+open Parad_ir
+open Rewrite
+
+module IH = Hashtbl
+
+(* bases eligible for tracking: Alloc results used only as the direct
+   pointer of Load/Store/AtomicAdd/Free *)
+let eligible_bases (f : Func.t) =
+  let alloc : (int, unit) IH.t = IH.create 16 in
+  let bad : (int, unit) IH.t = IH.create 16 in
+  Instr.iter_instrs
+    (fun i ->
+      (match i with
+      | Instr.Alloc (v, _, _, _) -> IH.replace alloc (Var.id v) ()
+      | _ -> ());
+      let direct_ptr =
+        match i with
+        | Instr.Load (_, p, _) | Instr.Store (p, _, _)
+        | Instr.AtomicAdd (p, _, _) | Instr.Free p -> Some (Var.id p)
+        | _ -> None
+      in
+      List.iter
+        (fun u ->
+          if Some (Var.id u) <> direct_ptr && Ty.is_ptr (Var.ty u) then
+            IH.replace bad (Var.id u) ())
+        (Instr.uses i))
+    f.body;
+  fun id -> IH.mem alloc id && not (IH.mem bad id)
+
+let run_func (f : Func.t) : Func.t =
+  let eligible = eligible_bases f in
+  let consts : (int, int) IH.t = IH.create 64 in
+  Instr.iter_instrs
+    (fun i ->
+      match i with
+      | Instr.Const (v, Instr.Cint x) -> IH.replace consts (Var.id v) x
+      | _ -> ())
+    f.body;
+  let cint v = IH.find_opt consts (Var.id v) in
+  let alias : (int, Var.t) IH.t = IH.create 32 in
+  let rec sub v =
+    match IH.find_opt alias (Var.id v) with
+    | Some v' -> sub v'
+    | None -> v
+  in
+  (* process one instruction list as a sequence of segments *)
+  let rec go instrs =
+    (* known: (base id, idx) -> value var; pending: (base id, idx) ->
+       store cell ref (set to None if the store turns out dead) *)
+    let known : (int * int, Var.t) IH.t = IH.create 32 in
+    let pending : (int * int, Instr.t option ref) IH.t = IH.create 32 in
+    let observe_all () = IH.reset pending in
+    let clear_base b =
+      IH.filter_map_inplace
+        (fun (b', _) v -> if b' = b then None else Some v)
+        known;
+      IH.filter_map_inplace
+        (fun (b', _) v -> if b' = b then None else Some v)
+        pending
+    in
+    let out : Instr.t option ref list ref = ref [] in
+    let emit i =
+      let cell = ref (Some i) in
+      out := cell :: !out;
+      cell
+    in
+    List.iter
+      (fun (i : Instr.t) ->
+        let i = map_uses sub i in
+        let has_regions = Instr.regions i <> [] in
+        if has_regions then begin
+          (* bodies may read and write everything reachable *)
+          observe_all ();
+          IH.reset known;
+          let i =
+            with_regions i
+              (List.map
+                 (fun (r : Instr.region) -> { r with Instr.body = go r.body })
+                 (Instr.regions i))
+          in
+          ignore (emit i)
+        end
+        else
+          match i with
+          | Instr.Store (p, ix, x) when eligible (Var.id p) -> (
+            match cint ix with
+            | Some idx ->
+              let key = Var.id p, idx in
+              (* previous unobserved store to the same cell is dead *)
+              (match IH.find_opt pending key with
+              | Some cell -> cell := None
+              | None -> ());
+              IH.replace known key (sub x);
+              IH.replace pending key (emit i)
+            | None ->
+              clear_base (Var.id p);
+              ignore (emit i))
+          | Instr.Load (v, p, ix) when eligible (Var.id p) -> (
+            match cint ix with
+            | Some idx -> (
+              match IH.find_opt known (Var.id p, idx) with
+              | Some value -> IH.replace alias (Var.id v) value
+              | None ->
+                (* reading an unknown cell observes all pending stores to
+                   this base *)
+                IH.filter_map_inplace
+                  (fun (b, _) c ->
+                    if b = Var.id p then None else Some c)
+                  pending;
+                IH.replace known (Var.id p, idx) v;
+                ignore (emit i))
+            | None ->
+              IH.filter_map_inplace
+                (fun (b, _) c -> if b = Var.id p then None else Some c)
+                pending;
+              ignore (emit i))
+          | Instr.AtomicAdd (p, _, _) when eligible (Var.id p) ->
+            clear_base (Var.id p);
+            ignore (emit i)
+          | Instr.Free p when eligible (Var.id p) ->
+            (* stores never observed before the free are dead *)
+            IH.iter
+              (fun (b, _) cell -> if b = Var.id p then cell := None)
+              pending;
+            clear_base (Var.id p);
+            ignore (emit i)
+          | Instr.Barrier ->
+            observe_all ();
+            IH.reset known;
+            ignore (emit i)
+          | Instr.Return _ | Instr.Yield _ ->
+            observe_all ();
+            ignore (emit i)
+          | i -> ignore (emit i))
+      instrs;
+    List.rev_map (fun cell -> !cell) !out |> List.filter_map Fun.id
+  in
+  let body = go f.body in
+  { f with body = subst_deep sub body }

@@ -1,0 +1,191 @@
+(** Parallel-region optimizations (the paper's OpenMPOpt analog, §V-E).
+
+    - {b Load hoisting}: loads inside a [Fork] (including inside its
+      worksharing loops) whose address operands are defined outside the
+      region are moved in front of it when nothing in the region may
+      write memory. This is the extension the paper adds to LLVM's
+      OpenMPOpt; its downstream effect on AD is the headline of Fig 9/10 —
+      a hoisted load is a scope-0 SSA value the reverse sweep can use
+      directly, so it stops being cached per-iteration.
+
+    - {b Fork fusion}: two parallel regions separated only by movable
+      allocation/arithmetic are merged into one region with a barrier
+      between the bodies — exactly the forward+reverse fork pair the
+      gradient emits (Fig 4), saving one fork/join overhead. *)
+
+open Parad_ir
+open Rewrite
+
+(* ---- constant lifting ----
+
+   Constants are pure and operand-free, so defining them at function entry
+   dominates every use; lifting them first lets region-invariant loads
+   whose index is a literal hoist cleanly. *)
+
+let lift_consts (f : Func.t) : Func.t =
+  let lifted = ref [] in
+  let rec strip instrs =
+    List.filter_map
+      (fun (i : Instr.t) ->
+        match i with
+        | Instr.Const _ ->
+          lifted := i :: !lifted;
+          None
+        | i ->
+          Some
+            (with_regions i
+               (List.map
+                  (fun (r : Instr.region) -> { r with Instr.body = strip r.body })
+                  (Instr.regions i))))
+      instrs
+  in
+  (* only strip from inside regions; top-level constants stay in place *)
+  let body =
+    List.map
+      (fun (i : Instr.t) ->
+        with_regions i
+          (List.map
+             (fun (r : Instr.region) -> { r with Instr.body = strip r.body })
+             (Instr.regions i)))
+      f.body
+  in
+  { f with body = List.rev !lifted @ body }
+
+(* ---- load hoisting out of parallel regions ---- *)
+
+let hoist_loads (f : Func.t) : Func.t =
+  (* loads from readonly noalias parameters cannot be clobbered by the
+     region's stores, so they hoist even from store-containing regions *)
+  let ro_param v =
+    match Func.param_attr f v with
+    | Some a -> a.Func.readonly && a.Func.noalias
+    | None -> false
+  in
+  let rec walk (scope : (int, unit) Hashtbl.t) instrs =
+    let out = ref [] in
+    List.iter
+      (fun (i : Instr.t) ->
+        let i =
+          with_regions i
+            (List.map
+               (fun (r : Instr.region) ->
+                 let s = Hashtbl.copy scope in
+                 List.iter (fun v -> Hashtbl.replace s (Var.id v) ()) (Instr.defs i);
+                 List.iter
+                   (fun p -> Hashtbl.replace s (Var.id p) ())
+                   r.Instr.params;
+                 { r with Instr.body = walk s r.body })
+               (Instr.regions i))
+        in
+        (match i with
+        | Instr.Fork ({ body; _ } as r) ->
+          let store_free = not (List.exists clobbers body.Instr.body) in
+          (* Collect hoistable loads anywhere inside the fork (body and
+             worksharing loops), in program order. *)
+          let hoisted = ref [] in
+          let rec scrub instrs =
+            List.filter_map
+              (fun (j : Instr.t) ->
+                match j with
+                | Instr.Load (_, p, ix)
+                  when Hashtbl.mem scope (Var.id p)
+                       && Hashtbl.mem scope (Var.id ix)
+                       && (store_free || ro_param p) ->
+                  hoisted := j :: !hoisted;
+                  None
+                | j ->
+                  Some
+                    (with_regions j
+                       (List.map
+                          (fun (rr : Instr.region) ->
+                            { rr with Instr.body = scrub rr.body })
+                          (Instr.regions j))))
+              instrs
+          in
+          let kept = scrub body.Instr.body in
+          out := !out @ List.rev !hoisted;
+          out :=
+            !out @ [ Instr.Fork { r with body = { body with body = kept } } ]
+        | i -> out := !out @ [ i ]);
+        List.iter (fun v -> Hashtbl.replace scope (Var.id v) ()) (Instr.defs i))
+      instrs;
+    !out
+  in
+  let scope = Hashtbl.create 64 in
+  List.iter (fun p -> Hashtbl.replace scope (Var.id p) ()) f.params;
+  { f with body = walk scope f.body }
+
+(* ---- fork fusion ---- *)
+
+(* instructions that can slide above a parallel region: they read no
+   memory and have no visible effect ordering against it *)
+let movable (i : Instr.t) =
+  pure i
+  ||
+  match i with
+  | Instr.Alloc _ -> true
+  | Instr.Call (_, "cache.new", _) -> true
+  | _ -> false
+
+let fuse_forks (f : Func.t) : Func.t =
+  let rec go instrs =
+    let instrs =
+      List.map
+        (fun (i : Instr.t) ->
+          with_regions i
+            (List.map
+               (fun (r : Instr.region) -> { r with Instr.body = go r.body })
+               (Instr.regions i)))
+        instrs
+    in
+    let rec fuse = function
+      | Instr.Fork ({ nth = n1; tid = t1; body = b1 } as r1) :: rest -> (
+        (* look ahead for a second fork with the same width source,
+           skipping movable instructions *)
+        let rec split acc = function
+          | Instr.Fork { nth = n2; tid = t2; body = b2 } :: tail
+            when Var.equal n1 n2 ->
+            Some (List.rev acc, (t2, b2), tail)
+          | j :: tail when movable j -> split (j :: acc) tail
+          | _ -> None
+        in
+        match split [] rest with
+        | Some (movables, (t2, b2), tail) ->
+          (* rename the second body's params to the first's *)
+          let n1p =
+            match b1.Instr.params with [ _; q ] -> q | _ -> assert false
+          in
+          let n2p =
+            match b2.Instr.params with [ _; q ] -> q | _ -> assert false
+          in
+          let s v =
+            if Var.equal v t2 then t1
+            else if Var.equal v n2p then n1p
+            else v
+          in
+          let b2body = subst_deep s b2.Instr.body in
+          let fused =
+            Instr.Fork
+              {
+                r1 with
+                body =
+                  {
+                    b1 with
+                    Instr.body = b1.Instr.body @ (Instr.Barrier :: b2body);
+                  };
+              }
+          in
+          (* movables slide above the fused region *)
+          fuse (movables @ (fused :: tail))
+        | None -> Instr.Fork r1 :: fuse rest)
+      | i :: rest -> i :: fuse rest
+      | [] -> []
+    in
+    fuse instrs
+  in
+  { f with body = go f.body }
+
+let run ?(fuse = true) (f : Func.t) =
+  let f = lift_consts f in
+  let f = hoist_loads f in
+  if fuse then fuse_forks f else f

@@ -1,0 +1,281 @@
+(** Scalar and loop optimization passes: constant folding with algebraic
+    simplification, common-subexpression elimination, dead-code
+    elimination, and loop-invariant code motion (including loads when the
+    loop body is store-free).
+
+    Running these *before* differentiation shrinks both the primal and the
+    generated adjoint (paper §V-E); the benchmark harness measures that
+    ablation. *)
+
+open Parad_ir
+open Rewrite
+
+(* ---- constant folding + algebraic simplification ---- *)
+
+type cval = CI of int | CF of float | CB of bool
+
+let fold_func (f : Func.t) : Func.t =
+  let consts : (int, cval) Hashtbl.t = Hashtbl.create 64 in
+  let alias : (int, Var.t) Hashtbl.t = Hashtbl.create 16 in
+  let rec sub v =
+    match Hashtbl.find_opt alias (Var.id v) with
+    | Some v' -> sub v'
+    | None -> v
+  in
+  let cv v = Hashtbl.find_opt consts (Var.id (sub v)) in
+  let rec go instrs =
+    List.filter_map
+      (fun i ->
+        let i = map_uses sub i in
+        let open Instr in
+        let keep_const v c k =
+          Hashtbl.replace consts (Var.id v) k;
+          Some (Const (v, c))
+        in
+        match i with
+        | Const (v, Cint x) ->
+          Hashtbl.replace consts (Var.id v) (CI x);
+          Some i
+        | Const (v, Cfloat x) ->
+          Hashtbl.replace consts (Var.id v) (CF x);
+          Some i
+        | Const (v, Cbool x) ->
+          Hashtbl.replace consts (Var.id v) (CB x);
+          Some i
+        | Bin (v, op, a, b) -> (
+          match op, cv a, cv b with
+          | Add, Some (CI x), Some (CI y) -> keep_const v (Cint (x + y)) (CI (x + y))
+          | Sub, Some (CI x), Some (CI y) -> keep_const v (Cint (x - y)) (CI (x - y))
+          | Mul, Some (CI x), Some (CI y) -> keep_const v (Cint (x * y)) (CI (x * y))
+          | Min, Some (CI x), Some (CI y) ->
+            keep_const v (Cint (min x y)) (CI (min x y))
+          | Max, Some (CI x), Some (CI y) ->
+            keep_const v (Cint (max x y)) (CI (max x y))
+          | Add, Some (CF x), Some (CF y) -> keep_const v (Cfloat (x +. y)) (CF (x +. y))
+          | Sub, Some (CF x), Some (CF y) -> keep_const v (Cfloat (x -. y)) (CF (x -. y))
+          | Mul, Some (CF x), Some (CF y) -> keep_const v (Cfloat (x *. y)) (CF (x *. y))
+          | Div, Some (CF x), Some (CF y) -> keep_const v (Cfloat (x /. y)) (CF (x /. y))
+          | (Add | Sub), _, Some (CI 0) | Mul, _, Some (CI 1)
+          | Div, _, Some (CI 1) ->
+            Hashtbl.replace alias (Var.id v) (sub a);
+            None
+          | Add, Some (CI 0), _ | Mul, Some (CI 1), _ ->
+            Hashtbl.replace alias (Var.id v) (sub b);
+            None
+          | Mul, Some (CI 0), _ ->
+            Hashtbl.replace alias (Var.id v) (sub a);
+            None
+          | Mul, _, Some (CI 0) ->
+            Hashtbl.replace alias (Var.id v) (sub b);
+            None
+          | (Add | Sub), _, Some (CF 0.0) | (Mul | Div), _, Some (CF 1.0) ->
+            Hashtbl.replace alias (Var.id v) (sub a);
+            None
+          | Add, Some (CF 0.0), _ | Mul, Some (CF 1.0), _ ->
+            Hashtbl.replace alias (Var.id v) (sub b);
+            None
+          | _ -> Some i)
+        | Un (v, op, a) -> (
+          match op, cv a with
+          | Neg, Some (CI x) -> keep_const v (Cint (-x)) (CI (-x))
+          | Neg, Some (CF x) -> keep_const v (Cfloat (-.x)) (CF (-.x))
+          | ToFloat, Some (CI x) ->
+            keep_const v (Cfloat (float_of_int x)) (CF (float_of_int x))
+          | Not, Some (CB x) -> keep_const v (Cbool (not x)) (CB (not x))
+          | _ -> Some i)
+        | Cmp (v, op, a, b) -> (
+          match cv a, cv b with
+          | Some (CI x), Some (CI y) ->
+            let r =
+              match op with
+              | Eq -> x = y
+              | Ne -> x <> y
+              | Lt -> x < y
+              | Le -> x <= y
+              | Gt -> x > y
+              | Ge -> x >= y
+            in
+            keep_const v (Cbool r) (CB r)
+          | _ -> Some i)
+        | Select (v, c, a, b) -> (
+          match cv c with
+          | Some (CB true) ->
+            Hashtbl.replace alias (Var.id v) (sub a);
+            None
+          | Some (CB false) ->
+            Hashtbl.replace alias (Var.id v) (sub b);
+            None
+          | _ -> Some i)
+        | Gep (v, p, ix) -> (
+          match cv ix with
+          | Some (CI 0) ->
+            Hashtbl.replace alias (Var.id v) (sub p);
+            None
+          | _ -> Some i)
+        | i ->
+          let rs =
+            List.map
+              (fun (r : Instr.region) -> { r with Instr.body = go r.body })
+              (Instr.regions i)
+          in
+          Some (with_regions i rs))
+      instrs
+  in
+  let body = go f.body in
+  { f with body = subst_deep sub body }
+
+(* ---- common subexpression elimination (pure ops, region-scoped) ---- *)
+
+let cse_func (f : Func.t) : Func.t =
+  let alias : (int, Var.t) Hashtbl.t = Hashtbl.create 16 in
+  let rec sub v =
+    match Hashtbl.find_opt alias (Var.id v) with
+    | Some v' -> sub v'
+    | None -> v
+  in
+  let key (i : Instr.t) : string option =
+    let open Instr in
+    let id v = string_of_int (Var.id v) in
+    match i with
+    | Bin (_, op, a, b) ->
+      Some (Fmt.str "b%s,%s,%s" (binop_name op) (id a) (id b))
+    | Cmp (_, op, a, b) ->
+      Some (Fmt.str "c%s,%s,%s" (cmpop_name op) (id a) (id b))
+    | Un (_, op, a) -> Some (Fmt.str "u%s,%s" (unop_name op) (id a))
+    | Gep (_, p, ix) -> Some (Fmt.str "g%s,%s" (id p) (id ix))
+    | Select (_, c, a, b) ->
+      Some (Fmt.str "s%s,%s,%s" (id c) (id a) (id b))
+    | Const (_, Cint x) -> Some (Fmt.str "ki%d" x)
+    | Const (_, Cbool x) -> Some (Fmt.str "kb%b" x)
+    | Const (_, Cfloat x) -> Some (Fmt.str "kf%h" x)
+    | _ -> None
+  in
+  let rec go (seen : (string, Var.t) Hashtbl.t) instrs =
+    List.filter_map
+      (fun i ->
+        let i = map_uses sub i in
+        match key i, Instr.def i with
+        | Some k, Some v -> (
+          match Hashtbl.find_opt seen k with
+          | Some prior ->
+            Hashtbl.replace alias (Var.id v) prior;
+            None
+          | None ->
+            Hashtbl.replace seen k v;
+            Some i)
+        | _ ->
+          let rs =
+            List.map
+              (fun (r : Instr.region) ->
+                { r with Instr.body = go (Hashtbl.copy seen) r.body })
+              (Instr.regions i)
+          in
+          Some (with_regions i rs))
+      instrs
+  in
+  let body = go (Hashtbl.create 64) f.body in
+  { f with body = subst_deep sub body }
+
+(* ---- dead code elimination ---- *)
+
+let dce_func (f : Func.t) : Func.t =
+  let body = ref f.body in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let used = Array.make f.var_count false in
+    Instr.iter_instrs
+      (fun i -> List.iter (fun v -> used.(Var.id v) <- true) (Instr.uses i))
+      !body;
+    let any_def_used i =
+      List.exists (fun v -> used.(Var.id v)) (Instr.defs i)
+    in
+    let rec drop instrs =
+      List.filter_map
+        (fun (i : Instr.t) ->
+          let i =
+            with_regions i
+              (List.map
+                 (fun (r : Instr.region) -> { r with Instr.body = drop r.body })
+                 (Instr.regions i))
+          in
+          let deletable =
+            match i with
+            | Instr.Load _ | Instr.Alloc _ -> not (any_def_used i)
+            | Instr.If _ | Instr.For _ | Instr.While _ | Instr.Fork _
+            | Instr.Workshare _ ->
+              (not (has_effects i)) && not (any_def_used i)
+            | _ -> pure i && not (any_def_used i)
+          in
+          if deletable then begin
+            changed := true;
+            None
+          end
+          else Some i)
+        instrs
+    in
+    body := drop !body
+  done;
+  { f with body = !body }
+
+(* ---- loop-invariant code motion ---- *)
+
+module IH = Hashtbl
+
+let licm_func (f : Func.t) : Func.t =
+  let rec walk (scope : (int, unit) IH.t) instrs =
+    let out = ref [] in
+    List.iter
+      (fun (i : Instr.t) ->
+        let child_scope (r : Instr.region) =
+          let s = IH.copy scope in
+          List.iter (fun v -> IH.replace s (Var.id v) ()) (Instr.defs i);
+          List.iter (fun p -> IH.replace s (Var.id p) ()) r.Instr.params;
+          s
+        in
+        let i =
+          with_regions i
+            (List.map
+               (fun (r : Instr.region) ->
+                 (* inner defs become visible inside *)
+                 let s = child_scope r in
+                 { r with Instr.body = walk s r.body })
+               (Instr.regions i))
+        in
+        (match i with
+        | Instr.For ({ body; _ } as r) ->
+          let store_free =
+            not (List.exists clobbers body.Instr.body)
+          in
+          let hoistable : (int, unit) IH.t = IH.create 8 in
+          let avail u =
+            IH.mem scope (Var.id u) || IH.mem hoistable (Var.id u)
+          in
+          let hoisted = ref [] and kept = ref [] in
+          List.iter
+            (fun (j : Instr.t) ->
+              let movable =
+                (pure j
+                || match j with Instr.Load _ -> store_free | _ -> false)
+                && List.for_all avail (Instr.uses j)
+              in
+              if movable then begin
+                List.iter
+                  (fun v -> IH.replace hoistable (Var.id v) ())
+                  (Instr.defs j);
+                hoisted := j :: !hoisted
+              end
+              else kept := j :: !kept)
+            body.Instr.body;
+          out := !out @ List.rev !hoisted;
+          out :=
+            !out
+            @ [ Instr.For { r with body = { body with body = List.rev !kept } } ]
+        | i -> out := !out @ [ i ]);
+        List.iter (fun v -> IH.replace scope (Var.id v) ()) (Instr.defs i))
+      instrs;
+    !out
+  in
+  let scope = IH.create 64 in
+  List.iter (fun p -> IH.replace scope (Var.id p) ()) f.params;
+  { f with body = walk scope f.body }

@@ -1,0 +1,1 @@
+lib/raja/raja.ml: Builder Instr Parad_ir Ty Var

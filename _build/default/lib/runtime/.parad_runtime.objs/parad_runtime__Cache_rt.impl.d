@@ -1,0 +1,1 @@
+lib/runtime/cache_rt.ml: Array Value

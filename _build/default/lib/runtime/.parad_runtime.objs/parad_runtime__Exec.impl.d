@@ -1,0 +1,1 @@
+lib/runtime/exec.ml: Array Instr Interp List Memory Mpi_state Parad_ir Sim Stats Ty Value

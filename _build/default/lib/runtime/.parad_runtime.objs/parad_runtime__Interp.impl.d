@@ -1,0 +1,1 @@
+lib/runtime/interp.ml: Array Bool Cache_rt Cost_model Float Format Hashtbl Instr Int List Memory Mpi_state Option Parad_ir Prog Sim String Ty Value Var

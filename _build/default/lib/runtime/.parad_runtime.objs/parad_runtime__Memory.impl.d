@@ -1,0 +1,1 @@
+lib/runtime/memory.ml: Array Hashtbl Instr List Parad_ir Ty Value

@@ -1,0 +1,1 @@
+lib/runtime/mpi_state.ml: Array Cost_model Hashtbl Memory Queue Sim Value

@@ -1,0 +1,1 @@
+lib/runtime/sim.ml: Cost_model Effect Float List Printf Queue Stats

@@ -1,0 +1,56 @@
+(** Runtime backing for the AD engine's value caches (paper §IV-C).
+
+    The reverse-pass transform emits [cache.*] intrinsic calls; each cache
+    is a growable array of runtime values indexed by a linearized
+    iteration/thread index computed in IR. Growth doubling gives the
+    "dynamically reallocate" behaviour of caching case 3 (unknown trip
+    counts) without a realloc instruction in the IR. *)
+
+open Value
+
+type cache = { mutable cells : Value.t array; mutable freed : bool }
+
+type t = { mutable table : cache array; mutable n : int }
+
+let create () = { table = Array.make 8 { cells = [||]; freed = true }; n = 0 }
+
+let fresh t ~capacity =
+  let c = { cells = Array.make (max capacity 4) VUnit; freed = false } in
+  if t.n = Array.length t.table then begin
+    let bigger = Array.make (2 * t.n) c in
+    Array.blit t.table 0 bigger 0 t.n;
+    t.table <- bigger
+  end;
+  t.table.(t.n) <- c;
+  t.n <- t.n + 1;
+  t.n - 1
+
+let get_cache t id =
+  if id < 0 || id >= t.n then error "cache: unknown cache %d" id;
+  let c = t.table.(id) in
+  if c.freed then error "cache: use after free of cache %d" id;
+  c
+
+let set t ~id ~idx v =
+  let c = get_cache t id in
+  if idx < 0 then error "cache: negative index %d" idx;
+  let n = Array.length c.cells in
+  if idx >= n then begin
+    let bigger = Array.make (max (2 * n) (idx + 1)) VUnit in
+    Array.blit c.cells 0 bigger 0 n;
+    c.cells <- bigger
+  end;
+  c.cells.(idx) <- v
+
+let get t ~id ~idx =
+  let c = get_cache t id in
+  if idx < 0 || idx >= Array.length c.cells then
+    error "cache %d: index %d out of range" id idx;
+  match c.cells.(idx) with
+  | VUnit -> error "cache %d: slot %d read before write" id idx
+  | v -> v
+
+let free t ~id =
+  let c = get_cache t id in
+  c.freed <- true;
+  c.cells <- [||]

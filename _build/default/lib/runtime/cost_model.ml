@@ -1,0 +1,82 @@
+(** The virtual-time cost model.
+
+    Every instruction executed by the interpreter charges a cost (in
+    abstract cycles) to the executing strand's virtual clock; the
+    scheduler combines clocks at synchronization points. The model is the
+    substitution for the paper's AWS c6i.metal machine (dual-socket, 32
+    cores per socket): see DESIGN.md. Costs are deliberately simple —
+    figure *shapes* (ratios, crossovers) are the reproduction target, not
+    absolute cycle counts. *)
+
+type t = {
+  arith : float;  (** add/sub/mul/div/min/max, compares, selects, geps *)
+  transcendental : float;  (** sqrt/sin/cos/exp/log/pow *)
+  mem : float;  (** load/store of one cell, same socket *)
+  numa_remote_mult : float;  (** multiplier for cross-socket cell access *)
+  atomic : float;  (** atomic read-modify-write *)
+  alloc_base : float;
+  alloc_per_cell : float;
+  gc_alloc_extra : float;  (** extra cost of a GC-managed allocation *)
+  free : float;
+  call : float;  (** user-function call overhead *)
+  fork_base : float;  (** entering a parallel region *)
+  fork_per_thread : float;
+  join : float;  (** leaving a parallel region *)
+  barrier_base : float;
+  barrier_log : float;  (** multiplied by log2(width) *)
+  task_spawn : float;
+  task_sync : float;
+  mpi_latency : float;  (** per message *)
+  mpi_per_cell : float;  (** per 8-byte cell transferred *)
+  cache_op : float;  (** AD cache store/load of one cell *)
+  tape_record : float;  (** operator-overloading baseline: record one stmt *)
+  tape_reverse : float;  (** operator-overloading baseline: reverse one stmt *)
+  cores_total : int;
+  cores_per_socket : int;
+  numa_spread_threshold : int;
+      (** a team at least this wide is spread across both sockets *)
+}
+
+let default =
+  {
+    arith = 1.0;
+    transcendental = 12.0;
+    mem = 3.0;
+    numa_remote_mult = 2.2;
+    atomic = 18.0;
+    alloc_base = 120.0;
+    alloc_per_cell = 0.4;
+    gc_alloc_extra = 140.0;
+    free = 40.0;
+    call = 25.0;
+    fork_base = 600.0;
+    fork_per_thread = 12.0;
+    join = 250.0;
+    barrier_base = 60.0;
+    barrier_log = 45.0;
+    task_spawn = 260.0;
+    task_sync = 60.0;
+    mpi_latency = 4000.0;
+    mpi_per_cell = 1.2;
+    cache_op = 6.0;
+    tape_record = 30.0;
+    tape_reverse = 40.0;
+    cores_total = 64;
+    cores_per_socket = 32;
+    numa_spread_threshold = 32;
+  }
+
+(** Socket hosting member [index] of a team/job of [width] peers: teams
+    narrower than the spread threshold stay on one socket; wider teams are
+    split evenly across the two sockets (hyperthreading disabled, as in the
+    paper's setup). *)
+let socket_of t ~index ~width =
+  if width >= t.numa_spread_threshold && width > 1 then index * 2 / width
+  else 0
+
+let log2f x = if x <= 1.0 then 0.0 else log x /. log 2.0
+let barrier_cost t ~width = t.barrier_base +. (t.barrier_log *. log2f (float_of_int width))
+let fork_cost t ~width = t.fork_base +. (t.fork_per_thread *. float_of_int width)
+let message_cost t ~cells ~remote =
+  let c = t.mpi_latency +. (t.mpi_per_cell *. float_of_int cells) in
+  if remote then c *. t.numa_remote_mult else c

@@ -1,0 +1,134 @@
+(** High-level entry points: run a program single-rank or SPMD in virtual
+    time, with helpers for building argument buffers. *)
+
+open Parad_ir
+open Value
+
+type result = {
+  values : Value.t array;  (** per-rank return values *)
+  makespan : float;  (** modeled runtime (virtual cycles) *)
+  stats : Stats.t;
+}
+
+(** Allocate a float buffer in [ctx]'s address space, initialized from
+    [a]. *)
+let floats (ctx : Interp.ctx) (a : float array) =
+  let buf =
+    Memory.alloc ctx.mem ~elem:Ty.Float ~size:(Array.length a) ~kind:Instr.Heap
+      ~socket:0
+  in
+  Array.iteri (fun i x -> buf.data.(i) <- VFloat x) a;
+  VPtr { buf; off = 0 }
+
+let ints (ctx : Interp.ctx) (a : int array) =
+  let buf =
+    Memory.alloc ctx.mem ~elem:Ty.Int ~size:(Array.length a) ~kind:Instr.Heap
+      ~socket:0
+  in
+  Array.iteri (fun i x -> buf.data.(i) <- VInt x) a;
+  VPtr { buf; off = 0 }
+
+let zeros ctx n = floats ctx (Array.make n 0.0)
+
+(** A 1-cell pointer buffer holding [v] — the descriptor indirection used
+    by the Julia frontend. *)
+let ptr_cell (ctx : Interp.ctx) (v : Value.t) =
+  let cell_ty =
+    match v with
+    | VPtr p -> Ty.Ptr p.buf.elem
+    | VNull t -> Ty.Ptr t
+    | _ -> error "Exec.ptr_cell: not a pointer"
+  in
+  let buf =
+    Memory.alloc ctx.mem ~elem:cell_ty ~size:1 ~kind:Instr.Gc ~socket:0
+  in
+  buf.data.(0) <- v;
+  VPtr { buf; off = 0 }
+
+(** Read back a float buffer. *)
+let to_floats (v : Value.t) =
+  match v with
+  | VPtr { buf; off } ->
+    Array.init
+      (Array.length buf.data - off)
+      (fun i -> to_float buf.data.(off + i))
+  | _ -> error "Exec.to_floats: not a pointer"
+
+(** Run [fname] on a single rank. [setup] builds the argument list (e.g.
+    with {!floats}); it runs inside the simulation. *)
+let run ?(cfg = Interp.default_config) prog ~fname ~setup =
+  let stats = Stats.create () in
+  let value, makespan, stats =
+    Sim.run ~cost:cfg.Interp.cost ~stats (fun () ->
+        let ctx = Interp.make_ctx ~cfg ~prog () in
+        let args = setup ctx in
+        Interp.call ctx fname args)
+  in
+  { values = [| value |]; makespan; stats }
+
+(** Run [fname] on [nranks] ranks with distinct address spaces. [setup]
+    builds each rank's arguments. Returns per-rank results. *)
+let run_spmd ?(cfg = Interp.default_config) ?instrument prog ~nranks ~fname
+    ~setup =
+  let stats = Stats.create () in
+  let values = Array.make nranks VUnit in
+  let (), makespan, stats =
+    Sim.run ~cost:cfg.Interp.cost ~stats (fun () ->
+        let mpi = Mpi_state.create ~cost:cfg.Interp.cost ~nranks in
+        let ctxs =
+          Array.init nranks (fun rank ->
+              Interp.make_ctx ~cfg
+                ?instrument:
+                  (match instrument with
+                  | Some f -> Some (f ~rank)
+                  | None -> None)
+                ~mpi ~rank ~nranks ~prog ())
+        in
+        Sim.fork
+          ~socket_of:(fun r -> mpi.Mpi_state.sockets.(r))
+          ~width:nranks
+          (fun ~tid:rank ~width:_ ->
+            let ctx = ctxs.(rank) in
+            let args = setup ctx ~rank in
+            values.(rank) <- Interp.call ctx fname args))
+  in
+  { values; makespan; stats }
+
+(** Run an arbitrary SPMD body (one call per rank) — used by harnesses
+    that need several interpreter calls per rank (e.g. the tape baseline's
+    forward-then-reverse sweeps). *)
+let run_spmd_custom ?(cfg = Interp.default_config) ?instrument prog ~nranks
+    ~body =
+  let stats = Stats.create () in
+  let (), makespan, stats =
+    Sim.run ~cost:cfg.Interp.cost ~stats (fun () ->
+        let mpi = Mpi_state.create ~cost:cfg.Interp.cost ~nranks in
+        let ctxs =
+          Array.init nranks (fun rank ->
+              Interp.make_ctx ~cfg
+                ?instrument:
+                  (match instrument with
+                  | Some f -> Some (f ~rank)
+                  | None -> None)
+                ~mpi ~rank ~nranks ~prog ())
+        in
+        Sim.fork
+          ~socket_of:(fun r -> mpi.Mpi_state.sockets.(r))
+          ~width:nranks
+          (fun ~tid:rank ~width:_ -> body ctxs.(rank) ~rank))
+  in
+  makespan, stats
+
+(** A pointer-table buffer (kernel-parameter struct): one cell per entry
+    of [vs], which must all be pointers of the same element type. *)
+let ptr_table (ctx : Interp.ctx) (vs : Value.t list) =
+  match vs with
+  | [] -> error "Exec.ptr_table: empty"
+  | VPtr p :: _ ->
+    let buf =
+      Memory.alloc ctx.mem ~elem:(Ty.Ptr p.buf.elem) ~size:(List.length vs)
+        ~kind:Instr.Heap ~socket:0
+    in
+    List.iteri (fun i v -> buf.data.(i) <- v) vs;
+    VPtr { buf; off = 0 }
+  | _ -> error "Exec.ptr_table: not a pointer"

@@ -1,0 +1,943 @@
+(** The IR interpreter.
+
+    Executes a {!Parad_ir.Prog} program in virtual time on {!Sim} strands:
+    sequential instructions charge costs; [Fork]/[Workshare]/[Barrier]/
+    [Spawn]/[Sync] map onto the scheduler; intrinsic calls implement the
+    message-passing runtime, the GC model, and the AD cache runtime.
+
+    The interpreter also exposes an instrumentation interface
+    ({!type:instrument}) used by the operator-overloading tape baseline:
+    when installed, every float operation reports (slot, partial) pairs in
+    CoDiPack's statement-level-tape style, and memory cells carry slots in
+    side arrays. *)
+
+open Parad_ir
+open Value
+
+exception Interp_error = Value.Runtime_error
+
+type instrument = {
+  record : (int * float) list -> int;
+      (** record one statement; returns the lhs slot (0 if passive) *)
+  buf_slots : Value.buffer -> int array;  (** side slot array of a buffer *)
+  send_hook : peer:int -> tag:int -> slots:int array -> unit;
+  recv_hook : peer:int -> tag:int -> count:int -> int array;
+  allreduce_hook :
+    kind:[ `Sum | `Min | `Max ] ->
+    ins:float array * int array ->
+    outs:float array ->
+    int array;
+  bcast_hook : root:int -> count:int -> slots:int array -> int array;
+}
+
+type config = {
+  cost : Cost_model.t;
+  nthreads : int;  (** width of [Fork] regions with width 0 (the default) *)
+  gc_aggressive : bool;
+      (** [gc.collect] really frees unpreserved unreachable GC buffers *)
+  max_instrs : int;  (** fuel; 0 = unlimited *)
+}
+
+let default_config =
+  {
+    cost = Cost_model.default;
+    nthreads = 1;
+    gc_aggressive = false;
+    max_instrs = 0;
+  }
+
+type ctx = {
+  prog : Prog.t;
+  cfg : config;
+  mem : Memory.t;
+  rank : int;
+  nranks : int;
+  mpi : Mpi_state.t option;
+  cache : Cache_rt.t;
+  instrument : instrument option;
+  tasks : (int, Sim.task * Value.t ref) Hashtbl.t;
+  mutable next_task : int;
+  admap : (int, Value.t * Value.t) Hashtbl.t;
+      (** AD shadow map keyed by primal task handle: (reverse handle, aux) *)
+  preserves : (int, Value.buffer list) Hashtbl.t;
+  mutable next_preserve : int;
+  mutable executed : int;
+}
+
+let make_ctx ?(cfg = default_config) ?instrument ?mpi ?(rank = 0) ?(nranks = 1)
+    ~prog () =
+  {
+    prog;
+    cfg;
+    mem = Memory.create ~rank;
+    rank;
+    nranks;
+    mpi;
+    cache = Cache_rt.create ();
+    instrument;
+    tasks = Hashtbl.create 16;
+    next_task = 0;
+    admap = Hashtbl.create 16;
+    preserves = Hashtbl.create 16;
+    next_preserve = 0;
+    executed = 0;
+  }
+
+type frame = { vals : Value.t array; slots : int array option }
+
+let new_frame ctx n =
+  {
+    vals = Array.make n VUnit;
+    slots =
+      (match ctx.instrument with
+      | Some _ -> Some (Array.make n 0)
+      | None -> None);
+  }
+
+let get fr v = fr.vals.(Var.id v)
+let set fr v x = fr.vals.(Var.id v) <- x
+
+let get_slot fr v =
+  match fr.slots with Some s -> s.(Var.id v) | None -> 0
+
+let set_slot fr v s =
+  match fr.slots with Some a -> a.(Var.id v) <- s | None -> ()
+
+(* Execution context threaded through a region: the call stack (for GC
+   roots) and the enclosing parallel team, if any. *)
+type ectx = {
+  stack : frame list;  (** current frame first *)
+  team : (int * int) option;  (** (tid, width) of the enclosing fork *)
+  stack_allocs : Value.buffer list ref;  (** per-call stack allocations *)
+}
+
+type outcome = ONext | OReturn of Value.t * int | OYield of (Value.t * int) list
+
+let mpi_state ctx =
+  match ctx.mpi with
+  | Some m -> m
+  | None -> error "MPI intrinsic outside an SPMD execution"
+
+let charge = Sim.charge
+
+let charge_mem ctx (buf : Value.buffer) n =
+  let c = ctx.cfg.cost in
+  let mult =
+    if buf.socket <> Sim.socket () then c.numa_remote_mult else 1.0
+  in
+  charge (c.mem *. mult *. float_of_int n)
+
+let check_rank ctx (buf : Value.buffer) =
+  if buf.rank <> ctx.rank then
+    error "cross-rank memory access: buffer of rank %d touched by rank %d"
+      buf.rank ctx.rank
+
+(* ---- scalar semantics ---- *)
+
+let fmin a b = if (a : float) <= b then a else b
+let fmax a b = if (a : float) >= b then a else b
+
+let eval_bin op a b =
+  match op, a, b with
+  | Instr.Add, VInt x, VInt y -> VInt (x + y)
+  | Add, VFloat x, VFloat y -> VFloat (x +. y)
+  | Sub, VInt x, VInt y -> VInt (x - y)
+  | Sub, VFloat x, VFloat y -> VFloat (x -. y)
+  | Mul, VInt x, VInt y -> VInt (x * y)
+  | Mul, VFloat x, VFloat y -> VFloat (x *. y)
+  | Div, VInt x, VInt y ->
+    if y = 0 then error "integer division by zero" else VInt (x / y)
+  | Div, VFloat x, VFloat y -> VFloat (x /. y)
+  | Rem, VInt x, VInt y ->
+    if y = 0 then error "integer remainder by zero" else VInt (x mod y)
+  | Min, VInt x, VInt y -> VInt (min x y)
+  | Min, VFloat x, VFloat y -> VFloat (fmin x y)
+  | Max, VInt x, VInt y -> VInt (max x y)
+  | Max, VFloat x, VFloat y -> VFloat (fmax x y)
+  | Pow, VFloat x, VFloat y -> VFloat (Float.pow x y)
+  | _ -> error "bad operands for %s" (Instr.binop_name op)
+
+let eval_cmp op a b =
+  let c =
+    match a, b with
+    | VInt x, VInt y -> Int.compare x y
+    | VFloat x, VFloat y -> Float.compare x y
+    | VBool x, VBool y -> Bool.compare x y
+    | _ -> error "bad operands for comparison"
+  in
+  VBool
+    (match op with
+    | Instr.Eq -> c = 0
+    | Ne -> c <> 0
+    | Lt -> c < 0
+    | Le -> c <= 0
+    | Gt -> c > 0
+    | Ge -> c >= 0)
+
+let eval_un op a =
+  match op, a with
+  | Instr.Neg, VInt x -> VInt (-x)
+  | Neg, VFloat x -> VFloat (-.x)
+  | Sqrt, VFloat x -> VFloat (sqrt x)
+  | Sin, VFloat x -> VFloat (sin x)
+  | Cos, VFloat x -> VFloat (cos x)
+  | Exp, VFloat x -> VFloat (exp x)
+  | Log, VFloat x -> VFloat (log x)
+  | Abs, VFloat x -> VFloat (Float.abs x)
+  | Abs, VInt x -> VInt (abs x)
+  | Floor, VFloat x -> VFloat (Float.of_int (int_of_float (floor x)))
+  | ToFloat, VInt x -> VFloat (float_of_int x)
+  | ToInt, VFloat x -> VInt (int_of_float x)
+  | Not, VBool x -> VBool (not x)
+  | _ -> error "bad operand for %s" (Instr.unop_name op)
+
+(* Partial derivatives of a float binop w.r.t. each operand. *)
+let bin_partials op x y r =
+  match op with
+  | Instr.Add -> 1.0, 1.0
+  | Sub -> 1.0, -1.0
+  | Mul -> y, x
+  | Div -> 1.0 /. y, -.x /. (y *. y)
+  | Min -> if x <= y then 1.0, 0.0 else 0.0, 1.0
+  | Max -> if x >= y then 1.0, 0.0 else 0.0, 1.0
+  | Pow -> y *. Float.pow x (y -. 1.0), r *. log x
+  | Rem -> error "rem has no float derivative"
+
+let un_partial op x r =
+  match op with
+  | Instr.Neg -> -1.0
+  | Sqrt -> if r = 0.0 then 0.0 else 1.0 /. (2.0 *. r)
+  | Sin -> cos x
+  | Cos -> -.sin x
+  | Exp -> r
+  | Log -> 1.0 /. x
+  | Abs -> if x >= 0.0 then 1.0 else -1.0
+  | Floor -> 0.0
+  | ToFloat | ToInt | Not -> 0.0
+
+let is_float v = match v with VFloat _ -> true | _ -> false
+
+(* ---- interpreter ---- *)
+
+let fuel ctx =
+  ctx.executed <- ctx.executed + 1;
+  if ctx.cfg.max_instrs > 0 && ctx.executed > ctx.cfg.max_instrs then
+    error "instruction budget exceeded (%d)" ctx.cfg.max_instrs
+
+let rec exec_instrs ctx (e : ectx) (instrs : Instr.t list) : outcome =
+  match instrs with
+  | [] -> ONext
+  | i :: rest -> (
+    match exec_instr ctx e i with
+    | ONext -> exec_instrs ctx e rest
+    | (OReturn _ | OYield _) as o -> o)
+
+and exec_instr ctx e (i : Instr.t) : outcome =
+  let fr = List.hd e.stack in
+  let st = Sim.stats () in
+  fuel ctx;
+  st.instrs <- st.instrs + 1;
+  let c = ctx.cfg.cost in
+  match i with
+  | Const (v, k) ->
+    charge c.arith;
+    set fr v
+      (match k with
+      | Cunit -> VUnit
+      | Cbool b -> VBool b
+      | Cint n -> VInt n
+      | Cfloat f -> VFloat f
+      | Cnull t -> VNull t);
+    set_slot fr v 0;
+    ONext
+  | Bin (v, op, a, b) ->
+    let x = get fr a and y = get fr b in
+    let r = eval_bin op x y in
+    (if is_float r then begin
+       st.flops <- st.flops + 1;
+       charge (match op with Pow -> c.transcendental | _ -> c.arith)
+     end
+     else charge c.arith);
+    set fr v r;
+    (match ctx.instrument, x, y, r with
+    | Some ins, VFloat xf, VFloat yf, VFloat rf ->
+      let px, py = bin_partials op xf yf rf in
+      set_slot fr v
+        (ins.record [ get_slot fr a, px; get_slot fr b, py ])
+    | _ -> set_slot fr v 0);
+    ONext
+  | Cmp (v, op, a, b) ->
+    charge c.arith;
+    set fr v (eval_cmp op (get fr a) (get fr b));
+    set_slot fr v 0;
+    ONext
+  | Un (v, op, a) ->
+    let x = get fr a in
+    let r = eval_un op x in
+    (if is_float r then begin
+       st.flops <- st.flops + 1;
+       charge
+         (match op with
+         | Sqrt | Sin | Cos | Exp | Log -> c.transcendental
+         | _ -> c.arith)
+     end
+     else charge c.arith);
+    set fr v r;
+    (match ctx.instrument, x, r with
+    | Some ins, VFloat xf, VFloat rf ->
+      set_slot fr v (ins.record [ get_slot fr a, un_partial op xf rf ])
+    | _ -> set_slot fr v 0);
+    ONext
+  | Select (v, cond, a, b) ->
+    charge c.arith;
+    let t = to_bool (get fr cond) in
+    let src = if t then a else b in
+    set fr v (get fr src);
+    set_slot fr v (get_slot fr src);
+    ONext
+  | Alloc (v, elem, n, kind) ->
+    let size = to_int (get fr n) in
+    st.allocs <- st.allocs + 1;
+    st.alloc_cells <- st.alloc_cells + size;
+    charge
+      (c.alloc_base
+      +. (c.alloc_per_cell *. float_of_int size)
+      +. (match kind with Instr.Gc -> c.gc_alloc_extra | _ -> 0.0));
+    let buf =
+      Memory.alloc ctx.mem ~elem ~size ~kind ~socket:(Sim.socket ())
+    in
+    (match kind with
+    | Instr.Stack -> e.stack_allocs := buf :: !(e.stack_allocs)
+    | Instr.Heap | Instr.Gc -> ());
+    set fr v (VPtr { buf; off = 0 });
+    set_slot fr v 0;
+    ONext
+  | Free p ->
+    charge c.free;
+    st.frees <- st.frees + 1;
+    (match get fr p with
+    | VPtr { buf; off = _ } -> Memory.free ctx.mem buf
+    | VNull _ -> ()
+    | _ -> error "free of non-pointer");
+    ONext
+  | Load (v, p, ix) ->
+    st.loads <- st.loads + 1;
+    let ptr = to_ptr (get fr p) in
+    check_rank ctx ptr.buf;
+    charge_mem ctx ptr.buf 1;
+    let idx = to_int (get fr ix) in
+    let r = Memory.load ptr idx in
+    set fr v r;
+    (match ctx.instrument with
+    | Some ins when is_float r ->
+      set_slot fr v (ins.buf_slots ptr.buf).(ptr.off + idx)
+    | _ -> set_slot fr v 0);
+    ONext
+  | Store (p, ix, x) ->
+    st.stores <- st.stores + 1;
+    let ptr = to_ptr (get fr p) in
+    check_rank ctx ptr.buf;
+    charge_mem ctx ptr.buf 1;
+    let idx = to_int (get fr ix) in
+    let v = get fr x in
+    Memory.store ptr idx v;
+    (match ctx.instrument with
+    | Some ins when is_float v ->
+      (ins.buf_slots ptr.buf).(ptr.off + idx) <- get_slot fr x
+    | _ -> ());
+    ONext
+  | Gep (v, p, ix) ->
+    charge c.arith;
+    (match get fr p with
+    | VPtr ptr ->
+      set fr v (VPtr { ptr with off = ptr.off + to_int (get fr ix) })
+    | VNull _ -> error "gep on null pointer"
+    | _ -> error "gep on non-pointer");
+    set_slot fr v 0;
+    ONext
+  | AtomicAdd (p, ix, x) ->
+    st.atomics <- st.atomics + 1;
+    charge c.atomic;
+    let ptr = to_ptr (get fr p) in
+    check_rank ctx ptr.buf;
+    let idx = to_int (get fr ix) in
+    let old = to_float (Memory.load ptr idx) in
+    let v = to_float (get fr x) in
+    Memory.store ptr idx (VFloat (old +. v));
+    (match ctx.instrument with
+    | Some ins ->
+      let slots = ins.buf_slots ptr.buf in
+      let i = ptr.off + idx in
+      slots.(i) <- ins.record [ slots.(i), 1.0; get_slot fr x, 1.0 ]
+    | None -> ());
+    ONext
+  | Call (v, name, args) ->
+    let r, slot = dispatch_call ctx e name args in
+    set fr v r;
+    set_slot fr v slot;
+    ONext
+  | Spawn (v, name, args) ->
+    if ctx.instrument <> None then
+      error "tape baseline cannot differentiate task parallelism";
+    let fr_args = List.map (get fr) args in
+    let id = ctx.next_task in
+    ctx.next_task <- id + 1;
+    let ret = ref VUnit in
+    let task =
+      Sim.spawn (fun () ->
+          ret := fst (call_function ctx ~caller_stack:[] name fr_args []))
+    in
+    Hashtbl.add ctx.tasks id (task, ret);
+    set fr v (VInt id);
+    set_slot fr v 0;
+    ONext
+  | Sync h ->
+    let id = to_int (get fr h) in
+    (match Hashtbl.find_opt ctx.tasks id with
+    | Some (t, _) -> Sim.sync t
+    | None -> error "sync on unknown task %d" id);
+    ONext
+  | If (results, cond, then_r, else_r) ->
+    charge c.arith;
+    let r = if to_bool (get fr cond) then then_r else else_r in
+    (match exec_instrs ctx e r.body with
+    | OYield vs ->
+      List.iter2
+        (fun rv (x, s) ->
+          set fr rv x;
+          set_slot fr rv s)
+        results vs;
+      ONext
+    | ONext -> error "if-region fell through without yield"
+    | OReturn _ as o -> o)
+  | For { iv; lo; hi; step; body } ->
+    let lo = to_int (get fr lo)
+    and hi = to_int (get fr hi)
+    and sp = to_int (get fr step) in
+    if sp <= 0 then error "for with non-positive step %d" sp;
+    let rec go i =
+      if i >= hi then ONext
+      else begin
+        charge c.arith;
+        set fr iv (VInt i);
+        match exec_instrs ctx e body.body with
+        | ONext -> go (i + sp)
+        | (OReturn _ | OYield _) as o -> o
+      end
+    in
+    go lo
+  | While { cond; body } ->
+    let rec go () =
+      charge c.arith;
+      match exec_instrs ctx e cond.body with
+      | OYield [ (v, _) ] ->
+        if to_bool v then begin
+          match exec_instrs ctx e body.body with
+          | ONext -> go ()
+          | (OReturn _ | OYield _) as o -> o
+        end
+        else ONext
+      | _ -> error "while condition region must yield one bool"
+    in
+    go ()
+  | Fork { tid; nth; body } ->
+    if ctx.instrument <> None then
+      error "tape baseline cannot differentiate fork/join parallelism";
+    let width =
+      match to_int (get fr nth) with
+      | 0 -> ctx.cfg.nthreads
+      | n when n > 0 -> n
+      | n -> error "fork with negative width %d" n
+    in
+    let total = ctx.nranks * width in
+    let socket_of t =
+      Cost_model.socket_of c ~index:((ctx.rank * width) + t) ~width:total
+    in
+    let nth_var =
+      match body.params with
+      | [ _; q ] -> q
+      | _ -> error "malformed fork body"
+    in
+    Sim.fork ~socket_of ~width (fun ~tid:t ~width:w ->
+        let child_fr =
+          {
+            vals = Array.copy fr.vals;
+            slots = Option.map Array.copy fr.slots;
+          }
+        in
+        set child_fr tid (VInt t);
+        set child_fr nth_var (VInt w);
+        let e' =
+          {
+            stack = child_fr :: List.tl e.stack;
+            team = Some (t, w);
+            stack_allocs = e.stack_allocs;
+          }
+        in
+        match exec_instrs ctx e' body.body with
+        | ONext -> ()
+        | OReturn _ | OYield _ -> error "fork body may not return/yield");
+    ONext
+  | Workshare { iv; lo; hi; body; schedule; nowait } ->
+    let tid, width =
+      match e.team with
+      | Some tw -> tw
+      | None -> error "workshare outside a fork"
+    in
+    let lo = to_int (get fr lo) and hi = to_int (get fr hi) in
+    let len = max 0 (hi - lo) in
+    (match schedule with
+    | Instr.Chunked ->
+      let start = lo + (len * tid / width) in
+      let stop = lo + (len * (tid + 1) / width) in
+      let rec go i =
+        if i >= stop then ONext
+        else begin
+          charge c.arith;
+          set fr iv (VInt i);
+          match exec_instrs ctx e body.body with
+          | ONext -> go (i + 1)
+          | (OReturn _ | OYield _) as o -> o
+        end
+      in
+      ignore (go start)
+    | Instr.Cyclic ->
+      let rec go i =
+        if i >= hi then ONext
+        else begin
+          charge c.arith;
+          set fr iv (VInt i);
+          match exec_instrs ctx e body.body with
+          | ONext -> go (i + width)
+          | (OReturn _ | OYield _) as o -> o
+        end
+      in
+      ignore (go (lo + tid)));
+    if (not nowait) && width > 1 then Sim.barrier ();
+    ONext
+  | Barrier ->
+    (match e.team with
+    | Some (_, w) when w > 1 -> Sim.barrier ()
+    | Some _ | None -> ());
+    ONext
+  | Return None -> OReturn (VUnit, 0)
+  | Return (Some v) -> OReturn (get fr v, get_slot fr v)
+  | Yield vs -> OYield (List.map (fun v -> get fr v, get_slot fr v) vs)
+
+and call_function ctx ~caller_stack name (args : Value.t list)
+    (arg_slots : int list) : Value.t * int =
+  match Prog.find ctx.prog name with
+  | None -> error "call to unknown function %S" name
+  | Some f ->
+    Sim.charge ctx.cfg.cost.call;
+    (Sim.stats ()).calls <- (Sim.stats ()).calls + 1;
+    if List.length args <> List.length f.params then
+      error "call %s: arity mismatch" name;
+    let fr = new_frame ctx f.var_count in
+    List.iter2
+      (fun p a ->
+        if not (Ty.equal (Value.ty a) (Var.ty p)) then
+          error "call %s: argument %s has type %a, expected %a" name
+            (Var.name p) Ty.pp (Value.ty a) Ty.pp (Var.ty p);
+        set fr p a)
+      f.params args;
+    (match fr.slots, arg_slots with
+    | Some _, _ :: _ ->
+      List.iteri
+        (fun i s -> set_slot fr (List.nth f.params i) s)
+        arg_slots
+    | _ -> ());
+    let stack_allocs = ref [] in
+    let e =
+      { stack = fr :: caller_stack; team = None; stack_allocs }
+    in
+    let out = exec_instrs ctx e f.body in
+    List.iter
+      (fun b -> if not b.freed then Memory.free ctx.mem b)
+      !stack_allocs;
+    (match out with
+    | OReturn (v, s) -> v, s
+    | ONext when Ty.equal f.ret_ty Ty.Unit -> VUnit, 0
+    | ONext | OYield _ -> error "function %s did not return" name)
+
+and dispatch_call ctx e name args : Value.t * int =
+  let fr = List.hd e.stack in
+  let vals = List.map (get fr) args in
+  if String.contains name '.' then intrinsic ctx e name args vals
+  else
+    call_function ctx ~caller_stack:e.stack name vals
+      (List.map (get_slot fr) args)
+
+and intrinsic ctx e name args vals : Value.t * int =
+  let c = ctx.cfg.cost in
+  let st = Sim.stats () in
+  let int_arg n = to_int (List.nth vals n) in
+  let float_arg n = to_float (List.nth vals n) in
+  let ptr_arg n = to_ptr (List.nth vals n) in
+  let unit_ = VUnit, 0 in
+  charge c.arith;
+  match name with
+  | "omp.max_threads" -> VInt ctx.cfg.nthreads, 0
+  (* ---- message passing ---- *)
+  | "mpi.rank" -> VInt ctx.rank, 0
+  | "mpi.size" -> VInt ctx.nranks, 0
+  | "mpi.isend" ->
+    let m = mpi_state ctx in
+    let p = ptr_arg 0 and n = int_arg 1 and dst = int_arg 2 and tag = int_arg 3 in
+    check_rank ctx p.buf;
+    (* Under taping, the adjoint-MPI send entry records the slots of the
+       sent cells at send time. *)
+    (match ctx.instrument with
+    | Some ins ->
+      let bs = ins.buf_slots p.buf in
+      ins.send_hook ~peer:dst ~tag ~slots:(Array.sub bs p.off n)
+    | None -> ());
+    let req = Mpi_state.isend m ~rank:ctx.rank ~ptr:p ~count:n ~dst ~tag in
+    VInt req, 0
+  | "mpi.irecv" ->
+    let m = mpi_state ctx in
+    let p = ptr_arg 0 and n = int_arg 1 and src = int_arg 2 and tag = int_arg 3 in
+    check_rank ctx p.buf;
+    let req = Mpi_state.irecv m ~rank:ctx.rank ~ptr:p ~count:n ~src ~tag in
+    VInt req, 0
+  | "mpi.wait" ->
+    let m = mpi_state ctx in
+    let pr = Mpi_state.wait m ~rank:ctx.rank ~req:(int_arg 0) in
+    (* Under taping, received cells get fresh slots at wait time (when
+       the data becomes visible), recorded as an adjoint-MPI receive. *)
+    (match ctx.instrument, pr with
+    | Some ins, Some pr ->
+      let fresh =
+        ins.recv_hook ~peer:pr.Mpi_state.psrc ~tag:pr.Mpi_state.ptag
+          ~count:pr.Mpi_state.count
+      in
+      let bs = ins.buf_slots pr.Mpi_state.dst.buf in
+      Array.blit fresh 0 bs pr.Mpi_state.dst.off pr.Mpi_state.count
+    | _ -> ());
+    unit_
+  | "mpi.send" ->
+    let m = mpi_state ctx in
+    let p = ptr_arg 0 and n = int_arg 1 and dst = int_arg 2 and tag = int_arg 3 in
+    check_rank ctx p.buf;
+    (match ctx.instrument with
+    | Some ins ->
+      let bs = ins.buf_slots p.buf in
+      ins.send_hook ~peer:dst ~tag ~slots:(Array.sub bs p.off n)
+    | None -> ());
+    let req = Mpi_state.isend m ~rank:ctx.rank ~ptr:p ~count:n ~dst ~tag in
+    ignore (Mpi_state.wait m ~rank:ctx.rank ~req);
+    unit_
+  | "mpi.recv" ->
+    let m = mpi_state ctx in
+    let p = ptr_arg 0 and n = int_arg 1 and src = int_arg 2 and tag = int_arg 3 in
+    check_rank ctx p.buf;
+    let req = Mpi_state.irecv m ~rank:ctx.rank ~ptr:p ~count:n ~src ~tag in
+    ignore (Mpi_state.wait m ~rank:ctx.rank ~req);
+    (match ctx.instrument with
+    | Some ins ->
+      let fresh = ins.recv_hook ~peer:src ~tag ~count:n in
+      let bs = ins.buf_slots p.buf in
+      Array.blit fresh 0 bs p.off n
+    | None -> ());
+    unit_
+  | "mpi.barrier" ->
+    Mpi_state.barrier (mpi_state ctx) ~rank:ctx.rank;
+    unit_
+  | "mpi.allreduce_sum" | "mpi.allreduce_min" | "mpi.allreduce_max" ->
+    let m = mpi_state ctx in
+    let send = ptr_arg 0 and recv = ptr_arg 1 and n = int_arg 2 in
+    check_rank ctx send.buf;
+    check_rank ctx recv.buf;
+    let kind =
+      match name with
+      | "mpi.allreduce_sum" -> Mpi_state.Csum
+      | "mpi.allreduce_min" -> Mpi_state.Cmin
+      | _ -> Mpi_state.Cmax
+    in
+    let in_vals =
+      match ctx.instrument with
+      | Some _ -> Some (Mpi_state.read_floats send n)
+      | None -> None
+    in
+    Mpi_state.allreduce m ~rank:ctx.rank ~kind ~send ~recv ~count:n;
+    (match ctx.instrument, in_vals with
+    | Some ins, Some iv ->
+      let bs = ins.buf_slots send.buf in
+      let in_slots = Array.sub bs send.off n in
+      let outs = Mpi_state.read_floats recv n in
+      let k =
+        match kind with
+        | Mpi_state.Csum -> `Sum
+        | Mpi_state.Cmin -> `Min
+        | _ -> `Max
+      in
+      let out_slots = ins.allreduce_hook ~kind:k ~ins:(iv, in_slots) ~outs in
+      let rs = ins.buf_slots recv.buf in
+      Array.blit out_slots 0 rs recv.off n
+    | _ -> ());
+    unit_
+  | "mpi.bcast" ->
+    let m = mpi_state ctx in
+    let p = ptr_arg 0 and n = int_arg 1 and root = int_arg 2 in
+    check_rank ctx p.buf;
+    Mpi_state.bcast m ~rank:ctx.rank ~root ~ptr:p ~count:n;
+    (match ctx.instrument with
+    | Some ins ->
+      let bs = ins.buf_slots p.buf in
+      let slots = Array.sub bs p.off n in
+      let out = ins.bcast_hook ~root ~count:n ~slots in
+      Array.blit out 0 bs p.off n
+    | None -> ());
+    unit_
+  (* ---- GC model ---- *)
+  | "gc.preserve_begin" ->
+    let bufs =
+      List.filter_map
+        (fun v ->
+          match v with
+          | VPtr p ->
+            p.buf.preserve <- p.buf.preserve + 1;
+            Some p.buf
+          | _ -> None)
+        vals
+    in
+    let id = ctx.next_preserve in
+    ctx.next_preserve <- id + 1;
+    Hashtbl.add ctx.preserves id bufs;
+    VInt id, 0
+  | "gc.preserve_end" ->
+    let id = int_arg 0 in
+    (match Hashtbl.find_opt ctx.preserves id with
+    | Some bufs ->
+      List.iter (fun b -> b.preserve <- b.preserve - 1) bufs;
+      Hashtbl.remove ctx.preserves id
+    | None -> error "gc.preserve_end: unknown token %d" id);
+    unit_
+  | "gc.collect" ->
+    if ctx.cfg.gc_aggressive then begin
+      let roots =
+        List.concat_map (fun f -> Array.to_list f.vals) e.stack
+      in
+      let n = Memory.gc_collect ctx.mem ~roots in
+      VInt n, 0
+    end
+    else (VInt 0, 0)
+  (* ---- AD cache runtime ---- *)
+  | "cache.new" ->
+    charge c.alloc_base;
+    VInt (Cache_rt.fresh ctx.cache ~capacity:(int_arg 0)), 0
+  | "cache.set" ->
+    charge c.cache_op;
+    st.cache_stores <- st.cache_stores + 1;
+    Cache_rt.set ctx.cache ~id:(int_arg 0) ~idx:(int_arg 1) (List.nth vals 2);
+    unit_
+  | "cache.get" ->
+    charge c.cache_op;
+    st.cache_loads <- st.cache_loads + 1;
+    Cache_rt.get ctx.cache ~id:(int_arg 0) ~idx:(int_arg 1), 0
+  | "cache.free" ->
+    Cache_rt.free ctx.cache ~id:(int_arg 0);
+    unit_
+  (* ---- adjoint MPI runtime (generated by the AD engine) ---- *)
+  | "mpi.adjnote_isend" | "mpi.adjnote_irecv" ->
+    let m = mpi_state ctx in
+    let p = ptr_arg 0 and n = int_arg 1 and peer = int_arg 2 and tag = int_arg 3 in
+    let skind =
+      if name = "mpi.adjnote_isend" then Mpi_state.SIsend else Mpi_state.SIrecv
+    in
+    let id =
+      Mpi_state.shadow_note m ~rank:ctx.rank ~skind ~sptr:p ~scount:n
+        ~speer:peer ~stag:tag
+    in
+    VInt id, 0
+  | "mpi.adj_wait" ->
+    (* Reverse of MPI_Wait: inspect the shadow request and spawn the dual
+       nonblocking operation (Fig 5 of the paper). *)
+    let m = mpi_state ctx in
+    let s = Mpi_state.shadow_find m ~rank:ctx.rank ~id:(int_arg 0) in
+    let adj_tag = s.stag + 1_000_000 in
+    (match s.skind with
+    | Mpi_state.SIsend ->
+      let buf =
+        Memory.alloc ctx.mem ~elem:Ty.Float ~size:s.scount ~kind:Instr.Heap
+          ~socket:(Sim.socket ())
+      in
+      let tmp = { buf; off = 0 } in
+      s.stmp <- Some tmp;
+      s.srev <-
+        Some
+          (Mpi_state.irecv m ~rank:ctx.rank ~ptr:tmp ~count:s.scount
+             ~src:s.speer ~tag:adj_tag)
+    | Mpi_state.SIrecv ->
+      s.srev <-
+        Some
+          (Mpi_state.isend m ~rank:ctx.rank ~ptr:s.sptr ~count:s.scount
+             ~dst:s.speer ~tag:adj_tag));
+    unit_
+  | "mpi.adj_isend_finish" ->
+    (* Reverse of MPI_Isend: wait for the incoming adjoint and accumulate
+       it into the shadow send buffer. *)
+    let m = mpi_state ctx in
+    let s = Mpi_state.shadow_find m ~rank:ctx.rank ~id:(int_arg 0) in
+    (match s.srev, s.stmp with
+    | Some req, Some tmp ->
+      ignore (Mpi_state.wait m ~rank:ctx.rank ~req);
+      charge (c.mem *. float_of_int (2 * s.scount));
+      for i = 0 to s.scount - 1 do
+        let cur = to_float (Memory.load s.sptr i) in
+        Memory.store s.sptr i (VFloat (cur +. to_float (Memory.load tmp i)))
+      done;
+      Memory.free ctx.mem tmp.buf
+    | _ -> error "mpi.adj_isend_finish before mpi.adj_wait");
+    unit_
+  | "mpi.adj_irecv_finish" ->
+    (* Reverse of MPI_Irecv: wait for the adjoint send to complete, then
+       zero the shadow receive buffer (its adjoint has been handed off). *)
+    let m = mpi_state ctx in
+    let s = Mpi_state.shadow_find m ~rank:ctx.rank ~id:(int_arg 0) in
+    (match s.srev with
+    | Some req ->
+      ignore (Mpi_state.wait m ~rank:ctx.rank ~req);
+      charge (c.mem *. float_of_int s.scount);
+      for i = 0 to s.scount - 1 do
+        Memory.store s.sptr i (VFloat 0.0)
+      done
+    | None -> error "mpi.adj_irecv_finish before mpi.adj_wait");
+    unit_
+  | "mpi.adj_send" ->
+    (* reverse of a blocking send: receive the adjoint and accumulate *)
+    let m = mpi_state ctx in
+    let d_p = ptr_arg 0 and n = int_arg 1 and peer = int_arg 2 and tag = int_arg 3 in
+    let buf =
+      Memory.alloc ctx.mem ~elem:Ty.Float ~size:n ~kind:Instr.Heap
+        ~socket:(Sim.socket ())
+    in
+    let tmp = { buf; off = 0 } in
+    let req =
+      Mpi_state.irecv m ~rank:ctx.rank ~ptr:tmp ~count:n ~src:peer
+        ~tag:(tag + 1_000_000)
+    in
+    ignore (Mpi_state.wait m ~rank:ctx.rank ~req);
+    charge (c.mem *. float_of_int (2 * n));
+    for i = 0 to n - 1 do
+      let cur = to_float (Memory.load d_p i) in
+      Memory.store d_p i (VFloat (cur +. to_float (Memory.load tmp i)))
+    done;
+    Memory.free ctx.mem buf;
+    unit_
+  | "mpi.adj_recv" ->
+    (* reverse of a blocking receive: send the shadow back, then zero it *)
+    let m = mpi_state ctx in
+    let d_p = ptr_arg 0 and n = int_arg 1 and peer = int_arg 2 and tag = int_arg 3 in
+    let req =
+      Mpi_state.isend m ~rank:ctx.rank ~ptr:d_p ~count:n ~dst:peer
+        ~tag:(tag + 1_000_000)
+    in
+    ignore (Mpi_state.wait m ~rank:ctx.rank ~req);
+    charge (c.mem *. float_of_int n);
+    for i = 0 to n - 1 do
+      Memory.store d_p i (VFloat 0.0)
+    done;
+    unit_
+  | "mpi.adj_allreduce_sum" ->
+    (* y = allreduce_sum(x)  =>  dx += allreduce_sum(dy); dy := 0 *)
+    let m = mpi_state ctx in
+    let d_send = ptr_arg 0 and d_recv = ptr_arg 1 and n = int_arg 2 in
+    let buf =
+      Memory.alloc ctx.mem ~elem:Ty.Float ~size:n ~kind:Instr.Heap
+        ~socket:(Sim.socket ())
+    in
+    let tmp = { buf; off = 0 } in
+    Mpi_state.allreduce m ~rank:ctx.rank ~kind:Mpi_state.Csum ~send:d_recv
+      ~recv:tmp ~count:n;
+    charge (c.mem *. float_of_int (3 * n));
+    for i = 0 to n - 1 do
+      let cur = to_float (Memory.load d_send i) in
+      Memory.store d_send i (VFloat (cur +. to_float (Memory.load tmp i)));
+      Memory.store d_recv i (VFloat 0.0)
+    done;
+    Memory.free ctx.mem buf;
+    unit_
+  | "mpi.adj_allreduce_minmax" ->
+    (* y = allreduce_min/max(x): the adjoint flows to the rank(s) whose
+       contribution equals the result.
+       args: send (cached primal), res (cached primal result), d_send,
+       d_recv, count *)
+    let m = mpi_state ctx in
+    let send = ptr_arg 0
+    and res = ptr_arg 1
+    and d_send = ptr_arg 2
+    and d_recv = ptr_arg 3
+    and n = int_arg 4 in
+    let buf =
+      Memory.alloc ctx.mem ~elem:Ty.Float ~size:n ~kind:Instr.Heap
+        ~socket:(Sim.socket ())
+    in
+    let tmp = { buf; off = 0 } in
+    Mpi_state.allreduce m ~rank:ctx.rank ~kind:Mpi_state.Csum ~send:d_recv
+      ~recv:tmp ~count:n;
+    charge (c.mem *. float_of_int (4 * n));
+    for i = 0 to n - 1 do
+      let mine = to_float (Memory.load send i) in
+      let winner = to_float (Memory.load res i) in
+      if mine = winner then begin
+        let cur = to_float (Memory.load d_send i) in
+        Memory.store d_send i (VFloat (cur +. to_float (Memory.load tmp i)))
+      end;
+      Memory.store d_recv i (VFloat 0.0)
+    done;
+    Memory.free ctx.mem buf;
+    unit_
+  | "mpi.adj_bcast" ->
+    (* y_r = x_root  =>  dx_root := sum_r dy_r; dy_r := 0 for r <> root *)
+    let m = mpi_state ctx in
+    let d_p = ptr_arg 0 and n = int_arg 1 and root = int_arg 2 in
+    let buf =
+      Memory.alloc ctx.mem ~elem:Ty.Float ~size:n ~kind:Instr.Heap
+        ~socket:(Sim.socket ())
+    in
+    let tmp = { buf; off = 0 } in
+    Mpi_state.allreduce m ~rank:ctx.rank ~kind:Mpi_state.Csum ~send:d_p
+      ~recv:tmp ~count:n;
+    charge (c.mem *. float_of_int (2 * n));
+    for i = 0 to n - 1 do
+      if ctx.rank = root then
+        Memory.store d_p i (Memory.load tmp i)
+      else Memory.store d_p i (VFloat 0.0)
+    done;
+    Memory.free ctx.mem buf;
+    unit_
+  | "task.retval" ->
+    (* Return value of a completed (synced) task — used by the AD engine
+       to retrieve the augmented task's cache-block handle. *)
+    let id = int_arg 0 in
+    (match Hashtbl.find_opt ctx.tasks id with
+    | Some (_, ret) -> !ret, 0
+    | None -> error "task.retval: unknown task %d" id)
+  | "ad.map_set" ->
+    Hashtbl.replace ctx.admap (int_arg 0) (List.nth vals 1, List.nth vals 2);
+    unit_
+  | "ad.map_get1" ->
+    (match Hashtbl.find_opt ctx.admap (int_arg 0) with
+    | Some (v, _) -> v, 0
+    | None -> error "ad.map_get1: unknown key %d" (int_arg 0))
+  | "ad.map_get2" ->
+    (match Hashtbl.find_opt ctx.admap (int_arg 0) with
+    | Some (_, v) -> v, 0
+    | None -> error "ad.map_get2: unknown key %d" (int_arg 0))
+  (* ---- debugging ---- *)
+  | "debug.print_f64" ->
+    Format.eprintf "[rank %d] %s = %.17g@." ctx.rank
+      (match args with a :: _ -> Var.name a | [] -> "?")
+      (float_arg 0);
+    unit_
+  | _ -> error "unknown intrinsic %S" name
+
+(** Call [fname] in an existing context (must run inside {!Sim.run}). *)
+let call ctx fname args =
+  fst (call_function ctx ~caller_stack:[] fname args [])
+
+(** Call [fname] with tape slots for the arguments; returns value and
+    return-value slot. *)
+let call_with_slots ctx fname args slots =
+  call_function ctx ~caller_stack:[] fname args slots

@@ -1,0 +1,89 @@
+(** A rank's address space: allocation, bounds- and liveness-checked
+    access. Distinct ranks get distinct address spaces (the MPI model of
+    the paper, §IV-B). *)
+
+open Parad_ir
+open Value
+
+type t = {
+  rank : int;
+  mutable next_bid : int;
+  mutable live : buffer list;  (** GC-managed buffers, for collection *)
+  mutable live_cells : int;
+  mutable peak_cells : int;
+}
+
+let create ~rank =
+  { rank; next_bid = 0; live = []; live_cells = 0; peak_cells = 0 }
+
+let alloc t ~elem ~size ~kind ~socket =
+  if size < 0 then error "alloc of negative size %d" size;
+  let buf =
+    {
+      bid = t.next_bid;
+      elem;
+      data = Array.make size (zero_of elem);
+      kind;
+      rank = t.rank;
+      socket;
+      freed = false;
+      preserve = 0;
+    }
+  in
+  t.next_bid <- t.next_bid + 1;
+  t.live_cells <- t.live_cells + size;
+  if t.live_cells > t.peak_cells then t.peak_cells <- t.live_cells;
+  (match kind with Instr.Gc -> t.live <- buf :: t.live | Instr.Stack | Instr.Heap -> ());
+  buf
+
+let free t (buf : buffer) =
+  if buf.freed then error "double free of buffer %d" buf.bid;
+  buf.freed <- true;
+  t.live_cells <- t.live_cells - Array.length buf.data
+
+let check_access (p : ptr) idx =
+  if p.buf.freed then
+    error "use after free: buffer %d (rank %d)" p.buf.bid p.buf.rank;
+  let i = p.off + idx in
+  if i < 0 || i >= Array.length p.buf.data then
+    error "out of bounds: buffer %d size %d index %d" p.buf.bid
+      (Array.length p.buf.data) i;
+  i
+
+let load (p : ptr) idx =
+  let i = check_access p idx in
+  p.buf.data.(i)
+
+let store (p : ptr) idx v =
+  let i = check_access p idx in
+  if not (Ty.equal (Value.ty v) p.buf.elem) then
+    error "store type mismatch: %a into %a buffer" Ty.pp (Value.ty v) Ty.pp
+      p.buf.elem;
+  p.buf.data.(i) <- v
+
+(** Collect GC buffers that are neither preserved nor reachable from
+    [roots] (transitively through stored pointers). Freed buffers are
+    poisoned so stale accesses raise. Returns the number collected. *)
+let gc_collect t ~roots =
+  let reachable = Hashtbl.create 64 in
+  let rec mark v =
+    match v with
+    | VPtr p when not (Hashtbl.mem reachable p.buf.bid) ->
+      Hashtbl.add reachable p.buf.bid ();
+      if not p.buf.freed then Array.iter mark p.buf.data
+    | VPtr _ | VUnit | VBool _ | VInt _ | VFloat _ | VNull _ -> ()
+  in
+  List.iter mark roots;
+  let collected = ref 0 in
+  t.live <-
+    List.filter
+      (fun (b : buffer) ->
+        if b.freed then false
+        else if b.preserve > 0 || Hashtbl.mem reachable b.bid then true
+        else begin
+          free t b;
+          incr collected;
+          false
+        end)
+      t.live;
+  !collected

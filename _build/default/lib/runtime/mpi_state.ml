@@ -1,0 +1,289 @@
+(** Message-passing runtime: per-rank address spaces communicate through
+    buffered point-to-point messages and tree-costed collectives, all in
+    virtual time. Matching is FIFO per (src, dst, tag) channel, which —
+    together with run-to-block scheduling — makes executions deterministic.
+
+    Also hosts the adjoint-MPI bookkeeping the AD engine generates calls
+    to: shadow requests record what a wait synchronized so its adjoint can
+    spawn the dual operation (paper §IV-B, Fig 5). *)
+
+open Value
+
+type msg = {
+  payload : Value.t array;
+  avail : float;  (** virtual time at which the receiver can complete *)
+}
+
+type pending_recv = {
+  dst : ptr;
+  count : int;
+  psrc : int;
+  ptag : int;
+  ev : Sim.event;
+  mutable matched : msg option;
+}
+
+type channel = {
+  msgs : msg Queue.t;  (** sent, not yet matched *)
+  recvs : pending_recv Queue.t;  (** posted, not yet matched *)
+}
+
+type coll_kind = Csum | Cmin | Cmax | Cbarrier | Cbcast of int  (** root *)
+
+type coll_slot = {
+  kind : coll_kind;
+  count : int;
+  mutable carrived : int;
+  mutable cmax : float;
+  mutable acc : float array;
+  cev : Sim.event;
+}
+
+(* A nonblocking request as seen by one rank. *)
+type req =
+  | RSend
+  | RRecv of pending_recv
+
+type shadow_kind = SIsend | SIrecv
+
+(* Shadow request: what the AD-generated forward pass records so that the
+   reverse of the corresponding wait knows which dual operation to spawn. *)
+type shadow_req = {
+  skind : shadow_kind;
+  sptr : ptr;  (** shadow (derivative) buffer of the communicated data *)
+  scount : int;
+  speer : int;
+  stag : int;
+  mutable srev : int option;  (** request id of the spawned dual op *)
+  mutable stmp : ptr option;  (** temp buffer receiving the adjoint (Isend) *)
+}
+
+type rank_state = {
+  reqs : (int, req) Hashtbl.t;
+  mutable next_req : int;
+  shadows : (int, shadow_req) Hashtbl.t;
+  mutable next_shadow : int;
+  mutable coll_seq : int;
+}
+
+type t = {
+  nranks : int;
+  channels : (int * int * int, channel) Hashtbl.t;
+  colls : (int, coll_slot) Hashtbl.t;  (** keyed by collective sequence no. *)
+  ranks : rank_state array;
+  sockets : int array;  (** socket of each rank *)
+}
+
+let create ~cost ~nranks =
+  {
+    nranks;
+    channels = Hashtbl.create 64;
+    colls = Hashtbl.create 16;
+    ranks =
+      Array.init nranks (fun _ ->
+          {
+            reqs = Hashtbl.create 16;
+            next_req = 0;
+            shadows = Hashtbl.create 16;
+            next_shadow = 0;
+            coll_seq = 0;
+          });
+    sockets =
+      Array.init nranks (fun r ->
+          Cost_model.socket_of cost ~index:r ~width:nranks);
+  }
+
+let channel t ~src ~dst ~tag =
+  match Hashtbl.find_opt t.channels (src, dst, tag) with
+  | Some c -> c
+  | None ->
+    let c = { msgs = Queue.create (); recvs = Queue.create () } in
+    Hashtbl.add t.channels (src, dst, tag) c;
+    c
+
+let fresh_req rs r =
+  let id = rs.next_req in
+  rs.next_req <- id + 1;
+  Hashtbl.add rs.reqs id r;
+  id
+
+let remote t ~src ~dst = t.sockets.(src) <> t.sockets.(dst)
+
+let read_cells p count =
+  Array.init count (fun i -> Memory.load p i)
+
+let write_cells p (a : Value.t array) =
+  Array.iteri (fun i v -> Memory.store p i v) a
+
+let deliver (pr : pending_recv) (m : msg) =
+  if Array.length m.payload <> pr.count then
+    error "mpi: message size %d does not match recv count %d"
+      (Array.length m.payload) pr.count;
+  write_cells pr.dst m.payload;
+  pr.matched <- Some m;
+  Sim.event_fill pr.ev ~time:m.avail
+
+(** Nonblocking send: buffered semantics — the payload is copied out
+    eagerly, so the request completes locally. Returns a request id. *)
+let isend t ~rank ~ptr ~count ~dst ~tag =
+  if dst < 0 || dst >= t.nranks then error "mpi.isend: bad destination %d" dst;
+  let cost = Sim.cost () in
+  let stats = Sim.stats () in
+  stats.messages <- stats.messages + 1;
+  stats.message_cells <- stats.message_cells + count;
+  (* Sender-side overhead: copying the payload out. *)
+  Sim.charge
+    ((cost.mpi_per_cell *. float_of_int count) +. (0.1 *. cost.mpi_latency));
+  let payload = read_cells ptr count in
+  let avail =
+    Sim.now ()
+    +. Cost_model.message_cost cost ~cells:count
+         ~remote:(remote t ~src:rank ~dst)
+  in
+  let ch = channel t ~src:rank ~dst ~tag in
+  let m = { payload; avail } in
+  if Queue.is_empty ch.recvs then Queue.add m ch.msgs
+  else deliver (Queue.pop ch.recvs) m;
+  fresh_req t.ranks.(rank) RSend
+
+(** Nonblocking receive. Returns a request id; data is visible after the
+    matching [wait]. *)
+let irecv t ~rank ~ptr ~count ~src ~tag =
+  if src < 0 || src >= t.nranks then error "mpi.irecv: bad source %d" src;
+  let cost = Sim.cost () in
+  Sim.charge (0.1 *. cost.mpi_latency);
+  let pr =
+    {
+      dst = ptr;
+      count;
+      psrc = src;
+      ptag = tag;
+      ev = Sim.event ();
+      matched = None;
+    }
+  in
+  let ch = channel t ~src ~dst:rank ~tag in
+  if Queue.is_empty ch.msgs then Queue.add pr ch.recvs
+  else deliver pr (Queue.pop ch.msgs);
+  fresh_req t.ranks.(rank) (RRecv pr)
+
+(** Wait for a request. For receives this blocks (in virtual time) until
+    the message is available, then charges receiver-side overhead and
+    returns the completed receive (so callers can instrument it). *)
+let wait t ~rank ~req =
+  let rs = t.ranks.(rank) in
+  match Hashtbl.find_opt rs.reqs req with
+  | None -> error "mpi.wait: unknown request %d on rank %d" req rank
+  | Some RSend ->
+    Hashtbl.remove rs.reqs req;
+    None
+  | Some (RRecv pr) ->
+    Hashtbl.remove rs.reqs req;
+    Sim.event_wait pr.ev;
+    Sim.charge (0.1 *. (Sim.cost ()).mpi_latency);
+    Some pr
+
+(* ---- collectives ----
+
+   Ranks join collectives in global call order (the [coll_seq] counter);
+   mismatched kinds or counts across ranks are detected. The last arrival
+   combines contributions and releases everyone at
+   [max(arrival) + tree cost]. *)
+
+let coll_cost t ~count =
+  let cost = Sim.cost () in
+  let stages = ceil (Cost_model.log2f (float_of_int t.nranks)) in
+  let remote = t.nranks >= cost.numa_spread_threshold in
+  2.0 *. stages *. Cost_model.message_cost cost ~cells:count ~remote
+
+let coll_kind_eq a b =
+  match a, b with
+  | Csum, Csum | Cmin, Cmin | Cmax, Cmax | Cbarrier, Cbarrier -> true
+  | Cbcast r, Cbcast r' -> r = r'
+  | (Csum | Cmin | Cmax | Cbarrier | Cbcast _), _ -> false
+
+(* Join the current collective slot; returns it. *)
+let coll_join t ~rank ~kind ~count ~contrib =
+  let rs = t.ranks.(rank) in
+  let seq = rs.coll_seq in
+  rs.coll_seq <- seq + 1;
+  let slot =
+    match Hashtbl.find_opt t.colls seq with
+    | Some s ->
+      if not (coll_kind_eq s.kind kind) || s.count <> count then
+        error "mpi: mismatched collective at sequence %d (rank %d)" seq rank;
+      s
+    | None ->
+      let init =
+        match kind with
+        | Csum | Cbarrier | Cbcast _ -> Array.make count 0.0
+        | Cmin -> Array.make count infinity
+        | Cmax -> Array.make count neg_infinity
+      in
+      let s =
+        {
+          kind;
+          count;
+          carrived = 0;
+          cmax = 0.0;
+          acc = init;
+          cev = Sim.event ();
+        }
+      in
+      Hashtbl.add t.colls seq s;
+      s
+  in
+  (match slot.kind, contrib with
+  | Csum, Some c -> Array.iteri (fun i x -> slot.acc.(i) <- slot.acc.(i) +. x) c
+  | Cmin, Some c ->
+    Array.iteri (fun i x -> if x < slot.acc.(i) then slot.acc.(i) <- x) c
+  | Cmax, Some c ->
+    Array.iteri (fun i x -> if x > slot.acc.(i) then slot.acc.(i) <- x) c
+  | Cbcast root, Some c -> if rank = root then Array.blit c 0 slot.acc 0 count
+  | Cbarrier, None -> ()
+  | _, None -> ()
+  | Cbarrier, Some _ -> error "mpi: barrier with data");
+  slot.carrived <- slot.carrived + 1;
+  if Sim.now () > slot.cmax then slot.cmax <- Sim.now ();
+  if slot.carrived = t.nranks then
+    Sim.event_fill slot.cev ~time:(slot.cmax +. coll_cost t ~count);
+  slot
+
+let read_floats p count = Array.init count (fun i -> to_float (Memory.load p i))
+
+let write_floats p (a : float array) =
+  Array.iteri (fun i x -> Memory.store p i (VFloat x)) a
+
+(** allreduce / reduce-to-all of [count] floats with operator [kind]. *)
+let allreduce t ~rank ~kind ~send ~recv ~count =
+  let stats = Sim.stats () in
+  stats.messages <- stats.messages + (2 * int_of_float (ceil (Cost_model.log2f (float_of_int t.nranks))));
+  let contrib = read_floats send count in
+  let slot = coll_join t ~rank ~kind ~count ~contrib:(Some contrib) in
+  Sim.event_wait slot.cev;
+  write_floats recv slot.acc
+
+let barrier t ~rank =
+  let slot = coll_join t ~rank ~kind:Cbarrier ~count:0 ~contrib:None in
+  Sim.event_wait slot.cev
+
+let bcast t ~rank ~root ~ptr ~count =
+  let contrib = if rank = root then Some (read_floats ptr count) else None in
+  let slot = coll_join t ~rank ~kind:(Cbcast root) ~count ~contrib in
+  Sim.event_wait slot.cev;
+  if rank <> root then write_floats ptr slot.acc
+
+(* ---- shadow requests (AD bookkeeping) ---- *)
+
+let shadow_note t ~rank ~skind ~sptr ~scount ~speer ~stag =
+  let rs = t.ranks.(rank) in
+  let id = rs.next_shadow in
+  rs.next_shadow <- id + 1;
+  Hashtbl.add rs.shadows id
+    { skind; sptr; scount; speer; stag; srev = None; stmp = None };
+  id
+
+let shadow_find t ~rank ~id =
+  match Hashtbl.find_opt t.ranks.(rank).shadows id with
+  | Some s -> s
+  | None -> error "mpi: unknown shadow request %d on rank %d" id rank

@@ -1,0 +1,316 @@
+(** Deterministic virtual-time execution engine.
+
+    Parallelism (fork/join teams, barriers, tasks, and the events behind
+    message passing) is simulated with cooperative strands implemented on
+    OCaml effect handlers. Each strand carries a virtual clock; running
+    code charges costs to the current strand's clock, and synchronization
+    points combine clocks (join and barrier take maxima, events carry
+    ready-times). Scheduling is run-to-block with a FIFO ready queue, so
+    executions are fully deterministic; for programs whose observable
+    behaviour does not depend on interleaving (the only programs with
+    defined semantics, cf. §VI-D of the paper) the virtual times are
+    exactly those of a time-ordered interleaving.
+
+    The engine supports nested teams: the SPMD harness creates one strand
+    per MPI rank, and an OpenMP [Fork] inside a rank creates a sub-team. *)
+
+open Effect
+open Effect.Deep
+
+exception Deadlock of string
+
+type strand = {
+  sid : int;
+  mutable clock : float;
+  tid : int;  (** index within the creating team (or rank id, or 0) *)
+  width : int;  (** size of the creating team *)
+  socket : int;
+  team : team option;  (** team this strand belongs to, for barriers *)
+}
+
+and team = {
+  twidth : int;
+  mutable remaining : int;
+  mutable max_finish : float;
+  (* barrier rendezvous state *)
+  mutable arrived : int;
+  mutable bmax : float;
+  mutable bwaiters : parked list;
+}
+
+and parked = P : strand * (unit, unit) continuation -> parked
+
+type task = {
+  mutable finished : float option;
+  mutable twaiters : parked list;
+}
+
+type event = {
+  mutable ready : float option;
+  mutable ewaiters : parked list;
+}
+
+type engine = {
+  cost : Cost_model.t;
+  stats : Stats.t;
+  ready_q : (strand * (unit -> unit)) Queue.t;
+  mutable current : strand;
+  mutable nsid : int;
+  mutable live : int;  (** strands created and not yet finished *)
+  mutable makespan : float;
+}
+
+type _ Effect.t +=
+  | E_fork : int * (int -> int) * (tid:int -> width:int -> unit) -> unit Effect.t
+      (** width, socket-of-tid, body *)
+  | E_spawn : float * (unit -> unit) -> task Effect.t  (** start clock, body *)
+  | E_sync : task -> unit Effect.t
+  | E_barrier : unit Effect.t
+  | E_wait : event -> unit Effect.t
+
+let engine_ref : engine option ref = ref None
+
+let eng () =
+  match !engine_ref with
+  | Some e -> e
+  | None -> invalid_arg "Sim: no engine running (use Sim.run)"
+
+let cost () = (eng ()).cost
+let stats () = (eng ()).stats
+let self () = (eng ()).current
+let now () = (self ()).clock
+let charge c = (self ()).clock <- (self ()).clock +. c
+let set_clock t = (self ()).clock <- t
+let socket () = (self ()).socket
+
+let enqueue e st thunk = Queue.add (st, thunk) e.ready_q
+let resume e st k = enqueue e st (fun () -> continue k ())
+
+let finish_strand e clock =
+  e.live <- e.live - 1;
+  if clock > e.makespan then e.makespan <- clock
+
+(* Run [f] as the body of [st]; [on_finish] is invoked (on the scheduler
+   stack) with the strand's final clock. The handler never resumes a
+   continuation inline: parked strands go through the ready queue, keeping
+   the scheduler stack depth constant. *)
+let rec run_strand e st f (on_finish : float -> unit) =
+  match_with f ()
+    {
+      retc =
+        (fun () ->
+          finish_strand e st.clock;
+          on_finish st.clock);
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | E_fork (width, socket_of, body) ->
+            Some
+              (fun (k : (a, _) continuation) ->
+                e.stats.forks <- e.stats.forks + 1;
+                let t =
+                  {
+                    twidth = width;
+                    remaining = width;
+                    max_finish = 0.0;
+                    arrived = 0;
+                    bmax = 0.0;
+                    bwaiters = [];
+                  }
+                in
+                let start =
+                  st.clock +. Cost_model.fork_cost e.cost ~width
+                in
+                let parent = st in
+                for tid = 0 to width - 1 do
+                  let child =
+                    {
+                      sid =
+                        (e.nsid <- e.nsid + 1;
+                         e.nsid);
+                      clock = start;
+                      tid;
+                      width;
+                      socket = socket_of tid;
+                      team = Some t;
+                    }
+                  in
+                  e.live <- e.live + 1;
+                  enqueue e child (fun () ->
+                      run_strand e child
+                        (fun () -> body ~tid ~width)
+                        (fun clock ->
+                          if clock > t.max_finish then t.max_finish <- clock;
+                          t.remaining <- t.remaining - 1;
+                          if t.remaining = 0 then begin
+                            parent.clock <- t.max_finish +. e.cost.join;
+                            resume e parent k
+                          end))
+                done)
+          | E_spawn (start, body) ->
+            Some
+              (fun (k : (a, _) continuation) ->
+                e.stats.tasks <- e.stats.tasks + 1;
+                let task = { finished = None; twaiters = [] } in
+                let parent = st in
+                let child =
+                  {
+                    sid =
+                      (e.nsid <- e.nsid + 1;
+                       e.nsid);
+                    clock = start;
+                    tid = st.tid;
+                    width = st.width;
+                    socket = st.socket;
+                    team = st.team;
+                  }
+                in
+                e.live <- e.live + 1;
+                enqueue e child (fun () ->
+                    run_strand e child body (fun clock ->
+                        task.finished <- Some clock;
+                        List.iter
+                          (fun (P (w, wk)) ->
+                            w.clock <-
+                              Float.max w.clock clock +. e.cost.task_sync;
+                            resume e w wk)
+                          task.twaiters;
+                        task.twaiters <- []));
+                enqueue e parent (fun () -> continue k task))
+          | E_sync task ->
+            Some
+              (fun (k : (a, _) continuation) ->
+                match task.finished with
+                | Some clock ->
+                  st.clock <- Float.max st.clock clock +. e.cost.task_sync;
+                  resume e st k
+                | None -> task.twaiters <- P (st, k) :: task.twaiters)
+          | E_barrier ->
+            Some
+              (fun (k : (a, _) continuation) ->
+                e.stats.barriers <- e.stats.barriers + 1;
+                match st.team with
+                | None ->
+                  (* A barrier with no team (width 1) is a no-op. *)
+                  resume e st k
+                | Some t ->
+                  t.arrived <- t.arrived + 1;
+                  if st.clock > t.bmax then t.bmax <- st.clock;
+                  if t.arrived < t.twidth then
+                    t.bwaiters <- P (st, k) :: t.bwaiters
+                  else begin
+                    let release =
+                      t.bmax +. Cost_model.barrier_cost e.cost ~width:t.twidth
+                    in
+                    st.clock <- release;
+                    let waiters = t.bwaiters in
+                    t.bwaiters <- [];
+                    t.arrived <- 0;
+                    t.bmax <- 0.0;
+                    List.iter
+                      (fun (P (w, wk)) ->
+                        w.clock <- release;
+                        resume e w wk)
+                      waiters;
+                    resume e st k
+                  end)
+          | E_wait ev ->
+            Some
+              (fun (k : (a, _) continuation) ->
+                match ev.ready with
+                | Some t ->
+                  st.clock <- Float.max st.clock t;
+                  resume e st k
+                | None -> ev.ewaiters <- P (st, k) :: ev.ewaiters)
+          | _ -> None);
+    }
+
+(* ---- public API used from simulated code ---- *)
+
+let fork ?socket_of ~width body =
+  let e = eng () in
+  let socket_of =
+    match socket_of with
+    | Some f -> f
+    | None -> fun tid -> Cost_model.socket_of e.cost ~index:tid ~width
+  in
+  if width = 1 then begin
+    (* Degenerate team: run inline, but still pay the overheads. *)
+    charge (Cost_model.fork_cost e.cost ~width:1);
+    body ~tid:0 ~width:1;
+    charge e.cost.join
+  end
+  else perform (E_fork (width, socket_of, body))
+
+let spawn body =
+  let e = eng () in
+  let st = self () in
+  st.clock <- st.clock +. e.cost.task_spawn;
+  perform (E_spawn (st.clock, body))
+
+let sync task = perform (E_sync task)
+let barrier () = perform E_barrier
+
+let event () = { ready = None; ewaiters = [] }
+
+let event_fill ev ~time =
+  let e = eng () in
+  (match ev.ready with
+  | Some _ -> invalid_arg "Sim.event_fill: already filled"
+  | None -> ());
+  ev.ready <- Some time;
+  List.iter
+    (fun (P (w, wk)) ->
+      w.clock <- Float.max w.clock time;
+      resume e w wk)
+    ev.ewaiters;
+  ev.ewaiters <- []
+
+let event_wait ev = perform (E_wait ev)
+
+(** Run [main] under a fresh engine. Returns the result, the makespan
+    (largest strand finish time, i.e. the modeled runtime), and the
+    engine's stats. *)
+let run ?(cost = Cost_model.default) ?(stats = Stats.create ()) main =
+  (match !engine_ref with
+  | Some _ -> invalid_arg "Sim.run: engine already running (no nesting)"
+  | None -> ());
+  let root =
+    { sid = 0; clock = 0.0; tid = 0; width = 1; socket = 0; team = None }
+  in
+  let e =
+    {
+      cost;
+      stats;
+      ready_q = Queue.create ();
+      current = root;
+      nsid = 0;
+      live = 1;
+      makespan = 0.0;
+    }
+  in
+  engine_ref := Some e;
+  let result = ref None in
+  let cleanup () = engine_ref := None in
+  (try
+     run_strand e root
+       (fun () -> result := Some (main ()))
+       (fun _ -> ());
+     while not (Queue.is_empty e.ready_q) do
+       let st, thunk = Queue.pop e.ready_q in
+       e.current <- st;
+       e.stats.context_switches <- e.stats.context_switches + 1;
+       thunk ()
+     done
+   with ex ->
+     cleanup ();
+     raise ex);
+  cleanup ();
+  if e.live > 0 then
+    raise
+      (Deadlock
+         (Printf.sprintf "%d strand(s) blocked with empty ready queue" e.live));
+  match !result with
+  | Some r -> r, e.makespan, e.stats
+  | None -> raise (Deadlock "main strand never completed")

@@ -1,0 +1,53 @@
+(** Execution counters, shared by all strands of a run. *)
+
+type t = {
+  mutable instrs : int;
+  mutable flops : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable atomics : int;
+  mutable allocs : int;
+  mutable alloc_cells : int;
+  mutable frees : int;
+  mutable calls : int;
+  mutable forks : int;
+  mutable barriers : int;
+  mutable tasks : int;
+  mutable messages : int;
+  mutable message_cells : int;
+  mutable cache_stores : int;
+  mutable cache_loads : int;
+  mutable tape_entries : int;
+  mutable context_switches : int;
+}
+
+let create () =
+  {
+    instrs = 0;
+    flops = 0;
+    loads = 0;
+    stores = 0;
+    atomics = 0;
+    allocs = 0;
+    alloc_cells = 0;
+    frees = 0;
+    calls = 0;
+    forks = 0;
+    barriers = 0;
+    tasks = 0;
+    messages = 0;
+    message_cells = 0;
+    cache_stores = 0;
+    cache_loads = 0;
+    tape_entries = 0;
+    context_switches = 0;
+  }
+
+let pp ppf s =
+  Fmt.pf ppf
+    "instrs=%d flops=%d loads=%d stores=%d atomics=%d allocs=%d calls=%d \
+     forks=%d barriers=%d tasks=%d msgs=%d msg_cells=%d cache_st=%d \
+     cache_ld=%d tape=%d"
+    s.instrs s.flops s.loads s.stores s.atomics s.allocs s.calls s.forks
+    s.barriers s.tasks s.messages s.message_cells s.cache_stores s.cache_loads
+    s.tape_entries

@@ -1,0 +1,1 @@
+lib/tape/tape.ml: Array Cost_model Hashtbl Interp List Memory Mpi_state Parad_ir Parad_runtime Sim Stats Value

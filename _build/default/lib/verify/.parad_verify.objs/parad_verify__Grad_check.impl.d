@@ -1,0 +1,1 @@
+lib/verify/grad_check.ml: Array Exec Float Fmt Func Interp List Parad_core Parad_ir Parad_opt Parad_runtime Prog Stats Ty Value

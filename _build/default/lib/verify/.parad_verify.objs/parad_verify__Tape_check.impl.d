@@ -1,0 +1,1 @@
+lib/verify/tape_check.ml: Array Exec Grad_check Interp List Parad_ir Parad_runtime Parad_tape Value

@@ -1,0 +1,1 @@
+test/test_ad.ml: Alcotest Array Builder Func Interp List Parad_ir Parad_runtime Parad_verify Printf Prog Ty

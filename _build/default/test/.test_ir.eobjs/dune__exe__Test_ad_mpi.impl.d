@@ -1,0 +1,1 @@
+test/test_ad_mpi.ml: Alcotest Array Builder Func List Parad_ir Parad_verify Printf Prog Ty

@@ -1,0 +1,1 @@
+test/test_forward.ml: Alcotest Array Builder Exec Float Func Interp List Parad_core Parad_ir Parad_runtime Parad_verify Printf Prog QCheck QCheck_alcotest Ty Value Verifier

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Builder Instr List Parad_ir Printer Prog QCheck QCheck_alcotest String Ty Var Verifier

@@ -1,0 +1,1 @@
+test/test_lulesh.ml: Alcotest Apps_lulesh Array Float Printf

@@ -1,0 +1,1 @@
+test/test_minibude.ml: Alcotest Apps_minibude Array Float Parad_opt Printf

@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Array Builder Exec Float Func Instr Interp List Parad_ir Parad_opt Parad_runtime Parad_verify Prog QCheck QCheck_alcotest Ty Value

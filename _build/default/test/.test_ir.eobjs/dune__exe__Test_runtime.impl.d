@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Builder Exec Instr Interp List Option Parad_ir Parad_runtime Printf Prog Sim Stats Ty Value Verifier

@@ -1,0 +1,1 @@
+test/test_tape.ml: Alcotest Array Builder Exec Func List Parad_ir Parad_runtime Parad_tape Parad_verify Printf Prog Ty Value

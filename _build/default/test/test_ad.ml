@@ -1,0 +1,398 @@
+(* Reverse-mode AD: finite-difference verification across language
+   features — straight-line code, branches, loops, memory, calls, tasks,
+   fork/join parallelism, and message passing. *)
+
+open Parad_ir
+open Parad_runtime
+module B = Builder
+module GC = Parad_verify.Grad_check
+
+let feq = Alcotest.float 1e-6
+
+let cfg nthreads = { Interp.default_config with nthreads }
+
+let check_ok ?cfg ?opts ?seeds ?d_ret ?tol name prog fname args =
+  match GC.check ?cfg ?opts ?seeds ?d_ret ?tol prog fname args with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "%s: %s" name m
+
+let two ps = match ps with [ a; b ] -> a, b | _ -> assert false
+let three ps = match ps with [ a; b; c ] -> a, b, c | _ -> assert false
+
+(* ---- scalar programs ---- *)
+
+let test_square () =
+  let prog = Prog.create () in
+  let b, ps = B.func prog "sq" ~params:[ "x", Ty.Float ] ~ret:Ty.Float in
+  let x = List.hd ps in
+  B.return b (Some (B.mul b x x));
+  ignore (B.finish b);
+  let g = GC.reverse prog "sq" [ GC.AScalar 3.0 ] in
+  Alcotest.check feq "primal" 9.0 g.GC.primal;
+  Alcotest.check feq "d/dx x^2 = 2x" 6.0 g.GC.d_scalars.(0)
+
+let test_transcendental () =
+  let prog = Prog.create () in
+  let b, ps =
+    B.func prog "tf" ~params:[ "x", Ty.Float; "y", Ty.Float ] ~ret:Ty.Float
+  in
+  let x, y = two ps in
+  (* sin(x*y) + exp(x) / (1 + y^2) + sqrt(x) * log(y) *)
+  let t1 = B.sin_ b (B.mul b x y) in
+  let t2 = B.div b (B.exp_ b x) (B.add b (B.f64 b 1.0) (B.mul b y y)) in
+  let t3 = B.mul b (B.sqrt_ b x) (B.log_ b y) in
+  B.return b (Some (B.add b (B.add b t1 t2) t3));
+  ignore (B.finish b);
+  check_ok "transcendental" prog "tf" [ GC.AScalar 1.3; GC.AScalar 0.8 ]
+
+let test_minmax_abs_select () =
+  let prog = Prog.create () in
+  let b, ps =
+    B.func prog "mm" ~params:[ "x", Ty.Float; "y", Ty.Float ] ~ret:Ty.Float
+  in
+  let x, y = two ps in
+  let m = B.min_ b (B.mul b x x) (B.mul b y y) in
+  let n = B.max_ b x (B.neg b y) in
+  let c = B.gt b x y in
+  let s = B.select b c (B.mul b x y) (B.add b x y) in
+  B.return b (Some (B.add b (B.add b m n) (B.add b s (B.abs_ b y))));
+  ignore (B.finish b);
+  check_ok "minmax" prog "mm" [ GC.AScalar 1.7; GC.AScalar (-0.6) ];
+  check_ok "minmax2" prog "mm" [ GC.AScalar (-0.4); GC.AScalar 2.0 ]
+
+let test_pow () =
+  let prog = Prog.create () in
+  let b, ps =
+    B.func prog "pw" ~params:[ "x", Ty.Float; "y", Ty.Float ] ~ret:Ty.Float
+  in
+  let x, y = two ps in
+  B.return b (Some (B.pow b x y));
+  ignore (B.finish b);
+  check_ok "pow" prog "pw" [ GC.AScalar 1.8; GC.AScalar 2.3 ]
+
+(* ---- memory and loops ---- *)
+
+(* out[i] = in[i]^2; loss = sum out *)
+let test_buffer_map () =
+  let prog = Prog.create () in
+  let b, ps =
+    B.func prog "bm"
+      ~params:[ "inp", Ty.Ptr Ty.Float; "out", Ty.Ptr Ty.Float; "n", Ty.Int ]
+      ~ret:Ty.Unit
+  in
+  let inp, out, n = three ps in
+  B.for_n b n (fun i ->
+      let x = B.load b inp i in
+      B.store b out i (B.mul b x x));
+  B.return b None;
+  ignore (B.finish b);
+  let input = [| 1.0; -2.0; 0.5; 3.0 |] in
+  let g =
+    GC.reverse prog "bm"
+      [ GC.ABuf input; GC.ABuf (Array.make 4 0.0); GC.AInt 4 ]
+      ~seeds:[ Array.make 4 0.0; Array.make 4 1.0 ]
+  in
+  Array.iteri
+    (fun i x ->
+      Alcotest.check feq (Printf.sprintf "d in[%d]" i) (2.0 *. x)
+        (List.hd g.GC.d_bufs).(i))
+    input;
+  check_ok "buffer map fd" prog "bm"
+    [ GC.ABuf input; GC.ABuf (Array.make 4 0.0); GC.AInt 4 ]
+
+(* loop-carried dependence through memory: acc = acc * x[i] *)
+let test_product_reduction () =
+  let prog = Prog.create () in
+  let b, ps =
+    B.func prog "prod" ~params:[ "x", Ty.Ptr Ty.Float; "n", Ty.Int ]
+      ~ret:Ty.Float
+  in
+  let x, n = two ps in
+  let acc = B.alloc b Ty.Float (B.i64 b 1) in
+  B.store b acc (B.i64 b 0) (B.f64 b 1.0);
+  B.for_n b n (fun i ->
+      let cur = B.load b acc (B.i64 b 0) in
+      B.store b acc (B.i64 b 0) (B.mul b cur (B.load b x i)));
+  let r = B.load b acc (B.i64 b 0) in
+  B.free b acc;
+  B.return b (Some r);
+  ignore (B.finish b);
+  check_ok "product" prog "prod"
+    [ GC.ABuf [| 1.5; 2.0; 0.5; -1.2; 3.0 |]; GC.AInt 5 ]
+    ~seeds:[ Array.make 5 0.0 ]
+
+let test_nested_loops () =
+  let prog = Prog.create () in
+  let b, ps =
+    B.func prog "nest" ~params:[ "x", Ty.Ptr Ty.Float; "n", Ty.Int ]
+      ~ret:Ty.Float
+  in
+  let x, n = two ps in
+  let acc = B.alloc b Ty.Float (B.i64 b 1) in
+  B.store b acc (B.i64 b 0) (B.f64 b 0.0);
+  B.for_n b n (fun i ->
+      B.for_n b n (fun j ->
+          let xi = B.load b x i and xj = B.load b x j in
+          let cur = B.load b acc (B.i64 b 0) in
+          B.store b acc (B.i64 b 0)
+            (B.add b cur (B.mul b (B.sin_ b xi) xj))));
+  let r = B.load b acc (B.i64 b 0) in
+  B.return b (Some r);
+  ignore (B.finish b);
+  check_ok "nested loops" prog "nest"
+    [ GC.ABuf [| 0.3; 1.1; -0.7 |]; GC.AInt 3 ]
+    ~seeds:[ Array.make 3 0.0 ]
+
+let test_branches () =
+  let prog = Prog.create () in
+  let b, ps =
+    B.func prog "br" ~params:[ "x", Ty.Ptr Ty.Float; "n", Ty.Int ]
+      ~ret:Ty.Float
+  in
+  let x, n = two ps in
+  let acc = B.alloc b Ty.Float (B.i64 b 1) in
+  B.store b acc (B.i64 b 0) (B.f64 b 0.0);
+  B.for_n b n (fun i ->
+      let xi = B.load b x i in
+      let c = B.gt b xi (B.f64 b 0.0) in
+      let v =
+        B.if_ b c ~results:[ Ty.Float ]
+          ~then_:(fun () -> [ B.mul b xi xi ])
+          ~else_:(fun () -> [ B.neg b (B.mul b xi (B.f64 b 3.0)) ])
+      in
+      let cur = B.load b acc (B.i64 b 0) in
+      B.store b acc (B.i64 b 0) (B.add b cur (List.hd v)));
+  let r = B.load b acc (B.i64 b 0) in
+  B.return b (Some r);
+  ignore (B.finish b);
+  check_ok "branches" prog "br"
+    [ GC.ABuf [| 0.5; -1.5; 2.0; -0.1 |]; GC.AInt 4 ]
+    ~seeds:[ Array.make 4 0.0 ]
+
+let test_while_loop () =
+  (* newton-ish iteration with data-dependent trip count:
+     y = x; while (y > 1.5) y = y * 0.7; return y * y *)
+  let prog = Prog.create () in
+  let b, ps = B.func prog "wh" ~params:[ "x", Ty.Float ] ~ret:Ty.Float in
+  let x = List.hd ps in
+  let cell = B.alloc b Ty.Float (B.i64 b 1) in
+  B.store b cell (B.i64 b 0) x;
+  B.while_ b
+    ~cond:(fun () -> B.gt b (B.load b cell (B.i64 b 0)) (B.f64 b 1.5))
+    ~body:(fun () ->
+      let y = B.load b cell (B.i64 b 0) in
+      B.store b cell (B.i64 b 0) (B.mul b y (B.f64 b 0.7)));
+  let y = B.load b cell (B.i64 b 0) in
+  B.return b (Some (B.mul b y y));
+  ignore (B.finish b);
+  check_ok "while" prog "wh" [ GC.AScalar 10.0 ];
+  check_ok "while short" prog "wh" [ GC.AScalar 1.2 ]
+
+let test_gep_aliasing_views () =
+  (* two gep views into one buffer *)
+  let prog = Prog.create () in
+  let b, ps =
+    B.func prog "gp" ~params:[ "x", Ty.Ptr Ty.Float; "n", Ty.Int ]
+      ~ret:Ty.Float
+  in
+  let x, n = two ps in
+  let lo = x in
+  let hi = B.gep b x n in
+  let acc = B.alloc b Ty.Float (B.i64 b 1) in
+  B.store b acc (B.i64 b 0) (B.f64 b 0.0);
+  B.for_n b n (fun i ->
+      let a = B.load b lo i and c = B.load b hi i in
+      let cur = B.load b acc (B.i64 b 0) in
+      B.store b acc (B.i64 b 0) (B.add b cur (B.mul b a c)));
+  B.return b (Some (B.load b acc (B.i64 b 0)));
+  ignore (B.finish b);
+  check_ok "gep views" prog "gp"
+    [ GC.ABuf [| 1.0; 2.0; 3.0; 4.0; 5.0; 6.0 |]; GC.AInt 3 ]
+    ~seeds:[ Array.make 6 0.0 ]
+
+(* ---- calls and tasks ---- *)
+
+let test_call_split () =
+  let prog = Prog.create () in
+  (* helper: g(x) = x^3 + sin x *)
+  let b, ps = B.func prog "g" ~params:[ "x", Ty.Float ] ~ret:Ty.Float in
+  let x = List.hd ps in
+  B.return b
+    (Some (B.add b (B.mul b x (B.mul b x x)) (B.sin_ b x)));
+  ignore (B.finish b);
+  (* f(x,y) = g(x) * g(y) + g(x*y) *)
+  let b, ps =
+    B.func prog "f" ~params:[ "x", Ty.Float; "y", Ty.Float ] ~ret:Ty.Float
+  in
+  let x, y = two ps in
+  let gx = B.call b ~ret:Ty.Float "g" [ x ] in
+  let gy = B.call b ~ret:Ty.Float "g" [ y ] in
+  let gxy = B.call b ~ret:Ty.Float "g" [ B.mul b x y ] in
+  B.return b (Some (B.add b (B.mul b gx gy) gxy));
+  ignore (B.finish b);
+  check_ok "split calls" prog "f" [ GC.AScalar 0.9; GC.AScalar 1.4 ]
+
+let test_call_with_buffers () =
+  let prog = Prog.create () in
+  (* scale(v, n, a): v[i] *= a *)
+  let b, ps =
+    B.func prog "scale"
+      ~params:[ "v", Ty.Ptr Ty.Float; "n", Ty.Int; "a", Ty.Float ]
+      ~ret:Ty.Unit
+  in
+  let v, n, a = three ps in
+  B.for_n b n (fun i -> B.store b v i (B.mul b (B.load b v i) a));
+  B.return b None;
+  ignore (B.finish b);
+  let b, ps =
+    B.func prog "drv" ~params:[ "v", Ty.Ptr Ty.Float; "n", Ty.Int ]
+      ~ret:Ty.Float
+  in
+  let v, n = two ps in
+  ignore (B.call b ~ret:Ty.Unit "scale" [ v; n; B.f64 b 2.5 ]);
+  ignore (B.call b ~ret:Ty.Unit "scale" [ v; n; B.f64 b 0.5 ]);
+  let acc = B.alloc b Ty.Float (B.i64 b 1) in
+  B.store b acc (B.i64 b 0) (B.f64 b 0.0);
+  B.for_n b n (fun i ->
+      let cur = B.load b acc (B.i64 b 0) in
+      let x = B.load b v i in
+      B.store b acc (B.i64 b 0) (B.add b cur (B.mul b x x)));
+  B.return b (Some (B.load b acc (B.i64 b 0)));
+  ignore (B.finish b);
+  check_ok "callee mutating buffers" prog "drv"
+    [ GC.ABuf [| 1.0; -2.0; 0.25 |]; GC.AInt 3 ]
+    ~seeds:[ Array.make 3 0.0 ]
+
+let test_recursive_call () =
+  let prog = Prog.create () in
+  (* pow4(x, k): x^(2^k) by recursive squaring *)
+  let b, ps =
+    B.func prog "pk" ~params:[ "x", Ty.Float; "k", Ty.Int ] ~ret:Ty.Float
+  in
+  let x, k = two ps in
+  let c = B.le b k (B.i64 b 0) in
+  let r =
+    B.if_ b c ~results:[ Ty.Float ]
+      ~then_:(fun () -> [ x ])
+      ~else_:(fun () ->
+        let sub =
+          B.call b ~ret:Ty.Float "pk" [ x; B.sub b k (B.i64 b 1) ]
+        in
+        [ B.mul b sub sub ])
+  in
+  B.return b (Some (List.hd r));
+  ignore (B.finish b);
+  check_ok "recursion" prog "pk" [ GC.AScalar 1.1; GC.AInt 3 ]
+
+let test_tasks_gradient () =
+  let prog = Prog.create () in
+  (* worker(x, out, i): out[i] = sin(x[i]) * x[i] *)
+  let b, ps =
+    B.func prog "worker"
+      ~params:[ "x", Ty.Ptr Ty.Float; "out", Ty.Ptr Ty.Float; "i", Ty.Int ]
+      ~ret:Ty.Unit
+  in
+  let x, out, i = three ps in
+  let xi = B.load b x i in
+  B.store b out i (B.mul b (B.sin_ b xi) xi);
+  B.return b None;
+  ignore (B.finish b);
+  let b, ps =
+    B.func prog "spawnmain"
+      ~params:[ "x", Ty.Ptr Ty.Float; "out", Ty.Ptr Ty.Float; "n", Ty.Int ]
+      ~ret:Ty.Unit
+  in
+  let x, out, n = three ps in
+  let hs = B.alloc b Ty.Int n in
+  B.for_n b n (fun i -> B.store b hs i (B.spawn b "worker" [ x; out; i ]));
+  B.for_n b n (fun i -> B.sync b (B.load b hs i));
+  B.free b hs;
+  B.return b None;
+  ignore (B.finish b);
+  let input = [| 0.4; 1.9; -0.8; 2.2 |] in
+  check_ok "task gradient" prog "spawnmain"
+    [ GC.ABuf input; GC.ABuf (Array.make 4 0.0); GC.AInt 4 ]
+    ~seeds:[ Array.make 4 0.0; Array.make 4 1.0 ]
+
+(* ---- fork/join parallelism ---- *)
+
+let omp_square_prog () =
+  let prog = Prog.create () in
+  let b, ps =
+    B.func prog "psq"
+      ~attrs:[ Func.noalias; Func.noalias; Func.default_attr ]
+      ~params:[ "x", Ty.Ptr Ty.Float; "out", Ty.Ptr Ty.Float; "n", Ty.Int ]
+      ~ret:Ty.Unit
+  in
+  let x, out, n = three ps in
+  B.parallel_for b ~lo:(B.i64 b 0) ~hi:n (fun i ->
+      let xi = B.load b x i in
+      B.store b out i (B.mul b (B.exp_ b xi) xi));
+  B.return b None;
+  ignore (B.finish b);
+  prog
+
+let test_parallel_for_gradient () =
+  let prog = omp_square_prog () in
+  let input = [| 0.1; 0.9; -1.1; 0.6; 1.4; -0.2 |] in
+  List.iter
+    (fun w ->
+      check_ok
+        (Printf.sprintf "omp gradient w=%d" w)
+        ~cfg:(cfg w) prog "psq"
+        [ GC.ABuf input; GC.ABuf (Array.make 6 0.0); GC.AInt 6 ]
+        ~seeds:[ Array.make 6 0.0; Array.make 6 1.0 ])
+    [ 1; 3; 8 ]
+
+let test_parallel_gradient_matches_serial () =
+  let prog = omp_square_prog () in
+  let input = [| 0.1; 0.9; -1.1; 0.6; 1.4; -0.2 |] in
+  let grad w =
+    let g =
+      GC.reverse ~cfg:(cfg w) prog "psq"
+        [ GC.ABuf input; GC.ABuf (Array.make 6 0.0); GC.AInt 6 ]
+        ~seeds:[ Array.make 6 0.0; Array.make 6 1.0 ]
+    in
+    List.hd g.GC.d_bufs
+  in
+  let g1 = grad 1 and g8 = grad 8 in
+  Array.iteri
+    (fun i x -> Alcotest.check feq (Printf.sprintf "elt %d" i) x g8.(i))
+    g1
+
+let () =
+  Alcotest.run "ad"
+    [
+      ( "scalar",
+        [
+          Alcotest.test_case "square" `Quick test_square;
+          Alcotest.test_case "transcendental" `Quick test_transcendental;
+          Alcotest.test_case "min/max/abs/select" `Quick
+            test_minmax_abs_select;
+          Alcotest.test_case "pow" `Quick test_pow;
+        ] );
+      ( "memory+control",
+        [
+          Alcotest.test_case "buffer map" `Quick test_buffer_map;
+          Alcotest.test_case "product reduction" `Quick
+            test_product_reduction;
+          Alcotest.test_case "nested loops" `Quick test_nested_loops;
+          Alcotest.test_case "branches" `Quick test_branches;
+          Alcotest.test_case "while" `Quick test_while_loop;
+          Alcotest.test_case "gep views" `Quick test_gep_aliasing_views;
+        ] );
+      ( "calls",
+        [
+          Alcotest.test_case "split calls" `Quick test_call_split;
+          Alcotest.test_case "buffer-mutating callee" `Quick
+            test_call_with_buffers;
+          Alcotest.test_case "recursion" `Quick test_recursive_call;
+          Alcotest.test_case "tasks" `Quick test_tasks_gradient;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "parallel for" `Quick test_parallel_for_gradient;
+          Alcotest.test_case "parallel == serial" `Quick
+            test_parallel_gradient_matches_serial;
+        ] );
+    ]

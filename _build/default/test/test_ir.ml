@@ -1,0 +1,180 @@
+(* IR construction, verification, and printing. *)
+
+open Parad_ir
+module B = Builder
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let build_square () =
+  let prog = Prog.create () in
+  let b, ps = B.func prog "square" ~params:[ "x", Ty.Float ] ~ret:Ty.Float in
+  let x = List.hd ps in
+  let y = B.mul b x x in
+  B.return b (Some y);
+  ignore (B.finish b);
+  prog
+
+let test_build_and_verify () =
+  let prog = build_square () in
+  match Verifier.check_prog_result prog with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "verifier rejected valid program: %s" m
+
+let test_printer () =
+  let prog = build_square () in
+  let s = Printer.prog_to_string prog in
+  Alcotest.(check bool) "func header" true (contains s "func @square");
+  Alcotest.(check bool) "mul op" true (contains s "mul");
+  Alcotest.(check bool) "return" true (contains s "return")
+
+let test_use_before_def_rejected () =
+  let prog = Prog.create () in
+  let b, _ = B.func prog "bad" ~params:[] ~ret:Ty.Float in
+  let ghost = Var.make ~id:17 ~ty:Ty.Float ~name:"ghost" in
+  let v = B.add b ghost ghost in
+  B.return b (Some v);
+  ignore (B.finish b);
+  match Verifier.check_prog_result prog with
+  | Ok () -> Alcotest.fail "verifier accepted use-before-def"
+  | Error _ -> ()
+
+let test_type_mismatch_rejected () =
+  let prog = Prog.create () in
+  let b, _ = B.func prog "bad2" ~params:[] ~ret:Ty.Float in
+  let i = B.i64 b 1 in
+  B.return b (Some i);
+  ignore (B.finish b);
+  match Verifier.check_prog_result prog with
+  | Ok () -> Alcotest.fail "verifier accepted return type mismatch"
+  | Error _ -> ()
+
+let test_workshare_outside_fork_rejected () =
+  let prog = Prog.create () in
+  let b, _ = B.func prog "bad3" ~params:[] ~ret:Ty.Unit in
+  let lo = B.i64 b 0 and hi = B.i64 b 4 in
+  B.workshare b ~lo ~hi (fun _ -> ());
+  B.return b None;
+  ignore (B.finish b);
+  match Verifier.check_prog_result prog with
+  | Ok () -> Alcotest.fail "verifier accepted workshare outside fork"
+  | Error _ -> ()
+
+let test_nested_fork_rejected () =
+  let prog = Prog.create () in
+  let b, _ = B.func prog "bad4" ~params:[] ~ret:Ty.Unit in
+  B.fork b (fun ~tid:_ ~nth:_ -> B.fork b (fun ~tid:_ ~nth:_ -> ()));
+  B.return b None;
+  ignore (B.finish b);
+  match Verifier.check_prog_result prog with
+  | Ok () -> Alcotest.fail "verifier accepted nested fork"
+  | Error _ -> ()
+
+let test_structured_builder () =
+  let prog = Prog.create () in
+  let b, ps = B.func prog "f" ~params:[ "n", Ty.Int ] ~ret:Ty.Float in
+  let n = List.hd ps in
+  let acc = B.alloc b Ty.Float (B.i64 b 1) in
+  B.store b acc (B.i64 b 0) (B.f64 b 0.0);
+  B.for_n b n (fun i ->
+      let x = B.to_float b i in
+      let cur = B.load b acc (B.i64 b 0) in
+      B.store b acc (B.i64 b 0) (B.add b cur x));
+  let r = B.load b acc (B.i64 b 0) in
+  B.free b acc;
+  B.return b (Some r);
+  ignore (B.finish b);
+  match Verifier.check_prog_result prog with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "loop program rejected: %s" m
+
+let test_if_yield_types () =
+  let prog = Prog.create () in
+  let b, ps = B.func prog "g" ~params:[ "x", Ty.Float ] ~ret:Ty.Float in
+  let x = List.hd ps in
+  let c = B.gt b x (B.f64 b 0.0) in
+  let r =
+    B.if_ b c ~results:[ Ty.Float ]
+      ~then_:(fun () -> [ x ])
+      ~else_:(fun () -> [ B.neg b x ])
+  in
+  B.return b (Some (List.hd r));
+  ignore (B.finish b);
+  match Verifier.check_prog_result prog with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "if program rejected: %s" m
+
+let test_parallel_constructs_verify () =
+  let prog = Prog.create () in
+  let b, ps =
+    B.func prog "pf" ~params:[ "out", Ty.Ptr Ty.Float; "n", Ty.Int ]
+      ~ret:Ty.Unit
+  in
+  let out, n = match ps with [ a; b ] -> a, b | _ -> assert false in
+  B.fork b (fun ~tid ~nth:_ ->
+      B.workshare b ~lo:(B.i64 b 0) ~hi:n (fun i ->
+          B.store b out i (B.to_float b i));
+      B.barrier b;
+      ignore tid);
+  B.return b None;
+  ignore (B.finish b);
+  match Verifier.check_prog_result prog with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "parallel program rejected: %s" m
+
+let test_instr_fold_counts () =
+  let prog = build_square () in
+  let f = Prog.find_exn prog "square" in
+  let count = Instr.fold_instrs (fun acc _ -> acc + 1) 0 f.body in
+  Alcotest.(check int) "instr count" 2 count
+
+let ty_gen =
+  QCheck.make
+    (QCheck.Gen.sized (fun n ->
+         let rec gen n =
+           if n = 0 then QCheck.Gen.oneofl [ Ty.Unit; Ty.Bool; Ty.Int; Ty.Float ]
+           else
+             QCheck.Gen.oneof
+               [
+                 QCheck.Gen.oneofl [ Ty.Unit; Ty.Bool; Ty.Int; Ty.Float ];
+                 QCheck.Gen.map (fun t -> Ty.Ptr t) (gen (n / 2));
+               ]
+         in
+         gen (min n 6)))
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"ty_equal_refl" ~count:200 ty_gen (fun t ->
+           Ty.equal t t));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"ptr_elem_roundtrip" ~count:200 ty_gen (fun t ->
+           Ty.equal (Ty.elem (Ty.Ptr t)) t));
+  ]
+
+let () =
+  Alcotest.run "ir"
+    [
+      ( "builder",
+        [
+          Alcotest.test_case "build+verify" `Quick test_build_and_verify;
+          Alcotest.test_case "printer" `Quick test_printer;
+          Alcotest.test_case "loop program" `Quick test_structured_builder;
+          Alcotest.test_case "if yields" `Quick test_if_yield_types;
+          Alcotest.test_case "parallel constructs" `Quick
+            test_parallel_constructs_verify;
+          Alcotest.test_case "fold_instrs" `Quick test_instr_fold_counts;
+        ] );
+      ( "verifier",
+        [
+          Alcotest.test_case "use-before-def" `Quick
+            test_use_before_def_rejected;
+          Alcotest.test_case "type mismatch" `Quick test_type_mismatch_rejected;
+          Alcotest.test_case "workshare placement" `Quick
+            test_workshare_outside_fork_rejected;
+          Alcotest.test_case "nested fork" `Quick test_nested_fork_rejected;
+        ] );
+      "props", qcheck_tests;
+    ]

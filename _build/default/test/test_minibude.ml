@@ -1,0 +1,120 @@
+(* miniBUDE proxy: variant agreement, gradient correctness vs finite
+   differences, and the Julia-overhead property the paper reports. *)
+
+module MB = Apps_minibude.Minibude
+
+let feq eps = Alcotest.float eps
+
+let small = MB.deck ~nposes:6 ~natlig:3 ~natpro:4
+
+let test_variants_agree () =
+  let seq = MB.run MB.Seq small in
+  let omp = MB.run ~nthreads:4 MB.Omp small in
+  let jl = MB.run ~nthreads:4 MB.Julia small in
+  Array.iteri
+    (fun i e ->
+      Alcotest.check (feq 1e-10) (Printf.sprintf "omp pose %d" i) e
+        omp.MB.energies.(i);
+      Alcotest.check (feq 1e-10) (Printf.sprintf "jl pose %d" i) e
+        jl.MB.energies.(i))
+    seq.MB.energies
+
+let fd_check variant ~nthreads =
+  (* finite differences on the ligand coordinates through the full
+     variant *)
+  let g = MB.gradient ~nthreads variant small in
+  let h = 1e-6 in
+  let loss lig_data =
+    let inp = { small with MB.lig_data } in
+    Array.fold_left ( +. ) 0.0 (MB.run ~nthreads variant inp).MB.energies
+  in
+  Array.iteri
+    (fun i _ ->
+      let up =
+        let c = Array.copy small.MB.lig_data in
+        c.(i) <- c.(i) +. h;
+        loss c
+      in
+      let dn =
+        let c = Array.copy small.MB.lig_data in
+        c.(i) <- c.(i) -. h;
+        loss c
+      in
+      let fd = (up -. dn) /. (2.0 *. h) in
+      let ad = g.MB.d_lig.(i) in
+      let scale = Float.max 1.0 (Float.max (Float.abs fd) (Float.abs ad)) in
+      Alcotest.check (feq 1e-4)
+        (Printf.sprintf "d lig[%d] (fd=%g ad=%g)" i fd ad)
+        0.0
+        ((fd -. ad) /. scale))
+    small.MB.lig_data
+
+let test_gradient_seq () = fd_check MB.Seq ~nthreads:1
+let test_gradient_omp () = fd_check MB.Omp ~nthreads:4
+let test_gradient_julia () = fd_check MB.Julia ~nthreads:3
+
+let test_gradients_match_across_variants () =
+  let gs = MB.gradient MB.Seq small in
+  let go = MB.gradient ~nthreads:4 MB.Omp small in
+  let gj = MB.gradient ~nthreads:4 MB.Julia small in
+  Array.iteri
+    (fun i x ->
+      Alcotest.check (feq 1e-9) "omp poses grad" x go.MB.d_poses.(i);
+      Alcotest.check (feq 1e-9) "jl poses grad" x gj.MB.d_poses.(i))
+    gs.MB.d_poses
+
+let test_julia_overhead_higher () =
+  (* §VIII: miniBUDE.jl's gradient overhead is higher than the (optimized,
+     as Enzyme sees it post-Clang-O2+OpenMPOpt) OpenMP version's, because
+     the descriptor indirection defeats alias analysis and forces
+     caching *)
+  let inp = MB.deck ~nposes:16 ~natlig:6 ~natpro:8 in
+  let overhead ?(pre = []) variant =
+    let p = (MB.run ~nthreads:4 ~pre variant inp).MB.makespan in
+    let g = (MB.gradient ~nthreads:4 ~pre variant inp).MB.g_makespan in
+    g /. p
+  in
+  let o_omp = overhead ~pre:Parad_opt.Pipeline.o2_openmp MB.Omp in
+  let o_jl = overhead ~pre:Parad_opt.Pipeline.o2 MB.Julia in
+  Alcotest.(check bool)
+    (Printf.sprintf "julia overhead (%.2fx) > omp overhead (%.2fx)" o_jl o_omp)
+    true (o_jl > o_omp)
+
+let test_omp_scales () =
+  let inp = MB.deck ~nposes:64 ~natlig:8 ~natpro:10 in
+  let t w = (MB.run ~nthreads:w MB.Omp inp).MB.makespan in
+  let t1 = t 1 and t8 = t 8 in
+  Alcotest.(check bool)
+    (Printf.sprintf "omp speedup %.2f" (t1 /. t8))
+    true
+    (t8 < t1 /. 4.0)
+
+let test_gradient_scales () =
+  let inp = MB.deck ~nposes:64 ~natlig:8 ~natpro:10 in
+  let t w = (MB.gradient ~nthreads:w MB.Omp inp).MB.g_makespan in
+  let t1 = t 1 and t8 = t 8 in
+  Alcotest.(check bool)
+    (Printf.sprintf "gradient speedup %.2f" (t1 /. t8))
+    true
+    (t8 < t1 /. 4.0)
+
+let () =
+  Alcotest.run "minibude"
+    [
+      ( "primal",
+        [
+          Alcotest.test_case "variants agree" `Quick test_variants_agree;
+          Alcotest.test_case "omp scales" `Quick test_omp_scales;
+        ] );
+      ( "gradient",
+        [
+          Alcotest.test_case "seq vs fd" `Quick test_gradient_seq;
+          Alcotest.test_case "omp vs fd" `Quick test_gradient_omp;
+          Alcotest.test_case "julia vs fd" `Quick test_gradient_julia;
+          Alcotest.test_case "variants agree" `Quick
+            test_gradients_match_across_variants;
+          Alcotest.test_case "julia overhead higher" `Quick
+            test_julia_overhead_higher;
+          Alcotest.test_case "gradient scales" `Quick test_gradient_scales;
+        ] );
+    ]

@@ -1,0 +1,196 @@
+(* The operator-overloading tape baseline (CoDiPack analog): correctness
+   against the compiler-integrated engine and finite differences, its
+   adjoint-MPI extension, its OpenMP limitation, and the cost-model
+   property the paper's Fig 8 analysis hinges on (high serial gradient
+   overhead). *)
+
+open Parad_ir
+open Parad_runtime
+module B = Builder
+module GC = Parad_verify.Grad_check
+module TC = Parad_verify.Tape_check
+
+let feq = Alcotest.float 1e-8
+
+let two ps = match ps with [ a; b ] -> a, b | _ -> assert false
+
+(* shared serial test kernel: y = sum_i sin(x_i) * x_i^2 *)
+let serial_prog () =
+  let prog = Prog.create () in
+  let b, ps =
+    B.func prog "k" ~params:[ "x", Ty.Ptr Ty.Float; "n", Ty.Int ]
+      ~ret:Ty.Float
+  in
+  let x, n = two ps in
+  let acc = B.alloc b Ty.Float (B.i64 b 1) in
+  B.store b acc (B.i64 b 0) (B.f64 b 0.0);
+  B.for_n b n (fun i ->
+      let xi = B.load b x i in
+      let v = B.mul b (B.sin_ b xi) (B.mul b xi xi) in
+      let cur = B.load b acc (B.i64 b 0) in
+      B.store b acc (B.i64 b 0) (B.add b cur v));
+  B.return b (Some (B.load b acc (B.i64 b 0)));
+  ignore (B.finish b);
+  prog
+
+let input = [| 0.4; -1.3; 2.1; 0.9 |]
+
+let test_tape_matches_enzyme () =
+  let prog = serial_prog () in
+  let args = [ GC.ABuf input; GC.AInt 4 ] in
+  let seeds = [ Array.make 4 0.0 ] in
+  let enzyme = GC.reverse prog "k" args ~seeds in
+  let tape, _ = TC.reverse prog "k" args ~seeds in
+  Alcotest.check feq "primal" enzyme.GC.primal tape.GC.primal;
+  Array.iter2
+    (fun a b -> Alcotest.check feq "adjoint" a b)
+    (List.hd enzyme.GC.d_bufs)
+    (List.hd tape.GC.d_bufs)
+
+let test_tape_entries_recorded () =
+  let prog = serial_prog () in
+  let _, tape =
+    TC.reverse prog "k"
+      [ GC.ABuf input; GC.AInt 4 ]
+      ~seeds:[ Array.make 4 0.0 ]
+  in
+  Alcotest.(check bool)
+    "tape grew" true
+    (Parad_tape.Tape.length tape > 4 * 3)
+
+let test_tape_serial_overhead_higher_than_enzyme () =
+  (* the crux of the paper's CoDiPack comparison: per-statement taping
+     makes the serial gradient much slower than the compiler-generated
+     one *)
+  let prog = serial_prog () in
+  let big = Array.init 256 (fun i -> 0.01 *. float_of_int (i + 1)) in
+  let args = [ GC.ABuf big; GC.AInt 256 ] in
+  let seeds = [ Array.make 256 0.0 ] in
+  let primal =
+    let _, _, res = GC.run_primal prog "k" args in
+    res.Exec.makespan
+  in
+  let enzyme = (GC.reverse prog "k" args ~seeds).GC.makespan in
+  let tape = (fst (TC.reverse prog "k" args ~seeds)).GC.makespan in
+  let eo = enzyme /. primal and to_ = tape /. primal in
+  Alcotest.(check bool)
+    (Printf.sprintf "tape overhead (%.2fx) > enzyme overhead (%.2fx)" to_ eo)
+    true (to_ > eo)
+
+let test_tape_rejects_openmp () =
+  let prog = Prog.create () in
+  let b, ps =
+    B.func prog "pf" ~params:[ "x", Ty.Ptr Ty.Float; "n", Ty.Int ]
+      ~ret:Ty.Unit
+  in
+  let x, n = two ps in
+  B.parallel_for b ~lo:(B.i64 b 0) ~hi:n (fun i ->
+      B.store b x i (B.f64 b 1.0));
+  B.return b None;
+  ignore (B.finish b);
+  match
+    TC.reverse prog "pf"
+      [ GC.ABuf [| 0.0; 0.0 |]; GC.AInt 2 ]
+      ~seeds:[ Array.make 2 1.0 ]
+  with
+  | _ -> Alcotest.fail "tape accepted fork/join parallelism"
+  | exception Value.Runtime_error _ -> ()
+
+(* MPI: ring exchange, tape vs enzyme vs exact *)
+let ring_prog () =
+  let prog = Prog.create () in
+  let b, ps =
+    B.func prog "ring"
+      ~attrs:[ Func.noalias; Func.default_attr ]
+      ~params:[ "x", Ty.Ptr Ty.Float; "n", Ty.Int ]
+      ~ret:Ty.Float
+  in
+  let x, n = two ps in
+  let rank = B.call b ~ret:Ty.Int "mpi.rank" [] in
+  let size = B.call b ~ret:Ty.Int "mpi.size" [] in
+  let one = B.i64 b 1 in
+  let next = B.rem b (B.add b rank one) size in
+  let prev = B.rem b (B.add b rank (B.sub b size one)) size in
+  let y = B.alloc b Ty.Float n in
+  let tag = B.i64 b 5 in
+  let sreq = B.call b ~ret:Ty.Int "mpi.isend" [ x; n; next; tag ] in
+  let rreq = B.call b ~ret:Ty.Int "mpi.irecv" [ y; n; prev; tag ] in
+  ignore (B.call b ~ret:Ty.Unit "mpi.wait" [ sreq ]);
+  ignore (B.call b ~ret:Ty.Unit "mpi.wait" [ rreq ]);
+  let acc = B.alloc b Ty.Float one in
+  B.store b acc (B.i64 b 0) (B.f64 b 0.0);
+  B.for_n b n (fun i ->
+      let yi = B.load b y i in
+      let cur = B.load b acc (B.i64 b 0) in
+      B.store b acc (B.i64 b 0) (B.add b cur (B.mul b yi yi)));
+  let out = B.alloc b Ty.Float one in
+  ignore (B.call b ~ret:Ty.Unit "mpi.allreduce_sum" [ acc; out; one ]);
+  B.return b (Some (B.load b out (B.i64 b 0)));
+  ignore (B.finish b);
+  prog
+
+let test_tape_ampi_matches_enzyme () =
+  let prog = ring_prog () in
+  let nranks = 4 in
+  let n = 3 in
+  let data rank = Array.init n (fun i -> 0.2 +. (0.3 *. float_of_int (rank + i))) in
+  let args ~rank = [ GC.ABuf (data rank); GC.AInt n ] in
+  let seeds ~rank:_ = [ Array.make n 0.0 ] in
+  let d_ret ~rank = if rank = 0 then 1.0 else 0.0 in
+  let enzyme = GC.reverse_spmd prog "ring" ~nranks ~args ~seeds ~d_ret in
+  let tape, _ = TC.reverse_spmd prog "ring" ~nranks ~args ~seeds ~d_ret in
+  for r = 0 to nranks - 1 do
+    Array.iter2
+      (fun a b -> Alcotest.check feq (Printf.sprintf "rank %d" r) a b)
+      (List.hd enzyme.GC.s_d_bufs.(r))
+      (List.hd tape.GC.s_d_bufs.(r))
+  done
+
+let test_tape_ampi_scaling_artifact () =
+  (* fig 8's analysis: tape "scales better" only because its serial
+     overhead dominates at low rank counts. Check the signature: the
+     tape/enzyme gradient-time ratio shrinks as ranks increase. *)
+  let prog = ring_prog () in
+  let total = 8192 in
+  let time_of tool nranks =
+    (* strong scaling: fixed total work split across ranks *)
+    let n = total / nranks in
+    let args ~rank =
+      [ GC.ABuf (Array.init n (fun i -> 0.01 *. float_of_int (rank + i))); GC.AInt n ]
+    in
+    let seeds ~rank:_ = [ Array.make n 0.0 ] in
+    let d_ret ~rank = if rank = 0 then 1.0 else 0.0 in
+    match tool with
+    | `Enzyme ->
+      (GC.reverse_spmd prog "ring" ~nranks ~args ~seeds ~d_ret).GC.s_makespan
+    | `Tape ->
+      (fst (TC.reverse_spmd prog "ring" ~nranks ~args ~seeds ~d_ret))
+        .GC.s_makespan
+  in
+  let ratio nranks = time_of `Tape nranks /. time_of `Enzyme nranks in
+  let r2 = ratio 2 and r8 = ratio 8 in
+  Alcotest.(check bool)
+    (Printf.sprintf "tape/enzyme ratio shrinks with ranks (%.2f -> %.2f)" r2
+       r8)
+    true (r8 < r2)
+
+let () =
+  Alcotest.run "tape"
+    [
+      ( "serial",
+        [
+          Alcotest.test_case "matches enzyme" `Quick test_tape_matches_enzyme;
+          Alcotest.test_case "records entries" `Quick
+            test_tape_entries_recorded;
+          Alcotest.test_case "higher serial overhead" `Quick
+            test_tape_serial_overhead_higher_than_enzyme;
+          Alcotest.test_case "rejects openmp" `Quick test_tape_rejects_openmp;
+        ] );
+      ( "ampi",
+        [
+          Alcotest.test_case "matches enzyme" `Quick
+            test_tape_ampi_matches_enzyme;
+          Alcotest.test_case "scaling artifact" `Quick
+            test_tape_ampi_scaling_artifact;
+        ] );
+    ]
