@@ -10,7 +10,22 @@
 open Cmdliner
 module L = Apps_lulesh.Lulesh
 module MB = Apps_minibude.Minibude
+module Sim = Parad_runtime.Sim
+module Faults = Parad_runtime.Faults
+module Comm_check = Parad_verify.Comm_check
 open Parad_ir
+
+(* Uniform failure semantics for every subcommand: a deadlock prints the
+   structured wait-for report and exits 3; a runtime error prints the
+   message and exits 2 — never an uncaught exception backtrace. *)
+let guarded f =
+  try f () with
+  | Sim.Deadlock d ->
+    Format.eprintf "%a@." Sim.pp_diagnosis d;
+    exit 3
+  | Parad_runtime.Value.Runtime_error msg ->
+    Printf.eprintf "runtime error: %s\n" msg;
+    exit 2
 
 let lulesh_flavors =
   [
@@ -100,10 +115,12 @@ let run_cmd =
         escale = 1.0;
       }
     in
-    let r = L.run ~nranks:ranks ~nthreads:threads flavor inp in
-    Printf.printf "%s: total energy %.6f, %.0f virtual cycles\n"
-      (L.flavor_name flavor) r.L.total_energy r.L.makespan;
-    Printf.printf "stats: %s\n" (Fmt.str "%a" Parad_runtime.Stats.pp r.L.stats)
+    guarded (fun () ->
+        let r = L.run ~nranks:ranks ~nthreads:threads flavor inp in
+        Printf.printf "%s: total energy %.6f, %.0f virtual cycles\n"
+          (L.flavor_name flavor) r.L.total_energy r.L.makespan;
+        Printf.printf "stats: %s\n"
+          (Fmt.str "%a" Parad_runtime.Stats.pp r.L.stats))
   in
   Cmd.v (Cmd.info "run" ~doc:"run a LULESH variant in the simulator")
     Term.(const run $ flavor_arg $ ranks_arg $ threads_arg $ size_arg $ iters_arg)
@@ -120,15 +137,16 @@ let grad_cmd =
         escale = 1.0;
       }
     in
-    let p = L.run ~nranks:ranks ~nthreads:threads flavor inp in
-    let g = L.gradient ~nranks:ranks ~nthreads:threads flavor inp in
-    Printf.printf
-      "%s: forward %.0f cycles, gradient %.0f cycles, overhead %.2fx\n"
-      (L.flavor_name flavor) p.L.makespan g.L.g_makespan
-      (g.L.g_makespan /. p.L.makespan);
-    let d = g.L.d_energy.(0) in
-    Printf.printf "d total / d e[0..3] = %.4f %.4f %.4f %.4f\n" d.(0) d.(1)
-      d.(2) d.(3)
+    guarded (fun () ->
+        let p = L.run ~nranks:ranks ~nthreads:threads flavor inp in
+        let g = L.gradient ~nranks:ranks ~nthreads:threads flavor inp in
+        Printf.printf
+          "%s: forward %.0f cycles, gradient %.0f cycles, overhead %.2fx\n"
+          (L.flavor_name flavor) p.L.makespan g.L.g_makespan
+          (g.L.g_makespan /. p.L.makespan);
+        let d = g.L.d_energy.(0) in
+        Printf.printf "d total / d e[0..3] = %.4f %.4f %.4f %.4f\n" d.(0)
+          d.(1) d.(2) d.(3))
   in
   Cmd.v
     (Cmd.info "grad" ~doc:"differentiate a LULESH variant and report overhead")
@@ -136,6 +154,7 @@ let grad_cmd =
 
 let check_cmd =
   let run () =
+    guarded @@ fun () ->
     let tiny =
       { L.nx = 2; ny = 2; nz = 4; niter = 3; dt0 = 0.01; escale = 1.0 }
     in
@@ -159,6 +178,142 @@ let check_cmd =
     (Cmd.info "check" ~doc:"gradient vs finite differences sanity check")
     Term.(const run $ const ())
 
+(* ---- fault injection: run an application gradient under a named fault
+   plan, print the retry/loss statistics, the structured deadlock
+   diagnosis if the plan is unrecoverable, and the post-run communication
+   audit. Exit codes: 0 clean, 1 audit found issues, 2 runtime error,
+   3 deadlock. *)
+let faults_cmd =
+  let plan_arg =
+    Arg.(
+      value
+      & opt string "drop-retry"
+      & info [ "plan" ]
+          ~doc:
+            (Printf.sprintf "fault plan: %s"
+               (String.concat "|" Faults.plan_names)))
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"fault plan PRNG seed")
+  in
+  let victim_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "victim" ]
+          ~doc:"rank targeted by stall/kill/blackhole/delay plans")
+  in
+  let at_arg =
+    Arg.(
+      value
+      & opt float 0.0
+      & info [ "at" ] ~doc:"virtual time a stall/kill fires at")
+  in
+  let primal_arg =
+    Arg.(
+      value & flag
+      & info [ "primal" ] ~doc:"run the primal instead of the gradient")
+  in
+  let app_arg =
+    Arg.(
+      value
+      & opt (enum [ "lulesh", `Lulesh; "bude", `Bude ]) `Lulesh
+      & info [ "app" ] ~doc:"application: lulesh|bude")
+  in
+  let run app plan_name flavor ranks threads size iters seed victim at primal
+      =
+    let plan =
+      try Faults.plan_of_name ~seed ?rank:victim ~at ~nranks:ranks plan_name
+      with Invalid_argument msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 2
+    in
+    Format.printf "%a@." Faults.pp_plan plan;
+    match app with
+    | `Bude ->
+      (* miniBUDE has no message-passing variant: the plan gates MPI
+         operations only, so it cannot fire here — still run the gradient
+         under the same guarded semantics. *)
+      Printf.printf
+        "note: miniBUDE has no MPI variant; the fault plan has nothing to \
+         inject\n";
+      guarded (fun () ->
+          let inp = MB.deck ~nposes:16 ~natlig:8 ~natpro:16 in
+          let g = MB.gradient ~nthreads:threads MB.Omp inp in
+          Printf.printf "bude_omp gradient: %.0f virtual cycles, |d_poses| \
+                         = %d\n"
+            g.MB.g_makespan
+            (Array.length g.MB.d_poses))
+    | `Lulesh ->
+      let inp =
+        {
+          L.nx = size;
+          ny = size;
+          nz = (size * ranks + ranks - 1) / ranks * ranks;
+          niter = iters;
+          dt0 = 0.01;
+          escale = 1.0;
+        }
+      in
+      let mpi_ref = ref None in
+      let audit () =
+        match !mpi_ref with
+        | Some m ->
+          let issues = Comm_check.audit m in
+          print_endline (Comm_check.report issues);
+          issues <> []
+        | None -> false
+      in
+      (try
+         if primal then begin
+           let r =
+             L.run ~nranks:ranks ~nthreads:threads ~faults:plan ~mpi_ref
+               flavor inp
+           in
+           Printf.printf "%s under %S: total energy %.6f, %.0f virtual \
+                          cycles\n"
+             (L.flavor_name flavor) plan.Faults.name r.L.total_energy
+             r.L.makespan;
+           Printf.printf "stats: %s\n"
+             (Fmt.str "%a" Parad_runtime.Stats.pp r.L.stats)
+         end
+         else begin
+           let g =
+             L.gradient ~nranks:ranks ~nthreads:threads ~faults:plan
+               ~mpi_ref flavor inp
+           in
+           let d = g.L.d_energy.(0) in
+           Printf.printf
+             "%s gradient under %S: %.0f virtual cycles\nd total / d \
+              e[0..3] = %.4f %.4f %.4f %.4f\n"
+             (L.flavor_name flavor) plan.Faults.name g.L.g_makespan d.(0)
+             d.(1) d.(2) d.(3);
+           Printf.printf "stats: %s\n"
+             (Fmt.str "%a" Parad_runtime.Stats.pp g.L.g_stats)
+         end;
+         if audit () then exit 1
+       with
+      | Sim.Deadlock d ->
+        Format.printf "%a@." Sim.pp_diagnosis d;
+        ignore (audit ());
+        exit 3
+      | Parad_runtime.Value.Runtime_error msg ->
+        Printf.printf "runtime error: %s\n" msg;
+        ignore (audit ());
+        exit 2)
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "run an application gradient under a deterministic fault plan and \
+          report the diagnosis")
+    Term.(
+      const run $ app_arg $ plan_arg $ flavor_arg $ ranks_arg $ threads_arg
+      $ size_arg $ iters_arg $ seed_arg $ victim_arg $ at_arg $ primal_arg)
+
 let () =
   let info = Cmd.info "parad" ~doc:"parallel AD through compiler augmentation" in
-  exit (Cmd.eval (Cmd.group info [ ir_cmd; gradient_cmd; run_cmd; grad_cmd; check_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ ir_cmd; gradient_cmd; run_cmd; grad_cmd; check_cmd; faults_cmd ]))

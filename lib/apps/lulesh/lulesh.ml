@@ -607,9 +607,11 @@ let setup_args flavor (inp : input) ~nranks (ctx : Interp.ctx) ~rank =
     [ xb; yb; zb; xdb; ydb; zdb; eb ],
     m )
 
-(** Run a variant; [nranks] > 1 requires an MPI-using flavor. *)
-let run ?(nthreads = 1) ?(nranks = 1) ?(pre = []) flavor (inp : input) :
-    run_result =
+(** Run a variant; [nranks] > 1 requires an MPI-using flavor. [faults]
+    injects a deterministic communication-fault plan; [mpi_ref] captures
+    the MPI state for post-run audit (even on deadlock). *)
+let run ?(nthreads = 1) ?(nranks = 1) ?(pre = []) ?faults ?mpi_ref flavor
+    (inp : input) : run_result =
   let cfg = { Interp.default_config with nthreads } in
   let prog = program flavor in
   let prog =
@@ -617,7 +619,8 @@ let run ?(nthreads = 1) ?(nranks = 1) ?(pre = []) flavor (inp : input) :
     else Parad_opt.Pipeline.run prog pre
   in
   let res =
-    Exec.run_spmd ~cfg prog ~nranks ~fname:(flavor_name flavor)
+    Exec.run_spmd ~cfg ?faults ?mpi_ref prog ~nranks
+      ~fname:(flavor_name flavor)
       ~setup:(fun ctx ~rank ->
         let args, _, _ = setup_args flavor inp ~nranks ctx ~rank in
         args)
@@ -641,7 +644,7 @@ type grad_result = {
     all-reduced and identical on every rank). *)
 let gradient ?(nthreads = 1) ?(nranks = 1)
     ?(opts = Parad_core.Plan.default_options) ?(post_opt = true) ?(pre = [])
-    flavor (inp : input) : grad_result =
+    ?faults ?mpi_ref flavor (inp : input) : grad_result =
   let cfg = { Interp.default_config with nthreads } in
   let prog = program flavor in
   let prog =
@@ -658,7 +661,8 @@ let gradient ?(nthreads = 1) ?(nranks = 1)
   let jl = julia flavor in
   let shadows = Array.make nranks [||] in
   let res =
-    Exec.run_spmd ~cfg dprog ~nranks ~fname:dname ~setup:(fun ctx ~rank ->
+    Exec.run_spmd ~cfg ?faults ?mpi_ref dprog ~nranks ~fname:dname
+      ~setup:(fun ctx ~rank ->
         let args, bufs, m = setup_args flavor inp ~nranks ctx ~rank in
         ignore bufs;
         let nn = Array.length m.node_mass in

@@ -67,14 +67,20 @@ let run ?(cfg = Interp.default_config) prog ~fname ~setup =
   { values = [| value |]; makespan; stats }
 
 (** Run [fname] on [nranks] ranks with distinct address spaces. [setup]
-    builds each rank's arguments. Returns per-rank results. *)
-let run_spmd ?(cfg = Interp.default_config) ?instrument prog ~nranks ~fname
-    ~setup =
+    builds each rank's arguments. Returns per-rank results.
+
+    [faults] injects a deterministic fault plan into the message-passing
+    runtime; [mpi_ref], when given, receives the run's {!Mpi_state.t} as
+    soon as it exists, so callers can audit communication state even when
+    the run terminates with {!Sim.Deadlock}. *)
+let run_spmd ?(cfg = Interp.default_config) ?instrument ?faults ?mpi_ref prog
+    ~nranks ~fname ~setup =
   let stats = Stats.create () in
   let values = Array.make nranks VUnit in
   let (), makespan, stats =
     Sim.run ~cost:cfg.Interp.cost ~stats (fun () ->
-        let mpi = Mpi_state.create ~cost:cfg.Interp.cost ~nranks in
+        let mpi = Mpi_state.create ~cost:cfg.Interp.cost ~nranks ?faults () in
+        (match mpi_ref with Some r -> r := Some mpi | None -> ());
         let ctxs =
           Array.init nranks (fun rank ->
               Interp.make_ctx ~cfg
@@ -97,12 +103,13 @@ let run_spmd ?(cfg = Interp.default_config) ?instrument prog ~nranks ~fname
 (** Run an arbitrary SPMD body (one call per rank) — used by harnesses
     that need several interpreter calls per rank (e.g. the tape baseline's
     forward-then-reverse sweeps). *)
-let run_spmd_custom ?(cfg = Interp.default_config) ?instrument prog ~nranks
-    ~body =
+let run_spmd_custom ?(cfg = Interp.default_config) ?instrument ?faults
+    ?mpi_ref prog ~nranks ~body =
   let stats = Stats.create () in
   let (), makespan, stats =
     Sim.run ~cost:cfg.Interp.cost ~stats (fun () ->
-        let mpi = Mpi_state.create ~cost:cfg.Interp.cost ~nranks in
+        let mpi = Mpi_state.create ~cost:cfg.Interp.cost ~nranks ?faults () in
+        (match mpi_ref with Some r -> r := Some mpi | None -> ());
         let ctxs =
           Array.init nranks (fun rank ->
               Interp.make_ctx ~cfg

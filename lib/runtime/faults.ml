@@ -1,0 +1,273 @@
+(** Deterministic fault injection for the message-passing runtime.
+
+    A {!plan} describes communication failures to inject into an SPMD
+    execution: targeted message faults (drop / delay / duplicate), a
+    seeded per-attempt random drop probability, rank stalls, and rank
+    kills. Because the scheduler is virtual-time deterministic and the
+    PRNG is seeded, the same plan produces bit-identical executions —
+    every injected failure is exactly reproducible from its seed.
+
+    Dropped transmission attempts are recovered by retransmission with
+    exponential backoff (charged as extra in-flight latency, so gradients
+    are unchanged and only virtual time grows). A message whose drops
+    exceed [max_retries], or whose accumulated backoff exceeds
+    [deadline], is {e lost}: the sender gives up, the loss is recorded
+    for diagnosis, and any receive waiting on that channel eventually
+    surfaces in the scheduler's wait-for report instead of hanging. *)
+
+type action =
+  | Drop of int  (** drop the first n transmission attempts, then deliver *)
+  | Drop_all  (** every attempt dropped: the message is lost *)
+  | Delay of float  (** extra in-flight latency, in virtual cycles *)
+  | Duplicate  (** deliver an extra copy of the message *)
+
+type rule = {
+  r_src : int option;  (** None matches any sender *)
+  r_dst : int option;
+  r_tag : int option;
+  r_action : action;
+  r_limit : int;  (** apply to at most this many messages; -1 = all *)
+}
+
+type plan = {
+  name : string;
+  seed : int;
+  drop_prob : float;  (** seeded per-attempt random drop probability *)
+  max_retries : int;  (** retransmissions before a message is lost *)
+  backoff : float;  (** first retransmit delay; doubles per attempt *)
+  deadline : float;  (** sender gives up past this much added delay *)
+  rules : rule list;
+  stalls : (int * float * float) list;  (** rank, not-before time, delay *)
+  kills : (int * float) list;  (** rank, not-before time *)
+}
+
+let none =
+  {
+    name = "none";
+    seed = 0;
+    drop_prob = 0.0;
+    max_retries = 5;
+    backoff = 2_000.0;
+    deadline = infinity;
+    rules = [];
+    stalls = [];
+    kills = [];
+  }
+
+(* A message the sender gave up on, kept for diagnosis and post-run
+   audit. *)
+type lost = {
+  l_src : int;
+  l_dst : int;
+  l_tag : int;
+  l_attempts : int;
+  l_time : float;  (** virtual time of the original send *)
+}
+
+type state = {
+  plan : plan;
+  mutable rng : int64;
+  rule_used : int array;  (** messages each rule has been applied to *)
+  stalled : bool array;  (** per-rank: stall already charged *)
+  mutable lost_msgs : lost list;  (** reverse send order *)
+  mutable injected : int;  (** total faults injected *)
+}
+
+let make ~nranks plan =
+  {
+    plan;
+    rng = Int64.of_int ((plan.seed * 2654435761) lxor 0x5DEECE66D);
+    rule_used = Array.make (List.length plan.rules) 0;
+    stalled = Array.make nranks false;
+    lost_msgs = [];
+    injected = 0;
+  }
+
+(* splitmix64: one 64-bit draw per transmission attempt. Advancing the
+   stream only in deterministic program order keeps runs reproducible. *)
+let next_u64 st =
+  let open Int64 in
+  st.rng <- add st.rng 0x9E3779B97F4A7C15L;
+  let z = st.rng in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let uniform st =
+  Int64.to_float (Int64.shift_right_logical (next_u64 st) 11)
+  *. (1.0 /. 9007199254740992.0)
+
+let rule_matches r ~src ~dst ~tag =
+  (match r.r_src with Some s -> s = src | None -> true)
+  && (match r.r_dst with Some d -> d = dst | None -> true)
+  && match r.r_tag with Some t -> t = tag | None -> true
+
+type delivery = {
+  extra : float;  (** added in-flight latency (delays + retransmits) *)
+  copies : int;  (** duplicates to enqueue alongside the message *)
+  retries : int;  (** retransmission attempts that were needed *)
+}
+
+let backoff_sum plan drops =
+  let acc = ref 0.0 and d = ref plan.backoff in
+  for _ = 1 to drops do
+    acc := !acc +. !d;
+    d := !d *. 2.0
+  done;
+  !acc
+
+(** Decide the fate of one point-to-point message, advancing the fault
+    state. Returns how to deliver it, or [`Lost attempts] if the sender
+    exhausted its retries/deadline. *)
+let on_send st ~src ~dst ~tag ~now =
+  let p = st.plan in
+  let drops = ref 0
+  and extra = ref 0.0
+  and copies = ref 0
+  and doomed = ref false in
+  List.iteri
+    (fun i r ->
+      if
+        rule_matches r ~src ~dst ~tag
+        && (r.r_limit < 0 || st.rule_used.(i) < r.r_limit)
+      then begin
+        st.rule_used.(i) <- st.rule_used.(i) + 1;
+        st.injected <- st.injected + 1;
+        match r.r_action with
+        | Drop n -> drops := !drops + n
+        | Drop_all -> doomed := true
+        | Delay d -> extra := !extra +. d
+        | Duplicate -> incr copies
+      end)
+    p.rules;
+  if p.drop_prob > 0.0 then
+    while (not !doomed) && !drops <= p.max_retries && uniform st < p.drop_prob
+    do
+      incr drops;
+      st.injected <- st.injected + 1
+    done;
+  let retry_delay = backoff_sum p !drops in
+  if !doomed || !drops > p.max_retries || retry_delay > p.deadline then begin
+    let attempts = if !doomed then p.max_retries + 1 else !drops in
+    st.lost_msgs <-
+      { l_src = src; l_dst = dst; l_tag = tag; l_attempts = attempts;
+        l_time = now }
+      :: st.lost_msgs;
+    `Lost attempts
+  end
+  else
+    `Deliver { extra = !extra +. retry_delay; copies = !copies; retries = !drops }
+
+(** Gate every runtime operation of [rank]: no fault, a one-time stall
+    delay, or a kill (the caller must park the strand forever). *)
+let rank_gate st ~rank ~now =
+  match List.find_opt (fun (r, at) -> r = rank && now >= at) st.plan.kills with
+  | Some (_, at) -> `Kill at
+  | None -> (
+    match
+      List.find_opt
+        (fun (r, at, _) -> r = rank && now >= at && not st.stalled.(rank))
+        st.plan.stalls
+    with
+    | Some (_, _, d) ->
+      st.stalled.(rank) <- true;
+      st.injected <- st.injected + 1;
+      `Stall d
+    | None -> `Ok)
+
+let lost st = List.rev st.lost_msgs
+
+(** Messages lost on the (src, dst, tag) channel so far — used in
+    wait-for descriptions of receives that will never match. *)
+let lost_on st ~src ~dst ~tag =
+  List.length
+    (List.filter
+       (fun l -> l.l_src = src && l.l_dst = dst && l.l_tag = tag)
+       st.lost_msgs)
+
+(* ---- named plans (CLI and tests) ---- *)
+
+let plan_names =
+  [ "none"; "drop-retry"; "flaky"; "dup"; "delay"; "blackhole"; "stall";
+    "kill" ]
+
+(** Build a named plan. [rank] and [at] parameterize the rank-targeted
+    plans (stall/kill/blackhole); defaults target rank 1 (or 0 when
+    single-rank) from time 0. *)
+let plan_of_name ?(seed = 42) ?rank ?(at = 0.0) ~nranks name =
+  let victim = match rank with Some r -> r | None -> min 1 (nranks - 1) in
+  let base = { none with name; seed } in
+  match name with
+  | "none" -> base
+  | "drop-retry" ->
+    (* every message loses its first two transmission attempts; the
+       retransmit path recovers all of them, so results are unchanged and
+       only virtual time grows *)
+    {
+      base with
+      rules =
+        [ { r_src = None; r_dst = None; r_tag = None; r_action = Drop 2;
+            r_limit = -1 } ];
+    }
+  | "flaky" ->
+    (* seeded random attempt drops, always recovered within max_retries *)
+    { base with drop_prob = 0.25; max_retries = 64 }
+  | "dup" ->
+    (* the first message is delivered twice *)
+    {
+      base with
+      rules =
+        [ { r_src = None; r_dst = None; r_tag = None; r_action = Duplicate;
+            r_limit = 1 } ];
+    }
+  | "delay" ->
+    (* every message from the victim rank is slowed by 50k cycles *)
+    {
+      base with
+      rules =
+        [ { r_src = Some victim; r_dst = None; r_tag = None;
+            r_action = Delay 50_000.0; r_limit = -1 } ];
+    }
+  | "blackhole" ->
+    (* every message from the victim rank is lost: unrecoverable *)
+    {
+      base with
+      rules =
+        [ { r_src = Some victim; r_dst = None; r_tag = None;
+            r_action = Drop_all; r_limit = -1 } ];
+    }
+  | "stall" -> { base with stalls = [ victim, at, 200_000.0 ] }
+  | "kill" -> { base with kills = [ victim, at ] }
+  | _ ->
+    invalid_arg
+      (Printf.sprintf "Faults.plan_of_name: unknown plan %S (know: %s)" name
+         (String.concat ", " plan_names))
+
+let pp_action ppf = function
+  | Drop n -> Format.fprintf ppf "drop first %d attempt(s)" n
+  | Drop_all -> Format.fprintf ppf "drop all attempts (lose)"
+  | Delay d -> Format.fprintf ppf "delay by %.6g" d
+  | Duplicate -> Format.fprintf ppf "duplicate"
+
+let pp_opt ppf = function
+  | Some v -> Format.fprintf ppf "%d" v
+  | None -> Format.fprintf ppf "*"
+
+let pp_plan ppf p =
+  Format.fprintf ppf
+    "fault plan %S (seed %d, drop_prob %.6g, max_retries %d, backoff %.6g)"
+    p.name p.seed p.drop_prob p.max_retries p.backoff;
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "@\n  msg %a->%a tag %a: %a%s" pp_opt r.r_src pp_opt
+        r.r_dst pp_opt r.r_tag pp_action r.r_action
+        (if r.r_limit < 0 then ""
+         else Printf.sprintf " (first %d msg(s))" r.r_limit))
+    p.rules;
+  List.iter
+    (fun (r, at, d) ->
+      Format.fprintf ppf "@\n  stall rank %d at t>=%.6g for %.6g" r at d)
+    p.stalls;
+  List.iter
+    (fun (r, at) -> Format.fprintf ppf "@\n  kill rank %d at t>=%.6g" r at)
+    p.kills

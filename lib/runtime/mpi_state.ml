@@ -30,6 +30,13 @@ type channel = {
 
 type coll_kind = Csum | Cmin | Cmax | Cbarrier | Cbcast of int  (** root *)
 
+let coll_kind_name = function
+  | Csum -> "allreduce(sum)"
+  | Cmin -> "allreduce(min)"
+  | Cmax -> "allreduce(max)"
+  | Cbarrier -> "barrier"
+  | Cbcast r -> Printf.sprintf "bcast(root %d)" r
+
 type coll_slot = {
   kind : coll_kind;
   count : int;
@@ -37,6 +44,7 @@ type coll_slot = {
   mutable cmax : float;
   mutable acc : float array;
   cev : Sim.event;
+  cwho : bool array;  (** which ranks have joined (for diagnosis) *)
 }
 
 (* A nonblocking request as seen by one rank. *)
@@ -72,9 +80,10 @@ type t = {
   colls : (int, coll_slot) Hashtbl.t;  (** keyed by collective sequence no. *)
   ranks : rank_state array;
   sockets : int array;  (** socket of each rank *)
+  faults : Faults.state option;
 }
 
-let create ~cost ~nranks =
+let create ~cost ~nranks ?faults () =
   {
     nranks;
     channels = Hashtbl.create 64;
@@ -91,7 +100,30 @@ let create ~cost ~nranks =
     sockets =
       Array.init nranks (fun r ->
           Cost_model.socket_of cost ~index:r ~width:nranks);
+    faults = Option.map (Faults.make ~nranks) faults;
   }
+
+(* Gate every MPI entry point: a stalled rank is charged a one-time
+   delay; a killed rank parks forever on a labelled event, so the run
+   terminates with a wait-for report naming it instead of hanging or
+   corrupting gradients. *)
+let fault_gate t ~rank =
+  match t.faults with
+  | None -> ()
+  | Some fs -> (
+    match Faults.rank_gate fs ~rank ~now:(Sim.now ()) with
+    | `Ok -> ()
+    | `Stall d ->
+      (Sim.stats ()).stalls_injected <- (Sim.stats ()).stalls_injected + 1;
+      Sim.charge d
+    | `Kill at ->
+      let ev =
+        Sim.event
+          ~label:(fun () ->
+            Printf.sprintf "rank %d killed at t>=%.6g by fault plan" rank at)
+          ()
+      in
+      Sim.event_wait ev)
 
 let channel t ~src ~dst ~tag =
   match Hashtbl.find_opt t.channels (src, dst, tag) with
@@ -123,10 +155,20 @@ let deliver (pr : pending_recv) (m : msg) =
   pr.matched <- Some m;
   Sim.event_fill pr.ev ~time:m.avail
 
+let post_msg ch m =
+  if Queue.is_empty ch.recvs then Queue.add m ch.msgs
+  else deliver (Queue.pop ch.recvs) m
+
 (** Nonblocking send: buffered semantics — the payload is copied out
-    eagerly, so the request completes locally. Returns a request id. *)
+    eagerly, so the request completes locally. Returns a request id.
+
+    Under fault injection, dropped transmission attempts are recovered by
+    retransmission with exponential backoff (added to the message's
+    in-flight latency); a message past its retry/deadline budget is lost
+    and never enqueued — the loss is recorded for wait-for diagnosis. *)
 let isend t ~rank ~ptr ~count ~dst ~tag =
   if dst < 0 || dst >= t.nranks then error "mpi.isend: bad destination %d" dst;
+  fault_gate t ~rank;
   let cost = Sim.cost () in
   let stats = Sim.stats () in
   stats.messages <- stats.messages + 1;
@@ -140,25 +182,52 @@ let isend t ~rank ~ptr ~count ~dst ~tag =
     +. Cost_model.message_cost cost ~cells:count
          ~remote:(remote t ~src:rank ~dst)
   in
-  let ch = channel t ~src:rank ~dst ~tag in
-  let m = { payload; avail } in
-  if Queue.is_empty ch.recvs then Queue.add m ch.msgs
-  else deliver (Queue.pop ch.recvs) m;
+  let fate =
+    match t.faults with
+    | None -> `Deliver Faults.{ extra = 0.0; copies = 0; retries = 0 }
+    | Some fs -> Faults.on_send fs ~src:rank ~dst ~tag ~now:(Sim.now ())
+  in
+  (match fate with
+  | `Lost _ -> stats.messages_lost <- stats.messages_lost + 1
+  | `Deliver { Faults.extra; copies; retries } ->
+    stats.send_retries <- stats.send_retries + retries;
+    stats.messages_duplicated <- stats.messages_duplicated + copies;
+    let ch = channel t ~src:rank ~dst ~tag in
+    post_msg ch { payload; avail = avail +. extra };
+    for _ = 1 to copies do
+      post_msg ch { payload = Array.copy payload; avail = avail +. extra }
+    done);
   fresh_req t.ranks.(rank) RSend
 
 (** Nonblocking receive. Returns a request id; data is visible after the
     matching [wait]. *)
 let irecv t ~rank ~ptr ~count ~src ~tag =
   if src < 0 || src >= t.nranks then error "mpi.irecv: bad source %d" src;
+  fault_gate t ~rank;
   let cost = Sim.cost () in
   Sim.charge (0.1 *. cost.mpi_latency);
+  let label () =
+    let lost =
+      match t.faults with
+      | Some fs -> Faults.lost_on fs ~src ~dst:rank ~tag
+      | None -> 0
+    in
+    Printf.sprintf
+      "rank %d: recv from rank %d tag %d (%d cells) has no matching send%s"
+      rank src tag count
+      (if lost > 0 then
+         Printf.sprintf " — %d message(s) on this channel lost by fault \
+                          injection"
+           lost
+       else "")
+  in
   let pr =
     {
       dst = ptr;
       count;
       psrc = src;
       ptag = tag;
-      ev = Sim.event ();
+      ev = Sim.event ~label ();
       matched = None;
     }
   in
@@ -171,6 +240,7 @@ let irecv t ~rank ~ptr ~count ~src ~tag =
     the message is available, then charges receiver-side overhead and
     returns the completed receive (so callers can instrument it). *)
 let wait t ~rank ~req =
+  fault_gate t ~rank;
   let rs = t.ranks.(rank) in
   match Hashtbl.find_opt rs.reqs req with
   | None -> error "mpi.wait: unknown request %d on rank %d" req rank
@@ -204,6 +274,7 @@ let coll_kind_eq a b =
 
 (* Join the current collective slot; returns it. *)
 let coll_join t ~rank ~kind ~count ~contrib =
+  fault_gate t ~rank;
   let rs = t.ranks.(rank) in
   let seq = rs.coll_seq in
   rs.coll_seq <- seq + 1;
@@ -211,7 +282,11 @@ let coll_join t ~rank ~kind ~count ~contrib =
     match Hashtbl.find_opt t.colls seq with
     | Some s ->
       if not (coll_kind_eq s.kind kind) || s.count <> count then
-        error "mpi: mismatched collective at sequence %d (rank %d)" seq rank;
+        error
+          "mpi: mismatched collective at sequence %d: rank %d called %s \
+           (count %d) but the slot holds %s (count %d)"
+          seq rank (coll_kind_name kind) count (coll_kind_name s.kind)
+          s.count;
       s
     | None ->
       let init =
@@ -220,6 +295,19 @@ let coll_join t ~rank ~kind ~count ~contrib =
         | Cmin -> Array.make count infinity
         | Cmax -> Array.make count neg_infinity
       in
+      let cwho = Array.make t.nranks false in
+      let label () =
+        let missing = ref [] in
+        for r = t.nranks - 1 downto 0 do
+          if not cwho.(r) then missing := r :: !missing
+        done;
+        Printf.sprintf "collective #%d %s (count %d): %d/%d ranks arrived, \
+                        waiting for rank(s) [%s]"
+          seq (coll_kind_name kind) count
+          (t.nranks - List.length !missing)
+          t.nranks
+          (String.concat "; " (List.map string_of_int !missing))
+      in
       let s =
         {
           kind;
@@ -227,12 +315,14 @@ let coll_join t ~rank ~kind ~count ~contrib =
           carrived = 0;
           cmax = 0.0;
           acc = init;
-          cev = Sim.event ();
+          cev = Sim.event ~label ();
+          cwho;
         }
       in
       Hashtbl.add t.colls seq s;
       s
   in
+  slot.cwho.(rank) <- true;
   (match slot.kind, contrib with
   | Csum, Some c -> Array.iteri (fun i x -> slot.acc.(i) <- slot.acc.(i) +. x) c
   | Cmin, Some c ->

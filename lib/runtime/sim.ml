@@ -17,7 +17,46 @@
 open Effect
 open Effect.Deep
 
-exception Deadlock of string
+(** One parked strand in a wait-for report: who is blocked, at what
+    virtual time, and a human-readable description of the operation it is
+    waiting on (receive peer/tag, collective arrivals, barrier, task). *)
+type blocked = {
+  b_sid : int;
+  b_tid : int;  (** index within the creating team (rank id for SPMD) *)
+  b_width : int;
+  b_clock : float;
+  b_desc : string;
+}
+
+(** Structured replacement for the old [Deadlock of string]: the full
+    wait-for state at the moment the scheduler ran out of runnable
+    strands. Deterministic (strand ids, clocks and descriptions are all
+    functions of the virtual-time execution), so the rendered report is
+    byte-identical across reruns of the same seed. *)
+type diagnosis = {
+  d_live : int;  (** strands created and not finished *)
+  d_blocked : blocked list;  (** parked strands, sorted by strand id *)
+  d_note : string;
+}
+
+exception Deadlock of diagnosis
+
+let pp_blocked ppf b =
+  Format.fprintf ppf "strand %d (tid %d/%d, t=%.6g): %s" b.b_sid b.b_tid
+    b.b_width b.b_clock b.b_desc
+
+let pp_diagnosis ppf d =
+  Format.fprintf ppf "deadlock: %s; %d live strand(s), %d parked:" d.d_note
+    d.d_live
+    (List.length d.d_blocked);
+  List.iter (fun b -> Format.fprintf ppf "@\n  %a" pp_blocked b) d.d_blocked
+
+let diagnosis_to_string d = Format.asprintf "%a" pp_diagnosis d
+
+let () =
+  Printexc.register_printer (function
+    | Deadlock d -> Some (diagnosis_to_string d)
+    | _ -> None)
 
 type strand = {
   sid : int;
@@ -48,6 +87,8 @@ type task = {
 type event = {
   mutable ready : float option;
   mutable ewaiters : parked list;
+  mutable elabel : (unit -> string) option;
+      (** wait-for description, rendered lazily at diagnosis time *)
 }
 
 type engine = {
@@ -58,6 +99,8 @@ type engine = {
   mutable nsid : int;
   mutable live : int;  (** strands created and not yet finished *)
   mutable makespan : float;
+  parked_on : (int, strand * (unit -> string)) Hashtbl.t;
+      (** sid -> (strand, blocked-on description) for every parked strand *)
 }
 
 type _ Effect.t +=
@@ -84,7 +127,12 @@ let set_clock t = (self ()).clock <- t
 let socket () = (self ()).socket
 
 let enqueue e st thunk = Queue.add (st, thunk) e.ready_q
-let resume e st k = enqueue e st (fun () -> continue k ())
+
+let resume e st k =
+  Hashtbl.remove e.parked_on st.sid;
+  enqueue e st (fun () -> continue k ())
+
+let park e st desc = Hashtbl.replace e.parked_on st.sid (st, desc)
 
 let finish_strand e clock =
   e.live <- e.live - 1;
@@ -185,7 +233,9 @@ let rec run_strand e st f (on_finish : float -> unit) =
                 | Some clock ->
                   st.clock <- Float.max st.clock clock +. e.cost.task_sync;
                   resume e st k
-                | None -> task.twaiters <- P (st, k) :: task.twaiters)
+                | None ->
+                  park e st (fun () -> "sync on an unfinished task");
+                  task.twaiters <- P (st, k) :: task.twaiters)
           | E_barrier ->
             Some
               (fun (k : (a, _) continuation) ->
@@ -197,8 +247,12 @@ let rec run_strand e st f (on_finish : float -> unit) =
                 | Some t ->
                   t.arrived <- t.arrived + 1;
                   if st.clock > t.bmax then t.bmax <- st.clock;
-                  if t.arrived < t.twidth then
+                  if t.arrived < t.twidth then begin
+                    park e st (fun () ->
+                        Printf.sprintf "team barrier (%d/%d arrived)"
+                          t.arrived t.twidth);
                     t.bwaiters <- P (st, k) :: t.bwaiters
+                  end
                   else begin
                     let release =
                       t.bmax +. Cost_model.barrier_cost e.cost ~width:t.twidth
@@ -222,7 +276,12 @@ let rec run_strand e st f (on_finish : float -> unit) =
                 | Some t ->
                   st.clock <- Float.max st.clock t;
                   resume e st k
-                | None -> ev.ewaiters <- P (st, k) :: ev.ewaiters)
+                | None ->
+                  park e st (fun () ->
+                      match ev.elabel with
+                      | Some f -> f ()
+                      | None -> "an unfilled event");
+                  ev.ewaiters <- P (st, k) :: ev.ewaiters)
           | _ -> None);
     }
 
@@ -252,7 +311,11 @@ let spawn body =
 let sync task = perform (E_sync task)
 let barrier () = perform E_barrier
 
-let event () = { ready = None; ewaiters = [] }
+let event ?label () = { ready = None; ewaiters = []; elabel = label }
+
+(** Attach or replace the wait-for description of an event. The closure is
+    evaluated only if the event ends up in a deadlock diagnosis. *)
+let event_describe ev label = ev.elabel <- Some label
 
 let event_fill ev ~time =
   let e = eng () in
@@ -288,6 +351,7 @@ let run ?(cost = Cost_model.default) ?(stats = Stats.create ()) main =
       nsid = 0;
       live = 1;
       makespan = 0.0;
+      parked_on = Hashtbl.create 16;
     }
   in
   engine_ref := Some e;
@@ -307,10 +371,29 @@ let run ?(cost = Cost_model.default) ?(stats = Stats.create ()) main =
      cleanup ();
      raise ex);
   cleanup ();
+  let diagnose note =
+    let blocked =
+      Hashtbl.fold
+        (fun _ (st, desc) acc ->
+          {
+            b_sid = st.sid;
+            b_tid = st.tid;
+            b_width = st.width;
+            b_clock = st.clock;
+            b_desc = desc ();
+          }
+          :: acc)
+        e.parked_on []
+      |> List.sort (fun a b -> compare a.b_sid b.b_sid)
+    in
+    { d_live = e.live; d_blocked = blocked; d_note = note }
+  in
   if e.live > 0 then
     raise
       (Deadlock
-         (Printf.sprintf "%d strand(s) blocked with empty ready queue" e.live));
+         (diagnose
+            (Printf.sprintf "%d strand(s) blocked with empty ready queue"
+               e.live)));
   match !result with
   | Some r -> r, e.makespan, e.stats
-  | None -> raise (Deadlock "main strand never completed")
+  | None -> raise (Deadlock (diagnose "main strand never completed"))

@@ -19,6 +19,11 @@ type t = {
   mutable cache_loads : int;
   mutable tape_entries : int;
   mutable context_switches : int;
+  (* fault injection (all zero on fault-free runs) *)
+  mutable send_retries : int;  (** retransmissions after dropped attempts *)
+  mutable messages_lost : int;  (** sends abandoned past retries/deadline *)
+  mutable messages_duplicated : int;
+  mutable stalls_injected : int;
 }
 
 let create () =
@@ -41,6 +46,10 @@ let create () =
     cache_loads = 0;
     tape_entries = 0;
     context_switches = 0;
+    send_retries = 0;
+    messages_lost = 0;
+    messages_duplicated = 0;
+    stalls_injected = 0;
   }
 
 let pp ppf s =
@@ -50,4 +59,11 @@ let pp ppf s =
      cache_ld=%d tape=%d"
     s.instrs s.flops s.loads s.stores s.atomics s.allocs s.calls s.forks
     s.barriers s.tasks s.messages s.message_cells s.cache_stores s.cache_loads
-    s.tape_entries
+    s.tape_entries;
+  if
+    s.send_retries + s.messages_lost + s.messages_duplicated
+    + s.stalls_injected
+    > 0
+  then
+    Fmt.pf ppf " retries=%d lost=%d dup=%d stalls=%d" s.send_retries
+      s.messages_lost s.messages_duplicated s.stalls_injected

@@ -1,0 +1,180 @@
+(** Post-run communication audit (MUST-style MPI correctness checking).
+
+    After an SPMD execution — successful or deadlocked — the
+    {!Parad_runtime.Mpi_state.t} retains every channel queue, request
+    table and collective slot. [audit] sweeps them for the silent
+    communication errors a real MPI checker reports: sends that no
+    receive ever matched, receives that no send ever matched, requests
+    that were never waited on (their completion was never observed, so
+    the adjoint-MPI rules could not fire), collectives some rank never
+    joined, ranks whose collective call counts diverge, and messages lost
+    by fault injection. Issues are sorted, so the rendered report is
+    deterministic and byte-identical across reruns. *)
+
+open Parad_runtime
+
+type issue =
+  | Unmatched_send of { src : int; dst : int; tag : int; msgs : int }
+      (** messages still queued on a channel: sent, never received *)
+  | Unmatched_recv of { src : int; dst : int; tag : int; recvs : int }
+      (** posted receives that never matched a send *)
+  | Unwaited_request of { rank : int; req : int; kind : string }
+      (** isend/irecv whose completion was never waited on *)
+  | Incomplete_collective of {
+      seq : int;
+      kind : string;
+      arrived : int;
+      expected : int;
+      missing : int list;
+    }
+  | Collective_skew of {
+      min_rank : int;
+      min_calls : int;
+      max_rank : int;
+      max_calls : int;
+    }  (** ranks disagree on how many collectives they joined *)
+  | Lost_message of {
+      src : int;
+      dst : int;
+      tag : int;
+      attempts : int;
+      time : float;
+    }  (** sender gave up after fault-injected drops *)
+
+let pp_issue ppf = function
+  | Unmatched_send { src; dst; tag; msgs } ->
+    Format.fprintf ppf
+      "unmatched send: %d message(s) from rank %d to rank %d tag %d never \
+       received"
+      msgs src dst tag
+  | Unmatched_recv { src; dst; tag; recvs } ->
+    Format.fprintf ppf
+      "unmatched recv: rank %d posted %d receive(s) from rank %d tag %d \
+       that no send matched"
+      dst recvs src tag
+  | Unwaited_request { rank; req; kind } ->
+    Format.fprintf ppf "unwaited request: rank %d never waited on %s \
+                        request %d"
+      rank kind req
+  | Incomplete_collective { seq; kind; arrived; expected; missing } ->
+    Format.fprintf ppf
+      "incomplete collective: #%d %s reached %d/%d ranks, missing [%s]" seq
+      kind arrived expected
+      (String.concat "; " (List.map string_of_int missing))
+  | Collective_skew { min_rank; min_calls; max_rank; max_calls } ->
+    Format.fprintf ppf
+      "collective skew: rank %d joined %d collective(s) but rank %d joined \
+       %d"
+      min_rank min_calls max_rank max_calls
+  | Lost_message { src; dst; tag; attempts; time } ->
+    Format.fprintf ppf
+      "lost message: rank %d -> rank %d tag %d abandoned after %d \
+       attempt(s) (sent at t=%.6g)"
+      src dst tag attempts time
+
+(** Sweep a finished (or deadlocked) run's MPI state for communication
+    errors. The result is sorted and deterministic. *)
+let audit (m : Mpi_state.t) : issue list =
+  let channel_issues =
+    Hashtbl.fold
+      (fun (src, dst, tag) (ch : Mpi_state.channel) acc ->
+        let acc =
+          if Queue.is_empty ch.Mpi_state.msgs then acc
+          else
+            Unmatched_send
+              { src; dst; tag; msgs = Queue.length ch.Mpi_state.msgs }
+            :: acc
+        in
+        if Queue.is_empty ch.Mpi_state.recvs then acc
+        else
+          Unmatched_recv
+            { src; dst; tag; recvs = Queue.length ch.Mpi_state.recvs }
+          :: acc)
+      m.Mpi_state.channels []
+    |> List.sort compare
+  in
+  let request_issues =
+    Array.to_list m.Mpi_state.ranks
+    |> List.mapi (fun rank (rs : Mpi_state.rank_state) ->
+           Hashtbl.fold
+             (fun req r acc ->
+               let kind =
+                 match r with
+                 | Mpi_state.RSend -> "isend"
+                 | Mpi_state.RRecv _ -> "irecv"
+               in
+               Unwaited_request { rank; req; kind } :: acc)
+             rs.Mpi_state.reqs []
+           |> List.sort compare)
+    |> List.concat
+  in
+  let coll_issues =
+    Hashtbl.fold
+      (fun seq (s : Mpi_state.coll_slot) acc ->
+        if s.Mpi_state.carrived >= m.Mpi_state.nranks then acc
+        else
+          let missing = ref [] in
+          for r = m.Mpi_state.nranks - 1 downto 0 do
+            if not s.Mpi_state.cwho.(r) then missing := r :: !missing
+          done;
+          Incomplete_collective
+            {
+              seq;
+              kind = Mpi_state.coll_kind_name s.Mpi_state.kind;
+              arrived = s.Mpi_state.carrived;
+              expected = m.Mpi_state.nranks;
+              missing = !missing;
+            }
+          :: acc)
+      m.Mpi_state.colls []
+    |> List.sort compare
+  in
+  let skew_issues =
+    if m.Mpi_state.nranks < 2 then []
+    else begin
+      let calls r = m.Mpi_state.ranks.(r).Mpi_state.coll_seq in
+      let mini = ref 0 and maxi = ref 0 in
+      for r = 1 to m.Mpi_state.nranks - 1 do
+        if calls r < calls !mini then mini := r;
+        if calls r > calls !maxi then maxi := r
+      done;
+      if calls !mini = calls !maxi then []
+      else
+        [
+          Collective_skew
+            {
+              min_rank = !mini;
+              min_calls = calls !mini;
+              max_rank = !maxi;
+              max_calls = calls !maxi;
+            };
+        ]
+    end
+  in
+  let lost_issues =
+    match m.Mpi_state.faults with
+    | None -> []
+    | Some fs ->
+      List.map
+        (fun (l : Faults.lost) ->
+          Lost_message
+            {
+              src = l.Faults.l_src;
+              dst = l.Faults.l_dst;
+              tag = l.Faults.l_tag;
+              attempts = l.Faults.l_attempts;
+              time = l.Faults.l_time;
+            })
+        (Faults.lost fs)
+  in
+  channel_issues @ request_issues @ coll_issues @ skew_issues @ lost_issues
+
+(** Render an audit as one string; ["communication clean"] when empty. *)
+let report (issues : issue list) =
+  match issues with
+  | [] -> "communication clean"
+  | _ ->
+    Format.asprintf "%d communication issue(s):%a" (List.length issues)
+      (fun ppf ->
+        List.iter (fun i -> Format.fprintf ppf "@\n  %a" pp_issue i))
+      issues

@@ -271,12 +271,12 @@ type spmd_gradient = {
   s_stats : Stats.t;
 }
 
-let loss_spmd ?(cfg = Interp.default_config) ~nranks ~args ~seeds ~d_ret prog
-    fname =
+let loss_spmd ?(cfg = Interp.default_config) ?faults ~nranks ~args ~seeds
+    ~d_ret prog fname =
   let f = Prog.find_exn prog fname in
   let finals = Array.make nranks [] in
   let res =
-    Exec.run_spmd ~cfg prog ~nranks ~fname ~setup:(fun ctx ~rank ->
+    Exec.run_spmd ~cfg ?faults prog ~nranks ~fname ~setup:(fun ctx ~rank ->
         let vals, bufs = build_args ctx (args ~rank) in
         finals.(rank) <- bufs;
         vals)
@@ -295,15 +295,16 @@ let loss_spmd ?(cfg = Interp.default_config) ~nranks ~args ~seeds ~d_ret prog
   done;
   !acc
 
-let reverse_spmd ?(cfg = Interp.default_config) ?opts ?post_opt ~nranks ~args
-    ~seeds ~d_ret prog fname =
+let reverse_spmd ?(cfg = Interp.default_config) ?opts ?post_opt ?faults
+    ~nranks ~args ~seeds ~d_ret prog fname =
   let f = Prog.find_exn prog fname in
   let dprog, dname = differentiate ?opts ?post_opt prog fname in
   let nscal = scalar_count (args ~rank:0) in
   let shadows = Array.make nranks [] in
   let dargs = Array.make nranks V.VUnit in
   let res =
-    Exec.run_spmd ~cfg dprog ~nranks ~fname:dname ~setup:(fun ctx ~rank ->
+    Exec.run_spmd ~cfg ?faults dprog ~nranks ~fname:dname
+      ~setup:(fun ctx ~rank ->
         let vals, _ = build_args ctx (args ~rank) in
         let shadow_vals =
           List.map
@@ -338,9 +339,11 @@ let reverse_spmd ?(cfg = Interp.default_config) ?opts ?post_opt ~nranks ~args
 
 (** Compare SPMD reverse mode against central differences over every
     buffer coordinate of every rank. *)
-let check_spmd ?cfg ?opts ~nranks ~args ~seeds ~d_ret ?(h = 1e-6)
+let check_spmd ?cfg ?opts ?faults ~nranks ~args ~seeds ~d_ret ?(h = 1e-6)
     ?(tol = 1e-4) prog fname =
-  let g = reverse_spmd ?cfg ?opts ~nranks ~args ~seeds ~d_ret prog fname in
+  let g =
+    reverse_spmd ?cfg ?opts ?faults ~nranks ~args ~seeds ~d_ret prog fname
+  in
   let worst = ref 0.0 in
   for r = 0 to nranks - 1 do
     let rargs = args ~rank:r in
@@ -372,7 +375,7 @@ let check_spmd ?cfg ?opts ~nranks ~args ~seeds ~d_ret ?(h = 1e-6)
                     (0, []) rargs
                   |> fun (_, acc) -> List.rev acc
               in
-              loss_spmd ?cfg ~nranks ~args ~seeds ~d_ret prog fname
+              loss_spmd ?cfg ?faults ~nranks ~args ~seeds ~d_ret prog fname
             in
             let fd = (eval h -. eval (-.h)) /. (2.0 *. h) in
             let ad = (List.nth g.s_d_bufs.(r) bi).(j) in

@@ -1,0 +1,69 @@
+#!/bin/sh
+# Full verification gate: build, run every test suite, then smoke-check
+# the fault-injection CLI scenarios and their exit-code protocol
+# (0 clean, 1 audit issues, 2 runtime error, 3 deadlock).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build @all
+
+echo "== dune runtest =="
+dune runtest
+
+PARAD="dune exec bin/parad.exe --"
+expect_exit() {
+  want=$1
+  shift
+  echo "== parad $* (expect exit $want) =="
+  set +e
+  $PARAD "$@" > /tmp/parad-check.out 2>&1
+  got=$?
+  set -e
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL: parad $* exited $got, expected $want"
+    cat /tmp/parad-check.out
+    exit 1
+  fi
+}
+
+COMMON="--flavor mpi --ranks 4 --size 2 --iters 2"
+
+# faultless run is clean
+expect_exit 0 faults --plan none $COMMON
+
+# recoverable drops: same gradient, clean audit
+expect_exit 0 faults --plan drop-retry $COMMON
+grep -q "retries=" /tmp/parad-check.out || {
+  echo "FAIL: drop-retry run did not report retries"
+  exit 1
+}
+
+# a duplicated message leaves an unmatched send -> dirty audit
+expect_exit 1 faults --plan dup $COMMON
+
+# killing a rank deadlocks the ring -> structured wait-for report
+expect_exit 3 faults --plan kill $COMMON
+grep -q "deadlock:" /tmp/parad-check.out || {
+  echo "FAIL: kill run printed no structured diagnosis"
+  exit 1
+}
+
+# losing every message from a rank deadlocks too, with lost messages
+# named in the audit
+expect_exit 3 faults --plan blackhole $COMMON
+grep -q "lost message" /tmp/parad-check.out || {
+  echo "FAIL: blackhole run named no lost messages"
+  exit 1
+}
+
+# seeded plans are deterministic: two runs, byte-identical output
+$PARAD faults --plan blackhole $COMMON > /tmp/parad-a.out 2>&1 || true
+$PARAD faults --plan blackhole $COMMON > /tmp/parad-b.out 2>&1 || true
+cmp -s /tmp/parad-a.out /tmp/parad-b.out || {
+  echo "FAIL: blackhole diagnosis differs across reruns"
+  diff /tmp/parad-a.out /tmp/parad-b.out || true
+  exit 1
+}
+
+echo "all checks passed"

@@ -1,0 +1,343 @@
+(* Fault injection, structured deadlock diagnosis, and the post-run
+   communication audit. *)
+
+open Parad_ir
+open Parad_runtime
+module B = Builder
+module V = Value
+module CC = Parad_verify.Comm_check
+module GC = Parad_verify.Grad_check
+
+let feq = Alcotest.float 1e-9
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let check_contains what s sub =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s mentions %S (got: %s)" what sub s)
+    true (contains s sub)
+
+(* non-differentiable ring: isend rank value to next, recv from prev *)
+let ring_prog ?(send_tag = 7) ?(recv_tag = 7) ?(wait_send = true) () =
+  let prog = Prog.create () in
+  let b, _ = B.func prog "ring" ~params:[] ~ret:Ty.Float in
+  let rank = B.call b ~ret:Ty.Int "mpi.rank" [] in
+  let size = B.call b ~ret:Ty.Int "mpi.size" [] in
+  let next = B.rem b (B.add b rank (B.i64 b 1)) size in
+  let prev = B.rem b (B.add b rank (B.sub b size (B.i64 b 1))) size in
+  let sendbuf = B.alloc b Ty.Float (B.i64 b 1) in
+  let recvbuf = B.alloc b Ty.Float (B.i64 b 1) in
+  B.store b sendbuf (B.i64 b 0) (B.to_float b rank);
+  let one = B.i64 b 1 in
+  let sreq =
+    B.call b ~ret:Ty.Int "mpi.isend"
+      [ sendbuf; one; next; B.i64 b send_tag ]
+  in
+  let rreq =
+    B.call b ~ret:Ty.Int "mpi.irecv"
+      [ recvbuf; one; prev; B.i64 b recv_tag ]
+  in
+  if wait_send then ignore (B.call b ~ret:Ty.Unit "mpi.wait" [ sreq ]);
+  ignore (B.call b ~ret:Ty.Unit "mpi.wait" [ rreq ]);
+  B.return b (Some (B.load b recvbuf (B.i64 b 0)));
+  ignore (B.finish b);
+  prog
+
+let run_ring ?faults ?mpi_ref ?(prog = ring_prog ()) ~nranks () =
+  Exec.run_spmd ?faults ?mpi_ref prog ~nranks ~fname:"ring"
+    ~setup:(fun _ ~rank:_ -> [])
+
+(* ---- structured diagnosis of classic failure paths ---- *)
+
+let test_tag_mismatch () =
+  (* every send uses tag 1, every recv expects tag 2: all recvs block and
+     the diagnosis must say which tag each rank is stuck on *)
+  let prog = ring_prog ~send_tag:1 ~recv_tag:2 ~wait_send:false () in
+  match run_ring ~prog ~nranks:3 () with
+  | _ -> Alcotest.fail "tag mismatch not detected"
+  | exception Sim.Deadlock d ->
+    Alcotest.(check int) "all ranks parked" 3 (List.length d.Sim.d_blocked);
+    let s = Sim.diagnosis_to_string d in
+    check_contains "diagnosis" s "tag 2";
+    check_contains "diagnosis" s "no matching send"
+
+let test_collective_missing_rank () =
+  (* rank 1 skips the allreduce: the others' diagnosis must name it *)
+  let prog = Prog.create () in
+  let b, _ = B.func prog "skip" ~params:[] ~ret:Ty.Float in
+  let rank = B.call b ~ret:Ty.Int "mpi.rank" [] in
+  let c = B.eq b rank (B.i64 b 1) in
+  let r =
+    B.if_ b c ~results:[ Ty.Float ]
+      ~then_:(fun () -> [ B.f64 b 0.0 ])
+      ~else_:(fun () ->
+        let s = B.alloc b Ty.Float (B.i64 b 1) in
+        let out = B.alloc b Ty.Float (B.i64 b 1) in
+        B.store b s (B.i64 b 0) (B.to_float b rank);
+        ignore
+          (B.call b ~ret:Ty.Unit "mpi.allreduce_sum" [ s; out; B.i64 b 1 ]);
+        [ B.load b out (B.i64 b 0) ])
+  in
+  B.return b (Some (List.hd r));
+  ignore (B.finish b);
+  let mpi_ref = ref None in
+  match
+    Exec.run_spmd ~mpi_ref prog ~nranks:4 ~fname:"skip"
+      ~setup:(fun _ ~rank:_ -> [])
+  with
+  | _ -> Alcotest.fail "missing collective rank not detected"
+  | exception Sim.Deadlock d ->
+    let s = Sim.diagnosis_to_string d in
+    check_contains "diagnosis" s "allreduce";
+    check_contains "diagnosis" s "waiting for rank(s) [1]";
+    let issues = CC.audit (Option.get !mpi_ref) in
+    let incomplete =
+      List.exists
+        (function
+          | CC.Incomplete_collective { missing; _ } -> missing = [ 1 ]
+          | _ -> false)
+        issues
+    in
+    Alcotest.(check bool) "audit reports rank 1 missing" true incomplete
+
+let test_unwaited_isend () =
+  (* recv with mpi.recv (blocking), never wait on the isend request: the
+     run completes but the audit must flag the unobserved request *)
+  let prog = Prog.create () in
+  let b, _ = B.func prog "uw" ~params:[] ~ret:Ty.Float in
+  let rank = B.call b ~ret:Ty.Int "mpi.rank" [] in
+  let size = B.call b ~ret:Ty.Int "mpi.size" [] in
+  let next = B.rem b (B.add b rank (B.i64 b 1)) size in
+  let prev = B.rem b (B.add b rank (B.sub b size (B.i64 b 1))) size in
+  let sendbuf = B.alloc b Ty.Float (B.i64 b 1) in
+  let recvbuf = B.alloc b Ty.Float (B.i64 b 1) in
+  B.store b sendbuf (B.i64 b 0) (B.to_float b rank);
+  let one = B.i64 b 1 and tag = B.i64 b 5 in
+  ignore (B.call b ~ret:Ty.Int "mpi.isend" [ sendbuf; one; next; tag ]);
+  ignore (B.call b ~ret:Ty.Unit "mpi.recv" [ recvbuf; one; prev; tag ]);
+  B.return b (Some (B.load b recvbuf (B.i64 b 0)));
+  ignore (B.finish b);
+  let mpi_ref = ref None in
+  let res =
+    Exec.run_spmd ~mpi_ref prog ~nranks:3 ~fname:"uw"
+      ~setup:(fun _ ~rank:_ -> [])
+  in
+  Array.iteri
+    (fun rank v ->
+      Alcotest.check feq
+        (Printf.sprintf "rank %d value" rank)
+        (float_of_int ((rank + 2) mod 3))
+        (V.to_float v))
+    res.Exec.values;
+  let issues = CC.audit (Option.get !mpi_ref) in
+  let unwaited =
+    List.filter
+      (function CC.Unwaited_request { kind = "isend"; _ } -> true | _ -> false)
+      issues
+  in
+  Alcotest.(check int) "one unwaited isend per rank" 3 (List.length unwaited)
+
+(* ---- fault plans ---- *)
+
+let test_drop_retry_transparent () =
+  (* recoverable drops: identical values, larger makespan, counted
+     retries, nothing lost *)
+  let clean = run_ring ~nranks:5 () in
+  let plan = Faults.plan_of_name ~nranks:5 "drop-retry" in
+  let faulty = run_ring ~faults:plan ~nranks:5 () in
+  Array.iteri
+    (fun rank v ->
+      Alcotest.check feq
+        (Printf.sprintf "rank %d value unchanged" rank)
+        (V.to_float clean.Exec.values.(rank))
+        (V.to_float v))
+    faulty.Exec.values;
+  Alcotest.(check bool)
+    (Printf.sprintf "makespan grows (%.0f -> %.0f)" clean.Exec.makespan
+       faulty.Exec.makespan)
+    true
+    (faulty.Exec.makespan > clean.Exec.makespan);
+  Alcotest.(check int)
+    "two retries per message" 10 faulty.Exec.stats.Stats.send_retries;
+  Alcotest.(check int) "nothing lost" 0 faulty.Exec.stats.Stats.messages_lost
+
+let test_seeded_drop_diagnosis_deterministic () =
+  (* an unrecoverable seeded fault must produce a byte-identical
+     diagnosis and audit across two executions *)
+  let go () =
+    let plan = Faults.plan_of_name ~seed:7 ~rank:1 ~nranks:4 "blackhole" in
+    let mpi_ref = ref None in
+    match run_ring ~faults:plan ~mpi_ref ~nranks:4 () with
+    | _ -> Alcotest.fail "blackhole did not deadlock"
+    | exception Sim.Deadlock d ->
+      ( Sim.diagnosis_to_string d,
+        CC.report (CC.audit (Option.get !mpi_ref)) )
+  in
+  let d1, a1 = go () and d2, a2 = go () in
+  Alcotest.(check string) "diagnosis byte-identical" d1 d2;
+  Alcotest.(check string) "audit byte-identical" a1 a2;
+  check_contains "diagnosis" d1 "lost by fault injection";
+  check_contains "audit" a1 "lost message: rank 1"
+
+let test_flaky_deterministic_values () =
+  (* seeded random attempt drops are always recovered and reproducible *)
+  let plan = Faults.plan_of_name ~seed:3 ~nranks:5 "flaky" in
+  let a = run_ring ~faults:plan ~nranks:5 () in
+  let b = run_ring ~faults:plan ~nranks:5 () in
+  Alcotest.(check (float 0.0))
+    "same makespan across reruns" a.Exec.makespan b.Exec.makespan;
+  Alcotest.(check int)
+    "same retries across reruns" a.Exec.stats.Stats.send_retries
+    b.Exec.stats.Stats.send_retries;
+  let clean = run_ring ~nranks:5 () in
+  Array.iteri
+    (fun rank v ->
+      Alcotest.check feq
+        (Printf.sprintf "rank %d value unchanged" rank)
+        (V.to_float clean.Exec.values.(rank))
+        (V.to_float v))
+    a.Exec.values
+
+let test_kill_names_victim () =
+  let plan = Faults.plan_of_name ~rank:2 ~nranks:4 "kill" in
+  match run_ring ~faults:plan ~nranks:4 () with
+  | _ -> Alcotest.fail "killed rank did not deadlock the ring"
+  | exception Sim.Deadlock d ->
+    let s = Sim.diagnosis_to_string d in
+    check_contains "diagnosis" s "rank 2 killed";
+    Alcotest.(check bool)
+      "several strands parked" true
+      (List.length d.Sim.d_blocked >= 2)
+
+let test_duplicate_flagged_by_audit () =
+  let plan = Faults.plan_of_name ~nranks:3 "dup" in
+  let mpi_ref = ref None in
+  let res = run_ring ~faults:plan ~mpi_ref ~nranks:3 () in
+  Alcotest.(check int)
+    "one duplicate injected" 1 res.Exec.stats.Stats.messages_duplicated;
+  let issues = CC.audit (Option.get !mpi_ref) in
+  let dup_send =
+    List.exists
+      (function CC.Unmatched_send { msgs = 1; _ } -> true | _ -> false)
+      issues
+  in
+  Alcotest.(check bool) "audit flags the extra copy" true dup_send
+
+(* ---- gradients under injection (acceptance criterion) ---- *)
+
+(* differentiable ring: isend x to next, irecv y from prev, return
+   x[0]*2 + y[0]*3 so the adjoint flows through the message *)
+let grad_ring_prog () =
+  let prog = Prog.create () in
+  let b, ps =
+    B.func prog "gring"
+      ~params:[ "x", Ty.Ptr Ty.Float; "n", Ty.Int ]
+      ~ret:Ty.Float
+  in
+  let x, n = match ps with [ a; b ] -> a, b | _ -> assert false in
+  let rank = B.call b ~ret:Ty.Int "mpi.rank" [] in
+  let size = B.call b ~ret:Ty.Int "mpi.size" [] in
+  let next = B.rem b (B.add b rank (B.i64 b 1)) size in
+  let prev = B.rem b (B.add b rank (B.sub b size (B.i64 b 1))) size in
+  let y = B.alloc b Ty.Float n in
+  let tag = B.i64 b 9 in
+  let sreq = B.call b ~ret:Ty.Int "mpi.isend" [ x; n; next; tag ] in
+  let rreq = B.call b ~ret:Ty.Int "mpi.irecv" [ y; n; prev; tag ] in
+  ignore (B.call b ~ret:Ty.Unit "mpi.wait" [ sreq ]);
+  ignore (B.call b ~ret:Ty.Unit "mpi.wait" [ rreq ]);
+  let x0 = B.load b x (B.i64 b 0) in
+  let y0 = B.load b y (B.i64 b 0) in
+  B.return b
+    (Some
+       (B.add b
+          (B.mul b x0 (B.f64 b 2.0))
+          (B.mul b y0 (B.f64 b 3.0))));
+  ignore (B.finish b);
+  prog
+
+let test_gradient_under_drop_retry () =
+  (* retransmits change only virtual time, so reverse mode under a
+     recoverable fault plan must still match finite differences *)
+  let prog = grad_ring_prog () in
+  let plan = Faults.plan_of_name ~nranks:3 "drop-retry" in
+  let n = 2 in
+  match
+    GC.check_spmd prog "gring" ~nranks:3 ~faults:plan
+      ~args:(fun ~rank ->
+        [
+          GC.ABuf (Array.init n (fun i -> 0.4 +. float_of_int (rank + i)));
+          GC.AInt n;
+        ])
+      ~seeds:(fun ~rank:_ -> [ Array.make n 0.0 ])
+      ~d_ret:(fun ~rank -> if rank = 0 then 1.0 else 0.0)
+  with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "gradient under drop-retry: %s" m
+
+let test_gradient_drop_retry_bitwise () =
+  (* stronger than FD agreement: the adjoints themselves are bitwise
+     unchanged by a recoverable plan *)
+  let prog = grad_ring_prog () in
+  let n = 2 in
+  let args ~rank =
+    [
+      GC.ABuf (Array.init n (fun i -> 0.4 +. float_of_int (rank + i)));
+      GC.AInt n;
+    ]
+  in
+  let seeds ~rank:_ = [ Array.make n 0.0 ] in
+  let d_ret ~rank = if rank = 0 then 1.0 else 0.0 in
+  let grad faults =
+    (GC.reverse_spmd ?faults ~nranks:3 ~args ~seeds ~d_ret prog "gring")
+      .GC.s_d_bufs
+  in
+  let clean = grad None in
+  let plan = Faults.plan_of_name ~nranks:3 "drop-retry" in
+  let faulty = grad (Some plan) in
+  Array.iteri
+    (fun rank bufs ->
+      List.iteri
+        (fun bi arr ->
+          Array.iteri
+            (fun i d ->
+              Alcotest.(check (float 0.0))
+                (Printf.sprintf "rank %d buf %d adjoint %d" rank bi i)
+                (List.nth clean.(rank) bi).(i)
+                d)
+            arr)
+        bufs)
+    faulty
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "diagnosis",
+        [
+          Alcotest.test_case "recv tag mismatch" `Quick test_tag_mismatch;
+          Alcotest.test_case "rank absent from collective" `Quick
+            test_collective_missing_rank;
+          Alcotest.test_case "unwaited isend" `Quick test_unwaited_isend;
+        ] );
+      ( "plans",
+        [
+          Alcotest.test_case "drop-retry transparent" `Quick
+            test_drop_retry_transparent;
+          Alcotest.test_case "seeded diagnosis deterministic" `Quick
+            test_seeded_drop_diagnosis_deterministic;
+          Alcotest.test_case "flaky deterministic" `Quick
+            test_flaky_deterministic_values;
+          Alcotest.test_case "kill names victim" `Quick test_kill_names_victim;
+          Alcotest.test_case "duplicate flagged" `Quick
+            test_duplicate_flagged_by_audit;
+        ] );
+      ( "gradients",
+        [
+          Alcotest.test_case "fd check under drop-retry" `Quick
+            test_gradient_under_drop_retry;
+          Alcotest.test_case "adjoints bitwise stable" `Quick
+            test_gradient_drop_retry_bitwise;
+        ] );
+    ]

@@ -369,7 +369,19 @@ let test_mpi_deadlock_detected () =
     Exec.run_spmd prog ~nranks:2 ~fname:"dl" ~setup:(fun _ ~rank:_ -> [])
   with
   | _ -> Alcotest.fail "deadlock not detected"
-  | exception Sim.Deadlock _ -> ()
+  | exception Sim.Deadlock d ->
+    (* the diagnosis must identify every parked strand and describe the
+       receive it is stuck on *)
+    Alcotest.(check int) "both ranks parked" 2 (List.length d.Sim.d_blocked);
+    List.iter
+      (fun b ->
+        Alcotest.(check bool)
+          (Printf.sprintf "strand %d blames the recv (%s)" b.Sim.b_sid
+             b.Sim.b_desc)
+          true
+          (String.length b.Sim.b_desc > 0
+          && b.Sim.b_desc <> "an unfilled event"))
+      d.Sim.d_blocked
 
 let test_mpi_scaling_shape () =
   (* fixed total work split across ranks + allreduce: more ranks => faster,
