@@ -12,6 +12,8 @@ module L = Apps_lulesh.Lulesh
 module MB = Apps_minibude.Minibude
 module Sim = Parad_runtime.Sim
 module Faults = Parad_runtime.Faults
+module Mpi_state = Parad_runtime.Mpi_state
+module Exec = Parad_runtime.Exec
 module Comm_check = Parad_verify.Comm_check
 open Parad_ir
 
@@ -22,6 +24,9 @@ let guarded f =
   try f () with
   | Sim.Deadlock d ->
     Format.eprintf "%a@." Sim.pp_diagnosis d;
+    exit 3
+  | Mpi_state.Rank_failed n ->
+    Format.eprintf "%a@." Mpi_state.pp_failure n;
     exit 3
   | Parad_runtime.Value.Runtime_error msg ->
     Printf.eprintf "runtime error: %s\n" msg;
@@ -178,57 +183,68 @@ let check_cmd =
     (Cmd.info "check" ~doc:"gradient vs finite differences sanity check")
     Term.(const run $ const ())
 
-(* ---- fault injection: run an application gradient under a named fault
-   plan, print the retry/loss statistics, the structured deadlock
-   diagnosis if the plan is unrecoverable, and the post-run communication
-   audit. Exit codes: 0 clean, 1 audit found issues, 2 runtime error,
-   3 deadlock. *)
+(* ---- fault injection: run an application gradient under a fault plan
+   spec, print the retry/loss statistics, the structured failure or
+   deadlock diagnosis if the plan is unrecoverable, and the post-run
+   communication audit. Exit codes: 0 clean, 1 audit found issues,
+   2 runtime error, 3 deadlock or rank failure. *)
+let plan_spec_arg ~default =
+  Arg.(
+    value
+    & opt string default
+    & info [ "plan" ]
+        ~doc:
+          (Printf.sprintf
+             "fault plan spec: one of %s, optionally followed by \
+              :key=val,... overrides (seed, victim, at, retries, backoff, \
+              deadline, prob, kill=R[@T], stall=R@T@D; kill/stall are \
+              repeatable)"
+             (String.concat "|" Faults.plan_names)))
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc:"fault plan PRNG seed")
+
+let victim_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "victim" ] ~doc:"rank targeted by stall/kill/blackhole/delay plans")
+
+let at_arg =
+  Arg.(
+    value
+    & opt float 0.0
+    & info [ "at" ] ~doc:"virtual time a stall/kill fires at")
+
+let primal_arg =
+  Arg.(
+    value & flag
+    & info [ "primal" ] ~doc:"run the primal instead of the gradient")
+
+let app_arg =
+  Arg.(
+    value
+    & opt (enum [ "lulesh", `Lulesh; "bude", `Bude ]) `Lulesh
+    & info [ "app" ] ~doc:"application: lulesh|bude")
+
+let dry_run_arg =
+  Arg.(
+    value & flag
+    & info [ "dry-run" ] ~doc:"print the parsed fault plan and exit")
+
+let parse_plan_spec ~seed ~victim ~at ~ranks spec =
+  try Faults.plan_of_spec ~seed ?rank:victim ~at ~nranks:ranks spec
+  with Invalid_argument msg ->
+    Printf.eprintf "%s\n" msg;
+    exit 2
+
 let faults_cmd =
-  let plan_arg =
-    Arg.(
-      value
-      & opt string "drop-retry"
-      & info [ "plan" ]
-          ~doc:
-            (Printf.sprintf "fault plan: %s"
-               (String.concat "|" Faults.plan_names)))
-  in
-  let seed_arg =
-    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"fault plan PRNG seed")
-  in
-  let victim_arg =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "victim" ]
-          ~doc:"rank targeted by stall/kill/blackhole/delay plans")
-  in
-  let at_arg =
-    Arg.(
-      value
-      & opt float 0.0
-      & info [ "at" ] ~doc:"virtual time a stall/kill fires at")
-  in
-  let primal_arg =
-    Arg.(
-      value & flag
-      & info [ "primal" ] ~doc:"run the primal instead of the gradient")
-  in
-  let app_arg =
-    Arg.(
-      value
-      & opt (enum [ "lulesh", `Lulesh; "bude", `Bude ]) `Lulesh
-      & info [ "app" ] ~doc:"application: lulesh|bude")
-  in
+  let plan_arg = plan_spec_arg ~default:"drop-retry" in
   let run app plan_name flavor ranks threads size iters seed victim at primal
-      =
-    let plan =
-      try Faults.plan_of_name ~seed ?rank:victim ~at ~nranks:ranks plan_name
-      with Invalid_argument msg ->
-        Printf.eprintf "%s\n" msg;
-        exit 2
-    in
+      dry_run =
+    let plan = parse_plan_spec ~seed ~victim ~at ~ranks plan_name in
     Format.printf "%a@." Faults.pp_plan plan;
+    if dry_run then exit 0;
     match app with
     | `Bude ->
       (* miniBUDE has no message-passing variant: the plan gates MPI
@@ -297,6 +313,10 @@ let faults_cmd =
         Format.printf "%a@." Sim.pp_diagnosis d;
         ignore (audit ());
         exit 3
+      | Mpi_state.Rank_failed n ->
+        Format.printf "%a@." Mpi_state.pp_failure n;
+        ignore (audit ());
+        exit 3
       | Parad_runtime.Value.Runtime_error msg ->
         Printf.printf "runtime error: %s\n" msg;
         ignore (audit ());
@@ -309,11 +329,139 @@ let faults_cmd =
           report the diagnosis")
     Term.(
       const run $ app_arg $ plan_arg $ flavor_arg $ ranks_arg $ threads_arg
-      $ size_arg $ iters_arg $ seed_arg $ victim_arg $ at_arg $ primal_arg)
+      $ size_arg $ iters_arg $ seed_arg $ victim_arg $ at_arg $ primal_arg
+      $ dry_run_arg)
+
+(* ---- checkpoint/restart: run an application under a fault plan with
+   the supervised driver, so a killed rank triggers restore-and-replay
+   instead of aborting. Exit codes: 0 recovered (or no fault fired) with
+   a clean audit, 1 audit found issues without any restart, 2 runtime
+   error, 3 failure survived past the restart budget (or deadlock),
+   4 recovered but degraded (restarted, yet messages were lost or the
+   audit is dirty). *)
+let recover_cmd =
+  let plan_arg = plan_spec_arg ~default:"kill" in
+  let max_restarts_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "max-restarts" ] ~doc:"restart budget before giving up")
+  in
+  let run app plan_name flavor ranks threads size iters seed victim at primal
+      dry_run max_restarts =
+    let plan = parse_plan_spec ~seed ~victim ~at ~ranks plan_name in
+    Format.printf "%a@." Faults.pp_plan plan;
+    if dry_run then exit 0;
+    match app with
+    | `Bude ->
+      Printf.printf
+        "note: miniBUDE has no MPI variant; the fault plan has nothing to \
+         inject\n";
+      guarded (fun () ->
+          let inp = MB.deck ~nposes:16 ~natlig:8 ~natpro:16 in
+          let g = MB.gradient ~nthreads:threads MB.Omp inp in
+          Printf.printf
+            "bude_omp gradient: %.0f virtual cycles, |d_poses| = %d\n"
+            g.MB.g_makespan
+            (Array.length g.MB.d_poses))
+    | `Lulesh ->
+      let inp =
+        {
+          L.nx = size;
+          ny = size;
+          nz = (size * ranks + ranks - 1) / ranks * ranks;
+          niter = iters;
+          dt0 = 0.01;
+          escale = 1.0;
+        }
+      in
+      let mpi_ref = ref None in
+      let audit_issues () =
+        match !mpi_ref with
+        | Some m ->
+          let issues = Comm_check.audit m in
+          print_endline (Comm_check.report issues);
+          issues
+        | None -> []
+      in
+      let report_recovery (recov : Exec.recovery) =
+        Printf.printf "recovery: %d restart(s)\n" recov.Exec.r_restarts;
+        List.iter2
+          (fun n resume ->
+            Format.printf "  %a@." Mpi_state.pp_failure n;
+            match resume with
+            | Some id -> Printf.printf "    resumed from checkpoint %d\n" id
+            | None ->
+              Printf.printf "    cold restart (no consistent checkpoint)\n")
+          recov.Exec.r_failures recov.Exec.r_resumed_from
+      in
+      let finish (recov : Exec.recovery) (stats : Parad_runtime.Stats.t) =
+        report_recovery recov;
+        let issues = audit_issues () in
+        let degraded = issues <> [] || stats.messages_lost > 0 in
+        if recov.Exec.r_restarts > 0 && degraded then exit 4
+        else if issues <> [] then exit 1
+        else exit 0
+      in
+      (try
+         if primal then begin
+           let r, recov =
+             L.run_recoverable ~nranks:ranks ~nthreads:threads ~faults:plan
+               ~mpi_ref ~max_restarts flavor inp
+           in
+           Printf.printf
+             "%s under %S: total energy %.6f, %.0f virtual cycles\n"
+             (L.flavor_name flavor) plan.Faults.name r.L.total_energy
+             r.L.makespan;
+           Printf.printf "stats: %s\n"
+             (Fmt.str "%a" Parad_runtime.Stats.pp r.L.stats);
+           finish recov r.L.stats
+         end
+         else begin
+           let g, recov =
+             L.gradient_recoverable ~nranks:ranks ~nthreads:threads
+               ~faults:plan ~mpi_ref ~max_restarts flavor inp
+           in
+           let d = g.L.d_energy.(0) in
+           Printf.printf
+             "%s gradient under %S: %.0f virtual cycles\nd total / d \
+              e[0..3] = %.4f %.4f %.4f %.4f\n"
+             (L.flavor_name flavor) plan.Faults.name g.L.g_makespan d.(0)
+             d.(1) d.(2) d.(3);
+           Printf.printf "stats: %s\n"
+             (Fmt.str "%a" Parad_runtime.Stats.pp g.L.g_stats);
+           finish recov g.L.g_stats
+         end
+       with
+      | Sim.Deadlock d ->
+        Format.printf "%a@." Sim.pp_diagnosis d;
+        ignore (audit_issues ());
+        exit 3
+      | Mpi_state.Rank_failed n ->
+        Format.printf "unrecovered after %d restart(s): %a@." max_restarts
+          Mpi_state.pp_failure n;
+        ignore (audit_issues ());
+        exit 3
+      | Parad_runtime.Value.Runtime_error msg ->
+        Printf.printf "runtime error: %s\n" msg;
+        ignore (audit_issues ());
+        exit 2)
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:
+         "run an application under a fault plan with checkpoint/restart \
+          recovery and report the restart history")
+    Term.(
+      const run $ app_arg $ plan_arg $ flavor_arg $ ranks_arg $ threads_arg
+      $ size_arg $ iters_arg $ seed_arg $ victim_arg $ at_arg $ primal_arg
+      $ dry_run_arg $ max_restarts_arg)
 
 let () =
   let info = Cmd.info "parad" ~doc:"parallel AD through compiler augmentation" in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ ir_cmd; gradient_cmd; run_cmd; grad_cmd; check_cmd; faults_cmd ]))
+          [
+            ir_cmd; gradient_cmd; run_cmd; grad_cmd; check_cmd; faults_cmd;
+            recover_cmd;
+          ]))

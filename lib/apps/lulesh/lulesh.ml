@@ -166,7 +166,18 @@ let emit_body flavor b (m : bufs) ~niter ~dt0 =
     (* first node index of the k = nzl plane *)
     B.mul b m.nzl np
   in
-  B.for_n b niter (fun _it ->
+  B.for_n b niter (fun it ->
+      (* checkpoint at the top of every timestep: the snapshot walk
+         starts from the program arguments, extended with loop-carried
+         state that is not argument-reachable (the dt cell and the raw
+         force accumulators) *)
+      let extras =
+        dtcell
+        :: List.filter_map
+             (function Raw p -> Some p | Jla _ -> None)
+             [ fx; fy; fz ]
+      in
+      ignore (B.call b ~ret:Ty.Unit "parad.checkpoint" (it :: extras));
       let dt = B.load b dtcell i0 in
       (* 1. zero forces *)
       pfor flavor b ~hi:m.nn (fun n ->
@@ -695,3 +706,84 @@ let gradient ?(nthreads = 1) ?(nranks = 1)
     g_makespan = res.Exec.makespan;
     g_stats = res.Exec.stats;
   }
+
+(* ---- supervised (checkpoint/restart) harnesses ---- *)
+
+(** Like {!run}, but under {!Exec.run_spmd_recoverable}: ranks checkpoint
+    at each timestep and a killed rank triggers restore-and-replay
+    instead of ending the run. *)
+let run_recoverable ?(nthreads = 1) ?(nranks = 1) ?(pre = []) ?faults
+    ?mpi_ref ?max_restarts flavor (inp : input) :
+    run_result * Exec.recovery =
+  let cfg = { Interp.default_config with nthreads } in
+  let prog = program flavor in
+  let prog = if pre = [] then prog else Parad_opt.Pipeline.run prog pre in
+  let res, recov =
+    Exec.run_spmd_recoverable ~cfg ?faults ?mpi_ref ?max_restarts prog ~nranks
+      ~fname:(flavor_name flavor)
+      ~setup:(fun ctx ~rank ->
+        let args, _, _ = setup_args flavor inp ~nranks ctx ~rank in
+        args)
+  in
+  ( {
+      total_energy = Value.to_float res.Exec.values.(0);
+      makespan = res.Exec.makespan;
+      stats = res.Exec.stats;
+    },
+    recov )
+
+(** Like {!gradient}, but supervised: the gradient's forward sweep
+    checkpoints primal and shadow state, so a kill-and-recover run
+    resumes the derivative computation and must reproduce the faultless
+    gradient bit-for-bit. *)
+let gradient_recoverable ?(nthreads = 1) ?(nranks = 1)
+    ?(opts = Parad_core.Plan.default_options) ?(post_opt = true) ?(pre = [])
+    ?faults ?mpi_ref ?max_restarts flavor (inp : input) :
+    grad_result * Exec.recovery =
+  let cfg = { Interp.default_config with nthreads } in
+  let prog = program flavor in
+  let prog = if pre = [] then prog else Parad_opt.Pipeline.run prog pre in
+  let dprog, dname =
+    Parad_core.Reverse.gradient ~opts prog (flavor_name flavor)
+  in
+  let dprog =
+    if post_opt then Parad_opt.Pipeline.run dprog Parad_opt.Pipeline.post_ad
+    else dprog
+  in
+  let jl = julia flavor in
+  let shadows = Array.make nranks [||] in
+  let res, recov =
+    Exec.run_spmd_recoverable ~cfg ?faults ?mpi_ref ?max_restarts dprog
+      ~nranks ~fname:dname
+      ~setup:(fun ctx ~rank ->
+        let args, bufs, m = setup_args flavor inp ~nranks ctx ~rank in
+        ignore bufs;
+        let nn = Array.length m.node_mass in
+        let ne = Array.length m.energy in
+        let mk len =
+          let d = Exec.floats ctx (Array.make len 0.0) in
+          if jl then Exec.ptr_cell ctx d, d else d, d
+        in
+        let svals = Array.init 7 (fun i -> mk (if i < 6 then nn else ne)) in
+        let d_nl = Exec.ints ctx (Array.make (ne * 8) 0) in
+        let d_mass, _ = mk nn in
+        shadows.(rank) <- Array.map snd svals;
+        let d_args = Exec.zeros ctx 1 in
+        args
+        @ Array.to_list (Array.map fst svals)
+        @ [
+            d_nl; d_mass;
+            Value.VFloat (if rank = 0 then 1.0 else 0.0);
+            d_args;
+          ])
+  in
+  ( {
+      g_total = Value.to_float res.Exec.values.(0);
+      d_coords =
+        Array.init nranks (fun r -> Exec.to_floats shadows.(r).(0));
+      d_energy =
+        Array.init nranks (fun r -> Exec.to_floats shadows.(r).(6));
+      g_makespan = res.Exec.makespan;
+      g_stats = res.Exec.stats;
+    },
+    recov )

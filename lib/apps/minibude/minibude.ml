@@ -141,6 +141,8 @@ let build_seq prog =
   (match ps with
   | [ deck; energies; natlig; natpro; nposes ] ->
     B.for_n b nposes (fun p ->
+        (* checkpoint per pose; all live state is argument-reachable *)
+        ignore (B.call b ~ret:Ty.Unit "parad.checkpoint" [ p ]);
         let d = deck_fields b deck energies natlig natpro in
         st b d.energies p (emit_pose_energy b d p))
   | _ -> assert false);

@@ -378,6 +378,15 @@ and collect_call t ~occ ~register_callee v name args =
       val_ n;
       val_ root
     | ("mpi.barrier" | "mpi.rank" | "mpi.size" | "omp.max_threads"), _ -> ()
+    | "parad.checkpoint", _ ->
+      (* a checkpoint site snapshots the extras it names, and in a
+         gradient run their shadows too: keep both available in the
+         forward sweep (no reverse contribution) *)
+      List.iter
+        (fun x ->
+          val_ x;
+          if Ty.is_ptr (Var.ty x) then shadow_ x)
+        args
     | "gc.preserve_begin", _ ->
       List.iter
         (fun x ->

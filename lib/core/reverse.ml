@@ -419,6 +419,18 @@ and fwd_call st ~idxs ~occ v name args =
             args
       in
       fset st v (B.call b ~ret:Ty.Int name extended)
+    | "parad.checkpoint", _ ->
+      (* the gradient's forward sweep checkpoints the primal extras and
+         their shadows, so a restored replay resumes the derivative
+         state too *)
+      let extended =
+        List.map g args
+        @ List.filter_map
+            (fun x ->
+              if Ty.is_ptr (Var.ty x) then Some (fshadow st x) else None)
+            args
+      in
+      fset st v (B.call b ~ret:Ty.Unit name extended)
     | _ ->
       (* straight copy: mpi.send/recv/allreduce_sum/bcast/barrier/rank/
          size, omp.*, gc.*, debug.* *)
@@ -913,7 +925,8 @@ and rev_call rs sc ~occ v name args =
       ignore
         (B.call b ~ret:Ty.Unit "mpi.adj_bcast" [ rshadow p; rval n; rval root ])
     | "mpi.barrier", _ -> ignore (B.call b ~ret:Ty.Unit "mpi.barrier" [])
-    | ("mpi.rank" | "mpi.size" | "omp.max_threads" | "gc.collect"), _ -> ()
+    | ("mpi.rank" | "mpi.size" | "omp.max_threads" | "gc.collect"
+      | "parad.checkpoint"), _ -> ()
     | "gc.preserve_begin", _ -> (
       match Hashtbl.find_opt rs.prestok occ with
       | Some tok -> ignore (B.call b ~ret:Ty.Unit "gc.preserve_end" [ tok ])

@@ -54,3 +54,23 @@ let free t ~id =
   let c = get_cache t id in
   c.freed <- true;
   c.cells <- [||]
+
+(* -- checkpoint support ------------------------------------------------ *)
+
+(** All caches allocated so far, in id order, as [(cells, freed)]. Cells
+    are copied so the caller owns a stable snapshot. *)
+let export t =
+  Array.init t.n (fun i ->
+      let c = t.table.(i) in
+      (Array.copy c.cells, c.freed))
+
+(** Replace the whole table with [blocks] (as produced by {!export});
+    cache ids are reassigned densely from 0 so a restored run hands out
+    the same ids the snapshotted run did. *)
+let restore t blocks =
+  let n = Array.length blocks in
+  let dummy = { cells = [||]; freed = true } in
+  let table = Array.make (max 8 n) dummy in
+  Array.iteri (fun i (cells, freed) -> table.(i) <- { cells; freed }) blocks;
+  t.table <- table;
+  t.n <- n

@@ -1,0 +1,459 @@
+(** Checkpoint/restart of a rank's live state.
+
+    A snapshot captures everything a replayed rank needs to resume at a
+    program-designated point (the [parad.checkpoint] intrinsic, placed by
+    the builder in an application's outer iteration loop): every memory
+    buffer reachable from the program arguments (plus explicit extras
+    named at the checkpoint site), the AD value caches, the MPI sequence
+    counters and shadow-request table, and the rank's virtual clock.
+
+    Snapshots are deterministic and byte-stable: buffers are serialized
+    in buffer-id order, floats as their IEEE-754 bit patterns, and the
+    scheduler itself is virtual-time deterministic — so two identical
+    runs produce byte-identical snapshots (tested), and a snapshot plus a
+    deterministic replay reproduces the original run bit-for-bit.
+
+    Restore works by {e structural correspondence}: a replayed rank
+    re-executes its preamble deterministically, so the n-th buffer it
+    allocates is the same program object as the n-th buffer of the
+    snapshotted run. Saved buffers whose id has a live counterpart are
+    restored in place; saved buffers allocated during the skipped
+    iterations (no counterpart) are resurrected fresh; every serialized
+    pointer is remapped through that correspondence. Skipping itself is
+    driven by {!Skip_iteration}: while a resume target is pending, the
+    checkpoint intrinsic raises it and the interpreter's loop construct
+    fast-forwards to the next iteration without executing the body.
+
+    Consistency rule (see DESIGN.md): a checkpoint id is only globally
+    usable once {e every} rank has a snapshot for it —
+    {!latest_consistent} picks the newest such id for the supervised
+    restart driver. *)
+
+open Parad_ir
+open Value
+
+(** Raised by the [parad.checkpoint] intrinsic while fast-forwarding to a
+    resume target; caught by the interpreter's loops, which skip the rest
+    of the iteration body. *)
+exception Skip_iteration
+
+(* ---- snapshot store ---- *)
+
+type store = {
+  snranks : int;
+  snaps : (int * int, string) Hashtbl.t;  (** (rank, ckpt id) -> bytes *)
+}
+
+let create_store ~nranks = { snranks = nranks; snaps = Hashtbl.create 32 }
+
+let snapshot_bytes store ~rank ~id = Hashtbl.find_opt store.snaps (rank, id)
+
+(** Newest checkpoint id for which every rank holds a snapshot, if any.
+    Ranks pass checkpoints at different virtual times, so the newest id
+    of any single rank may not be globally restorable yet. *)
+let latest_consistent store =
+  let ids =
+    Hashtbl.fold
+      (fun (r, id) _ acc -> if r = 0 then id :: acc else acc)
+      store.snaps []
+    |> List.sort (fun a b -> compare b a)
+  in
+  List.find_opt
+    (fun id ->
+      let ok = ref true in
+      for r = 1 to store.snranks - 1 do
+        if not (Hashtbl.mem store.snaps (r, id)) then ok := false
+      done;
+      !ok)
+    ids
+
+(* ---- per-rank checkpoint session ---- *)
+
+type session = {
+  store : store;
+  srank : int;
+  mutable pending : int option;
+      (** resume target: skip iterations until this checkpoint id, then
+          restore from its snapshot *)
+}
+
+let session store ~rank ?resume () = { store; srank = rank; pending = resume }
+
+(* ---- serialization (text tokens; deterministic by construction) ---- *)
+
+let rec ty_code = function
+  | Ty.Unit -> "U"
+  | Ty.Bool -> "B"
+  | Ty.Int -> "I"
+  | Ty.Float -> "F"
+  | Ty.Ptr t -> "P" ^ ty_code t
+
+let ty_of_code s =
+  let n = String.length s in
+  let rec go i =
+    if i >= n then error "checkpoint: bad type code %S" s
+    else
+      match s.[i] with
+      | 'U' -> Ty.Unit
+      | 'B' -> Ty.Bool
+      | 'I' -> Ty.Int
+      | 'F' -> Ty.Float
+      | 'P' -> Ty.Ptr (go (i + 1))
+      | _ -> error "checkpoint: bad type code %S" s
+  in
+  go 0
+
+let kind_code = function
+  | Instr.Heap -> "h"
+  | Instr.Stack -> "s"
+  | Instr.Gc -> "g"
+
+let kind_of_code = function
+  | "h" -> Instr.Heap
+  | "s" -> Instr.Stack
+  | "g" -> Instr.Gc
+  | s -> error "checkpoint: bad buffer kind %S" s
+
+let cell_code = function
+  | VUnit -> "u"
+  | VBool false -> "b0"
+  | VBool true -> "b1"
+  | VInt n -> "i" ^ string_of_int n
+  | VFloat f -> "f" ^ Int64.to_string (Int64.bits_of_float f)
+  | VPtr p -> Printf.sprintf "p%d:%d" p.buf.bid p.off
+  | VNull ty -> "n" ^ ty_code ty
+
+(* Decode one cell token; pointer targets are resolved through [lookup]
+   (saved buffer id -> live buffer of the restored run). *)
+let cell_of_code lookup s =
+  let n = String.length s in
+  if n = 0 then error "checkpoint: empty cell token";
+  let rest () = String.sub s 1 (n - 1) in
+  match s.[0] with
+  | 'u' -> VUnit
+  | 'b' -> VBool (rest () = "1")
+  | 'i' -> VInt (int_of_string (rest ()))
+  | 'f' -> VFloat (Int64.float_of_bits (Int64.of_string (rest ())))
+  | 'n' -> VNull (ty_of_code (rest ()))
+  | 'p' -> (
+    match String.index_opt s ':' with
+    | Some i ->
+      let bid = int_of_string (String.sub s 1 (i - 1)) in
+      let off = int_of_string (String.sub s (i + 1) (n - i - 1)) in
+      VPtr { buf = lookup bid; off }
+    | None -> error "checkpoint: bad pointer token %S" s)
+  | _ -> error "checkpoint: bad cell token %S" s
+
+(* ---- taking a snapshot ---- *)
+
+(* Transitive pointer reachability from [roots], like the GC mark phase;
+   freed buffers are recorded but their (poisoned) contents are not
+   followed or kept. *)
+let reachable roots =
+  let seen : (int, buffer) Hashtbl.t = Hashtbl.create 64 in
+  let rec mark v =
+    match v with
+    | VPtr p when not (Hashtbl.mem seen p.buf.bid) ->
+      Hashtbl.add seen p.buf.bid p.buf;
+      if not p.buf.freed then Array.iter mark p.buf.data
+    | VPtr _ | VUnit | VBool _ | VInt _ | VFloat _ | VNull _ -> ()
+  in
+  List.iter mark roots;
+  Hashtbl.fold (fun _ b acc -> b :: acc) seen []
+  |> List.sort (fun (a : buffer) b -> compare a.bid b.bid)
+
+type taken = { t_cells : int  (** cells captured, for cost accounting *) }
+
+(** Snapshot rank state at checkpoint [id]. [roots] are the live values
+    the buffer walk starts from — the entry function's arguments plus the
+    extras listed at the checkpoint site; cache contents and MPI shadow
+    buffers are added as roots implicitly. Rejects (with a clear error)
+    checkpoints taken with an unwaited nonblocking request or inside an
+    open collective: in-flight communication is not part of a rank-local
+    snapshot. *)
+let take session ~mem ~cache ~mpi ~roots ~id =
+  let rank = session.srank in
+  (match mpi with
+  | None -> ()
+  | Some m ->
+    let n = Mpi_state.unwaited_requests m ~rank in
+    if n > 0 then
+      error
+        "parad.checkpoint %d: rank %d has %d unwaited request(s); wait all \
+         nonblocking sends/receives before checkpointing"
+        id rank n;
+    (match Mpi_state.open_collective m ~rank with
+    | Some seq ->
+      error
+        "parad.checkpoint %d: rank %d is inside open collective #%d; \
+         checkpoints must sit between completed collectives"
+        id rank seq
+    | None -> ()));
+  let shadows =
+    match mpi with Some m -> Mpi_state.export_shadows m ~rank | None -> []
+  in
+  List.iter
+    (fun (sid, (s : Mpi_state.shadow_req)) ->
+      if s.srev <> None || s.stmp <> None then
+        error
+          "parad.checkpoint %d: rank %d: shadow request %d is mid-reverse; \
+           checkpoints inside the reverse sweep are unsupported"
+          id rank sid)
+    shadows;
+  let cache_blocks = Cache_rt.export cache in
+  let all_roots =
+    roots
+    @ Array.to_list
+        (Array.concat (Array.to_list (Array.map (fun (c, _) -> c) cache_blocks)))
+    @ List.map (fun (_, (s : Mpi_state.shadow_req)) -> VPtr s.sptr) shadows
+  in
+  let bufs = reachable all_roots in
+  ignore mem;
+  let b = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let stats = Sim.stats () in
+  pf "parad-ckpt 1\n";
+  pf "rank %d id %d clock %Ld instrs %d tape %d\n" rank id
+    (Int64.bits_of_float (Sim.now ()))
+    stats.instrs stats.tape_entries;
+  (match mpi with
+  | None -> pf "mpi none\n"
+  | Some m ->
+    let next_req, next_shadow, coll_seq = Mpi_state.rank_counters m ~rank in
+    pf "mpi %d %d %d\n" next_req next_shadow coll_seq);
+  pf "cache %d\n" (Array.length cache_blocks);
+  Array.iteri
+    (fun cid (cells, freed) ->
+      pf "block %d %d %d\n" cid (Array.length cells) (if freed then 1 else 0);
+      Array.iter (fun v -> pf "%s " (cell_code v)) cells;
+      pf "\n")
+    cache_blocks;
+  pf "buffers %d\n" (List.length bufs);
+  let cells = ref 0 in
+  List.iter
+    (fun (buf : buffer) ->
+      pf "buf %d %s %d %s %d %d\n" buf.bid (ty_code buf.elem)
+        (Array.length buf.data) (kind_code buf.kind) buf.socket
+        (if buf.freed then 1 else 0);
+      if not buf.freed then begin
+        cells := !cells + Array.length buf.data;
+        Array.iter (fun v -> pf "%s " (cell_code v)) buf.data;
+        pf "\n"
+      end)
+    bufs;
+  pf "shadows %d\n" (List.length shadows);
+  List.iter
+    (fun (sid, (s : Mpi_state.shadow_req)) ->
+      pf "sh %d %s %d %d %d %d %d\n" sid
+        (match s.skind with Mpi_state.SIsend -> "s" | Mpi_state.SIrecv -> "r")
+        s.sptr.buf.bid s.sptr.off s.scount s.speer s.stag)
+    shadows;
+  pf "end\n";
+  Hashtbl.replace session.store.snaps (rank, id) (Buffer.contents b);
+  { t_cells = !cells }
+
+(* ---- restoring ---- *)
+
+type restored = {
+  r_cells : int;  (** cells written back, for cost accounting *)
+  r_clock : float;  (** the snapshotted rank's virtual clock *)
+}
+
+(* Token-stream reader over a snapshot. *)
+type reader = { toks : string array; mutable pos : int }
+
+let tok r =
+  if r.pos >= Array.length r.toks then
+    error "checkpoint: truncated snapshot";
+  let t = r.toks.(r.pos) in
+  r.pos <- r.pos + 1;
+  t
+
+let expect r what =
+  let t = tok r in
+  if t <> what then
+    error "checkpoint: malformed snapshot: expected %S, found %S" what t
+
+let int_tok r = int_of_string (tok r)
+
+(* [Array.init]'s element-evaluation order is unspecified; the parser
+   must consume tokens strictly in stream order. *)
+let tabulate n f =
+  if n = 0 then [||]
+  else begin
+    let a = Array.make n (f 0) in
+    for i = 1 to n - 1 do
+      a.(i) <- f i
+    done;
+    a
+  end
+
+(** Restore rank state from the snapshot for checkpoint [id], taken in a
+    structurally identical run. Buffers are matched by id to the
+    replaying run's allocations (the deterministic preamble guarantees
+    correspondence); unmatched buffers — allocated during the iterations
+    this replay skipped — are resurrected. *)
+let restore session ~mem ~cache ~mpi ~id =
+  let rank = session.srank in
+  let bytes =
+    match snapshot_bytes session.store ~rank ~id with
+    | Some s -> s
+    | None -> error "checkpoint: no snapshot for rank %d at id %d" rank id
+  in
+  let r =
+    {
+      toks =
+        String.split_on_char '\n' bytes
+        |> List.concat_map (String.split_on_char ' ')
+        |> List.filter (fun s -> s <> "")
+        |> Array.of_list;
+      pos = 0;
+    }
+  in
+  expect r "parad-ckpt";
+  expect r "1";
+  expect r "rank";
+  let srank = int_tok r in
+  if srank <> rank then
+    error "checkpoint: snapshot of rank %d restored on rank %d" srank rank;
+  expect r "id";
+  let sid = int_tok r in
+  if sid <> id then
+    error "checkpoint: snapshot id %d does not match restore target %d" sid id;
+  expect r "clock";
+  let clock = Int64.float_of_bits (Int64.of_string (tok r)) in
+  expect r "instrs";
+  let _ = int_tok r in
+  expect r "tape";
+  let _ = int_tok r in
+  expect r "mpi";
+  let counters =
+    match tok r with
+    | "none" -> None
+    | nr ->
+      (* explicit sequencing: tuple components evaluate right-to-left,
+         which would read the tokens out of stream order *)
+      let next_req = int_of_string nr in
+      let next_shadow = int_tok r in
+      let coll_seq = int_tok r in
+      Some (next_req, next_shadow, coll_seq)
+  in
+  expect r "cache";
+  let ncache = int_tok r in
+  (* First sweep the whole token stream structurally, recording raw
+     tokens; decoding pointers needs the buffer map, which is only
+     complete after all buffer headers are read. *)
+  let cache_raw =
+    tabulate ncache (fun cid ->
+        expect r "block";
+        let cid' = int_tok r in
+        if cid' <> cid then error "checkpoint: cache block order broken";
+        let len = int_tok r in
+        let freed = int_tok r = 1 in
+        (tabulate len (fun _ -> tok r), freed))
+  in
+  expect r "buffers";
+  let nbufs = int_tok r in
+  let bufs_raw =
+    tabulate nbufs (fun _ ->
+        let () = expect r "buf" in
+        let bid = int_tok r in
+        let elem = ty_of_code (tok r) in
+        let size = int_tok r in
+        let kind = kind_of_code (tok r) in
+        let socket = int_tok r in
+        let freed = int_tok r = 1 in
+        let cells =
+          if freed then [||] else tabulate size (fun _ -> tok r)
+        in
+        (bid, elem, size, kind, socket, freed, cells))
+  in
+  expect r "shadows";
+  let nsh = int_tok r in
+  let shadows_raw =
+    tabulate nsh (fun _ ->
+        let () = expect r "sh" in
+        let sid = int_tok r in
+        let skind =
+          match tok r with
+          | "s" -> Mpi_state.SIsend
+          | "r" -> Mpi_state.SIrecv
+          | k -> error "checkpoint: bad shadow kind %S" k
+        in
+        let bid = int_tok r in
+        let off = int_tok r in
+        let scount = int_tok r in
+        let speer = int_tok r in
+        let stag = int_tok r in
+        (sid, skind, bid, off, scount, speer, stag))
+  in
+  expect r "end";
+  (* Pass 1: bind every saved buffer id to a live buffer — the replay's
+     structural counterpart when one exists, a resurrected buffer
+     otherwise. *)
+  let map : (int, buffer) Hashtbl.t = Hashtbl.create 64 in
+  Array.iter
+    (fun (bid, elem, size, kind, socket, freed, _) ->
+      let target =
+        match Memory.find_bid mem bid with
+        | Some (b : buffer) ->
+          if not (Ty.equal b.elem elem) || Array.length b.data <> size then
+            error
+              "checkpoint: buffer %d changed shape between snapshot and \
+               replay (program is not structurally deterministic)"
+              bid;
+          if freed && not b.freed then Memory.free mem b;
+          if (not freed) && b.freed then
+            error
+              "checkpoint: buffer %d is freed in the replay but live in the \
+               snapshot"
+              bid;
+          b
+        | None ->
+          let b = Memory.alloc mem ~elem ~size ~kind ~socket in
+          if freed then Memory.free mem b;
+          b
+      in
+      Hashtbl.replace map bid target)
+    bufs_raw;
+  let lookup bid =
+    match Hashtbl.find_opt map bid with
+    | Some b -> b
+    | None -> error "checkpoint: dangling pointer to unsaved buffer %d" bid
+  in
+  (* Pass 2: write cell contents back, remapping pointers. *)
+  let cells = ref 0 in
+  Array.iter
+    (fun (bid, _, _, _, _, freed, raw) ->
+      if not freed then begin
+        let b = Hashtbl.find map bid in
+        cells := !cells + Array.length raw;
+        Array.iteri (fun i t -> b.data.(i) <- cell_of_code lookup t) raw
+      end)
+    bufs_raw;
+  Cache_rt.restore cache
+    (Array.map
+       (fun (raw, freed) -> (Array.map (cell_of_code lookup) raw, freed))
+       cache_raw);
+  (match mpi, counters with
+  | Some m, Some (next_req, next_shadow, coll_seq) ->
+    let shadows =
+      Array.to_list shadows_raw
+      |> List.map (fun (sid, skind, bid, off, scount, speer, stag) ->
+             ( sid,
+               {
+                 Mpi_state.skind;
+                 sptr = { buf = lookup bid; off };
+                 scount;
+                 speer;
+                 stag;
+                 srev = None;
+                 stmp = None;
+               } ))
+    in
+    Mpi_state.restore_rank m ~rank ~next_req ~next_shadow ~coll_seq ~shadows
+  | None, None -> ()
+  | Some _, None | None, Some _ ->
+    error "checkpoint: snapshot and replay disagree about MPI");
+  session.pending <- None;
+  { r_cells = !cells; r_clock = clock }

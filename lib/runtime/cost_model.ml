@@ -29,6 +29,9 @@ type t = {
   mpi_latency : float;  (** per message *)
   mpi_per_cell : float;  (** per 8-byte cell transferred *)
   cache_op : float;  (** AD cache store/load of one cell *)
+  ckpt_base : float;  (** taking or restoring one checkpoint snapshot *)
+  ckpt_per_cell : float;  (** per cell captured in / restored from a snapshot *)
+  restart_base : float;  (** relaunching a rank after a failure agreement *)
   tape_record : float;  (** operator-overloading baseline: record one stmt *)
   tape_reverse : float;  (** operator-overloading baseline: reverse one stmt *)
   cores_total : int;
@@ -59,6 +62,9 @@ let default =
     mpi_latency = 4000.0;
     mpi_per_cell = 1.2;
     cache_op = 6.0;
+    ckpt_base = 5000.0;
+    ckpt_per_cell = 1.5;
+    restart_base = 50000.0;
     tape_record = 30.0;
     tape_reverse = 40.0;
     cores_total = 64;

@@ -126,6 +126,86 @@ let run_spmd_custom ?(cfg = Interp.default_config) ?instrument ?faults
   in
   makespan, stats
 
+(* ---- supervised recoverable execution ---- *)
+
+type recovery = {
+  r_restarts : int;  (** restarts the supervisor performed *)
+  r_failures : Mpi_state.failure_notice list;  (** oldest first *)
+  r_resumed_from : int option list;
+      (** per restart: checkpoint id resumed from (None = cold restart,
+          no globally-consistent checkpoint existed yet) *)
+  r_store : Checkpoint.store;  (** snapshots accumulated across attempts *)
+}
+
+(** Run [fname] SPMD under supervision: ranks checkpoint at their
+    [parad.checkpoint] sites into a shared store; when a rank is killed
+    by the fault plan, the surviving ranks' structured
+    {!Mpi_state.Rank_failed} aborts the attempt, the supervisor consumes
+    the fired kill from the plan's budget, rebuilds the communicator, and
+    replays every rank from the latest globally-consistent checkpoint
+    (cold restart when none exists). Restart attempts start their virtual
+    clocks at the failure's agreement time plus the restart cost, so the
+    final makespan reflects lost work and recovery overhead. Shares one
+    {!Stats.t} across attempts. Re-raises the failure once
+    [max_restarts] is exhausted. *)
+let run_spmd_recoverable ?(cfg = Interp.default_config) ?faults ?mpi_ref
+    ?(max_restarts = 8) ?store prog ~nranks ~fname ~setup =
+  let stats = Stats.create () in
+  let store =
+    match store with Some s -> s | None -> Checkpoint.create_store ~nranks
+  in
+  let values = Array.make nranks VUnit in
+  let failures = ref [] and resumed = ref [] in
+  let rec attempt plan ~base ~restarts ~resume =
+    let outcome =
+      try
+        let (), makespan, _ =
+          Sim.run ~cost:cfg.Interp.cost ~stats (fun () ->
+              if base > 0.0 then Sim.set_clock base;
+              let mpi =
+                Mpi_state.create ~cost:cfg.Interp.cost ~nranks ~faults:plan ()
+              in
+              (match mpi_ref with Some r -> r := Some mpi | None -> ());
+              let ctxs =
+                Array.init nranks (fun rank ->
+                    Interp.make_ctx ~cfg ~mpi ~rank ~nranks
+                      ~ckpt:(Checkpoint.session store ~rank ?resume ())
+                      ~prog ())
+              in
+              Sim.fork
+                ~socket_of:(fun r -> mpi.Mpi_state.sockets.(r))
+                ~width:nranks
+                (fun ~tid:rank ~width:_ ->
+                  let ctx = ctxs.(rank) in
+                  let args = setup ctx ~rank in
+                  values.(rank) <- Interp.call ctx fname args))
+        in
+        `Done makespan
+      with Mpi_state.Rank_failed n when restarts < max_restarts -> `Failed n
+    in
+    match outcome with
+    | `Done makespan ->
+      ( { values; makespan; stats },
+        {
+          r_restarts = restarts;
+          r_failures = List.rev !failures;
+          r_resumed_from = List.rev !resumed;
+          r_store = store;
+        } )
+    | `Failed n ->
+      stats.restarts <- stats.restarts + 1;
+      failures := n :: !failures;
+      let resume = Checkpoint.latest_consistent store in
+      resumed := resume :: !resumed;
+      let plan = Faults.consume_kill plan ~rank:n.Mpi_state.fn_failed in
+      attempt plan
+        ~base:(n.Mpi_state.fn_agreed_at +. cfg.Interp.cost.Cost_model.restart_base)
+        ~restarts:(restarts + 1) ~resume
+  in
+  attempt
+    (Option.value faults ~default:Faults.none)
+    ~base:0.0 ~restarts:0 ~resume:None
+
 (** A pointer-table buffer (kernel-parameter struct): one cell per entry
     of [vs], which must all be pointers of the same element type. *)
 let ptr_table (ctx : Interp.ctx) (vs : Value.t list) =

@@ -243,6 +243,99 @@ let plan_of_name ?(seed = 42) ?rank ?(at = 0.0) ~nranks name =
       (Printf.sprintf "Faults.plan_of_name: unknown plan %S (know: %s)" name
          (String.concat ", " plan_names))
 
+(** Remove the first kill entry for [rank] from a plan. The supervised
+    recovery driver consumes a fired kill before replaying, so each kill
+    in the plan's budget fires at most once across restarts. *)
+let consume_kill plan ~rank =
+  let rec drop = function
+    | [] -> []
+    | (r, _) :: tl when r = rank -> tl
+    | h :: tl -> h :: drop tl
+  in
+  { plan with kills = drop plan.kills }
+
+(** Parse a plan spec: a plan name, optionally followed by
+    [:key=val,...] overrides. Recognized keys: [seed], [victim], [at]
+    (retarget the named plan), [retries], [backoff], [deadline], [prob]
+    (tune recovery parameters), [kill=R@T] and [stall=R@T@D] (repeatable;
+    append extra kills/stalls, so multi-failure plans like
+    ["kill:kill=2@0,kill=3@50000"] are expressible). Explicit
+    [?seed]/[?rank]/[?at] arguments act as defaults that spec overrides
+    win over. *)
+let plan_of_spec ?seed ?rank ?at ~nranks spec =
+  let bad fmt = Printf.ksprintf invalid_arg ("Faults.plan_of_spec: " ^^ fmt) in
+  let name, overrides =
+    match String.index_opt spec ':' with
+    | None -> spec, []
+    | Some i ->
+      ( String.sub spec 0 i,
+        String.sub spec (i + 1) (String.length spec - i - 1)
+        |> String.split_on_char ','
+        |> List.filter (fun s -> s <> "") )
+  in
+  let kv =
+    List.map
+      (fun s ->
+        match String.index_opt s '=' with
+        | Some i ->
+          String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1)
+        | None -> bad "override %S is not key=val" s)
+      overrides
+  in
+  let int_of k v =
+    try int_of_string v with _ -> bad "%s=%S is not an integer" k v
+  in
+  let float_of k v =
+    try float_of_string v with _ -> bad "%s=%S is not a number" k v
+  in
+  let seed =
+    match List.assoc_opt "seed" kv with
+    | Some v -> Some (int_of "seed" v)
+    | None -> seed
+  in
+  let rank =
+    match List.assoc_opt "victim" kv with
+    | Some v -> Some (int_of "victim" v)
+    | None -> rank
+  in
+  let at =
+    match List.assoc_opt "at" kv with
+    | Some v -> Some (float_of "at" v)
+    | None -> at
+  in
+  let base = plan_of_name ?seed ?rank ?at ~nranks name in
+  let plan =
+    List.fold_left
+      (fun p (k, v) ->
+        match k with
+        | "seed" | "victim" | "at" -> p (* consumed above *)
+        | "retries" -> { p with max_retries = int_of k v }
+        | "backoff" -> { p with backoff = float_of k v }
+        | "deadline" -> { p with deadline = float_of k v }
+        | "prob" -> { p with drop_prob = float_of k v }
+        | "kill" -> (
+          match String.split_on_char '@' v with
+          | [ r ] -> { p with kills = p.kills @ [ int_of k r, 0.0 ] }
+          | [ r; t ] ->
+            { p with kills = p.kills @ [ int_of k r, float_of k t ] }
+          | _ -> bad "kill=%S is not RANK or RANK@TIME" v)
+        | "stall" -> (
+          match String.split_on_char '@' v with
+          | [ r; t; d ] ->
+            {
+              p with
+              stalls = p.stalls @ [ int_of k r, float_of k t, float_of k d ];
+            }
+          | _ -> bad "stall=%S is not RANK@TIME@DELAY" v)
+        | _ ->
+          bad
+            "unknown key %S (know: seed, victim, at, retries, backoff, \
+             deadline, prob, kill, stall)"
+            k)
+      base kv
+  in
+  { plan with name = spec }
+
 let pp_action ppf = function
   | Drop n -> Format.fprintf ppf "drop first %d attempt(s)" n
   | Drop_all -> Format.fprintf ppf "drop all attempts (lose)"

@@ -62,10 +62,16 @@ type ctx = {
   preserves : (int, Value.buffer list) Hashtbl.t;
   mutable next_preserve : int;
   mutable executed : int;
+  ckpt : Checkpoint.session option;
+      (** checkpoint/restart session; [parad.checkpoint] is a no-op
+          without one *)
+  mutable root_args : Value.t list;
+      (** the entry function's arguments — the roots of a checkpoint's
+          buffer reachability walk *)
 }
 
 let make_ctx ?(cfg = default_config) ?instrument ?mpi ?(rank = 0) ?(nranks = 1)
-    ~prog () =
+    ?ckpt ~prog () =
   {
     prog;
     cfg;
@@ -81,6 +87,8 @@ let make_ctx ?(cfg = default_config) ?instrument ?mpi ?(rank = 0) ?(nranks = 1)
     preserves = Hashtbl.create 16;
     next_preserve = 0;
     executed = 0;
+    ckpt;
+    root_args = [];
   }
 
 type frame = { vals : Value.t array; slots : int array option }
@@ -415,12 +423,19 @@ and exec_instr ctx e (i : Instr.t) : outcome =
     and hi = to_int (get fr hi)
     and sp = to_int (get fr step) in
     if sp <= 0 then error "for with non-positive step %d" sp;
+    (* [Checkpoint.Skip_iteration] is the fast-forward signal of a
+       resuming replay: the checkpoint intrinsic raises it while its
+       resume target is still ahead, and the loop skips the rest of the
+       iteration body. *)
     let rec go i =
       if i >= hi then ONext
       else begin
         charge c.arith;
         set fr iv (VInt i);
-        match exec_instrs ctx e body.body with
+        match
+          try exec_instrs ctx e body.body
+          with Checkpoint.Skip_iteration -> ONext
+        with
         | ONext -> go (i + sp)
         | (OReturn _ | OYield _) as o -> o
       end
@@ -432,7 +447,10 @@ and exec_instr ctx e (i : Instr.t) : outcome =
       match exec_instrs ctx e cond.body with
       | OYield [ (v, _) ] ->
         if to_bool v then begin
-          match exec_instrs ctx e body.body with
+          match
+            try exec_instrs ctx e body.body
+            with Checkpoint.Skip_iteration -> ONext
+          with
           | ONext -> go ()
           | (OReturn _ | OYield _) as o -> o
         end
@@ -578,6 +596,44 @@ and intrinsic ctx e name args vals : Value.t * int =
   charge c.arith;
   match name with
   | "omp.max_threads" -> VInt ctx.cfg.nthreads, 0
+  (* ---- checkpoint/restart ---- *)
+  | "parad.checkpoint" -> (
+    match ctx.ckpt with
+    | None -> unit_ (* no session: checkpoint points cost one arith op *)
+    | Some session ->
+      if e.team <> None then
+        error "parad.checkpoint inside a parallel region";
+      if ctx.instrument <> None then
+        error "parad.checkpoint: tape-instrumented runs cannot checkpoint";
+      let id = int_arg 0 in
+      let extras = List.filter (function VPtr _ -> true | _ -> false) vals in
+      (match session.Checkpoint.pending with
+      | Some target when id < target ->
+        (* fast-forward: this iteration is already covered by the
+           snapshot we are resuming from *)
+        raise Checkpoint.Skip_iteration
+      | Some target when id > target ->
+        error
+          "parad.checkpoint: replay reached checkpoint %d without passing \
+           resume target %d (checkpoint ids must replay identically)"
+          id target
+      | Some _ ->
+        let { Checkpoint.r_cells; r_clock } =
+          Checkpoint.restore session ~mem:ctx.mem ~cache:ctx.cache
+            ~mpi:ctx.mpi ~id
+        in
+        st.checkpoints_restored <- st.checkpoints_restored + 1;
+        if r_clock > Sim.now () then Sim.set_clock r_clock;
+        Sim.charge (c.ckpt_base +. (c.ckpt_per_cell *. float_of_int r_cells));
+        unit_
+      | None ->
+        let { Checkpoint.t_cells } =
+          Checkpoint.take session ~mem:ctx.mem ~cache:ctx.cache ~mpi:ctx.mpi
+            ~roots:(ctx.root_args @ extras) ~id
+        in
+        st.checkpoints_taken <- st.checkpoints_taken + 1;
+        Sim.charge (c.ckpt_base +. (c.ckpt_per_cell *. float_of_int t_cells));
+        unit_))
   (* ---- message passing ---- *)
   | "mpi.rank" -> VInt ctx.rank, 0
   | "mpi.size" -> VInt ctx.nranks, 0
@@ -935,9 +991,11 @@ and intrinsic ctx e name args vals : Value.t * int =
 
 (** Call [fname] in an existing context (must run inside {!Sim.run}). *)
 let call ctx fname args =
+  ctx.root_args <- args;
   fst (call_function ctx ~caller_stack:[] fname args [])
 
 (** Call [fname] with tape slots for the arguments; returns value and
     return-value slot. *)
 let call_with_slots ctx fname args slots =
+  ctx.root_args <- args;
   call_function ctx ~caller_stack:[] fname args slots

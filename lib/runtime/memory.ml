@@ -11,10 +11,23 @@ type t = {
   mutable live : buffer list;  (** GC-managed buffers, for collection *)
   mutable live_cells : int;
   mutable peak_cells : int;
+  all : (int, buffer) Hashtbl.t;
+      (** every buffer ever allocated, by id — the checkpoint subsystem
+          matches snapshot buffers to their structural counterparts in a
+          replayed run through this registry *)
 }
 
 let create ~rank =
-  { rank; next_bid = 0; live = []; live_cells = 0; peak_cells = 0 }
+  {
+    rank;
+    next_bid = 0;
+    live = [];
+    live_cells = 0;
+    peak_cells = 0;
+    all = Hashtbl.create 64;
+  }
+
+let find_bid t bid = Hashtbl.find_opt t.all bid
 
 let alloc t ~elem ~size ~kind ~socket =
   if size < 0 then error "alloc of negative size %d" size;
@@ -31,6 +44,7 @@ let alloc t ~elem ~size ~kind ~socket =
     }
   in
   t.next_bid <- t.next_bid + 1;
+  Hashtbl.replace t.all buf.bid buf;
   t.live_cells <- t.live_cells + size;
   if t.live_cells > t.peak_cells then t.peak_cells <- t.live_cells;
   (match kind with Instr.Gc -> t.live <- buf :: t.live | Instr.Stack | Instr.Heap -> ());

@@ -21,6 +21,8 @@ type pending_recv = {
   ptag : int;
   ev : Sim.event;
   mutable matched : msg option;
+  mutable pfailed : int option;
+      (** the sender rank died before matching this receive *)
 }
 
 type channel = {
@@ -45,6 +47,8 @@ type coll_slot = {
   mutable acc : float array;
   cev : Sim.event;
   cwho : bool array;  (** which ranks have joined (for diagnosis) *)
+  mutable cfailed : int option;
+      (** a rank died before joining; the collective can never complete *)
 }
 
 (* A nonblocking request as seen by one rank. *)
@@ -81,7 +85,46 @@ type t = {
   ranks : rank_state array;
   sockets : int array;  (** socket of each rank *)
   faults : Faults.state option;
+  dead : bool array;  (** ranks killed by fault injection *)
+  mutable epoch : int;  (** failures observed so far (communicator epoch) *)
 }
+
+(* ---- ULFM-style failure notification ----
+
+   A kill no longer silently parks its peers: the communicator records
+   the death, wakes every receive and collective that can never complete,
+   and the first surviving rank to touch the dead rank raises a
+   structured {!Rank_failed}. The notice carries the deterministic
+   agreement outcome (survivor set, agreement completion time) so a
+   supervisor can rebuild the communicator and charge recovery to the
+   virtual clock. *)
+
+type failure_notice = {
+  fn_failed : int;  (** the rank that died *)
+  fn_observed_by : int;  (** surviving rank that raised the notice *)
+  fn_observed_at : float;  (** virtual time of observation *)
+  fn_agreed_at : float;
+      (** observation + deterministic agreement (a barrier-shaped vote
+          over the survivors) *)
+  fn_survivors : int list;
+  fn_epoch : int;
+}
+
+exception Rank_failed of failure_notice
+
+let pp_failure ppf n =
+  Format.fprintf ppf
+    "rank failure: rank %d killed; observed by rank %d at t=%.6g; %d \
+     survivor(s) [%s]; agreement reached at t=%.6g (epoch %d)"
+    n.fn_failed n.fn_observed_by n.fn_observed_at
+    (List.length n.fn_survivors)
+    (String.concat "; " (List.map string_of_int n.fn_survivors))
+    n.fn_agreed_at n.fn_epoch
+
+let () =
+  Printexc.register_printer (function
+    | Rank_failed n -> Some (Format.asprintf "%a" pp_failure n)
+    | _ -> None)
 
 let create ~cost ~nranks ?faults () =
   {
@@ -101,12 +144,81 @@ let create ~cost ~nranks ?faults () =
       Array.init nranks (fun r ->
           Cost_model.socket_of cost ~index:r ~width:nranks);
     faults = Option.map (Faults.make ~nranks) faults;
+    dead = Array.make nranks false;
+    epoch = 0;
   }
 
+let survivors t =
+  List.filter (fun r -> not t.dead.(r)) (List.init t.nranks Fun.id)
+
+(** Raise the structured failure notice for [failed] on behalf of
+    surviving [rank]. The deterministic agreement is modelled as a
+    barrier-shaped vote over the survivors, charged before the raise so
+    [fn_agreed_at] is consistent with the observer's clock. *)
+let raise_failure t ~rank ~failed =
+  let now = Sim.now () in
+  let survivors = survivors t in
+  let agree =
+    Cost_model.barrier_cost (Sim.cost ()) ~width:(List.length survivors)
+  in
+  Sim.charge agree;
+  let stats = Sim.stats () in
+  stats.ranks_failed <- stats.ranks_failed + 1;
+  raise
+    (Rank_failed
+       {
+         fn_failed = failed;
+         fn_observed_by = rank;
+         fn_observed_at = now;
+         fn_agreed_at = now +. agree;
+         fn_survivors = survivors;
+         fn_epoch = t.epoch;
+       })
+
+(* The dead rank will never send or join again: wake every unmatched
+   receive on a channel it feeds and every collective it has not joined,
+   so blocked survivors observe the failure instead of deadlocking. *)
+let mark_rank_dead t ~failed =
+  let now = Sim.now () in
+  Hashtbl.iter
+    (fun (src, _, _) ch ->
+      if src = failed then
+        Queue.iter
+          (fun pr ->
+            if pr.matched = None && pr.pfailed = None then begin
+              pr.pfailed <- Some failed;
+              Sim.event_fill pr.ev ~time:now
+            end)
+          ch.recvs)
+    t.channels;
+  Hashtbl.iter
+    (fun _ slot ->
+      if
+        slot.carrived < t.nranks
+        && (not slot.cwho.(failed))
+        && slot.cfailed = None
+      then begin
+        slot.cfailed <- Some failed;
+        Sim.event_fill slot.cev ~time:now
+      end)
+    t.colls
+
+(* A survivor touching a dead peer observes the failure immediately —
+   including a receive posted against an already-dead rank (no waiting
+   out the retry deadline). *)
+let check_peer_alive t ~rank ~peer =
+  if peer >= 0 && peer < t.nranks && t.dead.(peer) then
+    raise_failure t ~rank ~failed:peer
+
+let check_any_alive t ~rank =
+  match List.find_opt (fun r -> t.dead.(r)) (List.init t.nranks Fun.id) with
+  | Some failed -> raise_failure t ~rank ~failed
+  | None -> ()
+
 (* Gate every MPI entry point: a stalled rank is charged a one-time
-   delay; a killed rank parks forever on a labelled event, so the run
-   terminates with a wait-for report naming it instead of hanging or
-   corrupting gradients. *)
+   delay; a killed rank notifies the communicator (waking peers that can
+   never be matched) and parks forever — survivors then raise the
+   structured failure at their next MPI call or wakeup. *)
 let fault_gate t ~rank =
   match t.faults with
   | None -> ()
@@ -117,6 +229,11 @@ let fault_gate t ~rank =
       (Sim.stats ()).stalls_injected <- (Sim.stats ()).stalls_injected + 1;
       Sim.charge d
     | `Kill at ->
+      if not t.dead.(rank) then begin
+        t.dead.(rank) <- true;
+        t.epoch <- t.epoch + 1;
+        mark_rank_dead t ~failed:rank
+      end;
       let ev =
         Sim.event
           ~label:(fun () ->
@@ -169,6 +286,7 @@ let post_msg ch m =
 let isend t ~rank ~ptr ~count ~dst ~tag =
   if dst < 0 || dst >= t.nranks then error "mpi.isend: bad destination %d" dst;
   fault_gate t ~rank;
+  check_peer_alive t ~rank ~peer:dst;
   let cost = Sim.cost () in
   let stats = Sim.stats () in
   stats.messages <- stats.messages + 1;
@@ -204,6 +322,7 @@ let isend t ~rank ~ptr ~count ~dst ~tag =
 let irecv t ~rank ~ptr ~count ~src ~tag =
   if src < 0 || src >= t.nranks then error "mpi.irecv: bad source %d" src;
   fault_gate t ~rank;
+  check_peer_alive t ~rank ~peer:src;
   let cost = Sim.cost () in
   Sim.charge (0.1 *. cost.mpi_latency);
   let label () =
@@ -229,6 +348,7 @@ let irecv t ~rank ~ptr ~count ~src ~tag =
       ptag = tag;
       ev = Sim.event ~label ();
       matched = None;
+      pfailed = None;
     }
   in
   let ch = channel t ~src ~dst:rank ~tag in
@@ -250,6 +370,9 @@ let wait t ~rank ~req =
   | Some (RRecv pr) ->
     Hashtbl.remove rs.reqs req;
     Sim.event_wait pr.ev;
+    (match pr.pfailed with
+    | Some failed -> raise_failure t ~rank ~failed
+    | None -> ());
     Sim.charge (0.1 *. (Sim.cost ()).mpi_latency);
     Some pr
 
@@ -275,6 +398,7 @@ let coll_kind_eq a b =
 (* Join the current collective slot; returns it. *)
 let coll_join t ~rank ~kind ~count ~contrib =
   fault_gate t ~rank;
+  check_any_alive t ~rank;
   let rs = t.ranks.(rank) in
   let seq = rs.coll_seq in
   rs.coll_seq <- seq + 1;
@@ -317,6 +441,7 @@ let coll_join t ~rank ~kind ~count ~contrib =
           acc = init;
           cev = Sim.event ~label ();
           cwho;
+          cfailed = None;
         }
       in
       Hashtbl.add t.colls seq s;
@@ -351,16 +476,25 @@ let allreduce t ~rank ~kind ~send ~recv ~count =
   let contrib = read_floats send count in
   let slot = coll_join t ~rank ~kind ~count ~contrib:(Some contrib) in
   Sim.event_wait slot.cev;
+  (match slot.cfailed with
+  | Some failed -> raise_failure t ~rank ~failed
+  | None -> ());
   write_floats recv slot.acc
 
 let barrier t ~rank =
   let slot = coll_join t ~rank ~kind:Cbarrier ~count:0 ~contrib:None in
-  Sim.event_wait slot.cev
+  Sim.event_wait slot.cev;
+  match slot.cfailed with
+  | Some failed -> raise_failure t ~rank ~failed
+  | None -> ()
 
 let bcast t ~rank ~root ~ptr ~count =
   let contrib = if rank = root then Some (read_floats ptr count) else None in
   let slot = coll_join t ~rank ~kind:(Cbcast root) ~count ~contrib in
   Sim.event_wait slot.cev;
+  (match slot.cfailed with
+  | Some failed -> raise_failure t ~rank ~failed
+  | None -> ());
   if rank <> root then write_floats ptr slot.acc
 
 (* ---- shadow requests (AD bookkeeping) ---- *)
@@ -377,3 +511,39 @@ let shadow_find t ~rank ~id =
   match Hashtbl.find_opt t.ranks.(rank).shadows id with
   | Some s -> s
   | None -> error "mpi: unknown shadow request %d on rank %d" id rank
+
+(* ---- checkpoint support ----
+
+   A checkpoint is only valid between MPI operations: no unwaited
+   request, no collective the rank has joined but not completed. The
+   counters and the shadow-request table are part of a rank's snapshot so
+   a restored run hands out the same request/collective sequence numbers
+   and can still run the reverse sweep over pre-checkpoint
+   communication. *)
+
+let unwaited_requests t ~rank = Hashtbl.length t.ranks.(rank).reqs
+
+let open_collective t ~rank =
+  Hashtbl.fold
+    (fun seq slot acc ->
+      if slot.cwho.(rank) && slot.carrived < t.nranks then Some seq else acc)
+    t.colls None
+
+let rank_counters t ~rank =
+  let rs = t.ranks.(rank) in
+  (rs.next_req, rs.next_shadow, rs.coll_seq)
+
+(** Shadow requests of [rank], sorted by id (deterministic order for
+    byte-stable snapshots). *)
+let export_shadows t ~rank =
+  Hashtbl.fold (fun id s acc -> (id, s) :: acc) t.ranks.(rank).shadows []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let restore_rank t ~rank ~next_req ~next_shadow ~coll_seq ~shadows =
+  let rs = t.ranks.(rank) in
+  Hashtbl.reset rs.reqs;
+  rs.next_req <- next_req;
+  rs.next_shadow <- next_shadow;
+  rs.coll_seq <- coll_seq;
+  Hashtbl.reset rs.shadows;
+  List.iter (fun (id, s) -> Hashtbl.replace rs.shadows id s) shadows

@@ -24,6 +24,11 @@ type t = {
   mutable messages_lost : int;  (** sends abandoned past retries/deadline *)
   mutable messages_duplicated : int;
   mutable stalls_injected : int;
+  (* checkpoint/recovery (all zero on fault-free, checkpoint-free runs) *)
+  mutable checkpoints_taken : int;
+  mutable checkpoints_restored : int;
+  mutable ranks_failed : int;  (** structured rank-failure notifications *)
+  mutable restarts : int;  (** supervised restarts after a failure *)
 }
 
 let create () =
@@ -50,6 +55,10 @@ let create () =
     messages_lost = 0;
     messages_duplicated = 0;
     stalls_injected = 0;
+    checkpoints_taken = 0;
+    checkpoints_restored = 0;
+    ranks_failed = 0;
+    restarts = 0;
   }
 
 let pp ppf s =
@@ -66,4 +75,10 @@ let pp ppf s =
     > 0
   then
     Fmt.pf ppf " retries=%d lost=%d dup=%d stalls=%d" s.send_retries
-      s.messages_lost s.messages_duplicated s.stalls_injected
+      s.messages_lost s.messages_duplicated s.stalls_injected;
+  if
+    s.checkpoints_taken + s.checkpoints_restored + s.ranks_failed + s.restarts
+    > 0
+  then
+    Fmt.pf ppf " ckpts=%d restored=%d failed_ranks=%d restarts=%d"
+      s.checkpoints_taken s.checkpoints_restored s.ranks_failed s.restarts

@@ -337,6 +337,99 @@ let reverse_spmd ?(cfg = Interp.default_config) ?opts ?post_opt ?faults
     s_stats = res.Exec.stats;
   }
 
+(** Reverse-mode SPMD gradient under a fault plan with checkpoint/restart
+    recovery: on a rank kill the supervised driver restores every rank
+    from the latest globally-consistent checkpoint and replays. Returns
+    the gradient together with the recovery record (restart count,
+    failure notices, resume points). The [setup] closure is re-invoked on
+    every attempt, so the shadow/adjoint buffers read out afterwards
+    belong to the final (successful) attempt. *)
+let reverse_spmd_recoverable ?(cfg = Interp.default_config) ?opts ?post_opt
+    ?faults ?max_restarts ?store ~nranks ~args ~seeds ~d_ret prog fname =
+  let f = Prog.find_exn prog fname in
+  let dprog, dname = differentiate ?opts ?post_opt prog fname in
+  let nscal = scalar_count (args ~rank:0) in
+  let shadows = Array.make nranks [] in
+  let dargs = Array.make nranks V.VUnit in
+  let res, recovery =
+    Exec.run_spmd_recoverable ~cfg ?faults ?max_restarts ?store dprog ~nranks
+      ~fname:dname ~setup:(fun ctx ~rank ->
+        let vals, _ = build_args ctx (args ~rank) in
+        let shadow_vals =
+          List.map
+            (fun s -> Exec.floats ctx (Array.copy s))
+            (seeds ~rank)
+        in
+        shadows.(rank) <- shadow_vals;
+        let tail =
+          (if ret_float f then [ V.VFloat (d_ret ~rank) ] else [])
+          @
+          if nscal > 0 then begin
+            let d = Exec.zeros ctx (max 1 nscal) in
+            dargs.(rank) <- d;
+            [ d ]
+          end
+          else []
+        in
+        vals @ shadow_vals @ tail)
+  in
+  ( {
+      s_primals =
+        Array.map
+          (fun v -> if ret_float f then V.to_float v else 0.0)
+          res.Exec.values;
+      s_d_bufs = Array.map (List.map Exec.to_floats) shadows;
+      s_d_scalars =
+        Array.init nranks (fun r ->
+            if nscal > 0 then Exec.to_floats dargs.(r) else [||]);
+      s_makespan = res.Exec.makespan;
+      s_stats = res.Exec.stats;
+    },
+    recovery )
+
+(** Assert that the gradient computed through kill-and-recover is
+    bit-identical to the faultless gradient: every adjoint cell, every
+    scalar adjoint, and every primal return must match exactly (compared
+    through [Int64.bits_of_float], so NaNs and signed zeros count too).
+    Returns the recovery record on success so callers can additionally
+    assert that restarts actually happened. *)
+let check_recovery ?cfg ?opts ?post_opt ~faults ?max_restarts ~nranks ~args
+    ~seeds ~d_ret prog fname =
+  let clean =
+    reverse_spmd ?cfg ?opts ?post_opt ~nranks ~args ~seeds ~d_ret prog fname
+  in
+  let recovered, recovery =
+    reverse_spmd_recoverable ?cfg ?opts ?post_opt ~faults ?max_restarts
+      ~nranks ~args ~seeds ~d_ret prog fname
+  in
+  let bad = ref [] in
+  let cmp what a b =
+    if Int64.bits_of_float a <> Int64.bits_of_float b then
+      bad := Fmt.str "%s: clean %h vs recovered %h" what a b :: !bad
+  in
+  for r = 0 to nranks - 1 do
+    cmp (Fmt.str "rank %d primal" r) clean.s_primals.(r)
+      recovered.s_primals.(r);
+    List.iteri
+      (fun bi (ca, ra) ->
+        Array.iteri
+          (fun j c -> cmp (Fmt.str "rank %d buf %d[%d]" r bi j) c ra.(j))
+          ca)
+      (List.combine clean.s_d_bufs.(r) recovered.s_d_bufs.(r));
+    Array.iteri
+      (fun si c ->
+        cmp (Fmt.str "rank %d scalar %d" r si) c
+          recovered.s_d_scalars.(r).(si))
+      clean.s_d_scalars.(r)
+  done;
+  match !bad with
+  | [] -> Ok (recovered, recovery)
+  | errs ->
+    Error
+      (Fmt.str "recovered gradient differs from faultless run:@,%a"
+         Fmt.(list ~sep:(any "@,") string)
+         (List.rev errs))
+
 (** Compare SPMD reverse mode against central differences over every
     buffer coordinate of every rank. *)
 let check_spmd ?cfg ?opts ?faults ~nranks ~args ~seeds ~d_ret ?(h = 1e-6)

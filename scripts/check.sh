@@ -1,7 +1,8 @@
 #!/bin/sh
 # Full verification gate: build, run every test suite, then smoke-check
-# the fault-injection CLI scenarios and their exit-code protocol
-# (0 clean, 1 audit issues, 2 runtime error, 3 deadlock).
+# the fault-injection and recovery CLI scenarios and their exit-code
+# protocol (0 clean, 1 audit issues, 2 runtime error, 3 deadlock or
+# rank failure, 4 recovered but degraded).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -42,10 +43,10 @@ grep -q "retries=" /tmp/parad-check.out || {
 # a duplicated message leaves an unmatched send -> dirty audit
 expect_exit 1 faults --plan dup $COMMON
 
-# killing a rank deadlocks the ring -> structured wait-for report
+# killing a rank without a supervisor -> structured rank-failure report
 expect_exit 3 faults --plan kill $COMMON
-grep -q "deadlock:" /tmp/parad-check.out || {
-  echo "FAIL: kill run printed no structured diagnosis"
+grep -q "rank failure" /tmp/parad-check.out || {
+  echo "FAIL: kill run printed no structured rank-failure notification"
   exit 1
 }
 
@@ -63,6 +64,46 @@ $PARAD faults --plan blackhole $COMMON > /tmp/parad-b.out 2>&1 || true
 cmp -s /tmp/parad-a.out /tmp/parad-b.out || {
   echo "FAIL: blackhole diagnosis differs across reruns"
   diff /tmp/parad-a.out /tmp/parad-b.out || true
+  exit 1
+}
+
+# --dry-run parses the spec grammar, prints the plan, and runs nothing
+expect_exit 0 faults --plan "kill:victim=2,at=500,kill=3@9000" --dry-run $COMMON
+grep -q "kill rank 3 at t>=9000" /tmp/parad-check.out || {
+  echo "FAIL: dry-run did not print the parsed kill overrides"
+  exit 1
+}
+expect_exit 2 faults --plan "kill:bogus=1" --dry-run $COMMON
+
+# the same kill plan under the supervised driver recovers: exit 0 and a
+# restart history instead of a rank-failure abort
+expect_exit 0 recover --app lulesh --plan kill $COMMON
+grep -q "recovery: 1 restart(s)" /tmp/parad-check.out || {
+  echo "FAIL: recover run reported no restart"
+  exit 1
+}
+
+# a later kill restores from a globally-consistent checkpoint (warm)
+COMMON3="--flavor mpi --ranks 4 --size 2 --iters 3"
+expect_exit 0 recover --app lulesh --plan "kill:victim=2,at=80000" $COMMON3
+grep -q "resumed from checkpoint" /tmp/parad-check.out || {
+  echo "FAIL: warm recover did not resume from a checkpoint"
+  exit 1
+}
+
+# the recovered gradient equals the faultless one bit-for-bit
+$PARAD grad $COMMON3 2>/dev/null | grep "d total" > /tmp/parad-clean.out
+grep "d total" /tmp/parad-check.out > /tmp/parad-recovered.out
+cmp -s /tmp/parad-clean.out /tmp/parad-recovered.out || {
+  echo "FAIL: recovered gradient differs from the faultless gradient"
+  diff /tmp/parad-clean.out /tmp/parad-recovered.out || true
+  exit 1
+}
+
+# more kills than the restart budget -> the failure surfaces, exit 3
+expect_exit 3 recover --app lulesh --plan "kill:kill=2,kill=3" --max-restarts 1 $COMMON
+grep -q "unrecovered after 1 restart" /tmp/parad-check.out || {
+  echo "FAIL: exhausted restart budget not reported"
   exit 1
 }
 

@@ -202,15 +202,57 @@ let test_flaky_deterministic_values () =
     a.Exec.values
 
 let test_kill_names_victim () =
+  (* a killed rank no longer silently deadlocks its peers: a surviving
+     rank raises a structured notification naming the victim, the
+     survivor set, and the deterministic agreement time *)
   let plan = Faults.plan_of_name ~rank:2 ~nranks:4 "kill" in
   match run_ring ~faults:plan ~nranks:4 () with
-  | _ -> Alcotest.fail "killed rank did not deadlock the ring"
-  | exception Sim.Deadlock d ->
-    let s = Sim.diagnosis_to_string d in
-    check_contains "diagnosis" s "rank 2 killed";
+  | _ -> Alcotest.fail "killed rank did not raise a structured failure"
+  | exception Mpi_state.Rank_failed n ->
+    Alcotest.(check int) "victim named" 2 n.Mpi_state.fn_failed;
+    Alcotest.(check (list int))
+      "survivor set" [ 0; 1; 3 ] n.Mpi_state.fn_survivors;
     Alcotest.(check bool)
-      "several strands parked" true
-      (List.length d.Sim.d_blocked >= 2)
+      "agreement charged to virtual time" true
+      (n.Mpi_state.fn_agreed_at > n.Mpi_state.fn_observed_at);
+    check_contains "failure report"
+      (Format.asprintf "%a" Mpi_state.pp_failure n)
+      "rank 2 killed"
+
+let test_recv_from_dead_immediate () =
+  (* a receive posted against an already-dead rank observes the failure
+     at post time — not after a retry deadline. In the ring, rank 2 dies
+     at its first MPI call, so rank 3's later irecv from rank 2 hits a
+     dead peer. *)
+  let plan = Faults.plan_of_spec ~nranks:4 "kill:victim=2,deadline=1e12" in
+  match run_ring ~faults:plan ~nranks:4 () with
+  | _ -> Alcotest.fail "no failure raised"
+  | exception Mpi_state.Rank_failed n ->
+    Alcotest.(check int)
+      "observed by the posting rank" 3 n.Mpi_state.fn_observed_by;
+    Alcotest.(check bool)
+      "observed long before the retry deadline" true
+      (n.Mpi_state.fn_observed_at < 1e6)
+
+let test_plan_spec_overrides () =
+  let p =
+    Faults.plan_of_spec ~nranks:8 "kill:victim=3,at=500,kill=5@1000,retries=9"
+  in
+  Alcotest.(check int) "retries override" 9 p.Faults.max_retries;
+  Alcotest.(check (list (pair int (float 0.0))))
+    "two kills" [ 3, 500.0; 5, 1000.0 ] p.Faults.kills;
+  Alcotest.(check string)
+    "plan named after the full spec" "kill:victim=3,at=500,kill=5@1000,retries=9"
+    p.Faults.name;
+  let p' = Faults.consume_kill p ~rank:3 in
+  Alcotest.(check (list (pair int (float 0.0))))
+    "fired kill consumed" [ 5, 1000.0 ] p'.Faults.kills;
+  (match Faults.plan_of_spec ~nranks:4 "kill:bogus=1" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown override key accepted");
+  match Faults.plan_of_spec ~nranks:4 "stall:stall=2@0" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "malformed stall override accepted"
 
 let test_duplicate_flagged_by_audit () =
   let plan = Faults.plan_of_name ~nranks:3 "dup" in
@@ -330,6 +372,10 @@ let () =
           Alcotest.test_case "flaky deterministic" `Quick
             test_flaky_deterministic_values;
           Alcotest.test_case "kill names victim" `Quick test_kill_names_victim;
+          Alcotest.test_case "recv from dead rank immediate" `Quick
+            test_recv_from_dead_immediate;
+          Alcotest.test_case "plan spec overrides" `Quick
+            test_plan_spec_overrides;
           Alcotest.test_case "duplicate flagged" `Quick
             test_duplicate_flagged_by_audit;
         ] );

@@ -1,0 +1,300 @@
+(* Checkpoint/restart: snapshot determinism, validity rejection, and
+   kill-and-recover gradients that are bit-identical to faultless runs. *)
+
+open Parad_ir
+open Parad_runtime
+module B = Builder
+module L = Apps_lulesh.Lulesh
+module GC = Parad_verify.Grad_check
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let check_contains what s sub =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s mentions %S (got: %s)" what sub s)
+    true (contains s sub)
+
+let bits = Int64.bits_of_float
+
+let check_bitwise what a b =
+  Alcotest.(check int64) what (bits a) (bits b)
+
+(* the CLI's small LULESH problem: size 2, 3 timesteps *)
+let inp ~ranks =
+  {
+    L.nx = 2;
+    ny = 2;
+    nz = ((2 * ranks) + ranks - 1) / ranks * ranks;
+    niter = 3;
+    dt0 = 0.01;
+    escale = 1.0;
+  }
+
+let kill_spec ?at ~nranks victim =
+  let at = match at with Some t -> Printf.sprintf ",at=%g" t | None -> "" in
+  Faults.plan_of_spec ~nranks (Printf.sprintf "kill:victim=%d%s" victim at)
+
+(* ---- snapshot determinism ---- *)
+
+let test_snapshots_byte_identical () =
+  (* two identical runs must leave byte-identical snapshots in their
+     stores: buffers serialize in id order, floats as bit patterns, and
+     the scheduler is virtual-time deterministic *)
+  let nranks = 4 in
+  let go () =
+    let _, recov = L.run_recoverable ~nranks L.Mpi (inp ~ranks:nranks) in
+    recov.Exec.r_store
+  in
+  let s1 = go () and s2 = go () in
+  let seen = ref 0 in
+  for rank = 0 to nranks - 1 do
+    for id = 0 to 2 do
+      match
+        ( Checkpoint.snapshot_bytes s1 ~rank ~id,
+          Checkpoint.snapshot_bytes s2 ~rank ~id )
+      with
+      | Some a, Some b ->
+        incr seen;
+        Alcotest.(check string)
+          (Printf.sprintf "snapshot rank %d id %d byte-identical" rank id)
+          a b
+      | None, None -> ()
+      | _ ->
+        Alcotest.failf "snapshot rank %d id %d present in only one run" rank
+          id
+    done
+  done;
+  Alcotest.(check int) "every (rank, id) snapshot present" 12 !seen
+
+(* ---- validity: in-flight communication is rejected ---- *)
+
+let test_unwaited_isend_rejected () =
+  (* a checkpoint taken between an isend and its wait must fail with a
+     clear error instead of silently dropping the in-flight message *)
+  let prog = Prog.create () in
+  let b, ps =
+    B.func prog "uwck" ~params:[ "x", Ty.Ptr Ty.Float ] ~ret:Ty.Unit
+  in
+  let x = match ps with [ a ] -> a | _ -> assert false in
+  let rank = B.call b ~ret:Ty.Int "mpi.rank" [] in
+  let size = B.call b ~ret:Ty.Int "mpi.size" [] in
+  let next = B.rem b (B.add b rank (B.i64 b 1)) size in
+  let prev = B.rem b (B.add b rank (B.sub b size (B.i64 b 1))) size in
+  let n = B.i64 b 1 and tag = B.i64 b 3 in
+  let y = B.alloc b Ty.Float n in
+  let sreq = B.call b ~ret:Ty.Int "mpi.isend" [ x; n; next; tag ] in
+  let rreq = B.call b ~ret:Ty.Int "mpi.irecv" [ y; n; prev; tag ] in
+  ignore (B.call b ~ret:Ty.Unit "parad.checkpoint" [ B.i64 b 0; x ]);
+  ignore (B.call b ~ret:Ty.Unit "mpi.wait" [ sreq ]);
+  ignore (B.call b ~ret:Ty.Unit "mpi.wait" [ rreq ]);
+  B.return b None;
+  ignore (B.finish b);
+  match
+    Exec.run_spmd_recoverable prog ~nranks:2 ~fname:"uwck"
+      ~setup:(fun ctx ~rank:_ -> [ Exec.floats ctx [| 1.0 |] ])
+  with
+  | _ -> Alcotest.fail "checkpoint with in-flight requests was accepted"
+  | exception Value.Runtime_error msg ->
+    check_contains "rejection" msg "unwaited request";
+    check_contains "rejection" msg "parad.checkpoint 0"
+
+(* ---- LULESH kill-and-recover ---- *)
+
+let clean_gradient nranks = L.gradient ~nranks L.Mpi (inp ~ranks:nranks)
+
+let check_gradient_matches ~what (clean : L.grad_result)
+    (g : L.grad_result) nranks =
+  check_bitwise (what ^ ": total") clean.L.g_total g.L.g_total;
+  for r = 0 to nranks - 1 do
+    Array.iteri
+      (fun k c ->
+        check_bitwise
+          (Printf.sprintf "%s: rank %d d_energy[%d]" what r k)
+          c g.L.d_energy.(r).(k))
+      clean.L.d_energy.(r);
+    Array.iteri
+      (fun k c ->
+        check_bitwise
+          (Printf.sprintf "%s: rank %d d_coords[%d]" what r k)
+          c g.L.d_coords.(r).(k))
+      clean.L.d_coords.(r)
+  done
+
+let test_lulesh_warm_recovery_bitwise () =
+  (* a rank killed mid-run is recovered from a globally-consistent
+     checkpoint, and the gradient is bit-identical to the faultless
+     run's; the lost work and restore are charged to virtual time *)
+  let nranks = 4 in
+  let clean = clean_gradient nranks in
+  let g, recov =
+    L.gradient_recoverable ~nranks
+      ~faults:(kill_spec ~at:80000.0 ~nranks 2)
+      L.Mpi (inp ~ranks:nranks)
+  in
+  Alcotest.(check int) "one restart" 1 recov.Exec.r_restarts;
+  Alcotest.(check (list (option int)))
+    "warm resume from checkpoint 1" [ Some 1 ] recov.Exec.r_resumed_from;
+  Alcotest.(check bool)
+    "snapshots actually restored" true
+    (g.L.g_stats.Stats.checkpoints_restored > 0);
+  Alcotest.(check bool)
+    "restart cost charged to the makespan" true
+    (g.L.g_makespan > clean.L.g_makespan);
+  check_gradient_matches ~what:"warm" clean g nranks
+
+let test_lulesh_warm_recovery_fd () =
+  (* the recovered gradient also agrees with finite differences: the
+     initial-energy direction of the adjoint matches d(total)/d(escale) *)
+  let nranks = 4 in
+  let g, _ =
+    L.gradient_recoverable ~nranks
+      ~faults:(kill_spec ~at:80000.0 ~nranks 2)
+      L.Mpi (inp ~ranks:nranks)
+  in
+  let directional = ref 0.0 in
+  for r = 0 to nranks - 1 do
+    let m = L.mesh (inp ~ranks:nranks) ~nranks ~rank:r in
+    Array.iteri
+      (fun k ek -> directional := !directional +. (ek *. g.L.d_energy.(r).(k)))
+      m.L.energy
+  done;
+  let h = 1e-6 in
+  let loss s =
+    (L.run ~nranks L.Mpi { (inp ~ranks:nranks) with L.escale = s })
+      .L.total_energy
+  in
+  let fd = (loss (1.0 +. h) -. loss (1.0 -. h)) /. (2.0 *. h) in
+  let rel =
+    Float.abs (fd -. !directional) /. Float.max 1.0 (Float.abs fd)
+  in
+  if rel > 1e-5 then
+    Alcotest.failf "recovered gradient vs FD: relative error %.3e" rel
+
+let test_lulesh_cold_restart_bitwise () =
+  (* a kill before any globally-consistent checkpoint exists falls back
+     to a cold restart — and the gradient is still bit-identical *)
+  let nranks = 4 in
+  let clean = clean_gradient nranks in
+  let g, recov =
+    L.gradient_recoverable ~nranks
+      ~faults:(kill_spec ~nranks 1)
+      L.Mpi (inp ~ranks:nranks)
+  in
+  Alcotest.(check int) "one restart" 1 recov.Exec.r_restarts;
+  Alcotest.(check (list (option int)))
+    "cold restart" [ None ] recov.Exec.r_resumed_from;
+  check_gradient_matches ~what:"cold" clean g nranks
+
+let test_lulesh_multi_kill_bitwise () =
+  (* a spec with two kills recovers twice and still reproduces the
+     faultless gradient bit-for-bit *)
+  let nranks = 4 in
+  let clean = clean_gradient nranks in
+  let plan =
+    Faults.plan_of_spec ~nranks "kill:victim=1,at=60000,kill=3@150000"
+  in
+  let g, recov =
+    L.gradient_recoverable ~nranks ~faults:plan L.Mpi (inp ~ranks:nranks)
+  in
+  Alcotest.(check int) "two restarts" 2 recov.Exec.r_restarts;
+  Alcotest.(check int)
+    "two structured failures" 2
+    (List.length recov.Exec.r_failures);
+  Alcotest.(check (list int))
+    "victims in kill order" [ 1; 3 ]
+    (List.map (fun n -> n.Mpi_state.fn_failed) recov.Exec.r_failures);
+  check_gradient_matches ~what:"multi-kill" clean g nranks
+
+let test_restart_budget_exhausted () =
+  (* more kills than restarts re-raises the structured failure *)
+  let nranks = 4 in
+  let plan =
+    Faults.plan_of_spec ~nranks "kill:victim=1,at=0,kill=2,kill=3"
+  in
+  match
+    L.gradient_recoverable ~nranks ~max_restarts:1 ~faults:plan L.Mpi
+      (inp ~ranks:nranks)
+  with
+  | _ -> Alcotest.fail "restart budget was not enforced"
+  | exception Mpi_state.Rank_failed n ->
+    Alcotest.(check int) "second kill surfaced" 2 n.Mpi_state.fn_failed
+
+(* ---- the grad_check recovery harness on a small ring program ---- *)
+
+let grad_ring_prog () =
+  let prog = Prog.create () in
+  let b, ps =
+    B.func prog "gring"
+      ~params:[ "x", Ty.Ptr Ty.Float; "n", Ty.Int ]
+      ~ret:Ty.Float
+  in
+  let x, n = match ps with [ a; b ] -> a, b | _ -> assert false in
+  let rank = B.call b ~ret:Ty.Int "mpi.rank" [] in
+  let size = B.call b ~ret:Ty.Int "mpi.size" [] in
+  let next = B.rem b (B.add b rank (B.i64 b 1)) size in
+  let prev = B.rem b (B.add b rank (B.sub b size (B.i64 b 1))) size in
+  let y = B.alloc b Ty.Float n in
+  let tag = B.i64 b 9 in
+  let sreq = B.call b ~ret:Ty.Int "mpi.isend" [ x; n; next; tag ] in
+  let rreq = B.call b ~ret:Ty.Int "mpi.irecv" [ y; n; prev; tag ] in
+  ignore (B.call b ~ret:Ty.Unit "mpi.wait" [ sreq ]);
+  ignore (B.call b ~ret:Ty.Unit "mpi.wait" [ rreq ]);
+  let x0 = B.load b x (B.i64 b 0) in
+  let y0 = B.load b y (B.i64 b 0) in
+  B.return b
+    (Some (B.add b (B.mul b x0 (B.f64 b 2.0)) (B.mul b y0 (B.f64 b 3.0))));
+  ignore (B.finish b);
+  prog
+
+let test_check_recovery_ring () =
+  (* the verify-layer harness: kill-and-recover adjoints of a small ring
+     program are bit-identical to the faultless ones (a program without
+     checkpoint sites recovers via cold restart) *)
+  let prog = grad_ring_prog () in
+  let n = 2 in
+  let args ~rank =
+    [
+      GC.ABuf (Array.init n (fun i -> 0.4 +. float_of_int (rank + i)));
+      GC.AInt n;
+    ]
+  in
+  let seeds ~rank:_ = [ Array.make n 0.0 ] in
+  let d_ret ~rank = if rank = 0 then 1.0 else 0.0 in
+  match
+    GC.check_recovery prog "gring" ~nranks:3
+      ~faults:(kill_spec ~nranks:3 1)
+      ~args ~seeds ~d_ret
+  with
+  | Error m -> Alcotest.failf "check_recovery: %s" m
+  | Ok (_, recovery) ->
+    Alcotest.(check int) "one restart" 1 recovery.Exec.r_restarts
+
+let () =
+  Alcotest.run "recover"
+    [
+      ( "checkpoints",
+        [
+          Alcotest.test_case "snapshots byte-identical" `Quick
+            test_snapshots_byte_identical;
+          Alcotest.test_case "unwaited isend rejected" `Quick
+            test_unwaited_isend_rejected;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "lulesh warm recovery bitwise" `Quick
+            test_lulesh_warm_recovery_bitwise;
+          Alcotest.test_case "lulesh warm recovery vs FD" `Quick
+            test_lulesh_warm_recovery_fd;
+          Alcotest.test_case "lulesh cold restart bitwise" `Quick
+            test_lulesh_cold_restart_bitwise;
+          Alcotest.test_case "lulesh multi-kill bitwise" `Quick
+            test_lulesh_multi_kill_bitwise;
+          Alcotest.test_case "restart budget exhausted" `Quick
+            test_restart_budget_exhausted;
+          Alcotest.test_case "check_recovery on a ring" `Quick
+            test_check_recovery_ring;
+        ] );
+    ]
