@@ -456,6 +456,186 @@ let recover_cmd =
       $ size_arg $ iters_arg $ seed_arg $ victim_arg $ at_arg $ primal_arg
       $ dry_run_arg $ max_restarts_arg)
 
+(* ---- ParSan: run an application (primal or gradient) under the runtime
+   sanitizer and report the findings. Exit codes extend the fault/recover
+   protocol: 0 clean, 1 findings (races, leaks, uninitialized reads),
+   2 runtime error or strict-mode non-finite abort, 3 deadlock or rank
+   failure, 4 degraded (non-finite values quarantined), 5 miscompilation
+   (a dynamic race on a cell the static analysis claimed private). *)
+module San = Parad_runtime.Sanitizer
+
+let sanitize_cmd =
+  let mode_arg =
+    Arg.(
+      value
+      & opt (enum [ "strict", San.Strict; "degrade", San.Degrade ]) San.Strict
+      & info [ "mode" ]
+          ~doc:
+            "non-finite policy: $(b,strict) aborts at the first originating \
+             NaN/Inf with provenance; $(b,degrade) quarantines (zeroes) the \
+             value, counts it, and finishes")
+  in
+  let no_race_arg =
+    Arg.(value & flag & info [ "no-race" ] ~doc:"disable the race checker")
+  in
+  let no_mem_arg =
+    Arg.(
+      value & flag
+      & info [ "no-mem" ] ~doc:"disable the memory checker (leaks, poison)")
+  in
+  let no_grad_arg =
+    Arg.(
+      value & flag
+      & info [ "no-grad" ] ~doc:"disable the gradient-integrity (NaN/Inf) \
+                                 checker")
+  in
+  let pedantic_arg =
+    Arg.(
+      value & flag
+      & info [ "pedantic-uninit" ]
+          ~doc:
+            "also flag reads of never-written cells (off by default: adjoint \
+             buffers legitimately read their zero initialization)")
+  in
+  let inject_nan_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "inject-nan" ] ~docv:"IDX"
+          ~doc:
+            "poison one input cell with NaN before the run (lulesh: element \
+             energy IDX on rank 0; bude: pose datum IDX) to exercise GradSan")
+  in
+  let assume_private_arg =
+    Arg.(
+      value & flag
+      & info [ "assume-private" ]
+          ~doc:
+            "compile the gradient as if every shadow buffer were \
+             thread-private (deliberately unsound; seeds the miscompilation \
+             RaceSan's cross-validation must catch)")
+  in
+  let atomic_always_arg =
+    Arg.(
+      value & flag
+      & info [ "atomic-always" ]
+          ~doc:"compile every shadow accumulation as atomic (the abl-tl \
+                ablation; must sanitize clean)")
+  in
+  let plan_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "plan" ]
+          ~doc:"optional fault plan spec to compose with sanitizing (same \
+                syntax as $(b,parad faults --plan))")
+  in
+  let run app flavor ranks threads size iters seed victim at primal plan mode
+      no_race no_mem no_grad pedantic inject_nan assume_private atomic_always =
+    let san =
+      San.create ~race:(not no_race) ~mem:(not no_mem) ~grad:(not no_grad)
+        ~uninit:pedantic ~mode ()
+    in
+    let opts =
+      { Parad_core.Plan.default_options with atomic_always; assume_private }
+    in
+    let faults =
+      Option.map (fun s -> parse_plan_spec ~seed ~victim ~at ~ranks s) plan
+    in
+    let finish () =
+      Format.printf "%a@." San.pp_report san;
+      exit (San.exit_code san)
+    in
+    try
+      (match app with
+      | `Bude ->
+        let inp = MB.deck ~nposes:16 ~natlig:8 ~natpro:16 in
+        (match inject_nan with
+        | Some i when i >= 0 && i < Array.length inp.MB.pose_data ->
+          inp.MB.pose_data.(i) <- Float.nan
+        | _ -> ());
+        if primal then begin
+          let r = MB.run ~nthreads:threads ~san MB.Omp inp in
+          Printf.printf "bude_omp: energies[0..3] = %.4f %.4f %.4f %.4f, \
+                         %.0f virtual cycles\n"
+            r.MB.energies.(0) r.MB.energies.(1) r.MB.energies.(2)
+            r.MB.energies.(3) r.MB.makespan;
+          Printf.printf "stats: %s\n"
+            (Fmt.str "%a" Parad_runtime.Stats.pp r.MB.stats)
+        end
+        else begin
+          let g = MB.gradient ~nthreads:threads ~san ~opts MB.Omp inp in
+          Printf.printf "bude_omp gradient: %.0f virtual cycles\nd_poses\
+                         [0..3] = %.4f %.4f %.4f %.4f\n"
+            g.MB.g_makespan g.MB.d_poses.(0) g.MB.d_poses.(1)
+            g.MB.d_poses.(2) g.MB.d_poses.(3);
+          Printf.printf "stats: %s\n"
+            (Fmt.str "%a" Parad_runtime.Stats.pp g.MB.g_stats)
+        end
+      | `Lulesh ->
+        let inp =
+          {
+            L.nx = size;
+            ny = size;
+            nz = (size * ranks + ranks - 1) / ranks * ranks;
+            niter = iters;
+            dt0 = 0.01;
+            escale = 1.0;
+          }
+        in
+        if primal then begin
+          let r =
+            L.run ~nranks:ranks ~nthreads:threads ?faults ~san ?inject_nan
+              flavor inp
+          in
+          Printf.printf "%s: total energy %.6f, %.0f virtual cycles\n"
+            (L.flavor_name flavor) r.L.total_energy r.L.makespan;
+          Printf.printf "stats: %s\n"
+            (Fmt.str "%a" Parad_runtime.Stats.pp r.L.stats)
+        end
+        else begin
+          let g =
+            L.gradient ~nranks:ranks ~nthreads:threads ~opts ?faults ~san
+              ?inject_nan flavor inp
+          in
+          let d = g.L.d_energy.(0) in
+          Printf.printf
+            "%s gradient: %.0f virtual cycles\nd total / d e[0..3] = %.4f \
+             %.4f %.4f %.4f\n"
+            (L.flavor_name flavor) g.L.g_makespan d.(0) d.(1) d.(2) d.(3);
+          Printf.printf "stats: %s\n"
+            (Fmt.str "%a" Parad_runtime.Stats.pp g.L.g_stats)
+        end);
+      finish ()
+    with
+    | San.Nonfinite_strict msg ->
+      Printf.printf "gradient-integrity violation (strict): %s\n" msg;
+      Format.printf "%a@." San.pp_report san;
+      exit 2
+    | Sim.Deadlock d ->
+      Format.printf "%a@." Sim.pp_diagnosis d;
+      Format.printf "%a@." San.pp_report san;
+      exit 3
+    | Mpi_state.Rank_failed n ->
+      Format.printf "%a@." Mpi_state.pp_failure n;
+      Format.printf "%a@." San.pp_report san;
+      exit 3
+    | Parad_runtime.Value.Runtime_error msg ->
+      Printf.printf "runtime error: %s\n" msg;
+      Format.printf "%a@." San.pp_report san;
+      exit 2
+  in
+  Cmd.v
+    (Cmd.info "sanitize"
+       ~doc:
+         "run an application under the ParSan runtime sanitizer (race, \
+          memory, and gradient-integrity checking) and report findings")
+    Term.(
+      const run $ app_arg $ flavor_arg $ ranks_arg $ threads_arg $ size_arg
+      $ iters_arg $ seed_arg $ victim_arg $ at_arg $ primal_arg $ plan_arg
+      $ mode_arg $ no_race_arg $ no_mem_arg $ no_grad_arg $ pedantic_arg
+      $ inject_nan_arg $ assume_private_arg $ atomic_always_arg)
+
 let () =
   let info = Cmd.info "parad" ~doc:"parallel AD through compiler augmentation" in
   exit
@@ -463,5 +643,5 @@ let () =
        (Cmd.group info
           [
             ir_cmd; gradient_cmd; run_cmd; grad_cmd; check_cmd; faults_cmd;
-            recover_cmd;
+            recover_cmd; sanitize_cmd;
           ]))

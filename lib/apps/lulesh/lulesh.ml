@@ -110,7 +110,8 @@ let min_over flavor b ~hi body =
             let cur = B.load b local z in
             B.store b local z (B.min_ b cur v));
         let cur = B.load b per tid in
-        B.store b per tid (B.min_ b cur (B.load b local z)));
+        B.store b per tid (B.min_ b cur (B.load b local z));
+        B.free b local);
     let cell = B.alloc b Ty.Float (B.i64 b 1) in
     let z = B.i64 b 0 in
     B.store b cell z (B.f64 b infinity);
@@ -594,8 +595,15 @@ type run_result = {
   stats : Stats.t;
 }
 
-let setup_args flavor (inp : input) ~nranks (ctx : Interp.ctx) ~rank =
+let setup_args ?inject_nan flavor (inp : input) ~nranks (ctx : Interp.ctx)
+    ~rank =
   let m = mesh inp ~nranks ~rank in
+  (* NaN-injection hook for GradSan testing: poison one element energy on
+     rank 0 before the buffers are built *)
+  (match inject_nan with
+  | Some i when rank = 0 && i >= 0 && i < Array.length m.energy ->
+    m.energy.(i) <- Float.nan
+  | _ -> ());
   let jl = julia flavor in
   let pack data =
     let d = Exec.floats ctx data in
@@ -621,8 +629,8 @@ let setup_args flavor (inp : input) ~nranks (ctx : Interp.ctx) ~rank =
 (** Run a variant; [nranks] > 1 requires an MPI-using flavor. [faults]
     injects a deterministic communication-fault plan; [mpi_ref] captures
     the MPI state for post-run audit (even on deadlock). *)
-let run ?(nthreads = 1) ?(nranks = 1) ?(pre = []) ?faults ?mpi_ref flavor
-    (inp : input) : run_result =
+let run ?(nthreads = 1) ?(nranks = 1) ?(pre = []) ?faults ?mpi_ref ?san
+    ?inject_nan flavor (inp : input) : run_result =
   let cfg = { Interp.default_config with nthreads } in
   let prog = program flavor in
   let prog =
@@ -630,10 +638,10 @@ let run ?(nthreads = 1) ?(nranks = 1) ?(pre = []) ?faults ?mpi_ref flavor
     else Parad_opt.Pipeline.run prog pre
   in
   let res =
-    Exec.run_spmd ~cfg ?faults ?mpi_ref prog ~nranks
+    Exec.run_spmd ~cfg ?faults ?mpi_ref ?san prog ~nranks
       ~fname:(flavor_name flavor)
       ~setup:(fun ctx ~rank ->
-        let args, _, _ = setup_args flavor inp ~nranks ctx ~rank in
+        let args, _, _ = setup_args ?inject_nan flavor inp ~nranks ctx ~rank in
         args)
   in
   {
@@ -655,7 +663,7 @@ type grad_result = {
     all-reduced and identical on every rank). *)
 let gradient ?(nthreads = 1) ?(nranks = 1)
     ?(opts = Parad_core.Plan.default_options) ?(post_opt = true) ?(pre = [])
-    ?faults ?mpi_ref flavor (inp : input) : grad_result =
+    ?faults ?mpi_ref ?san ?inject_nan flavor (inp : input) : grad_result =
   let cfg = { Interp.default_config with nthreads } in
   let prog = program flavor in
   let prog =
@@ -672,9 +680,11 @@ let gradient ?(nthreads = 1) ?(nranks = 1)
   let jl = julia flavor in
   let shadows = Array.make nranks [||] in
   let res =
-    Exec.run_spmd ~cfg ?faults ?mpi_ref dprog ~nranks ~fname:dname
+    Exec.run_spmd ~cfg ?faults ?mpi_ref ?san dprog ~nranks ~fname:dname
       ~setup:(fun ctx ~rank ->
-        let args, bufs, m = setup_args flavor inp ~nranks ctx ~rank in
+        let args, bufs, m =
+          setup_args ?inject_nan flavor inp ~nranks ctx ~rank
+        in
         ignore bufs;
         let nn = Array.length m.node_mass in
         let ne = Array.length m.energy in
@@ -713,13 +723,14 @@ let gradient ?(nthreads = 1) ?(nranks = 1)
     at each timestep and a killed rank triggers restore-and-replay
     instead of ending the run. *)
 let run_recoverable ?(nthreads = 1) ?(nranks = 1) ?(pre = []) ?faults
-    ?mpi_ref ?max_restarts flavor (inp : input) :
+    ?mpi_ref ?san ?max_restarts flavor (inp : input) :
     run_result * Exec.recovery =
   let cfg = { Interp.default_config with nthreads } in
   let prog = program flavor in
   let prog = if pre = [] then prog else Parad_opt.Pipeline.run prog pre in
   let res, recov =
-    Exec.run_spmd_recoverable ~cfg ?faults ?mpi_ref ?max_restarts prog ~nranks
+    Exec.run_spmd_recoverable ~cfg ?faults ?mpi_ref ?san ?max_restarts prog
+      ~nranks
       ~fname:(flavor_name flavor)
       ~setup:(fun ctx ~rank ->
         let args, _, _ = setup_args flavor inp ~nranks ctx ~rank in
@@ -738,7 +749,7 @@ let run_recoverable ?(nthreads = 1) ?(nranks = 1) ?(pre = []) ?faults
     gradient bit-for-bit. *)
 let gradient_recoverable ?(nthreads = 1) ?(nranks = 1)
     ?(opts = Parad_core.Plan.default_options) ?(post_opt = true) ?(pre = [])
-    ?faults ?mpi_ref ?max_restarts flavor (inp : input) :
+    ?faults ?mpi_ref ?san ?max_restarts flavor (inp : input) :
     grad_result * Exec.recovery =
   let cfg = { Interp.default_config with nthreads } in
   let prog = program flavor in
@@ -753,7 +764,7 @@ let gradient_recoverable ?(nthreads = 1) ?(nranks = 1)
   let jl = julia flavor in
   let shadows = Array.make nranks [||] in
   let res, recov =
-    Exec.run_spmd_recoverable ~cfg ?faults ?mpi_ref ?max_restarts dprog
+    Exec.run_spmd_recoverable ~cfg ?faults ?mpi_ref ?san ?max_restarts dprog
       ~nranks ~fname:dname
       ~setup:(fun ctx ~rank ->
         let args, bufs, m = setup_args flavor inp ~nranks ctx ~rank in

@@ -290,7 +290,7 @@ let setup_args variant (inp : input) ctx =
       ],
       [ lig_d; pro_d; poses_d; energies_d ] )
 
-let run ?(nthreads = 1) ?(pre = []) variant (inp : input) : run_result =
+let run ?(nthreads = 1) ?(pre = []) ?san variant (inp : input) : run_result =
   let cfg = { Interp.default_config with nthreads } in
   let prog = program ~ntasks:nthreads () in
   let prog =
@@ -299,7 +299,7 @@ let run ?(nthreads = 1) ?(pre = []) variant (inp : input) : run_result =
   in
   let outs = ref [] in
   let res =
-    Exec.run ~cfg prog ~fname:(variant_name variant) ~setup:(fun ctx ->
+    Exec.run ~cfg ?san prog ~fname:(variant_name variant) ~setup:(fun ctx ->
         let args, bufs = setup_args variant inp ctx in
         outs := bufs;
         args)
@@ -320,7 +320,8 @@ type grad_result = {
 
 (** Reverse-mode gradient of sum(energies) w.r.t. ligand, protein and
     poses, through the chosen parallel variant. *)
-let gradient ?(nthreads = 1) ?(opts = Parad_core.Plan.default_options)
+let gradient ?(nthreads = 1) ?san
+    ?(opts = Parad_core.Plan.default_options)
     ?(post_opt = true) ?(pre = []) variant (inp : input) : grad_result =
   let cfg = { Interp.default_config with nthreads } in
   let prog = program ~ntasks:nthreads () in
@@ -338,7 +339,7 @@ let gradient ?(nthreads = 1) ?(opts = Parad_core.Plan.default_options)
   let shadows = ref [] in
   let outs = ref [] in
   let res =
-    Exec.run ~cfg dprog ~fname:dname ~setup:(fun ctx ->
+    Exec.run ~cfg ?san dprog ~fname:dname ~setup:(fun ctx ->
         let args, bufs = setup_args variant inp ctx in
         outs := bufs;
         (* shadows, in pointer-parameter order *)

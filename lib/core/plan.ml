@@ -47,6 +47,11 @@ type options = {
   atomic_always : bool;
       (** disable the thread-locality analysis: every parallel adjoint
           accumulation uses atomics (the legal fallback of §VI-A1) *)
+  assume_private : bool;
+      (** test-only inverse of [atomic_always]: pretend the thread-locality
+          analysis proved every base private, so no parallel adjoint
+          accumulation uses atomics. Deliberately unsound — it seeds the
+          miscompilation that ParSan's RaceSan cross-validation must catch *)
   recompute_depth : int;
       (** maximum height of a recomputed chain before caching wins; 0
           caches everything (the "cache-all" ablation baseline) *)
@@ -54,7 +59,12 @@ type options = {
 }
 
 let default_options =
-  { atomic_always = false; recompute_depth = 10; prefix = "" }
+  {
+    atomic_always = false;
+    assume_private = false;
+    recompute_depth = 10;
+    prefix = "";
+  }
 
 type t = {
   fi : Finfo.t;

@@ -106,6 +106,10 @@ type fstate = {
   eng : engine;
   p : Plan.t;
   b : B.t;
+  frace : Race.t;
+      (** static thread-locality analysis of the source function — drives
+          both the serial-accumulation decision and the [san.mark_private]
+          markers that let ParSan cross-validate it at runtime *)
   vmap : Var.t option array;
   shadow : (int, Var.t) Hashtbl.t;
   auxv : (int * int, Var.t) Hashtbl.t;
@@ -161,6 +165,14 @@ let maybe_cache st ~idxs k (v : Var.t) =
          [ st.cache_h.(ord); idx_at idxs d; v ])
   | Some (ADirect | AParam | ARecomp) | None -> ()
 
+(* Record a static privacy claim on a shadow buffer in the generated
+   code: the runtime sanitizer's RaceSan treats a dynamic race on a
+   marked buffer as a miscompilation of the thread-locality analysis.
+   The intrinsic is a no-op on unsanitized runs. *)
+let mark_if_private st (base : Var.t) (s : Var.t) =
+  if st.eng.opts.Plan.assume_private || Race.is_private st.frace base then
+    ignore (B.call st.b ~ret:Ty.Unit "san.mark_private" [ s ])
+
 (* ---- forward sweep ---- *)
 
 let rec fwd_emit st ~idxs ~on_yield (nodes : anode list) =
@@ -210,6 +222,7 @@ and fwd_node st ~idxs ~on_yield { occ; ins; subs } =
     fset st v v';
     let s = B.alloc b ~kind elem (g n) in
     Hashtbl.replace st.shadow (Var.id v) s;
+    mark_if_private st v s;
     cache_val v v';
     cache_shadow v s
   | Free p -> B.free b (g p)
@@ -642,9 +655,10 @@ let accum_mem rs sc ~(primal_ptr : Var.t) (sp : Var.t) (ix : Var.t) (dv : Var.t)
   in
   let atomic =
     match sc.rfork with
-    | None -> task_shared ()
+    | None -> (not rs.fs.p.opts.assume_private) && task_shared ()
     | Some focc ->
-      if rs.fs.p.opts.atomic_always then true
+      if rs.fs.p.opts.assume_private then false
+      else if rs.fs.p.opts.atomic_always then true
       else (
         match Finfo.pointer_base fi primal_ptr with
         | None -> true
@@ -981,11 +995,12 @@ let dummy_var = Var.make ~id:(-1) ~ty:Ty.Unit ~name:"dummy"
 let ret_var (f : Func.t) =
   match List.rev f.body with Instr.Return v :: _ -> v | _ -> None
 
-let make_fstate eng p b =
+let make_fstate eng p b ~race =
   {
     eng;
     p;
     b;
+    frace = race;
     vmap = Array.make p.fi.Finfo.func.var_count None;
     shadow = Hashtbl.create 32;
     auxv = Hashtbl.create 32;
@@ -1040,7 +1055,7 @@ let emit_combined eng (f : Func.t) (p : Plan.t) dname =
     @ if nscal > 0 then [ Func.noalias ] else []
   in
   let b, newparams = B.func ~attrs eng.dst dname ~params:params_spec ~ret:f.ret_ty in
-  let st = make_fstate eng p b in
+  let st = make_fstate eng p b ~race in
   (* bind params *)
   let nparams = List.length f.params in
   List.iteri
@@ -1063,6 +1078,7 @@ let emit_combined eng (f : Func.t) (p : Plan.t) dname =
     | false, false, [] -> None, None
     | _ -> assert false
   in
+  List.iter (fun pv -> mark_if_private st pv (fshadow st pv)) pparams;
   emit_preamble st;
   let idx0 = B.i64 b 0 in
   let nodes = annotate f.body in
@@ -1127,7 +1143,7 @@ let emit_split eng gname =
     let b, newparams =
       B.func ~attrs eng.dst e.aug_name ~params:params_spec ~ret:Ty.Int
     in
-    let st = make_fstate eng p b in
+    let st = make_fstate eng p b ~race in
     let nparams = List.length f.params in
     List.iteri
       (fun i v ->
@@ -1137,6 +1153,7 @@ let emit_split eng gname =
             (Var.id (List.nth pparams (i - nparams)))
             v)
       newparams;
+    List.iter (fun pv -> mark_if_private st pv (fshadow st pv)) pparams;
     emit_preamble st;
     let blkc =
       B.call b ~ret:Ty.Int "cache.new" [ B.i64 b (p.n_cached + 2) ]
@@ -1178,7 +1195,7 @@ let emit_split eng gname =
     let b, rps = B.func eng.dst e.rev_name ~params:rev_params ~ret:Ty.Unit in
     let blk = List.hd rps in
     let d_ret = match rps with [ _; d ] -> Some d | _ -> None in
-    let st = make_fstate eng p b in
+    let st = make_fstate eng p b ~race in
     for ord = 0 to p.n_cached - 1 do
       st.cache_h.(ord) <-
         B.call b ~ret:Ty.Int "cache.get" [ blk; B.i64 b ord ]

@@ -410,7 +410,7 @@ let restore session ~mem ~cache ~mpi ~id =
               bid;
           b
         | None ->
-          let b = Memory.alloc mem ~elem ~size ~kind ~socket in
+          let b = Memory.alloc mem ~elem ~size ~kind ~socket ~site:"checkpoint" in
           if freed then Memory.free mem b;
           b
       in

@@ -15,7 +15,7 @@ type result = {
 let floats (ctx : Interp.ctx) (a : float array) =
   let buf =
     Memory.alloc ctx.mem ~elem:Ty.Float ~size:(Array.length a) ~kind:Instr.Heap
-      ~socket:0
+      ~socket:0 ~site:"harness"
   in
   Array.iteri (fun i x -> buf.data.(i) <- VFloat x) a;
   VPtr { buf; off = 0 }
@@ -23,7 +23,7 @@ let floats (ctx : Interp.ctx) (a : float array) =
 let ints (ctx : Interp.ctx) (a : int array) =
   let buf =
     Memory.alloc ctx.mem ~elem:Ty.Int ~size:(Array.length a) ~kind:Instr.Heap
-      ~socket:0
+      ~socket:0 ~site:"harness"
   in
   Array.iteri (fun i x -> buf.data.(i) <- VInt x) a;
   VPtr { buf; off = 0 }
@@ -41,6 +41,7 @@ let ptr_cell (ctx : Interp.ctx) (v : Value.t) =
   in
   let buf =
     Memory.alloc ctx.mem ~elem:cell_ty ~size:1 ~kind:Instr.Gc ~socket:0
+      ~site:"harness"
   in
   buf.data.(0) <- v;
   VPtr { buf; off = 0 }
@@ -56,13 +57,17 @@ let to_floats (v : Value.t) =
 
 (** Run [fname] on a single rank. [setup] builds the argument list (e.g.
     with {!floats}); it runs inside the simulation. *)
-let run ?(cfg = Interp.default_config) prog ~fname ~setup =
+let run ?(cfg = Interp.default_config) ?san prog ~fname ~setup =
   let stats = Stats.create () in
   let value, makespan, stats =
     Sim.run ~cost:cfg.Interp.cost ~stats (fun () ->
-        let ctx = Interp.make_ctx ~cfg ~prog () in
+        let ctx = Interp.make_ctx ~cfg ?san ~prog () in
         let args = setup ctx in
-        Interp.call ctx fname args)
+        let v = Interp.call ctx fname args in
+        (match san with
+        | Some s -> Sanitizer.report_leaks s ~rank:0 ~mem:ctx.Interp.mem
+        | None -> ());
+        v)
   in
   { values = [| value |]; makespan; stats }
 
@@ -73,8 +78,8 @@ let run ?(cfg = Interp.default_config) prog ~fname ~setup =
     runtime; [mpi_ref], when given, receives the run's {!Mpi_state.t} as
     soon as it exists, so callers can audit communication state even when
     the run terminates with {!Sim.Deadlock}. *)
-let run_spmd ?(cfg = Interp.default_config) ?instrument ?faults ?mpi_ref prog
-    ~nranks ~fname ~setup =
+let run_spmd ?(cfg = Interp.default_config) ?instrument ?faults ?mpi_ref ?san
+    prog ~nranks ~fname ~setup =
   let stats = Stats.create () in
   let values = Array.make nranks VUnit in
   let (), makespan, stats =
@@ -88,7 +93,7 @@ let run_spmd ?(cfg = Interp.default_config) ?instrument ?faults ?mpi_ref prog
                   (match instrument with
                   | Some f -> Some (f ~rank)
                   | None -> None)
-                ~mpi ~rank ~nranks ~prog ())
+                ~mpi ~rank ~nranks ?san ~prog ())
         in
         Sim.fork
           ~socket_of:(fun r -> mpi.Mpi_state.sockets.(r))
@@ -96,7 +101,10 @@ let run_spmd ?(cfg = Interp.default_config) ?instrument ?faults ?mpi_ref prog
           (fun ~tid:rank ~width:_ ->
             let ctx = ctxs.(rank) in
             let args = setup ctx ~rank in
-            values.(rank) <- Interp.call ctx fname args))
+            values.(rank) <- Interp.call ctx fname args;
+            match san with
+            | Some s -> Sanitizer.report_leaks s ~rank ~mem:ctx.Interp.mem
+            | None -> ()))
   in
   { values; makespan; stats }
 
@@ -104,7 +112,7 @@ let run_spmd ?(cfg = Interp.default_config) ?instrument ?faults ?mpi_ref prog
     that need several interpreter calls per rank (e.g. the tape baseline's
     forward-then-reverse sweeps). *)
 let run_spmd_custom ?(cfg = Interp.default_config) ?instrument ?faults
-    ?mpi_ref prog ~nranks ~body =
+    ?mpi_ref ?san prog ~nranks ~body =
   let stats = Stats.create () in
   let (), makespan, stats =
     Sim.run ~cost:cfg.Interp.cost ~stats (fun () ->
@@ -117,12 +125,17 @@ let run_spmd_custom ?(cfg = Interp.default_config) ?instrument ?faults
                   (match instrument with
                   | Some f -> Some (f ~rank)
                   | None -> None)
-                ~mpi ~rank ~nranks ~prog ())
+                ~mpi ~rank ~nranks ?san ~prog ())
         in
         Sim.fork
           ~socket_of:(fun r -> mpi.Mpi_state.sockets.(r))
           ~width:nranks
-          (fun ~tid:rank ~width:_ -> body ctxs.(rank) ~rank))
+          (fun ~tid:rank ~width:_ ->
+            body ctxs.(rank) ~rank;
+            match san with
+            | Some s ->
+              Sanitizer.report_leaks s ~rank ~mem:ctxs.(rank).Interp.mem
+            | None -> ()))
   in
   makespan, stats
 
@@ -148,7 +161,7 @@ type recovery = {
     final makespan reflects lost work and recovery overhead. Shares one
     {!Stats.t} across attempts. Re-raises the failure once
     [max_restarts] is exhausted. *)
-let run_spmd_recoverable ?(cfg = Interp.default_config) ?faults ?mpi_ref
+let run_spmd_recoverable ?(cfg = Interp.default_config) ?faults ?mpi_ref ?san
     ?(max_restarts = 8) ?store prog ~nranks ~fname ~setup =
   let stats = Stats.create () in
   let store =
@@ -168,7 +181,7 @@ let run_spmd_recoverable ?(cfg = Interp.default_config) ?faults ?mpi_ref
               (match mpi_ref with Some r -> r := Some mpi | None -> ());
               let ctxs =
                 Array.init nranks (fun rank ->
-                    Interp.make_ctx ~cfg ~mpi ~rank ~nranks
+                    Interp.make_ctx ~cfg ~mpi ~rank ~nranks ?san
                       ~ckpt:(Checkpoint.session store ~rank ?resume ())
                       ~prog ())
               in
@@ -178,7 +191,13 @@ let run_spmd_recoverable ?(cfg = Interp.default_config) ?faults ?mpi_ref
                 (fun ~tid:rank ~width:_ ->
                   let ctx = ctxs.(rank) in
                   let args = setup ctx ~rank in
-                  values.(rank) <- Interp.call ctx fname args))
+                  values.(rank) <- Interp.call ctx fname args;
+                  (* leaks are only meaningful on the attempt that
+                     completes; failed attempts never reach this point *)
+                  match san with
+                  | Some s ->
+                    Sanitizer.report_leaks s ~rank ~mem:ctx.Interp.mem
+                  | None -> ()))
         in
         `Done makespan
       with Mpi_state.Rank_failed n when restarts < max_restarts -> `Failed n
@@ -214,7 +233,7 @@ let ptr_table (ctx : Interp.ctx) (vs : Value.t list) =
   | VPtr p :: _ ->
     let buf =
       Memory.alloc ctx.mem ~elem:(Ty.Ptr p.buf.elem) ~size:(List.length vs)
-        ~kind:Instr.Heap ~socket:0
+        ~kind:Instr.Heap ~socket:0 ~site:"harness"
     in
     List.iteri (fun i v -> buf.data.(i) <- v) vs;
     VPtr { buf; off = 0 }

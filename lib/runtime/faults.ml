@@ -195,6 +195,14 @@ let plan_names =
     plans (stall/kill/blackhole); defaults target rank 1 (or 0 when
     single-rank) from time 0. *)
 let plan_of_name ?(seed = 42) ?rank ?(at = 0.0) ~nranks name =
+  (* an out-of-range victim would make the plan silently inert (its
+     stall/kill/rules never fire) — reject it loudly instead *)
+  (match rank with
+  | Some r when r < 0 || r >= nranks ->
+    invalid_arg
+      (Printf.sprintf
+         "Faults.plan_of_name: victim rank %d out of range [0, %d)" r nranks)
+  | _ -> ());
   let victim = match rank with Some r -> r | None -> min 1 (nranks - 1) in
   let base = { none with name; seed } in
   match name with
@@ -304,6 +312,11 @@ let plan_of_spec ?seed ?rank ?at ~nranks spec =
     | None -> at
   in
   let base = plan_of_name ?seed ?rank ?at ~nranks name in
+  let check_rank k r =
+    if r < 0 || r >= nranks then
+      bad "%s targets rank %d, out of range [0, %d)" k r nranks;
+    r
+  in
   let plan =
     List.fold_left
       (fun p (k, v) ->
@@ -315,16 +328,22 @@ let plan_of_spec ?seed ?rank ?at ~nranks spec =
         | "prob" -> { p with drop_prob = float_of k v }
         | "kill" -> (
           match String.split_on_char '@' v with
-          | [ r ] -> { p with kills = p.kills @ [ int_of k r, 0.0 ] }
+          | [ r ] ->
+            { p with kills = p.kills @ [ check_rank k (int_of k r), 0.0 ] }
           | [ r; t ] ->
-            { p with kills = p.kills @ [ int_of k r, float_of k t ] }
+            {
+              p with
+              kills = p.kills @ [ check_rank k (int_of k r), float_of k t ];
+            }
           | _ -> bad "kill=%S is not RANK or RANK@TIME" v)
         | "stall" -> (
           match String.split_on_char '@' v with
           | [ r; t; d ] ->
             {
               p with
-              stalls = p.stalls @ [ int_of k r, float_of k t, float_of k d ];
+              stalls =
+                p.stalls
+                @ [ check_rank k (int_of k r), float_of k t, float_of k d ];
             }
           | _ -> bad "stall=%S is not RANK@TIME@DELAY" v)
         | _ ->

@@ -65,13 +65,16 @@ type ctx = {
   ckpt : Checkpoint.session option;
       (** checkpoint/restart session; [parad.checkpoint] is a no-op
           without one *)
+  san : Sanitizer.t option;
+      (** ParSan: when set, race/memory/gradient-integrity checking is
+          active (shared by all ranks of a run) *)
   mutable root_args : Value.t list;
       (** the entry function's arguments — the roots of a checkpoint's
           buffer reachability walk *)
 }
 
 let make_ctx ?(cfg = default_config) ?instrument ?mpi ?(rank = 0) ?(nranks = 1)
-    ?ckpt ~prog () =
+    ?ckpt ?san ~prog () =
   {
     prog;
     cfg;
@@ -88,6 +91,7 @@ let make_ctx ?(cfg = default_config) ?instrument ?mpi ?(rank = 0) ?(nranks = 1)
     next_preserve = 0;
     executed = 0;
     ckpt;
+    san;
     root_args = [];
   }
 
@@ -117,6 +121,10 @@ type ectx = {
   stack : frame list;  (** current frame first *)
   team : (int * int) option;  (** (tid, width) of the enclosing fork *)
   stack_allocs : Value.buffer list ref;  (** per-call stack allocations *)
+  fname : string;  (** enclosing function, for sanitizer/memory provenance *)
+  san_team : (int * int ref) option;
+      (** RaceSan window: (dynamic region id, this thread's barrier epoch).
+          Present only inside a fork of width > 1 with RaceSan active. *)
 }
 
 type outcome = ONext | OReturn of Value.t * int | OYield of (Value.t * int) list
@@ -139,6 +147,38 @@ let check_rank ctx (buf : Value.buffer) =
   if buf.rank <> ctx.rank then
     error "cross-rank memory access: buffer of rank %d touched by rank %d"
       buf.rank ctx.rank
+
+(* ---- sanitizer hooks ---- *)
+
+(* RaceSan: log one shadow-memory access. Only meaningful inside a
+   fork of width > 1 ([san_team] is [None] otherwise). *)
+let san_access ctx (e : ectx) (ptr : Value.ptr) idx kind =
+  match ctx.san, e.san_team, e.team with
+  | Some san, Some (region, ep), Some (tid, _) ->
+    Sanitizer.on_access san ~rank:ctx.rank ~tid ~region ~epoch:!ep
+      ~buf:ptr.buf ~cell:(ptr.off + idx) ~kind ~fn:e.fname ~time:(Sim.now ())
+  | _ -> ()
+
+let san_epoch_bump (e : ectx) =
+  match e.san_team with Some (_, ep) -> incr ep | None -> ()
+
+(* GradSan: first-origin check of a float produced by an arithmetic
+   instruction. A result is a fresh origin when it is NaN with no NaN
+   operand, or Inf with all-finite operands (Inf arising from Inf
+   operands is propagation; NaN arising from NaN operands was flagged at
+   its own origin). Returns the value to continue with — the poison in
+   [Strict] mode aborts inside [Sanitizer.nonfinite], in [Degrade] mode
+   it is quarantined to 0.0. *)
+let san_produced ctx (e : ectx) san ~opname ~dst operands f =
+  let nan_operand = List.exists Float.is_nan operands in
+  let finite_operands = List.for_all Float.is_finite operands in
+  if (Float.is_nan f && not nan_operand) || ((not (Float.is_nan f)) && finite_operands)
+  then
+    Sanitizer.nonfinite san ~rank:ctx.rank ~time:(Sim.now ())
+      "%s = %s(%s) produced %h in %s (instr #%d)" dst opname
+      (String.concat ", " (List.map (Fmt.str "%.17g") operands))
+      f e.fname ctx.executed
+  else f
 
 (* ---- scalar semantics ---- *)
 
@@ -266,6 +306,15 @@ and exec_instr ctx e (i : Instr.t) : outcome =
        charge (match op with Pow -> c.transcendental | _ -> c.arith)
      end
      else charge c.arith);
+    let r =
+      match ctx.san, r, x, y with
+      | Some san, VFloat f, VFloat xf, VFloat yf
+        when san.Sanitizer.grad_on && not (Float.is_finite f) ->
+        VFloat
+          (san_produced ctx e san ~opname:(Instr.binop_name op)
+             ~dst:(Var.name v) [ xf; yf ] f)
+      | _ -> r
+    in
     set fr v r;
     (match ctx.instrument, x, y, r with
     | Some ins, VFloat xf, VFloat yf, VFloat rf ->
@@ -290,6 +339,15 @@ and exec_instr ctx e (i : Instr.t) : outcome =
          | _ -> c.arith)
      end
      else charge c.arith);
+    let r =
+      match ctx.san, r, x with
+      | Some san, VFloat f, VFloat xf
+        when san.Sanitizer.grad_on && not (Float.is_finite f) ->
+        VFloat
+          (san_produced ctx e san ~opname:(Instr.unop_name op)
+             ~dst:(Var.name v) [ xf ] f)
+      | _ -> r
+    in
     set fr v r;
     (match ctx.instrument, x, r with
     | Some ins, VFloat xf, VFloat rf ->
@@ -313,7 +371,11 @@ and exec_instr ctx e (i : Instr.t) : outcome =
       +. (match kind with Instr.Gc -> c.gc_alloc_extra | _ -> 0.0));
     let buf =
       Memory.alloc ctx.mem ~elem ~size ~kind ~socket:(Sim.socket ())
+        ~site:(e.fname ^ "/" ^ Var.name v)
     in
+    (match ctx.san with
+    | Some san -> Sanitizer.on_alloc san ~rank:ctx.rank ~buf
+    | None -> ());
     (match kind with
     | Instr.Stack -> e.stack_allocs := buf :: !(e.stack_allocs)
     | Instr.Heap | Instr.Gc -> ());
@@ -324,7 +386,7 @@ and exec_instr ctx e (i : Instr.t) : outcome =
     charge c.free;
     st.frees <- st.frees + 1;
     (match get fr p with
-    | VPtr { buf; off = _ } -> Memory.free ctx.mem buf
+    | VPtr { buf; off = _ } -> Memory.free ~site:e.fname ctx.mem buf
     | VNull _ -> ()
     | _ -> error "free of non-pointer");
     ONext
@@ -334,7 +396,29 @@ and exec_instr ctx e (i : Instr.t) : outcome =
     check_rank ctx ptr.buf;
     charge_mem ctx ptr.buf 1;
     let idx = to_int (get fr ix) in
-    let r = Memory.load ptr idx in
+    let r = Memory.load ~who:e.fname ptr idx in
+    let r =
+      match ctx.san with
+      | None -> r
+      | Some san ->
+        san_access ctx e ptr idx Sanitizer.Read;
+        Sanitizer.on_load_init san ~rank:ctx.rank ~buf:ptr.buf
+          ~cell:(ptr.off + idx) ~fn:e.fname ~time:(Sim.now ());
+        (match r with
+        | VFloat f when san.Sanitizer.grad_on && Float.is_nan f ->
+          (* observed poison: the NaN entered memory outside a checked
+             arithmetic op (e.g. corrupted input); scrub the cell so it
+             is reported once *)
+          let q =
+            Sanitizer.nonfinite san ~rank:ctx.rank ~time:(Sim.now ())
+              "load of NaN from buffer %d (alloc at %s) cell [%d] in %s \
+               (instr #%d)"
+              ptr.buf.bid ptr.buf.asite (ptr.off + idx) e.fname ctx.executed
+          in
+          Memory.store ptr idx (VFloat q);
+          VFloat q
+        | _ -> r)
+    in
     set fr v r;
     (match ctx.instrument with
     | Some ins when is_float r ->
@@ -348,7 +432,23 @@ and exec_instr ctx e (i : Instr.t) : outcome =
     charge_mem ctx ptr.buf 1;
     let idx = to_int (get fr ix) in
     let v = get fr x in
-    Memory.store ptr idx v;
+    let v =
+      match ctx.san with
+      | None -> v
+      | Some san ->
+        san_access ctx e ptr idx Sanitizer.Write;
+        Sanitizer.on_store_init san ~rank:ctx.rank ~buf:ptr.buf
+          ~cell:(ptr.off + idx);
+        (match v with
+        | VFloat f when san.Sanitizer.grad_on && Float.is_nan f ->
+          VFloat
+            (Sanitizer.nonfinite san ~rank:ctx.rank ~time:(Sim.now ())
+               "store of NaN to buffer %d (alloc at %s) cell [%d] in %s \
+                (instr #%d)"
+               ptr.buf.bid ptr.buf.asite (ptr.off + idx) e.fname ctx.executed)
+        | _ -> v)
+    in
+    Memory.store ~who:e.fname ptr idx v;
     (match ctx.instrument with
     | Some ins when is_float v ->
       (ins.buf_slots ptr.buf).(ptr.off + idx) <- get_slot fr x
@@ -369,9 +469,29 @@ and exec_instr ctx e (i : Instr.t) : outcome =
     let ptr = to_ptr (get fr p) in
     check_rank ctx ptr.buf;
     let idx = to_int (get fr ix) in
-    let old = to_float (Memory.load ptr idx) in
+    let old = to_float (Memory.load ~who:e.fname ptr idx) in
     let v = to_float (get fr x) in
-    Memory.store ptr idx (VFloat (old +. v));
+    let sum = old +. v in
+    let sum =
+      match ctx.san with
+      | None -> sum
+      | Some san ->
+        san_access ctx e ptr idx Sanitizer.Atomic;
+        Sanitizer.on_store_init san ~rank:ctx.rank ~buf:ptr.buf
+          ~cell:(ptr.off + idx);
+        if san.Sanitizer.grad_on && not (Float.is_finite sum) then begin
+          (* quarantining an atomic accumulation drops the contribution
+             but keeps what was already accumulated *)
+          let q =
+            san_produced ctx e san ~opname:"atomic_add"
+              ~dst:(Fmt.str "b%d[%d]" ptr.buf.bid (ptr.off + idx))
+              [ old; v ] sum
+          in
+          if q = 0.0 && not (Float.is_finite sum) then old else sum
+        end
+        else sum
+    in
+    Memory.store ~who:e.fname ptr idx (VFloat sum);
     (match ctx.instrument with
     | Some ins ->
       let slots = ins.buf_slots ptr.buf in
@@ -476,6 +596,12 @@ and exec_instr ctx e (i : Instr.t) : outcome =
       | [ _; q ] -> q
       | _ -> error "malformed fork body"
     in
+    let san_region =
+      match ctx.san with
+      | Some san when width > 1 && san.Sanitizer.race_on ->
+        Some (Sanitizer.fresh_region san)
+      | _ -> None
+    in
     Sim.fork ~socket_of ~width (fun ~tid:t ~width:w ->
         let child_fr =
           {
@@ -490,6 +616,8 @@ and exec_instr ctx e (i : Instr.t) : outcome =
             stack = child_fr :: List.tl e.stack;
             team = Some (t, w);
             stack_allocs = e.stack_allocs;
+            fname = e.fname;
+            san_team = Option.map (fun r -> r, ref 0) san_region;
           }
         in
         match exec_instrs ctx e' body.body with
@@ -531,11 +659,16 @@ and exec_instr ctx e (i : Instr.t) : outcome =
         end
       in
       ignore (go (lo + tid)));
-    if (not nowait) && width > 1 then Sim.barrier ();
+    if (not nowait) && width > 1 then begin
+      Sim.barrier ();
+      san_epoch_bump e
+    end;
     ONext
   | Barrier ->
     (match e.team with
-    | Some (_, w) when w > 1 -> Sim.barrier ()
+    | Some (_, w) when w > 1 ->
+      Sim.barrier ();
+      san_epoch_bump e
     | Some _ | None -> ());
     ONext
   | Return None -> OReturn (VUnit, 0)
@@ -567,11 +700,17 @@ and call_function ctx ~caller_stack name (args : Value.t list)
     | _ -> ());
     let stack_allocs = ref [] in
     let e =
-      { stack = fr :: caller_stack; team = None; stack_allocs }
+      {
+        stack = fr :: caller_stack;
+        team = None;
+        stack_allocs;
+        fname = name;
+        san_team = None;
+      }
     in
     let out = exec_instrs ctx e f.body in
     List.iter
-      (fun b -> if not b.freed then Memory.free ctx.mem b)
+      (fun b -> if not b.freed then Memory.free ~site:name ctx.mem b)
       !stack_allocs;
     (match out with
     | OReturn (v, s) -> v, s
@@ -596,6 +735,17 @@ and intrinsic ctx e name args vals : Value.t * int =
   charge c.arith;
   match name with
   | "omp.max_threads" -> VInt ctx.cfg.nthreads, 0
+  (* ---- sanitizer ---- *)
+  | "san.mark_private" ->
+    (* Emitted by the reverse engine for every shadow buffer whose base
+       the static thread-locality analysis classified private (so its
+       accumulation skips atomics). RaceSan cross-validates: a dynamic
+       race on a marked buffer is a miscompilation. No-op unsanitized. *)
+    (match ctx.san, vals with
+    | Some san, VPtr p :: _ ->
+      Sanitizer.mark_private san ~rank:ctx.rank ~buf:p.buf
+    | _ -> ());
+    unit_
   (* ---- checkpoint/restart ---- *)
   | "parad.checkpoint" -> (
     match ctx.ckpt with
@@ -816,7 +966,7 @@ and intrinsic ctx e name args vals : Value.t * int =
     | Mpi_state.SIsend ->
       let buf =
         Memory.alloc ctx.mem ~elem:Ty.Float ~size:s.scount ~kind:Instr.Heap
-          ~socket:(Sim.socket ())
+          ~socket:(Sim.socket ()) ~site:name
       in
       let tmp = { buf; off = 0 } in
       s.stmp <- Some tmp;
@@ -866,7 +1016,7 @@ and intrinsic ctx e name args vals : Value.t * int =
     let d_p = ptr_arg 0 and n = int_arg 1 and peer = int_arg 2 and tag = int_arg 3 in
     let buf =
       Memory.alloc ctx.mem ~elem:Ty.Float ~size:n ~kind:Instr.Heap
-        ~socket:(Sim.socket ())
+        ~socket:(Sim.socket ()) ~site:name
     in
     let tmp = { buf; off = 0 } in
     let req =
@@ -901,7 +1051,7 @@ and intrinsic ctx e name args vals : Value.t * int =
     let d_send = ptr_arg 0 and d_recv = ptr_arg 1 and n = int_arg 2 in
     let buf =
       Memory.alloc ctx.mem ~elem:Ty.Float ~size:n ~kind:Instr.Heap
-        ~socket:(Sim.socket ())
+        ~socket:(Sim.socket ()) ~site:name
     in
     let tmp = { buf; off = 0 } in
     Mpi_state.allreduce m ~rank:ctx.rank ~kind:Mpi_state.Csum ~send:d_recv
@@ -927,7 +1077,7 @@ and intrinsic ctx e name args vals : Value.t * int =
     and n = int_arg 4 in
     let buf =
       Memory.alloc ctx.mem ~elem:Ty.Float ~size:n ~kind:Instr.Heap
-        ~socket:(Sim.socket ())
+        ~socket:(Sim.socket ()) ~site:name
     in
     let tmp = { buf; off = 0 } in
     Mpi_state.allreduce m ~rank:ctx.rank ~kind:Mpi_state.Csum ~send:d_recv
@@ -950,7 +1100,7 @@ and intrinsic ctx e name args vals : Value.t * int =
     let d_p = ptr_arg 0 and n = int_arg 1 and root = int_arg 2 in
     let buf =
       Memory.alloc ctx.mem ~elem:Ty.Float ~size:n ~kind:Instr.Heap
-        ~socket:(Sim.socket ())
+        ~socket:(Sim.socket ()) ~site:name
     in
     let tmp = { buf; off = 0 } in
     Mpi_state.allreduce m ~rank:ctx.rank ~kind:Mpi_state.Csum ~send:d_p

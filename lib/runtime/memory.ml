@@ -29,7 +29,7 @@ let create ~rank =
 
 let find_bid t bid = Hashtbl.find_opt t.all bid
 
-let alloc t ~elem ~size ~kind ~socket =
+let alloc ?(site = "?") t ~elem ~size ~kind ~socket =
   if size < 0 then error "alloc of negative size %d" size;
   let buf =
     {
@@ -41,6 +41,8 @@ let alloc t ~elem ~size ~kind ~socket =
       socket;
       freed = false;
       preserve = 0;
+      asite = site;
+      fsite = None;
     }
   in
   t.next_bid <- t.next_bid + 1;
@@ -50,26 +52,39 @@ let alloc t ~elem ~size ~kind ~socket =
   (match kind with Instr.Gc -> t.live <- buf :: t.live | Instr.Stack | Instr.Heap -> ());
   buf
 
-let free t (buf : buffer) =
-  if buf.freed then error "double free of buffer %d" buf.bid;
+let free ?site t (buf : buffer) =
+  if buf.freed then
+    error "double free of buffer %d (alloc at %s, first freed at %s)" buf.bid
+      buf.asite
+      (Option.value buf.fsite ~default:"?");
   buf.freed <- true;
+  buf.fsite <- site;
   t.live_cells <- t.live_cells - Array.length buf.data
 
-let check_access (p : ptr) idx =
+(* [who] names the accessing context (function or harness entry point) so
+   use-after-free reports name both ends of the stale access. *)
+let check_access ?(who = "?") (p : ptr) idx =
   if p.buf.freed then
-    error "use after free: buffer %d (rank %d)" p.buf.bid p.buf.rank;
+    error
+      "use after free: buffer %d size %d (rank %d, alloc at %s, freed at %s, \
+       stale access from %s)"
+      p.buf.bid
+      (Array.length p.buf.data)
+      p.buf.rank p.buf.asite
+      (Option.value p.buf.fsite ~default:"?")
+      who;
   let i = p.off + idx in
   if i < 0 || i >= Array.length p.buf.data then
-    error "out of bounds: buffer %d size %d index %d" p.buf.bid
-      (Array.length p.buf.data) i;
+    error "out of bounds: buffer %d size %d index %d (alloc at %s)" p.buf.bid
+      (Array.length p.buf.data) i p.buf.asite;
   i
 
-let load (p : ptr) idx =
-  let i = check_access p idx in
+let load ?who (p : ptr) idx =
+  let i = check_access ?who p idx in
   p.buf.data.(i)
 
-let store (p : ptr) idx v =
-  let i = check_access p idx in
+let store ?who (p : ptr) idx v =
+  let i = check_access ?who p idx in
   if not (Ty.equal (Value.ty v) p.buf.elem) then
     error "store type mismatch: %a into %a buffer" Ty.pp (Value.ty v) Ty.pp
       p.buf.elem;
@@ -95,7 +110,7 @@ let gc_collect t ~roots =
         if b.freed then false
         else if b.preserve > 0 || Hashtbl.mem reachable b.bid then true
         else begin
-          free t b;
+          free ~site:"gc" t b;
           incr collected;
           false
         end)

@@ -29,6 +29,9 @@ type t = {
   mutable checkpoints_restored : int;
   mutable ranks_failed : int;  (** structured rank-failure notifications *)
   mutable restarts : int;  (** supervised restarts after a failure *)
+  (* sanitizer (all zero on unsanitized runs) *)
+  mutable nonfinite_found : int;  (** first-origin NaN/Inf detections *)
+  mutable nonfinite_quarantined : int;  (** values zeroed in degrade mode *)
 }
 
 let create () =
@@ -59,6 +62,8 @@ let create () =
     checkpoints_restored = 0;
     ranks_failed = 0;
     restarts = 0;
+    nonfinite_found = 0;
+    nonfinite_quarantined = 0;
   }
 
 let pp ppf s =
@@ -81,4 +86,7 @@ let pp ppf s =
     > 0
   then
     Fmt.pf ppf " ckpts=%d restored=%d failed_ranks=%d restarts=%d"
-      s.checkpoints_taken s.checkpoints_restored s.ranks_failed s.restarts
+      s.checkpoints_taken s.checkpoints_restored s.ranks_failed s.restarts;
+  if s.nonfinite_found + s.nonfinite_quarantined > 0 then
+    Fmt.pf ppf " nonfinite=%d quarantined=%d" s.nonfinite_found
+      s.nonfinite_quarantined

@@ -26,6 +26,8 @@ and buffer = {
   socket : int;  (** NUMA placement: socket of the allocating strand *)
   mutable freed : bool;
   mutable preserve : int;  (** GC preservation count *)
+  asite : string;  (** allocation site, e.g. ["fn/var"] or ["harness"] *)
+  mutable fsite : string option;  (** site of the [Free] that poisoned it *)
 }
 
 exception Runtime_error of string

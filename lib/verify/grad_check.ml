@@ -128,7 +128,7 @@ let differentiate ?(opts = Parad_core.Plan.default_options)
   dprog, dname
 
 (** Reverse-mode gradient via the AD engine. *)
-let reverse ?(cfg = Interp.default_config) ?opts ?post_opt
+let reverse ?(cfg = Interp.default_config) ?san ?opts ?post_opt
     ?seeds ?(d_ret = 1.0) prog fname args =
   let f = Prog.find_exn prog fname in
   let seeds = match seeds with Some s -> s | None -> default_seeds args in
@@ -137,7 +137,7 @@ let reverse ?(cfg = Interp.default_config) ?opts ?post_opt
   let shadows = ref [] in
   let dargs_buf = ref V.VUnit in
   let res =
-    Exec.run ~cfg dprog ~fname:dname ~setup:(fun ctx ->
+    Exec.run ~cfg ?san dprog ~fname:dname ~setup:(fun ctx ->
         let vals, _ = build_args ctx args in
         let shadow_vals =
           List.map (fun s -> Exec.floats ctx (Array.copy s)) seeds

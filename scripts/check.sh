@@ -107,4 +107,67 @@ grep -q "unrecovered after 1 restart" /tmp/parad-check.out || {
   exit 1
 }
 
+# ---- ParSan sanitizer gate (exit 5 = miscompilation, 4 = degraded) ----
+
+SAN_OMP="--app lulesh --flavor omp --threads 4 --size 3 --iters 2"
+
+# clean sanitized primal+gradient runs: zero findings
+expect_exit 0 sanitize $SAN_OMP --primal
+grep -q "sanitizer: 0 findings" /tmp/parad-check.out || {
+  echo "FAIL: sanitized lulesh primal reported findings"
+  exit 1
+}
+expect_exit 0 sanitize $SAN_OMP
+grep -q "sanitizer: 0 findings" /tmp/parad-check.out || {
+  echo "FAIL: sanitized lulesh gradient reported findings"
+  exit 1
+}
+expect_exit 0 sanitize --app bude --threads 4
+grep -q "sanitizer: 0 findings" /tmp/parad-check.out || {
+  echo "FAIL: sanitized bude gradient reported findings"
+  exit 1
+}
+
+# the abl-tl ablation (every accumulation atomic) must also come up clean
+expect_exit 0 sanitize $SAN_OMP --atomic-always
+
+# the seeded inverse (assume every shadow thread-private) is a
+# miscompilation RaceSan's static/dynamic cross-validation must catch
+expect_exit 5 sanitize $SAN_OMP --assume-private
+grep -q "miscompilation" /tmp/parad-check.out || {
+  echo "FAIL: assume-private run reported no miscompilation"
+  exit 1
+}
+grep -q "claimed buffer" /tmp/parad-check.out || {
+  echo "FAIL: miscompilation finding did not name the refuted claim"
+  exit 1
+}
+
+# GradSan: NaN-injected degrade run quarantines and exits 4 ...
+expect_exit 4 sanitize $SAN_OMP --inject-nan 5 --mode degrade
+grep -q "quarantined=1" /tmp/parad-check.out || {
+  echo "FAIL: degrade run did not quarantine the injected NaN"
+  exit 1
+}
+# ... while strict mode aborts at the first origin, exit 2
+expect_exit 2 sanitize $SAN_OMP --inject-nan 5 --mode strict
+grep -q "gradient-integrity violation" /tmp/parad-check.out || {
+  echo "FAIL: strict run did not report the first-origin provenance"
+  exit 1
+}
+
+# sanitizing composes with fault injection: drop-retry stays clean
+expect_exit 0 sanitize --app lulesh $COMMON --plan drop-retry
+grep -q "sanitizer: 0 findings" /tmp/parad-check.out || {
+  echo "FAIL: sanitized drop-retry run reported findings"
+  exit 1
+}
+
+# out-of-range fault targets are rejected loudly, not silently inert
+expect_exit 2 faults --plan "kill:victim=9" --dry-run $COMMON
+grep -q "out of range" /tmp/parad-check.out || {
+  echo "FAIL: out-of-range victim not rejected"
+  exit 1
+}
+
 echo "all checks passed"

@@ -254,6 +254,31 @@ let test_plan_spec_overrides () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "malformed stall override accepted"
 
+let test_plan_spec_rejects () =
+  (* every malformed spec must fail loudly with a message naming the
+     problem — never parse to a silently-inert plan *)
+  let expect_bad what sub spec =
+    match Faults.plan_of_spec ~nranks:4 spec with
+    | exception Invalid_argument msg -> check_contains what msg sub
+    | _ -> Alcotest.fail (Printf.sprintf "%s: %S accepted" what spec)
+  in
+  expect_bad "unknown plan name" "unknown plan" "typo-plan";
+  expect_bad "unknown override key" "unknown key" "drop-retry:bogus=1";
+  expect_bad "non-integer retries" "retries" "drop-retry:retries=many";
+  (* out-of-range ranks would make the plan silently never fire *)
+  expect_bad "victim out of range" "out of range" "kill:victim=9";
+  expect_bad "negative victim" "out of range" "stall:victim=-1";
+  expect_bad "kill rank out of range" "out of range" "none:kill=7@100";
+  expect_bad "stall rank out of range" "out of range" "none:stall=4@0@50";
+  (* in-range explicit targets still parse *)
+  let p = Faults.plan_of_spec ~nranks:4 "none:kill=3@100,stall=0@5@50" in
+  Alcotest.(check (list (pair int (float 0.0))))
+    "in-range kill kept" [ 3, 100.0 ] p.Faults.kills;
+  match Faults.plan_of_name ~rank:5 ~nranks:4 "kill" with
+  | exception Invalid_argument msg ->
+    check_contains "plan_of_name victim range" msg "out of range"
+  | _ -> Alcotest.fail "plan_of_name accepted victim 5 of 4 ranks"
+
 let test_duplicate_flagged_by_audit () =
   let plan = Faults.plan_of_name ~nranks:3 "dup" in
   let mpi_ref = ref None in
@@ -376,6 +401,8 @@ let () =
             test_recv_from_dead_immediate;
           Alcotest.test_case "plan spec overrides" `Quick
             test_plan_spec_overrides;
+          Alcotest.test_case "plan spec rejects bad input" `Quick
+            test_plan_spec_rejects;
           Alcotest.test_case "duplicate flagged" `Quick
             test_duplicate_flagged_by_audit;
         ] );

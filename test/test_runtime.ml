@@ -110,6 +110,94 @@ let test_use_after_free_detected () =
   | _ -> Alcotest.fail "use-after-free not detected"
   | exception V.Runtime_error _ -> ()
 
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let check_contains what s sub =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s mentions %S (got: %s)" what sub s)
+    true (contains s sub)
+
+let test_uaf_reports_provenance () =
+  (* the report must name both ends of the stale access: where the buffer
+     was allocated (function/variable), who freed it, and who read it *)
+  let prog = Prog.create () in
+  let b, _ = B.func prog "uaf" ~params:[] ~ret:Ty.Float in
+  let p = B.alloc b Ty.Float (B.i64 b 4) in
+  B.free b p;
+  let r = B.load b p (B.i64 b 0) in
+  B.return b (Some r);
+  ignore (B.finish b);
+  match Exec.run prog ~fname:"uaf" ~setup:(fun _ -> []) with
+  | _ -> Alcotest.fail "use-after-free not detected"
+  | exception V.Runtime_error msg ->
+    check_contains "uaf" msg "use after free";
+    check_contains "uaf" msg "alloc at uaf/p";
+    check_contains "uaf" msg "freed at uaf";
+    check_contains "uaf" msg "stale access from uaf"
+
+let test_double_free_reports_sites () =
+  let prog = Prog.create () in
+  let b, _ = B.func prog "dbl" ~params:[] ~ret:Ty.Unit in
+  let p = B.alloc b Ty.Float (B.i64 b 2) in
+  B.free b p;
+  B.free b p;
+  B.return b None;
+  ignore (B.finish b);
+  match Exec.run prog ~fname:"dbl" ~setup:(fun _ -> []) with
+  | _ -> Alcotest.fail "double free not detected"
+  | exception V.Runtime_error msg ->
+    check_contains "double free" msg "double free";
+    check_contains "double free" msg "alloc at dbl/p";
+    check_contains "double free" msg "first freed at dbl"
+
+let test_oob_reports_alloc_site () =
+  let prog = Prog.create () in
+  let b, _ = B.func prog "oob" ~params:[] ~ret:Ty.Float in
+  let p = B.alloc b Ty.Float (B.i64 b 4) in
+  let r = B.load b p (B.i64 b 9) in
+  B.return b (Some r);
+  ignore (B.finish b);
+  match Exec.run prog ~fname:"oob" ~setup:(fun _ -> []) with
+  | _ -> Alcotest.fail "out-of-bounds not detected"
+  | exception V.Runtime_error msg ->
+    check_contains "oob" msg "out of bounds";
+    check_contains "oob" msg "alloc at oob/p"
+
+let test_memory_poison_and_collect () =
+  (* direct Memory-module coverage: free poisons, the poison carries
+     provenance, double free raises, and gc_collect reports its count
+     and poisons what it reclaims *)
+  let m = Memory.create ~rank:0 in
+  let a = Memory.alloc ~site:"t/a" m ~elem:Ty.Float ~size:2 ~kind:Instr.Heap
+      ~socket:0 in
+  let pa = { V.buf = a; off = 0 } in
+  Memory.store ~who:"writer" pa 0 (V.VFloat 1.0);
+  Memory.free ~site:"freer" m a;
+  (match Memory.load ~who:"reader" pa 0 with
+  | _ -> Alcotest.fail "poisoned load not detected"
+  | exception V.Runtime_error msg ->
+    check_contains "poison" msg "alloc at t/a";
+    check_contains "poison" msg "freed at freer";
+    check_contains "poison" msg "stale access from reader");
+  (match Memory.free ~site:"again" m a with
+  | _ -> Alcotest.fail "double free not detected"
+  | exception V.Runtime_error msg ->
+    check_contains "double" msg "first freed at freer");
+  let g1 = Memory.alloc ~site:"t/g1" m ~elem:Ty.Float ~size:1 ~kind:Instr.Gc
+      ~socket:0 in
+  let g2 = Memory.alloc ~site:"t/g2" m ~elem:Ty.Float ~size:1 ~kind:Instr.Gc
+      ~socket:0 in
+  let collected = Memory.gc_collect m ~roots:[ V.VPtr { V.buf = g1; off = 0 } ] in
+  Alcotest.(check int) "one unreachable buffer collected" 1 collected;
+  Alcotest.(check bool) "root survives" false g1.V.freed;
+  Alcotest.(check bool) "unreachable freed" true g2.V.freed;
+  match Memory.load ~who:"later" { V.buf = g2; off = 0 } 0 with
+  | _ -> Alcotest.fail "collected buffer not poisoned"
+  | exception V.Runtime_error msg -> check_contains "gc poison" msg "freed at gc"
+
 (* ---- parallel semantics ---- *)
 
 (* parallel for writing out[i] = i^2; check all written, any width *)
@@ -458,6 +546,12 @@ let () =
           Alcotest.test_case "while" `Quick test_while_countdown;
           Alcotest.test_case "recursion" `Quick test_call_and_recursion;
           Alcotest.test_case "bounds check" `Quick test_out_of_bounds_detected;
+          Alcotest.test_case "uaf provenance" `Quick test_uaf_reports_provenance;
+          Alcotest.test_case "double-free provenance" `Quick
+            test_double_free_reports_sites;
+          Alcotest.test_case "oob alloc site" `Quick test_oob_reports_alloc_site;
+          Alcotest.test_case "poison and collect" `Quick
+            test_memory_poison_and_collect;
           Alcotest.test_case "use-after-free" `Quick
             test_use_after_free_detected;
         ] );
