@@ -23,15 +23,26 @@ let run ~quick =
   Printf.printf "  O2              : %12.3g\n" (g Pipe.o2);
   Printf.printf "  O2 + OpenMPOpt  : %12.3g\n" (g Pipe.o2_openmp);
   subheader "abl-mincut: cache-everything vs recompute-vs-cache (LULESH OMP)";
+  (* the sweep's upper bound is the driver's --recompute-depth flag, so
+     deeper rematerialization can be explored without a rebuild *)
+  let top = cli_int "--recompute-depth" ~default:10 in
   let g depth =
-    (L.gradient ~nthreads:w
-       ~opts:{ Plan.default_options with Plan.recompute_depth = depth }
-       L.Omp inp)
-      .L.g_makespan
+    let r =
+      L.gradient ~nthreads:w
+        ~opts:{ Plan.default_options with Plan.recompute_depth = depth }
+        L.Omp inp
+    in
+    r.L.g_makespan, r.L.g_stats.S.cache_cells, r.L.g_stats.S.cache_peak
   in
-  Printf.printf "  cache everything (depth 0) : %12.3g\n" (g 0);
-  Printf.printf "  recompute depth 4          : %12.3g\n" (g 4);
-  Printf.printf "  recompute depth 10         : %12.3g\n" (g 10);
+  List.iter
+    (fun depth ->
+      let t, cells, peak = g depth in
+      Printf.printf
+        "  recompute depth %-2d %s: %12.3g cycles, %8d cache cells, %8d peak\n"
+        depth
+        (if depth = 0 then "(cache everything)" else "                  ")
+        t cells peak)
+    (List.sort_uniq compare [ 0; 4; top ]);
   subheader "abl-tl: thread-locality analysis vs all-atomic fallback";
   let g atomic_always =
     let r =

@@ -4,7 +4,10 @@
    throughput).
 
    Usage: main.exe [--quick] [--figure fig8|fig9|fig10|fig11|overhead|
-                              verify|ablation|micro] *)
+                              verify|ablation|micro] [--recompute-depth N]
+
+   Figure drivers record machine-readable results; the run writes them
+   to BENCH_overhead.json on exit (see Util.write_bench_json). *)
 
 let figures =
   [
@@ -68,7 +71,8 @@ let micro ~quick:_ =
     (fun name result ->
       match Analyze.OLS.estimates result with
       | Some [ est ] ->
-        Printf.printf "%-32s %12.1f ns/run\n" name est
+        Printf.printf "%-32s %12.1f ns/run\n" name est;
+        Util.record_micro ~name ~ns:est
       | _ -> Printf.printf "%-32s (no estimate)\n" name)
     results
 
@@ -94,4 +98,5 @@ let () =
   | None ->
     List.iter (fun (_, f) -> f ~quick) figures;
     micro ~quick);
+  Util.write_bench_json ~quick;
   Printf.printf "\nbench: done.\n"

@@ -5,6 +5,18 @@
 let header title =
   Printf.printf "\n=== %s ===\n" title
 
+(* optional [--flag N] integer argument to the bench driver *)
+let cli_int flag ~default =
+  let rec find i =
+    if i >= Array.length Sys.argv - 1 then default
+    else if Sys.argv.(i) = flag then
+      match int_of_string_opt Sys.argv.(i + 1) with
+      | Some n -> n
+      | None -> default
+    else find (i + 1)
+  in
+  find 1
+
 let subheader t = Printf.printf "--- %s ---\n" t
 
 let row_of_floats name xs =
@@ -29,6 +41,84 @@ module L = Apps_lulesh.Lulesh
 module MB = Apps_minibude.Minibude
 module GC = Parad_verify.Grad_check
 module TC = Parad_verify.Tape_check
+module S = Parad_runtime.Stats
+
+(* ---- machine-readable results (BENCH_overhead.json) ----
+
+   Figure drivers and the micro-benchmarks append records here; the main
+   driver writes them out once at exit. The schema is line-oriented (one
+   config object per line) so shell gates can grep it — see
+   scripts/check.sh's overhead-regression gate. *)
+
+type ovh_record = {
+  o_name : string;
+  o_nranks : int;
+  o_nthreads : int;
+  o_forward : float;
+  o_gradient : float;
+  o_cache_stores : int;
+  o_cache_cells : int;
+  o_cache_peak : int;
+}
+
+let ovh_records : ovh_record list ref = ref []
+let micro_records : (string * float) list ref = ref []
+
+let record_overhead ~name ~nranks ~nthreads ~forward ~gradient ~stats =
+  let o_cache_stores, o_cache_cells, o_cache_peak =
+    match (stats : S.t option) with
+    | Some s -> s.S.cache_stores, s.S.cache_cells, s.S.cache_peak
+    | None -> 0, 0, 0
+  in
+  ovh_records :=
+    {
+      o_name = name;
+      o_nranks = nranks;
+      o_nthreads = nthreads;
+      o_forward = forward;
+      o_gradient = gradient;
+      o_cache_stores;
+      o_cache_cells;
+      o_cache_peak;
+    }
+    :: !ovh_records
+
+let record_micro ~name ~ns = micro_records := (name, ns) :: !micro_records
+
+let write_bench_json ~quick =
+  if !ovh_records <> [] || !micro_records <> [] then begin
+    let path = "BENCH_overhead.json" in
+    let oc = open_out path in
+    Printf.fprintf oc
+      "{\n  \"schema\": \"parad-bench-overhead/1\",\n  \"quick\": %b,\n\
+      \  \"configs\": [\n"
+      quick;
+    let rows = List.rev !ovh_records in
+    let last = List.length rows - 1 in
+    List.iteri
+      (fun i r ->
+        Printf.fprintf oc
+          "    {\"name\": %S, \"nranks\": %d, \"nthreads\": %d, \
+           \"forward\": %.6g, \"gradient\": %.6g, \"overhead\": %.4f, \
+           \"cache_stores\": %d, \"cache_cells\": %d, \"cache_peak\": %d}%s\n"
+          r.o_name r.o_nranks r.o_nthreads r.o_forward r.o_gradient
+          (r.o_gradient /. r.o_forward)
+          r.o_cache_stores r.o_cache_cells r.o_cache_peak
+          (if i = last then "" else ","))
+      rows;
+    Printf.fprintf oc "  ],\n  \"micro\": [\n";
+    let ms = List.rev !micro_records in
+    let mlast = List.length ms - 1 in
+    List.iteri
+      (fun i (n, v) ->
+        Printf.fprintf oc "    {\"name\": %S, \"ns_per_run\": %.1f}%s\n" n v
+          (if i = mlast then "" else ","))
+      ms;
+    Printf.fprintf oc "  ]\n}\n";
+    close_out oc;
+    Printf.printf "\nwrote %s (%d configs, %d micro)\n" path (List.length rows)
+      (List.length ms)
+  end
 
 (* argument list for driving LULESH through the generic (tape) harness *)
 let lulesh_args (inp : L.input) ~nranks ~rank =

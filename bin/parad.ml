@@ -130,8 +130,18 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"run a LULESH variant in the simulator")
     Term.(const run $ flavor_arg $ ranks_arg $ threads_arg $ size_arg $ iters_arg)
 
+let recompute_depth_arg =
+  Arg.(
+    value
+    & opt int Parad_core.Plan.default_options.Parad_core.Plan.recompute_depth
+    & info [ "recompute-depth" ]
+        ~doc:
+          "planner recompute-vs-cache height bound: 0 caches every needed \
+           value, larger values rematerialize taller pure expressions in \
+           the reverse sweep (the abl-mincut knob)")
+
 let grad_cmd =
-  let run flavor ranks threads size iters =
+  let run flavor ranks threads size iters recompute_depth =
     let inp =
       {
         L.nx = size;
@@ -142,20 +152,27 @@ let grad_cmd =
         escale = 1.0;
       }
     in
+    let opts =
+      { Parad_core.Plan.default_options with Parad_core.Plan.recompute_depth }
+    in
     guarded (fun () ->
         let p = L.run ~nranks:ranks ~nthreads:threads flavor inp in
-        let g = L.gradient ~nranks:ranks ~nthreads:threads flavor inp in
+        let g = L.gradient ~nranks:ranks ~nthreads:threads ~opts flavor inp in
         Printf.printf
           "%s: forward %.0f cycles, gradient %.0f cycles, overhead %.2fx\n"
           (L.flavor_name flavor) p.L.makespan g.L.g_makespan
           (g.L.g_makespan /. p.L.makespan);
         let d = g.L.d_energy.(0) in
         Printf.printf "d total / d e[0..3] = %.4f %.4f %.4f %.4f\n" d.(0)
-          d.(1) d.(2) d.(3))
+          d.(1) d.(2) d.(3);
+        Printf.printf "stats: %s\n"
+          (Fmt.str "%a" Parad_runtime.Stats.pp g.L.g_stats))
   in
   Cmd.v
     (Cmd.info "grad" ~doc:"differentiate a LULESH variant and report overhead")
-    Term.(const run $ flavor_arg $ ranks_arg $ threads_arg $ size_arg $ iters_arg)
+    Term.(
+      const run $ flavor_arg $ ranks_arg $ threads_arg $ size_arg $ iters_arg
+      $ recompute_depth_arg)
 
 let check_cmd =
   let run () =

@@ -76,6 +76,16 @@ type t = {
   aux_ty : (int * int, Ty.t) Hashtbl.t;
   occ_depth : (int, int) Hashtbl.t;  (** occurrence -> idx-depth *)
   occ_sdepth : (int, int) Hashtbl.t;  (** occurrence -> scope-depth *)
+  useful : (int, unit) Hashtbl.t;
+      (** float var ids whose adjoint can be nonzero (see {!useful_of}) *)
+  dup : (int, int) Hashtbl.t;
+      (** duplicate Load var id -> leader Load var id (see {!dup_loads_of}) *)
+  shared : (int, unit) Hashtbl.t;
+      (** duplicate Load var ids that actually resolved to their leader's
+          cache slot (the leader's plan was [ACache]) *)
+  eff : (key, int) Hashtbl.t;
+      (** effective variation depth of a planned key: the deepest loop
+          level at which its value actually changes (see {!eff_depth}) *)
   mutable n_cached : int;
   mutable while_occs : int list;
 }
@@ -99,6 +109,178 @@ let vars_of (f : Func.t) =
   walk f.body;
   vars
 
+(* ---- adjoint-usefulness analysis (the pruning half of §V-E) ---- *)
+
+(* Float var ids whose adjoint can be nonzero in some reverse sweep: the
+   backward closure, along derivative-carrying operand edges, of the
+   adjoint sources — stored values, atomic accumulations, the returned
+   value, and float arguments of calls/spawns (their adjoints are folded
+   back by the reverse halves). A float value outside this set receives
+   only exact zeros in the reverse pass, so neither it nor its operands
+   need to be made available: the planner skips their registration and
+   the reverse pass skips their statements entirely. *)
+let useful_of (f : Func.t) : (int, unit) Hashtbl.t =
+  let useful = Hashtbl.create 64 in
+  let changed = ref true in
+  let is_f v = Ty.equal (Var.ty v) Ty.Float in
+  let mark v =
+    if is_f v && not (Hashtbl.mem useful (Var.id v)) then begin
+      Hashtbl.replace useful (Var.id v) ();
+      changed := true
+    end
+  in
+  let mem v = Hashtbl.mem useful (Var.id v) in
+  let rec walk ?if_results instrs =
+    List.iter
+      (fun (ins : Instr.t) ->
+        (match ins with
+        | Instr.Store (_, _, x) -> mark x
+        | Instr.AtomicAdd (_, _, x) -> mark x
+        | Instr.Return (Some v) -> mark v
+        | Instr.Call (_, _, args) | Instr.Spawn (_, _, args) ->
+          List.iter mark args
+        | Instr.Bin (v, op, a, b) when is_f v && mem v -> (
+          match op with
+          | Rem -> ()
+          | Add | Sub | Mul | Div | Min | Max | Pow ->
+            mark a;
+            mark b)
+        | Instr.Un (v, op, a) when is_f v && mem v -> (
+          match op with
+          | Neg | Sqrt | Exp | Sin | Cos | Log | Abs -> mark a
+          | Floor | ToFloat | ToInt | Not -> ())
+        | Instr.Select (v, _, a, b) when is_f v && mem v ->
+          mark a;
+          mark b
+        | Instr.Yield vs -> (
+          (* a Yield at the top level of an If branch seeds the yielded
+             values with the If results' adjoints *)
+          match if_results with
+          | Some rs ->
+            List.iter2 (fun r v -> if is_f r && mem r then mark v) rs vs
+          | None -> ())
+        | _ -> ());
+        match ins with
+        | Instr.If (rs, _, t_, e_) ->
+          walk ~if_results:rs t_.body;
+          walk ~if_results:rs e_.body
+        | _ ->
+          List.iter
+            (fun (r : Instr.region) -> walk r.body)
+            (Instr.regions ins))
+      instrs
+  in
+  while !changed do
+    changed := false;
+    walk f.body
+  done;
+  useful
+
+(* Duplicate-load slot sharing. [dup] maps a Load's var id to an earlier
+   Load of the same pointer and index SSA vars in the same straight-line
+   segment — no intervening write, call, barrier, or region boundary, so
+   both loads observe the same cell unchanged and are runtime-equal. The
+   planner lets the duplicate share the leader's availability: one cache
+   slot holds both (§V-E cache minimization), and the forward sweep skips
+   the duplicate's redundant cache store. Unlike CSE on the primal this
+   leaves the primal and the adjoint accumulation structure untouched, so
+   gradients stay bit-identical. *)
+let dup_loads_of (fi : Finfo.t) : (int, int) Hashtbl.t =
+  let f = fi.Finfo.func in
+  let dup = Hashtbl.create 32 in
+  (* var id -> runtime-equal representative, grown by a local pure value
+     numbering (so syntactically distinct address chains computing the
+     same Gep match) and by the discovered duplicate loads themselves *)
+  let canon_tbl = Hashtbl.create 64 in
+  let rec canon id =
+    match Hashtbl.find_opt canon_tbl id with Some j -> canon j | None -> id
+  in
+  (* a base that is provably a separate object: a local allocation, or a
+     noalias parameter (nothing else in scope aliases it) *)
+  let sep b =
+    match Finfo.def_site fi b with
+    | Finfo.DInstr (Instr.Alloc _, _) -> true
+    | Finfo.DParam -> (
+      match Func.param_attr f b with
+      | Some a -> a.Func.noalias
+      | None -> false)
+    | _ -> false
+  in
+  let vn_key (ins : Instr.t) : string option =
+    let id v = string_of_int (canon (Var.id v)) in
+    match ins with
+    | Instr.Bin (_, op, a, b) ->
+      Some (Fmt.str "b%s,%s,%s" (Instr.binop_name op) (id a) (id b))
+    | Instr.Cmp (_, op, a, b) ->
+      Some (Fmt.str "c%s,%s,%s" (Instr.cmpop_name op) (id a) (id b))
+    | Instr.Un (_, op, a) -> Some (Fmt.str "u%s,%s" (Instr.unop_name op) (id a))
+    | Instr.Gep (_, p, ix) -> Some (Fmt.str "g%s,%s" (id p) (id ix))
+    | Instr.Select (_, c, a, b) ->
+      Some (Fmt.str "s%s,%s,%s" (id c) (id a) (id b))
+    | Instr.Const (_, Instr.Cint x) -> Some (Fmt.str "ki%d" x)
+    | Instr.Const (_, Instr.Cbool x) -> Some (Fmt.str "kb%b" x)
+    | Instr.Const (_, Instr.Cfloat x) -> Some (Fmt.str "kf%h" x)
+    | _ -> None
+  in
+  (* avail: (canon ptr id, canon idx id) -> (leader load var, its base) *)
+  let invalidate avail (p : Var.t) =
+    match Finfo.pointer_base fi p with
+    | Some wb when sep wb ->
+      Hashtbl.filter_map_inplace
+        (fun _ ((_, eb) as entry) ->
+          match eb with
+          | Some eb when Var.id eb <> Var.id wb && (sep eb || sep wb) ->
+            Some entry
+          | _ -> None)
+        avail
+    | _ -> Hashtbl.reset avail
+  in
+  let rec walk vn avail instrs =
+    List.iter
+      (fun (ins : Instr.t) ->
+        (match ins with
+        | Instr.Load (v, p, ix) -> (
+          let k = canon (Var.id p), canon (Var.id ix) in
+          match Hashtbl.find_opt avail k with
+          | Some (leader, _) ->
+            Hashtbl.replace dup (Var.id v) (Var.id leader);
+            Hashtbl.replace canon_tbl (Var.id v) (Var.id leader)
+          | None -> Hashtbl.replace avail k (v, Finfo.pointer_base fi p))
+        | Instr.Store (p, _, _) | Instr.AtomicAdd (p, _, _) | Instr.Free p ->
+          invalidate avail p
+        | Instr.Call (_, ("mpi.rank" | "mpi.size" | "omp.max_threads"), _) ->
+          ()
+        | Instr.Call _ | Instr.Spawn _ | Instr.Sync _ | Instr.Barrier ->
+          Hashtbl.reset avail
+        | _ -> (
+          match vn_key ins, Instr.def ins with
+          | Some k, Some v -> (
+            match Hashtbl.find_opt vn k with
+            | Some lid -> Hashtbl.replace canon_tbl (Var.id v) lid
+            | None -> Hashtbl.replace vn k (Var.id v))
+          | _ -> ()));
+        match ins with
+        | Instr.If (_, _, t_, e_) ->
+          (* branches observe memory as of the If: propagate availability
+             in (lexical dominance makes the leaders visible), then drop
+             it below the If (either branch may have written) *)
+          walk (Hashtbl.copy vn) (Hashtbl.copy avail) t_.body;
+          walk (Hashtbl.copy vn) (Hashtbl.copy avail) e_.body;
+          Hashtbl.reset avail
+        | _ ->
+          let rs = Instr.regions ins in
+          (* loop/fork bodies re-execute and other strands interleave:
+             start them with no availability, and drop ours after *)
+          List.iter
+            (fun (r : Instr.region) ->
+              walk (Hashtbl.copy vn) (Hashtbl.create 16) r.body)
+            rs;
+          if rs <> [] then Hashtbl.reset avail)
+      instrs
+  in
+  walk (Hashtbl.create 64) (Hashtbl.create 16) f.body;
+  dup
+
 let create ~fi ~split ~opts =
   {
     fi;
@@ -110,6 +292,10 @@ let create ~fi ~split ~opts =
     aux_ty = Hashtbl.create 16;
     occ_depth = Hashtbl.create 64;
     occ_sdepth = Hashtbl.create 64;
+    useful = useful_of fi.Finfo.func;
+    dup = dup_loads_of fi;
+    shared = Hashtbl.create 32;
+    eff = Hashtbl.create 64;
     n_cached = 0;
     while_occs = [];
   }
@@ -140,6 +326,74 @@ let pure_def (i : Instr.t) =
   | _ -> false
 
 let height t k = Option.value ~default:0 (Hashtbl.find_opt t.heights k)
+
+let is_useful t (v : Var.t) =
+  Ty.equal (Var.ty v) Ty.Float && Hashtbl.mem t.useful (Var.id v)
+
+(* A duplicate load sharing its leader's cache slot: the forward sweep
+   skips its cache store (the leader, which dominates it and executes
+   whenever it does, already stored the identical value). *)
+let is_dup t = function
+  | KVal id -> Hashtbl.mem t.shared id
+  | KShadow _ | KAux _ -> false
+
+(* Does the reverse sweep emit any work for [ins]? A region instruction
+   whose reverse half would be empty is skipped entirely — no control
+   values resolved, no reversed loop emitted. Must stay in sync with the
+   statement-level gating in [Reverse.rev_node]. Regions containing a
+   Barrier are never skipped: the reversed barrier keeps the reversed
+   strands aligned even when no thread has adjoint work. *)
+let rec rev_work t (ins : Instr.t) : bool =
+  match ins with
+  | Instr.Const _ | Instr.Cmp _ | Instr.Gep _ | Instr.Free _
+  | Instr.Return _ | Instr.Yield _ -> false
+  | Instr.Bin (v, _, _, _) | Instr.Un (v, _, _) | Instr.Select (v, _, _, _)
+  | Instr.Load (v, _, _) -> is_useful t v
+  | Instr.Store (_, _, x) -> Ty.equal (Var.ty x) Ty.Float
+  | Instr.AtomicAdd _ -> true
+  | Instr.Alloc (_, _, _, Instr.Gc) -> false
+  | Instr.Alloc _ -> true  (* the reverse pass frees the shadow *)
+  | Instr.Barrier -> true
+  | Instr.Call (_, name, _) ->
+    if String.contains name '.' then (
+      match name with
+      | "mpi.rank" | "mpi.size" | "omp.max_threads" | "gc.collect"
+      | "parad.checkpoint" -> false
+      | n when String.length n >= 6 && String.sub n 0 6 = "debug." -> false
+      | _ -> true)
+    else true
+  | Instr.Spawn _ | Instr.Sync _ -> true
+  | Instr.If (rs, _, t_, e_) ->
+    List.exists (is_useful t) rs
+    || List.exists (rev_work t) t_.body
+    || List.exists (rev_work t) e_.body
+  | Instr.For { body; _ }
+  | Instr.Fork { body; _ }
+  | Instr.Workshare { body; _ } -> List.exists (rev_work t) body.body
+  | Instr.While { body; _ } ->
+    (* the While condition is never reversed, only the body *)
+    List.exists (rev_work t) body.body
+
+(* Effective variation depth of a planned key: the deepest loop level at
+   which its value can change. A directly-available value never varies
+   (0); a cached value varies at its cache's index depth; a recomputed
+   chain varies where its deepest operand does (recorded at planning
+   time); anything else is pinned at its definition depth. Caching a
+   value at its effective depth instead of its lexical depth is the
+   hoisting half of §V-E: a loop-invariant needed value gets one slot per
+   outer iteration, not one per inner iteration. *)
+let eff_depth t (k : key) : int =
+  match Hashtbl.find_opt t.eff k with
+  | Some d -> d
+  | None -> (
+    match Hashtbl.find_opt t.plans k with
+    | Some ADirect -> 0
+    | Some (ACache (_, d)) -> d
+    | _ -> (
+      match k with
+      | KVal id | KShadow id -> Finfo.depth t.fi (var t id)
+      | KAux (occ, _) ->
+        Option.value ~default:0 (Hashtbl.find_opt t.occ_depth occ)))
 
 let rec plan t (k : key) : avail =
   match Hashtbl.find_opt t.plans k with
@@ -197,7 +451,22 @@ and compute t k =
         ignore (plan t (KVal (Var.id ix)));
         ARecomp
       end
-      else fresh_cache t (Finfo.depth fi v)
+      else (
+        match Hashtbl.find_opt t.dup id with
+        | Some lid -> (
+          (* runtime-equal duplicate load: share the leader's cache slot.
+             The leader dominates the duplicate within the same loop nest
+             (same idx-depth), so its slot holds the identical value by
+             the time the reverse sweep reads it. When the leader needs
+             no slot (ADirect at scope depth 0, or recomputable), give
+             the duplicate its own cache — repointing at the leader's
+             SSA register could cross a region boundary. *)
+          match plan t (KVal lid) with
+          | ACache _ as a ->
+            Hashtbl.replace t.shared id ();
+            a
+          | ADirect | AParam | ARecomp -> fresh_cache t (Finfo.depth fi v))
+        | None -> fresh_cache t (Finfo.depth fi v))
     | Finfo.DInstr (i, _) ->
       let depth = Finfo.depth fi v in
       if Finfo.sdepth fi v = 0 && not t.split then ADirect
@@ -217,11 +486,18 @@ and compute t k =
                 max acc oh)
               0 operands
         in
+        (* deepest level at which any operand (hence the value) varies *)
+        let opmax =
+          List.fold_left
+            (fun acc o -> max acc (eff_depth t (KVal (Var.id o))))
+            0 operands
+        in
         if h <= t.opts.recompute_depth then begin
           Hashtbl.replace t.heights k h;
+          Hashtbl.replace t.eff k opmax;
           ARecomp
         end
-        else fresh_cache t depth
+        else fresh_cache t (min depth opmax)
       end
       else fresh_cache t depth)
   | KShadow id -> (
@@ -274,77 +550,98 @@ let need_aux t ~occ ~slot ty =
    task entry points, whose reverse halves run concurrently and need
    atomic shadow accumulation (§VI-A1: task shadows are not
    thread-local). *)
+(* [live] is false inside regions whose reverse half is skipped entirely
+   (see [rev_work]): their statements register nothing — the occurrence
+   counter still advances so it stays aligned with [Reverse.annotate].
+   Statement-level registrations are additionally gated on [is_useful]:
+   operands of a value whose adjoint is always zero are never needed. *)
 let rec collect t ~(register_callee : spawned:bool -> string -> unit) =
   let f = t.fi.Finfo.func in
   let counter = ref 0 in
   let val_ k = need t (KVal (Var.id k)) in
   let shadow_ k = need t (KShadow (Var.id k)) in
-  let rec walk ~depth ~sdepth instrs =
+  let rec walk ~live ~depth ~sdepth instrs =
     List.iter
       (fun (ins : Instr.t) ->
         let occ = !counter in
         incr counter;
         Hashtbl.replace t.occ_depth occ depth;
         Hashtbl.replace t.occ_sdepth occ sdepth;
+        (* the While counter cell is a forward-sweep fixture, needed even
+           when the reverse half of the loop is pruned away *)
         (match ins with
-        | Instr.Bin (v, op, a, b) when Ty.equal (Var.ty v) Ty.Float -> (
-          match op with
-          | Add | Sub -> ()
-          | Mul | Div | Min | Max | Pow ->
-            val_ a;
-            val_ b
-          | Rem -> ())
-        | Instr.Bin _ | Instr.Cmp _ -> ()
-        | Instr.Un (v, op, a) when Ty.equal (Var.ty v) Ty.Float -> (
-          match op with
-          | Neg | ToFloat | Floor -> ()
-          | Sqrt | Exp -> val_ v
-          | Sin | Cos | Log | Abs -> val_ a
-          | ToInt | Not -> ())
-        | Instr.Un _ -> ()
-        | Instr.Select (v, c, _, _) when Ty.equal (Var.ty v) Ty.Float -> val_ c
-        | Instr.Select _ -> ()
-        | Instr.Const _ -> ()
-        | Instr.Alloc (v, _, _, _) -> shadow_ v
-        | Instr.Free _ -> ()
-        | Instr.Load (v, p, ix) when Ty.equal (Var.ty v) Ty.Float ->
-          shadow_ p;
-          val_ ix
-        | Instr.Load _ -> ()
-        | Instr.Store (p, ix, x) when Ty.equal (Var.ty x) Ty.Float ->
-          shadow_ p;
-          val_ ix
-        | Instr.Store _ -> ()
-        | Instr.Gep _ -> ()
-        | Instr.AtomicAdd (p, ix, _) ->
-          shadow_ p;
-          val_ ix
-        | Instr.Call (v, name, args) -> collect_call t ~occ ~register_callee v name args
-        | Instr.Spawn (v, g, _) ->
-          register_callee ~spawned:true g;
-          val_ v
-        | Instr.Sync h ->
-          val_ h;
-          need_aux t ~occ ~slot:0 Ty.Int (* blk handle via task.retval *)
-        | Instr.If (_, c, _, _) -> val_ c
-        | Instr.For { lo; hi; step; _ } ->
-          val_ lo;
-          val_ hi;
-          val_ step
-        | Instr.While _ ->
-          t.while_occs <- occ :: t.while_occs;
-          need_aux t ~occ ~slot:0 Ty.Int (* trip count *);
-          need_aux t ~occ ~slot:1 Ty.Int (* start offset *)
-        | Instr.Fork { nth; _ } -> val_ nth
-        | Instr.Workshare { lo; hi; _ } ->
-          val_ lo;
-          val_ hi
-        | Instr.Barrier -> ()
-        | Instr.Return (Some v) ->
-          if Ty.is_ptr (Var.ty v) then
-            unsupported "returning a pointer from a differentiated function"
-        | Instr.Return None -> ()
-        | Instr.Yield _ -> ());
+        | Instr.While _ -> t.while_occs <- occ :: t.while_occs
+        | _ -> ());
+        (match ins with
+        | Instr.Call (_, g, _) when not (String.contains g '.') ->
+          (* the forward sweep always calls aug_g, reversed or not *)
+          register_callee ~spawned:false g
+        | Instr.Spawn (_, g, _) -> register_callee ~spawned:true g
+        | _ -> ());
+        (if live then
+           match ins with
+           | Instr.Bin (v, op, a, b) when is_useful t v -> (
+             match op with
+             | Add | Sub -> ()
+             | Mul | Div | Min | Max | Pow ->
+               val_ a;
+               val_ b
+             | Rem -> ())
+           | Instr.Bin _ | Instr.Cmp _ -> ()
+           | Instr.Un (v, op, a) when is_useful t v -> (
+             match op with
+             | Neg | ToFloat | Floor -> ()
+             | Sqrt | Exp -> val_ v
+             | Sin | Cos | Log | Abs -> val_ a
+             | ToInt | Not -> ())
+           | Instr.Un _ -> ()
+           | Instr.Select (v, c, _, _) when is_useful t v -> val_ c
+           | Instr.Select _ -> ()
+           | Instr.Const _ -> ()
+           | Instr.Alloc (v, _, _, _) -> shadow_ v
+           | Instr.Free _ -> ()
+           | Instr.Load (v, p, ix) when is_useful t v ->
+             shadow_ p;
+             val_ ix
+           | Instr.Load _ -> ()
+           | Instr.Store (p, ix, x) when Ty.equal (Var.ty x) Ty.Float ->
+             shadow_ p;
+             val_ ix
+           | Instr.Store _ -> ()
+           | Instr.Gep _ -> ()
+           | Instr.AtomicAdd (p, ix, _) ->
+             shadow_ p;
+             val_ ix
+           | Instr.Call (v, name, args) ->
+             collect_call t ~occ ~register_callee v name args
+           | Instr.Spawn (v, _, _) -> val_ v
+           | Instr.Sync h ->
+             val_ h;
+             need_aux t ~occ ~slot:0 Ty.Int (* blk handle via task.retval *)
+           | Instr.If (_, c, _, _) -> if rev_work t ins then val_ c
+           | Instr.For { lo; hi; step; _ } ->
+             if rev_work t ins then begin
+               val_ lo;
+               val_ hi;
+               val_ step
+             end
+           | Instr.While _ ->
+             if rev_work t ins then begin
+               need_aux t ~occ ~slot:0 Ty.Int (* trip count *);
+               need_aux t ~occ ~slot:1 Ty.Int (* start offset *)
+             end
+           | Instr.Fork { nth; _ } -> if rev_work t ins then val_ nth
+           | Instr.Workshare { lo; hi; _ } ->
+             if rev_work t ins then begin
+               val_ lo;
+               val_ hi
+             end
+           | Instr.Barrier -> ()
+           | Instr.Return (Some v) ->
+             if Ty.is_ptr (Var.ty v) then
+               unsupported "returning a pointer from a differentiated function"
+           | Instr.Return None -> ()
+           | Instr.Yield _ -> ());
         let subs = Instr.regions ins in
         let depth' =
           match ins with
@@ -352,13 +649,14 @@ let rec collect t ~(register_callee : spawned:bool -> string -> unit) =
             depth + 1
           | _ -> depth
         in
+        let live' = live && rev_work t ins in
         List.iter
           (fun (r : Instr.region) ->
-            walk ~depth:depth' ~sdepth:(sdepth + 1) r.body)
+            walk ~live:live' ~depth:depth' ~sdepth:(sdepth + 1) r.body)
           subs)
       instrs
   in
-  walk ~depth:0 ~sdepth:0 f.body
+  walk ~live:true ~depth:0 ~sdepth:0 f.body
 
 and collect_call t ~occ ~register_callee v name args =
   let val_ k = need t (KVal (Var.id k)) in
@@ -413,3 +711,15 @@ and collect_call t ~occ ~register_callee v name args =
     need_aux t ~occ ~slot:0 Ty.Int (* cache-block handle *);
     ignore v
   end
+
+(* Key type of each cache ordinal, for the emitter: Float ordinals get
+   the unboxed [cache.newf] representation. *)
+let cache_tys t : Ty.t option array =
+  let a = Array.make (max 1 t.n_cached) None in
+  Hashtbl.iter
+    (fun k av ->
+      match av with
+      | ACache (ord, _) -> a.(ord) <- Some (key_ty t k)
+      | ADirect | AParam | ARecomp -> ())
+    t.plans;
+  a

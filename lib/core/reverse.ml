@@ -159,11 +159,11 @@ let idx_at idxs d =
 (* Store a planned-for-caching value into its cache. *)
 let maybe_cache st ~idxs k (v : Var.t) =
   match Hashtbl.find_opt st.p.plans k with
-  | Some (ACache (ord, d)) ->
+  | Some (ACache (ord, d)) when not (Plan.is_dup st.p k) ->
     ignore
       (B.call st.b ~ret:Ty.Unit "cache.set"
          [ st.cache_h.(ord); idx_at idxs d; v ])
-  | Some (ADirect | AParam | ARecomp) | None -> ()
+  | Some (ADirect | AParam | ACache _ | ARecomp) | None -> ()
 
 (* Record a static privacy claim on a shadow buffer in the generated
    code: the runtime sanitizer's RaceSan treats a dynamic race on a
@@ -684,10 +684,16 @@ and rev_node rs sc ?if_results { occ; ins; subs } =
   let rshadow v = resolve rs sc (KShadow (Var.id v)) in
   let raux slot = resolve rs sc (KAux (occ, slot)) in
   let is_f v = Ty.equal (Var.ty v) Ty.Float in
+  (* adjoint of [v] is provably zero: its reverse statement is a no-op *)
+  let useful v = Plan.is_useful rs.fs.p v in
   match ins with
+  (* a region with no reverse work is skipped wholesale — its control
+     values were never planned (see Plan.collect's liveness gating) *)
+  | (If _ | For _ | While _ | Fork _ | Workshare _)
+    when not (Plan.rev_work rs.fs.p ins) -> ()
   | Const _ | Cmp _ | Gep _ | Free _ | Barrier | Return _ -> (
     match ins with Barrier -> B.barrier b | _ -> ())
-  | Bin (v, op, x, y) when is_f v -> (
+  | Bin (v, op, x, y) when is_f v && useful v -> (
     let dv = read_adj rs sc v in
     match op with
     | Add ->
@@ -721,7 +727,7 @@ and rev_node rs sc ?if_results { occ; ins; subs } =
       accum rs sc y (B.mul b dv (B.mul b r (B.log_ b rx)))
     | Rem -> ())
   | Bin _ -> ()
-  | Un (v, op, x) when is_f v -> (
+  | Un (v, op, x) when is_f v && useful v -> (
     match op with
     | Neg -> accum rs sc x (B.neg b (read_adj rs sc v))
     | Sqrt ->
@@ -739,7 +745,7 @@ and rev_node rs sc ?if_results { occ; ins; subs } =
     | Floor | ToFloat -> ()
     | ToInt | Not -> ())
   | Un _ -> ()
-  | Select (v, c, x, y) when is_f v ->
+  | Select (v, c, x, y) when is_f v && useful v ->
     let dv = read_adj rs sc v in
     let rc = rval c in
     let zero = B.f64 b 0.0 in
@@ -750,7 +756,7 @@ and rev_node rs sc ?if_results { occ; ins; subs } =
     match kind with
     | Instr.Gc -> () (* the collector owns GC shadows *)
     | Instr.Stack | Instr.Heap -> B.free b (rshadow v))
-  | Load (v, p, ix) when is_f v ->
+  | Load (v, p, ix) when is_f v && useful v ->
     let dv = read_adj rs sc v in
     accum_mem rs sc ~primal_ptr:p (rshadow p) (rval ix) dv
   | Load _ -> ()
@@ -865,7 +871,7 @@ and rev_node rs sc ?if_results { occ; ins; subs } =
     | Some results ->
       List.iter2
         (fun r v ->
-          if Ty.equal (Var.ty r) Ty.Float then begin
+          if Ty.equal (Var.ty r) Ty.Float && Plan.is_useful rs.fs.p r then begin
             let d = read_adj rs sc r in
             accum rs sc v d
           end)
@@ -1013,8 +1019,15 @@ let make_fstate eng p b ~race =
 (* Create the cache handles and While counter cells in the preamble. *)
 let emit_preamble st =
   let b = st.b in
+  let tys = Plan.cache_tys st.p in
   for ord = 0 to st.p.n_cached - 1 do
-    st.cache_h.(ord) <- B.call b ~ret:Ty.Int "cache.new" [ B.i64 b 16 ]
+    (* Float-typed slots use the unboxed float-array representation *)
+    let ctor =
+      match tys.(ord) with
+      | Some Ty.Float -> "cache.newf"
+      | _ -> "cache.new"
+    in
+    st.cache_h.(ord) <- B.call b ~ret:Ty.Int ctor [ B.i64 b 16 ]
   done;
   List.iter
     (fun occ ->

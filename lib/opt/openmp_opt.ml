@@ -124,7 +124,7 @@ let movable (i : Instr.t) =
   ||
   match i with
   | Instr.Alloc _ -> true
-  | Instr.Call (_, "cache.new", _) -> true
+  | Instr.Call (_, ("cache.new" | "cache.newf"), _) -> true
   | _ -> false
 
 let fuse_forks (f : Func.t) : Func.t =

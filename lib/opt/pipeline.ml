@@ -18,19 +18,25 @@ let openmp_opt ?fuse () =
 let mem_forward =
   { name = "mem-forward"; run = (fun _ f -> Mem_forward.run_func f) }
 
-(** The default pre-differentiation pipeline (§V-E). *)
-let o2 = [ inline (); fold; cse; licm; dce ]
+(** The default pre-differentiation pipeline (§V-E). The second [cse]
+    merges the duplicates LICM hoists out of sibling loops, making one
+    pipeline run a fixpoint (running it again is a no-op). *)
+let o2 = [ inline (); fold; cse; licm; cse; dce ]
 
 (** [o2] plus parallel-region optimization (the paper's "OpenMPOpt"
-    configuration). *)
-let o2_openmp = [ inline (); fold; cse; licm; openmp_opt (); dce ]
+    configuration). OpenMPOpt hoists loads and cache allocations out of
+    parallel regions, so [cse] runs once more after it. *)
+let o2_openmp = [ inline (); fold; cse; licm; openmp_opt (); cse; dce ]
 
 (** Post-AD cleanup: promote adjoint-register slots (mem2reg analog),
-    fold, and sweep dead code. Fork fusion (Fig 4) is kept separate as an
-    ablation: see [post_ad_fuse]. *)
-let post_ad = [ mem_forward; fold; cse; licm; dce ]
+    fold, and sweep dead code. The second [mem_forward] picks up the
+    stores the first round's forwarding left dead (their loads are gone
+    only after cse/dce), which also makes the pipeline a fixpoint. Fork
+    fusion (Fig 4) is kept separate as an ablation: see [post_ad_fuse]. *)
+let post_ad = [ mem_forward; fold; cse; licm; cse; mem_forward; dce ]
 
-let post_ad_fuse = [ mem_forward; fold; cse; licm; openmp_opt (); dce ]
+let post_ad_fuse =
+  [ mem_forward; fold; cse; licm; openmp_opt (); cse; mem_forward; dce ]
 
 (** Apply passes to one function of a program, in order, verifying the
     result; returns a new program. *)

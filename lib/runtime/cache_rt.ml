@@ -4,21 +4,67 @@
     is a growable array of runtime values indexed by a linearized
     iteration/thread index computed in IR. Growth doubling gives the
     "dynamically reallocate" behaviour of caching case 3 (unknown trip
-    counts) without a realloc instruction in the IR. *)
+    counts) without a realloc instruction in the IR.
+
+    Caches whose planned key type is [Ty.Float] use an unboxed
+    [float array] fast path (["cache.newf"]) instead of boxed [Value.t]
+    cells — the minimal-cache representation of §V-E; a write bitmap
+    preserves read-before-write detection. The table also tracks cell
+    occupancy so the runtime can report cells stored and the peak live
+    cache footprint. *)
 
 open Value
 
-type cache = { mutable cells : Value.t array; mutable freed : bool }
+type storage =
+  | Boxed of Value.t array
+  | Floats of float array * Bytes.t  (** cells, written bitmap *)
 
-type t = { mutable table : cache array; mutable n : int }
+type cache = {
+  mutable s : storage;
+  mutable freed : bool;
+  mutable nwritten : int;  (** distinct cells written so far *)
+}
 
-let create () = { table = Array.make 8 { cells = [||]; freed = true }; n = 0 }
+type t = {
+  mutable table : cache array;
+  mutable n : int;
+  mutable cells_written : int;
+      (** total distinct cells ever written, across all caches *)
+  mutable live_cells : int;  (** written cells of not-yet-freed caches *)
+  mutable peak_cells : int;  (** high-water mark of [live_cells] *)
+}
 
-let fresh t ~capacity =
-  let c = { cells = Array.make (max capacity 4) VUnit; freed = false } in
+let mk_boxed capacity =
+  Boxed (Array.make (max capacity 4) VUnit)
+
+let mk_floats capacity =
+  let n = max capacity 4 in
+  Floats (Array.make n 0.0, Bytes.make n '\000')
+
+let create () =
+  {
+    table =
+      Array.init 8 (fun _ -> { s = Boxed [||]; freed = true; nwritten = 0 });
+    n = 0;
+    cells_written = 0;
+    live_cells = 0;
+    peak_cells = 0;
+  }
+
+let fresh ?(unboxed = false) t ~capacity =
+  let c =
+    {
+      s = (if unboxed then mk_floats capacity else mk_boxed capacity);
+      freed = false;
+      nwritten = 0;
+    }
+  in
   if t.n = Array.length t.table then begin
-    let bigger = Array.make (2 * t.n) c in
-    Array.blit t.table 0 bigger 0 t.n;
+    let bigger =
+      Array.init (2 * t.n) (fun i ->
+          if i < t.n then t.table.(i)
+          else { s = Boxed [||]; freed = true; nwritten = 0 })
+    in
     t.table <- bigger
   end;
   t.table.(t.n) <- c;
@@ -31,46 +77,121 @@ let get_cache t id =
   if c.freed then error "cache: use after free of cache %d" id;
   c
 
+let is_unboxed t ~id =
+  match (get_cache t id).s with Floats _ -> true | Boxed _ -> false
+
+let note_written t c =
+  c.nwritten <- c.nwritten + 1;
+  t.cells_written <- t.cells_written + 1;
+  t.live_cells <- t.live_cells + 1;
+  if t.live_cells > t.peak_cells then t.peak_cells <- t.live_cells
+
 let set t ~id ~idx v =
   let c = get_cache t id in
   if idx < 0 then error "cache: negative index %d" idx;
-  let n = Array.length c.cells in
-  if idx >= n then begin
-    let bigger = Array.make (max (2 * n) (idx + 1)) VUnit in
-    Array.blit c.cells 0 bigger 0 n;
-    c.cells <- bigger
-  end;
-  c.cells.(idx) <- v
+  match c.s with
+  | Boxed cells ->
+    let n = Array.length cells in
+    let cells =
+      if idx >= n then begin
+        let bigger = Array.make (max (2 * n) (idx + 1)) VUnit in
+        Array.blit cells 0 bigger 0 n;
+        c.s <- Boxed bigger;
+        bigger
+      end
+      else cells
+    in
+    if cells.(idx) = VUnit then note_written t c;
+    cells.(idx) <- v
+  | Floats (cells, written) ->
+    let x =
+      match v with
+      | VFloat x -> x
+      | _ -> error "cache %d: non-float value in a float cache" id
+    in
+    let n = Array.length cells in
+    let cells, written =
+      if idx >= n then begin
+        let m = max (2 * n) (idx + 1) in
+        let bigger = Array.make m 0.0 in
+        Array.blit cells 0 bigger 0 n;
+        let wbigger = Bytes.make m '\000' in
+        Bytes.blit written 0 wbigger 0 n;
+        c.s <- Floats (bigger, wbigger);
+        bigger, wbigger
+      end
+      else cells, written
+    in
+    if Bytes.get written idx = '\000' then begin
+      note_written t c;
+      Bytes.set written idx '\001'
+    end;
+    cells.(idx) <- x
 
 let get t ~id ~idx =
   let c = get_cache t id in
-  if idx < 0 || idx >= Array.length c.cells then
-    error "cache %d: index %d out of range" id idx;
-  match c.cells.(idx) with
-  | VUnit -> error "cache %d: slot %d read before write" id idx
-  | v -> v
+  (match c.s with
+  | Boxed cells ->
+    if idx < 0 || idx >= Array.length cells then
+      error "cache %d: index %d out of range" id idx
+  | Floats (cells, _) ->
+    if idx < 0 || idx >= Array.length cells then
+      error "cache %d: index %d out of range" id idx);
+  match c.s with
+  | Boxed cells -> (
+    match cells.(idx) with
+    | VUnit -> error "cache %d: slot %d read before write" id idx
+    | v -> v)
+  | Floats (cells, written) ->
+    if Bytes.get written idx = '\000' then
+      error "cache %d: slot %d read before write" id idx;
+    VFloat cells.(idx)
 
 let free t ~id =
   let c = get_cache t id in
   c.freed <- true;
-  c.cells <- [||]
+  t.live_cells <- t.live_cells - c.nwritten;
+  c.nwritten <- 0;
+  c.s <- Boxed [||]
+
+let cells_written t = t.cells_written
+let live_cells t = t.live_cells
+let peak_cells t = t.peak_cells
 
 (* -- checkpoint support ------------------------------------------------ *)
 
 (** All caches allocated so far, in id order, as [(cells, freed)]. Cells
-    are copied so the caller owns a stable snapshot. *)
+    are copied (unboxed floats are boxed) so the caller owns a stable
+    snapshot independent of the cache representation. *)
 let export t =
   Array.init t.n (fun i ->
       let c = t.table.(i) in
-      (Array.copy c.cells, c.freed))
+      match c.s with
+      | Boxed cells -> (Array.copy cells, c.freed)
+      | Floats (cells, written) ->
+        ( Array.init (Array.length cells) (fun j ->
+              if Bytes.get written j = '\001' then VFloat cells.(j) else VUnit),
+          c.freed ))
 
 (** Replace the whole table with [blocks] (as produced by {!export});
     cache ids are reassigned densely from 0 so a restored run hands out
-    the same ids the snapshotted run did. *)
+    the same ids the snapshotted run did. Occupancy counters are rebuilt
+    from the snapshot. *)
 let restore t blocks =
   let n = Array.length blocks in
-  let dummy = { cells = [||]; freed = true } in
-  let table = Array.make (max 8 n) dummy in
-  Array.iteri (fun i (cells, freed) -> table.(i) <- { cells; freed }) blocks;
+  let table =
+    Array.init (max 8 n) (fun _ ->
+        { s = Boxed [||]; freed = true; nwritten = 0 })
+  in
+  t.live_cells <- 0;
+  Array.iteri
+    (fun i (cells, freed) ->
+      let nwritten =
+        Array.fold_left (fun acc v -> if v = VUnit then acc else acc + 1) 0 cells
+      in
+      table.(i) <- { s = Boxed cells; freed; nwritten };
+      if not freed then t.live_cells <- t.live_cells + nwritten)
+    blocks;
+  if t.live_cells > t.peak_cells then t.peak_cells <- t.live_cells;
   t.table <- table;
   t.n <- n

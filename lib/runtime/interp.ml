@@ -932,15 +932,30 @@ and intrinsic ctx e name args vals : Value.t * int =
   | "cache.new" ->
     charge c.alloc_base;
     VInt (Cache_rt.fresh ctx.cache ~capacity:(int_arg 0)), 0
+  | "cache.newf" ->
+    (* Unboxed [float array] cache (planner emits this for Ty.Float
+       slots): stores and loads are plain memory traffic, not boxed
+       cache bookkeeping, so they are charged at [mem], not
+       [cache_op]. *)
+    charge c.alloc_base;
+    VInt (Cache_rt.fresh ~unboxed:true ctx.cache ~capacity:(int_arg 0)), 0
   | "cache.set" ->
-    charge c.cache_op;
+    let id = int_arg 0 in
+    charge (if Cache_rt.is_unboxed ctx.cache ~id then c.mem else c.cache_op);
     st.cache_stores <- st.cache_stores + 1;
-    Cache_rt.set ctx.cache ~id:(int_arg 0) ~idx:(int_arg 1) (List.nth vals 2);
+    let before = Cache_rt.cells_written ctx.cache in
+    Cache_rt.set ctx.cache ~id ~idx:(int_arg 1) (List.nth vals 2);
+    if Cache_rt.cells_written ctx.cache > before then begin
+      st.cache_cells <- st.cache_cells + 1;
+      let peak = Cache_rt.peak_cells ctx.cache in
+      if peak > st.cache_peak then st.cache_peak <- peak
+    end;
     unit_
   | "cache.get" ->
-    charge c.cache_op;
+    let id = int_arg 0 in
+    charge (if Cache_rt.is_unboxed ctx.cache ~id then c.mem else c.cache_op);
     st.cache_loads <- st.cache_loads + 1;
-    Cache_rt.get ctx.cache ~id:(int_arg 0) ~idx:(int_arg 1), 0
+    Cache_rt.get ctx.cache ~id ~idx:(int_arg 1), 0
   | "cache.free" ->
     Cache_rt.free ctx.cache ~id:(int_arg 0);
     unit_

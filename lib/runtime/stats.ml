@@ -17,6 +17,8 @@ type t = {
   mutable message_cells : int;
   mutable cache_stores : int;
   mutable cache_loads : int;
+  mutable cache_cells : int;  (** distinct cache cells ever written *)
+  mutable cache_peak : int;  (** peak live cache footprint, in cells *)
   mutable tape_entries : int;
   mutable context_switches : int;
   (* fault injection (all zero on fault-free runs) *)
@@ -52,6 +54,8 @@ let create () =
     message_cells = 0;
     cache_stores = 0;
     cache_loads = 0;
+    cache_cells = 0;
+    cache_peak = 0;
     tape_entries = 0;
     context_switches = 0;
     send_retries = 0;
@@ -70,10 +74,10 @@ let pp ppf s =
   Fmt.pf ppf
     "instrs=%d flops=%d loads=%d stores=%d atomics=%d allocs=%d calls=%d \
      forks=%d barriers=%d tasks=%d msgs=%d msg_cells=%d cache_st=%d \
-     cache_ld=%d tape=%d"
+     cache_ld=%d cache_cells=%d cache_peak=%d tape=%d"
     s.instrs s.flops s.loads s.stores s.atomics s.allocs s.calls s.forks
     s.barriers s.tasks s.messages s.message_cells s.cache_stores s.cache_loads
-    s.tape_entries;
+    s.cache_cells s.cache_peak s.tape_entries;
   if
     s.send_retries + s.messages_lost + s.messages_duplicated
     + s.stalls_injected

@@ -170,4 +170,29 @@ grep -q "out of range" /tmp/parad-check.out || {
   exit 1
 }
 
+# ---- shared-memory overhead regression gate ----
+# The quick overhead figure still runs the headline "LULESH C++ OMP"
+# configuration at 64 threads; its gradient/forward ratio must stay at
+# or below the checked-in threshold (bench/overhead_threshold).
+
+echo "== overhead regression gate =="
+dune exec bench/main.exe -- --quick --figure overhead > /tmp/parad-bench.out 2>&1 || {
+  echo "FAIL: overhead benchmark did not run"
+  cat /tmp/parad-bench.out
+  exit 1
+}
+tail -n 20 /tmp/parad-bench.out
+THRESH=$(cat bench/overhead_threshold)
+OVH=$(grep -o '"name": "LULESH C++ OMP",[^}]*' BENCH_overhead.json \
+  | grep -o '"overhead": [0-9.]*' | awk '{print $2}')
+[ -n "$OVH" ] || {
+  echo "FAIL: no LULESH C++ OMP row in BENCH_overhead.json"
+  exit 1
+}
+awk -v o="$OVH" -v t="$THRESH" 'BEGIN { exit !(o <= t) }' || {
+  echo "FAIL: LULESH OMP 64-thread overhead ${OVH}x exceeds threshold ${THRESH}x"
+  exit 1
+}
+echo "overhead gate: ${OVH}x <= ${THRESH}x"
+
 echo "all checks passed"

@@ -305,6 +305,90 @@ let prop_gradient_survives_o2 =
         (fun a b -> Float.abs (a -. b) <= 1e-8 *. Float.max 1.0 (Float.abs a))
         ga gb)
 
+(* ---- pipeline idempotence + verifier cleanliness over the bundled
+   applications: o2 on every primal, post_ad on every generated
+   gradient, old passes and new (mem_forward v2, openmp_opt) alike.
+   Running a pipeline twice must be a no-op, and every intermediate
+   function must verify (run_on checks after each pass). ---- *)
+
+module L = Apps_lulesh.Lulesh
+module MB = Apps_minibude.Minibude
+
+let app_functions () =
+  let lulesh =
+    List.map
+      (fun fl -> L.flavor_name fl, L.program fl)
+      [ L.Seq; L.Omp; L.Raja_; L.Mpi; L.Hybrid; L.Jlmpi ]
+  in
+  let bude = MB.program () in
+  lulesh
+  @ [ "bude_seq", bude; "bude_omp", bude; "bude_julia", bude;
+      "bude_chunk_jl", bude ]
+
+let func_str p name = Printer.func_to_string (Prog.find_exn p name)
+
+let test_o2_idempotent () =
+  List.iter
+    (fun (name, prog) ->
+      List.iter
+        (fun (tag, passes) ->
+          let once = Pipe.run_on prog name passes in
+          Verifier.check_func (Prog.find_exn once name);
+          let twice = Pipe.run_on once name passes in
+          Alcotest.(check string)
+            (Printf.sprintf "%s %s idempotent" name tag)
+            (func_str once name) (func_str twice name))
+        [ "o2", Pipe.o2; "o2_openmp", Pipe.o2_openmp ])
+    (app_functions ())
+
+let test_post_ad_idempotent () =
+  List.iter
+    (fun (name, prog) ->
+      List.iter
+        (fun (tag, passes) ->
+          let dprog, dname = Parad_core.Reverse.gradient prog name in
+          let once = Pipe.run dprog passes in
+          List.iter Verifier.check_func (Prog.functions once);
+          let twice = Pipe.run once passes in
+          Alcotest.(check string)
+            (Printf.sprintf "%s %s idempotent" dname tag)
+            (func_str once dname) (func_str twice dname))
+        [ "post_ad", Pipe.post_ad; "post_ad_fuse", Pipe.post_ad_fuse ])
+    (app_functions ())
+
+(* ---- the post-AD pipeline must not perturb a single bit of the
+   gradient: optimized and unoptimized reverse passes accumulate the
+   same values in the same order ---- *)
+
+let bits_equal name (a : float array) (b : float array) =
+  Alcotest.(check int)
+    (name ^ " length") (Array.length a) (Array.length b);
+  Array.iteri
+    (fun i x ->
+      Alcotest.(check int64) (Printf.sprintf "%s[%d]" name i)
+        (Int64.bits_of_float x)
+        (Int64.bits_of_float b.(i)))
+    a
+
+let test_lulesh_grad_bit_identical () =
+  let inp = { L.nx = 3; ny = 3; nz = 8; niter = 2; dt0 = 0.01; escale = 1.0 } in
+  let g_opt = L.gradient ~nthreads:8 L.Omp inp in
+  let g_raw = L.gradient ~nthreads:8 ~post_opt:false L.Omp inp in
+  Array.iteri
+    (fun a xs -> bits_equal (Printf.sprintf "d_coords.%d" a) xs g_raw.L.d_coords.(a))
+    g_opt.L.d_coords;
+  Array.iteri
+    (fun r xs -> bits_equal (Printf.sprintf "d_energy.%d" r) xs g_raw.L.d_energy.(r))
+    g_opt.L.d_energy
+
+let test_bude_grad_bit_identical () =
+  let deck = MB.deck ~nposes:16 ~natlig:6 ~natpro:8 in
+  let g_opt = MB.gradient ~nthreads:8 MB.Omp deck in
+  let g_raw = MB.gradient ~nthreads:8 ~post_opt:false MB.Omp deck in
+  bits_equal "d_lig" g_opt.MB.d_lig g_raw.MB.d_lig;
+  bits_equal "d_pro" g_opt.MB.d_pro g_raw.MB.d_pro;
+  bits_equal "d_poses" g_opt.MB.d_poses g_raw.MB.d_poses
+
 let () =
   Alcotest.run "opt"
     [
@@ -317,6 +401,16 @@ let () =
             test_parallel_load_hoisting;
           Alcotest.test_case "fork fusion" `Quick test_fork_fusion;
           Alcotest.test_case "inline" `Quick test_inline;
+        ] );
+      ( "pipelines",
+        [
+          Alcotest.test_case "o2 idempotent on apps" `Quick test_o2_idempotent;
+          Alcotest.test_case "post_ad idempotent on app gradients" `Quick
+            test_post_ad_idempotent;
+          Alcotest.test_case "lulesh gradient bit-identical under post_ad"
+            `Quick test_lulesh_grad_bit_identical;
+          Alcotest.test_case "bude gradient bit-identical under post_ad"
+            `Quick test_bude_grad_bit_identical;
         ] );
       ( "props",
         [
