@@ -12,7 +12,8 @@ let ranks_of quick = if quick then [ 1; 4; 16; 64 ] else [ 1; 2; 8; 16; 32; 64 ]
 
 let run ~quick =
   header "Figure 8 — LULESH MPI: runtime, strong scaling, weak scaling";
-  let ranks = ranks_of quick in
+  let rmax = cli_ranks ~default:64 in
+  let ranks = List.filter (fun r -> r <= rmax) (ranks_of quick) in
   let nz = 64 in
   let base =
     {
@@ -24,13 +25,21 @@ let run ~quick =
       escale = 1.0;
     }
   in
+  (* the C++ MPI rows keep their full results: the adjoint-communication
+     counters go into BENCH_mpi.json and the counter table below *)
+  let cpp_fwd = List.map (fun n -> L.run ~nranks:n L.Mpi base) ranks in
+  let cpp_grad = List.map (fun n -> L.gradient ~nranks:n L.Mpi base) ranks in
+  let cpp_fwd_t = List.map (fun (r : L.run_result) -> r.L.makespan) cpp_fwd in
+  let cpp_grad_t =
+    List.map (fun (r : L.grad_result) -> r.L.g_makespan) cpp_grad
+  in
   let fwd flavor n = (L.run ~nranks:n flavor base).L.makespan in
   let grad flavor n = (L.gradient ~nranks:n flavor base).L.g_makespan in
   let series name f = name, List.map f ranks in
   let table =
     [
-      series "C++ MPI forward" (fwd L.Mpi);
-      series "C++ MPI gradient" (grad L.Mpi);
+      "C++ MPI forward", cpp_fwd_t;
+      "C++ MPI gradient", cpp_grad_t;
       series "Julia MPI forward" (fwd L.Jlmpi);
       series "Julia MPI gradient" (grad L.Jlmpi);
       series "RAJA MPI forward" (fwd L.RajaMpi);
@@ -38,6 +47,16 @@ let run ~quick =
       series "CoDiPack MPI gradient" (fun n -> lulesh_tape_gradient base ~nranks:n);
     ]
   in
+  let f1 = List.hd cpp_fwd_t and g1 = List.hd cpp_grad_t in
+  List.iteri
+    (fun i n ->
+      let gr = List.nth cpp_grad i in
+      record_mpi ~name:"lulesh_cpp_mpi" ~nranks:n ~coalesce:true
+        ~forward:(List.nth cpp_fwd_t i) ~gradient:gr.L.g_makespan
+        ~fwd_speedup:(f1 /. List.nth cpp_fwd_t i)
+        ~grad_speedup:(g1 /. gr.L.g_makespan)
+        ~stats:(Some gr.L.g_stats))
+    ranks;
   subheader "top row: runtime (virtual cycles) vs ranks";
   cols "ranks" ranks;
   List.iter (fun (n, ts) -> row_of_floats n ts) table;
@@ -69,4 +88,48 @@ let run ~quick =
       "C++ MPI gradient", L.Mpi, true;
       "Julia MPI gradient", L.Jlmpi, true;
       "RAJA MPI gradient", L.RajaMpi, true;
-    ]
+    ];
+  (* gated row: always the full-size mesh, so the strong-scaling
+     threshold scripts/check.sh compares against bench/mpi_threshold
+     means the same thing under --quick; plus the --no-coalesce
+     ablation (one blocking dual per exchange, the uncoalesced
+     baseline) at the same size *)
+  let last l = List.nth l (List.length l - 1) in
+  let gmax = last ranks in
+  let gate_inp = { base with L.nx = 4; ny = 4 } in
+  let gate_fwd n = L.run ~nranks:n L.Mpi gate_inp
+  and gate_grad ?opts n = L.gradient ?opts ~nranks:n L.Mpi gate_inp in
+  let gf1, gg1, gfn, ggn =
+    if quick then
+      ( (gate_fwd 1).L.makespan,
+        (gate_grad 1).L.g_makespan,
+        gate_fwd gmax,
+        gate_grad gmax )
+    else (f1, g1, last cpp_fwd, last cpp_grad)
+  in
+  record_mpi ~name:"lulesh_cpp_mpi_gate" ~nranks:gmax ~coalesce:true
+    ~forward:gfn.L.makespan ~gradient:ggn.L.g_makespan
+    ~fwd_speedup:(gf1 /. gfn.L.makespan)
+    ~grad_speedup:(gg1 /. ggn.L.g_makespan)
+    ~stats:(Some ggn.L.g_stats);
+  let nc_opts =
+    { Parad_core.Plan.default_options with coalesce_comm = false }
+  in
+  let ggn_nc = gate_grad ~opts:nc_opts gmax in
+  record_mpi ~name:"lulesh_cpp_mpi_gate" ~nranks:gmax ~coalesce:false
+    ~forward:gfn.L.makespan ~gradient:ggn_nc.L.g_makespan
+    ~fwd_speedup:(gf1 /. gfn.L.makespan)
+    ~grad_speedup:(gg1 /. ggn_nc.L.g_makespan)
+    ~stats:(Some ggn_nc.L.g_stats);
+  subheader
+    (Printf.sprintf "adjoint-communication counters (%d ranks, full size)"
+       gmax);
+  Printf.printf "%-24s %12s %12s %12s %12s\n" "config" "gradient"
+    "msgs_sent" "cells_sent" "max_inflight";
+  let counter_row name (g : L.grad_result) =
+    Printf.printf "%-24s %12.3g %12d %12d %12d\n" name g.L.g_makespan
+      g.L.g_stats.S.msgs_sent g.L.g_stats.S.cells_sent
+      g.L.g_stats.S.max_inflight
+  in
+  counter_row "coalesced" ggn;
+  counter_row "--no-coalesce" ggn_nc

@@ -11,7 +11,7 @@ module Pipe = Parad_opt.Pipeline
 
 let run ~quick =
   header "Overhead summary at 64 threads/ranks (abstract / Table 1 analog)";
-  let n = if quick then 32 else 64 in
+  let n = cli_ranks ~default:(if quick then 32 else 64) in
   Printf.printf "%-28s %12s %12s %10s %12s %12s\n" "configuration" "forward"
     "gradient" "overhead" "cache-cells" "cache-peak";
   let line name ~nranks ~nthreads fwd grad stats =

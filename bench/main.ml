@@ -99,4 +99,5 @@ let () =
     List.iter (fun (_, f) -> f ~quick) figures;
     micro ~quick);
   Util.write_bench_json ~quick;
+  Util.write_mpi_json ~quick;
   Printf.printf "\nbench: done.\n"

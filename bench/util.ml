@@ -17,6 +17,20 @@ let cli_int flag ~default =
   in
   find 1
 
+(* optional [--ranks N] for the MPI figure drivers; the simulated
+   communicator uses recursive-doubling collectives, so N must be a
+   power of two *)
+let cli_ranks ~default =
+  let n = cli_int "--ranks" ~default in
+  if n <= 0 || n land (n - 1) <> 0 then begin
+    Printf.eprintf
+      "bench: --ranks must be a power of two (got %d); the simulated \
+       communicator uses recursive-doubling collectives\n"
+      n;
+    exit 2
+  end;
+  n
+
 let subheader t = Printf.printf "--- %s ---\n" t
 
 let row_of_floats name xs =
@@ -84,6 +98,78 @@ let record_overhead ~name ~nranks ~nthreads ~forward ~gradient ~stats =
     :: !ovh_records
 
 let record_micro ~name ~ns = micro_records := (name, ns) :: !micro_records
+
+(* ---- machine-readable MPI-scaling results (BENCH_mpi.json) ----
+
+   Fig 8 appends one record per (rank count, coalescing) config; the
+   main driver writes them out at exit. Line-oriented for the same
+   reason as BENCH_overhead.json: scripts/check.sh's MPI strong-scaling
+   gate greps the 64-rank gate row and compares the speedups against
+   bench/mpi_threshold. *)
+
+type mpi_record = {
+  m_name : string;
+  m_nranks : int;
+  m_coalesce : bool;
+  m_forward : float;
+  m_gradient : float;
+  m_fwd_speedup : float;
+  m_grad_speedup : float;
+  m_msgs_sent : int;
+  m_cells_sent : int;
+  m_max_inflight : int;
+}
+
+let mpi_records : mpi_record list ref = ref []
+
+let record_mpi ~name ~nranks ~coalesce ~forward ~gradient ~fwd_speedup
+    ~grad_speedup ~stats =
+  let m_msgs_sent, m_cells_sent, m_max_inflight =
+    match (stats : S.t option) with
+    | Some s -> s.S.msgs_sent, s.S.cells_sent, s.S.max_inflight
+    | None -> 0, 0, 0
+  in
+  mpi_records :=
+    {
+      m_name = name;
+      m_nranks = nranks;
+      m_coalesce = coalesce;
+      m_forward = forward;
+      m_gradient = gradient;
+      m_fwd_speedup = fwd_speedup;
+      m_grad_speedup = grad_speedup;
+      m_msgs_sent;
+      m_cells_sent;
+      m_max_inflight;
+    }
+    :: !mpi_records
+
+let write_mpi_json ~quick =
+  if !mpi_records <> [] then begin
+    let path = "BENCH_mpi.json" in
+    let oc = open_out path in
+    Printf.fprintf oc
+      "{\n  \"schema\": \"parad-bench-mpi/1\",\n  \"quick\": %b,\n\
+      \  \"configs\": [\n"
+      quick;
+    let rows = List.rev !mpi_records in
+    let last = List.length rows - 1 in
+    List.iteri
+      (fun i r ->
+        Printf.fprintf oc
+          "    {\"name\": %S, \"nranks\": %d, \"coalesce\": %b, \
+           \"forward\": %.6g, \"gradient\": %.6g, \"fwd_speedup\": %.4f, \
+           \"grad_speedup\": %.4f, \"msgs_sent\": %d, \"cells_sent\": %d, \
+           \"max_inflight\": %d}%s\n"
+          r.m_name r.m_nranks r.m_coalesce r.m_forward r.m_gradient
+          r.m_fwd_speedup r.m_grad_speedup r.m_msgs_sent r.m_cells_sent
+          r.m_max_inflight
+          (if i = last then "" else ","))
+      rows;
+    Printf.fprintf oc "  ]\n}\n";
+    close_out oc;
+    Printf.printf "wrote %s (%d configs)\n" path (List.length rows)
+  end
 
 let write_bench_json ~quick =
   if !ovh_records <> [] || !micro_records <> [] then begin

@@ -97,8 +97,40 @@ let flavor_arg =
     & opt (enum lulesh_flavors) L.Seq
     & info [ "flavor" ] ~doc:"lulesh variant: seq|omp|raja|mpi|hybrid|julia")
 
+(* The simulated communicator builds recursive-doubling collectives and
+   halo decompositions that assume a power-of-two communicator; reject
+   anything else up front with a clear message instead of failing deep in
+   the run. *)
+let pow2_ranks_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | None -> Error (`Msg (Printf.sprintf "invalid rank count %S" s))
+    | Some n when n > 0 && n land (n - 1) = 0 -> Ok n
+    | Some n ->
+      Error
+        (`Msg
+           (Printf.sprintf
+              "--ranks must be a power of two (got %d); the simulated \
+               communicator uses recursive-doubling collectives"
+              n))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
 let ranks_arg =
-  Arg.(value & opt int 1 & info [ "ranks" ] ~doc:"MPI ranks (simulated)")
+  Arg.(
+    value
+    & opt pow2_ranks_conv 1
+    & info [ "ranks" ] ~doc:"MPI ranks (simulated; must be a power of two)")
+
+let no_coalesce_arg =
+  Arg.(
+    value & flag
+    & info [ "no-coalesce" ]
+        ~doc:
+          "disable adjoint-communication coalescing (ablation): the reverse \
+           sweep answers each forward exchange with its own blocking \
+           adjoint message instead of batching per-destination packed \
+           messages")
 
 let threads_arg =
   Arg.(value & opt int 1 & info [ "threads" ] ~doc:"OpenMP threads (simulated)")
@@ -141,7 +173,7 @@ let recompute_depth_arg =
            the reverse sweep (the abl-mincut knob)")
 
 let grad_cmd =
-  let run flavor ranks threads size iters recompute_depth =
+  let run flavor ranks threads size iters recompute_depth no_coalesce =
     let inp =
       {
         L.nx = size;
@@ -153,7 +185,11 @@ let grad_cmd =
       }
     in
     let opts =
-      { Parad_core.Plan.default_options with Parad_core.Plan.recompute_depth }
+      {
+        Parad_core.Plan.default_options with
+        Parad_core.Plan.recompute_depth;
+        coalesce_comm = not no_coalesce;
+      }
     in
     guarded (fun () ->
         let p = L.run ~nranks:ranks ~nthreads:threads flavor inp in
@@ -172,7 +208,7 @@ let grad_cmd =
     (Cmd.info "grad" ~doc:"differentiate a LULESH variant and report overhead")
     Term.(
       const run $ flavor_arg $ ranks_arg $ threads_arg $ size_arg $ iters_arg
-      $ recompute_depth_arg)
+      $ recompute_depth_arg $ no_coalesce_arg)
 
 let check_cmd =
   let run () =
@@ -258,10 +294,16 @@ let parse_plan_spec ~seed ~victim ~at ~ranks spec =
 let faults_cmd =
   let plan_arg = plan_spec_arg ~default:"drop-retry" in
   let run app plan_name flavor ranks threads size iters seed victim at primal
-      dry_run =
+      dry_run no_coalesce =
     let plan = parse_plan_spec ~seed ~victim ~at ~ranks plan_name in
     Format.printf "%a@." Faults.pp_plan plan;
     if dry_run then exit 0;
+    let opts =
+      {
+        Parad_core.Plan.default_options with
+        Parad_core.Plan.coalesce_comm = not no_coalesce;
+      }
+    in
     match app with
     | `Bude ->
       (* miniBUDE has no message-passing variant: the plan gates MPI
@@ -312,7 +354,7 @@ let faults_cmd =
          end
          else begin
            let g =
-             L.gradient ~nranks:ranks ~nthreads:threads ~faults:plan
+             L.gradient ~nranks:ranks ~nthreads:threads ~opts ~faults:plan
                ~mpi_ref flavor inp
            in
            let d = g.L.d_energy.(0) in
@@ -347,7 +389,7 @@ let faults_cmd =
     Term.(
       const run $ app_arg $ plan_arg $ flavor_arg $ ranks_arg $ threads_arg
       $ size_arg $ iters_arg $ seed_arg $ victim_arg $ at_arg $ primal_arg
-      $ dry_run_arg)
+      $ dry_run_arg $ no_coalesce_arg)
 
 (* ---- checkpoint/restart: run an application under a fault plan with
    the supervised driver, so a killed rank triggers restore-and-replay

@@ -267,18 +267,17 @@ let emit_body flavor b (m : bufs) ~niter ~dt0 =
           done);
       (* 3. ghost exchange of boundary-plane force contributions *)
       if uses_mpi flavor then begin
-        let pack plane_base =
+        let mkbuf () =
+          if julia flavor then Jla (Jl.zeros b np3)
+          else Raw (B.alloc b Ty.Float np3)
+        in
+        let pack_into buf plane_base =
           (* pack fx,fy,fz of a node plane into one buffer *)
-          let buf =
-            if julia flavor then Jla (Jl.zeros b np3)
-            else Raw (B.alloc b Ty.Float np3)
-          in
           B.for_n b np (fun i ->
               let n = B.add b plane_base i in
               st b buf i (ld b fx n);
               st b buf (B.add b i np) (ld b fy n);
-              st b buf (B.add b i (B.mul b np (B.i64 b 2))) (ld b fz n));
-          buf
+              st b buf (B.add b i (B.mul b np (B.i64 b 2))) (ld b fz n))
         in
         let unpack_add plane_base buf =
           B.for_n b np (fun i ->
@@ -292,43 +291,63 @@ let emit_body flavor b (m : bufs) ~niter ~dt0 =
               add fz (ld b buf (B.add b i (B.mul b np (B.i64 b 2)))))
         in
         let tag = B.i64 b 11 in
-        let comm plane_base peer =
-          (* send my contribution on the shared plane, receive the
-             neighbour's, add it in *)
-          if julia flavor then begin
-            let sendb =
-              match pack plane_base with Jla a -> a | Raw _ -> assert false
-            in
-            let recvb = Jl.zeros b np3 in
-            let sreq = Jl.isend b sendb ~dst:peer ~tag in
-            let rreq = Jl.irecv b recvb ~src:peer ~tag in
-            Jl.wait b sreq;
-            Jl.wait b rreq;
-            unpack_add plane_base (Jla recvb)
-          end
-          else begin
-            let sendb = pack plane_base in
-            let recvb = Raw (B.alloc b Ty.Float np3) in
-            let sp = match sendb with Raw p -> p | _ -> assert false in
-            let rp = match recvb with Raw p -> p | _ -> assert false in
-            (* requests kept in an array and waited in a loop (LULESH's
-               CommSend/CommSBN structure) *)
-            let reqs = B.alloc b Ty.Int (B.i64 b 2) in
-            let sreq = B.call b ~ret:Ty.Int "mpi.isend" [ sp; np3; peer; tag ] in
-            B.store b reqs i0 sreq;
-            let rreq = B.call b ~ret:Ty.Int "mpi.irecv" [ rp; np3; peer; tag ] in
-            B.store b reqs (B.i64 b 1) rreq;
-            B.for_n b (B.i64 b 2) (fun r ->
-                ignore
-                  (B.call b ~ret:Ty.Unit "mpi.wait" [ B.load b reqs r ]));
-            unpack_add plane_base recvb;
-            B.free b reqs;
-            B.free b sp;
-            B.free b rp
-          end
+        (* Post-all-then-wait-all, LULESH's CommSend/CommSBN structure:
+           both planes' isend/irecv are in flight before either side
+           waits.  Waiting per side before posting the other would chain
+           rank r's hi exchange behind rank r+1's lo exchange and
+           serialise the halo into a wave down the whole communicator.
+           Requests cross the conditional scopes through the [reqs]
+           array: slots are lo-send, lo-recv, hi-send, hi-recv.  The
+           Julia flavor takes one GC.@preserve over the whole exchange
+           (as MPI.jl users write around nonblocking code) instead of a
+           token per request: preserve tokens are matched symbolically
+           by the reverse pass, so they cannot round-trip through
+           memory the way request handles can. *)
+        let lo_send = mkbuf () and lo_recv = mkbuf () in
+        let hi_send = mkbuf () and hi_recv = mkbuf () in
+        let bufptr = function
+          | Raw p -> p
+          | Jla a -> Jl.data b a
         in
-        B.when_ b has_lo (fun () -> comm i0 (B.sub b rank (B.i64 b 1)));
-        B.when_ b has_hi (fun () -> comm hi_plane_base (B.add b rank (B.i64 b 1)))
+        let tok =
+          if julia flavor then
+            Some
+              (B.call b ~ret:Ty.Int "gc.preserve_begin"
+                 (List.map bufptr [ lo_send; lo_recv; hi_send; hi_recv ]))
+          else None
+        in
+        let reqs = B.alloc b Ty.Int (B.i64 b 4) in
+        let slot k = B.i64 b k in
+        let post plane_base side sendb recvb peer =
+          pack_into sendb plane_base;
+          let sp = bufptr sendb and rp = bufptr recvb in
+          B.store b reqs (slot side)
+            (B.call b ~ret:Ty.Int "mpi.isend" [ sp; np3; peer; tag ]);
+          B.store b reqs (slot (side + 1))
+            (B.call b ~ret:Ty.Int "mpi.irecv" [ rp; np3; peer; tag ])
+        in
+        let complete plane_base side recvb =
+          ignore
+            (B.call b ~ret:Ty.Unit "mpi.wait" [ B.load b reqs (slot side) ]);
+          ignore
+            (B.call b ~ret:Ty.Unit "mpi.wait"
+               [ B.load b reqs (slot (side + 1)) ]);
+          unpack_add plane_base recvb
+        in
+        let lo_peer = B.sub b rank (B.i64 b 1)
+        and hi_peer = B.add b rank (B.i64 b 1) in
+        B.when_ b has_lo (fun () -> post i0 0 lo_send lo_recv lo_peer);
+        B.when_ b has_hi (fun () ->
+            post hi_plane_base 2 hi_send hi_recv hi_peer);
+        B.when_ b has_lo (fun () -> complete i0 0 lo_recv);
+        B.when_ b has_hi (fun () -> complete hi_plane_base 2 hi_recv);
+        (match tok with
+        | Some t -> ignore (B.call b ~ret:Ty.Unit "gc.preserve_end" [ t ])
+        | None -> ());
+        B.free b reqs;
+        List.iter
+          (fun buf -> match buf with Raw p -> B.free b p | Jla _ -> ())
+          [ lo_send; lo_recv; hi_send; hi_recv ]
       end;
       (* 4. acceleration, velocity, position integration *)
       pfor flavor b ~hi:m.nn (fun n ->
@@ -664,7 +683,13 @@ type grad_result = {
 let gradient ?(nthreads = 1) ?(nranks = 1)
     ?(opts = Parad_core.Plan.default_options) ?(post_opt = true) ?(pre = [])
     ?faults ?mpi_ref ?san ?inject_nan flavor (inp : input) : grad_result =
-  let cfg = { Interp.default_config with nthreads } in
+  let cfg =
+    {
+      Interp.default_config with
+      nthreads;
+      coalesce = opts.Parad_core.Plan.coalesce_comm;
+    }
+  in
   let prog = program flavor in
   let prog =
     if pre = [] then prog
@@ -751,7 +776,13 @@ let gradient_recoverable ?(nthreads = 1) ?(nranks = 1)
     ?(opts = Parad_core.Plan.default_options) ?(post_opt = true) ?(pre = [])
     ?faults ?mpi_ref ?san ?max_restarts flavor (inp : input) :
     grad_result * Exec.recovery =
-  let cfg = { Interp.default_config with nthreads } in
+  let cfg =
+    {
+      Interp.default_config with
+      nthreads;
+      coalesce = opts.Parad_core.Plan.coalesce_comm;
+    }
+  in
   let prog = program flavor in
   let prog = if pre = [] then prog else Parad_opt.Pipeline.run prog pre in
   let dprog, dname =

@@ -55,6 +55,12 @@ type options = {
   recompute_depth : int;
       (** maximum height of a recomputed chain before caching wins; 0
           caches everything (the "cache-all" ablation baseline) *)
+  coalesce_comm : bool;
+      (** emit batched nonblocking duals ([mpi.adj_send_post] /
+          [mpi.adj_recv_post] + [mpi.adj_waitall]) for blocking adjoint
+          exchanges, so the runtime can coalesce them into packed
+          messages; off emits the one-blocking-dual-per-exchange form
+          (the [--no-coalesce] ablation baseline) *)
   prefix : string;  (** prefix for generated function names *)
 }
 
@@ -63,6 +69,7 @@ let default_options =
     atomic_always = false;
     assume_private = false;
     recompute_depth = 10;
+    coalesce_comm = true;
     prefix = "";
   }
 

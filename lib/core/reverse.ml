@@ -495,6 +495,16 @@ type rstate = {
       (* this reverse half runs as a task, concurrently with its siblings:
          shadows of anything shared (parameters, escaped memory) must be
          accumulated atomically (§VI-A1) *)
+  mutable pend_sends : bool;
+      (* coalesce_comm: adjoint send-duals posted ([mpi.adj_send_post])
+         whose accumulation a [mpi.adj_waitall] has not yet completed.
+         Only runs of consecutive [mpi.send] reversals batch — any other
+         reversal statement (which could read or accumulate the deferred
+         adjoint) emits the waitall first, preserving bit-identity with
+         the blocking form *)
+  mutable in_remat : bool;
+      (* inside an ARecomp recompute chain: [parad.remat_begin]/[_end]
+         markers are emitted only at the outermost chain *)
 }
 
 let child_scope sc ~idxs ?(fork = sc.rfork) ?(dlocal = sc.dlocal) () =
@@ -553,7 +563,22 @@ let rec resolve rs sc (k : Plan.key) : Var.t =
       | Some (ACache (ord, d)) ->
         B.call b ~ret:(Plan.key_ty st.p k) "cache.get"
           [ st.cache_h.(ord); idx_at sc.ridxs d ]
-      | Some ARecomp -> recompute rs sc k
+      | Some ARecomp ->
+        (* bracket the outermost recomputed chain so the runtime charges
+           the cheaper re-evaluation rate for its transcendentals (a
+           recomputation repeats work whose operands are register- or
+           cache-hot; see Cost_model.transcendental_remat). Chains are
+           straight-line — no blocking op can interleave another strand's
+           work between the markers. *)
+        if rs.in_remat then recompute rs sc k
+        else begin
+          rs.in_remat <- true;
+          ignore (B.call b ~ret:Ty.Unit "parad.remat_begin" []);
+          let v = recompute rs sc k in
+          ignore (B.call b ~ret:Ty.Unit "parad.remat_end" []);
+          rs.in_remat <- false;
+          v
+        end
     in
     Hashtbl.replace sc.memo k v;
     v
@@ -676,10 +701,33 @@ let accum_mem rs sc ~(primal_ptr : Var.t) (sp : Var.t) (ix : Var.t) (dv : Var.t)
   end
 
 let rec rev_emit rs sc ?if_results (nodes : anode list) =
-  List.iter (rev_node rs sc ?if_results) (List.rev nodes)
+  List.iter (rev_node rs sc ?if_results) (List.rev nodes);
+  (* close this scope's batch of adjoint send-duals before control leaves
+     it: a batch must never span a structural boundary — a waitall emitted
+     in a sibling scope (e.g. the other arm of an If) would run on a path
+     the posts never took, leaving them forever incomplete on the path
+     that posted them *)
+  if rs.pend_sends then begin
+    ignore (B.call rs.fs.b ~ret:Ty.Unit "mpi.adj_waitall" []);
+    rs.pend_sends <- false
+  end
 
 and rev_node rs sc ?if_results { occ; ins; subs } =
   let b = rs.fs.b in
+  (* complete any batched adjoint send-duals before a statement that could
+     read or accumulate their still-deferred adjoints; only runs of
+     consecutive sends batch (statements that provably emit no reverse
+     work are transparent). [mpi.adj_waitall] completes every registered
+     expectation, so emitting it on a path the posts did not take is a
+     harmless no-op. *)
+  (match ins with
+  | Call (_, "mpi.send", _) -> ()
+  | Const _ | Cmp _ | Gep _ | Free _ | Return _ -> ()
+  | _ ->
+    if rs.pend_sends then begin
+      ignore (B.call b ~ret:Ty.Unit "mpi.adj_waitall" []);
+      rs.pend_sends <- false
+    end);
   let rval v = resolve rs sc (KVal (Var.id v)) in
   let rshadow v = resolve rs sc (KShadow (Var.id v)) in
   let raux slot = resolve rs sc (KAux (occ, slot)) in
@@ -923,12 +971,17 @@ and rev_call rs sc ~occ v name args =
       ignore (B.call b ~ret:Ty.Unit "mpi.adj_irecv_finish" [ raux 0 ])
     | "mpi.wait", _ -> ignore (B.call b ~ret:Ty.Unit "mpi.adj_wait" [ raux 0 ])
     | "mpi.send", [ p; n; dst; tag ] ->
+      let coal = rs.fs.p.opts.coalesce_comm in
+      if coal then rs.pend_sends <- true;
       ignore
-        (B.call b ~ret:Ty.Unit "mpi.adj_send"
+        (B.call b ~ret:Ty.Unit
+           (if coal then "mpi.adj_send_post" else "mpi.adj_send")
            [ rshadow p; rval n; rval dst; rval tag ])
     | "mpi.recv", [ p; n; src; tag ] ->
       ignore
-        (B.call b ~ret:Ty.Unit "mpi.adj_recv"
+        (B.call b ~ret:Ty.Unit
+           (if rs.fs.p.opts.coalesce_comm then "mpi.adj_recv_post"
+            else "mpi.adj_recv")
            [ rshadow p; rval n; rval src; rval tag ])
     | "mpi.allreduce_sum", [ s; r; n ] ->
       ignore
@@ -1100,7 +1153,15 @@ let emit_combined eng (f : Func.t) (p : Plan.t) dname =
   let var_count = f.var_count in
   let dreg = B.alloc b Ty.Float (B.i64 b var_count) in
   let rs =
-    { fs = st; race; dreg; prestok = Hashtbl.create 4; task_mode = false }
+    {
+      fs = st;
+      race;
+      dreg;
+      prestok = Hashtbl.create 4;
+      task_mode = false;
+      pend_sends = false;
+      in_remat = false;
+    }
   in
   let root =
     {
@@ -1221,6 +1282,8 @@ let emit_split eng gname =
         dreg;
         prestok = Hashtbl.create 4;
         task_mode = e.spawned;
+        pend_sends = false;
+        in_remat = false;
       }
     in
     let idx0 = B.i64 b 0 in

@@ -300,6 +300,44 @@ let run_func (f : Func.t) : Func.t =
               | None -> None)
             | Unk -> None
           in
+          (* Reuse an existing result whose then/else yields already carry
+             exactly these merged values — typically a phi a previous run
+             of this pass materialized.  Without this, re-running the pass
+             re-promotes the same cells into fresh results every time and
+             the post-AD pipeline stops being idempotent. *)
+          let matches a y =
+            match a with
+            | Val v -> same_val v y
+            | Zero -> is_plus_zero y
+            | Unk -> false
+          in
+          let reuse =
+            let yields (r : Instr.region) =
+              match List.rev r.Instr.body with
+              | Instr.Yield vs :: _ -> Some vs
+              | _ -> None
+            in
+            match yields t', yields e' with
+            | Some yt, Some ye ->
+              fun ty mt me ->
+                let rec find rs yt ye =
+                  match rs, yt, ye with
+                  | r :: _, a :: _, bv :: _
+                    when Var.ty r = ty && matches mt a && matches me bv ->
+                    Some r
+                  | _ :: rs', _ :: yt', _ :: ye' -> find rs' yt' ye'
+                  | _ -> None
+                in
+                find rs yt ye
+            | _ -> fun _ _ _ -> None
+          in
+          let aval_eq a bv =
+            match a, bv with
+            | Val x, Val y -> same_val x y
+            | Zero, Zero -> true
+            | _ -> false
+          in
+          let created = ref [] in
           let tpre = ref [] and epre = ref [] in
           List.iter
             (fun (key, mt, me) ->
@@ -308,14 +346,26 @@ let run_func (f : Func.t) : Func.t =
                 | Val v, _ | _, Val v -> Var.ty v
                 | _ -> Ty.Float
               in
-              match materialize tpre ty mt, materialize epre ty me with
-              | Some vt, Some ve ->
-                let r = fresh ctx ty "mf.phi" in
-                extra_res := r :: !extra_res;
-                extra_t := vt :: !extra_t;
-                extra_e := ve :: !extra_e;
-                IH.replace known key (Val r)
-              | _ -> ())
+              match reuse ty mt me with
+              | Some r -> IH.replace known key (Val r)
+              | None -> (
+                match
+                  List.find_opt
+                    (fun (ty', mt', me', _) ->
+                      ty = ty' && aval_eq mt mt' && aval_eq me me')
+                    !created
+                with
+                | Some (_, _, _, r) -> IH.replace known key (Val r)
+                | None -> (
+                  match materialize tpre ty mt, materialize epre ty me with
+                  | Some vt, Some ve ->
+                    let r = fresh ctx ty "mf.phi" in
+                    extra_res := r :: !extra_res;
+                    extra_t := vt :: !extra_t;
+                    extra_e := ve :: !extra_e;
+                    created := (ty, mt, me, r) :: !created;
+                    IH.replace known key (Val r)
+                  | _ -> ())))
             !promote;
           let extend (r : Instr.region) pre extras =
             match List.rev r.Instr.body with

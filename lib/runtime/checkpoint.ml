@@ -188,13 +188,19 @@ let take session ~mem ~cache ~mpi ~roots ~id =
         "parad.checkpoint %d: rank %d is inside open collective #%d; \
          checkpoints must sit between completed collectives"
         id rank seq
-    | None -> ()));
+    | None -> ());
+    if not (Mpi_state.adj_idle m ~rank) then
+      error
+        "parad.checkpoint %d: rank %d has staged adjoint chunks or \
+         unfulfilled adjoint expectations; flush and complete coalesced \
+         adjoint communication before checkpointing"
+        id rank);
   let shadows =
     match mpi with Some m -> Mpi_state.export_shadows m ~rank | None -> []
   in
   List.iter
     (fun (sid, (s : Mpi_state.shadow_req)) ->
-      if s.srev <> None || s.stmp <> None then
+      if s.srev <> None || s.stmp <> None || s.sexp <> None || s.sstaged then
         error
           "parad.checkpoint %d: rank %d: shadow request %d is mid-reverse; \
            checkpoints inside the reverse sweep are unsupported"
@@ -449,6 +455,8 @@ let restore session ~mem ~cache ~mpi ~id =
                  stag;
                  srev = None;
                  stmp = None;
+                 sexp = None;
+                 sstaged = false;
                } ))
     in
     Mpi_state.restore_rank m ~rank ~next_req ~next_shadow ~coll_seq ~shadows

@@ -11,6 +11,11 @@
 type t = {
   arith : float;  (** add/sub/mul/div/min/max, compares, selects, geps *)
   transcendental : float;  (** sqrt/sin/cos/exp/log/pow *)
+  transcendental_remat : float;
+      (** the same unit when re-evaluated inside a rematerialization chain
+          of the reverse sweep: the recomputed expression is straight-line
+          and independent, so a superscalar core overlaps it with the
+          surrounding adjoint arithmetic instead of paying full latency *)
   mem : float;  (** load/store of one cell, same socket *)
   numa_remote_mult : float;  (** multiplier for cross-socket cell access *)
   atomic : float;  (** atomic read-modify-write *)
@@ -44,6 +49,7 @@ let default =
   {
     arith = 1.0;
     transcendental = 12.0;
+    transcendental_remat = 4.0;
     mem = 3.0;
     numa_remote_mult = 2.2;
     atomic = 18.0;
@@ -86,3 +92,27 @@ let fork_cost t ~width = t.fork_base +. (t.fork_per_thread *. float_of_int width
 let message_cost t ~cells ~remote =
   let c = t.mpi_latency +. (t.mpi_per_cell *. float_of_int cells) in
   if remote then c *. t.numa_remote_mult else c
+
+(** Cost of one [count]-cell collective over [nranks] ranks, modelled as
+    recursive doubling: ceil(log2 n) pairwise exchange stages, where stage
+    [s] pairs rank [r] with [r XOR 2^s]. Under [socket_of]'s split (lower
+    half of a spread job on socket 0, upper half on socket 1) only the
+    top-bit stage crosses sockets, so exactly one stage pays the NUMA
+    multiplier — the earlier model charged every stage remote and doubled
+    the stage count, serializing round-trips the network genuinely
+    overlaps. Returns the cost together with the modelled message count
+    (one per stage) so callers keep the stats honest. *)
+let collective_cost t ~nranks ~count =
+  if nranks <= 1 then 0.0, 0
+  else begin
+    let stages = int_of_float (Float.ceil (log2f (float_of_int nranks))) in
+    let spread = nranks >= t.numa_spread_threshold in
+    let c = ref 0.0 in
+    for s = 0 to stages - 1 do
+      (* the top-bit exchange pairs the two halves of the job; with the
+         job split at nranks/2 that is the only cross-socket stage *)
+      let remote = spread && s = stages - 1 in
+      c := !c +. message_cost t ~cells:count ~remote
+    done;
+    !c, stages
+  end

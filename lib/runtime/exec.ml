@@ -84,7 +84,10 @@ let run_spmd ?(cfg = Interp.default_config) ?instrument ?faults ?mpi_ref ?san
   let values = Array.make nranks VUnit in
   let (), makespan, stats =
     Sim.run ~cost:cfg.Interp.cost ~stats (fun () ->
-        let mpi = Mpi_state.create ~cost:cfg.Interp.cost ~nranks ?faults () in
+        let mpi =
+          Mpi_state.create ~cost:cfg.Interp.cost ~nranks ?faults
+            ~coalesce:cfg.Interp.coalesce ()
+        in
         (match mpi_ref with Some r -> r := Some mpi | None -> ());
         let ctxs =
           Array.init nranks (fun rank ->
@@ -102,6 +105,9 @@ let run_spmd ?(cfg = Interp.default_config) ?instrument ?faults ?mpi_ref ?san
             let ctx = ctxs.(rank) in
             let args = setup ctx ~rank in
             values.(rank) <- Interp.call ctx fname args;
+            (* safety net: a program whose last adjoint op is a stage has
+               no later blocking point to flush it — peers would park *)
+            Mpi_state.adj_flush_all mpi ~rank;
             match san with
             | Some s -> Sanitizer.report_leaks s ~rank ~mem:ctx.Interp.mem
             | None -> ()))
@@ -116,7 +122,10 @@ let run_spmd_custom ?(cfg = Interp.default_config) ?instrument ?faults
   let stats = Stats.create () in
   let (), makespan, stats =
     Sim.run ~cost:cfg.Interp.cost ~stats (fun () ->
-        let mpi = Mpi_state.create ~cost:cfg.Interp.cost ~nranks ?faults () in
+        let mpi =
+          Mpi_state.create ~cost:cfg.Interp.cost ~nranks ?faults
+            ~coalesce:cfg.Interp.coalesce ()
+        in
         (match mpi_ref with Some r -> r := Some mpi | None -> ());
         let ctxs =
           Array.init nranks (fun rank ->
@@ -132,6 +141,7 @@ let run_spmd_custom ?(cfg = Interp.default_config) ?instrument ?faults
           ~width:nranks
           (fun ~tid:rank ~width:_ ->
             body ctxs.(rank) ~rank;
+            Mpi_state.adj_flush_all mpi ~rank;
             match san with
             | Some s ->
               Sanitizer.report_leaks s ~rank ~mem:ctxs.(rank).Interp.mem
@@ -176,7 +186,8 @@ let run_spmd_recoverable ?(cfg = Interp.default_config) ?faults ?mpi_ref ?san
           Sim.run ~cost:cfg.Interp.cost ~stats (fun () ->
               if base > 0.0 then Sim.set_clock base;
               let mpi =
-                Mpi_state.create ~cost:cfg.Interp.cost ~nranks ~faults:plan ()
+                Mpi_state.create ~cost:cfg.Interp.cost ~nranks ~faults:plan
+                  ~coalesce:cfg.Interp.coalesce ()
               in
               (match mpi_ref with Some r -> r := Some mpi | None -> ());
               let ctxs =
@@ -192,6 +203,7 @@ let run_spmd_recoverable ?(cfg = Interp.default_config) ?faults ?mpi_ref ?san
                   let ctx = ctxs.(rank) in
                   let args = setup ctx ~rank in
                   values.(rank) <- Interp.call ctx fname args;
+                  Mpi_state.adj_flush_all mpi ~rank;
                   (* leaks are only meaningful on the attempt that
                      completes; failed attempts never reach this point *)
                   match san with

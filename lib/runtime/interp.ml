@@ -36,6 +36,10 @@ type config = {
   gc_aggressive : bool;
       (** [gc.collect] really frees unpreserved unreachable GC buffers *)
   max_instrs : int;  (** fuel; 0 = unlimited *)
+  coalesce : bool;
+      (** adjoint-communication coalescing: stage outgoing adjoint sends
+          and batch them into packed per-destination messages (ISSUE 5);
+          off = one latency-charged message per forward exchange *)
 }
 
 let default_config =
@@ -44,6 +48,7 @@ let default_config =
     nthreads = 1;
     gc_aggressive = false;
     max_instrs = 0;
+    coalesce = true;
   }
 
 type ctx = {
@@ -71,6 +76,10 @@ type ctx = {
   mutable root_args : Value.t list;
       (** the entry function's arguments — the roots of a checkpoint's
           buffer reachability walk *)
+  mutable remat_depth : int;
+      (** nesting depth of [parad.remat_begin]/[parad.remat_end] regions:
+          transcendentals re-evaluated inside a rematerialization chain are
+          charged at the cheaper [transcendental_remat] rate *)
 }
 
 let make_ctx ?(cfg = default_config) ?instrument ?mpi ?(rank = 0) ?(nranks = 1)
@@ -93,6 +102,7 @@ let make_ctx ?(cfg = default_config) ?instrument ?mpi ?(rank = 0) ?(nranks = 1)
     ckpt;
     san;
     root_args = [];
+    remat_depth = 0;
   }
 
 type frame = { vals : Value.t array; slots : int array option }
@@ -303,7 +313,12 @@ and exec_instr ctx e (i : Instr.t) : outcome =
     let r = eval_bin op x y in
     (if is_float r then begin
        st.flops <- st.flops + 1;
-       charge (match op with Pow -> c.transcendental | _ -> c.arith)
+       charge
+         (match op with
+         | Pow ->
+           if ctx.remat_depth > 0 then c.transcendental_remat
+           else c.transcendental
+         | _ -> c.arith)
      end
      else charge c.arith);
     let r =
@@ -335,7 +350,9 @@ and exec_instr ctx e (i : Instr.t) : outcome =
        st.flops <- st.flops + 1;
        charge
          (match op with
-         | Sqrt | Sin | Cos | Exp | Log -> c.transcendental
+         | Sqrt | Sin | Cos | Exp | Log ->
+           if ctx.remat_depth > 0 then c.transcendental_remat
+           else c.transcendental
          | _ -> c.arith)
      end
      else charge c.arith);
@@ -817,8 +834,11 @@ and intrinsic ctx e name args vals : Value.t * int =
         ins.recv_hook ~peer:pr.Mpi_state.psrc ~tag:pr.Mpi_state.ptag
           ~count:pr.Mpi_state.count
       in
-      let bs = ins.buf_slots pr.Mpi_state.dst.buf in
-      Array.blit fresh 0 bs pr.Mpi_state.dst.off pr.Mpi_state.count
+      (match pr.Mpi_state.dst with
+      | Some dst ->
+        let bs = ins.buf_slots dst.buf in
+        Array.blit fresh 0 bs dst.off pr.Mpi_state.count
+      | None -> ())
     | _ -> ());
     unit_
   | "mpi.send" ->
@@ -973,12 +993,25 @@ and intrinsic ctx e name args vals : Value.t * int =
     VInt id, 0
   | "mpi.adj_wait" ->
     (* Reverse of MPI_Wait: inspect the shadow request and spawn the dual
-       nonblocking operation (Fig 5 of the paper). *)
+       nonblocking operation (Fig 5 of the paper). With coalescing, the
+       dual of an Irecv stages an outgoing chunk (flushed as part of a
+       packed per-destination message at the next blocking point) and the
+       dual of an Isend registers an accumulate-into-shadow expectation —
+       no per-exchange message, no temp buffer. *)
     let m = mpi_state ctx in
     let s = Mpi_state.shadow_find m ~rank:ctx.rank ~id:(int_arg 0) in
     let adj_tag = s.stag + 1_000_000 in
-    (match s.skind with
-    | Mpi_state.SIsend ->
+    (match s.skind, m.Mpi_state.coalesce with
+    | Mpi_state.SIsend, true ->
+      s.sexp <-
+        Some
+          (Mpi_state.adj_expect m ~rank:ctx.rank ~src:s.speer ~tag:adj_tag
+             ~count:s.scount ~dst:s.sptr)
+    | Mpi_state.SIrecv, true ->
+      Mpi_state.adj_stage m ~rank:ctx.rank ~dst:s.speer ~tag:adj_tag
+        ~count:s.scount ~sptr:s.sptr;
+      s.sstaged <- true
+    | Mpi_state.SIsend, false ->
       let buf =
         Memory.alloc ctx.mem ~elem:Ty.Float ~size:s.scount ~kind:Instr.Heap
           ~socket:(Sim.socket ()) ~site:name
@@ -989,7 +1022,7 @@ and intrinsic ctx e name args vals : Value.t * int =
         Some
           (Mpi_state.irecv m ~rank:ctx.rank ~ptr:tmp ~count:s.scount
              ~src:s.speer ~tag:adj_tag)
-    | Mpi_state.SIrecv ->
+    | Mpi_state.SIrecv, false ->
       s.srev <-
         Some
           (Mpi_state.isend m ~rank:ctx.rank ~ptr:s.sptr ~count:s.scount
@@ -997,11 +1030,16 @@ and intrinsic ctx e name args vals : Value.t * int =
     unit_
   | "mpi.adj_isend_finish" ->
     (* Reverse of MPI_Isend: wait for the incoming adjoint and accumulate
-       it into the shadow send buffer. *)
+       it into the shadow send buffer. Coalesced: complete the registered
+       expectation, unpacking packed messages on demand (the accumulate is
+       charged at unpack time). *)
     let m = mpi_state ctx in
     let s = Mpi_state.shadow_find m ~rank:ctx.rank ~id:(int_arg 0) in
-    (match s.srev, s.stmp with
-    | Some req, Some tmp ->
+    (match s.sexp, s.srev, s.stmp with
+    | Some ex, _, _ ->
+      Mpi_state.adj_complete m ~rank:ctx.rank ex;
+      s.sexp <- None
+    | None, Some req, Some tmp ->
       ignore (Mpi_state.wait m ~rank:ctx.rank ~req);
       charge (c.mem *. float_of_int (2 * s.scount));
       for i = 0 to s.scount - 1 do
@@ -1013,52 +1051,103 @@ and intrinsic ctx e name args vals : Value.t * int =
     unit_
   | "mpi.adj_irecv_finish" ->
     (* Reverse of MPI_Irecv: wait for the adjoint send to complete, then
-       zero the shadow receive buffer (its adjoint has been handed off). *)
+       zero the shadow receive buffer (its adjoint has been handed off).
+       Coalesced: the chunk snapshot was taken when it was staged, so the
+       shadow can be zeroed immediately — the packed send completes on the
+       receiver's demand. *)
     let m = mpi_state ctx in
     let s = Mpi_state.shadow_find m ~rank:ctx.rank ~id:(int_arg 0) in
-    (match s.srev with
-    | Some req ->
-      ignore (Mpi_state.wait m ~rank:ctx.rank ~req);
+    if s.sstaged then begin
+      s.sstaged <- false;
       charge (c.mem *. float_of_int s.scount);
       for i = 0 to s.scount - 1 do
         Memory.store s.sptr i (VFloat 0.0)
       done
-    | None -> error "mpi.adj_irecv_finish before mpi.adj_wait");
+    end
+    else begin
+      match s.srev with
+      | Some req ->
+        ignore (Mpi_state.wait m ~rank:ctx.rank ~req);
+        charge (c.mem *. float_of_int s.scount);
+        for i = 0 to s.scount - 1 do
+          Memory.store s.sptr i (VFloat 0.0)
+        done
+      | None -> error "mpi.adj_irecv_finish before mpi.adj_wait"
+    end;
     unit_
-  | "mpi.adj_send" ->
-    (* reverse of a blocking send: receive the adjoint and accumulate *)
+  | "mpi.adj_send" | "mpi.adj_send_post" ->
+    (* Reverse of a blocking send: receive the adjoint and accumulate.
+       The [_post] form is emitted by the coalescing reverse sweep: it
+       only registers the expectation, and a later [mpi.adj_waitall]
+       completes the whole batch. The plain form completes immediately. *)
     let m = mpi_state ctx in
     let d_p = ptr_arg 0 and n = int_arg 1 and peer = int_arg 2 and tag = int_arg 3 in
-    let buf =
-      Memory.alloc ctx.mem ~elem:Ty.Float ~size:n ~kind:Instr.Heap
-        ~socket:(Sim.socket ()) ~site:name
-    in
-    let tmp = { buf; off = 0 } in
-    let req =
-      Mpi_state.irecv m ~rank:ctx.rank ~ptr:tmp ~count:n ~src:peer
-        ~tag:(tag + 1_000_000)
-    in
-    ignore (Mpi_state.wait m ~rank:ctx.rank ~req);
-    charge (c.mem *. float_of_int (2 * n));
-    for i = 0 to n - 1 do
-      let cur = to_float (Memory.load d_p i) in
-      Memory.store d_p i (VFloat (cur +. to_float (Memory.load tmp i)))
-    done;
-    Memory.free ctx.mem buf;
+    if m.Mpi_state.coalesce then begin
+      let ex =
+        Mpi_state.adj_expect m ~rank:ctx.rank ~src:peer
+          ~tag:(tag + 1_000_000) ~count:n ~dst:d_p
+      in
+      if name = "mpi.adj_send" then Mpi_state.adj_complete m ~rank:ctx.rank ex
+    end
+    else begin
+      let buf =
+        Memory.alloc ctx.mem ~elem:Ty.Float ~size:n ~kind:Instr.Heap
+          ~socket:(Sim.socket ()) ~site:name
+      in
+      let tmp = { buf; off = 0 } in
+      let req =
+        Mpi_state.irecv m ~rank:ctx.rank ~ptr:tmp ~count:n ~src:peer
+          ~tag:(tag + 1_000_000)
+      in
+      ignore (Mpi_state.wait m ~rank:ctx.rank ~req);
+      charge (c.mem *. float_of_int (2 * n));
+      for i = 0 to n - 1 do
+        let cur = to_float (Memory.load d_p i) in
+        Memory.store d_p i (VFloat (cur +. to_float (Memory.load tmp i)))
+      done;
+      Memory.free ctx.mem buf
+    end;
     unit_
-  | "mpi.adj_recv" ->
-    (* reverse of a blocking receive: send the shadow back, then zero it *)
+  | "mpi.adj_recv" | "mpi.adj_recv_post" ->
+    (* Reverse of a blocking receive: send the shadow back, then zero it.
+       Coalesced (either form): stage the chunk — the snapshot decouples
+       the payload from the zeroing — and let the next blocking point
+       flush it inside one packed message per destination. *)
     let m = mpi_state ctx in
     let d_p = ptr_arg 0 and n = int_arg 1 and peer = int_arg 2 and tag = int_arg 3 in
-    let req =
-      Mpi_state.isend m ~rank:ctx.rank ~ptr:d_p ~count:n ~dst:peer
-        ~tag:(tag + 1_000_000)
-    in
-    ignore (Mpi_state.wait m ~rank:ctx.rank ~req);
-    charge (c.mem *. float_of_int n);
-    for i = 0 to n - 1 do
-      Memory.store d_p i (VFloat 0.0)
-    done;
+    if m.Mpi_state.coalesce then begin
+      Mpi_state.adj_stage m ~rank:ctx.rank ~dst:peer ~tag:(tag + 1_000_000)
+        ~count:n ~sptr:d_p;
+      charge (c.mem *. float_of_int n);
+      for i = 0 to n - 1 do
+        Memory.store d_p i (VFloat 0.0)
+      done
+    end
+    else begin
+      let req =
+        Mpi_state.isend m ~rank:ctx.rank ~ptr:d_p ~count:n ~dst:peer
+          ~tag:(tag + 1_000_000)
+      in
+      ignore (Mpi_state.wait m ~rank:ctx.rank ~req);
+      charge (c.mem *. float_of_int n);
+      for i = 0 to n - 1 do
+        Memory.store d_p i (VFloat 0.0)
+      done
+    end;
+    unit_
+  | "mpi.adj_waitall" ->
+    (* Completion barrier of a batch of [_post]ed adjoint exchanges: flush
+       every staged chunk, then drain packed messages until all registered
+       expectations are fulfilled. No-op when coalescing is off (the
+       [_post] forms completed eagerly). *)
+    let m = mpi_state ctx in
+    if m.Mpi_state.coalesce then Mpi_state.adj_complete_all m ~rank:ctx.rank;
+    unit_
+  | "parad.remat_begin" ->
+    ctx.remat_depth <- ctx.remat_depth + 1;
+    unit_
+  | "parad.remat_end" ->
+    if ctx.remat_depth > 0 then ctx.remat_depth <- ctx.remat_depth - 1;
     unit_
   | "mpi.adj_allreduce_sum" ->
     (* y = allreduce_sum(x)  =>  dx += allreduce_sum(dy); dy := 0 *)

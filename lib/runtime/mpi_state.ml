@@ -15,7 +15,8 @@ type msg = {
 }
 
 type pending_recv = {
-  dst : ptr;
+  dst : ptr option;  (** [None] for packed adjoint messages: the payload
+                         stays in [matched] for demand-driven unpacking *)
   count : int;
   psrc : int;
   ptag : int;
@@ -58,6 +59,40 @@ type req =
 
 type shadow_kind = SIsend | SIrecv
 
+(* ---- adjoint-communication coalescing (paper §VI / ISSUE 5) ----
+
+   With coalescing on, the reverse sweep's outgoing adjoint contributions
+   are not sent one latency-charged message per forward exchange. Instead
+   each is *staged* as a chunk (an eager snapshot of the shadow values,
+   exactly like [isend]'s buffered copy-out) keyed by destination rank;
+   all chunks for one destination are flushed as a single packed message
+   the moment the rank is about to block (a wait, a collective, or the
+   demand for an incoming adjoint). The receiving side registers an
+   *expectation* per incoming adjoint — where to accumulate, under which
+   original tag — and unpacks arriving packed messages against those
+   expectations on demand. Matching is FIFO per (source, original tag),
+   mirroring the channel semantics of the uncoalesced path, so gradients
+   are bit-identical (see DESIGN.md). *)
+
+(** Packed adjoint messages travel on this dedicated tag, above the
+    adjoint-tag band ([forward tag + 1_000_000]) used by the uncoalesced
+    path. *)
+let packed_tag = 2_000_000
+
+type adj_chunk = {
+  ck_tag : int;  (** adjoint tag, i.e. originating forward tag + 1M *)
+  ck_count : int;
+  ck_data : float array;  (** snapshot taken when the chunk was staged *)
+}
+
+type adj_exp = {
+  ex_src : int;
+  ex_tag : int;  (** adjoint tag the chunk must carry *)
+  ex_count : int;
+  ex_dst : ptr;  (** shadow buffer the arriving adjoint accumulates into *)
+  mutable ex_done : bool;
+}
+
 (* Shadow request: what the AD-generated forward pass records so that the
    reverse of the corresponding wait knows which dual operation to spawn. *)
 type shadow_req = {
@@ -68,6 +103,9 @@ type shadow_req = {
   stag : int;
   mutable srev : int option;  (** request id of the spawned dual op *)
   mutable stmp : ptr option;  (** temp buffer receiving the adjoint (Isend) *)
+  mutable sexp : adj_exp option;
+      (** coalesced dual of an Isend: the registered expectation *)
+  mutable sstaged : bool;  (** coalesced dual of an Irecv: chunk staged *)
 }
 
 type rank_state = {
@@ -76,10 +114,22 @@ type rank_state = {
   shadows : (int, shadow_req) Hashtbl.t;
   mutable next_shadow : int;
   mutable coll_seq : int;
+  mutable staged : (int * adj_chunk list ref) list;
+      (** outgoing chunks per destination, in first-staged destination
+          order; each chunk list is kept reversed (newest first) *)
+  mutable exps : (int * adj_exp list ref) list;
+      (** expectations per source, in registration order *)
+  mutable orphans : (int * adj_chunk) list;
+      (** (source, chunk) pairs that arrived in a packed message before
+          their expectation was registered — a packet carries every chunk
+          its sender staged, and the receiver may still be several
+          reversal steps away from the matching exchange. Matched (FIFO,
+          arrival order) when [adj_expect] registers the expectation. *)
 }
 
 type t = {
   nranks : int;
+  coalesce : bool;  (** adjoint-communication coalescing enabled *)
   channels : (int * int * int, channel) Hashtbl.t;
   colls : (int, coll_slot) Hashtbl.t;  (** keyed by collective sequence no. *)
   ranks : rank_state array;
@@ -87,6 +137,7 @@ type t = {
   faults : Faults.state option;
   dead : bool array;  (** ranks killed by fault injection *)
   mutable epoch : int;  (** failures observed so far (communicator epoch) *)
+  mutable inflight : int;  (** packed adjoint messages sent, not consumed *)
 }
 
 (* ---- ULFM-style failure notification ----
@@ -126,9 +177,10 @@ let () =
     | Rank_failed n -> Some (Format.asprintf "%a" pp_failure n)
     | _ -> None)
 
-let create ~cost ~nranks ?faults () =
+let create ~cost ~nranks ?faults ?(coalesce = true) () =
   {
     nranks;
+    coalesce;
     channels = Hashtbl.create 64;
     colls = Hashtbl.create 16;
     ranks =
@@ -139,6 +191,9 @@ let create ~cost ~nranks ?faults () =
             shadows = Hashtbl.create 16;
             next_shadow = 0;
             coll_seq = 0;
+            staged = [];
+            exps = [];
+            orphans = [];
           });
     sockets =
       Array.init nranks (fun r ->
@@ -146,6 +201,7 @@ let create ~cost ~nranks ?faults () =
     faults = Option.map (Faults.make ~nranks) faults;
     dead = Array.make nranks false;
     epoch = 0;
+    inflight = 0;
   }
 
 let survivors t =
@@ -265,10 +321,13 @@ let write_cells p (a : Value.t array) =
   Array.iteri (fun i v -> Memory.store p i v) a
 
 let deliver (pr : pending_recv) (m : msg) =
-  if Array.length m.payload <> pr.count then
-    error "mpi: message size %d does not match recv count %d"
-      (Array.length m.payload) pr.count;
-  write_cells pr.dst m.payload;
+  (match pr.dst with
+  | Some dst ->
+    if Array.length m.payload <> pr.count then
+      error "mpi: message size %d does not match recv count %d"
+        (Array.length m.payload) pr.count;
+    write_cells dst m.payload
+  | None -> (* packed adjoint: unpacked on demand by the receiver *) ());
   pr.matched <- Some m;
   Sim.event_fill pr.ev ~time:m.avail
 
@@ -342,7 +401,7 @@ let irecv t ~rank ~ptr ~count ~src ~tag =
   in
   let pr =
     {
-      dst = ptr;
+      dst = Some ptr;
       count;
       psrc = src;
       ptag = tag;
@@ -356,11 +415,303 @@ let irecv t ~rank ~ptr ~count ~src ~tag =
   else deliver pr (Queue.pop ch.msgs);
   fresh_req t.ranks.(rank) (RRecv pr)
 
+(* ---- adjoint-communication coalescing ---- *)
+
+(** Stage one outgoing adjoint contribution for [dst]: snapshot the shadow
+    values now (the same eager copy-out [isend] performs, so later writes
+    to [sptr] — e.g. the zeroing an [adj_irecv_finish] does — cannot change
+    what is sent) and charge the copy; the latency is charged once per
+    packed message at flush time. *)
+let adj_stage t ~rank ~dst ~tag ~count ~sptr =
+  if dst < 0 || dst >= t.nranks then error "mpi adjoint: bad destination %d" dst;
+  check_peer_alive t ~rank ~peer:dst;
+  let cost = Sim.cost () in
+  Sim.charge (cost.mpi_per_cell *. float_of_int count);
+  let data = Array.init count (fun i -> to_float (Memory.load sptr i)) in
+  let rs = t.ranks.(rank) in
+  let chunks =
+    match List.assoc_opt dst rs.staged with
+    | Some r -> r
+    | None ->
+      let r = ref [] in
+      rs.staged <- rs.staged @ [ dst, r ];
+      r
+  in
+  chunks := { ck_tag = tag; ck_count = count; ck_data = data } :: !chunks
+
+(* Fulfill [ex] with [data]: the read-accumulate-write the uncoalesced
+   path performs at its blocking receive, charged identically. *)
+let adj_fulfill ex data =
+  Sim.charge ((Sim.cost ()).mem *. float_of_int (2 * ex.ex_count));
+  Array.iteri
+    (fun i x ->
+      let cur = to_float (Memory.load ex.ex_dst i) in
+      Memory.store ex.ex_dst i (VFloat (cur +. x)))
+    data;
+  ex.ex_done <- true
+
+(** Register the expectation of one incoming adjoint contribution:
+    [count] cells under adjoint tag [tag] from [src], to be accumulated
+    into [dst] when a packed message carrying the matching chunk is
+    unpacked. Nonblocking; completion is [adj_complete]. If the chunk
+    already arrived — packets carry whole staging epochs, so chunks can
+    outrun their expectations — it was parked as an orphan and is claimed
+    (and accumulated) here, at exactly the program point the uncoalesced
+    blocking path would have accumulated it. *)
+let adj_expect t ~rank ~src ~tag ~count ~dst =
+  if src < 0 || src >= t.nranks then error "mpi adjoint: bad source %d" src;
+  check_peer_alive t ~rank ~peer:src;
+  let rs = t.ranks.(rank) in
+  let q =
+    match List.assoc_opt src rs.exps with
+    | Some r -> r
+    | None ->
+      let r = ref [] in
+      rs.exps <- rs.exps @ [ src, r ];
+      r
+  in
+  let ex = { ex_src = src; ex_tag = tag; ex_count = count; ex_dst = dst; ex_done = false } in
+  q := !q @ [ ex ];
+  (let rec claim acc = function
+     | [] -> ()
+     | (s, c) :: rest
+       when s = src && c.ck_tag = tag && c.ck_count = count ->
+       rs.orphans <- List.rev_append acc rest;
+       adj_fulfill ex c.ck_data
+     | o :: rest -> claim (o :: acc) rest
+   in
+   claim [] rs.orphans);
+  ex
+
+(** Flush every staged chunk of [rank] as one packed message per
+    destination: a header cell with the chunk count, then per chunk its
+    adjoint tag, cell count, and data. One message — one latency charge —
+    regardless of how many forward exchanges contributed. Runs the same
+    fault gate as [isend], so drop/delay/duplicate plans apply to packed
+    adjoint traffic too. *)
+let adj_flush_all t ~rank =
+  let rs = t.ranks.(rank) in
+  if rs.staged <> [] then begin
+    let staged = rs.staged in
+    rs.staged <- [];
+    let cost = Sim.cost () in
+    let stats = Sim.stats () in
+    List.iter
+      (fun (dst, chunks) ->
+        let chunks = List.rev !chunks in
+        let cells =
+          List.fold_left (fun acc c -> acc + c.ck_count + 2) 1 chunks
+        in
+        let payload = Array.make cells VUnit in
+        payload.(0) <- VInt (List.length chunks);
+        let pos = ref 1 in
+        List.iter
+          (fun c ->
+            payload.(!pos) <- VInt c.ck_tag;
+            payload.(!pos + 1) <- VInt c.ck_count;
+            pos := !pos + 2;
+            Array.iter
+              (fun x ->
+                payload.(!pos) <- VFloat x;
+                incr pos)
+              c.ck_data)
+          chunks;
+        stats.messages <- stats.messages + 1;
+        stats.message_cells <- stats.message_cells + cells;
+        stats.msgs_sent <- stats.msgs_sent + 1;
+        stats.cells_sent <- stats.cells_sent + cells;
+        Sim.charge (0.1 *. cost.mpi_latency);
+        let avail =
+          Sim.now ()
+          +. Cost_model.message_cost cost ~cells
+               ~remote:(remote t ~src:rank ~dst)
+        in
+        let fate =
+          match t.faults with
+          | None -> `Deliver Faults.{ extra = 0.0; copies = 0; retries = 0 }
+          | Some fs ->
+            Faults.on_send fs ~src:rank ~dst ~tag:packed_tag ~now:(Sim.now ())
+        in
+        match fate with
+        | `Lost _ -> stats.messages_lost <- stats.messages_lost + 1
+        | `Deliver { Faults.extra; copies; retries } ->
+          stats.send_retries <- stats.send_retries + retries;
+          stats.messages_duplicated <- stats.messages_duplicated + copies;
+          let ch = channel t ~src:rank ~dst ~tag:packed_tag in
+          let post () =
+            t.inflight <- t.inflight + 1;
+            if t.inflight > stats.max_inflight then
+              stats.max_inflight <- t.inflight;
+            post_msg ch { payload = Array.copy payload; avail = avail +. extra }
+          in
+          post ();
+          for _ = 1 to copies do post () done)
+      staged
+  end
+
+(* Accumulate an arriving chunk into the first pending expectation from
+   [src] with the same adjoint tag and count — FIFO per (source, tag),
+   exactly the order the uncoalesced per-channel matching imposes. A
+   packet carries every chunk its sender staged, so some chunks can
+   outrun their expectation (the receiver has not reversed that exchange
+   yet); those park as orphans until [adj_expect] claims them. *)
+let adj_apply_chunk t ~rank ~src ~tag ~count data =
+  let rs = t.ranks.(rank) in
+  let ex =
+    match List.assoc_opt src rs.exps with
+    | None -> None
+    | Some q ->
+      List.find_opt
+        (fun e -> (not e.ex_done) && e.ex_tag = tag && e.ex_count = count)
+        !q
+  in
+  match ex with
+  | None ->
+    rs.orphans <-
+      rs.orphans @ [ src, { ck_tag = tag; ck_count = count; ck_data = data } ]
+  | Some ex -> adj_fulfill ex data
+
+let adj_unpack t ~rank ~src (m : msg) =
+  t.inflight <- t.inflight - 1;
+  let pos = ref 0 in
+  let geti () =
+    let v = to_int m.payload.(!pos) in
+    incr pos;
+    v
+  in
+  let nchunks = geti () in
+  for _ = 1 to nchunks do
+    let tag = geti () in
+    let count = geti () in
+    let data =
+      Array.init count (fun i -> to_float m.payload.(!pos + i))
+    in
+    pos := !pos + count;
+    adj_apply_chunk t ~rank ~src ~tag ~count data
+  done
+
+(* Blocking receive of the next packed adjoint message from [src]. *)
+let adj_recv_packed t ~rank ~src =
+  fault_gate t ~rank;
+  check_peer_alive t ~rank ~peer:src;
+  let ch = channel t ~src ~dst:rank ~tag:packed_tag in
+  let m =
+    if not (Queue.is_empty ch.msgs) then begin
+      let m = Queue.pop ch.msgs in
+      (* the message is in flight until [avail]; jumping the clock there is
+         what lets earlier accumulation compute overlap the transfer *)
+      let now = Sim.now () in
+      if m.avail > now then Sim.charge (m.avail -. now);
+      m
+    end
+    else begin
+      let label () =
+        let lost =
+          match t.faults with
+          | Some fs -> Faults.lost_on fs ~src ~dst:rank ~tag:packed_tag
+          | None -> 0
+        in
+        Printf.sprintf
+          "rank %d: packed adjoint message from rank %d has not been sent%s"
+          rank src
+          (if lost > 0 then
+             Printf.sprintf
+               " — %d packed message(s) on this channel lost by fault \
+                injection"
+               lost
+           else "")
+      in
+      let pr =
+        {
+          dst = None;
+          count = 0;
+          psrc = src;
+          ptag = packed_tag;
+          ev = Sim.event ~label ();
+          matched = None;
+          pfailed = None;
+        }
+      in
+      Queue.add pr ch.recvs;
+      Sim.event_wait pr.ev;
+      (match pr.pfailed with
+      | Some failed -> raise_failure t ~rank ~failed
+      | None -> ());
+      match pr.matched with
+      | Some m -> m
+      | None -> error "mpi adjoint: packed receive woke without a message"
+    end
+  in
+  Sim.charge (0.1 *. (Sim.cost ()).mpi_latency);
+  adj_unpack t ~rank ~src m
+
+(** Complete one expectation: flush our own staged chunks first (they may
+    be exactly what the peer is blocked on), then drain packed messages
+    from the expectation's source until it is fulfilled. *)
+let adj_complete t ~rank ex =
+  adj_flush_all t ~rank;
+  while not ex.ex_done do
+    adj_recv_packed t ~rank ~src:ex.ex_src
+  done
+
+(** Waitall-style completion of every registered expectation. *)
+let adj_complete_all t ~rank =
+  adj_flush_all t ~rank;
+  let rs = t.ranks.(rank) in
+  List.iter
+    (fun (src, q) ->
+      List.iter
+        (fun ex ->
+          while not ex.ex_done do
+            adj_recv_packed t ~rank ~src
+          done)
+        !q)
+    rs.exps;
+  rs.exps <- []
+
+(** True when [rank] has no staged chunks and no unfulfilled expectation —
+    required of a valid checkpoint, like an empty request table. *)
+let adj_idle t ~rank =
+  let rs = t.ranks.(rank) in
+  rs.staged = []
+  && rs.orphans = []
+  && List.for_all (fun (_, q) -> List.for_all (fun e -> e.ex_done) !q) rs.exps
+
+(* deterministic exports for the communication audit *)
+let export_staged t ~rank =
+  List.map (fun (dst, chunks) -> dst, List.rev !chunks) t.ranks.(rank).staged
+
+let export_unfulfilled t ~rank =
+  List.concat_map
+    (fun (_, q) -> List.filter (fun e -> not e.ex_done) !q)
+    t.ranks.(rank).exps
+
+let export_orphans t ~rank = t.ranks.(rank).orphans
+
+(** Decode a packed payload back to its originating exchanges:
+    (adjoint tag, cell count) per chunk, in staging order. *)
+let decode_packed (m : msg) =
+  let pos = ref 0 in
+  let geti () =
+    let v = to_int m.payload.(!pos) in
+    incr pos;
+    v
+  in
+  let nchunks = geti () in
+  List.init nchunks (fun _ ->
+      let tag = geti () in
+      let count = geti () in
+      pos := !pos + count;
+      tag, count)
+
 (** Wait for a request. For receives this blocks (in virtual time) until
     the message is available, then charges receiver-side overhead and
     returns the completed receive (so callers can instrument it). *)
 let wait t ~rank ~req =
   fault_gate t ~rank;
+  (* flush-before-block: staged adjoint chunks may be what the peer we
+     are about to wait on is itself blocked on *)
+  adj_flush_all t ~rank;
   let rs = t.ranks.(rank) in
   match Hashtbl.find_opt rs.reqs req with
   | None -> error "mpi.wait: unknown request %d on rank %d" req rank
@@ -384,10 +735,7 @@ let wait t ~rank ~req =
    [max(arrival) + tree cost]. *)
 
 let coll_cost t ~count =
-  let cost = Sim.cost () in
-  let stages = ceil (Cost_model.log2f (float_of_int t.nranks)) in
-  let remote = t.nranks >= cost.numa_spread_threshold in
-  2.0 *. stages *. Cost_model.message_cost cost ~cells:count ~remote
+  fst (Cost_model.collective_cost (Sim.cost ()) ~nranks:t.nranks ~count)
 
 let coll_kind_eq a b =
   match a, b with
@@ -398,6 +746,7 @@ let coll_kind_eq a b =
 (* Join the current collective slot; returns it. *)
 let coll_join t ~rank ~kind ~count ~contrib =
   fault_gate t ~rank;
+  adj_flush_all t ~rank;
   check_any_alive t ~rank;
   let rs = t.ranks.(rank) in
   let seq = rs.coll_seq in
@@ -472,7 +821,8 @@ let write_floats p (a : float array) =
 (** allreduce / reduce-to-all of [count] floats with operator [kind]. *)
 let allreduce t ~rank ~kind ~send ~recv ~count =
   let stats = Sim.stats () in
-  stats.messages <- stats.messages + (2 * int_of_float (ceil (Cost_model.log2f (float_of_int t.nranks))));
+  let _, stages = Cost_model.collective_cost (Sim.cost ()) ~nranks:t.nranks ~count in
+  stats.messages <- stats.messages + stages;
   let contrib = read_floats send count in
   let slot = coll_join t ~rank ~kind ~count ~contrib:(Some contrib) in
   Sim.event_wait slot.cev;
@@ -504,7 +854,17 @@ let shadow_note t ~rank ~skind ~sptr ~scount ~speer ~stag =
   let id = rs.next_shadow in
   rs.next_shadow <- id + 1;
   Hashtbl.add rs.shadows id
-    { skind; sptr; scount; speer; stag; srev = None; stmp = None };
+    {
+      skind;
+      sptr;
+      scount;
+      speer;
+      stag;
+      srev = None;
+      stmp = None;
+      sexp = None;
+      sstaged = false;
+    };
   id
 
 let shadow_find t ~rank ~id =
@@ -546,4 +906,9 @@ let restore_rank t ~rank ~next_req ~next_shadow ~coll_seq ~shadows =
   rs.next_shadow <- next_shadow;
   rs.coll_seq <- coll_seq;
   Hashtbl.reset rs.shadows;
-  List.iter (fun (id, s) -> Hashtbl.replace rs.shadows id s) shadows
+  List.iter (fun (id, s) -> Hashtbl.replace rs.shadows id s) shadows;
+  (* a restored rank replays from a point with no adjoint staging in
+     progress (checkpoints require [adj_idle]) *)
+  rs.staged <- [];
+  rs.exps <- [];
+  rs.orphans <- []

@@ -332,6 +332,12 @@ let event_fill ev ~time =
 
 let event_wait ev = perform (E_wait ev)
 
+(** Nonblocking readiness test: the fill time if the event has fired,
+    [None] otherwise. Never parks the strand, so a reverse sweep can
+    overlap in-flight adjoint messages with accumulation compute and only
+    commit to [event_wait] when it genuinely runs out of local work. *)
+let event_poll ev = ev.ready
+
 (** Run [main] under a fresh engine. Returns the result, the makespan
     (largest strand finish time, i.e. the modeled runtime), and the
     engine's stats. *)

@@ -15,6 +15,11 @@ type t = {
   mutable tasks : int;
   mutable messages : int;
   mutable message_cells : int;
+  (* adjoint-communication coalescing (zero when coalescing is off or the
+     run has no adjoint exchanges) *)
+  mutable msgs_sent : int;  (** packed adjoint messages actually sent *)
+  mutable cells_sent : int;  (** cells in those packed messages, headers incl. *)
+  mutable max_inflight : int;  (** peak packed messages in flight at once *)
   mutable cache_stores : int;
   mutable cache_loads : int;
   mutable cache_cells : int;  (** distinct cache cells ever written *)
@@ -52,6 +57,9 @@ let create () =
     tasks = 0;
     messages = 0;
     message_cells = 0;
+    msgs_sent = 0;
+    cells_sent = 0;
+    max_inflight = 0;
     cache_stores = 0;
     cache_loads = 0;
     cache_cells = 0;
@@ -78,6 +86,9 @@ let pp ppf s =
     s.instrs s.flops s.loads s.stores s.atomics s.allocs s.calls s.forks
     s.barriers s.tasks s.messages s.message_cells s.cache_stores s.cache_loads
     s.cache_cells s.cache_peak s.tape_entries;
+  if s.msgs_sent + s.cells_sent + s.max_inflight > 0 then
+    Fmt.pf ppf " msgs_sent=%d cells_sent=%d max_inflight=%d" s.msgs_sent
+      s.cells_sent s.max_inflight;
   if
     s.send_retries + s.messages_lost + s.messages_duplicated
     + s.stalls_injected

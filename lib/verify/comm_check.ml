@@ -40,6 +40,28 @@ type issue =
       attempts : int;
       time : float;
     }  (** sender gave up after fault-injected drops *)
+  | Unmatched_packed of { src : int; dst : int; chunks : (int * int) list }
+      (** a packed adjoint message still queued, decoded back to its
+          originating exchanges as (adjoint tag, cell count) pairs *)
+  | Residual_staged of { rank : int; dst : int; chunks : (int * int) list }
+      (** adjoint chunks staged for [dst] that no flush ever sent *)
+  | Unfulfilled_expectation of {
+      rank : int;
+      src : int;
+      tag : int;
+      count : int;
+    }  (** a registered adjoint expectation no packed chunk ever met *)
+  | Orphan_chunk of { rank : int; src : int; tag : int; count : int }
+      (** an unpacked adjoint chunk no expectation ever claimed *)
+
+(* Name a coalesced chunk by the forward exchange it answers: adjoint
+   traffic runs on the forward tag shifted by 1_000_000 (see
+   Interp's mpi.adj_* intrinsics), so the originating tag is recoverable
+   from the packed header alone. *)
+let pp_origin (tag, count) =
+  if tag >= 1_000_000 then
+    Printf.sprintf "adjoint of tag %d (%d cells)" (tag - 1_000_000) count
+  else Printf.sprintf "tag %d (%d cells)" tag count
 
 let pp_issue ppf = function
   | Unmatched_send { src; dst; tag; msgs } ->
@@ -69,8 +91,32 @@ let pp_issue ppf = function
   | Lost_message { src; dst; tag; attempts; time } ->
     Format.fprintf ppf
       "lost message: rank %d -> rank %d tag %d abandoned after %d \
-       attempt(s) (sent at t=%.6g)"
+       attempt(s) (sent at t=%.6g)%s"
       src dst tag attempts time
+      (if tag = Mpi_state.packed_tag then " [packed adjoint]" else "")
+  | Unmatched_packed { src; dst; chunks } ->
+    Format.fprintf ppf
+      "unmatched packed adjoint message: rank %d -> rank %d carrying %d \
+       chunk(s) [%s] never received"
+      src dst (List.length chunks)
+      (String.concat "; " (List.map pp_origin chunks))
+  | Residual_staged { rank; dst; chunks } ->
+    Format.fprintf ppf
+      "residual staged adjoints: rank %d still holds %d chunk(s) [%s] for \
+       rank %d that were never flushed"
+      rank (List.length chunks)
+      (String.concat "; " (List.map pp_origin chunks))
+      dst
+  | Unfulfilled_expectation { rank; src; tag; count } ->
+    Format.fprintf ppf
+      "unfulfilled adjoint expectation: rank %d still waits on %s from \
+       rank %d"
+      rank (pp_origin (tag, count)) src
+  | Orphan_chunk { rank; src; tag; count } ->
+    Format.fprintf ppf
+      "orphan adjoint chunk: rank %d unpacked %s from rank %d that no \
+       expectation claimed"
+      rank (pp_origin (tag, count)) src
 
 (** Sweep a finished (or deadlocked) run's MPI state for communication
     errors. The result is sorted and deterministic. *)
@@ -80,6 +126,16 @@ let audit (m : Mpi_state.t) : issue list =
       (fun (src, dst, tag) (ch : Mpi_state.channel) acc ->
         let acc =
           if Queue.is_empty ch.Mpi_state.msgs then acc
+          else if tag = Mpi_state.packed_tag then
+            (* decode each leftover packed message back to the forward
+               exchanges whose adjoints it carries, so the report names
+               what actually went missing *)
+            Queue.fold
+              (fun acc msg ->
+                Unmatched_packed
+                  { src; dst; chunks = Mpi_state.decode_packed msg }
+                :: acc)
+              acc ch.Mpi_state.msgs
           else
             Unmatched_send
               { src; dst; tag; msgs = Queue.length ch.Mpi_state.msgs }
@@ -167,7 +223,52 @@ let audit (m : Mpi_state.t) : issue list =
             })
         (Faults.lost fs)
   in
-  channel_issues @ request_issues @ coll_issues @ skew_issues @ lost_issues
+  let adj_issues =
+    List.init m.Mpi_state.nranks (fun rank ->
+        let staged =
+          List.map
+            (fun (dst, chunks) ->
+              Residual_staged
+                {
+                  rank;
+                  dst;
+                  chunks =
+                    List.map
+                      (fun (c : Mpi_state.adj_chunk) ->
+                        c.Mpi_state.ck_tag, c.Mpi_state.ck_count)
+                      chunks;
+                })
+            (Mpi_state.export_staged m ~rank)
+        in
+        let exps =
+          List.map
+            (fun (e : Mpi_state.adj_exp) ->
+              Unfulfilled_expectation
+                {
+                  rank;
+                  src = e.Mpi_state.ex_src;
+                  tag = e.Mpi_state.ex_tag;
+                  count = e.Mpi_state.ex_count;
+                })
+            (Mpi_state.export_unfulfilled m ~rank)
+        in
+        let orphans =
+          List.map
+            (fun (src, (c : Mpi_state.adj_chunk)) ->
+              Orphan_chunk
+                {
+                  rank;
+                  src;
+                  tag = c.Mpi_state.ck_tag;
+                  count = c.Mpi_state.ck_count;
+                })
+            (Mpi_state.export_orphans m ~rank)
+        in
+        List.sort compare (staged @ exps @ orphans))
+    |> List.concat
+  in
+  channel_issues @ request_issues @ coll_issues @ skew_issues @ adj_issues
+  @ lost_issues
 
 (** Render an audit as one string; ["communication clean"] when empty. *)
 let report (issues : issue list) =

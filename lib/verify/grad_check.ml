@@ -297,6 +297,13 @@ let loss_spmd ?(cfg = Interp.default_config) ?faults ~nranks ~args ~seeds
 
 let reverse_spmd ?(cfg = Interp.default_config) ?opts ?post_opt ?faults
     ~nranks ~args ~seeds ~d_ret prog fname =
+  (* the emission option is the single coalescing knob: disabling it also
+     disables the runtime packing, giving the true uncoalesced baseline *)
+  let cfg =
+    match opts with
+    | Some o when not o.Parad_core.Plan.coalesce_comm -> { cfg with Interp.coalesce = false }
+    | _ -> cfg
+  in
   let f = Prog.find_exn prog fname in
   let dprog, dname = differentiate ?opts ?post_opt prog fname in
   let nscal = scalar_count (args ~rank:0) in
@@ -346,6 +353,11 @@ let reverse_spmd ?(cfg = Interp.default_config) ?opts ?post_opt ?faults
     belong to the final (successful) attempt. *)
 let reverse_spmd_recoverable ?(cfg = Interp.default_config) ?opts ?post_opt
     ?faults ?max_restarts ?store ~nranks ~args ~seeds ~d_ret prog fname =
+  let cfg =
+    match opts with
+    | Some o when not o.Parad_core.Plan.coalesce_comm -> { cfg with Interp.coalesce = false }
+    | _ -> cfg
+  in
   let f = Prog.find_exn prog fname in
   let dprog, dname = differentiate ?opts ?post_opt prog fname in
   let nscal = scalar_count (args ~rank:0) in

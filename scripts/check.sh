@@ -195,4 +195,36 @@ awk -v o="$OVH" -v t="$THRESH" 'BEGIN { exit !(o <= t) }' || {
 }
 echo "overhead gate: ${OVH}x <= ${THRESH}x"
 
+# ---- MPI strong-scaling regression gate ----
+# Fig 8's gate row always runs the full-size 64-rank LULESH MPI mesh
+# (even under --quick) and records its strong-scaling speedups in
+# BENCH_mpi.json; gradient and forward must stay at or above the
+# checked-in floors (bench/mpi_threshold: "grad_min fwd_min").
+
+echo "== MPI strong-scaling gate =="
+dune exec bench/main.exe -- --quick --figure fig8 > /tmp/parad-mpi.out 2>&1 || {
+  echo "FAIL: fig8 benchmark did not run"
+  cat /tmp/parad-mpi.out
+  exit 1
+}
+tail -n 6 /tmp/parad-mpi.out
+GRAD_MIN=$(awk '{print $1}' bench/mpi_threshold)
+FWD_MIN=$(awk '{print $2}' bench/mpi_threshold)
+GATE=$(grep -o '"name": "lulesh_cpp_mpi_gate", "nranks": 64, "coalesce": true,[^}]*' BENCH_mpi.json)
+[ -n "$GATE" ] || {
+  echo "FAIL: no 64-rank gate row in BENCH_mpi.json"
+  exit 1
+}
+GRAD_SP=$(echo "$GATE" | grep -o '"grad_speedup": [0-9.]*' | awk '{print $2}')
+FWD_SP=$(echo "$GATE" | grep -o '"fwd_speedup": [0-9.]*' | awk '{print $2}')
+awk -v g="$GRAD_SP" -v t="$GRAD_MIN" 'BEGIN { exit !(g >= t) }' || {
+  echo "FAIL: 64-rank LULESH MPI gradient speedup ${GRAD_SP}x below floor ${GRAD_MIN}x"
+  exit 1
+}
+awk -v f="$FWD_SP" -v t="$FWD_MIN" 'BEGIN { exit !(f >= t) }' || {
+  echo "FAIL: 64-rank LULESH MPI forward speedup ${FWD_SP}x below floor ${FWD_MIN}x"
+  exit 1
+}
+echo "mpi gate: gradient ${GRAD_SP}x >= ${GRAD_MIN}x, forward ${FWD_SP}x >= ${FWD_MIN}x"
+
 echo "all checks passed"

@@ -378,6 +378,43 @@ let test_gradient_drop_retry_bitwise () =
         bufs)
     faulty
 
+let test_gradient_coalesced_plans_transparent () =
+  (* Recoverable drop and delay plans act on the *packed* adjoint
+     batches (Mpi_state.packed_tag) exactly as on forward traffic; both
+     change only virtual time, so the LULESH MPI gradient stays bitwise
+     identical to the faultless run and the audit stays clean. *)
+  let module L = Apps_lulesh.Lulesh in
+  let tiny =
+    { L.nx = 2; ny = 2; nz = 4; niter = 2; dt0 = 0.01; escale = 1.0 }
+  in
+  let grad faults =
+    let mpi_ref = ref None in
+    let g = L.gradient ~nranks:4 ?faults ~mpi_ref L.Mpi tiny in
+    (match CC.audit (Option.get !mpi_ref) with
+    | [] -> ()
+    | issues -> Alcotest.failf "audit under plan: %s" (CC.report issues));
+    g
+  in
+  let clean = grad None in
+  Alcotest.(check bool)
+    "packed adjoint batches in flight" true
+    (clean.L.g_stats.Stats.msgs_sent > 0);
+  List.iter
+    (fun plan_name ->
+      let plan = Faults.plan_of_name ~nranks:4 plan_name in
+      let faulty = grad (Some plan) in
+      Array.iteri
+        (fun r (on : float array) ->
+          Array.iteri
+            (fun i x ->
+              Alcotest.(check int64)
+                (Printf.sprintf "%s rank %d d_x[%d]" plan_name r i)
+                (Int64.bits_of_float clean.L.d_coords.(r).(i))
+                (Int64.bits_of_float x))
+            on)
+        faulty.L.d_coords)
+    [ "drop-retry"; "delay" ]
+
 let () =
   Alcotest.run "faults"
     [
@@ -412,5 +449,7 @@ let () =
             test_gradient_under_drop_retry;
           Alcotest.test_case "adjoints bitwise stable" `Quick
             test_gradient_drop_retry_bitwise;
+          Alcotest.test_case "plans transparent to coalesced batches"
+            `Quick test_gradient_coalesced_plans_transparent;
         ] );
     ]

@@ -113,6 +113,42 @@ let test_scaling_gradient_mpi () =
     true
     (t4 < t1 /. 1.8)
 
+let test_gradient_coalesce_bit_identical () =
+  (* Coalesced adjoint exchanges accumulate each chunk at exactly the
+     program point where the one-blocking-dual-per-exchange baseline
+     would have accumulated it (orphan chunks are parked until their
+     expectation registers), so the gradients must be bit-identical to
+     the --no-coalesce ablation — not merely close. *)
+  let nc = { Parad_core.Plan.default_options with coalesce_comm = false } in
+  let g_on = L.gradient ~nranks:4 L.Mpi tiny in
+  let g_off = L.gradient ~nranks:4 ~opts:nc L.Mpi tiny in
+  let bits name per_rank_on per_rank_off =
+    Array.iteri
+      (fun r (on : float array) ->
+        Array.iteri
+          (fun i x ->
+            Alcotest.(check int64)
+              (Printf.sprintf "rank %d %s[%d]" r name i)
+              (Int64.bits_of_float per_rank_off.(r).(i))
+              (Int64.bits_of_float x))
+          on)
+      per_rank_on
+  in
+  bits "d_x" g_on.L.d_coords g_off.L.d_coords;
+  bits "d_e" g_on.L.d_energy g_off.L.d_energy
+
+let test_gradient_coalesced_audit_clean () =
+  (* the communication audit must match every packed adjoint message
+     back to its originating exchanges: no residual staged chunks,
+     unfulfilled expectations, or orphans after a coalesced sweep *)
+  let mpi_ref = ref None in
+  ignore (L.gradient ~nranks:4 ~mpi_ref L.Mpi tiny);
+  match Parad_verify.Comm_check.audit (Option.get !mpi_ref) with
+  | [] -> ()
+  | issues ->
+    Alcotest.failf "coalesced gradient audit: %s"
+      (Parad_verify.Comm_check.report issues)
+
 let test_scaling_omp () =
   let inp = { L.nx = 6; ny = 6; nz = 16; niter = 2; dt0 = 0.01; escale = 1.0 } in
   let t w = (L.run ~nthreads:w L.Omp inp).L.makespan in
@@ -142,5 +178,9 @@ let () =
             test_gradient_fd_seq;
           Alcotest.test_case "gradient scales" `Quick
             test_scaling_gradient_mpi;
+          Alcotest.test_case "coalesce bit-identical" `Quick
+            test_gradient_coalesce_bit_identical;
+          Alcotest.test_case "coalesced audit clean" `Quick
+            test_gradient_coalesced_audit_clean;
         ] );
     ]
