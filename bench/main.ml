@@ -4,7 +4,8 @@
    throughput).
 
    Usage: main.exe [--quick] [--figure fig8|fig9|fig10|fig11|overhead|
-                              verify|ablation|micro] [--recompute-depth N]
+                              verify|ablation|checkpoint|micro]
+                   [--recompute-depth N]
 
    Figure drivers record machine-readable results; the run writes them
    to BENCH_overhead.json on exit (see Util.write_bench_json). *)
@@ -18,6 +19,7 @@ let figures =
     "overhead", Fig_overhead.run;
     "verify", Fig_verify.run;
     "ablation", Fig_ablation.run;
+    "checkpoint", Fig_checkpoint.run;
   ]
 
 (* ---- bechamel micro-benchmarks (real time) ---- *)
@@ -100,4 +102,5 @@ let () =
     micro ~quick);
   Util.write_bench_json ~quick;
   Util.write_mpi_json ~quick;
+  Util.write_checkpoint_json ~quick;
   Printf.printf "\nbench: done.\n"

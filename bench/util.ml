@@ -171,6 +171,93 @@ let write_mpi_json ~quick =
     Printf.printf "wrote %s (%d configs)\n" path (List.length rows)
   end
 
+(* ---- machine-readable checkpoint results (BENCH_checkpoint.json) ----
+
+   The checkpoint figure appends one record per schedule (store-all
+   baseline vs. binomial under a snapshot budget) on the long-horizon
+   LULESH MPI run; the main driver writes them out at exit.
+   Line-oriented for the same reason as the other BENCH files:
+   scripts/check.sh's checkpoint gate greps the binomial gate row and
+   compares its cache_peak against bench/checkpoint_threshold. *)
+
+type ckpt_record = {
+  c_name : string;
+  c_niter : int;
+  c_budget : int;  (** 0 = store-all (no snapshot budget) *)
+  c_tiers : int;
+  c_gradient : float;
+  c_cache_peak : int;
+  c_sweeps : int;
+  c_segments : int;
+  c_advances : int;
+  c_snap_count : int;
+  c_snap_bytes : int;
+  c_snap_evictions : int;
+  c_snap_restores : int;
+  c_bitwise : bool;  (** gradient bit-identical to the store-all baseline *)
+}
+
+let ckpt_records : ckpt_record list ref = ref []
+
+let record_checkpoint ~name ~niter ~budget ~tiers ~gradient ~sweeps ~segments
+    ~advances ~bitwise ~stats =
+  let peak, cnt, bytes, ev, rst =
+    match (stats : S.t option) with
+    | Some s ->
+      ( s.S.cache_peak,
+        s.S.snap_count,
+        s.S.snap_bytes,
+        s.S.snap_evictions,
+        s.S.snap_restores )
+    | None -> 0, 0, 0, 0, 0
+  in
+  ckpt_records :=
+    {
+      c_name = name;
+      c_niter = niter;
+      c_budget = budget;
+      c_tiers = tiers;
+      c_gradient = gradient;
+      c_cache_peak = peak;
+      c_sweeps = sweeps;
+      c_segments = segments;
+      c_advances = advances;
+      c_snap_count = cnt;
+      c_snap_bytes = bytes;
+      c_snap_evictions = ev;
+      c_snap_restores = rst;
+      c_bitwise = bitwise;
+    }
+    :: !ckpt_records
+
+let write_checkpoint_json ~quick =
+  if !ckpt_records <> [] then begin
+    let path = "BENCH_checkpoint.json" in
+    let oc = open_out path in
+    Printf.fprintf oc
+      "{\n  \"schema\": \"parad-bench-checkpoint/1\",\n  \"quick\": %b,\n\
+      \  \"configs\": [\n"
+      quick;
+    let rows = List.rev !ckpt_records in
+    let last = List.length rows - 1 in
+    List.iteri
+      (fun i r ->
+        Printf.fprintf oc
+          "    {\"name\": %S, \"niter\": %d, \"budget\": %d, \"tiers\": %d, \
+           \"gradient\": %.6g, \"cache_peak\": %d, \"sweeps\": %d, \
+           \"segments\": %d, \"advances\": %d, \"snap_count\": %d, \
+           \"snap_bytes\": %d, \"snap_evictions\": %d, \
+           \"snap_restores\": %d, \"bitwise\": %b}%s\n"
+          r.c_name r.c_niter r.c_budget r.c_tiers r.c_gradient r.c_cache_peak
+          r.c_sweeps r.c_segments r.c_advances r.c_snap_count r.c_snap_bytes
+          r.c_snap_evictions r.c_snap_restores r.c_bitwise
+          (if i = last then "" else ","))
+      rows;
+    Printf.fprintf oc "  ]\n}\n";
+    close_out oc;
+    Printf.printf "wrote %s (%d configs)\n" path (List.length rows)
+  end
+
 let write_bench_json ~quick =
   if !ovh_records <> [] || !micro_records <> [] then begin
     let path = "BENCH_overhead.json" in

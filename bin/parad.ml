@@ -162,18 +162,90 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"run a LULESH variant in the simulator")
     Term.(const run $ flavor_arg $ ranks_arg $ threads_arg $ size_arg $ iters_arg)
 
+(* A negative depth has no meaning to the planner (0 already means "cache
+   everything"); reject it at parse time with an actionable message
+   instead of surfacing a planner invariant failure. *)
+let nonneg_depth_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | None -> Error (`Msg (Printf.sprintf "invalid recompute depth %S" s))
+    | Some n when n >= 0 -> Ok n
+    | Some n ->
+      Error
+        (`Msg
+           (Printf.sprintf
+              "--recompute-depth must be non-negative (got %d); 0 caches \
+               every needed value"
+              n))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
 let recompute_depth_arg =
   Arg.(
     value
-    & opt int Parad_core.Plan.default_options.Parad_core.Plan.recompute_depth
+    & opt nonneg_depth_conv
+        Parad_core.Plan.default_options.Parad_core.Plan.recompute_depth
     & info [ "recompute-depth" ]
         ~doc:
           "planner recompute-vs-cache height bound: 0 caches every needed \
            value, larger values rematerialize taller pure expressions in \
            the reverse sweep (the abl-mincut knob)")
 
+(* Snapshot budgets below 1 cannot hold even the segment being reversed;
+   reject them up front rather than from the store constructor. *)
+let snap_budget_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | None -> Error (`Msg (Printf.sprintf "invalid snapshot budget %S" s))
+    | Some n when n >= 1 -> Ok n
+    | Some n ->
+      Error
+        (`Msg
+           (Printf.sprintf
+              "--snap-budget must be at least 1 (got %d): the binomial \
+               schedule needs at least one live snapshot slot"
+              n))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let snap_budget_arg =
+  Arg.(
+    value
+    & opt (some snap_budget_conv) None
+    & info [ "snap-budget" ]
+        ~doc:
+          "checkpoint the outer timestep loop under a revolve-style \
+           binomial schedule with at most this many snapshots live in the \
+           hot tier (default: store-all, one snapshot per step)")
+
+let snap_tiers_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some (1 | 2) as n -> Ok (Option.get n)
+    | Some n ->
+      Error
+        (`Msg
+           (Printf.sprintf
+              "--snap-tiers must be 1 (hot ring only, evictions drop) or 2 \
+               (evictions demote to the disk tier); got %d"
+              n))
+    | None -> Error (`Msg (Printf.sprintf "invalid tier count %S" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let snap_tiers_arg =
+  Arg.(
+    value
+    & opt snap_tiers_conv 2
+    & info [ "snap-tiers" ]
+        ~doc:
+          "snapshot store tiers: 2 demotes hot-ring evictions to a \
+           bandwidth-charged disk tier, 1 drops them (recovery then \
+           degrades to older snapshots)")
+
 let grad_cmd =
-  let run flavor ranks threads size iters recompute_depth no_coalesce =
+  let run flavor ranks threads size iters recompute_depth no_coalesce
+      snap_budget snap_tiers =
     let inp =
       {
         L.nx = size;
@@ -193,11 +265,31 @@ let grad_cmd =
     in
     guarded (fun () ->
         let p = L.run ~nranks:ranks ~nthreads:threads flavor inp in
-        let g = L.gradient ~nranks:ranks ~nthreads:threads ~opts flavor inp in
+        let g, extra =
+          match snap_budget with
+          | None ->
+            ( L.gradient ~nranks:ranks ~nthreads:threads ~opts flavor inp,
+              None )
+          | Some budget ->
+            let b =
+              L.gradient_binomial ~nranks:ranks ~nthreads:threads ~opts
+                ~tiers:snap_tiers ~budget flavor inp
+            in
+            b.L.b_grad, Some b
+        in
         Printf.printf
           "%s: forward %.0f cycles, gradient %.0f cycles, overhead %.2fx\n"
           (L.flavor_name flavor) p.L.makespan g.L.g_makespan
           (g.L.g_makespan /. p.L.makespan);
+        (match extra with
+        | None -> ()
+        | Some b ->
+          Printf.printf
+            "binomial: budget %d, tiers %d, %d worst-case sweep(s), %d \
+             reverse segment(s), %d re-advance step(s), %d degraded \
+             fetch(es)\n"
+            b.L.b_budget snap_tiers b.L.b_sweeps b.L.b_segments b.L.b_advances
+            b.L.b_degraded);
         let d = g.L.d_energy.(0) in
         Printf.printf "d total / d e[0..3] = %.4f %.4f %.4f %.4f\n" d.(0)
           d.(1) d.(2) d.(3);
@@ -208,7 +300,8 @@ let grad_cmd =
     (Cmd.info "grad" ~doc:"differentiate a LULESH variant and report overhead")
     Term.(
       const run $ flavor_arg $ ranks_arg $ threads_arg $ size_arg $ iters_arg
-      $ recompute_depth_arg $ no_coalesce_arg)
+      $ recompute_depth_arg $ no_coalesce_arg $ snap_budget_arg
+      $ snap_tiers_arg)
 
 let check_cmd =
   let run () =
@@ -695,6 +788,45 @@ let sanitize_cmd =
       $ mode_arg $ no_race_arg $ no_mem_arg $ no_grad_arg $ pedantic_arg
       $ inject_nan_arg $ assume_private_arg $ atomic_always_arg)
 
+(* ---- chaos soak: randomized fault plans x checkpoint schedules, every
+   trial either reproduces the faultless gradient bit-for-bit or aborts
+   through a documented exit code. Exit codes: 0 zero unclassified
+   trials, 1 otherwise. *)
+let soak_cmd =
+  let trials_arg =
+    Arg.(
+      value & opt int 50
+      & info [ "trials" ] ~doc:"seeded fault/schedule combinations to run")
+  in
+  let soak_seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ]
+          ~doc:
+            "soak PRNG seed; the whole soak is a pure function of it, so a \
+             failing trial replays exactly")
+  in
+  let run trials seed =
+    let report =
+      Apps_lulesh.Chaos.soak ~trials ~log:print_endline ~seed ()
+    in
+    Printf.printf
+      "soak: seed %d, %d trial(s): %d bit-identical, %d classified clean \
+       abort(s), %d UNCLASSIFIED\n"
+      report.Apps_lulesh.Chaos.r_seed trials
+      report.Apps_lulesh.Chaos.r_identical
+      report.Apps_lulesh.Chaos.r_classified
+      report.Apps_lulesh.Chaos.r_unclassified;
+    if report.Apps_lulesh.Chaos.r_unclassified > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "chaos-soak the checkpoint/recovery stack: randomized fault plans \
+          and checkpoint schedules, each trial must reproduce the faultless \
+          gradient bit-for-bit or abort with a documented exit code")
+    Term.(const run $ trials_arg $ soak_seed_arg)
+
 let () =
   let info = Cmd.info "parad" ~doc:"parallel AD through compiler augmentation" in
   exit
@@ -702,5 +834,5 @@ let () =
        (Cmd.group info
           [
             ir_cmd; gradient_cmd; run_cmd; grad_cmd; check_cmd; faults_cmd;
-            recover_cmd; sanitize_cmd;
+            recover_cmd; sanitize_cmd; soak_cmd;
           ]))

@@ -141,7 +141,13 @@ type bufs = {
   ne : Var.t;  (** local element count *)
 }
 
-let emit_body flavor b (m : bufs) ~niter ~dt0 =
+(* [loss = false] emits the "steps" variant used by the binomial
+   checkpointed-adjoint driver: the same timestep loop, but no loss
+   reduction — the function returns the final time step instead, so a
+   segment's gradient can seed the adjoint of the loop-carried dt at its
+   upper boundary (via d_ret) and read the adjoint at its lower boundary
+   (via d_args, dt0 being an active scalar argument). *)
+let emit_body ?(loss = true) flavor b (m : bufs) ~niter ~dt0 =
   let f = B.f64 b in
   let i0 = B.i64 b 0 in
   let gamma = f 1.4 and qq = f 2.0 and hgc = f 0.02 and scale = f 0.25 in
@@ -406,39 +412,46 @@ let emit_body flavor b (m : bufs) ~niter ~dt0 =
         else dtmin
       in
       B.store b dtcell i0 (B.min_ b (f 0.05) (B.mul b (f 0.9) dtnext)));
-  (* loss: total internal + kinetic energy *)
-  let acc = B.alloc b Ty.Float (B.i64 b 1) in
-  B.store b acc i0 (f 0.0);
-  B.for_n b m.ne (fun k ->
-      let cur = B.load b acc i0 in
-      B.store b acc i0 (B.add b cur (ld b m.e k)));
-  (* nodes on a plane shared with the higher neighbour are owned by that
-     neighbour — avoid double counting under MPI *)
-  let owned_nn = B.select b has_hi hi_plane_base m.nn in
-  B.for_n b owned_nn (fun n ->
-      let mss = ld b m.mass n in
-      let ke =
-        B.mul b (B.mul b (f 0.5) mss)
-          (B.add b
-             (B.mul b (ld b m.xd n) (ld b m.xd n))
-             (B.add b
-                (B.mul b (ld b m.yd n) (ld b m.yd n))
-                (B.mul b (ld b m.zd n) (ld b m.zd n))))
-      in
-      let cur = B.load b acc i0 in
-      B.store b acc i0 (B.add b cur ke));
   let total =
-    if uses_mpi flavor then begin
-      let recvc = B.alloc b Ty.Float (B.i64 b 1) in
-      ignore
-        (B.call b ~ret:Ty.Unit "mpi.allreduce_sum" [ acc; recvc; B.i64 b 1 ]);
-      let r = B.load b recvc i0 in
-      B.free b recvc;
-      r
+    if not loss then B.load b dtcell i0
+    else begin
+      (* loss: total internal + kinetic energy *)
+      let acc = B.alloc b Ty.Float (B.i64 b 1) in
+      B.store b acc i0 (f 0.0);
+      B.for_n b m.ne (fun k ->
+          let cur = B.load b acc i0 in
+          B.store b acc i0 (B.add b cur (ld b m.e k)));
+      (* nodes on a plane shared with the higher neighbour are owned by
+         that neighbour — avoid double counting under MPI *)
+      let owned_nn = B.select b has_hi hi_plane_base m.nn in
+      B.for_n b owned_nn (fun n ->
+          let mss = ld b m.mass n in
+          let ke =
+            B.mul b (B.mul b (f 0.5) mss)
+              (B.add b
+                 (B.mul b (ld b m.xd n) (ld b m.xd n))
+                 (B.add b
+                    (B.mul b (ld b m.yd n) (ld b m.yd n))
+                    (B.mul b (ld b m.zd n) (ld b m.zd n))))
+          in
+          let cur = B.load b acc i0 in
+          B.store b acc i0 (B.add b cur ke));
+      let total =
+        if uses_mpi flavor then begin
+          let recvc = B.alloc b Ty.Float (B.i64 b 1) in
+          ignore
+            (B.call b ~ret:Ty.Unit "mpi.allreduce_sum"
+               [ acc; recvc; B.i64 b 1 ]);
+          let r = B.load b recvc i0 in
+          B.free b recvc;
+          r
+        end
+        else B.load b acc i0
+      in
+      B.free b acc;
+      total
     end
-    else B.load b acc i0
   in
-  B.free b acc;
   (match fx with Raw p -> B.free b p | Jla _ -> ());
   (match fy with Raw p -> B.free b p | Jla _ -> ());
   (match fz with Raw p -> B.free b p | Jla _ -> ());
@@ -450,7 +463,9 @@ let emit_body flavor b (m : bufs) ~niter ~dt0 =
 let raw_float_params =
   [ "x"; "y"; "z"; "xd"; "yd"; "zd"; "e" ]
 
-let build flavor prog =
+let steps_name flavor = flavor_name flavor ^ "_steps"
+
+let build ?(steps = false) flavor prog =
   let jl = julia flavor in
   let fparams =
     List.map
@@ -481,9 +496,8 @@ let build flavor prog =
             default_attr;
           ]
   in
-  let b, ps =
-    B.func prog (flavor_name flavor) ~attrs ~params:fparams ~ret:Ty.Float
-  in
+  let fname = if steps then steps_name flavor else flavor_name flavor in
+  let b, ps = B.func prog fname ~attrs ~params:fparams ~ret:Ty.Float in
   match ps with
   | [ x; y; z; xd; yd; zd; e; nodelist; mass; nx; ny; nzl; niter; dt0 ] ->
     let wrap v = if jl then Jla (Jl.of_param b v ~len:(B.i64 b 0)) else Raw v in
@@ -502,7 +516,7 @@ let build flavor prog =
         nx; ny; nzl; nn; ne;
       }
     in
-    let total = emit_body flavor b m ~niter ~dt0 in
+    let total = emit_body ~loss:(not steps) flavor b m ~niter ~dt0 in
     B.return b (Some total);
     ignore (B.finish b)
   | _ -> assert false
@@ -510,6 +524,13 @@ let build flavor prog =
 let program flavor =
   let prog = Prog.create () in
   build flavor prog;
+  Verifier.check_prog prog;
+  prog
+
+(** The loss-free "steps" variant, for the binomial segmented driver. *)
+let program_steps flavor =
+  let prog = Prog.create () in
+  build ~steps:true flavor prog;
   Verifier.check_prog prog;
   prog
 
@@ -748,14 +769,14 @@ let gradient ?(nthreads = 1) ?(nranks = 1)
     at each timestep and a killed rank triggers restore-and-replay
     instead of ending the run. *)
 let run_recoverable ?(nthreads = 1) ?(nranks = 1) ?(pre = []) ?faults
-    ?mpi_ref ?san ?max_restarts flavor (inp : input) :
+    ?mpi_ref ?san ?max_restarts ?policy flavor (inp : input) :
     run_result * Exec.recovery =
   let cfg = { Interp.default_config with nthreads } in
   let prog = program flavor in
   let prog = if pre = [] then prog else Parad_opt.Pipeline.run prog pre in
   let res, recov =
-    Exec.run_spmd_recoverable ~cfg ?faults ?mpi_ref ?san ?max_restarts prog
-      ~nranks
+    Exec.run_spmd_recoverable ~cfg ?faults ?mpi_ref ?san ?max_restarts ?policy
+      prog ~nranks
       ~fname:(flavor_name flavor)
       ~setup:(fun ctx ~rank ->
         let args, _, _ = setup_args flavor inp ~nranks ctx ~rank in
@@ -774,7 +795,7 @@ let run_recoverable ?(nthreads = 1) ?(nranks = 1) ?(pre = []) ?faults
     gradient bit-for-bit. *)
 let gradient_recoverable ?(nthreads = 1) ?(nranks = 1)
     ?(opts = Parad_core.Plan.default_options) ?(post_opt = true) ?(pre = [])
-    ?faults ?mpi_ref ?san ?max_restarts flavor (inp : input) :
+    ?faults ?mpi_ref ?san ?max_restarts ?policy flavor (inp : input) :
     grad_result * Exec.recovery =
   let cfg =
     {
@@ -795,8 +816,8 @@ let gradient_recoverable ?(nthreads = 1) ?(nranks = 1)
   let jl = julia flavor in
   let shadows = Array.make nranks [||] in
   let res, recov =
-    Exec.run_spmd_recoverable ~cfg ?faults ?mpi_ref ?san ?max_restarts dprog
-      ~nranks ~fname:dname
+    Exec.run_spmd_recoverable ~cfg ?faults ?mpi_ref ?san ?max_restarts ?policy
+      dprog ~nranks ~fname:dname
       ~setup:(fun ctx ~rank ->
         let args, bufs, m = setup_args flavor inp ~nranks ctx ~rank in
         ignore bufs;
@@ -829,3 +850,328 @@ let gradient_recoverable ?(nthreads = 1) ?(nranks = 1)
       g_stats = res.Exec.stats;
     },
     recov )
+
+(* ---- binomial (revolve) checkpointed adjoint driver ---- *)
+
+(* Adjoint state carried across a segment boundary: per rank, the
+   adjoints of the seven loop-carried float arrays, of the node masses,
+   and of the loop-carried time step (the boundary dt, seeded into the
+   preceding segment's d_ret). *)
+type seg_adj = {
+  ds : float array array array;  (** rank -> [|dx;dy;dz;dxd;dyd;dzd;de|] *)
+  dmass : float array array;  (** rank -> nodal mass adjoints *)
+  ddt : float array;  (** rank -> adjoint of the boundary time step *)
+}
+
+type binom_result = {
+  b_grad : grad_result;  (** aggregate gradient result over all sweeps *)
+  b_budget : int;
+  b_sweeps : int;  (** worst-case repetition count of the schedule *)
+  b_segments : int;  (** single-step gradient segments executed *)
+  b_advances : int;  (** primal re-advance steps executed *)
+  b_degraded : int;
+      (** snapshot fetches that found their target missing/corrupt and
+          degraded to recomputing from an older checkpoint *)
+  b_store : Checkpoint.store;
+}
+
+(** Gradient of the LULESH loss via revolve-style binomial checkpointing
+    of the outer timestep loop (ROADMAP item 5): at most [budget]
+    loop-state snapshots live at once in the tiered store, each reverse
+    segment re-advances the primal from the nearest valid snapshot, and
+    the per-step reverse sweeps are exactly the per-iteration slices of
+    the monolithic sweep — so the result is bit-identical to {!gradient}
+    (the store-all baseline) while the AD cache peak stays that of a
+    single timestep. Snapshots are fetched through the store's checksums:
+    a corrupted or evicted snapshot degrades the fetch to an older valid
+    one (re-advancing further) instead of aborting. [faults] supervises
+    every inner simulator run with {!Exec.run_spmd_recoverable}, fired
+    kills being consumed across runs; [on_snapshot] is a fault-injection
+    hook invoked after each driver snapshot (chaos soak corrupts there). *)
+let gradient_binomial ?(nthreads = 1) ?(nranks = 1)
+    ?(opts = Parad_core.Plan.default_options) ?(post_opt = true) ?faults
+    ?max_restarts ?(tiers = 2)
+    ?(on_snapshot : (step:int -> store:Checkpoint.store -> unit) option)
+    ~budget flavor (inp : input) : binom_result =
+  if budget < 1 then invalid_arg "gradient_binomial: budget must be >= 1";
+  let n = inp.niter in
+  if n < 1 then invalid_arg "gradient_binomial: niter must be >= 1";
+  let cfg =
+    {
+      Interp.default_config with
+      nthreads;
+      coalesce = opts.Parad_core.Plan.coalesce_comm;
+    }
+  in
+  let c = cfg.Interp.cost in
+  let policy = { Checkpoint.hot_budget = Some budget; tiers } in
+  let store = Checkpoint.create_store ~policy ~nranks () in
+  let post p =
+    if post_opt then Parad_opt.Pipeline.run p Parad_opt.Pipeline.post_ad
+    else p
+  in
+  let dprog_full, dname_full =
+    Parad_core.Reverse.gradient ~opts (program flavor) (flavor_name flavor)
+  in
+  let dprog_full = post dprog_full in
+  let prog_steps = program_steps flavor in
+  let dprog_steps, dname_steps =
+    Parad_core.Reverse.gradient ~opts prog_steps (steps_name flavor)
+  in
+  let dprog_steps = post dprog_steps in
+  let jl = julia flavor in
+  let meshes = Array.init nranks (fun rank -> mesh inp ~nranks ~rank) in
+  let nn = Array.length meshes.(0).node_mass in
+  let ne = Array.length meshes.(0).energy in
+  let state_cells = (6 * nn) + ne + 1 in
+  let initial_state rank =
+    let m = meshes.(rank) in
+    Array.map Array.copy
+      [|
+        m.coords.(0); m.coords.(1); m.coords.(2);
+        m.vels.(0); m.vels.(1); m.vels.(2);
+        m.energy;
+      |]
+  in
+  (* aggregates across all inner simulator runs + driver snapshot traffic *)
+  let agg = Stats.create () in
+  let makespan = ref 0.0 in
+  let plan = ref (Option.value faults ~default:Faults.none) in
+  let segments = ref 0 and advances = ref 0 and degraded = ref 0 in
+  let g_total = ref 0.0 in
+  let run_prog prog fname setup =
+    match faults with
+    | None ->
+      let res = Exec.run_spmd ~cfg prog ~nranks ~fname ~setup in
+      Stats.merge ~into:agg res.Exec.stats;
+      makespan := !makespan +. res.Exec.makespan;
+      res.Exec.values
+    | Some _ ->
+      let res, recov =
+        Exec.run_spmd_recoverable ~cfg ~faults:!plan ?max_restarts ~policy
+          prog ~nranks ~fname ~setup
+      in
+      List.iter
+        (fun (fn : Mpi_state.failure_notice) ->
+          plan := Faults.consume_kill !plan ~rank:fn.Mpi_state.fn_failed)
+        recov.Exec.r_failures;
+      Stats.merge ~into:agg res.Exec.stats;
+      makespan := !makespan +. res.Exec.makespan;
+      res.Exec.values
+  in
+  let pack ctx data =
+    let d = Exec.floats ctx data in
+    if jl then Exec.ptr_cell ctx d, d else d, d
+  in
+  (* primal/augmented argument list from explicit loop state *)
+  let state_args ctx ~rank ~state ~dt ~nsteps =
+    let m = meshes.(rank) in
+    let p = Array.map (fun a -> pack ctx a) state in
+    let nodelist = Exec.ints ctx m.conn in
+    let mass, _ = pack ctx m.node_mass in
+    ( Array.to_list (Array.map fst p)
+      @ [
+          nodelist; mass;
+          Value.VInt inp.nx; Value.VInt inp.ny; Value.VInt m.nzl;
+          Value.VInt nsteps; Value.VFloat dt;
+        ],
+      Array.map snd p )
+  in
+  (* driver snapshot traffic: charged like the checkpoint intrinsic *)
+  let put_state ~step state dts =
+    for rank = 0 to nranks - 1 do
+      let pi =
+        Checkpoint.put_floats store ~rank ~id:step ~dt:dts.(rank) state.(rank)
+      in
+      agg.snap_count <- agg.snap_count + 1;
+      agg.snap_bytes <- agg.snap_bytes + pi.Checkpoint.p_bytes;
+      agg.snap_evictions <- agg.snap_evictions + pi.Checkpoint.p_evictions;
+      makespan :=
+        !makespan +. c.Cost_model.ckpt_base
+        +. (c.Cost_model.ckpt_per_cell *. float_of_int state_cells);
+      if pi.Checkpoint.p_demoted_cells > 0 then
+        makespan :=
+          !makespan +. c.Cost_model.snap_disk_base
+          +. (c.Cost_model.snap_disk_per_cell
+             *. float_of_int pi.Checkpoint.p_demoted_cells)
+    done;
+    match on_snapshot with
+    | Some hook -> hook ~step ~store
+    | None -> ()
+  in
+  let all_valid id =
+    let ok = ref true in
+    for r = 0 to nranks - 1 do
+      if not (Checkpoint.valid store ~rank:r ~id) then ok := false
+    done;
+    !ok
+  in
+  let exists_any id =
+    let r = ref false in
+    for rank = 0 to nranks - 1 do
+      match Checkpoint.snapshot_tier store ~rank ~id with
+      | Some _ -> r := true
+      | None -> ()
+    done;
+    !r
+  in
+  (* run the primal forward [target - from] steps from explicit state *)
+  let advance ~state ~dts ~from ~target =
+    if target = from then state, dts
+    else begin
+      advances := !advances + (target - from);
+      let out = Array.make nranks [||] in
+      let values =
+        run_prog prog_steps (steps_name flavor) (fun ctx ~rank ->
+            let args, bufs =
+              state_args ctx ~rank ~state:state.(rank) ~dt:dts.(rank)
+                ~nsteps:(target - from)
+            in
+            out.(rank) <- bufs;
+            args)
+      in
+      ( Array.init nranks (fun r -> Array.map Exec.to_floats out.(r)),
+        Array.init nranks (fun r -> Value.to_float values.(r)) )
+    end
+  in
+  (* loop state at [step]: fetch the nearest valid snapshot at or below
+     it (integrity-checked; invalid ones are skipped and counted as
+     degradations) and re-advance the primal the rest of the way.
+     Falls back to the deterministic initial state when nothing valid
+     survives. *)
+  let materialize step =
+    let rec nearest id =
+      if id < 0 then None
+      else if all_valid id then Some id
+      else nearest (id - 1)
+    in
+    let base, state, dts =
+      match nearest step with
+      | Some id ->
+        for id' = id + 1 to step do
+          if exists_any id' then incr degraded
+        done;
+        let dts = Array.make nranks 0.0 in
+        let state =
+          Array.init nranks (fun r ->
+              match Checkpoint.get_floats store ~rank:r ~id with
+              | Some (dt, arrays, tier) ->
+                agg.snap_restores <- agg.snap_restores + 1;
+                makespan :=
+                  !makespan +. c.Cost_model.ckpt_base
+                  +. (c.Cost_model.ckpt_per_cell *. float_of_int state_cells);
+                (match tier with
+                | Checkpoint.Disk ->
+                  makespan :=
+                    !makespan +. c.Cost_model.snap_disk_base
+                    +. (c.Cost_model.snap_disk_per_cell
+                       *. float_of_int state_cells)
+                | Checkpoint.Hot -> ());
+                dts.(r) <- dt;
+                arrays
+              | None -> assert false)
+        in
+        id, state, dts
+      | None ->
+        if step > 0 || exists_any 0 then incr degraded;
+        0, Array.init nranks initial_state, Array.make nranks inp.dt0
+    in
+    advance ~state ~dts ~from:base ~target:step
+  in
+  (* reverse one timestep [step, step+1): gradient of the steps variant,
+     seeded with the succeeding segment's adjoints — or of the full
+     (loss-carrying) variant for the last step, seeded by the loss *)
+  let seg_grad ~state ~dts ~step (d : seg_adj option) : seg_adj =
+    incr segments;
+    let final = step = n - 1 in
+    let prog, fname =
+      if final then dprog_full, dname_full else dprog_steps, dname_steps
+    in
+    let sh = Array.make nranks [||] in
+    let dmass_b = Array.make nranks Value.VUnit in
+    let dargs_b = Array.make nranks Value.VUnit in
+    let values =
+      run_prog prog fname (fun ctx ~rank ->
+          let args, _ =
+            state_args ctx ~rank ~state:state.(rank) ~dt:dts.(rank) ~nsteps:1
+          in
+          let seed i len =
+            match d with
+            | Some d -> Exec.floats ctx d.ds.(rank).(i)
+            | None -> ignore i; Exec.zeros ctx len
+          in
+          let sv =
+            Array.init 7 (fun i ->
+                let dbuf = seed i (if i < 6 then nn else ne) in
+                if jl then Exec.ptr_cell ctx dbuf, dbuf else dbuf, dbuf)
+          in
+          let d_nl = Exec.ints ctx (Array.make (ne * 8) 0) in
+          let dmass =
+            match d with
+            | Some d -> Exec.floats ctx d.dmass.(rank)
+            | None -> Exec.zeros ctx nn
+          in
+          let dmass_arg = if jl then Exec.ptr_cell ctx dmass else dmass in
+          let d_ret =
+            match d with
+            | Some d -> d.ddt.(rank)
+            | None -> if rank = 0 then 1.0 else 0.0
+          in
+          let d_args = Exec.zeros ctx 1 in
+          sh.(rank) <- Array.map snd sv;
+          dmass_b.(rank) <- dmass;
+          dargs_b.(rank) <- d_args;
+          args
+          @ Array.to_list (Array.map fst sv)
+          @ [ d_nl; dmass_arg; Value.VFloat d_ret; d_args ])
+    in
+    if final then g_total := Value.to_float values.(0);
+    {
+      ds = Array.init nranks (fun r -> Array.map Exec.to_floats sh.(r));
+      dmass = Array.init nranks (fun r -> Exec.to_floats dmass_b.(r));
+      ddt = Array.init nranks (fun r -> (Exec.to_floats dargs_b.(r)).(0));
+    }
+  in
+  (* the revolve recursion: reverse steps [a, b) with [free] snapshot
+     slots usable strictly inside the range (the snapshot at [a] is
+     already placed). free = 0 peels one step at a time, re-advancing
+     from [a] — the quadratic fallback the binomial split avoids. *)
+  let rec rev a b free d =
+    if b - a = 1 then begin
+      let state, dts = materialize a in
+      seg_grad ~state ~dts ~step:a d
+    end
+    else if free >= 1 then begin
+      let adv = Parad_core.Plan.Binomial.advance ~budget:free ~steps:(b - a) in
+      let mid = a + adv in
+      let state, dts = materialize mid in
+      put_state ~step:mid state dts;
+      let d' = rev mid b (free - 1) d in
+      Checkpoint.release store ~id:mid;
+      rev a mid free (Some d')
+    end
+    else begin
+      let state, dts = materialize (b - 1) in
+      let d' = seg_grad ~state ~dts ~step:(b - 1) d in
+      rev a (b - 1) 0 (Some d')
+    end
+  in
+  put_state ~step:0 (Array.init nranks initial_state)
+    (Array.make nranks inp.dt0);
+  let d = rev 0 n (budget - 1) None in
+  {
+    b_grad =
+      {
+        g_total = !g_total;
+        d_coords = Array.init nranks (fun r -> d.ds.(r).(0));
+        d_energy = Array.init nranks (fun r -> d.ds.(r).(6));
+        g_makespan = !makespan;
+        g_stats = agg;
+      };
+    b_budget = budget;
+    b_sweeps = Parad_core.Plan.Binomial.sweeps ~budget ~steps:n;
+    b_segments = !segments;
+    b_advances = !advances;
+    b_degraded = !degraded;
+    b_store = store;
+  }

@@ -61,6 +61,12 @@ type options = {
           exchanges, so the runtime can coalesce them into packed
           messages; off emits the one-blocking-dual-per-exchange form
           (the [--no-coalesce] ablation baseline) *)
+  ckpt_reverse : bool;
+      (** emit a [parad.checkpoint_rev] snapshot site at reverse entry
+          (between the forward sweep and the reverse sweep) of combined
+          gradient functions whose source already checkpoints, so a rank
+          killed mid-reverse-sweep can restore there instead of replaying
+          its whole forward sweep *)
   prefix : string;  (** prefix for generated function names *)
 }
 
@@ -70,6 +76,7 @@ let default_options =
     assume_private = false;
     recompute_depth = 10;
     coalesce_comm = true;
+    ckpt_reverse = false;
     prefix = "";
   }
 
@@ -365,7 +372,7 @@ let rec rev_work t (ins : Instr.t) : bool =
     if String.contains name '.' then (
       match name with
       | "mpi.rank" | "mpi.size" | "omp.max_threads" | "gc.collect"
-      | "parad.checkpoint" -> false
+      | "parad.checkpoint" | "parad.checkpoint_rev" -> false
       | n when String.length n >= 6 && String.sub n 0 6 = "debug." -> false
       | _ -> true)
     else true
@@ -710,7 +717,7 @@ and collect_call t ~occ ~register_callee v name args =
             shadow_ x
           end)
         args
-    | "gc.preserve_end", _ | "gc.collect", _ -> ()
+    | "gc.preserve_end", _ | "gc.collect", _ | "parad.checkpoint_rev", _ -> ()
     | n, _ when String.length n >= 6 && String.sub n 0 6 = "debug." -> ()
     | n, _ -> unsupported "cannot differentiate intrinsic %S" n
   else begin
@@ -718,6 +725,78 @@ and collect_call t ~occ ~register_callee v name args =
     need_aux t ~occ ~slot:0 Ty.Int (* cache-block handle *);
     ignore v
   end
+
+(* ---- revolve-style binomial checkpoint scheduling (ROADMAP item 5) ----
+
+   Griewank & Walther's revolve: reversing [n] outer timesteps with at
+   most [c] concurrently live snapshots costs at most [t] forward
+   re-evaluations per step, where [t] is minimal with beta(c, t) =
+   C(c + t, c) >= n. The planner below exposes the two decisions the
+   checkpointed-adjoint driver needs: how far to advance before dropping
+   the next snapshot ([advance]), and the resulting worst-case sweep
+   count ([sweeps]) for reporting. The flat [recompute_depth] knob keeps
+   governing intra-iteration values; this schedules the loop-level state
+   snapshots themselves. *)
+module Binomial = struct
+  (** beta(c, t) = C(c + t, c): the longest horizon reversible with [c]
+      snapshots and at most [t] repeated forward sweeps per step.
+      Saturates instead of overflowing. *)
+  let beta c t =
+    if c < 0 || t < 0 then 0
+    else begin
+      let r = ref 1 in
+      for i = 1 to c do
+        if !r < max_int / (t + i) then r := !r * (t + i) / i
+        else r := max_int
+      done;
+      !r
+    end
+
+  (** Minimal repetition count [t] such that [n] steps are reversible
+      with [c] snapshots: the schedule's worst-case recompute depth. *)
+  let sweeps ~budget:c ~steps:n =
+    if n <= 1 then 0
+    else if c < 1 then invalid_arg "Binomial.sweeps: budget must be >= 1"
+    else begin
+      let t = ref 0 in
+      while beta c !t < n do
+        incr t
+      done;
+      !t
+    end
+
+  (** Given [n] remaining steps and [c] free snapshot slots, how many
+      steps to advance the primal before placing the next snapshot —
+      the classic revolve split: the first child subproblem gets
+      beta(c-1, t-1) fewer steps so both children fit the bound. The
+      result is clamped to [1, n-1]; callers only ask when [n >= 2]. *)
+  let advance ~budget:c ~steps:n =
+    if n < 2 then invalid_arg "Binomial.advance: needs at least 2 steps"
+    else if c < 1 then invalid_arg "Binomial.advance: budget must be >= 1"
+    else begin
+      let t = sweeps ~budget:c ~steps:n in
+      let a = n - beta (c - 1) (t - 1) in
+      max 1 (min a (n - 1))
+    end
+
+  (** The full schedule's snapshot placements for reversing steps
+      [0 .. n-1] with [budget] slots, in the order the driver visits
+      them on the first forward pass. Mostly for tests, docs and the
+      [parad soak] report; the driver re-derives placements recursively
+      so it can re-plan after a degradation. *)
+  let store_points ~budget ~steps:n =
+    let pts = ref [] in
+    let rec go base n free =
+      if n >= 2 && free >= 1 then begin
+        let a = advance ~budget:free ~steps:n in
+        pts := (base + a) :: !pts;
+        go (base + a) (n - a) (free - 1)
+      end
+    in
+    pts := [ 0 ];
+    go 0 n (budget - 1);
+    List.sort compare !pts
+end
 
 (* Key type of each cache ordinal, for the emitter: Float ordinals get
    the unboxed [cache.newf] representation. *)

@@ -1148,7 +1148,39 @@ let emit_combined eng (f : Func.t) (p : Plan.t) dname =
   emit_preamble st;
   let idx0 = B.i64 b 0 in
   let nodes = annotate f.body in
-  fwd_emit st ~idxs:[ idx0 ] ~on_yield:no_yield nodes;
+  (* Reverse-entry checkpoint (opt-in): immediately after the last
+     top-level construct that itself checkpoints (the application's outer
+     timestep loop) the rank state is quiescent — nonblocking requests
+     waited, collectives closed, adjoint staging not yet begun — so a
+     snapshot here lets a rank killed during the reverse sweep resume at
+     reverse entry instead of replaying its whole forward sweep. The site
+     must precede any later forward code: a restoring replay skips the
+     loop's allocations, and structural buffer correspondence only holds
+     while the replay has allocated nothing beyond the snapshot's
+     preamble. Only emitted when the source itself checkpoints: otherwise
+     there is no recovery protocol to join. *)
+  let rec node_has_ckpt { ins; subs; _ } =
+    (match ins with
+    | Instr.Call (_, "parad.checkpoint", _) -> true
+    | _ -> false)
+    || List.exists (List.exists node_has_ckpt) subs
+  in
+  let last_ckpt =
+    if eng.opts.Plan.ckpt_reverse then (
+      let idx = ref (-1) in
+      List.iteri (fun i n -> if node_has_ckpt n then idx := i) nodes;
+      !idx)
+    else -1
+  in
+  if last_ckpt < 0 then
+    fwd_emit st ~idxs:[ idx0 ] ~on_yield:no_yield nodes
+  else begin
+    fwd_emit st ~idxs:[ idx0 ] ~on_yield:no_yield
+      (List.filteri (fun i _ -> i <= last_ckpt) nodes);
+    ignore (B.call b ~ret:Ty.Unit "parad.checkpoint_rev" []);
+    fwd_emit st ~idxs:[ idx0 ] ~on_yield:no_yield
+      (List.filteri (fun i _ -> i > last_ckpt) nodes)
+  end;
   (* reverse sweep *)
   let var_count = f.var_count in
   let dreg = B.alloc b Ty.Float (B.i64 b var_count) in

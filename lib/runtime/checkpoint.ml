@@ -37,32 +37,164 @@ open Value
     of the iteration body. *)
 exception Skip_iteration
 
-(* ---- snapshot store ---- *)
+(* ---- two-tier snapshot store ---- *)
+
+type tier = Hot | Disk
+
+(** Tiering policy of a store. [hot_budget = None] keeps every snapshot
+    in the in-memory hot ring (the store-all baseline); [Some b] caps the
+    ring at [b] snapshots per rank, evicting the oldest on overflow.
+    [tiers = 2] demotes evicted snapshots to the byte-stable "disk" tier
+    (restorable, but charged at disk bandwidth in the cost model);
+    [tiers = 1] drops them outright — recovery then degrades to an older
+    surviving snapshot or a cold restart. *)
+type policy = { hot_budget : int option; tiers : int }
+
+let default_policy = { hot_budget = None; tiers = 2 }
+
+type entry = {
+  mutable e_bytes : string;  (** mutable only for the corruption hook *)
+  e_sum : int64;  (** FNV-1a checksum of the pristine bytes *)
+  e_cells : int;  (** payload cells, for bandwidth cost accounting *)
+  mutable e_tier : tier;
+}
 
 type store = {
   snranks : int;
-  snaps : (int * int, string) Hashtbl.t;  (** (rank, ckpt id) -> bytes *)
+  policy : policy;
+  snaps : (int * int, entry) Hashtbl.t;  (** (rank, ckpt id) -> entry *)
+  hot : int Queue.t array;  (** per rank: hot-ring ids, oldest first *)
 }
 
-let create_store ~nranks = { snranks = nranks; snaps = Hashtbl.create 32 }
+let create_store ?(policy = default_policy) ~nranks () =
+  (match policy.hot_budget with
+  | Some b when b < 1 ->
+    error "checkpoint store: hot budget must be at least 1 (got %d)" b
+  | _ -> ());
+  if policy.tiers < 1 || policy.tiers > 2 then
+    error "checkpoint store: tiers must be 1 or 2 (got %d)" policy.tiers;
+  {
+    snranks = nranks;
+    policy;
+    snaps = Hashtbl.create 32;
+    hot = Array.init nranks (fun _ -> Queue.create ());
+  }
 
-let snapshot_bytes store ~rank ~id = Hashtbl.find_opt store.snaps (rank, id)
+(* 64-bit FNV-1a: cheap, deterministic, and sensitive to any single
+   flipped byte — enough to model end-to-end snapshot integrity. *)
+let checksum s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h :=
+        Int64.mul
+          (Int64.logxor !h (Int64.of_int (Char.code c)))
+          0x100000001b3L)
+    s;
+  !h
 
-(** Newest checkpoint id for which every rank holds a snapshot, if any.
-    Ranks pass checkpoints at different virtual times, so the newest id
-    of any single rank may not be globally restorable yet. *)
+type put_info = {
+  p_bytes : int;  (** serialized size of the new snapshot *)
+  p_evictions : int;  (** hot-ring evictions this put caused *)
+  p_demoted_cells : int;  (** cells demoted to the disk tier (0 if dropped) *)
+}
+
+(** Insert a snapshot into the hot ring, evicting (demoting or dropping,
+    per policy) the oldest hot snapshots of the same rank past the
+    budget. *)
+let put store ~rank ~id ~cells bytes =
+  Hashtbl.replace store.snaps (rank, id)
+    { e_bytes = bytes; e_sum = checksum bytes; e_cells = cells; e_tier = Hot };
+  let q = store.hot.(rank) in
+  (* a re-taken id (replays revisit their sites) must not occupy two ring
+     slots *)
+  let q' = Queue.create () in
+  Queue.iter (fun i -> if i <> id then Queue.add i q') q;
+  Queue.clear q;
+  Queue.transfer q' q;
+  Queue.add id q;
+  let evictions = ref 0 and demoted = ref 0 in
+  (match store.policy.hot_budget with
+  | None -> ()
+  | Some budget ->
+    while Queue.length q > budget do
+      let old = Queue.pop q in
+      incr evictions;
+      match Hashtbl.find_opt store.snaps (rank, old) with
+      | None -> ()
+      | Some e ->
+        if store.policy.tiers >= 2 then begin
+          e.e_tier <- Disk;
+          demoted := !demoted + e.e_cells
+        end
+        else Hashtbl.remove store.snaps (rank, old)
+    done);
+  { p_bytes = String.length bytes; p_evictions = !evictions;
+    p_demoted_cells = !demoted }
+
+type got = Got of string * tier | Corrupt | Missing
+
+(** Fetch a snapshot, verifying its integrity checksum. A mismatch is
+    reported as [Corrupt] so callers degrade to an older snapshot
+    instead of replaying from garbage. *)
+let get store ~rank ~id =
+  match Hashtbl.find_opt store.snaps (rank, id) with
+  | None -> Missing
+  | Some e ->
+    if Int64.equal (checksum e.e_bytes) e.e_sum then Got (e.e_bytes, e.e_tier)
+    else Corrupt
+
+let snapshot_bytes store ~rank ~id =
+  match get store ~rank ~id with Got (b, _) -> Some b | Corrupt | Missing -> None
+
+let snapshot_tier store ~rank ~id =
+  match Hashtbl.find_opt store.snaps (rank, id) with
+  | Some e -> Some e.e_tier
+  | None -> None
+
+let valid store ~rank ~id =
+  match get store ~rank ~id with Got _ -> true | Corrupt | Missing -> false
+
+(** Fault-injection hook (tests, chaos soak): flip one payload byte so
+    the checksum no longer matches. *)
+let corrupt store ~rank ~id =
+  match Hashtbl.find_opt store.snaps (rank, id) with
+  | None -> error "checkpoint: cannot corrupt absent snapshot (%d, %d)" rank id
+  | Some e ->
+    let b = Bytes.of_string e.e_bytes in
+    let i = Bytes.length b / 2 in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x20));
+    e.e_bytes <- Bytes.to_string b
+
+(** Drop checkpoint [id] on every rank — the binomial driver releasing a
+    snapshot slot once the segments it guards are reversed. *)
+let release store ~id =
+  for rank = 0 to store.snranks - 1 do
+    Hashtbl.remove store.snaps (rank, id);
+    let q = store.hot.(rank) in
+    let q' = Queue.create () in
+    Queue.iter (fun i -> if i <> id then Queue.add i q') q;
+    Queue.clear q;
+    Queue.transfer q' q
+  done
+
+(** Newest checkpoint id for which every rank holds a *valid* snapshot,
+    if any. Ranks pass checkpoints at different virtual times, so the
+    newest id of any single rank may not be globally restorable yet; a
+    corrupted or evicted snapshot likewise disqualifies its id, which is
+    how recovery degrades to an older checkpoint instead of aborting. *)
 let latest_consistent store =
   let ids =
     Hashtbl.fold
       (fun (r, id) _ acc -> if r = 0 then id :: acc else acc)
       store.snaps []
-    |> List.sort (fun a b -> compare b a)
+    |> List.sort_uniq (fun a b -> compare b a)
   in
   List.find_opt
     (fun id ->
       let ok = ref true in
-      for r = 1 to store.snranks - 1 do
-        if not (Hashtbl.mem store.snaps (r, id)) then ok := false
+      for r = 0 to store.snranks - 1 do
+        if not (valid store ~rank:r ~id) then ok := false
       done;
       !ok)
     ids
@@ -75,9 +207,15 @@ type session = {
   mutable pending : int option;
       (** resume target: skip iterations until this checkpoint id, then
           restore from its snapshot *)
+  mutable last_id : int;
+      (** newest checkpoint id this rank has passed (taken, skipped or
+          restored); the reverse-entry site [parad.checkpoint_rev]
+          allocates [last_id + 1] so its snapshot orders after every
+          forward-sweep snapshot *)
 }
 
-let session store ~rank ?resume () = { store; srank = rank; pending = resume }
+let session store ~rank ?resume () =
+  { store; srank = rank; pending = resume; last_id = -1 }
 
 (* ---- serialization (text tokens; deterministic by construction) ---- *)
 
@@ -162,7 +300,10 @@ let reachable roots =
   Hashtbl.fold (fun _ b acc -> b :: acc) seen []
   |> List.sort (fun (a : buffer) b -> compare a.bid b.bid)
 
-type taken = { t_cells : int  (** cells captured, for cost accounting *) }
+type taken = {
+  t_cells : int;  (** cells captured, for cost accounting *)
+  t_put : put_info;  (** store-side effects: bytes written, evictions *)
+}
 
 (** Snapshot rank state at checkpoint [id]. [roots] are the live values
     the buffer walk starts from — the entry function's arguments plus the
@@ -255,14 +396,26 @@ let take session ~mem ~cache ~mpi ~roots ~id =
         s.sptr.buf.bid s.sptr.off s.scount s.speer s.stag)
     shadows;
   pf "end\n";
-  Hashtbl.replace session.store.snaps (rank, id) (Buffer.contents b);
-  { t_cells = !cells }
+  let info = put session.store ~rank ~id ~cells:!cells (Buffer.contents b) in
+  { t_cells = !cells; t_put = info }
 
 (* ---- restoring ---- *)
+
+(** Raised instead of a plain runtime error when a restore target's
+    snapshot is missing or fails its integrity check: the supervised
+    restart driver catches this and degrades to an older consistent
+    checkpoint rather than aborting the run. *)
+exception
+  Snapshot_unavailable of {
+    su_rank : int;
+    su_id : int;
+    su_corrupt : bool;  (** checksum mismatch (vs. simply absent) *)
+  }
 
 type restored = {
   r_cells : int;  (** cells written back, for cost accounting *)
   r_clock : float;  (** the snapshotted rank's virtual clock *)
+  r_tier : tier;  (** where the snapshot was fetched from *)
 }
 
 (* Token-stream reader over a snapshot. *)
@@ -301,10 +454,13 @@ let tabulate n f =
     this replay skipped — are resurrected. *)
 let restore session ~mem ~cache ~mpi ~id =
   let rank = session.srank in
-  let bytes =
-    match snapshot_bytes session.store ~rank ~id with
-    | Some s -> s
-    | None -> error "checkpoint: no snapshot for rank %d at id %d" rank id
+  let bytes, tier =
+    match get session.store ~rank ~id with
+    | Got (s, t) -> s, t
+    | Missing ->
+      raise (Snapshot_unavailable { su_rank = rank; su_id = id; su_corrupt = false })
+    | Corrupt ->
+      raise (Snapshot_unavailable { su_rank = rank; su_id = id; su_corrupt = true })
   in
   let r =
     {
@@ -464,4 +620,66 @@ let restore session ~mem ~cache ~mpi ~id =
   | Some _, None | None, Some _ ->
     error "checkpoint: snapshot and replay disagree about MPI");
   session.pending <- None;
-  { r_cells = !cells; r_clock = clock }
+  { r_cells = !cells; r_clock = clock; r_tier = tier }
+
+(* ---- raw segment snapshots (binomial adjoint driver) ---- *)
+
+(** The binomial driver carries a program's loop state between simulator
+    runs as plain per-rank float arrays plus the loop-carried scalar
+    [dt]; these snapshots share the tiered store (and its eviction,
+    checksums and consistency rule) with the intrinsic's full-state
+    snapshots. Same determinism contract: floats serialize as IEEE-754
+    bit patterns, so snapshots of identical states are byte-identical. *)
+let encode_floats ~dt (arrays : float array array) =
+  let b = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "parad-seg 1\n";
+  pf "dt %Ld\n" (Int64.bits_of_float dt);
+  pf "arrays %d\n" (Array.length arrays);
+  Array.iter
+    (fun a ->
+      pf "arr %d\n" (Array.length a);
+      Array.iter (fun x -> pf "%Ld " (Int64.bits_of_float x)) a;
+      pf "\n")
+    arrays;
+  pf "end\n";
+  Buffer.contents b
+
+let decode_floats bytes =
+  let r =
+    {
+      toks =
+        String.split_on_char '\n' bytes
+        |> List.concat_map (String.split_on_char ' ')
+        |> List.filter (fun s -> s <> "")
+        |> Array.of_list;
+      pos = 0;
+    }
+  in
+  expect r "parad-seg";
+  expect r "1";
+  expect r "dt";
+  let dt = Int64.float_of_bits (Int64.of_string (tok r)) in
+  expect r "arrays";
+  let n = int_tok r in
+  let arrays =
+    tabulate n (fun _ ->
+        let () = expect r "arr" in
+        let len = int_tok r in
+        tabulate len (fun _ -> Int64.float_of_bits (Int64.of_string (tok r))))
+  in
+  expect r "end";
+  (dt, arrays)
+
+let put_floats store ~rank ~id ~dt arrays =
+  let cells = Array.fold_left (fun n a -> n + Array.length a) 1 arrays in
+  put store ~rank ~id ~cells (encode_floats ~dt arrays)
+
+(** [None] when the snapshot is missing or corrupt — callers degrade to
+    an older checkpoint (re-advancing the primal) instead of aborting. *)
+let get_floats store ~rank ~id =
+  match get store ~rank ~id with
+  | Got (bytes, tier) ->
+    let dt, arrays = decode_floats bytes in
+    Some (dt, arrays, tier)
+  | Corrupt | Missing -> None

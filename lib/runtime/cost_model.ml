@@ -36,6 +36,13 @@ type t = {
   cache_op : float;  (** AD cache store/load of one cell *)
   ckpt_base : float;  (** taking or restoring one checkpoint snapshot *)
   ckpt_per_cell : float;  (** per cell captured in / restored from a snapshot *)
+  snap_disk_base : float;
+      (** demoting a snapshot to / fetching it from the byte-stable
+          "disk" tier of the two-tier store (seek + syscall analog) *)
+  snap_disk_per_cell : float;
+      (** per-cell bandwidth charge of a disk-tier transfer; deliberately
+          much larger than [ckpt_per_cell], which models the in-memory
+          hot ring *)
   restart_base : float;  (** relaunching a rank after a failure agreement *)
   tape_record : float;  (** operator-overloading baseline: record one stmt *)
   tape_reverse : float;  (** operator-overloading baseline: reverse one stmt *)
@@ -70,6 +77,8 @@ let default =
     cache_op = 6.0;
     ckpt_base = 5000.0;
     ckpt_per_cell = 1.5;
+    snap_disk_base = 20000.0;
+    snap_disk_per_cell = 12.0;
     restart_base = 50000.0;
     tape_record = 30.0;
     tape_reverse = 40.0;

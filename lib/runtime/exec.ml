@@ -108,6 +108,11 @@ let run_spmd ?(cfg = Interp.default_config) ?instrument ?faults ?mpi_ref ?san
             (* safety net: a program whose last adjoint op is a stage has
                no later blocking point to flush it — peers would park *)
             Mpi_state.adj_flush_all mpi ~rank;
+            (* finalize semantics: a rank may complete without touching a
+               peer that died after its last message was buffered; the
+               failure must still surface as a structured Rank_failed, not
+               a join deadlock on the parked victim *)
+            Mpi_state.check_any_alive mpi ~rank;
             match san with
             | Some s -> Sanitizer.report_leaks s ~rank ~mem:ctx.Interp.mem
             | None -> ()))
@@ -142,6 +147,7 @@ let run_spmd_custom ?(cfg = Interp.default_config) ?instrument ?faults
           (fun ~tid:rank ~width:_ ->
             body ctxs.(rank) ~rank;
             Mpi_state.adj_flush_all mpi ~rank;
+            Mpi_state.check_any_alive mpi ~rank;
             match san with
             | Some s ->
               Sanitizer.report_leaks s ~rank ~mem:ctxs.(rank).Interp.mem
@@ -170,12 +176,21 @@ type recovery = {
     clocks at the failure's agreement time plus the restart cost, so the
     final makespan reflects lost work and recovery overhead. Shares one
     {!Stats.t} across attempts. Re-raises the failure once
-    [max_restarts] is exhausted. *)
+    [max_restarts] is exhausted.
+
+    A restore that finds its snapshot missing or corrupt (checksum
+    mismatch) counts as a failed attempt too: the supervisor re-plans
+    from {!Checkpoint.latest_consistent} — which skips invalid snapshots
+    — so recovery degrades to an older checkpoint instead of aborting.
+    [policy] configures the tiered snapshot store when the supervisor
+    creates it; ignored when an explicit [store] is passed. *)
 let run_spmd_recoverable ?(cfg = Interp.default_config) ?faults ?mpi_ref ?san
-    ?(max_restarts = 8) ?store prog ~nranks ~fname ~setup =
+    ?(max_restarts = 8) ?store ?policy prog ~nranks ~fname ~setup =
   let stats = Stats.create () in
   let store =
-    match store with Some s -> s | None -> Checkpoint.create_store ~nranks
+    match store with
+    | Some s -> s
+    | None -> Checkpoint.create_store ?policy ~nranks ()
   in
   let values = Array.make nranks VUnit in
   let failures = ref [] and resumed = ref [] in
@@ -204,6 +219,7 @@ let run_spmd_recoverable ?(cfg = Interp.default_config) ?faults ?mpi_ref ?san
                   let args = setup ctx ~rank in
                   values.(rank) <- Interp.call ctx fname args;
                   Mpi_state.adj_flush_all mpi ~rank;
+                  Mpi_state.check_any_alive mpi ~rank;
                   (* leaks are only meaningful on the attempt that
                      completes; failed attempts never reach this point *)
                   match san with
@@ -212,7 +228,11 @@ let run_spmd_recoverable ?(cfg = Interp.default_config) ?faults ?mpi_ref ?san
                   | None -> ()))
         in
         `Done makespan
-      with Mpi_state.Rank_failed n when restarts < max_restarts -> `Failed n
+      with
+      | Mpi_state.Rank_failed n when restarts < max_restarts -> `Failed n
+      | Checkpoint.Snapshot_unavailable { su_id; _ }
+        when restarts < max_restarts ->
+        `Bad_snapshot su_id
     in
     match outcome with
     | `Done makespan ->
@@ -231,6 +251,17 @@ let run_spmd_recoverable ?(cfg = Interp.default_config) ?faults ?mpi_ref ?san
       let plan = Faults.consume_kill plan ~rank:n.Mpi_state.fn_failed in
       attempt plan
         ~base:(n.Mpi_state.fn_agreed_at +. cfg.Interp.cost.Cost_model.restart_base)
+        ~restarts:(restarts + 1) ~resume
+    | `Bad_snapshot id ->
+      (* the resume target's snapshot turned out missing or corrupt:
+         drop the id everywhere so it can't be selected again, and
+         degrade to the next-oldest consistent checkpoint *)
+      stats.restarts <- stats.restarts + 1;
+      Checkpoint.release store ~id;
+      let resume = Checkpoint.latest_consistent store in
+      resumed := resume :: !resumed;
+      attempt plan
+        ~base:(base +. cfg.Interp.cost.Cost_model.restart_base)
         ~restarts:(restarts + 1) ~resume
   in
   attempt

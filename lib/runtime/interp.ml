@@ -764,43 +764,15 @@ and intrinsic ctx e name args vals : Value.t * int =
     | _ -> ());
     unit_
   (* ---- checkpoint/restart ---- *)
-  | "parad.checkpoint" -> (
-    match ctx.ckpt with
-    | None -> unit_ (* no session: checkpoint points cost one arith op *)
-    | Some session ->
-      if e.team <> None then
-        error "parad.checkpoint inside a parallel region";
-      if ctx.instrument <> None then
-        error "parad.checkpoint: tape-instrumented runs cannot checkpoint";
-      let id = int_arg 0 in
-      let extras = List.filter (function VPtr _ -> true | _ -> false) vals in
-      (match session.Checkpoint.pending with
-      | Some target when id < target ->
-        (* fast-forward: this iteration is already covered by the
-           snapshot we are resuming from *)
-        raise Checkpoint.Skip_iteration
-      | Some target when id > target ->
-        error
-          "parad.checkpoint: replay reached checkpoint %d without passing \
-           resume target %d (checkpoint ids must replay identically)"
-          id target
-      | Some _ ->
-        let { Checkpoint.r_cells; r_clock } =
-          Checkpoint.restore session ~mem:ctx.mem ~cache:ctx.cache
-            ~mpi:ctx.mpi ~id
-        in
-        st.checkpoints_restored <- st.checkpoints_restored + 1;
-        if r_clock > Sim.now () then Sim.set_clock r_clock;
-        Sim.charge (c.ckpt_base +. (c.ckpt_per_cell *. float_of_int r_cells));
-        unit_
-      | None ->
-        let { Checkpoint.t_cells } =
-          Checkpoint.take session ~mem:ctx.mem ~cache:ctx.cache ~mpi:ctx.mpi
-            ~roots:(ctx.root_args @ extras) ~id
-        in
-        st.checkpoints_taken <- st.checkpoints_taken + 1;
-        Sim.charge (c.ckpt_base +. (c.ckpt_per_cell *. float_of_int t_cells));
-        unit_))
+  | "parad.checkpoint" ->
+    let extras = List.filter (function VPtr _ -> true | _ -> false) vals in
+    checkpoint_site ctx e ~name ~explicit_id:(Some (int_arg 0)) ~extras
+  | "parad.checkpoint_rev" ->
+    (* reverse-entry site (emitted by the reverse engine between the
+       forward and reverse sweeps): its id is allocated past every
+       forward-sweep checkpoint this rank saw, so [latest_consistent]
+       can pick it once all ranks reach their reverse sweeps *)
+    checkpoint_site ctx e ~name ~explicit_id:None ~extras:[]
   (* ---- message passing ---- *)
   | "mpi.rank" -> VInt ctx.rank, 0
   | "mpi.size" -> VInt ctx.nranks, 0
@@ -1242,6 +1214,71 @@ and intrinsic ctx e name args vals : Value.t * int =
       (float_arg 0);
     unit_
   | _ -> error "unknown intrinsic %S" name
+
+(* Shared implementation of the two checkpoint intrinsics.
+   [explicit_id = Some i] is a program-designated site ([parad.checkpoint],
+   id from the outer loop variable); [None] is the reverse-entry site
+   ([parad.checkpoint_rev]), which allocates the next id after every site
+   this rank has passed. Both ids replay deterministically, which is all
+   the resume protocol needs. *)
+and checkpoint_site ctx e ~name ~explicit_id ~extras : Value.t * int =
+  let c = ctx.cfg.cost in
+  let st = Sim.stats () in
+  match ctx.ckpt with
+  | None -> VUnit, 0 (* no session: checkpoint points cost one arith op *)
+  | Some session ->
+    if e.team <> None then error "%s inside a parallel region" name;
+    if ctx.instrument <> None then
+      error "%s: tape-instrumented runs cannot checkpoint" name;
+    let id =
+      match explicit_id with
+      | Some i -> i
+      | None -> session.Checkpoint.last_id + 1
+    in
+    session.Checkpoint.last_id <- max session.Checkpoint.last_id id;
+    (match session.Checkpoint.pending with
+    | Some target when id < target ->
+      (* fast-forward: this iteration is already covered by the
+         snapshot we are resuming from *)
+      raise Checkpoint.Skip_iteration
+    | Some target when id > target ->
+      error
+        "%s: replay reached checkpoint %d without passing resume target %d \
+         (checkpoint ids must replay identically)"
+        name id target
+    | Some _ ->
+      let { Checkpoint.r_cells; r_clock; r_tier } =
+        Checkpoint.restore session ~mem:ctx.mem ~cache:ctx.cache ~mpi:ctx.mpi
+          ~id
+      in
+      st.checkpoints_restored <- st.checkpoints_restored + 1;
+      st.snap_restores <- st.snap_restores + 1;
+      if r_clock > Sim.now () then Sim.set_clock r_clock;
+      Sim.charge (c.ckpt_base +. (c.ckpt_per_cell *. float_of_int r_cells));
+      (* a disk-tier fetch additionally pays the modelled bandwidth *)
+      (match r_tier with
+      | Checkpoint.Disk ->
+        Sim.charge
+          (c.snap_disk_base +. (c.snap_disk_per_cell *. float_of_int r_cells))
+      | Checkpoint.Hot -> ());
+      VUnit, 0
+    | None ->
+      let { Checkpoint.t_cells; t_put } =
+        Checkpoint.take session ~mem:ctx.mem ~cache:ctx.cache ~mpi:ctx.mpi
+          ~roots:(ctx.root_args @ extras) ~id
+      in
+      st.checkpoints_taken <- st.checkpoints_taken + 1;
+      st.snap_count <- st.snap_count + 1;
+      st.snap_bytes <- st.snap_bytes + t_put.Checkpoint.p_bytes;
+      st.snap_evictions <- st.snap_evictions + t_put.Checkpoint.p_evictions;
+      Sim.charge (c.ckpt_base +. (c.ckpt_per_cell *. float_of_int t_cells));
+      (* demoting an evicted snapshot to the disk tier pays bandwidth *)
+      if t_put.Checkpoint.p_demoted_cells > 0 then
+        Sim.charge
+          (c.snap_disk_base
+          +. (c.snap_disk_per_cell
+             *. float_of_int t_put.Checkpoint.p_demoted_cells));
+      VUnit, 0)
 
 (** Call [fname] in an existing context (must run inside {!Sim.run}). *)
 let call ctx fname args =

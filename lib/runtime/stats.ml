@@ -36,6 +36,13 @@ type t = {
   mutable checkpoints_restored : int;
   mutable ranks_failed : int;  (** structured rank-failure notifications *)
   mutable restarts : int;  (** supervised restarts after a failure *)
+  (* two-tier snapshot store (all zero when no store is in play) *)
+  mutable snap_count : int;  (** snapshots written into the tiered store *)
+  mutable snap_bytes : int;  (** serialized bytes of those snapshots *)
+  mutable snap_evictions : int;
+      (** hot-ring evictions: demotions to the disk tier, or drops when
+          the store is configured hot-only *)
+  mutable snap_restores : int;  (** snapshots read back out of the store *)
   (* sanitizer (all zero on unsanitized runs) *)
   mutable nonfinite_found : int;  (** first-origin NaN/Inf detections *)
   mutable nonfinite_quarantined : int;  (** values zeroed in degrade mode *)
@@ -74,6 +81,10 @@ let create () =
     checkpoints_restored = 0;
     ranks_failed = 0;
     restarts = 0;
+    snap_count = 0;
+    snap_bytes = 0;
+    snap_evictions = 0;
+    snap_restores = 0;
     nonfinite_found = 0;
     nonfinite_quarantined = 0;
   }
@@ -102,6 +113,54 @@ let pp ppf s =
   then
     Fmt.pf ppf " ckpts=%d restored=%d failed_ranks=%d restarts=%d"
       s.checkpoints_taken s.checkpoints_restored s.ranks_failed s.restarts;
+  if s.snap_count + s.snap_bytes + s.snap_evictions + s.snap_restores > 0 then
+    Fmt.pf ppf " snap_count=%d snap_bytes=%d snap_evictions=%d snap_restores=%d"
+      s.snap_count s.snap_bytes s.snap_evictions s.snap_restores;
   if s.nonfinite_found + s.nonfinite_quarantined > 0 then
     Fmt.pf ppf " nonfinite=%d quarantined=%d" s.nonfinite_found
       s.nonfinite_quarantined
+
+(** Fold [s] into [into]: counters add, peak watermarks take the max.
+    Used by harnesses that drive one logical computation through several
+    simulator runs (the checkpointed-adjoint driver) and need one honest
+    aggregate — in particular an aggregate [cache_peak] that is the max
+    live cache footprint of any single sweep, not a sum. *)
+let merge ~into (s : t) =
+  into.instrs <- into.instrs + s.instrs;
+  into.flops <- into.flops + s.flops;
+  into.loads <- into.loads + s.loads;
+  into.stores <- into.stores + s.stores;
+  into.atomics <- into.atomics + s.atomics;
+  into.allocs <- into.allocs + s.allocs;
+  into.alloc_cells <- into.alloc_cells + s.alloc_cells;
+  into.frees <- into.frees + s.frees;
+  into.calls <- into.calls + s.calls;
+  into.forks <- into.forks + s.forks;
+  into.barriers <- into.barriers + s.barriers;
+  into.tasks <- into.tasks + s.tasks;
+  into.messages <- into.messages + s.messages;
+  into.message_cells <- into.message_cells + s.message_cells;
+  into.msgs_sent <- into.msgs_sent + s.msgs_sent;
+  into.cells_sent <- into.cells_sent + s.cells_sent;
+  into.max_inflight <- max into.max_inflight s.max_inflight;
+  into.cache_stores <- into.cache_stores + s.cache_stores;
+  into.cache_loads <- into.cache_loads + s.cache_loads;
+  into.cache_cells <- into.cache_cells + s.cache_cells;
+  into.cache_peak <- max into.cache_peak s.cache_peak;
+  into.tape_entries <- into.tape_entries + s.tape_entries;
+  into.context_switches <- into.context_switches + s.context_switches;
+  into.send_retries <- into.send_retries + s.send_retries;
+  into.messages_lost <- into.messages_lost + s.messages_lost;
+  into.messages_duplicated <- into.messages_duplicated + s.messages_duplicated;
+  into.stalls_injected <- into.stalls_injected + s.stalls_injected;
+  into.checkpoints_taken <- into.checkpoints_taken + s.checkpoints_taken;
+  into.checkpoints_restored <- into.checkpoints_restored + s.checkpoints_restored;
+  into.ranks_failed <- into.ranks_failed + s.ranks_failed;
+  into.restarts <- into.restarts + s.restarts;
+  into.snap_count <- into.snap_count + s.snap_count;
+  into.snap_bytes <- into.snap_bytes + s.snap_bytes;
+  into.snap_evictions <- into.snap_evictions + s.snap_evictions;
+  into.snap_restores <- into.snap_restores + s.snap_restores;
+  into.nonfinite_found <- into.nonfinite_found + s.nonfinite_found;
+  into.nonfinite_quarantined <-
+    into.nonfinite_quarantined + s.nonfinite_quarantined

@@ -227,4 +227,46 @@ awk -v f="$FWD_SP" -v t="$FWD_MIN" 'BEGIN { exit !(f >= t) }' || {
 }
 echo "mpi gate: gradient ${GRAD_SP}x >= ${GRAD_MIN}x, forward ${FWD_SP}x >= ${FWD_MIN}x"
 
+# ---- long-horizon checkpoint gate ----
+# The checkpoint figure's gate row runs the 24-iteration LULESH MPI
+# gradient (>= 10x the headline bench horizon) under a binomial schedule
+# with a fixed snapshot budget, even under --quick, and records it in
+# BENCH_checkpoint.json. Its AD cache peak must stay at or below the
+# checked-in ceiling (bench/checkpoint_threshold) — store-all peaks ~20x
+# higher at this horizon — and the gradient must be bit-identical to the
+# store-all baseline.
+
+echo "== long-horizon checkpoint gate =="
+dune exec bench/main.exe -- --quick --figure checkpoint > /tmp/parad-ckpt.out 2>&1 || {
+  echo "FAIL: checkpoint benchmark did not run"
+  cat /tmp/parad-ckpt.out
+  exit 1
+}
+tail -n 8 /tmp/parad-ckpt.out
+PEAK_MAX=$(cat bench/checkpoint_threshold)
+CROW=$(grep -o '"name": "lulesh_mpi_binomial_gate",[^}]*' BENCH_checkpoint.json)
+[ -n "$CROW" ] || {
+  echo "FAIL: no binomial gate row in BENCH_checkpoint.json"
+  exit 1
+}
+CPEAK=$(echo "$CROW" | grep -o '"cache_peak": [0-9]*' | awk '{print $2}')
+awk -v p="$CPEAK" -v t="$PEAK_MAX" 'BEGIN { exit !(p <= t) }' || {
+  echo "FAIL: binomial checkpoint cache peak ${CPEAK} cells exceeds ceiling ${PEAK_MAX}"
+  exit 1
+}
+echo "$CROW" | grep -q '"bitwise": true' || {
+  echo "FAIL: binomial gradient is not bit-identical to the store-all baseline"
+  exit 1
+}
+echo "checkpoint gate: cache peak ${CPEAK} <= ${PEAK_MAX}, bit-identical"
+
+# ---- seeded chaos-soak smoke ----
+# A short deterministic soak: randomized fault plans x checkpoint
+# schedules; every trial must end bit-identical or as a classified clean
+# abort. Any unclassified outcome exits 1.
+
+echo "== chaos soak (seeded smoke) =="
+expect_exit 0 soak --trials 12 --seed 42
+tail -n 3 /tmp/parad-check.out
+
 echo "all checks passed"
