@@ -4,7 +4,7 @@
    throughput).
 
    Usage: main.exe [--quick] [--figure fig8|fig9|fig10|fig11|overhead|
-                              verify|ablation|checkpoint|micro]
+                              verify|ablation|checkpoint|serve|micro]
                    [--recompute-depth N]
 
    Figure drivers record machine-readable results; the run writes them
@@ -20,6 +20,7 @@ let figures =
     "verify", Fig_verify.run;
     "ablation", Fig_ablation.run;
     "checkpoint", Fig_checkpoint.run;
+    "serve", Fig_serve.run;
   ]
 
 (* ---- bechamel micro-benchmarks (real time) ---- *)
@@ -103,4 +104,5 @@ let () =
   Util.write_bench_json ~quick;
   Util.write_mpi_json ~quick;
   Util.write_checkpoint_json ~quick;
+  Util.write_serve_json ~quick;
   Printf.printf "\nbench: done.\n"

@@ -258,6 +258,77 @@ let write_checkpoint_json ~quick =
     Printf.printf "wrote %s (%d configs)\n" path (List.length rows)
   end
 
+(* ---- machine-readable gradient-service results (BENCH_serve.json) ----
+
+   The serve figure appends one record per scenario: the plan-cache
+   row (cold compile vs. warm lookup wall-ns; the warm speedup is the
+   gate scripts/check.sh compares against bench/serve_threshold), one
+   row per burst size in the throughput-vs-concurrency sweep, and a
+   chaos row with shed/trip/recovery counts from a seeded slam. *)
+
+type serve_record = {
+  v_name : string;
+  v_workers : int;
+  v_requests : int;
+  v_ok : int;
+  v_shed : int;
+  v_trips : int;
+  v_recoveries : int;
+  v_cold_ns : float;  (** mean plan-compile wall-ns on a cache miss *)
+  v_warm_ns : float;  (** mean plan-lookup wall-ns on a cache hit *)
+  v_warm_speedup : float;
+  v_p95_cycles : float;  (** virtual request latency, 95th percentile *)
+  v_throughput : float;  (** executed requests per virtual megacycle *)
+}
+
+let serve_records : serve_record list ref = ref []
+
+let record_serve ~name ~workers ~requests ~ok ~shed ~trips ~recoveries
+    ~cold_ns ~warm_ns ~p95_cycles ~throughput =
+  serve_records :=
+    {
+      v_name = name;
+      v_workers = workers;
+      v_requests = requests;
+      v_ok = ok;
+      v_shed = shed;
+      v_trips = trips;
+      v_recoveries = recoveries;
+      v_cold_ns = cold_ns;
+      v_warm_ns = warm_ns;
+      v_warm_speedup = (if warm_ns > 0.0 then cold_ns /. warm_ns else 0.0);
+      v_p95_cycles = p95_cycles;
+      v_throughput = throughput;
+    }
+    :: !serve_records
+
+let write_serve_json ~quick =
+  if !serve_records <> [] then begin
+    let path = "BENCH_serve.json" in
+    let oc = open_out path in
+    Printf.fprintf oc
+      "{\n  \"schema\": \"parad-bench-serve/1\",\n  \"quick\": %b,\n\
+      \  \"configs\": [\n"
+      quick;
+    let rows = List.rev !serve_records in
+    let last = List.length rows - 1 in
+    List.iteri
+      (fun i r ->
+        Printf.fprintf oc
+          "    {\"name\": %S, \"workers\": %d, \"requests\": %d, \"ok\": %d, \
+           \"shed\": %d, \"trips\": %d, \"recoveries\": %d, \
+           \"cold_ns\": %.1f, \"warm_ns\": %.1f, \"warm_speedup\": %.1f, \
+           \"p95_cycles\": %.6g, \"throughput\": %.4f}%s\n"
+          r.v_name r.v_workers r.v_requests r.v_ok r.v_shed r.v_trips
+          r.v_recoveries r.v_cold_ns r.v_warm_ns r.v_warm_speedup
+          r.v_p95_cycles r.v_throughput
+          (if i = last then "" else ","))
+      rows;
+    Printf.fprintf oc "  ]\n}\n";
+    close_out oc;
+    Printf.printf "wrote %s (%d rows)\n" path (List.length rows)
+  end
+
 let write_bench_json ~quick =
   if !ovh_records <> [] || !micro_records <> [] then begin
     let path = "BENCH_overhead.json" in

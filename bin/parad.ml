@@ -19,7 +19,9 @@ open Parad_ir
 
 (* Uniform failure semantics for every subcommand: a deadlock prints the
    structured wait-for report and exits 3; a runtime error prints the
-   message and exits 2 — never an uncaught exception backtrace. *)
+   message and exits 2; an exceeded --deadline-ms/--deadline-cycles
+   budget exits 6 (shared with the server's "deadline" response class)
+   — never an uncaught exception backtrace. *)
 let guarded f =
   try f () with
   | Sim.Deadlock d ->
@@ -28,6 +30,9 @@ let guarded f =
   | Mpi_state.Rank_failed n ->
     Format.eprintf "%a@." Mpi_state.pp_failure n;
     exit 3
+  | Sim.Deadline_exceeded d ->
+    Format.eprintf "%a@." Sim.pp_deadline_hit d;
+    exit 6
   | Parad_runtime.Value.Runtime_error msg ->
     Printf.eprintf "runtime error: %s\n" msg;
     exit 2
@@ -243,9 +248,47 @@ let snap_tiers_arg =
            bandwidth-charged disk tier, 1 drops them (recovery then \
            degrades to older snapshots)")
 
+(* Deadline budgets must be positive: a zero or negative budget would
+   abort every run before its first charge, which is never what the
+   caller meant — reject it at parse time. *)
+let pos_float_conv what =
+  let parse s =
+    match float_of_string_opt s with
+    | None -> Error (`Msg (Printf.sprintf "invalid %s %S" what s))
+    | Some v when v > 0.0 && Float.is_finite v -> Ok v
+    | Some v ->
+      Error (`Msg (Printf.sprintf "%s must be > 0 (got %g)" what v))
+  in
+  Arg.conv (parse, Format.pp_print_float)
+
+let deadline_ms_arg =
+  Arg.(
+    value
+    & opt (some (pos_float_conv "--deadline-ms")) None
+    & info [ "deadline-ms" ]
+        ~doc:
+          "wall-clock budget for the run in milliseconds (validated > 0); \
+           exceeding it aborts with exit code 6. The same watchdog guards \
+           every request of the gradient service, so CLI and server share \
+           one timeout semantics")
+
+let deadline_cycles_arg =
+  Arg.(
+    value
+    & opt (some (pos_float_conv "--deadline-cycles")) None
+    & info [ "deadline-cycles" ]
+        ~doc:
+          "virtual-time budget for the run in cycles (validated > 0); \
+           exceeding it aborts with exit code 6, deterministically")
+
+let deadline_of ms cycles =
+  match ms, cycles with
+  | None, None -> None
+  | _ -> Some { Sim.dl_cycles = cycles; dl_wall_ms = ms }
+
 let grad_cmd =
   let run flavor ranks threads size iters recompute_depth no_coalesce
-      snap_budget snap_tiers =
+      snap_budget snap_tiers deadline_ms deadline_cycles =
     let inp =
       {
         L.nx = size;
@@ -263,17 +306,19 @@ let grad_cmd =
         coalesce_comm = not no_coalesce;
       }
     in
+    let deadline = deadline_of deadline_ms deadline_cycles in
     guarded (fun () ->
         let p = L.run ~nranks:ranks ~nthreads:threads flavor inp in
         let g, extra =
           match snap_budget with
           | None ->
-            ( L.gradient ~nranks:ranks ~nthreads:threads ~opts flavor inp,
+            ( L.gradient ~nranks:ranks ~nthreads:threads ~opts ?deadline
+                flavor inp,
               None )
           | Some budget ->
             let b =
               L.gradient_binomial ~nranks:ranks ~nthreads:threads ~opts
-                ~tiers:snap_tiers ~budget flavor inp
+                ~tiers:snap_tiers ?deadline ~budget flavor inp
             in
             b.L.b_grad, Some b
         in
@@ -301,7 +346,7 @@ let grad_cmd =
     Term.(
       const run $ flavor_arg $ ranks_arg $ threads_arg $ size_arg $ iters_arg
       $ recompute_depth_arg $ no_coalesce_arg $ snap_budget_arg
-      $ snap_tiers_arg)
+      $ snap_tiers_arg $ deadline_ms_arg $ deadline_cycles_arg)
 
 let check_cmd =
   let run () =
@@ -827,6 +872,196 @@ let soak_cmd =
           gradient bit-for-bit or abort with a documented exit code")
     Term.(const run $ trials_arg $ soak_seed_arg)
 
+(* ---- gradient service (ISSUE 7): a long-running daemon serving
+   newline-delimited JSON gradient requests against cached plans, every
+   response classified through the extended exit-code taxonomy. ---- *)
+
+module Service = Parad_server.Service
+module Slam = Parad_server.Slam
+module Sjson = Parad_server.Json
+
+let serve_cmd =
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ]
+          ~docv:"PATH"
+          ~doc:
+            "serve a Unix-domain socket at $(docv) (one line of JSON per \
+             request/response); default is --stdin batch mode")
+  in
+  let stdin_arg =
+    Arg.(
+      value & flag
+      & info [ "stdin" ]
+          ~doc:
+            "batch mode: read requests from stdin, answer on stdout, drain \
+             at EOF (the mode CI smoke-tests)")
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int Service.default_config.Service.workers
+      & info [ "workers" ] ~doc:"virtual worker-pool width")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int Service.default_config.Service.queue_cap
+      & info [ "queue" ]
+          ~doc:
+            "admission-queue bound: requests beyond it shed with a \
+             structured overloaded response (exit-code class 7)")
+  in
+  let cache_arg =
+    Arg.(
+      value & opt int Service.default_config.Service.cache_cap
+      & info [ "cache" ] ~doc:"LRU plan-cache capacity (compiled plans)")
+  in
+  let breaker_k_arg =
+    Arg.(
+      value & opt int Service.default_config.Service.breaker_k
+      & info [ "breaker-k" ]
+          ~doc:"consecutive failures that trip a plan key's circuit breaker")
+  in
+  let breaker_cooldown_arg =
+    Arg.(
+      value & opt int Service.default_config.Service.breaker_cooldown
+      & info [ "breaker-cooldown" ]
+          ~doc:
+            "submissions rejected on an open key before it half-opens \
+             (submission-counted for determinism)")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int Service.default_config.Service.retries
+      & info [ "retries" ]
+          ~doc:
+            "retry budget for transient failures (consumed rank kills, \
+             missing snapshots); each retry charges exponential virtual \
+             backoff")
+  in
+  let watchdog_arg =
+    Arg.(
+      value
+      & opt (some (pos_float_conv "--watchdog-ms")) None
+      & info [ "watchdog-ms" ]
+          ~doc:
+            "default wall-clock watchdog applied to requests that carry no \
+             deadline_ms of their own (0 < ms); off when omitted")
+  in
+  let run socket stdin workers queue cache breaker_k breaker_cooldown retries
+      watchdog_ms =
+    let cfg =
+      {
+        Service.default_config with
+        Service.workers;
+        queue_cap = queue;
+        cache_cap = cache;
+        breaker_k;
+        breaker_cooldown;
+        retries;
+        watchdog_ms;
+      }
+    in
+    let svc =
+      try Service.create ~cfg ()
+      with Invalid_argument m ->
+        Printf.eprintf "parad serve: %s\n" m;
+        exit 2
+    in
+    match socket with
+    | None ->
+      ignore stdin;
+      (* stdin batch: the default, and what scripts/check.sh smokes *)
+      (try
+         while true do
+           let line = input_line Stdlib.stdin in
+           if String.trim line <> "" then
+             print_endline (Service.handle_line svc line)
+         done
+       with End_of_file -> ());
+      print_endline (Sjson.to_string (Service.drain svc))
+    | Some path ->
+      let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      Unix.bind sock (Unix.ADDR_UNIX path);
+      Unix.listen sock 16;
+      Printf.eprintf "parad serve: listening on %s\n%!" path;
+      let drained = ref false in
+      while not !drained do
+        let client, _ = Unix.accept sock in
+        let ic = Unix.in_channel_of_descr client in
+        let oc = Unix.out_channel_of_descr client in
+        (try
+           while not !drained do
+             let line = input_line ic in
+             if String.trim line <> "" then begin
+               let reply = Service.handle_line svc line in
+               output_string oc (reply ^ "\n");
+               flush oc;
+               (* a drain command answers, then shuts the daemon down *)
+               match Sjson.of_string line with
+               | Ok j
+                 when Sjson.str_field "cmd" j = Some "drain"
+                      || Sjson.str_field "cmd" j = Some "shutdown" ->
+                 drained := true
+               | _ -> ()
+             end
+           done
+         with End_of_file | Sys_error _ -> ());
+        (try Unix.close client with Unix.Unix_error _ -> ())
+      done;
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      (try Unix.unlink path with Unix.Unix_error _ -> ())
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "gradient service: cache compiled plans and serve JSON gradient \
+          requests with admission control, per-request deadlines, crash \
+          isolation and per-plan circuit breaking")
+    Term.(
+      const run $ socket_arg $ stdin_arg $ workers_arg $ queue_arg $ cache_arg
+      $ breaker_k_arg $ breaker_cooldown_arg $ retries_arg $ watchdog_arg)
+
+let slam_cmd =
+  let requests_arg =
+    Arg.(
+      value & opt int 50
+      & info [ "requests" ]
+          ~doc:"seeded chaos requests in the mixed phase (plus directed phases)")
+  in
+  let slam_seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ]
+          ~doc:
+            "slam PRNG seed; the whole run is a pure function of it, so a \
+             failure replays exactly")
+  in
+  let run requests seed =
+    let report = Slam.run ~trials:requests ~log:print_endline ~seed () in
+    Printf.printf
+      "slam: seed %d, %d request(s), %d response(s): %d unclassified, %d \
+       warm/cold mismatch(es), %d shed, breaker %d trip(s) %d recovery(ies), \
+       drained %b\n"
+      report.Slam.s_seed report.Slam.s_requests report.Slam.s_responses
+      report.Slam.s_unclassified report.Slam.s_mismatches report.Slam.s_shed
+      report.Slam.s_trips report.Slam.s_recoveries report.Slam.s_drained;
+    List.iter
+      (fun (cls, n) -> Printf.printf "  class %-13s %d\n" cls n)
+      report.Slam.s_classes;
+    if not (Slam.passed report) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "slam"
+       ~doc:
+         "chaos-slam the gradient service: seeded hostile request mixes \
+          (invalid flags, fault plans, NaN injection, deadline busts, \
+          overload bursts); every response must be classified, warm plans \
+          bit-identical to cold, and the breaker must trip and recover")
+    Term.(const run $ requests_arg $ slam_seed_arg)
+
 let () =
   let info = Cmd.info "parad" ~doc:"parallel AD through compiler augmentation" in
   exit
@@ -834,5 +1069,5 @@ let () =
        (Cmd.group info
           [
             ir_cmd; gradient_cmd; run_cmd; grad_cmd; check_cmd; faults_cmd;
-            recover_cmd; sanitize_cmd; soak_cmd;
+            recover_cmd; sanitize_cmd; soak_cmd; serve_cmd; slam_cmd;
           ]))

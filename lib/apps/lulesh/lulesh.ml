@@ -698,70 +698,129 @@ type grad_result = {
   g_stats : Stats.t;
 }
 
-(** Gradient of the returned total energy w.r.t. initial coordinates and
-    element energies (seeded on rank 0's return, as the loss is
-    all-reduced and identical on every rank). *)
-let gradient ?(nthreads = 1) ?(nranks = 1)
-    ?(opts = Parad_core.Plan.default_options) ?(post_opt = true) ?(pre = [])
-    ?faults ?mpi_ref ?san ?inject_nan flavor (inp : input) : grad_result =
-  let cfg =
-    {
-      Interp.default_config with
-      nthreads;
-      coalesce = opts.Parad_core.Plan.coalesce_comm;
-    }
+(* ---- compiled plans (ISSUE 7) ----
+
+   The full pipeline — parse-free IR build, activity/locality analyses,
+   reverse generation, post-AD optimization — runs once per (flavor,
+   options) pair; executing a gradient against a [compiled] plan is then
+   pure interpretation. The gradient service caches these, so plans must
+   be reusable: nothing below may mutate them per request (programs are
+   immutable after the pipeline; all run state lives in the
+   interpreter). *)
+
+type compiled = {
+  c_flavor : flavor;
+  c_opts : Parad_core.Plan.options;
+  c_prog : Prog.t;  (** primal, after any [pre] pipeline *)
+  c_dprog : Prog.t;  (** reverse-augmented loss-carrying program *)
+  c_dname : string;  (** entry of the reverse program *)
+  c_steps : (Prog.t * Prog.t * string) option;
+      (** steps-variant primal, its reverse, and the reverse entry —
+          present when compiled with [~steps:true] (binomial driver) *)
+}
+
+(** Compile [flavor] once for repeated gradient execution. [steps] also
+    compiles the parameterized [program_steps] variant and its reverse,
+    which {!gradient_binomial} needs. *)
+let compile ?(opts = Parad_core.Plan.default_options) ?(post_opt = true)
+    ?(pre = []) ?(steps = false) flavor : compiled =
+  let post p =
+    if post_opt then Parad_opt.Pipeline.run p Parad_opt.Pipeline.post_ad
+    else p
   in
   let prog = program flavor in
-  let prog =
-    if pre = [] then prog
-    else Parad_opt.Pipeline.run prog pre
-  in
+  let prog = if pre = [] then prog else Parad_opt.Pipeline.run prog pre in
   let dprog, dname =
     Parad_core.Reverse.gradient ~opts prog (flavor_name flavor)
   in
-  let dprog =
-    if post_opt then Parad_opt.Pipeline.run dprog Parad_opt.Pipeline.post_ad
-    else dprog
-  in
-  let jl = julia flavor in
-  let shadows = Array.make nranks [||] in
-  let res =
-    Exec.run_spmd ~cfg ?faults ?mpi_ref ?san dprog ~nranks ~fname:dname
-      ~setup:(fun ctx ~rank ->
-        let args, bufs, m =
-          setup_args ?inject_nan flavor inp ~nranks ctx ~rank
-        in
-        ignore bufs;
-        let nn = Array.length m.node_mass in
-        let ne = Array.length m.energy in
-        let mk len =
-          let d = Exec.floats ctx (Array.make len 0.0) in
-          if jl then Exec.ptr_cell ctx d, d else d, d
-        in
-        let svals = Array.init 7 (fun i -> mk (if i < 6 then nn else ne)) in
-        (* shadow of nodelist (Ptr Int) and mass *)
-        let d_nl = Exec.ints ctx (Array.make (ne * 8) 0) in
-        let d_mass, _ = mk nn in
-        shadows.(rank) <- Array.map snd svals;
-        (* dt0 is an active scalar argument: its adjoint lands in d_args *)
-        let d_args = Exec.zeros ctx 1 in
-        args
-        @ Array.to_list (Array.map fst svals)
-        @ [
-            d_nl; d_mass;
-            Value.VFloat (if rank = 0 then 1.0 else 0.0);
-            d_args;
-          ])
+  let c_steps =
+    if not steps then None
+    else begin
+      let sprog = program_steps flavor in
+      let sdprog, sdname =
+        Parad_core.Reverse.gradient ~opts sprog (steps_name flavor)
+      in
+      Some (sprog, post sdprog, sdname)
+    end
   in
   {
-    g_total = Value.to_float res.Exec.values.(0);
-    d_coords =
-      Array.init nranks (fun r -> Exec.to_floats shadows.(r).(0));
-    d_energy =
-      Array.init nranks (fun r -> Exec.to_floats shadows.(r).(6));
-    g_makespan = res.Exec.makespan;
-    g_stats = res.Exec.stats;
+    c_flavor = flavor;
+    c_opts = opts;
+    c_prog = prog;
+    c_dprog = post dprog;
+    c_dname = dname;
+    c_steps;
   }
+
+let config_of ~nthreads (c : compiled) =
+  {
+    Interp.default_config with
+    nthreads;
+    coalesce = c.c_opts.Parad_core.Plan.coalesce_comm;
+  }
+
+(* Shadow-argument setup shared by every monolithic reverse sweep: seven
+   zero shadow buffers (coords, velocities, energy), the nodelist and
+   mass shadows, the loss seed on rank 0, and the scalar-adjoint
+   spill cell for dt0. *)
+let grad_setup ?inject_nan flavor (inp : input) ~nranks ~shadows ctx ~rank =
+  let args, bufs, m = setup_args ?inject_nan flavor inp ~nranks ctx ~rank in
+  ignore bufs;
+  let jl = julia flavor in
+  let nn = Array.length m.node_mass in
+  let ne = Array.length m.energy in
+  let mk len =
+    let d = Exec.floats ctx (Array.make len 0.0) in
+    if jl then Exec.ptr_cell ctx d, d else d, d
+  in
+  let svals = Array.init 7 (fun i -> mk (if i < 6 then nn else ne)) in
+  (* shadow of nodelist (Ptr Int) and mass *)
+  let d_nl = Exec.ints ctx (Array.make (ne * 8) 0) in
+  let d_mass, _ = mk nn in
+  shadows.(rank) <- Array.map snd svals;
+  (* dt0 is an active scalar argument: its adjoint lands in d_args *)
+  let d_args = Exec.zeros ctx 1 in
+  args
+  @ Array.to_list (Array.map fst svals)
+  @ [ d_nl; d_mass; Value.VFloat (if rank = 0 then 1.0 else 0.0); d_args ]
+
+let pack_grad ~nranks ~shadows ~values ~makespan ~stats =
+  {
+    g_total = Value.to_float values.(0);
+    d_coords = Array.init nranks (fun r -> Exec.to_floats shadows.(r).(0));
+    d_energy = Array.init nranks (fun r -> Exec.to_floats shadows.(r).(6));
+    g_makespan = makespan;
+    g_stats = stats;
+  }
+
+(** Execute one gradient request against a cached plan. Pure
+    interpretation — no pipeline work — so repeated calls with equal
+    inputs are bit-identical to each other and to a cold
+    {!gradient}. *)
+let gradient_compiled ?(nthreads = 1) ?(nranks = 1) ?faults ?mpi_ref ?san
+    ?inject_nan ?deadline (c : compiled) (inp : input) : grad_result =
+  let cfg = config_of ~nthreads c in
+  let shadows = Array.make nranks [||] in
+  let res =
+    Exec.run_spmd ~cfg ?faults ?mpi_ref ?san ?deadline c.c_dprog ~nranks
+      ~fname:c.c_dname
+      ~setup:(grad_setup ?inject_nan c.c_flavor inp ~nranks ~shadows)
+  in
+  pack_grad ~nranks ~shadows ~values:res.Exec.values
+    ~makespan:res.Exec.makespan ~stats:res.Exec.stats
+
+(** Gradient of the returned total energy w.r.t. initial coordinates and
+    element energies (seeded on rank 0's return, as the loss is
+    all-reduced and identical on every rank). One-shot: compiles and
+    executes. *)
+let gradient ?(nthreads = 1) ?(nranks = 1)
+    ?(opts = Parad_core.Plan.default_options) ?(post_opt = true) ?(pre = [])
+    ?faults ?mpi_ref ?san ?inject_nan ?deadline flavor (inp : input) :
+    grad_result =
+  gradient_compiled ~nthreads ~nranks ?faults ?mpi_ref ?san ?inject_nan
+    ?deadline
+    (compile ~opts ~post_opt ~pre flavor)
+    inp
 
 (* ---- supervised (checkpoint/restart) harnesses ---- *)
 
@@ -789,67 +848,33 @@ let run_recoverable ?(nthreads = 1) ?(nranks = 1) ?(pre = []) ?faults
     },
     recov )
 
+(** {!gradient_recoverable} against a cached plan. *)
+let gradient_recoverable_compiled ?(nthreads = 1) ?(nranks = 1) ?faults
+    ?mpi_ref ?san ?max_restarts ?policy ?deadline (c : compiled)
+    (inp : input) : grad_result * Exec.recovery =
+  let cfg = config_of ~nthreads c in
+  let shadows = Array.make nranks [||] in
+  let res, recov =
+    Exec.run_spmd_recoverable ~cfg ?faults ?mpi_ref ?san ?max_restarts ?policy
+      ?deadline c.c_dprog ~nranks ~fname:c.c_dname
+      ~setup:(grad_setup c.c_flavor inp ~nranks ~shadows)
+  in
+  ( pack_grad ~nranks ~shadows ~values:res.Exec.values
+      ~makespan:res.Exec.makespan ~stats:res.Exec.stats,
+    recov )
+
 (** Like {!gradient}, but supervised: the gradient's forward sweep
     checkpoints primal and shadow state, so a kill-and-recover run
     resumes the derivative computation and must reproduce the faultless
     gradient bit-for-bit. *)
 let gradient_recoverable ?(nthreads = 1) ?(nranks = 1)
     ?(opts = Parad_core.Plan.default_options) ?(post_opt = true) ?(pre = [])
-    ?faults ?mpi_ref ?san ?max_restarts ?policy flavor (inp : input) :
-    grad_result * Exec.recovery =
-  let cfg =
-    {
-      Interp.default_config with
-      nthreads;
-      coalesce = opts.Parad_core.Plan.coalesce_comm;
-    }
-  in
-  let prog = program flavor in
-  let prog = if pre = [] then prog else Parad_opt.Pipeline.run prog pre in
-  let dprog, dname =
-    Parad_core.Reverse.gradient ~opts prog (flavor_name flavor)
-  in
-  let dprog =
-    if post_opt then Parad_opt.Pipeline.run dprog Parad_opt.Pipeline.post_ad
-    else dprog
-  in
-  let jl = julia flavor in
-  let shadows = Array.make nranks [||] in
-  let res, recov =
-    Exec.run_spmd_recoverable ~cfg ?faults ?mpi_ref ?san ?max_restarts ?policy
-      dprog ~nranks ~fname:dname
-      ~setup:(fun ctx ~rank ->
-        let args, bufs, m = setup_args flavor inp ~nranks ctx ~rank in
-        ignore bufs;
-        let nn = Array.length m.node_mass in
-        let ne = Array.length m.energy in
-        let mk len =
-          let d = Exec.floats ctx (Array.make len 0.0) in
-          if jl then Exec.ptr_cell ctx d, d else d, d
-        in
-        let svals = Array.init 7 (fun i -> mk (if i < 6 then nn else ne)) in
-        let d_nl = Exec.ints ctx (Array.make (ne * 8) 0) in
-        let d_mass, _ = mk nn in
-        shadows.(rank) <- Array.map snd svals;
-        let d_args = Exec.zeros ctx 1 in
-        args
-        @ Array.to_list (Array.map fst svals)
-        @ [
-            d_nl; d_mass;
-            Value.VFloat (if rank = 0 then 1.0 else 0.0);
-            d_args;
-          ])
-  in
-  ( {
-      g_total = Value.to_float res.Exec.values.(0);
-      d_coords =
-        Array.init nranks (fun r -> Exec.to_floats shadows.(r).(0));
-      d_energy =
-        Array.init nranks (fun r -> Exec.to_floats shadows.(r).(6));
-      g_makespan = res.Exec.makespan;
-      g_stats = res.Exec.stats;
-    },
-    recov )
+    ?faults ?mpi_ref ?san ?max_restarts ?policy ?deadline flavor
+    (inp : input) : grad_result * Exec.recovery =
+  gradient_recoverable_compiled ~nthreads ~nranks ?faults ?mpi_ref ?san
+    ?max_restarts ?policy ?deadline
+    (compile ~opts ~post_opt ~pre flavor)
+    inp
 
 (* ---- binomial (revolve) checkpointed adjoint driver ---- *)
 
@@ -892,33 +917,31 @@ let gradient_binomial ?(nthreads = 1) ?(nranks = 1)
     ?(opts = Parad_core.Plan.default_options) ?(post_opt = true) ?faults
     ?max_restarts ?(tiers = 2)
     ?(on_snapshot : (step:int -> store:Checkpoint.store -> unit) option)
-    ~budget flavor (inp : input) : binom_result =
+    ?compiled ?namespace ?deadline ~budget flavor (inp : input) :
+    binom_result =
   if budget < 1 then invalid_arg "gradient_binomial: budget must be >= 1";
   let n = inp.niter in
   if n < 1 then invalid_arg "gradient_binomial: niter must be >= 1";
-  let cfg =
-    {
-      Interp.default_config with
-      nthreads;
-      coalesce = opts.Parad_core.Plan.coalesce_comm;
-    }
+  let cc =
+    match compiled with
+    | Some c ->
+      if c.c_flavor <> flavor then
+        invalid_arg "gradient_binomial: compiled plan is for another flavor";
+      if c.c_steps = None then
+        invalid_arg
+          "gradient_binomial: compiled plan lacks the steps variant (use \
+           compile ~steps:true)";
+      c
+    | None -> compile ~opts ~post_opt ~steps:true flavor
   in
+  let cfg = config_of ~nthreads cc in
   let c = cfg.Interp.cost in
   let policy = { Checkpoint.hot_budget = Some budget; tiers } in
-  let store = Checkpoint.create_store ~policy ~nranks () in
-  let post p =
-    if post_opt then Parad_opt.Pipeline.run p Parad_opt.Pipeline.post_ad
-    else p
+  let store = Checkpoint.create_store ~policy ?namespace ~nranks () in
+  let dprog_full, dname_full = cc.c_dprog, cc.c_dname in
+  let prog_steps, dprog_steps, dname_steps =
+    match cc.c_steps with Some s -> s | None -> assert false
   in
-  let dprog_full, dname_full =
-    Parad_core.Reverse.gradient ~opts (program flavor) (flavor_name flavor)
-  in
-  let dprog_full = post dprog_full in
-  let prog_steps = program_steps flavor in
-  let dprog_steps, dname_steps =
-    Parad_core.Reverse.gradient ~opts prog_steps (steps_name flavor)
-  in
-  let dprog_steps = post dprog_steps in
   let jl = julia flavor in
   let meshes = Array.init nranks (fun rank -> mesh inp ~nranks ~rank) in
   let nn = Array.length meshes.(0).node_mass in
@@ -942,14 +965,14 @@ let gradient_binomial ?(nthreads = 1) ?(nranks = 1)
   let run_prog prog fname setup =
     match faults with
     | None ->
-      let res = Exec.run_spmd ~cfg prog ~nranks ~fname ~setup in
+      let res = Exec.run_spmd ~cfg ?deadline prog ~nranks ~fname ~setup in
       Stats.merge ~into:agg res.Exec.stats;
       makespan := !makespan +. res.Exec.makespan;
       res.Exec.values
     | Some _ ->
       let res, recov =
         Exec.run_spmd_recoverable ~cfg ~faults:!plan ?max_restarts ~policy
-          prog ~nranks ~fname ~setup
+          ?deadline prog ~nranks ~fname ~setup
       in
       List.iter
         (fun (fn : Mpi_state.failure_notice) ->
@@ -1156,9 +1179,18 @@ let gradient_binomial ?(nthreads = 1) ?(nranks = 1)
       rev a (b - 1) 0 (Some d')
     end
   in
-  put_state ~step:0 (Array.init nranks initial_state)
-    (Array.make nranks inp.dt0);
-  let d = rev 0 n (budget - 1) None in
+  (* the store's disk tier spills under a per-run namespace; clean it up
+     whether the reversal completes or aborts (deadline, exhausted
+     restarts) so a long-lived server leaks no snapshot files *)
+  let d =
+    Fun.protect
+      ~finally:(fun () -> Checkpoint.dispose store)
+      (fun () ->
+        put_state ~step:0
+          (Array.init nranks initial_state)
+          (Array.make nranks inp.dt0);
+        rev 0 n (budget - 1) None)
+  in
   {
     b_grad =
       {

@@ -318,17 +318,23 @@ type grad_result = {
   g_stats : Stats.t;
 }
 
-(** Reverse-mode gradient of sum(energies) w.r.t. ligand, protein and
-    poses, through the chosen parallel variant. *)
-let gradient ?(nthreads = 1) ?san
-    ?(opts = Parad_core.Plan.default_options)
-    ?(post_opt = true) ?(pre = []) variant (inp : input) : grad_result =
-  let cfg = { Interp.default_config with nthreads } in
-  let prog = program ~ntasks:nthreads () in
-  let prog =
-    if pre = [] then prog
-    else Parad_opt.Pipeline.run prog pre
-  in
+(* ---- compiled plans (ISSUE 7) — see Lulesh.compiled ---- *)
+
+type compiled = {
+  c_variant : variant;
+  c_ntasks : int;  (** the task split is baked into the IR *)
+  c_prog : Parad_ir.Prog.t;
+  c_dprog : Parad_ir.Prog.t;
+  c_dname : string;
+}
+
+(** Compile [variant] once for repeated gradient execution. [ntasks] is
+    part of the plan key: the Julia/OMP task decomposition is baked into
+    the generated IR, so a different thread count is a different plan. *)
+let compile ?(opts = Parad_core.Plan.default_options) ?(post_opt = true)
+    ?(pre = []) ~ntasks variant : compiled =
+  let prog = program ~ntasks () in
+  let prog = if pre = [] then prog else Parad_opt.Pipeline.run prog pre in
   let dprog, dname =
     Parad_core.Reverse.gradient ~opts prog (variant_name variant)
   in
@@ -336,10 +342,21 @@ let gradient ?(nthreads = 1) ?san
     if post_opt then Parad_opt.Pipeline.run dprog Parad_opt.Pipeline.post_ad
     else dprog
   in
+  { c_variant = variant; c_ntasks = ntasks; c_prog = prog; c_dprog = dprog;
+    c_dname = dname }
+
+(** Execute one gradient request against a cached plan (pure
+    interpretation; bit-identical to a cold {!gradient}). *)
+let gradient_compiled ?nthreads ?san ?deadline (c : compiled) (inp : input) :
+    grad_result =
+  let nthreads = Option.value nthreads ~default:c.c_ntasks in
+  let cfg = { Interp.default_config with nthreads } in
+  let variant = c.c_variant in
+  let dprog, dname = c.c_dprog, c.c_dname in
   let shadows = ref [] in
   let outs = ref [] in
   let res =
-    Exec.run ~cfg ?san dprog ~fname:dname ~setup:(fun ctx ->
+    Exec.run ~cfg ?san ?deadline dprog ~fname:dname ~setup:(fun ctx ->
         let args, bufs = setup_args variant inp ctx in
         outs := bufs;
         (* shadows, in pointer-parameter order *)
@@ -368,3 +385,13 @@ let gradient ?(nthreads = 1) ?san
       g_stats = res.Exec.stats;
     }
   | _ -> assert false
+
+(** Reverse-mode gradient of sum(energies) w.r.t. ligand, protein and
+    poses, through the chosen parallel variant. One-shot: compiles and
+    executes. *)
+let gradient ?(nthreads = 1) ?san ?(opts = Parad_core.Plan.default_options)
+    ?(post_opt = true) ?(pre = []) ?deadline variant (inp : input) :
+    grad_result =
+  gradient_compiled ~nthreads ?san ?deadline
+    (compile ~opts ~post_opt ~pre ~ntasks:nthreads variant)
+    inp

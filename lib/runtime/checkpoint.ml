@@ -53,10 +53,11 @@ type policy = { hot_budget : int option; tiers : int }
 let default_policy = { hot_budget = None; tiers = 2 }
 
 type entry = {
-  mutable e_bytes : string;  (** mutable only for the corruption hook *)
+  mutable e_bytes : string;  (** payload while [Hot]; [""] once spilled *)
   e_sum : int64;  (** FNV-1a checksum of the pristine bytes *)
   e_cells : int;  (** payload cells, for bandwidth cost accounting *)
   mutable e_tier : tier;
+  mutable e_path : string option;  (** spill file once demoted to [Disk] *)
 }
 
 type store = {
@@ -64,21 +65,105 @@ type store = {
   policy : policy;
   snaps : (int * int, entry) Hashtbl.t;  (** (rank, ckpt id) -> entry *)
   hot : int Queue.t array;  (** per rank: hot-ring ids, oldest first *)
+  sdir : string;  (** namespaced spill directory (created lazily) *)
+  mutable sdir_made : bool;
 }
 
-let create_store ?(policy = default_policy) ~nranks () =
+(* Namespacing (ISSUE 7): every store spills under its own directory, so
+   concurrent server requests — and concurrent CI jobs sharing a temp
+   dir — cannot collide on snapshot files. The default namespace is
+   unique per (process, store); an explicit [namespace] pins the path
+   for callers that hand a run id across processes. *)
+let ns_counter = ref 0
+
+let fresh_namespace () =
+  incr ns_counter;
+  Printf.sprintf "%d-%d" (Unix.getpid ()) !ns_counter
+
+let create_store ?(policy = default_policy) ?namespace ~nranks () =
   (match policy.hot_budget with
   | Some b when b < 1 ->
     error "checkpoint store: hot budget must be at least 1 (got %d)" b
   | _ -> ());
   if policy.tiers < 1 || policy.tiers > 2 then
     error "checkpoint store: tiers must be 1 or 2 (got %d)" policy.tiers;
+  let ns =
+    match namespace with Some ns -> ns | None -> fresh_namespace ()
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> ()
+      | _ -> error "checkpoint store: bad namespace %S (use [A-Za-z0-9._-])" ns)
+    ns;
   {
     snranks = nranks;
     policy;
     snaps = Hashtbl.create 32;
     hot = Array.init nranks (fun _ -> Queue.create ());
+    sdir =
+      Filename.concat (Filename.get_temp_dir_name ()) ("parad-snap-" ^ ns);
+    sdir_made = false;
   }
+
+let spill_dir store = store.sdir
+
+let ensure_sdir store =
+  if not store.sdir_made then begin
+    (try Unix.mkdir store.sdir 0o700 with
+    | Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    store.sdir_made <- true
+  end
+
+let spill_path store ~rank ~id =
+  Filename.concat store.sdir (Printf.sprintf "r%d-c%d.snap" rank id)
+
+let write_file path bytes =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc bytes)
+
+(* [None] on any read failure: a vanished or unreadable spill file is
+   indistinguishable from an evicted snapshot, and recovery already
+   degrades cleanly on [Missing]. *)
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        try Some (really_input_string ic (in_channel_length ic))
+        with End_of_file | Sys_error _ -> None)
+
+let remove_spill e =
+  match e.e_path with
+  | Some p ->
+    (try Sys.remove p with Sys_error _ -> ());
+    e.e_path <- None
+  | None -> ()
+
+(* Forget a snapshot entirely, deleting its spill file if any. *)
+let drop_entry store key =
+  match Hashtbl.find_opt store.snaps key with
+  | None -> ()
+  | Some e ->
+    remove_spill e;
+    Hashtbl.remove store.snaps key
+
+(** Delete every spilled snapshot file and the namespace directory, and
+    empty the store. Call when the run/request owning the store
+    completes; stores whose snapshots a caller still reads (e.g. the
+    recovery driver's [r_store]) must skip this. Idempotent. *)
+let dispose store =
+  Hashtbl.iter (fun _ e -> remove_spill e) store.snaps;
+  Hashtbl.reset store.snaps;
+  Array.iter Queue.clear store.hot;
+  if store.sdir_made then begin
+    (try Unix.rmdir store.sdir with Unix.Unix_error (_, _, _) -> ());
+    store.sdir_made <- false
+  end
 
 (* 64-bit FNV-1a: cheap, deterministic, and sensitive to any single
    flipped byte — enough to model end-to-end snapshot integrity. *)
@@ -103,11 +188,19 @@ type put_info = {
     per policy) the oldest hot snapshots of the same rank past the
     budget. *)
 let put store ~rank ~id ~cells bytes =
+  (* a re-taken id (replays revisit their sites) must not leak the old
+     entry's spill file *)
+  drop_entry store (rank, id);
   Hashtbl.replace store.snaps (rank, id)
-    { e_bytes = bytes; e_sum = checksum bytes; e_cells = cells; e_tier = Hot };
+    {
+      e_bytes = bytes;
+      e_sum = checksum bytes;
+      e_cells = cells;
+      e_tier = Hot;
+      e_path = None;
+    };
   let q = store.hot.(rank) in
-  (* a re-taken id (replays revisit their sites) must not occupy two ring
-     slots *)
+  (* ...nor occupy two ring slots *)
   let q' = Queue.create () in
   Queue.iter (fun i -> if i <> id then Queue.add i q') q;
   Queue.clear q;
@@ -124,10 +217,17 @@ let put store ~rank ~id ~cells bytes =
       | None -> ()
       | Some e ->
         if store.policy.tiers >= 2 then begin
+          (* demotion is a real spill: bytes move to a namespaced file
+             and the hot ring frees the memory *)
+          ensure_sdir store;
+          let path = spill_path store ~rank ~id:old in
+          write_file path e.e_bytes;
+          e.e_path <- Some path;
+          e.e_bytes <- "";
           e.e_tier <- Disk;
           demoted := !demoted + e.e_cells
         end
-        else Hashtbl.remove store.snaps (rank, old)
+        else drop_entry store (rank, old)
     done);
   { p_bytes = String.length bytes; p_evictions = !evictions;
     p_demoted_cells = !demoted }
@@ -136,13 +236,20 @@ type got = Got of string * tier | Corrupt | Missing
 
 (** Fetch a snapshot, verifying its integrity checksum. A mismatch is
     reported as [Corrupt] so callers degrade to an older snapshot
-    instead of replaying from garbage. *)
+    instead of replaying from garbage; a spilled snapshot whose file
+    vanished (an external cleanup, a concurrent job misconfigured into
+    the same namespace) reads as [Missing] for the same reason. *)
 let get store ~rank ~id =
   match Hashtbl.find_opt store.snaps (rank, id) with
   | None -> Missing
-  | Some e ->
-    if Int64.equal (checksum e.e_bytes) e.e_sum then Got (e.e_bytes, e.e_tier)
-    else Corrupt
+  | Some e -> (
+    let bytes =
+      match e.e_path with None -> Some e.e_bytes | Some p -> read_file p
+    in
+    match bytes with
+    | None -> Missing
+    | Some b ->
+      if Int64.equal (checksum b) e.e_sum then Got (b, e.e_tier) else Corrupt)
 
 let snapshot_bytes store ~rank ~id =
   match get store ~rank ~id with Got (b, _) -> Some b | Corrupt | Missing -> None
@@ -160,17 +267,25 @@ let valid store ~rank ~id =
 let corrupt store ~rank ~id =
   match Hashtbl.find_opt store.snaps (rank, id) with
   | None -> error "checkpoint: cannot corrupt absent snapshot (%d, %d)" rank id
-  | Some e ->
-    let b = Bytes.of_string e.e_bytes in
-    let i = Bytes.length b / 2 in
-    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x20));
-    e.e_bytes <- Bytes.to_string b
+  | Some e -> (
+    let flip s =
+      let b = Bytes.of_string s in
+      let i = Bytes.length b / 2 in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x20));
+      Bytes.to_string b
+    in
+    match e.e_path with
+    | None -> e.e_bytes <- flip e.e_bytes
+    | Some p -> (
+      match read_file p with
+      | Some s -> write_file p (flip s)
+      | None -> error "checkpoint: cannot corrupt vanished spill file %s" p))
 
 (** Drop checkpoint [id] on every rank — the binomial driver releasing a
     snapshot slot once the segments it guards are reversed. *)
 let release store ~id =
   for rank = 0 to store.snranks - 1 do
-    Hashtbl.remove store.snaps (rank, id);
+    drop_entry store (rank, id);
     let q = store.hot.(rank) in
     let q' = Queue.create () in
     Queue.iter (fun i -> if i <> id then Queue.add i q') q;

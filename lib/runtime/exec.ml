@@ -57,10 +57,10 @@ let to_floats (v : Value.t) =
 
 (** Run [fname] on a single rank. [setup] builds the argument list (e.g.
     with {!floats}); it runs inside the simulation. *)
-let run ?(cfg = Interp.default_config) ?san prog ~fname ~setup =
+let run ?(cfg = Interp.default_config) ?san ?deadline prog ~fname ~setup =
   let stats = Stats.create () in
   let value, makespan, stats =
-    Sim.run ~cost:cfg.Interp.cost ~stats (fun () ->
+    Sim.run ~cost:cfg.Interp.cost ~stats ?deadline (fun () ->
         let ctx = Interp.make_ctx ~cfg ?san ~prog () in
         let args = setup ctx in
         let v = Interp.call ctx fname args in
@@ -79,11 +79,11 @@ let run ?(cfg = Interp.default_config) ?san prog ~fname ~setup =
     soon as it exists, so callers can audit communication state even when
     the run terminates with {!Sim.Deadlock}. *)
 let run_spmd ?(cfg = Interp.default_config) ?instrument ?faults ?mpi_ref ?san
-    prog ~nranks ~fname ~setup =
+    ?deadline prog ~nranks ~fname ~setup =
   let stats = Stats.create () in
   let values = Array.make nranks VUnit in
   let (), makespan, stats =
-    Sim.run ~cost:cfg.Interp.cost ~stats (fun () ->
+    Sim.run ~cost:cfg.Interp.cost ~stats ?deadline (fun () ->
         let mpi =
           Mpi_state.create ~cost:cfg.Interp.cost ~nranks ?faults
             ~coalesce:cfg.Interp.coalesce ()
@@ -123,10 +123,10 @@ let run_spmd ?(cfg = Interp.default_config) ?instrument ?faults ?mpi_ref ?san
     that need several interpreter calls per rank (e.g. the tape baseline's
     forward-then-reverse sweeps). *)
 let run_spmd_custom ?(cfg = Interp.default_config) ?instrument ?faults
-    ?mpi_ref ?san prog ~nranks ~body =
+    ?mpi_ref ?san ?deadline prog ~nranks ~body =
   let stats = Stats.create () in
   let (), makespan, stats =
-    Sim.run ~cost:cfg.Interp.cost ~stats (fun () ->
+    Sim.run ~cost:cfg.Interp.cost ~stats ?deadline (fun () ->
         let mpi =
           Mpi_state.create ~cost:cfg.Interp.cost ~nranks ?faults
             ~coalesce:cfg.Interp.coalesce ()
@@ -185,7 +185,7 @@ type recovery = {
     [policy] configures the tiered snapshot store when the supervisor
     creates it; ignored when an explicit [store] is passed. *)
 let run_spmd_recoverable ?(cfg = Interp.default_config) ?faults ?mpi_ref ?san
-    ?(max_restarts = 8) ?store ?policy prog ~nranks ~fname ~setup =
+    ?(max_restarts = 8) ?store ?policy ?deadline prog ~nranks ~fname ~setup =
   let stats = Stats.create () in
   let store =
     match store with
@@ -198,7 +198,7 @@ let run_spmd_recoverable ?(cfg = Interp.default_config) ?faults ?mpi_ref ?san
     let outcome =
       try
         let (), makespan, _ =
-          Sim.run ~cost:cfg.Interp.cost ~stats (fun () ->
+          Sim.run ~cost:cfg.Interp.cost ~stats ?deadline (fun () ->
               if base > 0.0 then Sim.set_clock base;
               let mpi =
                 Mpi_state.create ~cost:cfg.Interp.cost ~nranks ~faults:plan

@@ -41,6 +41,46 @@ type diagnosis = {
 
 exception Deadlock of diagnosis
 
+(** Per-run execution deadline (ISSUE 7): [dl_cycles] bounds the virtual
+    clock of any strand — exceeding it cancels the run with
+    {!Deadline_exceeded} at the next cost charge — and [dl_wall_ms]
+    arms a wall-clock watchdog (checked every few thousand charges and
+    at every context switch) that catches runs whose *host* time
+    explodes even though virtual time advances slowly. Both checks leave
+    the engine cleanly unwound: the exception propagates through
+    {!run}'s cleanup, so a long-lived caller (the gradient service) can
+    classify the abort and keep serving. *)
+type deadline = {
+  dl_cycles : float option;  (** virtual-time budget, in cycles *)
+  dl_wall_ms : float option;  (** wall-clock budget, in milliseconds *)
+}
+
+let no_deadline = { dl_cycles = None; dl_wall_ms = None }
+
+type deadline_hit = {
+  de_at : float;  (** virtual clock when the deadline tripped *)
+  de_limit : float;  (** the budget: cycles, or the wall budget in ms *)
+  de_wall : bool;  (** true = the wall-clock watchdog fired *)
+}
+
+exception Deadline_exceeded of deadline_hit
+
+let pp_deadline_hit ppf d =
+  if d.de_wall then
+    Format.fprintf ppf
+      "deadline exceeded: wall-clock watchdog fired after %gms (virtual \
+       t=%.6g)"
+      d.de_limit d.de_at
+  else
+    Format.fprintf ppf
+      "deadline exceeded: virtual clock %.6g passed the %.6g-cycle budget"
+      d.de_at d.de_limit
+
+let () =
+  Printexc.register_printer (function
+    | Deadline_exceeded d -> Some (Format.asprintf "%a" pp_deadline_hit d)
+    | _ -> None)
+
 let pp_blocked ppf b =
   Format.fprintf ppf "strand %d (tid %d/%d, t=%.6g): %s" b.b_sid b.b_tid
     b.b_width b.b_clock b.b_desc
@@ -101,6 +141,13 @@ type engine = {
   mutable makespan : float;
   parked_on : (int, strand * (unit -> string)) Hashtbl.t;
       (** sid -> (strand, blocked-on description) for every parked strand *)
+  (* deadline enforcement; [guarded] caches "any deadline armed" so the
+     per-charge hot path stays one branch on fault-free runs *)
+  guarded : bool;
+  vdeadline : float option;
+  wall_stop : float option;  (** absolute [Unix.gettimeofday] cutoff *)
+  wall_ms : float;  (** the configured wall budget, for the report *)
+  mutable wall_tick : int;
 }
 
 type _ Effect.t +=
@@ -122,7 +169,31 @@ let cost () = (eng ()).cost
 let stats () = (eng ()).stats
 let self () = (eng ()).current
 let now () = (self ()).clock
-let charge c = (self ()).clock <- (self ()).clock +. c
+
+(* Wall-clock probes cost a syscall; amortize them over charges. The
+   mask trades detection latency for overhead — 4096 charges is well
+   under a millisecond of host time. *)
+let wall_mask = 4095
+
+let check_deadline e clock =
+  (match e.vdeadline with
+  | Some d when clock > d ->
+    raise (Deadline_exceeded { de_at = clock; de_limit = d; de_wall = false })
+  | _ -> ());
+  match e.wall_stop with
+  | Some stop ->
+    e.wall_tick <- e.wall_tick + 1;
+    if e.wall_tick land wall_mask = 0 && Unix.gettimeofday () > stop then
+      raise
+        (Deadline_exceeded
+           { de_at = clock; de_limit = e.wall_ms; de_wall = true })
+  | None -> ()
+
+let charge c =
+  let e = eng () in
+  let st = e.current in
+  st.clock <- st.clock +. c;
+  if e.guarded then check_deadline e st.clock
 let set_clock t = (self ()).clock <- t
 let socket () = (self ()).socket
 
@@ -341,12 +412,20 @@ let event_poll ev = ev.ready
 (** Run [main] under a fresh engine. Returns the result, the makespan
     (largest strand finish time, i.e. the modeled runtime), and the
     engine's stats. *)
-let run ?(cost = Cost_model.default) ?(stats = Stats.create ()) main =
+let run ?(cost = Cost_model.default) ?(stats = Stats.create ())
+    ?(deadline = no_deadline) main =
   (match !engine_ref with
   | Some _ -> invalid_arg "Sim.run: engine already running (no nesting)"
   | None -> ());
   let root =
     { sid = 0; clock = 0.0; tid = 0; width = 1; socket = 0; team = None }
+  in
+  let vdeadline = deadline.dl_cycles in
+  let wall_ms = Option.value deadline.dl_wall_ms ~default:0.0 in
+  let wall_stop =
+    Option.map
+      (fun ms -> Unix.gettimeofday () +. (ms /. 1000.))
+      deadline.dl_wall_ms
   in
   let e =
     {
@@ -358,6 +437,11 @@ let run ?(cost = Cost_model.default) ?(stats = Stats.create ()) main =
       live = 1;
       makespan = 0.0;
       parked_on = Hashtbl.create 16;
+      guarded = vdeadline <> None || wall_stop <> None;
+      vdeadline;
+      wall_stop;
+      wall_ms;
+      wall_tick = 0;
     }
   in
   engine_ref := Some e;
@@ -371,6 +455,7 @@ let run ?(cost = Cost_model.default) ?(stats = Stats.create ()) main =
        let st, thunk = Queue.pop e.ready_q in
        e.current <- st;
        e.stats.context_switches <- e.stats.context_switches + 1;
+       if e.guarded then check_deadline e st.clock;
        thunk ()
      done
    with ex ->

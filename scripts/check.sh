@@ -269,4 +269,96 @@ echo "== chaos soak (seeded smoke) =="
 expect_exit 0 soak --trials 12 --seed 42
 tail -n 3 /tmp/parad-check.out
 
+# ---- one-shot deadline protocol (exit 6) ----
+# A virtual budget far below the work aborts with the documented
+# deadline exit code; a non-positive deadline is a flag parse error.
+
+expect_exit 6 grad --flavor mpi --ranks 2 --iters 2 --deadline-cycles 500
+grep -q "deadline exceeded" /tmp/parad-check.out || {
+  echo "FAIL: busted deadline printed no structured report"
+  exit 1
+}
+expect_exit 124 grad --flavor seq --deadline-ms 0
+expect_exit 0 grad --flavor seq --size 2 --iters 1 --deadline-cycles 1000000000
+
+# ---- gradient-service smoke (serve --stdin) ----
+# A mixed batch through the real request path: every line, valid or
+# hostile, must come back classified, and the warm repeat must carry
+# the cold request's digest bit-for-bit.
+
+echo "== serve smoke (stdin batch) =="
+printf '%s\n' \
+  '{"id": 1, "flavor": "mpi", "nranks": 2, "niter": 2}' \
+  '{"id": 2, "flavor": "mpi", "nranks": 2, "niter": 2}' \
+  '{"id": 3, "flavor": "cuda"}' \
+  '{"id": 4, "flavor": "mpi", "nranks": 2, "faults": "blackhole"}' \
+  '{"id": 5, "flavor": "mpi", "nranks": 2, "deadline_cycles": 100}' \
+  'garbage that is not json' \
+  | $PARAD serve --stdin > /tmp/parad-serve.out 2>&1 || {
+  echo "FAIL: serve --stdin crashed on the smoke batch"
+  cat /tmp/parad-serve.out
+  exit 1
+}
+for want in '"id":1,"class":"ok"' '"id":2,"class":"ok"' \
+  '"id":3,"class":"invalid"' '"id":4,"class":"deadlock"' \
+  '"id":5,"class":"deadline"' '"class":"invalid","code":2.*bad JSON' \
+  '"event":"drained"'; do
+  grep -q "$want" /tmp/parad-serve.out || {
+    echo "FAIL: serve smoke output lacks $want"
+    cat /tmp/parad-serve.out
+    exit 1
+  }
+done
+D1=$(grep '"id":1' /tmp/parad-serve.out | grep -o '"digest":"[0-9a-f]*"')
+D2=$(grep '"id":2' /tmp/parad-serve.out | grep -o '"digest":"[0-9a-f]*"')
+[ -n "$D1" ] && [ "$D1" = "$D2" ] || {
+  echo "FAIL: warm digest differs from cold ($D1 vs $D2)"
+  exit 1
+}
+grep -q '"id":2,"class":"ok","code":0,[^}]*"cached":true' /tmp/parad-serve.out || {
+  echo "FAIL: repeat request did not hit the plan cache"
+  exit 1
+}
+
+# ---- slam soak: the ISSUE 7 acceptance criterion ----
+# >= 50 seeded mixed requests: everything classified, zero daemon
+# crashes, breaker tripped and recovered, warm bit-identical to cold.
+
+echo "== slam soak (50 seeded chaos requests) =="
+expect_exit 0 slam --requests 50 --seed 42
+tail -n 8 /tmp/parad-check.out
+
+# ---- plan-cache warm-speedup gate ----
+# The serve figure measures cold pipeline compiles vs warm LRU lookups
+# through the real request path; the warm speedup must stay at or above
+# the checked-in floor (bench/serve_threshold).
+
+echo "== serve warm-plan gate =="
+dune exec bench/main.exe -- --quick --figure serve > /tmp/parad-serve-bench.out 2>&1 || {
+  echo "FAIL: serve benchmark did not run"
+  cat /tmp/parad-serve-bench.out
+  exit 1
+}
+tail -n 10 /tmp/parad-serve-bench.out
+SP_MIN=$(cat bench/serve_threshold)
+SP=$(grep -o '"name": "plan_cache",[^}]*' BENCH_serve.json \
+  | grep -o '"warm_speedup": [0-9.]*' | awk '{print $2}')
+[ -n "$SP" ] || {
+  echo "FAIL: no plan_cache row in BENCH_serve.json"
+  exit 1
+}
+awk -v s="$SP" -v t="$SP_MIN" 'BEGIN { exit !(s >= t) }' || {
+  echo "FAIL: warm-plan speedup ${SP}x below floor ${SP_MIN}x"
+  exit 1
+}
+SHED=$(grep -o '"name": "chaos",[^}]*' BENCH_serve.json \
+  | grep -o '"shed": [0-9]*' | awk '{print $2}')
+TRIPS=$(grep -o '"name": "chaos",[^}]*' BENCH_serve.json \
+  | grep -o '"trips": [0-9]*' | awk '{print $2}')
+[ "${SHED:-0}" -gt 0 ] && [ "${TRIPS:-0}" -gt 0 ] || {
+  echo "FAIL: chaos row recorded no shedding/breaker trips (shed=$SHED trips=$TRIPS)"
+  exit 1
+}
+echo "serve gate: warm speedup ${SP}x >= ${SP_MIN}x, chaos shed=$SHED trips=$TRIPS"
+
 echo "all checks passed"
