@@ -4,7 +4,7 @@
    throughput).
 
    Usage: main.exe [--quick] [--figure fig8|fig9|fig10|fig11|overhead|
-                              verify|ablation|checkpoint|serve|micro]
+                              verify|ablation|checkpoint|serve|sdc|micro]
                    [--recompute-depth N]
 
    Figure drivers record machine-readable results; the run writes them
@@ -21,6 +21,7 @@ let figures =
     "ablation", Fig_ablation.run;
     "checkpoint", Fig_checkpoint.run;
     "serve", Fig_serve.run;
+    "sdc", Fig_sdc.run;
   ]
 
 (* ---- bechamel micro-benchmarks (real time) ---- *)
@@ -105,4 +106,5 @@ let () =
   Util.write_mpi_json ~quick;
   Util.write_checkpoint_json ~quick;
   Util.write_serve_json ~quick;
+  Util.write_sdc_json ~quick;
   Printf.printf "\nbench: done.\n"

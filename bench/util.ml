@@ -329,6 +329,68 @@ let write_serve_json ~quick =
     Printf.printf "wrote %s (%d rows)\n" path (List.length rows)
   end
 
+(* ---- SDC injection campaign (fault coverage and recovery cost) ---- *)
+
+type sdc_record = {
+  c_name : string;
+  c_trials : int;
+  c_injected : int;  (** trials where the fault actually landed *)
+  c_detected : int;  (** landed faults caught by a checksum *)
+  c_recovered : int;  (** detected and re-derived bit-identically *)
+  c_masked : int;  (** fault never landed or was overwritten unread *)
+  c_aborted : int;  (** detected but recovery budget exhausted *)
+  c_silent : int;  (** wrong gradient with no detection — must be 0 *)
+  c_coverage : float;  (** detected / injected, percent *)
+  c_overhead : float;  (** mean recovered/clean makespan ratio *)
+}
+
+let sdc_records : sdc_record list ref = ref []
+
+let record_sdc ~name ~trials ~injected ~detected ~recovered ~masked ~aborted
+    ~silent ~overhead =
+  sdc_records :=
+    {
+      c_name = name;
+      c_trials = trials;
+      c_injected = injected;
+      c_detected = detected;
+      c_recovered = recovered;
+      c_masked = masked;
+      c_aborted = aborted;
+      c_silent = silent;
+      c_coverage =
+        (if injected = 0 then 100.0
+         else 100.0 *. float_of_int detected /. float_of_int injected);
+      c_overhead = overhead;
+    }
+    :: !sdc_records
+
+let write_sdc_json ~quick =
+  if !sdc_records <> [] then begin
+    let path = "BENCH_sdc.json" in
+    let oc = open_out path in
+    Printf.fprintf oc
+      "{\n  \"schema\": \"parad-bench-sdc/1\",\n  \"quick\": %b,\n\
+      \  \"campaigns\": [\n"
+      quick;
+    let rows = List.rev !sdc_records in
+    let last = List.length rows - 1 in
+    List.iteri
+      (fun i r ->
+        Printf.fprintf oc
+          "    {\"name\": %S, \"trials\": %d, \"injected\": %d, \
+           \"detected\": %d, \"recovered\": %d, \"masked\": %d, \
+           \"aborted\": %d, \"silent\": %d, \"coverage\": %.2f, \
+           \"overhead\": %.4f}%s\n"
+          r.c_name r.c_trials r.c_injected r.c_detected r.c_recovered
+          r.c_masked r.c_aborted r.c_silent r.c_coverage r.c_overhead
+          (if i = last then "" else ","))
+      rows;
+    Printf.fprintf oc "  ]\n}\n";
+    close_out oc;
+    Printf.printf "wrote %s (%d rows)\n" path (List.length rows)
+  end
+
 let write_bench_json ~quick =
   if !ovh_records <> [] || !micro_records <> [] then begin
     let path = "BENCH_overhead.json" in

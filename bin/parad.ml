@@ -17,11 +17,15 @@ module Exec = Parad_runtime.Exec
 module Comm_check = Parad_verify.Comm_check
 open Parad_ir
 
+module Checkpoint = Parad_runtime.Checkpoint
+
 (* Uniform failure semantics for every subcommand: a deadlock prints the
    structured wait-for report and exits 3; a runtime error prints the
    message and exits 2; an exceeded --deadline-ms/--deadline-cycles
-   budget exits 6 (shared with the server's "deadline" response class)
-   — never an uncaught exception backtrace. *)
+   budget exits 6 (shared with the server's "deadline" response class);
+   detected-but-unsupervised data corruption (a checksum or region-digest
+   mismatch with no recovery driver to absorb it) exits 9 (the server's
+   "corrupted" response class) — never an uncaught exception backtrace. *)
 let guarded f =
   try f () with
   | Sim.Deadlock d ->
@@ -33,6 +37,14 @@ let guarded f =
   | Sim.Deadline_exceeded d ->
     Format.eprintf "%a@." Sim.pp_deadline_hit d;
     exit 6
+  | Mpi_state.Corrupt_message c ->
+    Format.eprintf "%a@." Mpi_state.pp_corruption c;
+    exit 9
+  | Checkpoint.Corrupt_region { cr_rank; cr_cache; cr_at } ->
+    Printf.eprintf
+      "silent data corruption: rank %d cache %d digest mismatch at t=%.0f\n"
+      cr_rank cr_cache cr_at;
+    exit 9
   | Parad_runtime.Value.Runtime_error msg ->
     Printf.eprintf "runtime error: %s\n" msg;
     exit 2
@@ -286,9 +298,20 @@ let deadline_of ms cycles =
   | None, None -> None
   | _ -> Some { Sim.dl_cycles = cycles; dl_wall_ms = ms }
 
+let grad_plan_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "plan" ]
+        ~doc:
+          "optional fault plan spec to run the gradient under (same syntax \
+           as $(b,parad faults --plan)); SDC events — bit flips, message \
+           corruption — are detected by checksums and surface in the \
+           stats line (sdc_inj/sdc_det/sdc_rec/retrans)")
+
 let grad_cmd =
   let run flavor ranks threads size iters recompute_depth no_coalesce
-      snap_budget snap_tiers deadline_ms deadline_cycles =
+      snap_budget snap_tiers deadline_ms deadline_cycles plan =
     let inp =
       {
         L.nx = size;
@@ -307,18 +330,27 @@ let grad_cmd =
       }
     in
     let deadline = deadline_of deadline_ms deadline_cycles in
+    let faults =
+      Option.map
+        (fun s ->
+          try Faults.plan_of_spec ~seed:42 ~at:0.0 ~nranks:ranks s
+          with Invalid_argument msg ->
+            Printf.eprintf "%s\n" msg;
+            exit 2)
+        plan
+    in
     guarded (fun () ->
         let p = L.run ~nranks:ranks ~nthreads:threads flavor inp in
         let g, extra =
           match snap_budget with
           | None ->
-            ( L.gradient ~nranks:ranks ~nthreads:threads ~opts ?deadline
-                flavor inp,
+            ( L.gradient ~nranks:ranks ~nthreads:threads ~opts ?faults
+                ?deadline flavor inp,
               None )
           | Some budget ->
             let b =
               L.gradient_binomial ~nranks:ranks ~nthreads:threads ~opts
-                ~tiers:snap_tiers ?deadline ~budget flavor inp
+                ?faults ~tiers:snap_tiers ?deadline ~budget flavor inp
             in
             b.L.b_grad, Some b
         in
@@ -339,14 +371,26 @@ let grad_cmd =
         Printf.printf "d total / d e[0..3] = %.4f %.4f %.4f %.4f\n" d.(0)
           d.(1) d.(2) d.(3);
         Printf.printf "stats: %s\n"
-          (Fmt.str "%a" Parad_runtime.Stats.pp g.L.g_stats))
+          (Fmt.str "%a" Parad_runtime.Stats.pp g.L.g_stats);
+        match faults with
+        | None -> ()
+        | Some _ ->
+          let s = g.L.g_stats in
+          Printf.printf
+            "sdc: %d injected, %d detected, %d recovered, %d message \
+             retransmit(s)\n"
+            s.Parad_runtime.Stats.sdc_injected
+            s.Parad_runtime.Stats.sdc_detected
+            s.Parad_runtime.Stats.sdc_recovered
+            s.Parad_runtime.Stats.msgs_retransmitted)
   in
   Cmd.v
     (Cmd.info "grad" ~doc:"differentiate a LULESH variant and report overhead")
     Term.(
       const run $ flavor_arg $ ranks_arg $ threads_arg $ size_arg $ iters_arg
       $ recompute_depth_arg $ no_coalesce_arg $ snap_budget_arg
-      $ snap_tiers_arg $ deadline_ms_arg $ deadline_cycles_arg)
+      $ snap_tiers_arg $ deadline_ms_arg $ deadline_cycles_arg
+      $ grad_plan_arg)
 
 let check_cmd =
   let run () =
@@ -378,7 +422,9 @@ let check_cmd =
    spec, print the retry/loss statistics, the structured failure or
    deadlock diagnosis if the plan is unrecoverable, and the post-run
    communication audit. Exit codes: 0 clean, 1 audit found issues,
-   2 runtime error, 3 deadlock or rank failure. *)
+   2 runtime error, 3 deadlock or rank failure, 9 detected data
+   corruption that exhausted its retransmit budget (unsupervised run:
+   no checkpoint driver to restore from). *)
 let plan_spec_arg ~default =
   Arg.(
     value
@@ -388,8 +434,10 @@ let plan_spec_arg ~default =
           (Printf.sprintf
              "fault plan spec: one of %s, optionally followed by \
               :key=val,... overrides (seed, victim, at, retries, backoff, \
-              deadline, prob, kill=R[@T], stall=R@T@D; kill/stall are \
-              repeatable)"
+              deadline, prob, kill=R[@T], stall=R@T@D, \
+              flip=R@CELL@BIT[@T], corrupt-msg=N[@BYTE[@sticky]]; \
+              kill/stall/flip/corrupt-msg are repeatable; scalar keys at \
+              most once)"
              (String.concat "|" Faults.plan_names)))
 
 let seed_arg =
@@ -514,6 +562,17 @@ let faults_cmd =
         Format.printf "%a@." Mpi_state.pp_failure n;
         ignore (audit ());
         exit 3
+      | Mpi_state.Corrupt_message c ->
+        Format.printf "%a@." Mpi_state.pp_corruption c;
+        ignore (audit ());
+        exit 9
+      | Checkpoint.Corrupt_region { cr_rank; cr_cache; cr_at } ->
+        Printf.printf
+          "silent data corruption: rank %d cache %d digest mismatch at \
+           t=%.0f\n"
+          cr_rank cr_cache cr_at;
+        ignore (audit ());
+        exit 9
       | Parad_runtime.Value.Runtime_error msg ->
         Printf.printf "runtime error: %s\n" msg;
         ignore (audit ());
@@ -535,7 +594,8 @@ let faults_cmd =
    a clean audit, 1 audit found issues without any restart, 2 runtime
    error, 3 failure survived past the restart budget (or deadlock),
    4 recovered but degraded (restarted, yet messages were lost or the
-   audit is dirty). *)
+   audit is dirty), 9 detected corruption that survived past the restart
+   budget. *)
 let recover_cmd =
   let plan_arg = plan_spec_arg ~default:"kill" in
   let max_restarts_arg =
@@ -582,14 +642,17 @@ let recover_cmd =
       in
       let report_recovery (recov : Exec.recovery) =
         Printf.printf "recovery: %d restart(s)\n" recov.Exec.r_restarts;
-        List.iter2
-          (fun n resume ->
-            Format.printf "  %a@." Mpi_state.pp_failure n;
-            match resume with
-            | Some id -> Printf.printf "    resumed from checkpoint %d\n" id
+        (* rank failures carry a notice; corruption and bad-snapshot
+           restarts don't, so the two lists can differ in length *)
+        List.iter
+          (fun n -> Format.printf "  %a@." Mpi_state.pp_failure n)
+          recov.Exec.r_failures;
+        List.iter
+          (function
+            | Some id -> Printf.printf "  resumed from checkpoint %d\n" id
             | None ->
-              Printf.printf "    cold restart (no consistent checkpoint)\n")
-          recov.Exec.r_failures recov.Exec.r_resumed_from
+              Printf.printf "  cold restart (no consistent checkpoint)\n")
+          recov.Exec.r_resumed_from
       in
       let finish (recov : Exec.recovery) (stats : Parad_runtime.Stats.t) =
         report_recovery recov;
@@ -638,6 +701,18 @@ let recover_cmd =
           Mpi_state.pp_failure n;
         ignore (audit_issues ());
         exit 3
+      | Mpi_state.Corrupt_message c ->
+        Format.printf "unrecovered corruption after %d restart(s): %a@."
+          max_restarts Mpi_state.pp_corruption c;
+        ignore (audit_issues ());
+        exit 9
+      | Checkpoint.Corrupt_region { cr_rank; cr_cache; cr_at } ->
+        Printf.printf
+          "unrecovered corruption after %d restart(s): rank %d cache %d \
+           digest mismatch at t=%.0f\n"
+          max_restarts cr_rank cr_cache cr_at;
+        ignore (audit_issues ());
+        exit 9
       | Parad_runtime.Value.Runtime_error msg ->
         Printf.printf "runtime error: %s\n" msg;
         ignore (audit_issues ());

@@ -3,7 +3,9 @@
     Each trial draws a random combination of checkpoint schedule
     (store-all supervised vs. binomial under a snapshot budget), tiering
     policy, horizon length, and fault plan (rank kills at random virtual
-    times, snapshot corruption at random store points), runs the LULESH
+    times, snapshot corruption at random store points, silent bit flips
+    into sealed cache memory, in-flight packed-message corruption — the
+    SDC trials run on both LULESH and miniBUDE), runs the application
     gradient under it, and classifies the outcome:
 
     - {e Identical}: the run completed and its gradient is bit-identical
@@ -11,8 +13,8 @@
       derivative exactly.
     - {e Classified}: the run aborted through a structured, documented
       failure (exit-code taxonomy: rank failure/deadlock 3, runtime
-      error 2) — e.g. the restart budget was exhausted. Clean aborts are
-      acceptable chaos outcomes.
+      error 2, unrecovered corruption 9) — e.g. the restart budget was
+      exhausted. Clean aborts are acceptable chaos outcomes.
     - {e Unclassified}: anything else — a completed run whose gradient
       differs from the baseline, or an undocumented exception. Any
       unclassified outcome is a bug in the recovery stack; the soak
@@ -77,6 +79,16 @@ let classify = function
       ( 2,
         Printf.sprintf "snapshot %d %s (restart budget exhausted)" su_id
           (if su_corrupt then "corrupt" else "missing") )
+  | Mpi_state.Corrupt_message c ->
+    Classified
+      ( 9,
+        Printf.sprintf "message %d->%d corrupt (retransmits exhausted)"
+          c.Mpi_state.cm_src c.Mpi_state.cm_dst )
+  | Checkpoint.Corrupt_region { cr_rank; cr_cache; _ } ->
+    Classified
+      ( 9,
+        Printf.sprintf "rank %d cache %d digest mismatch (unrecovered)"
+          cr_rank cr_cache )
   | e -> Unclassified (Printexc.to_string e)
 
 let bits_eq (a : float array) (b : float array) =
@@ -93,6 +105,14 @@ let grads_eq (a : Lulesh.grad_result) (b : Lulesh.grad_result) =
   Array.length a.Lulesh.d_coords = Array.length b.Lulesh.d_coords
   && Array.for_all2 bits_eq a.Lulesh.d_coords b.Lulesh.d_coords
   && Array.for_all2 bits_eq a.Lulesh.d_energy b.Lulesh.d_energy
+
+module MB = Apps_minibude.Minibude
+
+let mb_grads_eq (a : MB.grad_result) (b : MB.grad_result) =
+  bits_eq a.MB.g_energies b.MB.g_energies
+  && bits_eq a.MB.d_lig b.MB.d_lig
+  && bits_eq a.MB.d_pro b.MB.d_pro
+  && bits_eq a.MB.d_poses b.MB.d_poses
 
 (* ---- the soak ---- *)
 
@@ -112,6 +132,15 @@ let soak ?(trials = 50) ?log ~seed () : report =
     | None ->
       let g = Lulesh.gradient ~nranks:2 flavor (input niter) in
       Hashtbl.add baselines key g;
+      g
+  in
+  let mb_baselines : (int, MB.grad_result) Hashtbl.t = Hashtbl.create 4 in
+  let mb_baseline nposes =
+    match Hashtbl.find_opt mb_baselines nposes with
+    | Some g -> g
+    | None ->
+      let g = MB.gradient MB.Omp (MB.deck ~nposes ~natlig:4 ~natpro:6) in
+      Hashtbl.add mb_baselines nposes g;
       g
   in
   let run_trial i =
@@ -138,7 +167,7 @@ let soak ?(trials = 50) ?log ~seed () : report =
           (String.concat ""
              (List.map (Printf.sprintf ",kill=1@%.0f") rest))
     in
-    let scenario = draw_int r 3 in
+    let scenario = draw_int r 6 in
     let desc, outcome =
       match scenario with
       | 0 ->
@@ -190,6 +219,86 @@ let soak ?(trials = 50) ?log ~seed () : report =
                 ~budget flavor inp
             in
             if grads_eq res.Lulesh.b_grad base then Identical
+            else Unclassified "completed with non-identical gradient"
+          with e -> classify e )
+      | 3 ->
+        (* SDC: seeded bit flips into sealed cache memory, supervised
+           store-all recovery — every landed flip must be caught by a
+           region digest and replayed away bit-identically *)
+        let nflips = 1 + draw_int r 2 in
+        let max_restarts = 2 + draw_int r 3 in
+        let flips =
+          List.init nflips (fun _ ->
+              let rank = draw_int r 2 in
+              let cell = draw_int r 10_000 in
+              let bit = draw_int r 64 in
+              let at = draw_float r *. base.Lulesh.g_makespan in
+              Printf.sprintf ",flip=%d@%d@%d@%.0f" rank cell bit at)
+        in
+        let spec = "none:retries=5" ^ String.concat "" flips in
+        let faults = Faults.plan_of_spec ~seed:fault_seed ~nranks:2 spec in
+        let desc =
+          Printf.sprintf "sdc-flip niter=%d max_restarts=%d %s" niter
+            max_restarts spec
+        in
+        ( desc,
+          try
+            let g, _recov =
+              Lulesh.gradient_recoverable ~nranks:2 ~faults ~max_restarts
+                flavor inp
+            in
+            if grads_eq g base then Identical
+            else Unclassified "completed with non-identical gradient"
+          with e -> classify e )
+      | 4 ->
+        (* SDC: corrupt a packed adjoint message in flight (sometimes
+           sticky, exhausting the retransmit ladder into a checkpoint
+           restore), supervised recovery *)
+        let ordinal = 1 + draw_int r 6 in
+        let byte = draw_int r 512 in
+        let sticky = draw_bool r 0.5 in
+        let max_restarts = 2 + draw_int r 3 in
+        let spec =
+          Printf.sprintf "none:retries=3,corrupt-msg=%d@%d%s" ordinal byte
+            (if sticky then "@sticky" else "")
+        in
+        let faults = Faults.plan_of_spec ~seed:fault_seed ~nranks:2 spec in
+        let desc =
+          Printf.sprintf "sdc-msg niter=%d max_restarts=%d %s" niter
+            max_restarts spec
+        in
+        ( desc,
+          try
+            let g, _recov =
+              Lulesh.gradient_recoverable ~nranks:2 ~faults ~max_restarts
+                flavor inp
+            in
+            if grads_eq g base then Identical
+            else Unclassified "completed with non-identical gradient"
+          with e -> classify e )
+      | 5 ->
+        (* SDC on miniBUDE: single-rank bit flip under service-style
+           whole-request retry (a detected region corruption consumes
+           the fired flip and re-executes, like the gradient service) *)
+        let nposes = 8 + (8 * draw_int r 3) in
+        let inp = MB.deck ~nposes ~natlig:4 ~natpro:6 in
+        let mb_base = mb_baseline nposes in
+        let cell = draw_int r 10_000 in
+        let bit = draw_int r 64 in
+        let at = draw_float r *. mb_base.MB.g_makespan in
+        let spec = Printf.sprintf "none:flip=0@%d@%d@%.0f" cell bit at in
+        let plan = Faults.plan_of_spec ~seed:fault_seed ~nranks:1 spec in
+        let desc = Printf.sprintf "sdc-bude nposes=%d %s" nposes spec in
+        ( desc,
+          try
+            let rec go plan tries =
+              try MB.gradient ~faults:plan MB.Omp inp
+              with
+              | Checkpoint.Corrupt_region { cr_rank; _ } when tries < 3 ->
+                go (Faults.consume_flip plan ~rank:cr_rank) (tries + 1)
+            in
+            let g = go plan 0 in
+            if mb_grads_eq g mb_base then Identical
             else Unclassified "completed with non-identical gradient"
           with e -> classify e )
       | _ ->

@@ -347,8 +347,8 @@ let compile ?(opts = Parad_core.Plan.default_options) ?(post_opt = true)
 
 (** Execute one gradient request against a cached plan (pure
     interpretation; bit-identical to a cold {!gradient}). *)
-let gradient_compiled ?nthreads ?san ?deadline (c : compiled) (inp : input) :
-    grad_result =
+let gradient_compiled ?nthreads ?san ?faults ?deadline (c : compiled)
+    (inp : input) : grad_result =
   let nthreads = Option.value nthreads ~default:c.c_ntasks in
   let cfg = { Interp.default_config with nthreads } in
   let variant = c.c_variant in
@@ -356,7 +356,8 @@ let gradient_compiled ?nthreads ?san ?deadline (c : compiled) (inp : input) :
   let shadows = ref [] in
   let outs = ref [] in
   let res =
-    Exec.run ~cfg ?san ?deadline dprog ~fname:dname ~setup:(fun ctx ->
+    Exec.run ~cfg ?san ?faults ?deadline dprog ~fname:dname
+      ~setup:(fun ctx ->
         let args, bufs = setup_args variant inp ctx in
         outs := bufs;
         (* shadows, in pointer-parameter order *)
@@ -389,9 +390,9 @@ let gradient_compiled ?nthreads ?san ?deadline (c : compiled) (inp : input) :
 (** Reverse-mode gradient of sum(energies) w.r.t. ligand, protein and
     poses, through the chosen parallel variant. One-shot: compiles and
     executes. *)
-let gradient ?(nthreads = 1) ?san ?(opts = Parad_core.Plan.default_options)
-    ?(post_opt = true) ?(pre = []) ?deadline variant (inp : input) :
-    grad_result =
-  gradient_compiled ~nthreads ?san ?deadline
+let gradient ?(nthreads = 1) ?san ?faults
+    ?(opts = Parad_core.Plan.default_options) ?(post_opt = true) ?(pre = [])
+    ?deadline variant (inp : input) : grad_result =
+  gradient_compiled ~nthreads ?san ?faults ?deadline
     (compile ~opts ~post_opt ~pre ~ntasks:nthreads variant)
     inp

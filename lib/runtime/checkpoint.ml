@@ -37,6 +37,16 @@ open Value
     of the iteration body. *)
 exception Skip_iteration
 
+(** Raised when an ABFT region digest over live cache memory no longer
+    matches its seal (see {!Cache_rt.seal}): a bit silently flipped in a
+    cell the program never rewrote. [cr_cache] is the first cache whose
+    digest failed, [cr_at] the virtual time of the check. The supervised
+    recovery driver catches this and degrades to the newest consistent
+    snapshot (taken from verified-clean state) instead of letting the
+    corruption reach the gradient. *)
+exception
+  Corrupt_region of { cr_rank : int; cr_cache : int; cr_at : float }
+
 (* ---- two-tier snapshot store ---- *)
 
 type tier = Hot | Disk

@@ -56,14 +56,21 @@ let to_floats (v : Value.t) =
   | _ -> error "Exec.to_floats: not a pointer"
 
 (** Run [fname] on a single rank. [setup] builds the argument list (e.g.
-    with {!floats}); it runs inside the simulation. *)
-let run ?(cfg = Interp.default_config) ?san ?deadline prog ~fname ~setup =
+    with {!floats}); it runs inside the simulation. [faults] injects a
+    deterministic fault plan (bit flips into sealed cache memory are the
+    only events that apply to a communicator-free run). *)
+let run ?(cfg = Interp.default_config) ?san ?faults ?deadline prog ~fname
+    ~setup =
   let stats = Stats.create () in
   let value, makespan, stats =
     Sim.run ~cost:cfg.Interp.cost ~stats ?deadline (fun () ->
-        let ctx = Interp.make_ctx ~cfg ?san ~prog () in
+        let faults = Option.map (Faults.make ~nranks:1) faults in
+        let ctx = Interp.make_ctx ~cfg ?san ?faults ~prog () in
         let args = setup ctx in
         let v = Interp.call ctx fname args in
+        (* end-of-run ABFT sweep: an undetected flip must never leave
+           the run as a silently wrong value *)
+        Interp.verify_regions ctx;
         (match san with
         | Some s -> Sanitizer.report_leaks s ~rank:0 ~mem:ctx.Interp.mem
         | None -> ());
@@ -113,6 +120,8 @@ let run_spmd ?(cfg = Interp.default_config) ?instrument ?faults ?mpi_ref ?san
                failure must still surface as a structured Rank_failed, not
                a join deadlock on the parked victim *)
             Mpi_state.check_any_alive mpi ~rank;
+            (* end-of-run ABFT sweep over this rank's protected caches *)
+            Interp.verify_regions ctx;
             match san with
             | Some s -> Sanitizer.report_leaks s ~rank ~mem:ctx.Interp.mem
             | None -> ()))
@@ -148,6 +157,7 @@ let run_spmd_custom ?(cfg = Interp.default_config) ?instrument ?faults
             body ctxs.(rank) ~rank;
             Mpi_state.adj_flush_all mpi ~rank;
             Mpi_state.check_any_alive mpi ~rank;
+            Interp.verify_regions ctxs.(rank);
             match san with
             | Some s ->
               Sanitizer.report_leaks s ~rank ~mem:ctxs.(rank).Interp.mem
@@ -220,6 +230,7 @@ let run_spmd_recoverable ?(cfg = Interp.default_config) ?faults ?mpi_ref ?san
                   values.(rank) <- Interp.call ctx fname args;
                   Mpi_state.adj_flush_all mpi ~rank;
                   Mpi_state.check_any_alive mpi ~rank;
+                  Interp.verify_regions ctx;
                   (* leaks are only meaningful on the attempt that
                      completes; failed attempts never reach this point *)
                   match san with
@@ -233,6 +244,11 @@ let run_spmd_recoverable ?(cfg = Interp.default_config) ?faults ?mpi_ref ?san
       | Checkpoint.Snapshot_unavailable { su_id; _ }
         when restarts < max_restarts ->
         `Bad_snapshot su_id
+      | Mpi_state.Corrupt_message c when restarts < max_restarts ->
+        `Corrupt_msg c
+      | Checkpoint.Corrupt_region { cr_rank; cr_at; _ }
+        when restarts < max_restarts ->
+        `Corrupt_region (cr_rank, cr_at)
     in
     match outcome with
     | `Done makespan ->
@@ -262,6 +278,31 @@ let run_spmd_recoverable ?(cfg = Interp.default_config) ?faults ?mpi_ref ?san
       resumed := resume :: !resumed;
       attempt plan
         ~base:(base +. cfg.Interp.cost.Cost_model.restart_base)
+        ~restarts:(restarts + 1) ~resume
+    | `Corrupt_msg c ->
+      (* retransmits exhausted on a corrupted in-flight message: consume
+         the fired corruption from the plan's budget and replay from the
+         latest consistent checkpoint *)
+      stats.restarts <- stats.restarts + 1;
+      stats.sdc_recovered <- stats.sdc_recovered + 1;
+      let resume = Checkpoint.latest_consistent store in
+      resumed := resume :: !resumed;
+      let plan = Faults.consume_corrupt plan in
+      attempt plan
+        ~base:
+          (c.Mpi_state.cm_at +. cfg.Interp.cost.Cost_model.restart_base)
+        ~restarts:(restarts + 1) ~resume
+    | `Corrupt_region (cr_rank, cr_at) ->
+      (* a bit flip landed in sealed cache memory and was caught by an
+         ABFT digest: the attempt's live state is poisoned, so degrade to
+         the latest verified-clean snapshot and re-advance *)
+      stats.restarts <- stats.restarts + 1;
+      stats.sdc_recovered <- stats.sdc_recovered + 1;
+      let resume = Checkpoint.latest_consistent store in
+      resumed := resume :: !resumed;
+      let plan = Faults.consume_flip plan ~rank:cr_rank in
+      attempt plan
+        ~base:(cr_at +. cfg.Interp.cost.Cost_model.restart_base)
         ~restarts:(restarts + 1) ~resume
   in
   attempt

@@ -39,6 +39,19 @@ type plan = {
   rules : rule list;
   stalls : (int * float * float) list;  (** rank, not-before time, delay *)
   kills : (int * float) list;  (** rank, not-before time *)
+  flips : (int * int * int * float) list;
+      (** silent bit flips in live memory: rank, cell, bit (0..63),
+          not-before time. [cell] indexes the victim's sealed cache
+          cells (mod the sealed population at strike time), so every
+          flip lands on a cell the detection layer is accountable
+          for. *)
+  corrupts : (int * int * bool) list;
+      (** in-flight packed-message corruption: 1-based global packed
+          message ordinal, byte seed (picks the victim cell inside the
+          payload), sticky. A non-sticky corruption damages one
+          delivery and the retransmit is clean; a sticky one damages
+          every retransmit until the sender's retry budget is
+          exhausted. *)
 }
 
 let none =
@@ -52,6 +65,8 @@ let none =
     rules = [];
     stalls = [];
     kills = [];
+    flips = [];
+    corrupts = [];
   }
 
 (* A message the sender gave up on, kept for diagnosis and post-run
@@ -71,6 +86,11 @@ type state = {
   stalled : bool array;  (** per-rank: stall already charged *)
   mutable lost_msgs : lost list;  (** reverse send order *)
   mutable injected : int;  (** total faults injected *)
+  mutable flips_left : (int * int * int * float) list;
+      (** bit flips not yet landed *)
+  mutable corrupts_left : (int * int * bool) list;
+      (** packed-message corruptions not yet landed *)
+  mutable packed_seen : int;  (** global packed-message ordinal, 1-based *)
 }
 
 let make ~nranks plan =
@@ -81,6 +101,9 @@ let make ~nranks plan =
     stalled = Array.make nranks false;
     lost_msgs = [];
     injected = 0;
+    flips_left = plan.flips;
+    corrupts_left = plan.corrupts;
+    packed_seen = 0;
   }
 
 (* splitmix64: one 64-bit draw per transmission attempt. Advancing the
@@ -175,6 +198,40 @@ let rank_gate st ~rank ~now =
       `Stall d
     | None -> `Ok)
 
+(** One pending bit flip for [rank] whose time has come, or [None].
+    The flip is consumed from the state (it lands once per run); the
+    caller applies it to live memory and bumps [Stats.sdc_injected]
+    only if a target cell actually exists. *)
+let flip_gate st ~rank ~now =
+  let rec pick acc = function
+    | [] -> None
+    | (r, cell, bit, at) :: tl when r = rank && now >= at ->
+      st.flips_left <- List.rev_append acc tl;
+      st.injected <- st.injected + 1;
+      Some (cell, bit)
+    | h :: tl -> pick (h :: acc) tl
+  in
+  pick [] st.flips_left
+
+(** Gate one packed-message send: advance the global packed ordinal and
+    report whether this message is scheduled for corruption. Returns
+    [(byte_seed, sticky)] when it is; a sticky entry re-fires on every
+    retransmit of the same message (the caller keeps the returned pair
+    attached to the message), a non-sticky one damages only the first
+    delivery. Either way the entry is consumed here — the ordinal never
+    repeats. *)
+let corrupt_gate st =
+  st.packed_seen <- st.packed_seen + 1;
+  let rec pick acc = function
+    | [] -> None
+    | (n, byte, sticky) :: tl when n = st.packed_seen ->
+      st.corrupts_left <- List.rev_append acc tl;
+      st.injected <- st.injected + 1;
+      Some (byte, sticky)
+    | h :: tl -> pick (h :: acc) tl
+  in
+  pick [] st.corrupts_left
+
 let lost st = List.rev st.lost_msgs
 
 (** Messages lost on the (src, dst, tag) channel so far — used in
@@ -189,7 +246,7 @@ let lost_on st ~src ~dst ~tag =
 
 let plan_names =
   [ "none"; "drop-retry"; "flaky"; "dup"; "delay"; "blackhole"; "stall";
-    "kill" ]
+    "kill"; "flip"; "corrupt-msg" ]
 
 (** Build a named plan. [rank] and [at] parameterize the rank-targeted
     plans (stall/kill/blackhole); defaults target rank 1 (or 0 when
@@ -246,6 +303,14 @@ let plan_of_name ?(seed = 42) ?rank ?(at = 0.0) ~nranks name =
     }
   | "stall" -> { base with stalls = [ victim, at, 200_000.0 ] }
   | "kill" -> { base with kills = [ victim, at ] }
+  | "flip" ->
+    (* one silent bit flip in the victim's live cache memory; override
+       cell/bit via flip= in plan_of_spec *)
+    { base with flips = [ victim, 0, 31, at ] }
+  | "corrupt-msg" ->
+    (* damage the first packed adjoint message in flight, once; the
+       checksum trailer catches it and the retransmit is clean *)
+    { base with corrupts = [ 1, 0, false ] }
   | _ ->
     invalid_arg
       (Printf.sprintf "Faults.plan_of_name: unknown plan %S (know: %s)" name
@@ -262,14 +327,40 @@ let consume_kill plan ~rank =
   in
   { plan with kills = drop plan.kills }
 
+(** Remove the first flip entry for [rank]: the supervised recovery
+    driver consumes a detected flip before replaying from the snapshot,
+    so each flip in the plan lands at most once across restarts. *)
+let consume_flip plan ~rank =
+  let rec drop = function
+    | [] -> []
+    | (r, _, _, _) :: tl when r = rank -> tl
+    | h :: tl -> h :: drop tl
+  in
+  { plan with flips = drop plan.flips }
+
+(** Remove the first sticky corruption entry. A sticky corruption
+    exhausts the sender's retransmit budget and surfaces as
+    [Corrupt_message]; the supervisor consumes it before replaying so
+    the replay's sends go through clean. *)
+let consume_corrupt plan =
+  let rec drop = function
+    | [] -> []
+    | (_, _, true) :: tl -> tl
+    | h :: tl -> h :: drop tl
+  in
+  { plan with corrupts = drop plan.corrupts }
+
 (** Parse a plan spec: a plan name, optionally followed by
     [:key=val,...] overrides. Recognized keys: [seed], [victim], [at]
     (retarget the named plan), [retries], [backoff], [deadline], [prob]
-    (tune recovery parameters), [kill=R@T] and [stall=R@T@D] (repeatable;
-    append extra kills/stalls, so multi-failure plans like
-    ["kill:kill=2@0,kill=3@50000"] are expressible). Explicit
-    [?seed]/[?rank]/[?at] arguments act as defaults that spec overrides
-    win over. *)
+    (tune recovery parameters), [kill=R@T], [stall=R@T@D],
+    [flip=R@CELL@BIT@T] and [corrupt-msg=N@BYTE@sticky] (repeatable;
+    append extra events, so multi-failure plans like
+    ["kill:kill=2@0,kill=3@50000"] are expressible). Scalar keys may
+    appear at most once — ["kill:at=0,at=500"] is rejected with
+    [Invalid_argument] rather than silently keeping one of the values.
+    Explicit [?seed]/[?rank]/[?at] arguments act as defaults that spec
+    overrides win over. *)
 let plan_of_spec ?seed ?rank ?at ~nranks spec =
   let bad fmt = Printf.ksprintf invalid_arg ("Faults.plan_of_spec: " ^^ fmt) in
   let name, overrides =
@@ -296,6 +387,18 @@ let plan_of_spec ?seed ?rank ?at ~nranks spec =
   let float_of k v =
     try float_of_string v with _ -> bad "%s=%S is not a number" k v
   in
+  (* scalar keys must appear at most once: a spec like
+     "kill:at=0,at=500" is a conflict the caller should hear about,
+     not a silent last-write-wins *)
+  let scalar_keys =
+    [ "seed"; "victim"; "at"; "retries"; "backoff"; "deadline"; "prob" ]
+  in
+  List.iter
+    (fun k ->
+      let n = List.length (List.filter (fun (k', _) -> k' = k) kv) in
+      if n > 1 then
+        bad "key %S given %d times; scalar keys may appear at most once" k n)
+    scalar_keys;
   let seed =
     match List.assoc_opt "seed" kv with
     | Some v -> Some (int_of "seed" v)
@@ -346,10 +449,39 @@ let plan_of_spec ?seed ?rank ?at ~nranks spec =
                 @ [ check_rank k (int_of k r), float_of k t, float_of k d ];
             }
           | _ -> bad "stall=%S is not RANK@TIME@DELAY" v)
+        | "flip" -> (
+          let flip r c b t =
+            let b = int_of k b in
+            if b < 0 || b > 63 then bad "flip bit %d out of range [0, 63]" b;
+            let c = int_of k c in
+            if c < 0 then bad "flip cell %d is negative" c;
+            {
+              p with
+              flips =
+                p.flips @ [ check_rank k (int_of k r), c, b, float_of k t ];
+            }
+          in
+          match String.split_on_char '@' v with
+          | [ r; c; b ] -> flip r c b "0"
+          | [ r; c; b; t ] -> flip r c b t
+          | _ -> bad "flip=%S is not RANK@CELL@BIT or RANK@CELL@BIT@TIME" v)
+        | "corrupt-msg" -> (
+          let corrupt n b sticky =
+            let n = int_of k n in
+            if n < 1 then bad "corrupt-msg ordinal %d is not >= 1" n;
+            let b = int_of k b in
+            if b < 0 then bad "corrupt-msg byte %d is negative" b;
+            { p with corrupts = p.corrupts @ [ n, b, sticky ] }
+          in
+          match String.split_on_char '@' v with
+          | [ n ] -> corrupt n "0" false
+          | [ n; b ] -> corrupt n b false
+          | [ n; b; "sticky" ] -> corrupt n b true
+          | _ -> bad "corrupt-msg=%S is not N, N@BYTE or N@BYTE@sticky" v)
         | _ ->
           bad
             "unknown key %S (know: seed, victim, at, retries, backoff, \
-             deadline, prob, kill, stall)"
+             deadline, prob, kill, stall, flip, corrupt-msg)"
             k)
       base kv
   in
@@ -382,4 +514,14 @@ let pp_plan ppf p =
     p.stalls;
   List.iter
     (fun (r, at) -> Format.fprintf ppf "@\n  kill rank %d at t>=%.6g" r at)
-    p.kills
+    p.kills;
+  List.iter
+    (fun (r, c, b, at) ->
+      Format.fprintf ppf "@\n  flip rank %d cell %d bit %d at t>=%.6g" r c b
+        at)
+    p.flips;
+  List.iter
+    (fun (n, b, sticky) ->
+      Format.fprintf ppf "@\n  corrupt packed msg #%d byte %d%s" n b
+        (if sticky then " (sticky)" else ""))
+    p.corrupts

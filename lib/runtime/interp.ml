@@ -73,6 +73,10 @@ type ctx = {
   san : Sanitizer.t option;
       (** ParSan: when set, race/memory/gradient-integrity checking is
           active (shared by all ranks of a run) *)
+  faults : Faults.state option;
+      (** fault-injection state for non-MPI runs (SPMD runs resolve to
+          the communicator's shared state instead); drives silent
+          bit-flip injection into sealed cache memory *)
   mutable root_args : Value.t list;
       (** the entry function's arguments — the roots of a checkpoint's
           buffer reachability walk *)
@@ -82,8 +86,19 @@ type ctx = {
           charged at the cheaper [transcendental_remat] rate *)
 }
 
-let make_ctx ?(cfg = default_config) ?instrument ?mpi ?(rank = 0) ?(nranks = 1)
-    ?ckpt ?san ~prog () =
+let make_ctx ?(cfg = default_config) ?instrument ?mpi ?faults ?(rank = 0)
+    ?(nranks = 1) ?ckpt ?san ~prog () =
+  (* SPMD runs share one fault state through the communicator; non-MPI
+     runs carry their own. Either way, a plan with bit flips arms ABFT
+     sealing on this rank's caches so every flip is detectable. *)
+  let faults =
+    match mpi with Some m -> m.Mpi_state.faults | None -> faults
+  in
+  let cache = Cache_rt.create () in
+  (match faults with
+  | Some fs when fs.Faults.plan.Faults.flips <> [] ->
+    cache.Cache_rt.protect <- true
+  | _ -> ());
   {
     prog;
     cfg;
@@ -91,7 +106,7 @@ let make_ctx ?(cfg = default_config) ?instrument ?mpi ?(rank = 0) ?(nranks = 1)
     rank;
     nranks;
     mpi;
-    cache = Cache_rt.create ();
+    cache;
     instrument;
     tasks = Hashtbl.create 16;
     next_task = 0;
@@ -101,6 +116,7 @@ let make_ctx ?(cfg = default_config) ?instrument ?mpi ?(rank = 0) ?(nranks = 1)
     executed = 0;
     ckpt;
     san;
+    faults;
     root_args = [];
     remat_depth = 0;
   }
@@ -143,6 +159,48 @@ let mpi_state ctx =
   match ctx.mpi with
   | Some m -> m
   | None -> error "MPI intrinsic outside an SPMD execution"
+
+(* Land any due bit flip into this rank's sealed cache memory. Polled
+   after cache reads and at checkpoint boundaries (right after
+   resealing). The event stays pending until sealed memory exists to be
+   struck — consuming it against an empty address space would make the
+   trial a trivial no-op — so a due flip lands at the first poll that
+   finds covered cells. One that never finds any (e.g. scheduled past
+   the run's end) is provably masked: no protected value existed for it
+   to corrupt. *)
+let apply_flips ctx =
+  match ctx.faults with
+  | Some fs
+    when fs.Faults.flips_left <> [] && Cache_rt.has_sealed ctx.cache -> (
+    match Faults.flip_gate fs ~rank:ctx.rank ~now:(Sim.now ()) with
+    | Some (cell, bit) -> (
+      match Cache_rt.flip ctx.cache ~cell ~bit with
+      | Some _ ->
+        let st = Sim.stats () in
+        st.sdc_injected <- st.sdc_injected + 1
+      | None -> ())
+    | None -> ())
+  | _ -> ()
+
+(* Raise the structured corruption notice for a failed region digest. *)
+let corrupt_region ctx ~cache_id =
+  let st = Sim.stats () in
+  st.sdc_detected <- st.sdc_detected + 1;
+  raise
+    (Checkpoint.Corrupt_region
+       { cr_rank = ctx.rank; cr_cache = cache_id; cr_at = Sim.now () })
+
+(** Verify every sealed cache of [ctx] against its digest, charging the
+    scan; raises {!Checkpoint.Corrupt_region} on the first mismatch.
+    Called at checkpoint boundaries and at the end of a protected run. *)
+let verify_regions ctx =
+  if ctx.cache.Cache_rt.protect then begin
+    let scanned, bad = Cache_rt.verify ctx.cache in
+    Sim.charge (ctx.cfg.cost.mem *. float_of_int scanned);
+    match bad with
+    | Some cid -> corrupt_region ctx ~cache_id:cid
+    | None -> ()
+  end
 
 let charge = Sim.charge
 
@@ -947,9 +1005,24 @@ and intrinsic ctx e name args vals : Value.t * int =
     let id = int_arg 0 in
     charge (if Cache_rt.is_unboxed ctx.cache ~id then c.mem else c.cache_op);
     st.cache_loads <- st.cache_loads + 1;
-    Cache_rt.get ctx.cache ~id ~idx:(int_arg 1), 0
+    let r = Cache_rt.get ctx.cache ~id ~idx:(int_arg 1) in
+    (* the get sealed the cache on first read; only now can a pending
+       flip land on covered (detectable) memory *)
+    apply_flips ctx;
+    r, 0
   | "cache.free" ->
-    Cache_rt.free ctx.cache ~id:(int_arg 0);
+    let id = int_arg 0 in
+    (* last chance to catch a flip in this cache before its cells are
+       released: the reverse sweep has consumed them all. The scan is
+       charged like any other ABFT sweep — coverage is not free. *)
+    if ctx.cache.Cache_rt.protect then begin
+      Sim.charge
+        (ctx.cfg.cost.mem
+        *. float_of_int (Cache_rt.covered_id ctx.cache ~id));
+      if not (Cache_rt.verify_id ctx.cache ~id) then
+        corrupt_region ctx ~cache_id:id
+    end;
+    Cache_rt.free ctx.cache ~id;
     unit_
   (* ---- adjoint MPI runtime (generated by the AD engine) ---- *)
   | "mpi.adjnote_isend" | "mpi.adjnote_irecv" ->
@@ -1263,6 +1336,10 @@ and checkpoint_site ctx e ~name ~explicit_id ~extras : Value.t * int =
       | Checkpoint.Hot -> ());
       VUnit, 0
     | None ->
+      (* ABFT boundary: verify the previous interval's seals BEFORE the
+         snapshot — a flip since the last boundary must surface here, so
+         every snapshot captures verified-clean state *)
+      verify_regions ctx;
       let { Checkpoint.t_cells; t_put } =
         Checkpoint.take session ~mem:ctx.mem ~cache:ctx.cache ~mpi:ctx.mpi
           ~roots:(ctx.root_args @ extras) ~id
@@ -1278,6 +1355,12 @@ and checkpoint_site ctx e ~name ~explicit_id ~extras : Value.t * int =
           (c.snap_disk_base
           +. (c.snap_disk_per_cell
              *. float_of_int t_put.Checkpoint.p_demoted_cells));
+      (* reseal over the just-snapshotted state, then let any due flip
+         land on the fresh seals (detected at the next boundary) *)
+      if ctx.cache.Cache_rt.protect then
+        Sim.charge
+          (c.mem *. float_of_int (Cache_rt.seal_all ctx.cache));
+      apply_flips ctx;
       VUnit, 0)
 
 (** Call [fname] in an existing context (must run inside {!Sim.run}). *)

@@ -12,6 +12,11 @@ open Value
 type msg = {
   payload : Value.t array;
   avail : float;  (** virtual time at which the receiver can complete *)
+  mcorrupt : (Value.t array * int * bool) option;
+      (** set when fault injection damaged this delivery in flight:
+          the sender's pristine staged copy (the retransmit source),
+          the byte seed that picked the flipped bit, and whether the
+          corruption is sticky (re-applied to every retransmit). *)
 }
 
 type pending_recv = {
@@ -172,10 +177,87 @@ let pp_failure ppf n =
     (String.concat "; " (List.map string_of_int n.fn_survivors))
     n.fn_agreed_at n.fn_epoch
 
+(* ---- silent-data-corruption detection on packed messages ----
+
+   Every packed adjoint message carries an ABFT trailer: the FNV-1a
+   digest of its cells, appended as one extra [VFloat] whose bits are
+   the checksum. The receiver verifies the trailer before parsing the
+   packet (a flipped header cell must never drive the unpacker), asks
+   the sender's retained staging copy for a bounded number of
+   retransmits on mismatch, and raises {!Corrupt_message} once the
+   retry budget is spent — the same give-up ladder as dropped
+   messages, but for corruption instead of loss. *)
+
+type corruption_notice = {
+  cm_src : int;  (** sender of the damaged packed message *)
+  cm_dst : int;  (** receiver that detected the mismatch *)
+  cm_at : float;  (** virtual time of detection *)
+  cm_attempts : int;  (** retransmits tried before giving up *)
+}
+
+exception Corrupt_message of corruption_notice
+
+let pp_corruption ppf c =
+  Format.fprintf ppf
+    "corrupt message: packed adjoint message %d->%d failed its checksum at \
+     t=%.6g; %d retransmit(s) also corrupt — sender staging is poisoned"
+    c.cm_src c.cm_dst c.cm_at c.cm_attempts
+
 let () =
   Printexc.register_printer (function
     | Rank_failed n -> Some (Format.asprintf "%a" pp_failure n)
+    | Corrupt_message c -> Some (Format.asprintf "%a" pp_corruption c)
     | _ -> None)
+
+(* FNV-1a over the packet's cells in index order, each cell as a type
+   byte plus its 64-bit pattern. (Checkpoint has a string checksum with
+   the same constants, but depends on this module — hence the local
+   copy over cells rather than an allocation-heavy serialize-and-hash.) *)
+let packed_digest payload n =
+  let h = ref 0xcbf29ce484222325L in
+  let byte b =
+    h := Int64.mul (Int64.logxor !h (Int64.of_int b)) 0x100000001b3L
+  in
+  for i = 0 to n - 1 do
+    let tag, bits =
+      match payload.(i) with
+      | VInt k -> 0x69, Int64.of_int k
+      | VFloat x -> 0x66, Int64.bits_of_float x
+      | _ -> 0x75, 0L
+    in
+    byte tag;
+    for k = 0 to 7 do
+      byte (Int64.to_int (Int64.logand (Int64.shift_right_logical bits (8 * k)) 0xFFL))
+    done
+  done;
+  !h
+
+(** True when the packet's trailer matches its contents. *)
+let verify_packed (m : msg) =
+  let n = Array.length m.payload in
+  n >= 2
+  &&
+  match m.payload.(n - 1) with
+  | VFloat x ->
+    Int64.equal (Int64.bits_of_float x) (packed_digest m.payload (n - 1))
+  | _ -> false
+
+(* Flip one bit of one cell, the seed picking both. Structural cells
+   (chunk headers) are fair targets: verification runs before parsing,
+   so a damaged header is detected, never interpreted. *)
+let damage payload byte =
+  let n = Array.length payload in
+  let i = byte mod n in
+  (match payload.(i) with
+  | VFloat x ->
+    payload.(i) <-
+      VFloat
+        (Int64.float_of_bits
+           (Int64.logxor (Int64.bits_of_float x)
+              (Int64.shift_left 1L (byte mod 52))))
+  | VInt k -> payload.(i) <- VInt (k lxor (1 lsl (byte mod 30)))
+  | _ -> ());
+  payload
 
 let create ~cost ~nranks ?faults ?(coalesce = true) () =
   {
@@ -370,9 +452,11 @@ let isend t ~rank ~ptr ~count ~dst ~tag =
     stats.send_retries <- stats.send_retries + retries;
     stats.messages_duplicated <- stats.messages_duplicated + copies;
     let ch = channel t ~src:rank ~dst ~tag in
-    post_msg ch { payload; avail = avail +. extra };
+    post_msg ch { payload; avail = avail +. extra; mcorrupt = None };
     for _ = 1 to copies do
-      post_msg ch { payload = Array.copy payload; avail = avail +. extra }
+      post_msg ch
+        { payload = Array.copy payload; avail = avail +. extra;
+          mcorrupt = None }
     done);
   fresh_req t.ranks.(rank) RSend
 
@@ -499,8 +583,9 @@ let adj_flush_all t ~rank =
     List.iter
       (fun (dst, chunks) ->
         let chunks = List.rev !chunks in
+        (* one header cell, the chunks, one checksum trailer cell *)
         let cells =
-          List.fold_left (fun acc c -> acc + c.ck_count + 2) 1 chunks
+          List.fold_left (fun acc c -> acc + c.ck_count + 2) 2 chunks
         in
         let payload = Array.make cells VUnit in
         payload.(0) <- VInt (List.length chunks);
@@ -516,6 +601,8 @@ let adj_flush_all t ~rank =
                 incr pos)
               c.ck_data)
           chunks;
+        payload.(cells - 1) <-
+          VFloat (Int64.float_of_bits (packed_digest payload (cells - 1)));
         stats.messages <- stats.messages + 1;
         stats.message_cells <- stats.message_cells + cells;
         stats.msgs_sent <- stats.msgs_sent + 1;
@@ -525,6 +612,14 @@ let adj_flush_all t ~rank =
           Sim.now ()
           +. Cost_model.message_cost cost ~cells
                ~remote:(remote t ~src:rank ~dst)
+        in
+        (* the global packed ordinal advances whatever this message's
+           fate, so a plan's corrupt-msg targets are stable under other
+           injected faults *)
+        let corrupted =
+          match t.faults with
+          | None -> None
+          | Some fs -> Faults.corrupt_gate fs
         in
         let fate =
           match t.faults with
@@ -537,12 +632,25 @@ let adj_flush_all t ~rank =
         | `Deliver { Faults.extra; copies; retries } ->
           stats.send_retries <- stats.send_retries + retries;
           stats.messages_duplicated <- stats.messages_duplicated + copies;
+          (match corrupted with
+          | Some _ -> stats.sdc_injected <- stats.sdc_injected + 1
+          | None -> ());
           let ch = channel t ~src:rank ~dst ~tag:packed_tag in
           let post () =
             t.inflight <- t.inflight + 1;
             if t.inflight > stats.max_inflight then
               stats.max_inflight <- t.inflight;
-            post_msg ch { payload = Array.copy payload; avail = avail +. extra }
+            let m =
+              match corrupted with
+              | None ->
+                { payload = Array.copy payload; avail = avail +. extra;
+                  mcorrupt = None }
+              | Some (byte, sticky) ->
+                { payload = damage (Array.copy payload) byte;
+                  avail = avail +. extra;
+                  mcorrupt = Some (payload, byte, sticky) }
+            in
+            post_msg ch m
           in
           post ();
           for _ = 1 to copies do post () done)
@@ -589,6 +697,59 @@ let adj_unpack t ~rank ~src (m : msg) =
     pos := !pos + count;
     adj_apply_chunk t ~rank ~src ~tag ~count data
   done
+
+(* Verify a packed message's checksum trailer; on mismatch, run the
+   bounded retransmit ladder against the sender's retained staging copy
+   (each round charged as backoff plus a fresh wire transfer), raising
+   {!Corrupt_message} once the budget is spent. Returns the message to
+   unpack — the original when intact, the recovered retransmit
+   otherwise. *)
+let check_packed t ~rank ~src (m : msg) =
+  if verify_packed m then m
+  else begin
+    let stats = Sim.stats () in
+    stats.sdc_detected <- stats.sdc_detected + 1;
+    let p =
+      match t.faults with Some fs -> fs.Faults.plan | None -> Faults.none
+    in
+    let cost = Sim.cost () in
+    let cells = Array.length m.payload in
+    let wire =
+      Cost_model.message_cost cost ~cells ~remote:(remote t ~src ~dst:rank)
+    in
+    let backoff = ref p.Faults.backoff in
+    let attempt = ref 0 in
+    let fixed = ref None in
+    while !fixed = None do
+      if !attempt >= p.Faults.max_retries then
+        raise
+          (Corrupt_message
+             { cm_src = src; cm_dst = rank; cm_at = Sim.now ();
+               cm_attempts = !attempt });
+      incr attempt;
+      stats.msgs_retransmitted <- stats.msgs_retransmitted + 1;
+      Sim.charge (!backoff +. wire);
+      backoff := !backoff *. 2.0;
+      let payload =
+        match m.mcorrupt with
+        | Some (clean, byte, true) ->
+          (* sticky: the fault re-strikes every retransmit *)
+          damage (Array.copy clean) byte
+        | Some (clean, _, false) -> clean
+        | None ->
+          (* no pristine copy retained — corruption did not come from
+             the injection gate, so retransmits cannot help *)
+          raise
+            (Corrupt_message
+               { cm_src = src; cm_dst = rank; cm_at = Sim.now ();
+                 cm_attempts = !attempt })
+      in
+      let m' = { m with payload; mcorrupt = None } in
+      if verify_packed m' then fixed := Some m'
+    done;
+    stats.sdc_recovered <- stats.sdc_recovered + 1;
+    Option.get !fixed
+  end
 
 (* Blocking receive of the next packed adjoint message from [src]. *)
 let adj_recv_packed t ~rank ~src =
@@ -643,6 +804,8 @@ let adj_recv_packed t ~rank ~src =
     end
   in
   Sim.charge (0.1 *. (Sim.cost ()).mpi_latency);
+  (* integrity check before any structural parse of the packet *)
+  let m = check_packed t ~rank ~src m in
   adj_unpack t ~rank ~src m
 
 (** Complete one expectation: flush our own staged chunks first (they may

@@ -46,6 +46,12 @@ type t = {
   (* sanitizer (all zero on unsanitized runs) *)
   mutable nonfinite_found : int;  (** first-origin NaN/Inf detections *)
   mutable nonfinite_quarantined : int;  (** values zeroed in degrade mode *)
+  (* silent-data-corruption envelope (all zero on corruption-free runs) *)
+  mutable sdc_injected : int;  (** bit flips actually landed by the plan *)
+  mutable sdc_detected : int;  (** checksum/digest mismatches caught *)
+  mutable sdc_recovered : int;  (** detections repaired (retransmit/restore) *)
+  mutable msgs_retransmitted : int;
+      (** packed messages re-fetched from the sender after a bad trailer *)
 }
 
 let create () =
@@ -87,6 +93,10 @@ let create () =
     snap_restores = 0;
     nonfinite_found = 0;
     nonfinite_quarantined = 0;
+    sdc_injected = 0;
+    sdc_detected = 0;
+    sdc_recovered = 0;
+    msgs_retransmitted = 0;
   }
 
 let pp ppf s =
@@ -118,7 +128,13 @@ let pp ppf s =
       s.snap_count s.snap_bytes s.snap_evictions s.snap_restores;
   if s.nonfinite_found + s.nonfinite_quarantined > 0 then
     Fmt.pf ppf " nonfinite=%d quarantined=%d" s.nonfinite_found
-      s.nonfinite_quarantined
+      s.nonfinite_quarantined;
+  if
+    s.sdc_injected + s.sdc_detected + s.sdc_recovered + s.msgs_retransmitted
+    > 0
+  then
+    Fmt.pf ppf " sdc_inj=%d sdc_det=%d sdc_rec=%d retrans=%d" s.sdc_injected
+      s.sdc_detected s.sdc_recovered s.msgs_retransmitted
 
 (** Fold [s] into [into]: counters add, peak watermarks take the max.
     Used by harnesses that drive one logical computation through several
@@ -163,4 +179,8 @@ let merge ~into (s : t) =
   into.snap_restores <- into.snap_restores + s.snap_restores;
   into.nonfinite_found <- into.nonfinite_found + s.nonfinite_found;
   into.nonfinite_quarantined <-
-    into.nonfinite_quarantined + s.nonfinite_quarantined
+    into.nonfinite_quarantined + s.nonfinite_quarantined;
+  into.sdc_injected <- into.sdc_injected + s.sdc_injected;
+  into.sdc_detected <- into.sdc_detected + s.sdc_detected;
+  into.sdc_recovered <- into.sdc_recovered + s.sdc_recovered;
+  into.msgs_retransmitted <- into.msgs_retransmitted + s.msgs_retransmitted

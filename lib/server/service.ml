@@ -42,6 +42,7 @@ let class_code = function
   | "deadline" -> 6
   | "overloaded" -> 7
   | "breaker_open" -> 8
+  | "corrupted" -> 9
   | c -> invalid_arg ("Service.class_code: unknown class " ^ c)
 
 (* ---- requests ---- *)
@@ -417,7 +418,10 @@ let attempt rq plan ~faults =
       g.L.g_stats.Stats.instrs )
   | Pbude c, Bude _ ->
     let inp = MB.deck ~nposes:rq.rq_nposes ~natlig:4 ~natpro:6 in
-    let g = MB.gradient_compiled ~nthreads:rq.rq_nthreads ?san ~deadline c inp in
+    let g =
+      MB.gradient_compiled ~nthreads:rq.rq_nthreads ?san ?faults ~deadline c
+        inp
+    in
     ( sanitizer_class (),
       digest_bude g,
       Array.fold_left ( +. ) 0.0 g.MB.g_energies,
@@ -444,19 +448,32 @@ let classify_exn = function
     ( "runtime_error",
       Printf.sprintf "snapshot (%d, %d) %s" su_rank su_id
         (if su_corrupt then "corrupt" else "missing") )
+  | Mpi_state.Corrupt_message c ->
+    ( "corrupted",
+      Printf.sprintf "message %d->%d corrupt at t=%.0f (%d attempts)"
+        c.Mpi_state.cm_src c.Mpi_state.cm_dst c.Mpi_state.cm_at
+        c.Mpi_state.cm_attempts )
+  | Checkpoint.Corrupt_region { cr_rank; cr_cache; cr_at } ->
+    ( "corrupted",
+      Printf.sprintf "rank %d cache %d digest mismatch at t=%.0f" cr_rank
+        cr_cache cr_at )
   | Value.Runtime_error m -> "runtime_error", m
   | Invalid_argument m -> "runtime_error", m
   | Failure m -> "error", m
   | e -> "error", Printexc.to_string e
 
 let transient = function
-  | Mpi_state.Rank_failed _ | Checkpoint.Snapshot_unavailable _ -> true
+  | Mpi_state.Rank_failed _ | Checkpoint.Snapshot_unavailable _
+  | Mpi_state.Corrupt_message _ | Checkpoint.Corrupt_region _ ->
+    true
   | _ -> false
 
 (* Execute with retry-with-backoff. A rank kill is consumed from the
    fault plan before the retry (ULFM-style: the failed incarnation is
-   gone), so a deterministic retry genuinely succeeds; other transient
-   failures retry with unchanged state and are bounded by the budget. *)
+   gone), so a deterministic retry genuinely succeeds; detected data
+   corruption likewise consumes the fired flip or message-corruption
+   event from the plan's budget; other transient failures retry with
+   unchanged state and are bounded by the budget. *)
 let execute t rq plan =
   let rec go ~faults ~tries ~backoff =
     match attempt rq plan ~faults with
@@ -476,6 +493,10 @@ let execute t rq plan =
         match e, faults with
         | Mpi_state.Rank_failed n, Some p ->
           Some (Faults.consume_kill p ~rank:n.Mpi_state.fn_failed)
+        | Mpi_state.Corrupt_message _, Some p ->
+          Some (Faults.consume_corrupt p)
+        | Checkpoint.Corrupt_region { cr_rank; _ }, Some p ->
+          Some (Faults.consume_flip p ~rank:cr_rank)
         | _ -> faults
       in
       let pause = t.cfg.backoff_cycles *. Float.of_int (1 lsl tries) in

@@ -6,7 +6,7 @@
     service's robustness contract:
 
     - every response is classified (a [class] field with a documented
-      code 0–8) — no request, however hostile, produces an unclassified
+      code 0–9) — no request, however hostile, produces an unclassified
       error or kills the daemon;
     - warm-plan gradients are bit-identical to cold compiles (digest
       equality on repeat requests, and binomial-vs-monolithic equality
@@ -74,7 +74,7 @@ let call svc ~stats j =
       stats := (cls, 1 + Option.value (List.assoc_opt cls !stats) ~default:0)
                :: List.remove_assoc cls !stats;
       match num "code" r with
-      | Some c when c >= 0.0 && c <= 8.0 -> ()
+      | Some c when c >= 0.0 && c <= 9.0 -> ()
       | _ -> failwith ("slam: response with undocumented code: " ^ line))
     | None ->
       if Json.str_field "event" r = None then
@@ -161,7 +161,7 @@ let run ?(trials = 50) ?log ~seed () : report =
   let r = rng seed in
   for i = 1 to trials do
     let fields =
-      match draw_int r 8 with
+      match draw_int r 10 with
       | 0 ->
         (* plain valid request, varied shape *)
         ("niter", some_num (float_of_int (1 + draw_int r 3)))
@@ -196,11 +196,35 @@ let run ?(trials = 50) ?log ~seed () : report =
         (* deadline-busting horizon: a virtual budget far below the work *)
         ("deadline_cycles", some_num (float_of_int (1 + draw_int r 50_000)))
         :: ("niter", some_num 4.0) :: base "mpi" 2
-      | _ ->
+      | 7 ->
         (* binomial under a drawn budget *)
         ("snap_budget", some_num (float_of_int (1 + draw_int r 3)))
         :: ("niter", some_num (float_of_int (2 + draw_int r 4)))
         :: base "mpi" 2
+      | 8 ->
+        (* SDC bit flip into sealed cache memory; the retry path
+           consumes the fired flip so the replay is clean — on either
+           app (bude exercises the single-rank envelope) *)
+        let spec =
+          Printf.sprintf "none:flip=0@%d@%d@%d" (draw_int r 10_000)
+            (draw_int r 64)
+            (draw_int r 500_000)
+        in
+        let tail =
+          if draw_bool r 0.5 then ("app", some_str "bude") :: base "omp" 1
+          else base "mpi" 2
+        in
+        ("faults", some_str spec) :: tail
+      | _ ->
+        (* SDC in-flight message corruption: non-sticky recovers by
+           retransmit alone; sticky exhausts the ladder and leans on the
+           request retry budget (or classifies as corrupted, code 9) *)
+        let spec =
+          Printf.sprintf "none:retries=3,corrupt-msg=%d@%d%s"
+            (1 + draw_int r 4) (draw_int r 512)
+            (if draw_bool r 0.5 then "@sticky" else "")
+        in
+        ("faults", some_str spec) :: base "mpi" 2
     in
     let j = req (("id", some_num (float_of_int (1000 + i))) :: fields) in
     ignore (send j)

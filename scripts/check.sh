@@ -2,7 +2,8 @@
 # Full verification gate: build, run every test suite, then smoke-check
 # the fault-injection and recovery CLI scenarios and their exit-code
 # protocol (0 clean, 1 audit issues, 2 runtime error, 3 deadlock or
-# rank failure, 4 recovered but degraded).
+# rank failure, 4 recovered but degraded, 9 silent data corruption
+# detected but unrecovered).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -167,6 +168,54 @@ grep -q "sanitizer: 0 findings" /tmp/parad-check.out || {
 expect_exit 2 faults --plan "kill:victim=9" --dry-run $COMMON
 grep -q "out of range" /tmp/parad-check.out || {
   echo "FAIL: out-of-range victim not rejected"
+  exit 1
+}
+
+# ---- silent-data-corruption envelope (exit 9 = corrupted) ----
+
+# an unsupervised bit flip into sealed cache memory must surface as a
+# structured corruption notice, never a silently wrong gradient
+expect_exit 9 grad $COMMON --plan "none:flip=1@40@31@50"
+grep -q "silent data corruption" /tmp/parad-check.out || {
+  echo "FAIL: unsupervised flip printed no corruption notice"
+  exit 1
+}
+
+# the same flip under the supervised driver restarts from a verified
+# snapshot and reproduces the faultless gradient bit-for-bit
+expect_exit 0 recover --app lulesh --plan "none:flip=1@40@31@50,retries=5" $COMMON
+grep -q "sdc_inj=1 sdc_det=1 sdc_rec=1" /tmp/parad-check.out || {
+  echo "FAIL: supervised flip not detected-and-recovered"
+  exit 1
+}
+grep "d total" /tmp/parad-check.out > /tmp/parad-sdc.out
+$PARAD grad $COMMON 2>/dev/null | grep "d total" > /tmp/parad-clean4.out
+cmp -s /tmp/parad-clean4.out /tmp/parad-sdc.out || {
+  echo "FAIL: flip-recovered gradient differs from the faultless one"
+  diff /tmp/parad-clean4.out /tmp/parad-sdc.out || true
+  exit 1
+}
+
+# a damaged in-flight message is caught by its checksum trailer and
+# retransmitted in place: clean exit, retransmit counted
+expect_exit 0 faults --plan "none:corrupt-msg=1@9" $COMMON
+grep -q "retrans=1" /tmp/parad-check.out || {
+  echo "FAIL: corrupt-msg run counted no retransmit"
+  exit 1
+}
+
+# sticky damage re-corrupts every retransmit: the ladder exhausts and
+# the run aborts with the corruption notice, exit 9
+expect_exit 9 faults --plan "none:retries=2,corrupt-msg=1@9@sticky" $COMMON
+grep -q "corrupt" /tmp/parad-check.out || {
+  echo "FAIL: sticky corruption printed no notice"
+  exit 1
+}
+
+# duplicate scalar keys in a plan spec are a conflict, not last-wins
+expect_exit 2 faults --plan "kill:at=0,at=500" --dry-run $COMMON
+grep -q "at most once" /tmp/parad-check.out || {
+  echo "FAIL: duplicate scalar key not rejected"
   exit 1
 }
 
@@ -360,5 +409,51 @@ TRIPS=$(grep -o '"name": "chaos",[^}]*' BENCH_serve.json \
   exit 1
 }
 echo "serve gate: warm speedup ${SP}x >= ${SP_MIN}x, chaos shed=$SHED trips=$TRIPS"
+
+# ---- SDC campaign gate ----
+# The sdc figure runs the seeded injection campaign (bit flips and
+# message corruption on both apps). The contract: zero silent wrong
+# gradients anywhere, detection coverage at or above the checked-in
+# floor, and the pure protection overhead (armed seals, never-firing
+# plan) at or below the checked-in ceiling. bench/sdc_threshold holds
+# the floor (line 1, percent) and the ceiling (line 2, ratio).
+
+echo "== SDC injection-campaign gate =="
+dune exec bench/main.exe -- --quick --figure sdc > /tmp/parad-sdc-bench.out 2>&1 || {
+  echo "FAIL: sdc benchmark did not run"
+  cat /tmp/parad-sdc-bench.out
+  exit 1
+}
+tail -n 12 /tmp/parad-sdc-bench.out
+COV_MIN=$(sed -n 1p bench/sdc_threshold)
+OVH_MAX=$(sed -n 2p bench/sdc_threshold)
+SILENT=$(grep -o '"silent": [0-9]*' BENCH_sdc.json | awk '{s += $2} END {print s}')
+[ "${SILENT:-1}" -eq 0 ] || {
+  echo "FAIL: SDC campaign produced $SILENT silent wrong gradient(s)"
+  exit 1
+}
+for ROWNAME in lulesh_mpi_flip lulesh_mpi_msg lulesh_mpi_msg_sticky bude_omp_flip; do
+  COV=$(grep -o "\"name\": \"$ROWNAME\",[^}]*" BENCH_sdc.json \
+    | grep -o '"coverage": [0-9.]*' | awk '{print $2}')
+  [ -n "$COV" ] || {
+    echo "FAIL: no $ROWNAME row in BENCH_sdc.json"
+    exit 1
+  }
+  awk -v c="$COV" -v t="$COV_MIN" 'BEGIN { exit !(c >= t) }' || {
+    echo "FAIL: $ROWNAME detection coverage ${COV}% below floor ${COV_MIN}%"
+    exit 1
+  }
+done
+POVH=$(grep -o '"name": "protect_clean",[^}]*' BENCH_sdc.json \
+  | grep -o '"overhead": [0-9.]*' | awk '{print $2}')
+[ -n "$POVH" ] || {
+  echo "FAIL: no protect_clean row in BENCH_sdc.json"
+  exit 1
+}
+awk -v o="$POVH" -v t="$OVH_MAX" 'BEGIN { exit !(o <= t) }' || {
+  echo "FAIL: protection overhead ${POVH}x above ceiling ${OVH_MAX}x"
+  exit 1
+}
+echo "sdc gate: silent=0, coverage >= ${COV_MIN}% on all campaigns, protect overhead ${POVH}x <= ${OVH_MAX}x"
 
 echo "all checks passed"

@@ -415,6 +415,145 @@ let test_gradient_coalesced_plans_transparent () =
         faulty.L.d_coords)
     [ "drop-retry"; "delay" ]
 
+(* ---- silent data corruption: inject, detect, recover ---- *)
+
+let test_plan_spec_sdc_roundtrip () =
+  (* flip and corrupt-msg keys parse to structured plan entries and
+     render back through pp_plan naming every field *)
+  let p =
+    Faults.plan_of_spec ~nranks:4 "none:flip=1@5@40@100,corrupt-msg=2@7@sticky"
+  in
+  Alcotest.(check bool)
+    "flip entry parsed" true
+    (p.Faults.flips = [ 1, 5, 40, 100.0 ]);
+  Alcotest.(check bool)
+    "corrupt entry parsed" true
+    (p.Faults.corrupts = [ 2, 7, true ]);
+  let s = Format.asprintf "%a" Faults.pp_plan p in
+  check_contains "pp_plan" s "flip rank 1 cell 5 bit 40 at t>=100";
+  check_contains "pp_plan" s "corrupt packed msg #2 byte 7 (sticky)";
+  (* spec keys append to the named plan's defaults; consume_* drops
+     entries in order *)
+  let p = Faults.plan_of_spec ~nranks:4 "flip:flip=0@9@1@2" in
+  Alcotest.(check int) "append to default flip" 2 (List.length p.Faults.flips);
+  let p = Faults.consume_flip p ~rank:1 in
+  Alcotest.(check bool)
+    "rank 1 default consumed" true
+    (p.Faults.flips = [ 0, 9, 1, 2.0 ]);
+  let p = Faults.plan_of_spec ~nranks:2 "none:corrupt-msg=1@3@sticky" in
+  let p = Faults.consume_corrupt p in
+  Alcotest.(check bool) "sticky corrupt consumed" true (p.Faults.corrupts = [])
+
+let test_plan_spec_sdc_rejects () =
+  let expect_bad what sub spec =
+    match Faults.plan_of_spec ~nranks:4 spec with
+    | exception Invalid_argument msg -> check_contains what msg sub
+    | _ -> Alcotest.fail (Printf.sprintf "%s: %S accepted" what spec)
+  in
+  (* scalar keys may appear at most once: a silently-ignored second
+     value would make a campaign spec lie about what it injects *)
+  expect_bad "duplicate at" "at most once" "kill:at=0,at=500";
+  expect_bad "duplicate retries" "at most once"
+    "drop-retry:retries=2,retries=9";
+  expect_bad "duplicate victim" "at most once" "kill:victim=1,victim=2";
+  (* malformed SDC keys *)
+  expect_bad "flip rank out of range" "out of range" "none:flip=7@0@31@0";
+  expect_bad "flip bit out of range" "bit" "none:flip=0@0@64@0";
+  expect_bad "corrupt ordinal" "ordinal" "none:corrupt-msg=0";
+  expect_bad "corrupt bad sticky" "sticky" "none:corrupt-msg=1@3@bogus"
+
+let tiny_lulesh =
+  let module L = Apps_lulesh.Lulesh in
+  { L.nx = 2; ny = 2; nz = 4; niter = 2; dt0 = 0.01; escale = 1.0 }
+
+let check_bitwise_coords what (clean : float array array)
+    (faulty : float array array) =
+  Array.iteri
+    (fun r (on : float array) ->
+      Array.iteri
+        (fun i x ->
+          Alcotest.(check int64)
+            (Printf.sprintf "%s rank %d d_x[%d]" what r i)
+            (Int64.bits_of_float clean.(r).(i))
+            (Int64.bits_of_float x))
+        on)
+    faulty
+
+let test_corrupt_msg_retransmit_bitwise () =
+  (* a damaged in-flight packed adjoint batch is caught by its checksum
+     trailer before unpack and retransmitted from the sender's staging
+     copy: the gradient is bitwise identical, only virtual time and the
+     SDC counters move *)
+  let module L = Apps_lulesh.Lulesh in
+  let clean = L.gradient ~nranks:4 L.Mpi tiny_lulesh in
+  let plan = Faults.plan_of_spec ~nranks:4 "none:corrupt-msg=1@9" in
+  let faulty = L.gradient ~nranks:4 ~faults:plan L.Mpi tiny_lulesh in
+  check_bitwise_coords "corrupt-msg" clean.L.d_coords faulty.L.d_coords;
+  let s = faulty.L.g_stats in
+  Alcotest.(check int) "one corruption injected" 1 s.Stats.sdc_injected;
+  Alcotest.(check int) "detected by trailer" 1 s.Stats.sdc_detected;
+  Alcotest.(check int) "recovered in place" 1 s.Stats.sdc_recovered;
+  Alcotest.(check bool)
+    "at least one retransmit" true (s.Stats.msgs_retransmitted >= 1);
+  Alcotest.(check bool)
+    (Printf.sprintf "retransmit charged to virtual time (%.0f -> %.0f)"
+       clean.L.g_makespan faulty.L.g_makespan)
+    true
+    (faulty.L.g_makespan > clean.L.g_makespan)
+
+let test_sticky_corrupt_msg_raises () =
+  (* a sticky corruption re-damages every retransmit: the ladder
+     exhausts and must surface a structured notice, never a silently
+     wrong gradient *)
+  let module L = Apps_lulesh.Lulesh in
+  let plan =
+    Faults.plan_of_spec ~nranks:4 "none:retries=2,corrupt-msg=1@9@sticky"
+  in
+  match L.gradient ~nranks:4 ~faults:plan L.Mpi tiny_lulesh with
+  | _ -> Alcotest.fail "sticky corruption not raised"
+  | exception Mpi_state.Corrupt_message c ->
+    Alcotest.(check bool) "attempts exhausted" true (c.Mpi_state.cm_attempts >= 2);
+    check_contains "notice"
+      (Format.asprintf "%a" Mpi_state.pp_corruption c)
+      "corrupt"
+
+let test_flip_detected_unsupervised () =
+  (* an unsupervised run with a live bit flip must end in a structured
+     Corrupt_region — the end-of-run ABFT sweep guarantees no flip
+     leaves the run as a silently wrong value *)
+  let module L = Apps_lulesh.Lulesh in
+  let plan = Faults.plan_of_spec ~nranks:2 "none:flip=1@3@31@50" in
+  match L.gradient ~nranks:2 ~faults:plan L.Mpi tiny_lulesh with
+  | _ -> Alcotest.fail "flip not detected"
+  | exception Checkpoint.Corrupt_region { cr_rank; _ } ->
+    Alcotest.(check int) "victim rank named" 1 cr_rank
+
+let test_flip_supervised_recovery_bitwise () =
+  (* under supervision the same flip degrades to the nearest verified
+     snapshot and re-advances: the recovered gradient is bitwise
+     identical to the faultless one *)
+  let module L = Apps_lulesh.Lulesh in
+  let clean = L.gradient ~nranks:2 L.Mpi tiny_lulesh in
+  let plan = Faults.plan_of_spec ~nranks:2 "none:flip=1@3@31@50" in
+  let faulty, recov =
+    L.gradient_recoverable ~nranks:2 ~faults:plan ~max_restarts:3 L.Mpi
+      tiny_lulesh
+  in
+  check_bitwise_coords "flip recovery" clean.L.d_coords faulty.L.d_coords;
+  let s = faulty.L.g_stats in
+  Alcotest.(check int) "flip injected" 1 s.Stats.sdc_injected;
+  Alcotest.(check int) "flip detected" 1 s.Stats.sdc_detected;
+  Alcotest.(check int) "flip recovered" 1 s.Stats.sdc_recovered;
+  Alcotest.(check bool) "restarted at least once" true (s.Stats.restarts >= 1);
+  Alcotest.(check bool)
+    "resumed from a snapshot" true
+    (List.length recov.Exec.r_resumed_from >= 1);
+  Alcotest.(check bool)
+    (Printf.sprintf "recovery charged to virtual time (%.0f -> %.0f)"
+       clean.L.g_makespan faulty.L.g_makespan)
+    true
+    (faulty.L.g_makespan > clean.L.g_makespan)
+
 let () =
   Alcotest.run "faults"
     [
@@ -451,5 +590,20 @@ let () =
             test_gradient_drop_retry_bitwise;
           Alcotest.test_case "plans transparent to coalesced batches"
             `Quick test_gradient_coalesced_plans_transparent;
+        ] );
+      ( "sdc",
+        [
+          Alcotest.test_case "flip/corrupt spec round-trip" `Quick
+            test_plan_spec_sdc_roundtrip;
+          Alcotest.test_case "sdc spec rejects bad input" `Quick
+            test_plan_spec_sdc_rejects;
+          Alcotest.test_case "corrupt-msg retransmit bitwise" `Quick
+            test_corrupt_msg_retransmit_bitwise;
+          Alcotest.test_case "sticky corruption raises" `Quick
+            test_sticky_corrupt_msg_raises;
+          Alcotest.test_case "flip detected unsupervised" `Quick
+            test_flip_detected_unsupervised;
+          Alcotest.test_case "flip recovery bitwise" `Quick
+            test_flip_supervised_recovery_bitwise;
         ] );
     ]

@@ -1,0 +1,87 @@
+(* The exit-code / response-class taxonomy is a protocol: [parad]'s
+   process exit codes, the service's JSON [code] field and the chaos
+   tools' classifiers must all agree on one table. This test pins that
+   table — a new class must claim a fresh code, never reuse one. *)
+
+module Service = Parad_server.Service
+
+(* every documented class, in exit-code order; keep in sync with the
+   README table and the [guarded] dispatcher in bin/parad.ml *)
+let documented =
+  [
+    "ok", 0;
+    "findings", 1;
+    "invalid", 2;
+    "runtime_error", 2;
+    "san_strict", 2;
+    "error", 2;
+    "deadlock", 3;
+    "rank_failed", 3;
+    "degraded", 4;
+    "miscompile", 5;
+    "deadline", 6;
+    "overloaded", 7;
+    "breaker_open", 8;
+    "corrupted", 9;
+  ]
+
+let test_codes_match_table () =
+  List.iter
+    (fun (cls, code) ->
+      Alcotest.(check int)
+        (Printf.sprintf "class %S" cls)
+        code (Service.class_code cls))
+    documented
+
+let test_codes_cover_range () =
+  (* the distinct codes are exactly 0..9: no gaps (an undocumented exit
+     would be unclassifiable) and no code above the documented ceiling
+     (slam accepts codes 0-9 only) *)
+  let codes =
+    List.sort_uniq compare (List.map (fun (_, c) -> c) documented)
+  in
+  Alcotest.(check (list int)) "codes are exactly 0..9"
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    codes
+
+let test_distinct_failure_kinds_distinct_codes () =
+  (* one code per failure kind: classes that mean different things to a
+     caller must not collapse onto the same exit code *)
+  let kinds =
+    [
+      "ok"; "findings"; "invalid"; "deadlock"; "degraded"; "miscompile";
+      "deadline"; "overloaded"; "breaker_open"; "corrupted";
+    ]
+  in
+  let codes = List.map Service.class_code kinds in
+  Alcotest.(check int)
+    "ten kinds, ten codes" 10
+    (List.length (List.sort_uniq compare codes))
+
+let test_unknown_class_rejected () =
+  match Service.class_code "segfault" with
+  | exception Invalid_argument msg ->
+    Alcotest.(check bool)
+      "names the class" true
+      (let n = String.length msg in
+       let rec go i =
+         i + 8 <= n && (String.sub msg i 8 = "segfault" || go (i + 1))
+       in
+       go 0)
+  | c -> Alcotest.failf "unknown class mapped to %d" c
+
+let () =
+  Alcotest.run "protocol"
+    [
+      ( "exit codes",
+        [
+          Alcotest.test_case "classes match documented table" `Quick
+            test_codes_match_table;
+          Alcotest.test_case "codes cover 0..9 exactly" `Quick
+            test_codes_cover_range;
+          Alcotest.test_case "failure kinds get distinct codes" `Quick
+            test_distinct_failure_kinds_distinct_codes;
+          Alcotest.test_case "unknown class rejected" `Quick
+            test_unknown_class_rejected;
+        ] );
+    ]
