@@ -4,7 +4,8 @@
    throughput).
 
    Usage: main.exe [--quick] [--figure fig8|fig9|fig10|fig11|overhead|
-                              verify|ablation|checkpoint|serve|sdc|micro]
+                              verify|ablation|checkpoint|serve|sdc|engine|
+                              micro]
                    [--recompute-depth N]
 
    Figure drivers record machine-readable results; the run writes them
@@ -22,6 +23,7 @@ let figures =
     "checkpoint", Fig_checkpoint.run;
     "serve", Fig_serve.run;
     "sdc", Fig_sdc.run;
+    "engine", Fig_engine.run;
   ]
 
 (* ---- bechamel micro-benchmarks (real time) ---- *)
@@ -107,4 +109,5 @@ let () =
   Util.write_checkpoint_json ~quick;
   Util.write_serve_json ~quick;
   Util.write_sdc_json ~quick;
+  Util.write_engine_json ~quick;
   Printf.printf "\nbench: done.\n"

@@ -391,6 +391,65 @@ let write_sdc_json ~quick =
     Printf.printf "wrote %s (%d rows)\n" path (List.length rows)
   end
 
+(* ---- machine-readable engine results (BENCH_engine.json) ----
+
+   The engine figure appends one record per (program, engine) pair; the
+   main driver writes them out at exit. scripts/check.sh's engine gate
+   greps the lulesh_omp/seq row, compares its speedup against
+   bench/engine_threshold, requires bitwise=true everywhere, and — only
+   when "cores" shows a real multicore host — requires the par row to
+   beat the seq row. *)
+
+type eng_record = {
+  e_name : string;
+  e_cores : int;  (** Domain.recommended_domain_count at measurement *)
+  e_domains : int;  (** worker domains in the engine's pool *)
+  e_wall_ns : float;
+  e_speedup : float;  (** interp wall / this wall, same program *)
+  e_makespan : float;
+  e_bitwise : bool;  (** gradient digest equals the interpreter's *)
+}
+
+let eng_records : eng_record list ref = ref []
+
+let record_engine ~name ~cores ~domains ~wall_ns ~speedup ~makespan ~bitwise =
+  eng_records :=
+    {
+      e_name = name;
+      e_cores = cores;
+      e_domains = domains;
+      e_wall_ns = wall_ns;
+      e_speedup = speedup;
+      e_makespan = makespan;
+      e_bitwise = bitwise;
+    }
+    :: !eng_records
+
+let write_engine_json ~quick =
+  if !eng_records <> [] then begin
+    let path = "BENCH_engine.json" in
+    let oc = open_out path in
+    Printf.fprintf oc
+      "{\n  \"schema\": \"parad-bench-engine/1\",\n  \"quick\": %b,\n\
+      \  \"configs\": [\n"
+      quick;
+    let rows = List.rev !eng_records in
+    let last = List.length rows - 1 in
+    List.iteri
+      (fun i r ->
+        Printf.fprintf oc
+          "    {\"name\": %S, \"cores\": %d, \"domains\": %d, \
+           \"wall_ns\": %.0f, \"speedup\": %.4f, \"makespan\": %.6g, \
+           \"bitwise\": %b}%s\n"
+          r.e_name r.e_cores r.e_domains r.e_wall_ns r.e_speedup r.e_makespan
+          r.e_bitwise
+          (if i = last then "" else ","))
+      rows;
+    Printf.fprintf oc "  ]\n}\n";
+    close_out oc;
+    Printf.printf "wrote %s (%d rows)\n" path (List.length rows)
+  end
+
 let write_bench_json ~quick =
   if !ovh_records <> [] || !micro_records <> [] then begin
     let path = "BENCH_overhead.json" in

@@ -114,6 +114,26 @@ let flavor_arg =
     & opt (enum lulesh_flavors) L.Seq
     & info [ "flavor" ] ~doc:"lulesh variant: seq|omp|raja|mpi|hybrid|julia")
 
+let engine_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             "interp", Parad_engine.Engine.Interp;
+             "seq", Parad_engine.Engine.Seq;
+             "par", Parad_engine.Engine.Par;
+           ])
+        Parad_engine.Engine.Interp
+    & info [ "engine" ]
+        ~doc:
+          "execution substrate: $(b,interp) walks the IR tree, $(b,seq) \
+           runs the lowered slot-addressed instruction graph on the \
+           simulator's strands, $(b,par) adds a multicore work-stealing \
+           domain pool for fork members (set PARAD_DOMAINS to size it). \
+           All three produce bit-identical gradients and virtual time; \
+           only wall-clock changes")
+
 (* The simulated communicator builds recursive-doubling collectives and
    halo decompositions that assume a power-of-two communicator; reject
    anything else up front with a clear message instead of failing deep in
@@ -158,7 +178,7 @@ let size_arg =
 let iters_arg = Arg.(value & opt int 3 & info [ "iters" ] ~doc:"time steps")
 
 let run_cmd =
-  let run flavor ranks threads size iters =
+  let run flavor ranks threads size iters engine =
     let inp =
       {
         L.nx = size;
@@ -170,14 +190,16 @@ let run_cmd =
       }
     in
     guarded (fun () ->
-        let r = L.run ~nranks:ranks ~nthreads:threads flavor inp in
+        let r = L.run ~nranks:ranks ~nthreads:threads ~engine flavor inp in
         Printf.printf "%s: total energy %.6f, %.0f virtual cycles\n"
           (L.flavor_name flavor) r.L.total_energy r.L.makespan;
         Printf.printf "stats: %s\n"
           (Fmt.str "%a" Parad_runtime.Stats.pp r.L.stats))
   in
   Cmd.v (Cmd.info "run" ~doc:"run a LULESH variant in the simulator")
-    Term.(const run $ flavor_arg $ ranks_arg $ threads_arg $ size_arg $ iters_arg)
+    Term.(
+      const run $ flavor_arg $ ranks_arg $ threads_arg $ size_arg $ iters_arg
+      $ engine_arg)
 
 (* A negative depth has no meaning to the planner (0 already means "cache
    everything"); reject it at parse time with an actionable message
@@ -311,7 +333,7 @@ let grad_plan_arg =
 
 let grad_cmd =
   let run flavor ranks threads size iters recompute_depth no_coalesce
-      snap_budget snap_tiers deadline_ms deadline_cycles plan =
+      snap_budget snap_tiers deadline_ms deadline_cycles plan engine =
     let inp =
       {
         L.nx = size;
@@ -345,12 +367,13 @@ let grad_cmd =
           match snap_budget with
           | None ->
             ( L.gradient ~nranks:ranks ~nthreads:threads ~opts ?faults
-                ?deadline flavor inp,
+                ?deadline ~engine flavor inp,
               None )
           | Some budget ->
             let b =
               L.gradient_binomial ~nranks:ranks ~nthreads:threads ~opts
-                ?faults ~tiers:snap_tiers ?deadline ~budget flavor inp
+                ?faults ~tiers:snap_tiers ?deadline ~engine ~budget flavor
+                inp
             in
             b.L.b_grad, Some b
         in
@@ -358,6 +381,9 @@ let grad_cmd =
           "%s: forward %.0f cycles, gradient %.0f cycles, overhead %.2fx\n"
           (L.flavor_name flavor) p.L.makespan g.L.g_makespan
           (g.L.g_makespan /. p.L.makespan);
+        Printf.printf "engine %s: gradient wall %.2f ms\n"
+          (Parad_engine.Engine.choice_to_string engine)
+          (float_of_int g.L.g_stats.Parad_runtime.Stats.wall_ns /. 1e6);
         (match extra with
         | None -> ()
         | Some b ->
@@ -390,7 +416,7 @@ let grad_cmd =
       const run $ flavor_arg $ ranks_arg $ threads_arg $ size_arg $ iters_arg
       $ recompute_depth_arg $ no_coalesce_arg $ snap_budget_arg
       $ snap_tiers_arg $ deadline_ms_arg $ deadline_cycles_arg
-      $ grad_plan_arg)
+      $ grad_plan_arg $ engine_arg)
 
 let check_cmd =
   let run () =
@@ -604,7 +630,7 @@ let recover_cmd =
       & info [ "max-restarts" ] ~doc:"restart budget before giving up")
   in
   let run app plan_name flavor ranks threads size iters seed victim at primal
-      dry_run max_restarts =
+      dry_run max_restarts engine =
     let plan = parse_plan_spec ~seed ~victim ~at ~ranks plan_name in
     Format.printf "%a@." Faults.pp_plan plan;
     if dry_run then exit 0;
@@ -666,7 +692,7 @@ let recover_cmd =
          if primal then begin
            let r, recov =
              L.run_recoverable ~nranks:ranks ~nthreads:threads ~faults:plan
-               ~mpi_ref ~max_restarts flavor inp
+               ~mpi_ref ~max_restarts ~engine flavor inp
            in
            Printf.printf
              "%s under %S: total energy %.6f, %.0f virtual cycles\n"
@@ -679,7 +705,7 @@ let recover_cmd =
          else begin
            let g, recov =
              L.gradient_recoverable ~nranks:ranks ~nthreads:threads
-               ~faults:plan ~mpi_ref ~max_restarts flavor inp
+               ~faults:plan ~mpi_ref ~max_restarts ~engine flavor inp
            in
            let d = g.L.d_energy.(0) in
            Printf.printf
@@ -726,7 +752,7 @@ let recover_cmd =
     Term.(
       const run $ app_arg $ plan_arg $ flavor_arg $ ranks_arg $ threads_arg
       $ size_arg $ iters_arg $ seed_arg $ victim_arg $ at_arg $ primal_arg
-      $ dry_run_arg $ max_restarts_arg)
+      $ dry_run_arg $ max_restarts_arg $ engine_arg)
 
 (* ---- ParSan: run an application (primal or gradient) under the runtime
    sanitizer and report the findings. Exit codes extend the fault/recover

@@ -537,6 +537,7 @@ let program_steps flavor =
 (* ---- mesh generation and harness ---- *)
 
 open Parad_runtime
+module Engine = Parad_engine.Engine
 
 type input = {
   nx : int;
@@ -670,7 +671,7 @@ let setup_args ?inject_nan flavor (inp : input) ~nranks (ctx : Interp.ctx)
     injects a deterministic communication-fault plan; [mpi_ref] captures
     the MPI state for post-run audit (even on deadlock). *)
 let run ?(nthreads = 1) ?(nranks = 1) ?(pre = []) ?faults ?mpi_ref ?san
-    ?inject_nan flavor (inp : input) : run_result =
+    ?inject_nan ?(engine = Engine.Interp) flavor (inp : input) : run_result =
   let cfg = { Interp.default_config with nthreads } in
   let prog = program flavor in
   let prog =
@@ -678,7 +679,8 @@ let run ?(nthreads = 1) ?(nranks = 1) ?(pre = []) ?faults ?mpi_ref ?san
     else Parad_opt.Pipeline.run prog pre
   in
   let res =
-    Exec.run_spmd ~cfg ?faults ?mpi_ref ?san prog ~nranks
+    Exec.run_spmd ~cfg ?faults ?mpi_ref ?san
+      ~call:(Engine.call_fn (Engine.prepare prog) engine) prog ~nranks
       ~fname:(flavor_name flavor)
       ~setup:(fun ctx ~rank ->
         let args, _, _ = setup_args ?inject_nan flavor inp ~nranks ctx ~rank in
@@ -717,6 +719,12 @@ type compiled = {
   c_steps : (Prog.t * Prog.t * string) option;
       (** steps-variant primal, its reverse, and the reverse entry —
           present when compiled with [~steps:true] (binomial driver) *)
+  c_eng : Engine.prepared;
+      (** lowered form of [c_dprog] for the execution engine — function
+          bodies are lowered lazily on first engine-path execution, so a
+          warm plan ships its lowered program with it *)
+  c_steps_eng : (Engine.prepared * Engine.prepared) option;
+      (** lowered steps-variant primal and reverse, mirroring [c_steps] *)
 }
 
 (** Compile [flavor] once for repeated gradient execution. [steps] also
@@ -743,13 +751,19 @@ let compile ?(opts = Parad_core.Plan.default_options) ?(post_opt = true)
       Some (sprog, post sdprog, sdname)
     end
   in
+  let c_dprog = post dprog in
   {
     c_flavor = flavor;
     c_opts = opts;
     c_prog = prog;
-    c_dprog = post dprog;
+    c_dprog;
     c_dname = dname;
     c_steps;
+    c_eng = Engine.prepare c_dprog;
+    c_steps_eng =
+      Option.map
+        (fun (sp, sdp, _) -> Engine.prepare sp, Engine.prepare sdp)
+        c_steps;
   }
 
 let config_of ~nthreads (c : compiled) =
@@ -798,11 +812,13 @@ let pack_grad ~nranks ~shadows ~values ~makespan ~stats =
     inputs are bit-identical to each other and to a cold
     {!gradient}. *)
 let gradient_compiled ?(nthreads = 1) ?(nranks = 1) ?faults ?mpi_ref ?san
-    ?inject_nan ?deadline (c : compiled) (inp : input) : grad_result =
+    ?inject_nan ?deadline ?(engine = Engine.Interp) (c : compiled)
+    (inp : input) : grad_result =
   let cfg = config_of ~nthreads c in
   let shadows = Array.make nranks [||] in
   let res =
-    Exec.run_spmd ~cfg ?faults ?mpi_ref ?san ?deadline c.c_dprog ~nranks
+    Exec.run_spmd ~cfg ?faults ?mpi_ref ?san ?deadline
+      ~call:(Engine.call_fn c.c_eng engine) c.c_dprog ~nranks
       ~fname:c.c_dname
       ~setup:(grad_setup ?inject_nan c.c_flavor inp ~nranks ~shadows)
   in
@@ -815,10 +831,10 @@ let gradient_compiled ?(nthreads = 1) ?(nranks = 1) ?faults ?mpi_ref ?san
     executes. *)
 let gradient ?(nthreads = 1) ?(nranks = 1)
     ?(opts = Parad_core.Plan.default_options) ?(post_opt = true) ?(pre = [])
-    ?faults ?mpi_ref ?san ?inject_nan ?deadline flavor (inp : input) :
+    ?faults ?mpi_ref ?san ?inject_nan ?deadline ?engine flavor (inp : input) :
     grad_result =
   gradient_compiled ~nthreads ~nranks ?faults ?mpi_ref ?san ?inject_nan
-    ?deadline
+    ?deadline ?engine
     (compile ~opts ~post_opt ~pre flavor)
     inp
 
@@ -828,14 +844,14 @@ let gradient ?(nthreads = 1) ?(nranks = 1)
     at each timestep and a killed rank triggers restore-and-replay
     instead of ending the run. *)
 let run_recoverable ?(nthreads = 1) ?(nranks = 1) ?(pre = []) ?faults
-    ?mpi_ref ?san ?max_restarts ?policy flavor (inp : input) :
-    run_result * Exec.recovery =
+    ?mpi_ref ?san ?max_restarts ?policy ?(engine = Engine.Interp) flavor
+    (inp : input) : run_result * Exec.recovery =
   let cfg = { Interp.default_config with nthreads } in
   let prog = program flavor in
   let prog = if pre = [] then prog else Parad_opt.Pipeline.run prog pre in
   let res, recov =
     Exec.run_spmd_recoverable ~cfg ?faults ?mpi_ref ?san ?max_restarts ?policy
-      prog ~nranks
+      ~call:(Engine.call_fn (Engine.prepare prog) engine) prog ~nranks
       ~fname:(flavor_name flavor)
       ~setup:(fun ctx ~rank ->
         let args, _, _ = setup_args flavor inp ~nranks ctx ~rank in
@@ -850,13 +866,14 @@ let run_recoverable ?(nthreads = 1) ?(nranks = 1) ?(pre = []) ?faults
 
 (** {!gradient_recoverable} against a cached plan. *)
 let gradient_recoverable_compiled ?(nthreads = 1) ?(nranks = 1) ?faults
-    ?mpi_ref ?san ?max_restarts ?policy ?deadline (c : compiled)
-    (inp : input) : grad_result * Exec.recovery =
+    ?mpi_ref ?san ?max_restarts ?policy ?deadline ?(engine = Engine.Interp)
+    (c : compiled) (inp : input) : grad_result * Exec.recovery =
   let cfg = config_of ~nthreads c in
   let shadows = Array.make nranks [||] in
   let res, recov =
     Exec.run_spmd_recoverable ~cfg ?faults ?mpi_ref ?san ?max_restarts ?policy
-      ?deadline c.c_dprog ~nranks ~fname:c.c_dname
+      ?deadline ~call:(Engine.call_fn c.c_eng engine) c.c_dprog ~nranks
+      ~fname:c.c_dname
       ~setup:(grad_setup c.c_flavor inp ~nranks ~shadows)
   in
   ( pack_grad ~nranks ~shadows ~values:res.Exec.values
@@ -869,10 +886,10 @@ let gradient_recoverable_compiled ?(nthreads = 1) ?(nranks = 1) ?faults
     gradient bit-for-bit. *)
 let gradient_recoverable ?(nthreads = 1) ?(nranks = 1)
     ?(opts = Parad_core.Plan.default_options) ?(post_opt = true) ?(pre = [])
-    ?faults ?mpi_ref ?san ?max_restarts ?policy ?deadline flavor
+    ?faults ?mpi_ref ?san ?max_restarts ?policy ?deadline ?engine flavor
     (inp : input) : grad_result * Exec.recovery =
   gradient_recoverable_compiled ~nthreads ~nranks ?faults ?mpi_ref ?san
-    ?max_restarts ?policy ?deadline
+    ?max_restarts ?policy ?deadline ?engine
     (compile ~opts ~post_opt ~pre flavor)
     inp
 
@@ -917,8 +934,8 @@ let gradient_binomial ?(nthreads = 1) ?(nranks = 1)
     ?(opts = Parad_core.Plan.default_options) ?(post_opt = true) ?faults
     ?max_restarts ?(tiers = 2)
     ?(on_snapshot : (step:int -> store:Checkpoint.store -> unit) option)
-    ?compiled ?namespace ?deadline ~budget flavor (inp : input) :
-    binom_result =
+    ?compiled ?namespace ?deadline ?(engine = Engine.Interp) ~budget flavor
+    (inp : input) : binom_result =
   if budget < 1 then invalid_arg "gradient_binomial: budget must be >= 1";
   let n = inp.niter in
   if n < 1 then invalid_arg "gradient_binomial: niter must be >= 1";
@@ -942,6 +959,10 @@ let gradient_binomial ?(nthreads = 1) ?(nranks = 1)
   let prog_steps, dprog_steps, dname_steps =
     match cc.c_steps with Some s -> s | None -> assert false
   in
+  let eng_full = cc.c_eng in
+  let eng_steps_p, eng_steps_d =
+    match cc.c_steps_eng with Some e -> e | None -> assert false
+  in
   let jl = julia flavor in
   let meshes = Array.init nranks (fun rank -> mesh inp ~nranks ~rank) in
   let nn = Array.length meshes.(0).node_mass in
@@ -962,17 +983,20 @@ let gradient_binomial ?(nthreads = 1) ?(nranks = 1)
   let plan = ref (Option.value faults ~default:Faults.none) in
   let segments = ref 0 and advances = ref 0 and degraded = ref 0 in
   let g_total = ref 0.0 in
-  let run_prog prog fname setup =
+  let run_prog prep prog fname setup =
+    let call = Engine.call_fn prep engine in
     match faults with
     | None ->
-      let res = Exec.run_spmd ~cfg ?deadline prog ~nranks ~fname ~setup in
+      let res =
+        Exec.run_spmd ~cfg ?deadline ~call prog ~nranks ~fname ~setup
+      in
       Stats.merge ~into:agg res.Exec.stats;
       makespan := !makespan +. res.Exec.makespan;
       res.Exec.values
     | Some _ ->
       let res, recov =
         Exec.run_spmd_recoverable ~cfg ~faults:!plan ?max_restarts ~policy
-          ?deadline prog ~nranks ~fname ~setup
+          ?deadline ~call prog ~nranks ~fname ~setup
       in
       List.iter
         (fun (fn : Mpi_state.failure_notice) ->
@@ -1045,7 +1069,7 @@ let gradient_binomial ?(nthreads = 1) ?(nranks = 1)
       advances := !advances + (target - from);
       let out = Array.make nranks [||] in
       let values =
-        run_prog prog_steps (steps_name flavor) (fun ctx ~rank ->
+        run_prog eng_steps_p prog_steps (steps_name flavor) (fun ctx ~rank ->
             let args, bufs =
               state_args ctx ~rank ~state:state.(rank) ~dt:dts.(rank)
                 ~nsteps:(target - from)
@@ -1107,14 +1131,15 @@ let gradient_binomial ?(nthreads = 1) ?(nranks = 1)
   let seg_grad ~state ~dts ~step (d : seg_adj option) : seg_adj =
     incr segments;
     let final = step = n - 1 in
-    let prog, fname =
-      if final then dprog_full, dname_full else dprog_steps, dname_steps
+    let prep, prog, fname =
+      if final then eng_full, dprog_full, dname_full
+      else eng_steps_d, dprog_steps, dname_steps
     in
     let sh = Array.make nranks [||] in
     let dmass_b = Array.make nranks Value.VUnit in
     let dargs_b = Array.make nranks Value.VUnit in
     let values =
-      run_prog prog fname (fun ctx ~rank ->
+      run_prog prep prog fname (fun ctx ~rank ->
           let args, _ =
             state_args ctx ~rank ~state:state.(rank) ~dt:dts.(rank) ~nsteps:1
           in

@@ -248,6 +248,7 @@ let deck ~nposes ~natlig ~natpro =
 (* ---- harness: run and differentiate each variant ---- *)
 
 open Parad_runtime
+module Engine = Parad_engine.Engine
 
 type variant = Seq | Omp | Julia
 
@@ -290,16 +291,19 @@ let setup_args variant (inp : input) ctx =
       ],
       [ lig_d; pro_d; poses_d; energies_d ] )
 
-let run ?(nthreads = 1) ?(pre = []) ?san variant (inp : input) : run_result =
+let run ?(nthreads = 1) ?(pre = []) ?san ?(engine = Engine.Interp) variant
+    (inp : input) : run_result =
   let cfg = { Interp.default_config with nthreads } in
   let prog = program ~ntasks:nthreads () in
   let prog =
     if pre = [] then prog
     else Parad_opt.Pipeline.run prog pre
   in
+  let call = Engine.call_fn (Engine.prepare prog) engine in
   let outs = ref [] in
   let res =
-    Exec.run ~cfg ?san prog ~fname:(variant_name variant) ~setup:(fun ctx ->
+    Exec.run ~cfg ?san ~call prog ~fname:(variant_name variant)
+      ~setup:(fun ctx ->
         let args, bufs = setup_args variant inp ctx in
         outs := bufs;
         args)
@@ -326,6 +330,9 @@ type compiled = {
   c_prog : Parad_ir.Prog.t;
   c_dprog : Parad_ir.Prog.t;
   c_dname : string;
+  c_eng : Engine.prepared;
+      (** lowered form of [c_dprog] for the execution engine — populated
+          lazily per function on first engine-path request *)
 }
 
 (** Compile [variant] once for repeated gradient execution. [ntasks] is
@@ -343,12 +350,12 @@ let compile ?(opts = Parad_core.Plan.default_options) ?(post_opt = true)
     else dprog
   in
   { c_variant = variant; c_ntasks = ntasks; c_prog = prog; c_dprog = dprog;
-    c_dname = dname }
+    c_dname = dname; c_eng = Engine.prepare dprog }
 
 (** Execute one gradient request against a cached plan (pure
     interpretation; bit-identical to a cold {!gradient}). *)
-let gradient_compiled ?nthreads ?san ?faults ?deadline (c : compiled)
-    (inp : input) : grad_result =
+let gradient_compiled ?nthreads ?san ?faults ?deadline
+    ?(engine = Engine.Interp) (c : compiled) (inp : input) : grad_result =
   let nthreads = Option.value nthreads ~default:c.c_ntasks in
   let cfg = { Interp.default_config with nthreads } in
   let variant = c.c_variant in
@@ -356,7 +363,8 @@ let gradient_compiled ?nthreads ?san ?faults ?deadline (c : compiled)
   let shadows = ref [] in
   let outs = ref [] in
   let res =
-    Exec.run ~cfg ?san ?faults ?deadline dprog ~fname:dname
+    Exec.run ~cfg ?san ?faults ?deadline
+      ~call:(Engine.call_fn c.c_eng engine) dprog ~fname:dname
       ~setup:(fun ctx ->
         let args, bufs = setup_args variant inp ctx in
         outs := bufs;
@@ -392,7 +400,7 @@ let gradient_compiled ?nthreads ?san ?faults ?deadline (c : compiled)
     executes. *)
 let gradient ?(nthreads = 1) ?san ?faults
     ?(opts = Parad_core.Plan.default_options) ?(post_opt = true) ?(pre = [])
-    ?deadline variant (inp : input) : grad_result =
-  gradient_compiled ~nthreads ?san ?faults ?deadline
+    ?deadline ?engine variant (inp : input) : grad_result =
+  gradient_compiled ~nthreads ?san ?faults ?deadline ?engine
     (compile ~opts ~post_opt ~pre ~ntasks:nthreads variant)
     inp

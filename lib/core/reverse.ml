@@ -151,9 +151,22 @@ let rec fshadow_int st (v : Var.t) =
       s
     | _ -> unsupported "cannot resolve the shadow request of %a" Var.pp v)
 
+(* Each region depth carries a pair of linearized indices:
+   - the *member* index (fst) — unique per dynamic execution of the
+     region body, the one cache operations address with;
+   - the *team* index (snd) — the lineage that treats an enclosing Fork
+     as transparent (no [* nth + tid] term).
+   A Workshare iteration executes exactly once across its team, so its
+   index builds on the team lineage: [team_parent * len + (iv - lo)].
+   Building on the member lineage (as a naive structural recursion does)
+   makes the tape's index space [nth] times larger than the number of
+   writes — a 64-thread region then pays a 64x-oversized, 1/64-dense
+   cache file, which dominates wall-clock on wide teams. Both lineages
+   re-unify at the workshare (its iteration is a team-level event), and
+   a nested Fork restarts the team lineage from its own member index. *)
 let idx_at idxs d =
   match List.nth_opt idxs d with
-  | Some v -> v
+  | Some (m, _) -> m
   | None -> unsupported "index depth %d out of range" d
 
 (* Store a planned-for-caching value into its cache. *)
@@ -317,12 +330,15 @@ and fwd_node st ~idxs ~on_yield { occ; ins; subs } =
            (B.sub b (B.add b rhi rstep) (B.add b rlo (B.i64 b 1)))
            rstep)
     in
-    let parent = List.nth idxs (List.length idxs - 1) in
+    let pm, pt = List.nth idxs (List.length idxs - 1) in
     B.for_ b ~lo:rlo ~hi:rhi ~step:rstep (fun iv' ->
         fset st iv iv';
         let iter = B.div b (B.sub b iv' rlo) rstep in
-        let inner = B.add b (B.mul b parent trip) iter in
-        fwd_emit st ~idxs:(idxs @ [ inner ]) ~on_yield body_nodes)
+        let inner = B.add b (B.mul b pm trip) iter in
+        let tinner =
+          if pm == pt then inner else B.add b (B.mul b pt trip) iter
+        in
+        fwd_emit st ~idxs:(idxs @ [ inner, tinner ]) ~on_yield body_nodes)
   | While _ ->
     let cond_nodes, body_nodes =
       match subs with [ c; x ] -> c, x | _ -> assert false
@@ -346,7 +362,7 @@ and fwd_node st ~idxs ~on_yield { occ; ins; subs } =
       ~body:(fun () ->
         let iter = B.load b itercell zero in
         let inner = B.add b start iter in
-        fwd_emit st ~idxs:(idxs @ [ inner ]) ~on_yield body_nodes;
+        fwd_emit st ~idxs:(idxs @ [ inner, inner ]) ~on_yield body_nodes;
         B.store b itercell zero (B.add b iter (B.i64 b 1)));
     let trip = B.load b itercell zero in
     cache_aux 0 Ty.Int trip;
@@ -357,21 +373,21 @@ and fwd_node st ~idxs ~on_yield { occ; ins; subs } =
     let nth_param =
       match body.params with [ _; q ] -> q | _ -> assert false
     in
-    let parent = List.nth idxs (List.length idxs - 1) in
+    let pm, _ = List.nth idxs (List.length idxs - 1) in
     B.fork b ~nth:(g nth) (fun ~tid:tid' ~nth:nth' ->
         fset st tid tid';
         fset st nth_param nth';
-        let inner = B.add b (B.mul b parent nth') tid' in
-        fwd_emit st ~idxs:(idxs @ [ inner ]) ~on_yield body_nodes)
+        let inner = B.add b (B.mul b pm nth') tid' in
+        fwd_emit st ~idxs:(idxs @ [ inner, pm ]) ~on_yield body_nodes)
   | Workshare { iv; lo; hi; schedule; nowait; _ } ->
     let body_nodes = match subs with [ x ] -> x | _ -> assert false in
     let rlo = g lo and rhi = g hi in
     let len = B.max_ b (B.i64 b 0) (B.sub b rhi rlo) in
-    let parent = List.nth idxs (List.length idxs - 1) in
+    let _, pt = List.nth idxs (List.length idxs - 1) in
     B.workshare b ~schedule ~nowait ~lo:rlo ~hi:rhi (fun iv' ->
         fset st iv iv';
-        let inner = B.add b (B.mul b parent len) (B.sub b iv' rlo) in
-        fwd_emit st ~idxs:(idxs @ [ inner ]) ~on_yield body_nodes)
+        let inner = B.add b (B.mul b pt len) (B.sub b iv' rlo) in
+        fwd_emit st ~idxs:(idxs @ [ inner, inner ]) ~on_yield body_nodes)
   | Barrier -> B.barrier b
   | Return v ->
     st.ret_orig <- v;
@@ -480,7 +496,9 @@ and intrinsic_ret_ty = function
 type rscope = {
   rparent : rscope option;
   memo : (Plan.key, Var.t) Hashtbl.t;
-  ridxs : Var.t list;  (* per-depth reverse region index, outermost first *)
+  ridxs : (Var.t * Var.t) list;
+      (* per-depth reverse (member, team) region indices, outermost
+         first — same linearization as the forward sweep's [idxs] *)
   pmap : (int, Var.t) Hashtbl.t;  (* orig region-param id -> reverse var *)
   rfork : int option;  (* current fork occurrence in the reverse sweep *)
   dlocal : Var.t option;  (* per-thread adjoint registers inside a fork *)
@@ -867,12 +885,15 @@ and rev_node rs sc ?if_results { occ; ins; subs } =
            (B.sub b (B.add b rhi rstep) (B.add b rlo (B.i64 b 1)))
            rstep)
     in
-    let parent = List.nth sc.ridxs (List.length sc.ridxs - 1) in
+    let pm, pt = List.nth sc.ridxs (List.length sc.ridxs - 1) in
     B.for_ b ~lo:(B.i64 b 0) ~hi:trip (fun j ->
         let iter = B.sub b (B.sub b trip (B.i64 b 1)) j in
         let iv' = B.add b rlo (B.mul b iter rstep) in
-        let inner = B.add b (B.mul b parent trip) iter in
-        let sc' = child_scope sc ~idxs:(sc.ridxs @ [ inner ]) () in
+        let inner = B.add b (B.mul b pm trip) iter in
+        let tinner =
+          if pm == pt then inner else B.add b (B.mul b pt trip) iter
+        in
+        let sc' = child_scope sc ~idxs:(sc.ridxs @ [ inner, tinner ]) () in
         Hashtbl.replace sc'.pmap (Var.id iv) iv';
         rev_emit rs sc' body_nodes)
   | While _ ->
@@ -881,7 +902,7 @@ and rev_node rs sc ?if_results { occ; ins; subs } =
     B.for_ b ~lo:(B.i64 b 0) ~hi:trip (fun j ->
         let iter = B.sub b (B.sub b trip (B.i64 b 1)) j in
         let inner = B.add b start iter in
-        let sc' = child_scope sc ~idxs:(sc.ridxs @ [ inner ]) () in
+        let sc' = child_scope sc ~idxs:(sc.ridxs @ [ inner, inner ]) () in
         rev_emit rs sc' body_nodes)
   | Fork { tid; nth; body } ->
     let body_nodes = match subs with [ x ] -> x | _ -> assert false in
@@ -889,13 +910,13 @@ and rev_node rs sc ?if_results { occ; ins; subs } =
       match body.params with [ _; q ] -> q | _ -> assert false
     in
     let rnth = rval nth in
-    let parent = List.nth sc.ridxs (List.length sc.ridxs - 1) in
+    let pm, _ = List.nth sc.ridxs (List.length sc.ridxs - 1) in
     let var_count = rs.fs.p.fi.Finfo.func.var_count in
     B.fork b ~nth:rnth (fun ~tid:tid' ~nth:nth' ->
         let dlocal = B.alloc b Ty.Float (B.i64 b var_count) in
-        let inner = B.add b (B.mul b parent nth') tid' in
+        let inner = B.add b (B.mul b pm nth') tid' in
         let sc' =
-          child_scope sc ~idxs:(sc.ridxs @ [ inner ]) ~fork:(Some occ)
+          child_scope sc ~idxs:(sc.ridxs @ [ inner, pm ]) ~fork:(Some occ)
             ~dlocal:(Some dlocal) ()
         in
         Hashtbl.replace sc'.pmap (Var.id tid) tid';
@@ -906,10 +927,10 @@ and rev_node rs sc ?if_results { occ; ins; subs } =
     let body_nodes = match subs with [ x ] -> x | _ -> assert false in
     let rlo = rval lo and rhi = rval hi in
     let len = B.max_ b (B.i64 b 0) (B.sub b rhi rlo) in
-    let parent = List.nth sc.ridxs (List.length sc.ridxs - 1) in
+    let _, pt = List.nth sc.ridxs (List.length sc.ridxs - 1) in
     B.workshare b ~schedule ~nowait:false ~lo:rlo ~hi:rhi (fun iv' ->
-        let inner = B.add b (B.mul b parent len) (B.sub b iv' rlo) in
-        let sc' = child_scope sc ~idxs:(sc.ridxs @ [ inner ]) () in
+        let inner = B.add b (B.mul b pt len) (B.sub b iv' rlo) in
+        let sc' = child_scope sc ~idxs:(sc.ridxs @ [ inner, inner ]) () in
         Hashtbl.replace sc'.pmap (Var.id iv) iv';
         rev_emit rs sc' body_nodes)
   | Yield vs -> (
@@ -1173,12 +1194,12 @@ let emit_combined eng (f : Func.t) (p : Plan.t) dname =
     else -1
   in
   if last_ckpt < 0 then
-    fwd_emit st ~idxs:[ idx0 ] ~on_yield:no_yield nodes
+    fwd_emit st ~idxs:[ idx0, idx0 ] ~on_yield:no_yield nodes
   else begin
-    fwd_emit st ~idxs:[ idx0 ] ~on_yield:no_yield
+    fwd_emit st ~idxs:[ idx0, idx0 ] ~on_yield:no_yield
       (List.filteri (fun i _ -> i <= last_ckpt) nodes);
     ignore (B.call b ~ret:Ty.Unit "parad.checkpoint_rev" []);
-    fwd_emit st ~idxs:[ idx0 ] ~on_yield:no_yield
+    fwd_emit st ~idxs:[ idx0, idx0 ] ~on_yield:no_yield
       (List.filteri (fun i _ -> i > last_ckpt) nodes)
   end;
   (* reverse sweep *)
@@ -1199,7 +1220,7 @@ let emit_combined eng (f : Func.t) (p : Plan.t) dname =
     {
       rparent = None;
       memo = Hashtbl.create 32;
-      ridxs = [ idx0 ];
+      ridxs = [ idx0, idx0 ];
       pmap = Hashtbl.create 8;
       rfork = None;
       dlocal = None;
@@ -1277,13 +1298,13 @@ let emit_split eng gname =
     (* cache parameter values and shadows (the callee's reverse half has
        no direct access to them) *)
     List.iter
-      (fun v -> maybe_cache st ~idxs:[ idx0 ] (KVal (Var.id v)) (fget st v))
+      (fun v -> maybe_cache st ~idxs:[ idx0, idx0 ] (KVal (Var.id v)) (fget st v))
       f.params;
     List.iter
       (fun v ->
-        maybe_cache st ~idxs:[ idx0 ] (KShadow (Var.id v)) (fshadow st v))
+        maybe_cache st ~idxs:[ idx0, idx0 ] (KShadow (Var.id v)) (fshadow st v))
       pparams;
-    fwd_emit st ~idxs:[ idx0 ] ~on_yield:no_yield nodes;
+    fwd_emit st ~idxs:[ idx0, idx0 ] ~on_yield:no_yield nodes;
     (if not (Ty.equal f.ret_ty Ty.Unit) then
        match st.ret_val with
        | Some v ->
@@ -1323,7 +1344,7 @@ let emit_split eng gname =
       {
         rparent = None;
         memo = Hashtbl.create 32;
-        ridxs = [ idx0 ];
+        ridxs = [ idx0, idx0 ];
         pmap = Hashtbl.create 8;
         rfork = None;
         dlocal = None;

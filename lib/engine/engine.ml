@@ -1,0 +1,2003 @@
+(** The compiled execution engine (ISSUE 9).
+
+    Lowers post-plan IR to slot-addressed native closures and runs them
+    either sequentially on {!Sim} strands or in parallel on a
+    work-stealing {!Pool} of OCaml domains.
+
+    {b Lowering.} Each function's variables are assigned integer slots in
+    four typed register files (float / int / bool / boxed) at compile
+    time; every instruction becomes a closure over those slot ids, so the
+    hot path runs with no per-step environment allocation, no variable
+    hashing, and no boxing of scalar traffic. Straight-line instruction
+    runs are fused into segments whose {!Stats} counters are incremented
+    in one batch.
+
+    {b Bit-identity.} The engine replicates the interpreter's observable
+    semantics exactly: every virtual-time charge is issued individually,
+    in the interpreter's order (float accumulation order matters), with
+    the same deadline checks; scalar semantics reuse the interpreter's
+    exact float discipline (Float.compare ordering, [<=]-min/max, the
+    floor-through-int round trip); all non-hot intrinsics delegate to
+    {!Interp.intrinsic} with the strand clock synchronized across the
+    boundary. Instrumented (tape), sanitized, or fuel-limited contexts
+    fall back to the interpreter entirely.
+
+    {b Parallel runner.} A fork region that passes a static par-safety
+    analysis runs its members as effect-handler fibers on the domain
+    pool. Cross-member effects (atomic adds, cache stores) are deferred
+    into per-member logs and replayed at each barrier in the exact order
+    the interpreter's deterministic run-to-block scheduler would have
+    executed the members, so gradients and virtual times stay
+    bit-identical while the members themselves run on all cores. Regions
+    that fail the analysis (allocation, tasking, MPI, nested forks,
+    read/write cache conflicts) fall back to the sequential strand path,
+    which is always correct. *)
+
+open Parad_ir
+open Parad_runtime
+open Value
+
+(* ---- runner state ---- *)
+
+type mode = MSeq | MPar of Pool.t
+
+(* The strand's virtual clock. A single-field all-float record is flat
+   in the OCaml value model, so the per-op charge mutates it in place —
+   a mutable float field in the mixed [thr] record would instead box a
+   fresh float (and run the write barrier) on every instruction. *)
+type clk = { mutable now : float }
+
+(* Deadline mirror of the running Sim engine: the native charge path
+   enforces the same virtual budget (bit-identical trip point) and the
+   same amortized wall-clock watchdog as Sim.charge. *)
+type dl = {
+  vdl : float option;
+  wall_stop : float option;
+  wall_ms : float;
+  mutable tick : int;
+}
+
+(* Per-member deferred state of a parallel fork region. *)
+type mstate = {
+  midx : int;
+  mutable d_atomics : (Value.ptr * int * float) list;  (** reversed *)
+  mutable d_csets : (int * int * Value.t) list;  (** reversed *)
+  mutable remat : int;
+      (** member-local rematerialization depth (snapshot of the shared
+          [ctx.remat_depth] at region entry) *)
+}
+
+type eframe = {
+  f : float array;
+  i : int array;
+  b : bool array;
+  v : Value.t array;
+  mutable istack : Interp.frame list;
+      (** synthetic interpreter view of the call stack (shares [v]) — what
+          delegated intrinsics and the GC root walk see. Mutable so cached
+          member frames can be re-pointed at the current call chain. *)
+  mutable stack_allocs : Value.buffer list ref;
+}
+
+type thr = {
+  ctx : Interp.ctx;
+  fcache : (int, eframe array) Hashtbl.t;
+      (** parked member-frame sets by fork site, shared by every strand of
+          the run (all strands of a run that execute forks live on one OS
+          thread) *)
+  cost : Cost_model.t;
+  st : Stats.t;
+  mode : mode;
+  clock : clk;  (** never shared between strands: copies get fresh cells *)
+  mutable socket : int;
+  mutable team : (int * int) option;
+  mutable defer : mstate option;  (** [Some _] inside a parallel member *)
+  dl : dl option;
+  mutable retv : Value.t;  (** return-value hand-off slot *)
+  mutable yb : bool;  (** while-condition hand-off slot *)
+}
+
+
+type status = Next | Ret | Yld
+
+type code = thr -> eframe -> status
+type sc = thr -> eframe -> unit
+
+type cfun = {
+  fn : Func.t;
+  file : int array;  (** var id -> register file (0=f 1=i 2=b 3=v) *)
+  idx : int array;  (** var id -> slot in its file *)
+  nf : int;
+  ni : int;
+  nb : int;
+  nv : int;
+  mutable code : code;
+}
+
+(* Par-safety summary of a function body or fork region (see the
+   analysis further down). *)
+type pflags = {
+  mutable a_cset : bool;
+  mutable a_cget : bool;
+  mutable a_remat : bool;
+  mutable a_barrier : bool;
+}
+
+type prepared = {
+  prog : Prog.t;
+  funcs : (string, cfun) Hashtbl.t;
+  fsafe : (string, pflags option) Hashtbl.t;
+      (** function par-safety memo; [None] = unsafe *)
+  plk : Mutex.t;
+      (** guards [funcs]/[fsafe]: call sites resolve lazily, possibly from
+          pool domains *)
+}
+
+let prepare prog =
+  {
+    prog;
+    funcs = Hashtbl.create 16;
+    fsafe = Hashtbl.create 16;
+    plk = Mutex.create ();
+  }
+
+(* ---- clock / deadline ---- *)
+
+let wall_mask = 4095
+
+let check_dl t (d : dl) =
+  (match d.vdl with
+  | Some lim when t.clock.now > lim ->
+    raise
+      (Sim.Deadline_exceeded { de_at = t.clock.now; de_limit = lim; de_wall = false })
+  | _ -> ());
+  match d.wall_stop with
+  | Some stop ->
+    d.tick <- d.tick + 1;
+    if d.tick land wall_mask = 0 && Unix.gettimeofday () > stop then
+      raise
+        (Sim.Deadline_exceeded
+           { de_at = t.clock.now; de_limit = d.wall_ms; de_wall = true })
+  | None -> ()
+
+let charge t c =
+  t.clock.now <- t.clock.now +. c;
+  match t.dl with None -> () | Some d -> check_dl t d
+
+(* Trip the virtual deadline at a clock value set by a scheduling step
+   (barrier release, join) — the interpreter's scheduler checks at every
+   context switch, so the engine must fail at the same clock. *)
+let check_sched t =
+  match t.dl with
+  | Some { vdl = Some lim; _ } when t.clock.now > lim ->
+    raise
+      (Sim.Deadline_exceeded { de_at = t.clock.now; de_limit = lim; de_wall = false })
+  | _ -> ()
+
+(* Synchronize the engine clock with the current Sim strand around any
+   interaction with the cooperative scheduler (delegated intrinsics,
+   fork/spawn/sync/barrier). *)
+let sync_out t = (Sim.self ()).Sim.clock <- t.clock.now
+let sync_in t = t.clock.now <- (Sim.self ()).Sim.clock
+
+let get_remat t =
+  match t.defer with
+  | Some m -> m.remat
+  | None -> t.ctx.Interp.remat_depth
+
+let charge_mem t (buf : Value.buffer) =
+  let c = t.cost in
+  let mult =
+    if buf.socket <> t.socket then c.Cost_model.numa_remote_mult else 1.0
+  in
+  charge t (c.Cost_model.mem *. mult)
+
+let check_rank t (buf : Value.buffer) =
+  if buf.rank <> t.ctx.Interp.rank then
+    error "cross-rank memory access: buffer of rank %d touched by rank %d"
+      buf.rank t.ctx.Interp.rank
+
+(* Replicas of the interpreter's SDC hooks with [t.clock.now] standing in for
+   [Sim.now ()] (identical by the engine's charge discipline). *)
+let eng_apply_flips t =
+  match t.ctx.Interp.faults with
+  | Some fs
+    when fs.Faults.flips_left <> [] && Cache_rt.has_sealed t.ctx.Interp.cache
+    -> (
+    match Faults.flip_gate fs ~rank:t.ctx.Interp.rank ~now:t.clock.now with
+    | Some (cell, bit) -> (
+      match Cache_rt.flip t.ctx.Interp.cache ~cell ~bit with
+      | Some _ -> t.st.Stats.sdc_injected <- t.st.Stats.sdc_injected + 1
+      | None -> ())
+    | None -> ())
+  | _ -> ()
+
+let eng_corrupt_region t ~cache_id =
+  t.st.Stats.sdc_detected <- t.st.Stats.sdc_detected + 1;
+  raise
+    (Checkpoint.Corrupt_region
+       { cr_rank = t.ctx.Interp.rank; cr_cache = cache_id; cr_at = t.clock.now })
+
+(* ---- frames ---- *)
+
+let new_eframe cf caller_istack =
+  let v = Array.make (max cf.nv 1) VUnit in
+  {
+    f = Array.make (max cf.nf 1) 0.0;
+    i = Array.make (max cf.ni 1) 0;
+    b = Array.make (max cf.nb 1) false;
+    v;
+    istack = { Interp.vals = v; slots = None } :: caller_istack;
+    stack_allocs = ref [];
+  }
+
+(* Fork-child frame: a copy of every register file (the interpreter copies
+   the whole frame into each member), sharing the caller's stack-alloc
+   list and the tail of the synthetic interpreter stack. *)
+let copy_eframe fr =
+  let v = Array.copy fr.v in
+  {
+    f = Array.copy fr.f;
+    i = Array.copy fr.i;
+    b = Array.copy fr.b;
+    v;
+    istack =
+      { Interp.vals = v; slots = None }
+      :: (match fr.istack with [] -> [] | _ :: tl -> tl);
+    stack_allocs = fr.stack_allocs;
+  }
+
+(* ---- scalar semantics (identical to the interpreter's) ---- *)
+
+let fmin a b = if (a : float) <= b then a else b
+let fmax a b = if (a : float) >= b then a else b
+
+(* ---- deferred-effect replay (parallel members) ---- *)
+
+(* Replay one member's deferred logs into the shared state, in program
+   order. Invoked only while no member is executing (barrier rendezvous
+   or region completion), in the interpreter's member execution order, so
+   float accumulation order is bit-identical to the sequential run. *)
+let replay_member t ~fname (m : mstate) =
+  List.iter
+    (fun (ptr, idx, x) ->
+      let i = Memory.check_access ~who:fname ptr idx in
+      match ptr.buf.data with
+      | FCells a -> a.(i) <- a.(i) +. x
+      | VCells _ ->
+        let old = Value.to_float (Memory.load ~who:fname ptr idx) in
+        Memory.store ~who:fname ptr idx (VFloat (old +. x)))
+    (List.rev m.d_atomics);
+  m.d_atomics <- [];
+  let cache = t.ctx.Interp.cache in
+  List.iter
+    (fun (id, idx, v) ->
+      let before = Cache_rt.cells_written cache in
+      Cache_rt.set cache ~id ~idx v;
+      if Cache_rt.cells_written cache > before then begin
+        t.st.Stats.cache_cells <- t.st.Stats.cache_cells + 1;
+        let peak = Cache_rt.peak_cells cache in
+        if peak > t.st.Stats.cache_peak then t.st.Stats.cache_peak <- peak
+      end)
+    (List.rev m.d_csets);
+  m.d_csets <- []
+
+(* ---- parallel fork teams ---- *)
+
+type _ Effect.t += Mbar : unit Effect.t
+
+type pteam = {
+  pwidth : int;
+  pfname : string;  (** enclosing function, for memory-access provenance *)
+  plock : Mutex.t;
+  mutable pord : int array;
+      (** the interpreter's member execution order for the current epoch:
+          run-to-block FIFO scheduling runs members sequentially, and each
+          barrier release permutes the order to [last-parked .. first-parked,
+          last-arriver] — i.e. ord' = rev ord[0..w-2] @ [ord[w-1]] *)
+  mutable parrived : int;
+  mutable pparked : (int * (unit, unit) Effect.Deep.continuation) list;
+  pclocks : float array;
+  pmembers : mstate array;
+  mutable pthrs : thr array;
+  pparent : thr;  (** the forking thread — shared stats and cost live here *)
+  mutable premaining : int;
+  mutable pmax_finish : float;
+  mutable pfailed : exn option;
+  pdone : bool Atomic.t;
+  ppool : Pool.t;
+}
+
+let next_ord ord =
+  let w = Array.length ord in
+  Array.init w (fun j -> if j = w - 1 then ord.(w - 1) else ord.(w - 2 - j))
+
+let team_fail team ex =
+  match team.pfailed with
+  | None -> team.pfailed <- Some ex
+  | Some _ -> ()
+
+(* Member completion (normal or failed): record the finish clock, detect
+   the all-remaining-parked deadlock, and release the team when the last
+   member is done. Never called with the lock held. *)
+let finish_pmember team (t : thr) midx (failure : exn option) =
+  Mutex.lock team.plock;
+  team.pclocks.(midx) <- t.clock.now;
+  if t.clock.now > team.pmax_finish then team.pmax_finish <- t.clock.now;
+  (match failure with Some ex -> team_fail team ex | None -> ());
+  team.premaining <- team.premaining - 1;
+  let parked_to_kill =
+    if
+      (failure <> None && team.pparked <> [])
+      || (team.premaining > 0 && team.parrived = team.premaining)
+    then begin
+      (* failure, or every live member is parked at a barrier that can no
+         longer fill: unwind them (the interpreter's scheduler would
+         report a deadlock here) *)
+      if failure = None then
+        team_fail team
+          (Sim.Deadlock
+             {
+               d_live = team.premaining;
+               d_blocked = [];
+               d_note =
+                 "engine: fork members blocked at a team barrier that can \
+                  never fill";
+             });
+      let p = team.pparked in
+      team.pparked <- [];
+      team.parrived <- 0;
+      p
+    end
+    else []
+  in
+  let all_done = team.premaining = 0 in
+  Mutex.unlock team.plock;
+  List.iter
+    (fun (_, k) ->
+      try Effect.Deep.discontinue k Exit with _ -> ())
+    parked_to_kill;
+  if all_done then Atomic.set team.pdone true
+
+(* Run one member body under the barrier effect handler. [body] returns
+   unit or raises; barriers inside it perform {!Mbar}. *)
+let run_pmember team mt midx (body : unit -> unit) () =
+  Effect.Deep.match_with body ()
+    {
+      retc = (fun () -> finish_pmember team mt midx None);
+      exnc =
+        (fun ex ->
+          (* [Exit] is the unwind signal of {!finish_pmember}'s kill path:
+             the real failure is already recorded in [pfailed] *)
+          finish_pmember team mt midx
+            (match ex with Exit -> None | _ -> Some ex));
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Mbar ->
+            Some
+              (fun (k : (a, _) Effect.Deep.continuation) ->
+                Mutex.lock team.plock;
+                team.pclocks.(midx) <- mt.clock.now;
+                team.parrived <- team.parrived + 1;
+                if team.parrived < team.pwidth then begin
+                  team.pparked <- (midx, k) :: team.pparked;
+                  Mutex.unlock team.plock
+                end
+                else begin
+                  (* last arriver: replay this epoch's deferred effects in
+                     the interpreter's member order, advance every clock to
+                     the common release time, rotate the order, resume *)
+                  let parent = team.pparent in
+                  Array.iter
+                    (fun tid ->
+                      replay_member parent ~fname:team.pfname
+                        team.pmembers.(tid))
+                    team.pord;
+                  let bmax =
+                    Array.fold_left Float.max 0.0 team.pclocks
+                  in
+                  let release =
+                    bmax
+                    +. Cost_model.barrier_cost parent.cost
+                         ~width:team.pwidth
+                  in
+                  Array.iteri
+                    (fun j th ->
+                      th.clock.now <- release;
+                      team.pclocks.(j) <- release)
+                    team.pthrs;
+                  team.pord <- next_ord team.pord;
+                  team.parrived <- 0;
+                  let parked = team.pparked in
+                  team.pparked <- [];
+                  let tripped =
+                    match parent.dl with
+                    | Some { vdl = Some lim; _ } when release > lim ->
+                      Some
+                        (Sim.Deadline_exceeded
+                           {
+                             de_at = release;
+                             de_limit = lim;
+                             de_wall = false;
+                           })
+                    | _ -> None
+                  in
+                  (match tripped with
+                  | Some ex -> team_fail team ex
+                  | None -> ());
+                  Mutex.unlock team.plock;
+                  match tripped with
+                  | Some _ ->
+                    List.iter
+                      (fun (_, kj) ->
+                        try Effect.Deep.discontinue kj Exit with _ -> ())
+                      parked;
+                    Effect.Deep.discontinue k Exit
+                  | None ->
+                    List.iter
+                      (fun (_, kj) ->
+                        Pool.submit team.ppool (fun () ->
+                            Effect.Deep.continue kj ()))
+                      parked;
+                    Effect.Deep.continue k ()
+                end)
+          | _ -> None);
+    }
+
+(* ---- par-safety analysis ----
+
+   A fork region may run on the domain pool only if its members cannot
+   interact through anything but (a) data-race-free memory (the program's
+   own obligation, §VI-D), (b) atomic adds, and (c) cache stores — the
+   last two deferred and replayed deterministically. Everything else
+   (allocation, tasking, MPI/collective intrinsics, checkpoints, nested
+   forks) falls back to the sequential strand path. *)
+
+exception Par_unsafe
+
+let merge_pflags ~into (s : pflags) =
+  into.a_cset <- into.a_cset || s.a_cset;
+  into.a_cget <- into.a_cget || s.a_cget;
+  into.a_remat <- into.a_remat || s.a_remat;
+  into.a_barrier <- into.a_barrier || s.a_barrier
+
+let rec scan_par prep acc (il : Instr.t list) = List.iter (scan_instr prep acc) il
+
+and scan_instr prep acc (i : Instr.t) =
+  match i with
+  | Instr.Alloc _ | Instr.Free _ | Instr.Spawn _ | Instr.Sync _
+  | Instr.Fork _ -> raise Par_unsafe
+  | Instr.Call (_, name, _) when String.contains name '.' -> (
+    match name with
+    | "omp.max_threads" | "mpi.rank" | "mpi.size" | "san.mark_private" -> ()
+    | "parad.remat_begin" | "parad.remat_end" -> acc.a_remat <- true
+    | "cache.set" -> acc.a_cset <- true
+    | "cache.get" -> acc.a_cget <- true
+    | _ -> raise Par_unsafe)
+  | Instr.Call (_, name, _) -> (
+    match fn_pflags prep name with
+    | Some s -> merge_pflags ~into:acc s
+    | None -> raise Par_unsafe)
+  | Instr.Barrier -> acc.a_barrier <- true
+  | Instr.Workshare { nowait; _ } ->
+    if not nowait then acc.a_barrier <- true;
+    List.iter (fun r -> scan_par prep acc r.Instr.body) (Instr.regions i)
+  | _ -> List.iter (fun r -> scan_par prep acc r.Instr.body) (Instr.regions i)
+
+and fn_pflags prep name : pflags option =
+  match Hashtbl.find_opt prep.fsafe name with
+  | Some s -> s
+  | None ->
+    (* insert the pessimistic answer first: recursion = unsafe *)
+    Hashtbl.replace prep.fsafe name None;
+    let r =
+      match Prog.find prep.prog name with
+      | None -> None
+      | Some fn -> (
+        let acc =
+          { a_cset = false; a_cget = false; a_remat = false; a_barrier = false }
+        in
+        try
+          scan_par prep acc fn.Func.body;
+          Some acc
+        with Par_unsafe -> None)
+    in
+    Hashtbl.replace prep.fsafe name r;
+    r
+
+let fork_par_safe prep (r : Instr.region) =
+  let acc =
+    { a_cset = false; a_cget = false; a_remat = false; a_barrier = false }
+  in
+  match scan_par prep acc r.Instr.body with
+  | () ->
+    (* deferred cache stores are invisible to same-epoch cache reads, and
+       member-local remat depth is only exact within one epoch *)
+    (not (acc.a_cset && acc.a_cget)) && not (acc.a_remat && acc.a_barrier)
+  | exception Par_unsafe -> false
+
+(* ---- lowering: slot assignment ---- *)
+
+let make_cfun (fn : Func.t) =
+  let n = max fn.Func.var_count 1 in
+  let file = Array.make n 3 in
+  let idx = Array.make n 0 in
+  let seen = Array.make n false in
+  let nf = ref 0 and ni = ref 0 and nb = ref 0 and nv = ref 0 in
+  let place v =
+    let id = Var.id v in
+    if not seen.(id) then begin
+      seen.(id) <- true;
+      let fl, cell =
+        match Var.ty v with
+        | Ty.Float -> 0, nf
+        | Ty.Int -> 1, ni
+        | Ty.Bool -> 2, nb
+        | Ty.Unit | Ty.Ptr _ -> 3, nv
+      in
+      file.(id) <- fl;
+      idx.(id) <- !cell;
+      incr cell
+    end
+  in
+  List.iter place fn.Func.params;
+  Instr.fold_instrs
+    (fun () i ->
+      List.iter place (Instr.defs i);
+      List.iter place (Instr.uses i);
+      (match i with
+      | Instr.For { iv; _ } | Instr.Workshare { iv; _ } -> place iv
+      | Instr.Fork { tid; _ } -> place tid
+      | _ -> ());
+      List.iter
+        (fun r -> List.iter place r.Instr.params)
+        (Instr.regions i))
+    () fn.Func.body;
+  {
+    fn;
+    file;
+    idx;
+    nf = !nf;
+    ni = !ni;
+    nb = !nb;
+    nv = !nv;
+    code = (fun _ _ -> error "engine: function compiled without a body");
+  }
+
+(* ---- member frames ----
+
+   The interpreter enters a fork member by copying the entire enclosing
+   frame — O(function vars) per member, which dwarfs the members' real
+   work on wide teams. The engine's member frames instead hold compact
+   slots for exactly the variables the body touches, and only the body's
+   *live-in* variables (reads not dominated by a member-local write on
+   every path) are copied from the parent; everything else is
+   write-before-read scratch whose initial contents are unobservable.
+   That same unobservability lets frames be recycled: each fork site
+   parks its member frames in [thr.fcache] between executions, so a
+   steady-state fork costs O(live-in) per member instead of
+   O(function). *)
+
+let next_fsite = Atomic.make 0
+
+(* Forward dominance scan: walking the body in program order, a use of a
+   variable with no write textually before it on the current path reads
+   the parent's value in the first iteration. Region defs never escape
+   their region (loops may run zero times, if-branches may not be taken),
+   which only over-approximates the live-in set — harmless. *)
+let region_live_in n (r : Instr.region) entry_defs =
+  let live = Array.make n false in
+  let w0 = Array.make n false in
+  let def w v = w.(Var.id v) <- true in
+  let use w v =
+    let id = Var.id v in
+    if not w.(id) then live.(id) <- true
+  in
+  List.iter (def w0) entry_defs;
+  List.iter (def w0) r.Instr.params;
+  let rec scan w il =
+    List.iter
+      (fun (i : Instr.t) ->
+        List.iter (use w) (Instr.uses i);
+        (match i with
+        | Instr.If (_, _, tr, er) ->
+          sub w tr;
+          sub w er
+        | Instr.For { iv; body; _ } | Instr.Workshare { iv; body; _ } ->
+          let wb = Array.copy w in
+          def wb iv;
+          List.iter (def wb) body.Instr.params;
+          scan wb body.Instr.body
+        | Instr.While { cond; body } ->
+          sub w cond;
+          sub w body
+        | Instr.Fork { tid; body; _ } ->
+          let wb = Array.copy w in
+          def wb tid;
+          List.iter (def wb) body.Instr.params;
+          scan wb body.Instr.body
+        | _ -> ());
+        List.iter (def w) (Instr.defs i))
+      il
+  and sub w (rg : Instr.region) =
+    let wb = Array.copy w in
+    List.iter (def wb) rg.Instr.params;
+    scan wb rg.Instr.body
+  in
+  scan (Array.copy w0) r.Instr.body;
+  live
+
+let make_body_frame (parent : cfun) (r : Instr.region) ~entry_defs =
+  let n = Array.length parent.file in
+  let file = Array.make n 3 in
+  let idx = Array.make n 0 in
+  let seen = Array.make n false in
+  let nf = ref 0 and ni = ref 0 and nb = ref 0 and nv = ref 0 in
+  let place v =
+    let id = Var.id v in
+    if not seen.(id) then begin
+      seen.(id) <- true;
+      let fl, cell =
+        match Var.ty v with
+        | Ty.Float -> 0, nf
+        | Ty.Int -> 1, ni
+        | Ty.Bool -> 2, nb
+        | Ty.Unit | Ty.Ptr _ -> 3, nv
+      in
+      file.(id) <- fl;
+      idx.(id) <- !cell;
+      incr cell
+    end
+  in
+  List.iter place entry_defs;
+  List.iter place r.Instr.params;
+  Instr.fold_instrs
+    (fun () i ->
+      List.iter place (Instr.defs i);
+      List.iter place (Instr.uses i);
+      (match i with
+      | Instr.For { iv; _ } | Instr.Workshare { iv; _ } -> place iv
+      | Instr.Fork { tid; _ } -> place tid
+      | _ -> ());
+      List.iter (fun rg -> List.iter place rg.Instr.params) (Instr.regions i))
+    () r.Instr.body;
+  let sub =
+    {
+      fn = parent.fn;
+      file;
+      idx;
+      nf = !nf;
+      ni = !ni;
+      nb = !nb;
+      nv = !nv;
+      code = (fun _ _ -> error "engine: member frame has no code");
+    }
+  in
+  (* parent-slot -> member-slot copy pairs, packed [src; dst; ...],
+     live-in variables only *)
+  let live = region_live_in n r entry_defs in
+  let mf = ref [] and mi = ref [] and mb = ref [] and mv = ref [] in
+  for id = 0 to n - 1 do
+    if seen.(id) && live.(id) then begin
+      let moves =
+        match file.(id) with 0 -> mf | 1 -> mi | 2 -> mb | _ -> mv
+      in
+      moves := idx.(id) :: parent.idx.(id) :: !moves
+    end
+  done;
+  let pack l = Array.of_list (List.rev !l) in
+  let cf = pack mf and ci = pack mi and cb = pack mb and cv = pack mv in
+  let site = Atomic.fetch_and_add next_fsite 1 in
+  let fresh () =
+    let v = Array.make (max sub.nv 1) VUnit in
+    {
+      f = Array.make (max sub.nf 1) 0.0;
+      i = Array.make (max sub.ni 1) 0;
+      b = Array.make (max sub.nb 1) false;
+      v;
+      istack = [ { Interp.vals = v; slots = None } ];
+      stack_allocs = ref [];
+    }
+  in
+  (* Point a (possibly recycled) member frame at the current execution:
+     fresh call chain, current stack-alloc list, live-in values. *)
+  let refresh (m : eframe) (fr : eframe) =
+    (match m.istack with
+    | h :: _ ->
+      m.istack <-
+        (h :: (match fr.istack with [] -> [] | _ :: tl -> tl))
+    | [] -> assert false);
+    m.stack_allocs <- fr.stack_allocs;
+    let k = Array.length cf in
+    let j = ref 0 in
+    while !j < k do
+      m.f.(cf.(!j + 1)) <- fr.f.(cf.(!j));
+      j := !j + 2
+    done;
+    let k = Array.length ci in
+    let j = ref 0 in
+    while !j < k do
+      m.i.(ci.(!j + 1)) <- fr.i.(ci.(!j));
+      j := !j + 2
+    done;
+    let k = Array.length cb in
+    let j = ref 0 in
+    while !j < k do
+      m.b.(cb.(!j + 1)) <- fr.b.(cb.(!j));
+      j := !j + 2
+    done;
+    let k = Array.length cv in
+    let j = ref 0 in
+    while !j < k do
+      m.v.(cv.(!j + 1)) <- fr.v.(cv.(!j));
+      j := !j + 2
+    done
+  in
+  let checkout (t : thr) (fr : eframe) width =
+    let frames =
+      match Hashtbl.find_opt t.fcache site with
+      | Some a when Array.length a >= width ->
+        Hashtbl.remove t.fcache site;
+        a
+      | _ -> Array.init width (fun _ -> fresh ())
+    in
+    for m = 0 to width - 1 do
+      refresh frames.(m) fr
+    done;
+    frames
+  in
+  let checkin (t : thr) frames = Hashtbl.replace t.fcache site frames in
+  sub, checkout, checkin
+
+(* ---- compile-time accessors ---- *)
+
+type ydest = YNone | YVars of Var.t list | YCond
+
+type env = { prep : prepared; cf : cfun; fname : string; ydest : ydest }
+
+let slot env v = env.cf.idx.(Var.id v)
+
+(* Boxed read of any variable. *)
+let reader env v : eframe -> Value.t =
+  let s = slot env v in
+  match Var.ty v with
+  | Ty.Float -> fun fr -> VFloat fr.f.(s)
+  | Ty.Int -> fun fr -> VInt fr.i.(s)
+  | Ty.Bool -> fun fr -> VBool fr.b.(s)
+  | Ty.Unit | Ty.Ptr _ -> fun fr -> fr.v.(s)
+
+(* Boxed write into a typed slot. Conversions raise the interpreter's
+   error messages; on well-typed IR they never fire. *)
+let writer env v : eframe -> Value.t -> unit =
+  let s = slot env v in
+  match Var.ty v with
+  | Ty.Float -> fun fr x -> fr.f.(s) <- Value.to_float x
+  | Ty.Int -> fun fr x -> fr.i.(s) <- Value.to_int x
+  | Ty.Bool -> fun fr x -> fr.b.(s) <- Value.to_bool x
+  | Ty.Unit | Ty.Ptr _ -> fun fr x -> fr.v.(s) <- x
+
+let ird env v : eframe -> int =
+  let s = slot env v in
+  match Var.ty v with
+  | Ty.Int -> fun fr -> fr.i.(s)
+  | _ ->
+    let r = reader env v in
+    fun fr -> Value.to_int (r fr)
+
+let frd env v : eframe -> float =
+  let s = slot env v in
+  match Var.ty v with
+  | Ty.Float -> fun fr -> fr.f.(s)
+  | _ ->
+    let r = reader env v in
+    fun fr -> Value.to_float (r fr)
+
+let brd env v : eframe -> bool =
+  let s = slot env v in
+  match Var.ty v with
+  | Ty.Bool -> fun fr -> fr.b.(s)
+  | _ ->
+    let r = reader env v in
+    fun fr -> Value.to_bool (r fr)
+
+(* Same-frame move [src -> dst], register-to-register when the types
+   agree, boxed otherwise. *)
+let xmove env src dst : eframe -> unit =
+  if Ty.equal (Var.ty src) (Var.ty dst) then begin
+    let s = slot env src and d = slot env dst in
+    match Var.ty dst with
+    | Ty.Float -> fun fr -> fr.f.(d) <- fr.f.(s)
+    | Ty.Int -> fun fr -> fr.i.(d) <- fr.i.(s)
+    | Ty.Bool -> fun fr -> fr.b.(d) <- fr.b.(s)
+    | Ty.Unit | Ty.Ptr _ -> fun fr -> fr.v.(d) <- fr.v.(s)
+  end
+  else begin
+    let r = reader env src and w = writer env dst in
+    fun fr -> w fr (r fr)
+  end
+
+(* Loop-variable write (always an int in well-formed IR). *)
+let ivw env v : eframe -> int -> unit =
+  let s = slot env v in
+  match Var.ty v with
+  | Ty.Int -> fun fr n -> fr.i.(s) <- n
+  | _ ->
+    let w = writer env v in
+    fun fr n -> w fr (VInt n)
+
+(* Caller-frame -> callee-frame argument move (types already checked). *)
+let arg_move env (ccf : cfun) (p : Var.t) (a : Var.t) :
+    eframe -> eframe -> unit =
+  let s = env.cf.idx.(Var.id a) and d = ccf.idx.(Var.id p) in
+  match Var.ty p with
+  | Ty.Float -> fun src dst -> dst.f.(d) <- src.f.(s)
+  | Ty.Int -> fun src dst -> dst.i.(d) <- src.i.(s)
+  | Ty.Bool -> fun src dst -> dst.b.(d) <- src.b.(s)
+  | Ty.Unit | Ty.Ptr _ -> fun src dst -> dst.v.(d) <- src.v.(s)
+
+(* Boxed write of argument [a] into param [p]'s slot of [cf]'s frame. *)
+let write_boxed (cf : cfun) (p : Var.t) fr (a : Value.t) =
+  let d = cf.idx.(Var.id p) in
+  match Var.ty p with
+  | Ty.Float -> fr.f.(d) <- Value.to_float a
+  | Ty.Int -> fr.i.(d) <- Value.to_int a
+  | Ty.Bool -> fr.b.(d) <- Value.to_bool a
+  | Ty.Unit | Ty.Ptr _ -> fr.v.(d) <- a
+
+(* ---- barriers and parallel regions (runtime) ---- *)
+
+let do_barrier t =
+  match t.defer with
+  | Some _ ->
+    (* Sim's handler counts one barrier per performing member *)
+    t.st.Stats.barriers <- t.st.Stats.barriers + 1;
+    Effect.perform Mbar
+  | None ->
+    sync_out t;
+    Sim.barrier ();
+    sync_in t
+
+let par_fork_run t ~pool ~width ~socket_of ~tidw ~nthw ~fname ~frames
+    body_code =
+  t.st.Stats.forks <- t.st.Stats.forks + 1;
+  let start = t.clock.now +. Cost_model.fork_cost t.cost ~width in
+  let members =
+    Array.init width (fun m ->
+        {
+          midx = m;
+          d_atomics = [];
+          d_csets = [];
+          remat = t.ctx.Interp.remat_depth;
+        })
+  in
+  let team =
+    {
+      pwidth = width;
+      pfname = fname;
+      plock = Mutex.create ();
+      pord = Array.init width Fun.id;
+      parrived = 0;
+      pparked = [];
+      pclocks = Array.make width start;
+      pmembers = members;
+      pthrs = [||];
+      pparent = t;
+      premaining = width;
+      pmax_finish = start;
+      pfailed = None;
+      pdone = Atomic.make false;
+      ppool = pool;
+    }
+  in
+  let thrs =
+    Array.init width (fun m ->
+        {
+          t with
+          clock = { now = start };
+          socket = socket_of m;
+          team = Some (m, width);
+          st = Stats.create ();
+          defer = Some members.(m);
+          dl = Option.map (fun d -> { d with tick = 0 }) t.dl;
+        })
+  in
+  team.pthrs <- thrs;
+  for m = 0 to width - 1 do
+    let mt = thrs.(m) in
+    let mfr = frames.(m) in
+    tidw mfr m;
+    nthw mfr width;
+    let body () =
+      match body_code mt mfr with
+      | Next -> ()
+      | Ret | Yld -> error "fork body may not return/yield"
+    in
+    Pool.submit pool (run_pmember team mt m body)
+  done;
+  Pool.help_while pool (fun () -> Atomic.get team.pdone);
+  (* region complete: replay the last epoch's deferred effects in the
+     interpreter's member order, fold the members' scratch counters into
+     the run's stats, then join *)
+  Array.iter (fun tid -> replay_member t ~fname members.(tid)) team.pord;
+  Array.iter (fun mt -> Stats.merge ~into:t.st mt.st) thrs;
+  (match team.pfailed with Some ex -> raise ex | None -> ());
+  t.clock.now <- team.pmax_finish +. t.cost.Cost_model.join;
+  check_sched t
+
+(* ---- the compiler ---- *)
+
+let rec compile_block env (body : Instr.t list) : code =
+  let is_ctrl = function
+    | Instr.If _ | Instr.For _ | Instr.While _ | Instr.Return _
+    | Instr.Yield _ -> true
+    | _ -> false
+  in
+  let flush acc seg =
+    match seg with [] -> acc | _ -> `Seg (List.rev seg) :: acc
+  in
+  let rec chunks acc seg = function
+    | [] -> List.rev (flush acc seg)
+    | i :: rest when is_ctrl i -> chunks (`Ctl i :: flush acc seg) [] rest
+    | i :: rest -> chunks acc (i :: seg) rest
+  in
+  let items =
+    Array.of_list
+      (List.map
+         (function
+           | `Seg l -> compile_segment env l
+           | `Ctl i -> compile_ctrl env i)
+         (chunks [] [] body))
+  in
+  match Array.length items with
+  | 0 -> fun _ _ -> Next
+  | 1 -> items.(0)
+  | n ->
+    fun t fr ->
+      let rec go k =
+        if k = n then Next
+        else
+          match items.(k) t fr with Next -> go (k + 1) | (Ret | Yld) as o -> o
+      in
+      go 0
+
+(* A straight-line segment: every instruction always executes exactly
+   once, so the per-instruction Stats counters are batched into one
+   prologue (virtual-time charges stay per-op — float order matters). *)
+and compile_segment env (l : Instr.t list) : code =
+  let ops = Array.of_list (List.map (compile_straight env) l) in
+  let n = Array.length ops in
+  let count p = List.fold_left (fun k i -> if p i then k + 1 else k) 0 l in
+  let nins = List.length l in
+  let nfl =
+    count (function
+      | Instr.Bin (v, _, _, _) | Instr.Un (v, _, _) -> (
+        match Var.ty v with Ty.Float -> true | _ -> false)
+      | _ -> false)
+  in
+  let nld = count (function Instr.Load _ -> true | _ -> false) in
+  let nst = count (function Instr.Store _ -> true | _ -> false) in
+  let nat = count (function Instr.AtomicAdd _ -> true | _ -> false) in
+  let nal = count (function Instr.Alloc _ -> true | _ -> false) in
+  let nfre = count (function Instr.Free _ -> true | _ -> false) in
+  fun t fr ->
+    let s = t.st in
+    s.Stats.instrs <- s.Stats.instrs + nins;
+    if nfl > 0 then s.Stats.flops <- s.Stats.flops + nfl;
+    if nld > 0 then s.Stats.loads <- s.Stats.loads + nld;
+    if nst > 0 then s.Stats.stores <- s.Stats.stores + nst;
+    if nat > 0 then s.Stats.atomics <- s.Stats.atomics + nat;
+    if nal > 0 then s.Stats.allocs <- s.Stats.allocs + nal;
+    if nfre > 0 then s.Stats.frees <- s.Stats.frees + nfre;
+    for k = 0 to n - 1 do
+      (Array.unsafe_get ops k) t fr
+    done;
+    Next
+
+and compile_straight env (i : Instr.t) : sc =
+  match i with
+  | Instr.Const (v, k) -> (
+    match k, Var.ty v with
+    | Instr.Cfloat x, Ty.Float ->
+      let d = slot env v in
+      fun t fr ->
+        charge t t.cost.Cost_model.arith;
+        fr.f.(d) <- x
+    | Instr.Cint x, Ty.Int ->
+      let d = slot env v in
+      fun t fr ->
+        charge t t.cost.Cost_model.arith;
+        fr.i.(d) <- x
+    | Instr.Cbool x, Ty.Bool ->
+      let d = slot env v in
+      fun t fr ->
+        charge t t.cost.Cost_model.arith;
+        fr.b.(d) <- x
+    | _ ->
+      let w = writer env v in
+      let x =
+        match k with
+        | Instr.Cunit -> VUnit
+        | Instr.Cbool b -> VBool b
+        | Instr.Cint n -> VInt n
+        | Instr.Cfloat f -> VFloat f
+        | Instr.Cnull ty -> VNull ty
+      in
+      fun t fr ->
+        charge t t.cost.Cost_model.arith;
+        w fr x)
+  | Instr.Bin (v, op, a, b) -> (
+    match Var.ty a, Var.ty b, Var.ty v with
+    | Ty.Float, Ty.Float, Ty.Float -> compile_fbin env v op a b
+    | Ty.Int, Ty.Int, Ty.Int -> compile_ibin env v op a b
+    | _ -> fun _ _ -> error "bad operands for %s" (Instr.binop_name op))
+  | Instr.Cmp (v, op, a, b) -> compile_cmp env v op a b
+  | Instr.Un (v, op, a) -> compile_un env v op a
+  | Instr.Select (v, cond, a, b) ->
+    let crd = brd env cond in
+    let mva = xmove env a v
+    and mvb = xmove env b v in
+    fun t fr ->
+      charge t t.cost.Cost_model.arith;
+      if crd fr then mva fr else mvb fr
+  | Instr.Alloc (v, elem, n, kind) ->
+    let n_rd = ird env n in
+    let w = writer env v in
+    let site = env.fname ^ "/" ^ Var.name v in
+    let gc_extra = match kind with Instr.Gc -> true | _ -> false in
+    let on_stack = match kind with Instr.Stack -> true | _ -> false in
+    fun t fr ->
+      let size = n_rd fr in
+      t.st.Stats.alloc_cells <- t.st.Stats.alloc_cells + size;
+      charge t
+        (t.cost.Cost_model.alloc_base
+        +. (t.cost.Cost_model.alloc_per_cell *. float_of_int size)
+        +. (if gc_extra then t.cost.Cost_model.gc_alloc_extra else 0.0));
+      let buf =
+        Memory.alloc t.ctx.Interp.mem ~elem ~size ~kind ~socket:t.socket ~site
+      in
+      if on_stack then fr.stack_allocs := buf :: !(fr.stack_allocs);
+      w fr (VPtr { buf; off = 0 })
+  | Instr.Free p ->
+    let p_rd = reader env p in
+    let fname = env.fname in
+    fun t fr -> (
+      charge t t.cost.Cost_model.free;
+      match p_rd fr with
+      | VPtr { buf; off = _ } -> Memory.free ~site:fname t.ctx.Interp.mem buf
+      | VNull _ -> ()
+      | _ -> error "free of non-pointer")
+  | Instr.Load (v, p, ix) -> (
+    let p_rd = reader env p
+    and ix_rd = ird env ix in
+    let fname = env.fname in
+    match Var.ty v with
+    | Ty.Float ->
+      let d = slot env v in
+      fun t fr ->
+        let ptr = Value.to_ptr (p_rd fr) in
+        check_rank t ptr.buf;
+        charge_mem t ptr.buf;
+        let i = Memory.check_access ~who:fname ptr (ix_rd fr) in
+        fr.f.(d) <-
+          (match ptr.buf.data with
+          | FCells a -> Array.unsafe_get a i
+          | VCells a -> Value.to_float a.(i))
+    | _ ->
+      let w = writer env v in
+      fun t fr ->
+        let ptr = Value.to_ptr (p_rd fr) in
+        check_rank t ptr.buf;
+        charge_mem t ptr.buf;
+        w fr (Memory.load ~who:fname ptr (ix_rd fr)))
+  | Instr.Store (p, ix, x) -> (
+    let p_rd = reader env p
+    and ix_rd = ird env ix in
+    let fname = env.fname in
+    match Var.ty x with
+    | Ty.Float ->
+      let x_rd = frd env x in
+      fun t fr ->
+        let ptr = Value.to_ptr (p_rd fr) in
+        check_rank t ptr.buf;
+        charge_mem t ptr.buf;
+        let idx = ix_rd fr in
+        let i = Memory.check_access ~who:fname ptr idx in
+        (match ptr.buf.data with
+        | FCells a -> Array.unsafe_set a i (x_rd fr)
+        | VCells _ -> Memory.store ~who:fname ptr idx (VFloat (x_rd fr)))
+    | _ ->
+      let x_rd = reader env x in
+      fun t fr ->
+        let ptr = Value.to_ptr (p_rd fr) in
+        check_rank t ptr.buf;
+        charge_mem t ptr.buf;
+        let idx = ix_rd fr in
+        Memory.store ~who:fname ptr idx (x_rd fr))
+  | Instr.Gep (v, p, ix) ->
+    let p_rd = reader env p
+    and ix_rd = ird env ix in
+    let w = writer env v in
+    fun t fr -> (
+      charge t t.cost.Cost_model.arith;
+      match p_rd fr with
+      | VPtr ptr -> w fr (VPtr { ptr with off = ptr.off + ix_rd fr })
+      | VNull _ -> error "gep on null pointer"
+      | _ -> error "gep on non-pointer")
+  | Instr.AtomicAdd (p, ix, x) ->
+    let p_rd = reader env p
+    and ix_rd = ird env ix
+    and x_rd = frd env x in
+    let fname = env.fname in
+    fun t fr ->
+      charge t t.cost.Cost_model.atomic;
+      let ptr = Value.to_ptr (p_rd fr) in
+      check_rank t ptr.buf;
+      let idx = ix_rd fr in
+      (match t.defer with
+      | Some m ->
+        (* bounds-check now (identical failure point), accumulate at the
+           next replay point *)
+        ignore (Memory.check_access ~who:fname ptr idx);
+        m.d_atomics <- (ptr, idx, x_rd fr) :: m.d_atomics
+      | None -> (
+        let i = Memory.check_access ~who:fname ptr idx in
+        match ptr.buf.data with
+        | FCells a -> Array.unsafe_set a i (Array.unsafe_get a i +. x_rd fr)
+        | VCells _ ->
+          let old = Value.to_float (Memory.load ~who:fname ptr idx) in
+          Memory.store ~who:fname ptr idx (VFloat (old +. x_rd fr))))
+  | Instr.Call (v, name, args) ->
+    if String.contains name '.' then compile_intrinsic env v name args
+    else compile_ucall env v name args
+  | Instr.Spawn (v, name, args) ->
+    let readers = List.map (reader env) args in
+    let w = writer env v in
+    let prep = env.prep in
+    fun t fr ->
+      let vals = List.map (fun r -> r fr) readers in
+      let id = t.ctx.Interp.next_task in
+      t.ctx.Interp.next_task <- id + 1;
+      let ret = ref VUnit in
+      sync_out t;
+      let task =
+        Sim.spawn (fun () ->
+            let s = Sim.self () in
+            let ct =
+              {
+                t with
+                clock = { now = s.Sim.clock };
+                socket = s.Sim.socket;
+                team = None;
+                defer = None;
+              }
+            in
+            ret := call_boxed prep ct name vals;
+            sync_out ct)
+      in
+      sync_in t;
+      Hashtbl.add t.ctx.Interp.tasks id (task, ret);
+      w fr (VInt id)
+  | Instr.Sync h ->
+    let h_rd = ird env h in
+    fun t fr -> (
+      let id = h_rd fr in
+      match Hashtbl.find_opt t.ctx.Interp.tasks id with
+      | Some (task, _) ->
+        sync_out t;
+        Sim.sync task;
+        sync_in t
+      | None -> error "sync on unknown task %d" id)
+  | Instr.Barrier ->
+    fun t _fr -> (
+      match t.team with
+      | Some (_, w) when w > 1 -> do_barrier t
+      | Some _ | None -> ())
+  | Instr.Workshare { iv; lo; hi; body; schedule; nowait } ->
+    let body_code = compile_block env body.Instr.body in
+    let ivw = ivw env iv in
+    let lo_rd = ird env lo
+    and hi_rd = ird env hi in
+    fun t fr ->
+      let tid, width =
+        match t.team with
+        | Some tw -> tw
+        | None -> error "workshare outside a fork"
+      in
+      let lo = lo_rd fr
+      and hi = hi_rd fr in
+      let len = max 0 (hi - lo) in
+      (match schedule with
+      | Instr.Chunked ->
+        let stop = lo + (len * (tid + 1) / width) in
+        let rec go i =
+          if i < stop then begin
+            charge t t.cost.Cost_model.arith;
+            ivw fr i;
+            match body_code t fr with Next -> go (i + 1) | Ret | Yld -> ()
+          end
+        in
+        go (lo + (len * tid / width))
+      | Instr.Cyclic ->
+        let rec go i =
+          if i < hi then begin
+            charge t t.cost.Cost_model.arith;
+            ivw fr i;
+            match body_code t fr with Next -> go (i + width) | Ret | Yld -> ()
+          end
+        in
+        go (lo + tid));
+      if (not nowait) && width > 1 then do_barrier t
+  | Instr.Fork { tid; nth; body } ->
+    let uses_gc_roots =
+      let found = ref false in
+      Instr.fold_instrs
+        (fun () i ->
+          match i with
+          | Instr.Call (_, "gc.collect", _) -> found := true
+          | _ -> ())
+        () body.Instr.body;
+      !found
+    in
+    let benv, checkout, checkin =
+      if uses_gc_roots then
+        (* gc.collect walks every frame's value file for roots, so members
+           must see the interpreter's full-copy frames; no recycling *)
+        ( env,
+          (fun _t fr width -> Array.init width (fun _ -> copy_eframe fr)),
+          fun _t _frames -> () )
+      else begin
+        let subcf, checkout, checkin =
+          make_body_frame env.cf body ~entry_defs:[ tid; nth ]
+        in
+        { env with cf = subcf }, checkout, checkin
+      end
+    in
+    let body_code = compile_block benv body.Instr.body in
+    let tidw = ivw benv tid in
+    let nth_slot =
+      match body.Instr.params with [ _; q ] -> Some (ivw benv q) | _ -> None
+    in
+    let nth_rd = ird env nth in
+    let psafe = fork_par_safe env.prep body in
+    let fname = env.fname in
+    fun t fr ->
+      let width =
+        match nth_rd fr with
+        | 0 -> t.ctx.Interp.cfg.Interp.nthreads
+        | n when n > 0 -> n
+        | n -> error "fork with negative width %d" n
+      in
+      let total = t.ctx.Interp.nranks * width in
+      let socket_of tt =
+        Cost_model.socket_of t.cost
+          ~index:((t.ctx.Interp.rank * width) + tt)
+          ~width:total
+      in
+      let nthw =
+        match nth_slot with Some w -> w | None -> error "malformed fork body"
+      in
+      let pool =
+        match t.mode with
+        | MPar pool
+          when width > 1 && psafe
+               && (match t.defer with None -> true | Some _ -> false)
+               && not t.ctx.Interp.cache.Cache_rt.protect -> Some pool
+        | _ -> None
+      in
+      let frames = checkout t fr width in
+      (match pool with
+      | Some pool ->
+        par_fork_run t ~pool ~width ~socket_of ~tidw ~nthw ~fname ~frames
+          body_code;
+        checkin t frames
+      | None ->
+        sync_out t;
+        Sim.fork ~socket_of ~width (fun ~tid:tt ~width:w ->
+            let cfr = frames.(tt) in
+            tidw cfr tt;
+            nthw cfr w;
+            let s = Sim.self () in
+            let ct =
+              {
+                t with
+                clock = { now = s.Sim.clock };
+                socket = s.Sim.socket;
+                team = Some (tt, w);
+                defer = None;
+              }
+            in
+            (match body_code ct cfr with
+            | Next -> ()
+            | Ret | Yld -> error "fork body may not return/yield");
+            sync_out ct);
+        sync_in t;
+        checkin t frames)
+  | Instr.If _ | Instr.For _ | Instr.While _ | Instr.Return _ | Instr.Yield _
+    -> assert false (* control; routed to compile_ctrl *)
+
+and compile_fbin env v op a b : sc =
+  let sa = slot env a
+  and sb = slot env b
+  and d = slot env v in
+  match op with
+  | Instr.Add ->
+    fun t fr ->
+      let r = fr.f.(sa) +. fr.f.(sb) in
+      charge t t.cost.Cost_model.arith;
+      fr.f.(d) <- r
+  | Instr.Sub ->
+    fun t fr ->
+      let r = fr.f.(sa) -. fr.f.(sb) in
+      charge t t.cost.Cost_model.arith;
+      fr.f.(d) <- r
+  | Instr.Mul ->
+    fun t fr ->
+      let r = fr.f.(sa) *. fr.f.(sb) in
+      charge t t.cost.Cost_model.arith;
+      fr.f.(d) <- r
+  | Instr.Div ->
+    fun t fr ->
+      let r = fr.f.(sa) /. fr.f.(sb) in
+      charge t t.cost.Cost_model.arith;
+      fr.f.(d) <- r
+  | Instr.Min ->
+    fun t fr ->
+      let r = fmin fr.f.(sa) fr.f.(sb) in
+      charge t t.cost.Cost_model.arith;
+      fr.f.(d) <- r
+  | Instr.Max ->
+    fun t fr ->
+      let r = fmax fr.f.(sa) fr.f.(sb) in
+      charge t t.cost.Cost_model.arith;
+      fr.f.(d) <- r
+  | Instr.Pow ->
+    fun t fr ->
+      let r = Float.pow fr.f.(sa) fr.f.(sb) in
+      charge t
+        (if get_remat t > 0 then t.cost.Cost_model.transcendental_remat
+         else t.cost.Cost_model.transcendental);
+      fr.f.(d) <- r
+  | Instr.Rem -> fun _ _ -> error "bad operands for %s" (Instr.binop_name op)
+
+and compile_ibin env v op a b : sc =
+  let sa = slot env a
+  and sb = slot env b
+  and d = slot env v in
+  match op with
+  | Instr.Add ->
+    fun t fr ->
+      let r = fr.i.(sa) + fr.i.(sb) in
+      charge t t.cost.Cost_model.arith;
+      fr.i.(d) <- r
+  | Instr.Sub ->
+    fun t fr ->
+      let r = fr.i.(sa) - fr.i.(sb) in
+      charge t t.cost.Cost_model.arith;
+      fr.i.(d) <- r
+  | Instr.Mul ->
+    fun t fr ->
+      let r = fr.i.(sa) * fr.i.(sb) in
+      charge t t.cost.Cost_model.arith;
+      fr.i.(d) <- r
+  | Instr.Div ->
+    fun t fr ->
+      let y = fr.i.(sb) in
+      if y = 0 then error "integer division by zero";
+      let r = fr.i.(sa) / y in
+      charge t t.cost.Cost_model.arith;
+      fr.i.(d) <- r
+  | Instr.Rem ->
+    fun t fr ->
+      let y = fr.i.(sb) in
+      if y = 0 then error "integer remainder by zero";
+      let r = fr.i.(sa) mod y in
+      charge t t.cost.Cost_model.arith;
+      fr.i.(d) <- r
+  | Instr.Min ->
+    fun t fr ->
+      let x = fr.i.(sa)
+      and y = fr.i.(sb) in
+      let r = if x <= y then x else y in
+      charge t t.cost.Cost_model.arith;
+      fr.i.(d) <- r
+  | Instr.Max ->
+    fun t fr ->
+      let x = fr.i.(sa)
+      and y = fr.i.(sb) in
+      let r = if x >= y then x else y in
+      charge t t.cost.Cost_model.arith;
+      fr.i.(d) <- r
+  | Instr.Pow -> fun _ _ -> error "bad operands for %s" (Instr.binop_name op)
+
+and compile_cmp env v op a b : sc =
+  let d = slot env v in
+  match Var.ty a, Var.ty b with
+  | Ty.Int, Ty.Int ->
+    let sa = slot env a
+    and sb = slot env b in
+    let f : int -> int -> bool =
+      match op with
+      | Instr.Eq -> fun x y -> x = y
+      | Instr.Ne -> fun x y -> x <> y
+      | Instr.Lt -> fun x y -> x < y
+      | Instr.Le -> fun x y -> x <= y
+      | Instr.Gt -> fun x y -> x > y
+      | Instr.Ge -> fun x y -> x >= y
+    in
+    fun t fr ->
+      charge t t.cost.Cost_model.arith;
+      fr.b.(d) <- f fr.i.(sa) fr.i.(sb)
+  | Ty.Float, Ty.Float ->
+    let sa = slot env a
+    and sb = slot env b in
+    (* Float.compare semantics (total order on NaN), as the interpreter *)
+    let f : float -> float -> bool =
+      match op with
+      | Instr.Eq -> fun x y -> Float.compare x y = 0
+      | Instr.Ne -> fun x y -> Float.compare x y <> 0
+      | Instr.Lt -> fun x y -> Float.compare x y < 0
+      | Instr.Le -> fun x y -> Float.compare x y <= 0
+      | Instr.Gt -> fun x y -> Float.compare x y > 0
+      | Instr.Ge -> fun x y -> Float.compare x y >= 0
+    in
+    fun t fr ->
+      charge t t.cost.Cost_model.arith;
+      fr.b.(d) <- f fr.f.(sa) fr.f.(sb)
+  | Ty.Bool, Ty.Bool ->
+    let sa = slot env a
+    and sb = slot env b in
+    let f : bool -> bool -> bool =
+      match op with
+      | Instr.Eq -> fun x y -> Bool.compare x y = 0
+      | Instr.Ne -> fun x y -> Bool.compare x y <> 0
+      | Instr.Lt -> fun x y -> Bool.compare x y < 0
+      | Instr.Le -> fun x y -> Bool.compare x y <= 0
+      | Instr.Gt -> fun x y -> Bool.compare x y > 0
+      | Instr.Ge -> fun x y -> Bool.compare x y >= 0
+    in
+    fun t fr ->
+      charge t t.cost.Cost_model.arith;
+      fr.b.(d) <- f fr.b.(sa) fr.b.(sb)
+  | _ -> fun _ _ -> error "bad operands for comparison"
+
+and compile_un env v op a : sc =
+  let bad : sc = fun _ _ -> error "bad operand for %s" (Instr.unop_name op) in
+  match Var.ty a, Var.ty v with
+  | Ty.Float, Ty.Float -> (
+    let sa = slot env a
+    and d = slot env v in
+    let transc f : sc =
+      fun t fr ->
+       let r = f fr.f.(sa) in
+       charge t
+         (if get_remat t > 0 then t.cost.Cost_model.transcendental_remat
+          else t.cost.Cost_model.transcendental);
+       fr.f.(d) <- r
+    in
+    let plain f : sc =
+      fun t fr ->
+       let r = f fr.f.(sa) in
+       charge t t.cost.Cost_model.arith;
+       fr.f.(d) <- r
+    in
+    match op with
+    | Instr.Neg -> plain (fun x -> -.x)
+    | Instr.Sqrt -> transc sqrt
+    | Instr.Sin -> transc sin
+    | Instr.Cos -> transc cos
+    | Instr.Exp -> transc exp
+    | Instr.Log -> transc log
+    | Instr.Abs -> plain Float.abs
+    | Instr.Floor -> plain (fun x -> Float.of_int (int_of_float (floor x)))
+    | Instr.ToFloat | Instr.ToInt | Instr.Not -> bad)
+  | Ty.Int, Ty.Int -> (
+    let sa = slot env a
+    and d = slot env v in
+    match op with
+    | Instr.Neg ->
+      fun t fr ->
+        let r = -fr.i.(sa) in
+        charge t t.cost.Cost_model.arith;
+        fr.i.(d) <- r
+    | Instr.Abs ->
+      fun t fr ->
+        let r = abs fr.i.(sa) in
+        charge t t.cost.Cost_model.arith;
+        fr.i.(d) <- r
+    | _ -> bad)
+  | Ty.Int, Ty.Float when op = Instr.ToFloat ->
+    let sa = slot env a
+    and d = slot env v in
+    fun t fr ->
+      let r = float_of_int fr.i.(sa) in
+      charge t t.cost.Cost_model.arith;
+      fr.f.(d) <- r
+  | Ty.Float, Ty.Int when op = Instr.ToInt ->
+    let sa = slot env a
+    and d = slot env v in
+    fun t fr ->
+      let r = int_of_float fr.f.(sa) in
+      charge t t.cost.Cost_model.arith;
+      fr.i.(d) <- r
+  | Ty.Bool, Ty.Bool when op = Instr.Not ->
+    let sa = slot env a
+    and d = slot env v in
+    fun t fr ->
+      let r = not fr.b.(sa) in
+      charge t t.cost.Cost_model.arith;
+      fr.b.(d) <- r
+  | _ -> bad
+
+and compile_ctrl env (i : Instr.t) : code =
+  match i with
+  | Instr.If (results, cond, then_r, else_r) ->
+    let benv = { env with ydest = YVars results } in
+    let then_code = compile_block benv then_r.Instr.body
+    and else_code = compile_block benv else_r.Instr.body in
+    let c_rd = brd env cond in
+    fun t fr -> (
+      t.st.Stats.instrs <- t.st.Stats.instrs + 1;
+      charge t t.cost.Cost_model.arith;
+      match (if c_rd fr then then_code t fr else else_code t fr) with
+      | Yld -> Next
+      | Next -> error "if-region fell through without yield"
+      | Ret -> Ret)
+  | Instr.For { iv; lo; hi; step; body } ->
+    let body_code = compile_block env body.Instr.body in
+    let ivw = ivw env iv in
+    let lo_rd = ird env lo
+    and hi_rd = ird env hi
+    and sp_rd = ird env step in
+    fun t fr ->
+      t.st.Stats.instrs <- t.st.Stats.instrs + 1;
+      let lo = lo_rd fr
+      and hi = hi_rd fr
+      and sp = sp_rd fr in
+      if sp <= 0 then error "for with non-positive step %d" sp;
+      let rec go i =
+        if i >= hi then Next
+        else begin
+          charge t t.cost.Cost_model.arith;
+          ivw fr i;
+          match
+            try body_code t fr with Checkpoint.Skip_iteration -> Next
+          with
+          | Next -> go (i + sp)
+          | (Ret | Yld) as o -> o
+        end
+      in
+      go lo
+  | Instr.While { cond; body } ->
+    let cond_code = compile_block { env with ydest = YCond } cond.Instr.body in
+    let body_code = compile_block env body.Instr.body in
+    fun t fr ->
+      t.st.Stats.instrs <- t.st.Stats.instrs + 1;
+      let rec go () =
+        charge t t.cost.Cost_model.arith;
+        match cond_code t fr with
+        | Yld ->
+          if t.yb then begin
+            match
+              try body_code t fr with Checkpoint.Skip_iteration -> Next
+            with
+            | Next -> go ()
+            | (Ret | Yld) as o -> o
+          end
+          else Next
+        | Next | Ret -> error "while condition region must yield one bool"
+      in
+      go ()
+  | Instr.Return None ->
+    fun t _fr ->
+      t.st.Stats.instrs <- t.st.Stats.instrs + 1;
+      t.retv <- VUnit;
+      Ret
+  | Instr.Return (Some v) ->
+    let r = reader env v in
+    fun t fr ->
+      t.st.Stats.instrs <- t.st.Stats.instrs + 1;
+      t.retv <- r fr;
+      Ret
+  | Instr.Yield vs -> (
+    match env.ydest with
+    | YNone ->
+      fun t _fr ->
+        t.st.Stats.instrs <- t.st.Stats.instrs + 1;
+        Yld
+    | YCond -> (
+      match vs with
+      | [ v ] ->
+        let c_rd = brd env v in
+        fun t fr ->
+          t.st.Stats.instrs <- t.st.Stats.instrs + 1;
+          t.yb <- c_rd fr;
+          Yld
+      | _ ->
+        fun t _fr ->
+          t.st.Stats.instrs <- t.st.Stats.instrs + 1;
+          error "while condition region must yield one bool")
+    | YVars results ->
+      if List.length vs <> List.length results then
+        fun t _fr -> (
+          t.st.Stats.instrs <- t.st.Stats.instrs + 1;
+          raise (Invalid_argument "List.iter2"))
+      else begin
+        let moves = Array.of_list (List.map2 (xmove env) vs results) in
+        fun t fr ->
+          t.st.Stats.instrs <- t.st.Stats.instrs + 1;
+          Array.iter (fun mv -> mv fr) moves;
+          Yld
+      end)
+  | _ -> assert false
+
+(* ---- intrinsics ---- *)
+
+and compile_intrinsic env v name args : sc =
+  let w = writer env v in
+  match name, args with
+  | "omp.max_threads", _ ->
+    fun t fr ->
+      charge t t.cost.Cost_model.arith;
+      w fr (VInt t.ctx.Interp.cfg.Interp.nthreads)
+  | "mpi.rank", _ ->
+    fun t fr ->
+      charge t t.cost.Cost_model.arith;
+      w fr (VInt t.ctx.Interp.rank)
+  | "mpi.size", _ ->
+    fun t fr ->
+      charge t t.cost.Cost_model.arith;
+      w fr (VInt t.ctx.Interp.nranks)
+  | "san.mark_private", _ ->
+    (* no-op unsanitized; sanitized contexts never reach the engine *)
+    fun t fr ->
+      charge t t.cost.Cost_model.arith;
+      w fr VUnit
+  | "parad.remat_begin", _ ->
+    fun t fr ->
+      charge t t.cost.Cost_model.arith;
+      (match t.defer with
+      | Some m -> m.remat <- m.remat + 1
+      | None -> t.ctx.Interp.remat_depth <- t.ctx.Interp.remat_depth + 1);
+      w fr VUnit
+  | "parad.remat_end", _ ->
+    fun t fr ->
+      charge t t.cost.Cost_model.arith;
+      (match t.defer with
+      | Some m -> if m.remat > 0 then m.remat <- m.remat - 1
+      | None ->
+        if t.ctx.Interp.remat_depth > 0 then
+          t.ctx.Interp.remat_depth <- t.ctx.Interp.remat_depth - 1);
+      w fr VUnit
+  | ("cache.new" | "cache.newf"), cap :: _ ->
+    let cap_rd = ird env cap in
+    let unboxed = String.equal name "cache.newf" in
+    fun t fr ->
+      charge t t.cost.Cost_model.arith;
+      charge t t.cost.Cost_model.alloc_base;
+      let id =
+        Cache_rt.fresh ~unboxed t.ctx.Interp.cache ~capacity:(cap_rd fr)
+      in
+      w fr (VInt id)
+  | "cache.set", a0 :: a1 :: a2 :: _ -> (
+    let id_rd = ird env a0
+    and idx_rd = ird env a1 in
+    match Var.ty a2 with
+    | Ty.Float ->
+      (* unboxed write: the stored float never round-trips through a
+         [VFloat] box on the sequential path (deferred par-member sets
+         still box — they are queued as values for ordered replay) *)
+      let x_rd = frd env a2 in
+      fun t fr ->
+        charge t t.cost.Cost_model.arith;
+        let cache = t.ctx.Interp.cache in
+        let id = id_rd fr in
+        charge t
+          (if Cache_rt.is_unboxed cache ~id then t.cost.Cost_model.mem
+           else t.cost.Cost_model.cache_op);
+        t.st.Stats.cache_stores <- t.st.Stats.cache_stores + 1;
+        let idx = idx_rd fr in
+        (match t.defer with
+        | Some m -> m.d_csets <- (id, idx, VFloat (x_rd fr)) :: m.d_csets
+        | None ->
+          let before = Cache_rt.cells_written cache in
+          Cache_rt.set_f cache ~id ~idx (x_rd fr);
+          if Cache_rt.cells_written cache > before then begin
+            t.st.Stats.cache_cells <- t.st.Stats.cache_cells + 1;
+            let peak = Cache_rt.peak_cells cache in
+            if peak > t.st.Stats.cache_peak then t.st.Stats.cache_peak <- peak
+          end);
+        w fr VUnit
+    | _ ->
+      let x_rd = reader env a2 in
+      fun t fr ->
+        charge t t.cost.Cost_model.arith;
+        let cache = t.ctx.Interp.cache in
+        let id = id_rd fr in
+        charge t
+          (if Cache_rt.is_unboxed cache ~id then t.cost.Cost_model.mem
+           else t.cost.Cost_model.cache_op);
+        t.st.Stats.cache_stores <- t.st.Stats.cache_stores + 1;
+        let idx = idx_rd fr
+        and x = x_rd fr in
+        (match t.defer with
+        | Some m -> m.d_csets <- (id, idx, x) :: m.d_csets
+        | None ->
+          let before = Cache_rt.cells_written cache in
+          Cache_rt.set cache ~id ~idx x;
+          if Cache_rt.cells_written cache > before then begin
+            t.st.Stats.cache_cells <- t.st.Stats.cache_cells + 1;
+            let peak = Cache_rt.peak_cells cache in
+            if peak > t.st.Stats.cache_peak then t.st.Stats.cache_peak <- peak
+          end);
+        w fr VUnit)
+  | "cache.get", a0 :: a1 :: _ -> (
+    let id_rd = ird env a0
+    and idx_rd = ird env a1 in
+    match Var.ty v with
+    | Ty.Float ->
+      let d = slot env v in
+      fun t fr ->
+        charge t t.cost.Cost_model.arith;
+        let cache = t.ctx.Interp.cache in
+        let id = id_rd fr in
+        charge t
+          (if Cache_rt.is_unboxed cache ~id then t.cost.Cost_model.mem
+           else t.cost.Cost_model.cache_op);
+        t.st.Stats.cache_loads <- t.st.Stats.cache_loads + 1;
+        let r = Cache_rt.get_f cache ~id ~idx:(idx_rd fr) in
+        eng_apply_flips t;
+        fr.f.(d) <- r
+    | _ ->
+      fun t fr ->
+        charge t t.cost.Cost_model.arith;
+        let cache = t.ctx.Interp.cache in
+        let id = id_rd fr in
+        charge t
+          (if Cache_rt.is_unboxed cache ~id then t.cost.Cost_model.mem
+           else t.cost.Cost_model.cache_op);
+        t.st.Stats.cache_loads <- t.st.Stats.cache_loads + 1;
+        let r = Cache_rt.get cache ~id ~idx:(idx_rd fr) in
+        eng_apply_flips t;
+        w fr r)
+  | "cache.free", a0 :: _ ->
+    let id_rd = ird env a0 in
+    fun t fr ->
+      charge t t.cost.Cost_model.arith;
+      let cache = t.ctx.Interp.cache in
+      let id = id_rd fr in
+      if cache.Cache_rt.protect then begin
+        charge t
+          (t.cost.Cost_model.mem *. float_of_int (Cache_rt.covered_id cache ~id));
+        if not (Cache_rt.verify_id cache ~id) then
+          eng_corrupt_region t ~cache_id:id
+      end;
+      Cache_rt.free cache ~id;
+      w fr VUnit
+  | _ -> delegate env v name args
+
+(* Any other intrinsic (MPI, checkpoint, GC, AD shadows, ...) delegates to
+   the interpreter's implementation, bridging the strand clock and the
+   synthetic frame stack. *)
+and delegate env v name args : sc =
+  let readers = List.map (reader env) args in
+  let w = writer env v in
+  let fname = env.fname in
+  fun t fr ->
+    let vals = List.map (fun r -> r fr) readers in
+    sync_out t;
+    let e =
+      {
+        Interp.stack = fr.istack;
+        team = t.team;
+        stack_allocs = fr.stack_allocs;
+        fname;
+        san_team = None;
+      }
+    in
+    let res =
+      match Interp.intrinsic t.ctx e name args vals with
+      | r ->
+        sync_in t;
+        r
+      | exception ex ->
+        sync_in t;
+        raise ex
+    in
+    w fr (fst res)
+
+(* ---- user calls ---- *)
+
+and compile_ucall env v name args : sc =
+  let resolved : sc option ref = ref None in
+  fun t fr ->
+    match !resolved with
+    | Some f -> f t fr
+    | None ->
+      let f = build_ucall env v name args in
+      resolved := Some f;
+      f t fr
+
+and build_ucall env v name args : sc =
+  match Prog.find env.prep.prog name with
+  | None -> fun _ _ -> error "call to unknown function %S" name
+  | Some f -> (
+    let cf = get_cfun env.prep name in
+    if List.length args <> List.length f.Func.params then
+      fun t _fr ->
+        charge t t.cost.Cost_model.call;
+        t.st.Stats.calls <- t.st.Stats.calls + 1;
+        error "call %s: arity mismatch" name
+    else
+      match
+        List.find_opt
+          (fun (p, a) -> not (Ty.equal (Var.ty a) (Var.ty p)))
+          (List.combine f.Func.params args)
+      with
+      | Some (p, a) ->
+        fun t _fr ->
+          charge t t.cost.Cost_model.call;
+          t.st.Stats.calls <- t.st.Stats.calls + 1;
+          error "call %s: argument %s has type %a, expected %a" name
+            (Var.name p) Ty.pp (Var.ty a) Ty.pp (Var.ty p)
+      | None ->
+        let moves =
+          Array.of_list (List.map2 (arg_move env cf) f.Func.params args)
+        in
+        let ret_unit = Ty.equal f.Func.ret_ty Ty.Unit in
+        let w = writer env v in
+        fun t fr -> (
+          charge t t.cost.Cost_model.call;
+          t.st.Stats.calls <- t.st.Stats.calls + 1;
+          let nfr = new_eframe cf fr.istack in
+          Array.iter (fun mv -> mv fr nfr) moves;
+          (* the interpreter gives each call a fresh team-less ectx; the
+             engine's thr is shared, so save/restore — exception-protected
+             because Skip_iteration legitimately crosses call frames *)
+          let saved = t.team in
+          t.team <- None;
+          let out =
+            match cf.code t nfr with
+            | o ->
+              t.team <- saved;
+              o
+            | exception ex ->
+              t.team <- saved;
+              raise ex
+          in
+          List.iter
+            (fun (b : Value.buffer) ->
+              if not b.freed then Memory.free ~site:name t.ctx.Interp.mem b)
+            !(nfr.stack_allocs);
+          match out with
+          | Ret -> w fr t.retv
+          | Next when ret_unit -> w fr VUnit
+          | Next | Yld -> error "function %s did not return" name))
+
+and get_cfun prep name : cfun =
+  Mutex.lock prep.plk;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock prep.plk)
+    (fun () ->
+      match Hashtbl.find_opt prep.funcs name with
+      | Some cf -> cf
+      | None -> (
+        match Prog.find prep.prog name with
+        | None -> error "call to unknown function %S" name
+        | Some fn ->
+          let cf = make_cfun fn in
+          (match
+             compile_block { prep; cf; fname = name; ydest = YNone }
+               fn.Func.body
+           with
+          | code ->
+            cf.code <- code;
+            Hashtbl.replace prep.funcs name cf
+          | exception ex -> raise ex);
+          cf))
+
+(* Boxed-argument call: the engine's replica of [Interp.call_function]
+   with an empty caller stack — entry points and spawned tasks. *)
+and call_boxed prep t name (args : Value.t list) : Value.t =
+  match Prog.find prep.prog name with
+  | None -> error "call to unknown function %S" name
+  | Some f -> (
+    charge t t.cost.Cost_model.call;
+    t.st.Stats.calls <- t.st.Stats.calls + 1;
+    if List.length args <> List.length f.Func.params then
+      error "call %s: arity mismatch" name;
+    let cf = get_cfun prep name in
+    let nfr = new_eframe cf [] in
+    List.iter2
+      (fun p a ->
+        if not (Ty.equal (Value.ty a) (Var.ty p)) then
+          error "call %s: argument %s has type %a, expected %a" name
+            (Var.name p) Ty.pp (Value.ty a) Ty.pp (Var.ty p);
+        write_boxed cf p nfr a)
+      f.Func.params args;
+    let saved = t.team in
+    t.team <- None;
+    let out =
+      match cf.code t nfr with
+      | o ->
+        t.team <- saved;
+        o
+      | exception ex ->
+        t.team <- saved;
+        raise ex
+    in
+    List.iter
+      (fun (b : Value.buffer) ->
+        if not b.freed then Memory.free ~site:name t.ctx.Interp.mem b)
+      !(nfr.stack_allocs);
+    match out with
+    | Ret -> t.retv
+    | Next when Ty.equal f.Func.ret_ty Ty.Unit -> VUnit
+    | Next | Yld -> error "function %s did not return" name)
+
+(* ---- entry points ---- *)
+
+type choice = Interp | Seq | Par
+
+let choice_of_string = function
+  | "interp" -> Some Interp
+  | "seq" -> Some Seq
+  | "par" -> Some Par
+  | _ -> None
+
+let choice_to_string = function
+  | Interp -> "interp"
+  | Seq -> "seq"
+  | Par -> "par"
+
+(** Run [fname] on the engine inside the current Sim strand. Contexts the
+    engine cannot replicate bit-exactly (taping, sanitizers, instruction
+    budgets) fall back to the interpreter wholesale. *)
+let exec_call prep mode (ctx : Interp.ctx) fname args =
+  let fallback =
+    (match ctx.Interp.instrument with Some _ -> true | None -> false)
+    || (match ctx.Interp.san with Some _ -> true | None -> false)
+    || ctx.Interp.cfg.Interp.max_instrs > 0
+  in
+  if fallback then Interp.call ctx fname args
+  else begin
+    ctx.Interp.root_args <- args;
+    let s = Sim.self () in
+    let vdl, wall_stop, wall_ms = Sim.deadline_view () in
+    let dl =
+      match vdl, wall_stop with
+      | None, None -> None
+      | _ -> Some { vdl; wall_stop; wall_ms; tick = 0 }
+    in
+    let t =
+      {
+        ctx;
+        cost = ctx.Interp.cfg.Interp.cost;
+        st = Sim.stats ();
+        mode;
+        clock = { now = s.Sim.clock };
+        socket = s.Sim.socket;
+        team = None;
+        defer = None;
+        dl;
+        retv = VUnit;
+        yb = false;
+        fcache = Hashtbl.create 8;
+      }
+    in
+    match call_boxed prep t fname args with
+    | v ->
+      sync_out t;
+      v
+    | exception ex ->
+      sync_out t;
+      raise ex
+  end
+
+(** [call_fn prep choice] is a drop-in replacement for {!Interp.call}
+    running on the selected substrate. *)
+let call_fn prep choice : Interp.ctx -> string -> Value.t list -> Value.t =
+  match choice with
+  | Interp -> Interp.call
+  | Seq -> fun ctx f args -> exec_call prep MSeq ctx f args
+  | Par -> fun ctx f args -> exec_call prep (MPar (Pool.get ())) ctx f args

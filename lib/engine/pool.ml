@@ -1,0 +1,191 @@
+(** A persistent work-stealing pool of OCaml [Domain]s.
+
+    The parallel runner of the execution engine schedules the members of a
+    par-safe fork region (and their barrier-release continuations) as
+    tasks on this pool. One deque per domain; a worker pops its own deque
+    LIFO and steals FIFO from the others when empty; the thread that
+    submits a region participates in execution through {!help_while}, so
+    a pool of [n] domains gives [n + 1] runners.
+
+    The pool is global and lazy: domains are spawned on first use and
+    joined through [at_exit]. Sizing follows
+    [Domain.recommended_domain_count () - 1] (the caller is the extra
+    runner), clamped to [0, 15]; [PARAD_DOMAINS] overrides it, and a pool
+    of size 0 degrades gracefully — every task runs in {!help_while} on
+    the submitting thread, which keeps `--engine par` functional (and
+    bit-identical, just not faster) on single-core hosts. *)
+
+type task = unit -> unit
+
+type deque = {
+  lock : Mutex.t;
+  mutable items : task list;  (** LIFO end at the head *)
+}
+
+type t = {
+  deques : deque array;  (** one per worker domain *)
+  size : int;
+  m : Mutex.t;  (** sleep/wake coordination *)
+  cv : Condition.t;
+  mutable pending : int;  (** tasks submitted and not yet started *)
+  mutable stop : bool;
+  mutable rr : int;  (** round-robin submission cursor *)
+  mutable domains : unit Domain.t list;
+}
+
+let push_deque d task =
+  Mutex.lock d.lock;
+  d.items <- task :: d.items;
+  Mutex.unlock d.lock
+
+let pop_deque d =
+  Mutex.lock d.lock;
+  let r =
+    match d.items with
+    | [] -> None
+    | t :: rest ->
+      d.items <- rest;
+      Some t
+  in
+  Mutex.unlock d.lock;
+  r
+
+(* Steal from the FIFO end (the oldest task): classic deque discipline,
+   which hands thieves the largest remaining chunks of work. *)
+let steal_deque d =
+  Mutex.lock d.lock;
+  let r =
+    match List.rev d.items with
+    | [] -> None
+    | t :: rest_rev ->
+      d.items <- List.rev rest_rev;
+      Some t
+  in
+  Mutex.unlock d.lock;
+  r
+
+let take p ~own =
+  let n = Array.length p.deques in
+  if n = 0 then None
+  else
+    match pop_deque p.deques.(own mod n) with
+    | Some _ as r -> r
+    | None ->
+      let rec scan k =
+        if k >= n then None
+        else
+          match steal_deque p.deques.((own + k) mod n) with
+          | Some _ as r -> r
+          | None -> scan (k + 1)
+      in
+      scan 1
+
+let run_task p ~own task =
+  Mutex.lock p.m;
+  p.pending <- p.pending - 1;
+  Mutex.unlock p.m;
+  ignore (own : int);
+  task ()
+
+let worker p id () =
+  let rec loop () =
+    match take p ~own:id with
+    | Some task ->
+      run_task p ~own:id task;
+      loop ()
+    | None ->
+      Mutex.lock p.m;
+      while p.pending = 0 && not p.stop do
+        Condition.wait p.cv p.m
+      done;
+      let stop = p.stop && p.pending = 0 in
+      Mutex.unlock p.m;
+      if not stop then loop ()
+  in
+  loop ()
+
+let default_size () =
+  match Sys.getenv_opt "PARAD_DOMAINS" with
+  | Some s -> ( match int_of_string_opt s with Some n -> max 0 (min 15 n) | None -> 0)
+  | None -> max 0 (min 15 (Domain.recommended_domain_count () - 1))
+
+let instance : t option ref = ref None
+
+let shutdown p =
+  Mutex.lock p.m;
+  p.stop <- true;
+  Condition.broadcast p.cv;
+  Mutex.unlock p.m;
+  List.iter Domain.join p.domains;
+  p.domains <- []
+
+let get ?size () =
+  match !instance with
+  | Some p -> p
+  | None ->
+    let size =
+      match size with Some n -> max 0 (min 15 n) | None -> default_size ()
+    in
+    let p =
+      {
+        deques =
+          Array.init size (fun _ -> { lock = Mutex.create (); items = [] });
+        size;
+        m = Mutex.create ();
+        cv = Condition.create ();
+        pending = 0;
+        stop = false;
+        rr = 0;
+        domains = [];
+      }
+    in
+    p.domains <- List.init size (fun id -> Domain.spawn (worker p id));
+    instance := Some p;
+    at_exit (fun () ->
+        match !instance with
+        | Some q when q == p ->
+          instance := None;
+          shutdown p
+        | _ -> ());
+    p
+
+(** Submit one task. With a 0-size pool the task is parked on a caller
+    queue drained by {!help_while}. *)
+let caller_q : task list ref = ref []
+
+let submit p task =
+  if p.size = 0 then caller_q := task :: !caller_q
+  else begin
+    Mutex.lock p.m;
+    p.pending <- p.pending + 1;
+    p.rr <- p.rr + 1;
+    Mutex.unlock p.m;
+    push_deque p.deques.(p.rr mod p.size) task;
+    Mutex.lock p.m;
+    Condition.broadcast p.cv;
+    Mutex.unlock p.m
+  end
+
+(* Oldest caller-queue task, FIFO. *)
+let caller_pop () =
+  match List.rev !caller_q with
+  | [] -> None
+  | oldest :: rest_rev ->
+    caller_q := List.rev rest_rev;
+    Some oldest
+
+(** Run tasks on the submitting thread until [done_ ()] — the caller's
+    share of the region, and the only runner on a 0-size pool. *)
+let help_while p done_ =
+  let rec loop () =
+    if not (done_ ()) then begin
+      (match caller_pop () with
+      | Some t -> t ()
+      | None -> (
+        match take p ~own:0 with
+        | Some task -> run_task p ~own:0 task
+        | None -> Domain.cpu_relax ()));
+      loop ()
+    end
+  in
+  loop ()

@@ -309,7 +309,7 @@ let set t ~id ~idx v =
       end
       else cells
     in
-    if cells.(idx) = VUnit then note_written t c;
+    (match cells.(idx) with VUnit -> note_written t c | _ -> ());
     cells.(idx) <- v
   | Floats (cells, written) ->
     let x =
@@ -360,6 +360,53 @@ let get t ~id ~idx =
       error "cache %d: slot %d read before write" id idx;
     VFloat cells.(idx)
 
+(* Unboxed fast paths for the execution engine: same semantics (growth,
+   occupancy, seal interaction, error messages) as {!set}/{!get} on a
+   [Floats] cache without boxing the value; [Boxed] storage falls back to
+   the boxed entry points. *)
+
+let set_f t ~id ~idx x =
+  let c = get_cache t id in
+  match c.s with
+  | Boxed _ -> set t ~id ~idx (VFloat x)
+  | Floats (cells, written) ->
+    if idx < 0 then error "cache: negative index %d" idx;
+    (match c.seal with
+    | Some s when idx < Bytes.length s.mask && Bytes.get s.mask idx = '\001' ->
+      c.seal <- None
+    | _ -> ());
+    let n = Array.length cells in
+    let cells, written =
+      if idx >= n then begin
+        let m = max (2 * n) (idx + 1) in
+        let bigger = Array.make m 0.0 in
+        Array.blit cells 0 bigger 0 n;
+        let wbigger = Bytes.make m '\000' in
+        Bytes.blit written 0 wbigger 0 n;
+        c.s <- Floats (bigger, wbigger);
+        bigger, wbigger
+      end
+      else cells, written
+    in
+    if Bytes.get written idx = '\000' then begin
+      note_written t c;
+      Bytes.set written idx '\001'
+    end;
+    cells.(idx) <- x
+
+let get_f t ~id ~idx =
+  let c = get_cache t id in
+  match c.s with
+  | Boxed _ -> Value.to_float (get t ~id ~idx)
+  | Floats (cells, written) ->
+    if t.protect && c.seal = None && c.nwritten > 0 then
+      c.seal <- Some (seal_cache c);
+    if idx < 0 || idx >= Array.length cells then
+      error "cache %d: index %d out of range" id idx;
+    if Bytes.get written idx = '\000' then
+      error "cache %d: slot %d read before write" id idx;
+    cells.(idx)
+
 let free t ~id =
   let c = get_cache t id in
   c.freed <- true;
@@ -401,7 +448,9 @@ let restore t blocks =
   Array.iteri
     (fun i (cells, freed) ->
       let nwritten =
-        Array.fold_left (fun acc v -> if v = VUnit then acc else acc + 1) 0 cells
+        Array.fold_left
+          (fun acc v -> match v with VUnit -> acc | _ -> acc + 1)
+          0 cells
       in
       (* seals do not survive a restore: the snapshot was taken from
          verified-clean state, and the restored caches are resealed at

@@ -418,7 +418,11 @@ let reachable roots =
     match v with
     | VPtr p when not (Hashtbl.mem seen p.buf.bid) ->
       Hashtbl.add seen p.buf.bid p.buf;
-      if not p.buf.freed then Array.iter mark p.buf.data
+      if not p.buf.freed then begin
+        match p.buf.data with
+        | VCells a -> Array.iter mark a
+        | FCells _ -> ()
+      end
     | VPtr _ | VUnit | VBool _ | VInt _ | VFloat _ | VNull _ -> ()
   in
   List.iter mark roots;
@@ -504,12 +508,15 @@ let take session ~mem ~cache ~mpi ~roots ~id =
   let cells = ref 0 in
   List.iter
     (fun (buf : buffer) ->
-      pf "buf %d %s %d %s %d %d\n" buf.bid (ty_code buf.elem)
-        (Array.length buf.data) (kind_code buf.kind) buf.socket
+      let n = cells_len buf.data in
+      pf "buf %d %s %d %s %d %d\n" buf.bid (ty_code buf.elem) n
+        (kind_code buf.kind) buf.socket
         (if buf.freed then 1 else 0);
       if not buf.freed then begin
-        cells := !cells + Array.length buf.data;
-        Array.iter (fun v -> pf "%s " (cell_code v)) buf.data;
+        cells := !cells + n;
+        for i = 0 to n - 1 do
+          pf "%s " (cell_code (get_cell buf.data i))
+        done;
         pf "\n"
       end)
     bufs;
@@ -684,7 +691,7 @@ let restore session ~mem ~cache ~mpi ~id =
       let target =
         match Memory.find_bid mem bid with
         | Some (b : buffer) ->
-          if not (Ty.equal b.elem elem) || Array.length b.data <> size then
+          if not (Ty.equal b.elem elem) || cells_len b.data <> size then
             error
               "checkpoint: buffer %d changed shape between snapshot and \
                replay (program is not structurally deterministic)"
@@ -715,7 +722,13 @@ let restore session ~mem ~cache ~mpi ~id =
       if not freed then begin
         let b = Hashtbl.find map bid in
         cells := !cells + Array.length raw;
-        Array.iteri (fun i t -> b.data.(i) <- cell_of_code lookup t) raw
+        match b.data with
+        | FCells a ->
+          Array.iteri
+            (fun i t -> a.(i) <- Value.to_float (cell_of_code lookup t))
+            raw
+        | VCells a ->
+          Array.iteri (fun i t -> a.(i) <- cell_of_code lookup t) raw
       end)
     bufs_raw;
   Cache_rt.restore cache

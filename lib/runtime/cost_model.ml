@@ -14,8 +14,12 @@ type t = {
   transcendental_remat : float;
       (** the same unit when re-evaluated inside a rematerialization chain
           of the reverse sweep: the recomputed expression is straight-line
-          and independent, so a superscalar core overlaps it with the
-          surrounding adjoint arithmetic instead of paying full latency *)
+          and independent of the adjoint dataflow, so a superscalar core
+          hides it almost entirely behind the surrounding adjoint
+          arithmetic — the charge models pipelined throughput, not the
+          serial latency [transcendental] models on the primal path
+          (calibrated against the paper's ~4x miniBUDE OMP overhead band,
+          EXPERIMENTS.md) *)
   mem : float;  (** load/store of one cell, same socket *)
   numa_remote_mult : float;  (** multiplier for cross-socket cell access *)
   atomic : float;  (** atomic read-modify-write *)
@@ -56,7 +60,7 @@ let default =
   {
     arith = 1.0;
     transcendental = 12.0;
-    transcendental_remat = 4.0;
+    transcendental_remat = 2.0;
     mem = 3.0;
     numa_remote_mult = 2.2;
     atomic = 18.0;

@@ -10,6 +10,19 @@ type result = {
   stats : Stats.t;
 }
 
+(* Every entry point funnels through this wrapper so [Stats.wall_ns]
+   reflects real host time spent simulating — including attempts that end
+   in a structured failure (deadline, rank kill), which is why the clock
+   is folded in via [Fun.protect]. *)
+let timed_run ~cost ~stats ?deadline body =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () ->
+      stats.Stats.wall_ns <-
+        stats.Stats.wall_ns
+        + int_of_float ((Unix.gettimeofday () -. t0) *. 1e9))
+    (fun () -> Sim.run ~cost ~stats ?deadline body)
+
 (** Allocate a float buffer in [ctx]'s address space, initialized from
     [a]. *)
 let floats (ctx : Interp.ctx) (a : float array) =
@@ -17,7 +30,9 @@ let floats (ctx : Interp.ctx) (a : float array) =
     Memory.alloc ctx.mem ~elem:Ty.Float ~size:(Array.length a) ~kind:Instr.Heap
       ~socket:0 ~site:"harness"
   in
-  Array.iteri (fun i x -> buf.data.(i) <- VFloat x) a;
+  (match buf.data with
+  | FCells dst -> Array.blit a 0 dst 0 (Array.length a)
+  | VCells _ -> assert false);
   VPtr { buf; off = 0 }
 
 let ints (ctx : Interp.ctx) (a : int array) =
@@ -25,7 +40,9 @@ let ints (ctx : Interp.ctx) (a : int array) =
     Memory.alloc ctx.mem ~elem:Ty.Int ~size:(Array.length a) ~kind:Instr.Heap
       ~socket:0 ~site:"harness"
   in
-  Array.iteri (fun i x -> buf.data.(i) <- VInt x) a;
+  (match buf.data with
+  | VCells dst -> Array.iteri (fun i x -> dst.(i) <- VInt x) a
+  | FCells _ -> assert false);
   VPtr { buf; off = 0 }
 
 let zeros ctx n = floats ctx (Array.make n 0.0)
@@ -43,7 +60,9 @@ let ptr_cell (ctx : Interp.ctx) (v : Value.t) =
     Memory.alloc ctx.mem ~elem:cell_ty ~size:1 ~kind:Instr.Gc ~socket:0
       ~site:"harness"
   in
-  buf.data.(0) <- v;
+  (match buf.data with
+  | VCells a -> a.(0) <- v
+  | FCells _ -> assert false);
   VPtr { buf; off = 0 }
 
 (** Read back a float buffer. *)
@@ -51,23 +70,23 @@ let to_floats (v : Value.t) =
   match v with
   | VPtr { buf; off } ->
     Array.init
-      (Array.length buf.data - off)
-      (fun i -> to_float buf.data.(off + i))
+      (cells_len buf.data - off)
+      (fun i -> to_float (get_cell buf.data (off + i)))
   | _ -> error "Exec.to_floats: not a pointer"
 
 (** Run [fname] on a single rank. [setup] builds the argument list (e.g.
     with {!floats}); it runs inside the simulation. [faults] injects a
     deterministic fault plan (bit flips into sealed cache memory are the
     only events that apply to a communicator-free run). *)
-let run ?(cfg = Interp.default_config) ?san ?faults ?deadline prog ~fname
-    ~setup =
+let run ?(cfg = Interp.default_config) ?san ?faults ?deadline
+    ?(call = Interp.call) prog ~fname ~setup =
   let stats = Stats.create () in
   let value, makespan, stats =
-    Sim.run ~cost:cfg.Interp.cost ~stats ?deadline (fun () ->
+    timed_run ~cost:cfg.Interp.cost ~stats ?deadline (fun () ->
         let faults = Option.map (Faults.make ~nranks:1) faults in
         let ctx = Interp.make_ctx ~cfg ?san ?faults ~prog () in
         let args = setup ctx in
-        let v = Interp.call ctx fname args in
+        let v = call ctx fname args in
         (* end-of-run ABFT sweep: an undetected flip must never leave
            the run as a silently wrong value *)
         Interp.verify_regions ctx;
@@ -86,11 +105,11 @@ let run ?(cfg = Interp.default_config) ?san ?faults ?deadline prog ~fname
     soon as it exists, so callers can audit communication state even when
     the run terminates with {!Sim.Deadlock}. *)
 let run_spmd ?(cfg = Interp.default_config) ?instrument ?faults ?mpi_ref ?san
-    ?deadline prog ~nranks ~fname ~setup =
+    ?deadline ?(call = Interp.call) prog ~nranks ~fname ~setup =
   let stats = Stats.create () in
   let values = Array.make nranks VUnit in
   let (), makespan, stats =
-    Sim.run ~cost:cfg.Interp.cost ~stats ?deadline (fun () ->
+    timed_run ~cost:cfg.Interp.cost ~stats ?deadline (fun () ->
         let mpi =
           Mpi_state.create ~cost:cfg.Interp.cost ~nranks ?faults
             ~coalesce:cfg.Interp.coalesce ()
@@ -111,7 +130,7 @@ let run_spmd ?(cfg = Interp.default_config) ?instrument ?faults ?mpi_ref ?san
           (fun ~tid:rank ~width:_ ->
             let ctx = ctxs.(rank) in
             let args = setup ctx ~rank in
-            values.(rank) <- Interp.call ctx fname args;
+            values.(rank) <- call ctx fname args;
             (* safety net: a program whose last adjoint op is a stage has
                no later blocking point to flush it — peers would park *)
             Mpi_state.adj_flush_all mpi ~rank;
@@ -135,7 +154,7 @@ let run_spmd_custom ?(cfg = Interp.default_config) ?instrument ?faults
     ?mpi_ref ?san ?deadline prog ~nranks ~body =
   let stats = Stats.create () in
   let (), makespan, stats =
-    Sim.run ~cost:cfg.Interp.cost ~stats ?deadline (fun () ->
+    timed_run ~cost:cfg.Interp.cost ~stats ?deadline (fun () ->
         let mpi =
           Mpi_state.create ~cost:cfg.Interp.cost ~nranks ?faults
             ~coalesce:cfg.Interp.coalesce ()
@@ -195,7 +214,8 @@ type recovery = {
     [policy] configures the tiered snapshot store when the supervisor
     creates it; ignored when an explicit [store] is passed. *)
 let run_spmd_recoverable ?(cfg = Interp.default_config) ?faults ?mpi_ref ?san
-    ?(max_restarts = 8) ?store ?policy ?deadline prog ~nranks ~fname ~setup =
+    ?(max_restarts = 8) ?store ?policy ?deadline ?(call = Interp.call) prog
+    ~nranks ~fname ~setup =
   let stats = Stats.create () in
   let store =
     match store with
@@ -208,7 +228,7 @@ let run_spmd_recoverable ?(cfg = Interp.default_config) ?faults ?mpi_ref ?san
     let outcome =
       try
         let (), makespan, _ =
-          Sim.run ~cost:cfg.Interp.cost ~stats ?deadline (fun () ->
+          timed_run ~cost:cfg.Interp.cost ~stats ?deadline (fun () ->
               if base > 0.0 then Sim.set_clock base;
               let mpi =
                 Mpi_state.create ~cost:cfg.Interp.cost ~nranks ~faults:plan
@@ -227,7 +247,7 @@ let run_spmd_recoverable ?(cfg = Interp.default_config) ?faults ?mpi_ref ?san
                 (fun ~tid:rank ~width:_ ->
                   let ctx = ctxs.(rank) in
                   let args = setup ctx ~rank in
-                  values.(rank) <- Interp.call ctx fname args;
+                  values.(rank) <- call ctx fname args;
                   Mpi_state.adj_flush_all mpi ~rank;
                   Mpi_state.check_any_alive mpi ~rank;
                   Interp.verify_regions ctx;
@@ -319,6 +339,8 @@ let ptr_table (ctx : Interp.ctx) (vs : Value.t list) =
       Memory.alloc ctx.mem ~elem:(Ty.Ptr p.buf.elem) ~size:(List.length vs)
         ~kind:Instr.Heap ~socket:0 ~site:"harness"
     in
-    List.iteri (fun i v -> buf.data.(i) <- v) vs;
+    (match buf.data with
+    | VCells a -> List.iteri (fun i v -> a.(i) <- v) vs
+    | FCells _ -> assert false);
     VPtr { buf; off = 0 }
   | _ -> error "Exec.ptr_table: not a pointer"

@@ -35,7 +35,10 @@ let alloc ?(site = "?") t ~elem ~size ~kind ~socket =
     {
       bid = t.next_bid;
       elem;
-      data = Array.make size (zero_of elem);
+      data =
+        (match elem with
+        | Ty.Float -> FCells (Array.make size 0.0)
+        | _ -> VCells (Array.make size (zero_of elem)));
       kind;
       rank = t.rank;
       socket;
@@ -59,7 +62,7 @@ let free ?site t (buf : buffer) =
       (Option.value buf.fsite ~default:"?");
   buf.freed <- true;
   buf.fsite <- site;
-  t.live_cells <- t.live_cells - Array.length buf.data
+  t.live_cells <- t.live_cells - cells_len buf.data
 
 (* [who] names the accessing context (function or harness entry point) so
    use-after-free reports name both ends of the stale access. *)
@@ -69,26 +72,28 @@ let check_access ?(who = "?") (p : ptr) idx =
       "use after free: buffer %d size %d (rank %d, alloc at %s, freed at %s, \
        stale access from %s)"
       p.buf.bid
-      (Array.length p.buf.data)
+      (cells_len p.buf.data)
       p.buf.rank p.buf.asite
       (Option.value p.buf.fsite ~default:"?")
       who;
   let i = p.off + idx in
-  if i < 0 || i >= Array.length p.buf.data then
+  if i < 0 || i >= cells_len p.buf.data then
     error "out of bounds: buffer %d size %d index %d (alloc at %s)" p.buf.bid
-      (Array.length p.buf.data) i p.buf.asite;
+      (cells_len p.buf.data) i p.buf.asite;
   i
 
 let load ?who (p : ptr) idx =
   let i = check_access ?who p idx in
-  p.buf.data.(i)
+  get_cell p.buf.data i
 
 let store ?who (p : ptr) idx v =
   let i = check_access ?who p idx in
-  if not (Ty.equal (Value.ty v) p.buf.elem) then
+  match p.buf.data, v with
+  | FCells a, VFloat x -> a.(i) <- x
+  | VCells a, v when Ty.equal (Value.ty v) p.buf.elem -> a.(i) <- v
+  | _ ->
     error "store type mismatch: %a into %a buffer" Ty.pp (Value.ty v) Ty.pp
-      p.buf.elem;
-  p.buf.data.(i) <- v
+      p.buf.elem
 
 (** Collect GC buffers that are neither preserved nor reachable from
     [roots] (transitively through stored pointers). Freed buffers are
@@ -99,7 +104,11 @@ let gc_collect t ~roots =
     match v with
     | VPtr p when not (Hashtbl.mem reachable p.buf.bid) ->
       Hashtbl.add reachable p.buf.bid ();
-      if not p.buf.freed then Array.iter mark p.buf.data
+      if not p.buf.freed then begin
+        match p.buf.data with
+        | VCells a -> Array.iter mark a
+        | FCells _ -> ()
+      end
     | VPtr _ | VUnit | VBool _ | VInt _ | VFloat _ | VNull _ -> ()
   in
   List.iter mark roots;

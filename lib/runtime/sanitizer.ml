@@ -218,7 +218,7 @@ let on_access t ~rank ~tid ~region ~epoch ~(buf : Value.buffer) ~cell ~kind
 let on_alloc t ~rank ~(buf : Value.buffer) =
   if t.mem_on then
     Hashtbl.replace t.init_maps (rank, buf.bid)
-      (Bytes.make (Array.length buf.data) '\000')
+      (Bytes.make (Value.cells_len buf.data) '\000')
 
 let on_store_init t ~rank ~(buf : Value.buffer) ~cell =
   if t.mem_on then
@@ -259,7 +259,7 @@ let report_leaks t ~rank ~(mem : Memory.t) =
            then
              record t Leak ~rank ~time:0.0
                "leaked buffer %d: %d cells allocated at %s, never freed"
-               b.bid (Array.length b.data) b.asite)
+               b.bid (Value.cells_len b.data) b.asite)
 
 (* ------------------------------------------------------------------ *)
 (* GradSan                                                             *)

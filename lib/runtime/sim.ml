@@ -197,6 +197,14 @@ let charge c =
 let set_clock t = (self ()).clock <- t
 let socket () = (self ()).socket
 
+(** The armed deadline of the running engine, as
+    [(virtual_budget, wall_cutoff, wall_ms)] — read by the compiled
+    execution engine so its native charge path enforces the same limits
+    the interpreter's {!charge} does. *)
+let deadline_view () =
+  let e = eng () in
+  (e.vdeadline, e.wall_stop, e.wall_ms)
+
 let enqueue e st thunk = Queue.add (st, thunk) e.ready_q
 
 let resume e st k =

@@ -52,6 +52,10 @@ type t = {
   mutable sdc_recovered : int;  (** detections repaired (retransmit/restore) *)
   mutable msgs_retransmitted : int;
       (** packed messages re-fetched from the sender after a bad trailer *)
+  mutable wall_ns : int;
+      (** host wall-clock nanoseconds spent inside the simulator run(s)
+          that produced these counters — real time, not modeled time, so
+          it is *not* printed by {!pp} (figures compare virtual time) *)
 }
 
 let create () =
@@ -97,6 +101,7 @@ let create () =
     sdc_detected = 0;
     sdc_recovered = 0;
     msgs_retransmitted = 0;
+    wall_ns = 0;
   }
 
 let pp ppf s =
@@ -183,4 +188,5 @@ let merge ~into (s : t) =
   into.sdc_injected <- into.sdc_injected + s.sdc_injected;
   into.sdc_detected <- into.sdc_detected + s.sdc_detected;
   into.sdc_recovered <- into.sdc_recovered + s.sdc_recovered;
-  into.msgs_retransmitted <- into.msgs_retransmitted + s.msgs_retransmitted
+  into.msgs_retransmitted <- into.msgs_retransmitted + s.msgs_retransmitted;
+  into.wall_ns <- into.wall_ns + s.wall_ns

@@ -17,10 +17,16 @@ type t =
 
 and ptr = { buf : buffer; off : int }
 
+(* Float buffers store raw floats ([FCells]) so the hot Load/Store path of
+   the execution engine moves unboxed values; every other element type
+   keeps boxed cells ([VCells]). The [Memory] API boxes on [load], so the
+   interpreter is unaffected by the representation. *)
+and cells = VCells of t array | FCells of float array
+
 and buffer = {
   bid : int;
   elem : Ty.t;
-  mutable data : t array;
+  mutable data : cells;
   kind : Instr.alloc_kind;
   rank : int;  (** owning address space *)
   socket : int;  (** NUMA placement: socket of the allocating strand *)
@@ -33,6 +39,14 @@ and buffer = {
 exception Runtime_error of string
 
 let error fmt = Fmt.kstr (fun s -> raise (Runtime_error s)) fmt
+
+let cells_len = function
+  | VCells a -> Array.length a
+  | FCells a -> Array.length a
+
+(* Boxing view of one cell, representation-independent. *)
+let get_cell cells i =
+  match cells with VCells a -> a.(i) | FCells a -> VFloat a.(i)
 
 let ty = function
   | VUnit -> Ty.Unit

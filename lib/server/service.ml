@@ -65,6 +65,9 @@ type request = {
   rq_inject_nan : int option;
   rq_san : Sanitizer.mode option;
   rq_deadline : Sim.deadline;
+  rq_engine : Parad_engine.Engine.choice;
+      (** execution substrate: the tree-walking interpreter or the lowered
+          slot-addressed engine (sequential / work-stealing pool) *)
 }
 
 let lulesh_flavor = function
@@ -186,6 +189,14 @@ let request_of_json ~default_watchdog_ms j =
     in
     { Sim.dl_cycles = cyc; dl_wall_ms = ms }
   in
+  let engine =
+    match Json.str_field "engine" j with
+    | None -> Parad_engine.Engine.Interp
+    | Some s -> (
+      match Parad_engine.Engine.choice_of_string s with
+      | Some e -> e
+      | None -> invalid "unknown engine %S (interp|seq|par)" s)
+  in
   {
     rq_id = id;
     rq_app = app;
@@ -202,6 +213,7 @@ let request_of_json ~default_watchdog_ms j =
     rq_inject_nan = inject_nan;
     rq_san = san;
     rq_deadline = deadline;
+    rq_engine = engine;
   }
 
 (** Canonical plan-cache key (DESIGN.md "gradient service"):
@@ -395,7 +407,8 @@ let attempt rq plan ~faults =
     (* binomial driver: no sanitizer hook, but fault-supervised *)
     let b =
       L.gradient_binomial ~nthreads:rq.rq_nthreads ~nranks:rq.rq_nranks
-        ?faults ~compiled:c ~deadline ~budget:rq.rq_budget
+        ?faults ~compiled:c ~deadline ~engine:rq.rq_engine
+        ~budget:rq.rq_budget
         (match rq.rq_app with Lulesh fl -> fl | Bude _ -> assert false)
         (lulesh_input rq)
     in
@@ -408,8 +421,8 @@ let attempt rq plan ~faults =
   | Plulesh c, Lulesh _ ->
     let g =
       L.gradient_compiled ~nthreads:rq.rq_nthreads ~nranks:rq.rq_nranks
-        ?faults ?san ?inject_nan:rq.rq_inject_nan ~deadline c
-        (lulesh_input rq)
+        ?faults ?san ?inject_nan:rq.rq_inject_nan ~deadline
+        ~engine:rq.rq_engine c (lulesh_input rq)
     in
     ( sanitizer_class (),
       digest_lulesh g,
@@ -419,8 +432,8 @@ let attempt rq plan ~faults =
   | Pbude c, Bude _ ->
     let inp = MB.deck ~nposes:rq.rq_nposes ~natlig:4 ~natpro:6 in
     let g =
-      MB.gradient_compiled ~nthreads:rq.rq_nthreads ?san ?faults ~deadline c
-        inp
+      MB.gradient_compiled ~nthreads:rq.rq_nthreads ?san ?faults ~deadline
+        ~engine:rq.rq_engine c inp
     in
     ( sanitizer_class (),
       digest_bude g,

@@ -79,7 +79,7 @@ let buf_slots t (buf : buffer) =
   match Hashtbl.find_opt t.buf_slots buf.bid with
   | Some a -> a
   | None ->
-    let a = Array.make (Array.length buf.data) 0 in
+    let a = Array.make (cells_len buf.data) 0 in
     Hashtbl.replace t.buf_slots buf.bid a;
     a
 

@@ -456,4 +456,48 @@ awk -v o="$POVH" -v t="$OVH_MAX" 'BEGIN { exit !(o <= t) }' || {
 }
 echo "sdc gate: silent=0, coverage >= ${COV_MIN}% on all campaigns, protect overhead ${POVH}x <= ${OVH_MAX}x"
 
+# ---- execution-engine wall-clock gate ----
+# The engine figure runs the headline LULESH OMP 64-thread gradient on
+# all three substrates and records wall-clock from Stats.wall_ns in
+# BENCH_engine.json. Gates: (1) every row must be bit-identical to the
+# interpreter ("bitwise": true — fig_engine itself exits 1 otherwise);
+# (2) the lowered sequential engine's speedup over the interpreter must
+# stay at or above the checked-in floor (bench/engine_threshold);
+# (3) on hosts with a real extra core for the domain pool, par must not
+# be slower than seq.
+
+echo "== execution-engine gate =="
+dune exec bench/main.exe -- --quick --figure engine > /tmp/parad-eng.out 2>&1 || {
+  echo "FAIL: engine benchmark did not run (or a gradient diverged)"
+  cat /tmp/parad-eng.out
+  exit 1
+}
+tail -n 12 /tmp/parad-eng.out
+ENG_MIN=$(cat bench/engine_threshold)
+if grep -q '"bitwise": false' BENCH_engine.json; then
+  echo "FAIL: an engine row is not bit-identical to the interpreter"
+  exit 1
+fi
+SEQ_ROW=$(grep -o '"name": "lulesh_omp/seq",[^}]*' BENCH_engine.json)
+[ -n "$SEQ_ROW" ] || {
+  echo "FAIL: no lulesh_omp/seq row in BENCH_engine.json"
+  exit 1
+}
+SEQ_SP=$(echo "$SEQ_ROW" | grep -o '"speedup": [0-9.]*' | awk '{print $2}')
+awk -v s="$SEQ_SP" -v t="$ENG_MIN" 'BEGIN { exit !(s >= t) }' || {
+  echo "FAIL: seq engine speedup ${SEQ_SP}x below floor ${ENG_MIN}x"
+  exit 1
+}
+CORES=$(echo "$SEQ_ROW" | grep -o '"cores": [0-9]*' | awk '{print $2}')
+if [ "${CORES:-1}" -ge 2 ]; then
+  SEQ_NS=$(echo "$SEQ_ROW" | grep -o '"wall_ns": [0-9]*' | awk '{print $2}')
+  PAR_NS=$(grep -o '"name": "lulesh_omp/par",[^}]*' BENCH_engine.json \
+    | grep -o '"wall_ns": [0-9]*' | awk '{print $2}')
+  [ "${PAR_NS:-0}" -le "${SEQ_NS:-0}" ] || {
+    echo "FAIL: par engine (${PAR_NS} ns) slower than seq (${SEQ_NS} ns) on a ${CORES}-core host"
+    exit 1
+  }
+fi
+echo "engine gate: seq ${SEQ_SP}x >= ${ENG_MIN}x, bit-identical on all rows (cores=${CORES})"
+
 echo "all checks passed"

@@ -1,0 +1,170 @@
+(* Execution engine (ISSUE 9): the lowered slot-addressed runners must be
+   bit-identical to the tree-walking interpreter — same gradients by FNV
+   digest, same virtual-time makespan, same instruction counts — across
+   every app x flavor program, and the structured-failure machinery
+   (deadlines, fault kills, SDC detection) must behave identically on the
+   engine path. *)
+
+module L = Apps_lulesh.Lulesh
+module MB = Apps_minibude.Minibude
+module E = Parad_engine.Engine
+module S = Parad_server.Service
+open Parad_runtime
+
+(* run the par tests on a real 2-domain pool even on single-core hosts:
+   the pool is global and lazy, so the size must be pinned before the
+   first engine=Par execution *)
+let () = if Sys.getenv_opt "PARAD_DOMAINS" = None then Unix.putenv "PARAD_DOMAINS" "2"
+
+let tiny = { L.nx = 2; ny = 2; nz = 4; niter = 3; dt0 = 0.01; escale = 1.0 }
+
+let lulesh_flavors =
+  [
+    L.Seq, 1, 1;
+    L.Omp, 4, 1;
+    L.Raja_, 3, 1;
+    L.Mpi, 1, 2;
+    L.Hybrid, 2, 2;
+    L.RajaMpi, 2, 2;
+    L.Jlmpi, 1, 2;
+  ]
+
+let check_same name (a : L.grad_result) (b : L.grad_result) =
+  Alcotest.(check string)
+    (name ^ " digest") (S.digest_lulesh a) (S.digest_lulesh b);
+  Alcotest.(check (float 0.0))
+    (name ^ " makespan") a.L.g_makespan b.L.g_makespan;
+  Alcotest.(check int)
+    (name ^ " instrs") a.L.g_stats.Stats.instrs b.L.g_stats.Stats.instrs;
+  Alcotest.(check int)
+    (name ^ " flops") a.L.g_stats.Stats.flops b.L.g_stats.Stats.flops;
+  Alcotest.(check int)
+    (name ^ " atomics") a.L.g_stats.Stats.atomics b.L.g_stats.Stats.atomics;
+  Alcotest.(check int)
+    (name ^ " barriers") a.L.g_stats.Stats.barriers b.L.g_stats.Stats.barriers
+
+let test_lulesh_bit_identity () =
+  List.iter
+    (fun (flavor, nthreads, nranks) ->
+      let c = L.compile flavor in
+      let g engine = L.gradient_compiled ~nthreads ~nranks ~engine c tiny in
+      let base = g E.Interp in
+      check_same (L.flavor_name flavor ^ " seq") base (g E.Seq);
+      check_same (L.flavor_name flavor ^ " par") base (g E.Par))
+    lulesh_flavors
+
+let bude_inp = MB.deck ~nposes:12 ~natlig:6 ~natpro:10
+
+let test_bude_bit_identity () =
+  List.iter
+    (fun variant ->
+      let c = MB.compile ~ntasks:3 variant in
+      let g engine = MB.gradient_compiled ~engine c bude_inp in
+      let base = g E.Interp in
+      let check name (x : MB.grad_result) =
+        Alcotest.(check string)
+          (MB.variant_name variant ^ " " ^ name ^ " digest")
+          (S.digest_bude base) (S.digest_bude x);
+        Alcotest.(check (float 0.0))
+          (MB.variant_name variant ^ " " ^ name ^ " makespan")
+          base.MB.g_makespan x.MB.g_makespan;
+        Alcotest.(check int)
+          (MB.variant_name variant ^ " " ^ name ^ " instrs")
+          base.MB.g_stats.Stats.instrs x.MB.g_stats.Stats.instrs
+      in
+      check "seq" (g E.Seq);
+      check "par" (g E.Par))
+    [ MB.Seq; MB.Omp; MB.Julia ]
+
+let test_primal_identity () =
+  (* primal runs (Exec.run / run_spmd with the engine's call) agree too *)
+  let base = (L.run L.Omp ~nthreads:4 tiny).L.total_energy in
+  List.iter
+    (fun engine ->
+      let r = L.run ~nthreads:4 ~engine L.Omp tiny in
+      Alcotest.(check (float 0.0))
+        ("omp primal " ^ E.choice_to_string engine)
+        base r.L.total_energy)
+    [ E.Seq; E.Par ];
+  let eb = (MB.run ~nthreads:3 MB.Julia bude_inp).MB.energies in
+  let es = (MB.run ~nthreads:3 ~engine:E.Seq MB.Julia bude_inp).MB.energies in
+  Alcotest.(check bool) "julia primal energies" true (eb = es)
+
+let test_binomial_engine_identity () =
+  (* the revolve driver's inner runs ride the engine and must reproduce
+     the monolithic interpreter gradient bit-for-bit *)
+  let c = L.compile ~steps:true L.Omp in
+  let mono = L.gradient_compiled ~nthreads:4 c tiny in
+  let b = L.gradient_binomial ~nthreads:4 ~engine:E.Seq ~compiled:c ~budget:2
+      L.Omp tiny
+  in
+  Alcotest.(check string)
+    "binomial seq-engine digest" (S.digest_lulesh mono)
+    (S.digest_lulesh b.L.b_grad)
+
+let test_deadline_identical () =
+  (* a virtual-cycle deadline trips at the exact same virtual clock on
+     both substrates (exit class 6 at the CLI) *)
+  let c = L.compile L.Omp in
+  let deadline = { Sim.dl_cycles = Some 50_000.0; dl_wall_ms = None } in
+  let hit engine =
+    match L.gradient_compiled ~nthreads:4 ~deadline ~engine c tiny with
+    | _ -> Alcotest.fail "deadline did not trip"
+    | exception Sim.Deadline_exceeded d -> d.Sim.de_at
+  in
+  Alcotest.(check (float 0.0))
+    "same trip clock" (hit E.Interp) (hit E.Seq)
+
+let test_kill_recovery_on_engine () =
+  (* supervised recovery with a rank kill on the engine path converges to
+     the faultless interpreter digest *)
+  let c = L.compile L.Mpi in
+  let clean = L.gradient_compiled ~nranks:2 c tiny in
+  let plan = Faults.plan_of_spec ~nranks:2 "kill:victim=1,at=60000" in
+  let faulty, recov =
+    L.gradient_recoverable_compiled ~nranks:2 ~faults:plan ~max_restarts:3
+      ~engine:E.Seq c tiny
+  in
+  Alcotest.(check string)
+    "recovered digest" (S.digest_lulesh clean) (S.digest_lulesh faulty);
+  Alcotest.(check bool) "restarted" true (recov.Exec.r_restarts >= 1)
+
+let test_sdc_detected_on_engine () =
+  (* an unsupervised bit flip must still surface as a structured
+     Corrupt_region (exit class 9) when the run executes on the engine *)
+  let c = L.compile L.Mpi in
+  let plan = Faults.plan_of_spec ~nranks:2 "none:flip=1@3@31@50" in
+  match L.gradient_compiled ~nranks:2 ~faults:plan ~engine:E.Seq c tiny with
+  | _ -> Alcotest.fail "flip not detected on engine path"
+  | exception Checkpoint.Corrupt_region { cr_rank; _ } ->
+    Alcotest.(check int) "victim rank named" 1 cr_rank
+
+let test_wall_ns_populated () =
+  let c = L.compile L.Omp in
+  let g = L.gradient_compiled ~nthreads:4 ~engine:E.Seq c tiny in
+  Alcotest.(check bool) "wall_ns measured" true (g.L.g_stats.Stats.wall_ns > 0)
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "bit-identity",
+        [
+          Alcotest.test_case "lulesh all flavors" `Quick
+            test_lulesh_bit_identity;
+          Alcotest.test_case "minibude all variants" `Quick
+            test_bude_bit_identity;
+          Alcotest.test_case "primal runs" `Quick test_primal_identity;
+          Alcotest.test_case "binomial driver" `Quick
+            test_binomial_engine_identity;
+        ] );
+      ( "structured failures",
+        [
+          Alcotest.test_case "deadline same clock" `Quick
+            test_deadline_identical;
+          Alcotest.test_case "kill recovery" `Quick
+            test_kill_recovery_on_engine;
+          Alcotest.test_case "sdc detection" `Quick
+            test_sdc_detected_on_engine;
+          Alcotest.test_case "wall_ns" `Quick test_wall_ns_populated;
+        ] );
+    ]
