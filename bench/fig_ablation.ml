@@ -2,7 +2,9 @@
    - abl-preopt: optimize before differentiating (§V-E)
    - abl-mincut: cache-everything vs recompute-vs-cache planning (§IV-C)
    - abl-tl: thread-locality analysis vs the all-atomic fallback (§VI-A1)
-   - abl-fuse: post-AD fork fusion of the fwd/rev pair (Fig 4) *)
+   - abl-fuse: post-AD fork fusion of the fwd/rev pair (Fig 4)
+   - abl-remat: how the mincut win depends on the rematerialized
+     transcendental rate (the `parad grad --transcendental-remat` knob) *)
 
 open Util
 module Pipe = Parad_opt.Pipeline
@@ -43,6 +45,36 @@ let run ~quick =
         (if depth = 0 then "(cache everything)" else "                  ")
         t cells peak)
     (List.sort_uniq compare [ 0; 4; top ]);
+  subheader
+    "abl-remat: rematerialized-transcendental rate (LULESH OMP, depth 4)";
+  (* recompute-vs-cache plans only beat cache-everything while a
+     transcendental re-evaluated in a remat chain is cheaper than one on
+     the primal path; sweep the remat rate up to the primal rate to show
+     how the margin closes *)
+  let cm = Parad_runtime.Cost_model.default in
+  let g4 rate =
+    let cost = { cm with Parad_runtime.Cost_model.transcendental_remat = rate } in
+    (L.gradient ~cost ~nthreads:w
+       ~opts:{ Plan.default_options with Plan.recompute_depth = 4 }
+       L.Omp inp)
+      .L.g_makespan
+  in
+  let cache_all =
+    (L.gradient ~nthreads:w
+       ~opts:{ Plan.default_options with Plan.recompute_depth = 0 }
+       L.Omp inp)
+      .L.g_makespan
+  in
+  List.iter
+    (fun rate ->
+      Printf.printf
+        "  remat rate %5.1f : %12.0f cycles (cache-everything %12.0f)\n"
+        rate (g4 rate) cache_all)
+    [
+      cm.Parad_runtime.Cost_model.transcendental_remat;
+      6.0;
+      cm.Parad_runtime.Cost_model.transcendental;
+    ];
   subheader "abl-tl: thread-locality analysis vs all-atomic fallback";
   let g atomic_always =
     let r =

@@ -5,7 +5,7 @@
 
    Usage: main.exe [--quick] [--figure fig8|fig9|fig10|fig11|overhead|
                               verify|ablation|checkpoint|serve|sdc|engine|
-                              micro]
+                              batch|micro]
                    [--recompute-depth N]
 
    Figure drivers record machine-readable results; the run writes them
@@ -24,6 +24,7 @@ let figures =
     "serve", Fig_serve.run;
     "sdc", Fig_sdc.run;
     "engine", Fig_engine.run;
+    "batch", Fig_batch.run;
   ]
 
 (* ---- bechamel micro-benchmarks (real time) ---- *)
@@ -110,4 +111,5 @@ let () =
   Util.write_serve_json ~quick;
   Util.write_sdc_json ~quick;
   Util.write_engine_json ~quick;
+  Util.write_batch_json ~quick;
   Printf.printf "\nbench: done.\n"

@@ -450,6 +450,61 @@ let write_engine_json ~quick =
     Printf.printf "wrote %s (%d rows)\n" path (List.length rows)
   end
 
+(* ---- machine-readable batched-adjoint results (BENCH_batch.json) ----
+
+   The batch figure appends one record per (program, k) pair comparing
+   one k-lane batched sweep against k sequential single-seed gradients
+   on the same engine. scripts/check.sh's batch gate greps the
+   lulesh_omp/k8 row, compares its speedup against bench/batch_threshold,
+   and requires bitwise=true (every lane column equal to its standalone
+   run) everywhere. *)
+
+type batch_record = {
+  b_name : string;
+  b_seeds : int;
+  b_wall_ns : float;  (** one batched k-lane sweep *)
+  b_solo_ns : float;  (** sum of k single-seed sweeps, same engine *)
+  b_speedup : float;  (** solo / batched *)
+  b_bitwise : bool;  (** every lane column equals its standalone run *)
+}
+
+let batch_records : batch_record list ref = ref []
+
+let record_batch ~name ~seeds ~wall_ns ~solo_ns ~bitwise =
+  batch_records :=
+    {
+      b_name = name;
+      b_seeds = seeds;
+      b_wall_ns = wall_ns;
+      b_solo_ns = solo_ns;
+      b_speedup = (if wall_ns > 0.0 then solo_ns /. wall_ns else 0.0);
+      b_bitwise = bitwise;
+    }
+    :: !batch_records
+
+let write_batch_json ~quick =
+  if !batch_records <> [] then begin
+    let path = "BENCH_batch.json" in
+    let oc = open_out path in
+    Printf.fprintf oc
+      "{\n  \"schema\": \"parad-bench-batch/1\",\n  \"quick\": %b,\n\
+      \  \"configs\": [\n"
+      quick;
+    let rows = List.rev !batch_records in
+    let last = List.length rows - 1 in
+    List.iteri
+      (fun i r ->
+        Printf.fprintf oc
+          "    {\"name\": %S, \"seeds\": %d, \"wall_ns\": %.0f, \
+           \"solo_ns\": %.0f, \"speedup\": %.4f, \"bitwise\": %b}%s\n"
+          r.b_name r.b_seeds r.b_wall_ns r.b_solo_ns r.b_speedup r.b_bitwise
+          (if i = last then "" else ","))
+      rows;
+    Printf.fprintf oc "  ]\n}\n";
+    close_out oc;
+    Printf.printf "wrote %s (%d rows)\n" path (List.length rows)
+  end
+
 let write_bench_json ~quick =
   if !ovh_records <> [] || !micro_records <> [] then begin
     let path = "BENCH_overhead.json" in

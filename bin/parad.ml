@@ -331,9 +331,60 @@ let grad_plan_arg =
            corruption — are detected by checksums and surface in the \
            stats line (sdc_inj/sdc_det/sdc_rec/retrans)")
 
+(* Zero or negative lane counts have no meaning to the batched planner. *)
+let seeds_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | None -> Error (`Msg (Printf.sprintf "invalid seed count %S" s))
+    | Some n when n >= 1 -> Ok n
+    | Some n ->
+      Error
+        (`Msg
+           (Printf.sprintf
+              "--seeds must be at least 1 (got %d); 1 is the classic                single-seed sweep"
+              n))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let seeds_arg =
+  Arg.(
+    value & opt seeds_conv 1
+    & info [ "seeds" ]
+        ~doc:
+          "number of return seeds to propagate in one batched reverse            sweep (k-stride adjoint planes; lane l is seeded with l+1 and            is bit-identical to a standalone run with --seeds 1 scaled by            that seed). Shared-memory flavors on a single rank only")
+
+(* The remat rate must stay positive: it is a virtual-cycle charge. *)
+let remat_rate_conv =
+  let parse s =
+    match float_of_string_opt s with
+    | None -> Error (`Msg (Printf.sprintf "invalid remat rate %S" s))
+    | Some r when r > 0.0 -> Ok r
+    | Some r ->
+      Error
+        (`Msg
+           (Printf.sprintf
+              "--transcendental-remat must be positive (got %g): it is                the virtual-cycle cost of a rematerialized transcendental"
+              r))
+  in
+  Arg.conv (parse, Format.pp_print_float)
+
+let remat_rate_arg =
+  Arg.(
+    value
+    & opt (some remat_rate_conv) None
+    & info [ "transcendental-remat" ]
+        ~doc:
+          (Printf.sprintf
+             "virtual-cycle cost of a transcendental re-evaluated inside a               remat chain of the reverse sweep (default %g, vs %g on the               primal path): models cache-hot recomputation; raising it               toward the primal rate shows how much of the mincut               planner's win depends on cheap rematerialization"
+             Parad_runtime.Cost_model.default
+               .Parad_runtime.Cost_model.transcendental_remat
+             Parad_runtime.Cost_model.default
+               .Parad_runtime.Cost_model.transcendental))
+
 let grad_cmd =
   let run flavor ranks threads size iters recompute_depth no_coalesce
-      snap_budget snap_tiers deadline_ms deadline_cycles plan engine =
+      snap_budget snap_tiers deadline_ms deadline_cycles plan engine seeds
+      remat_rate =
     let inp =
       {
         L.nx = size;
@@ -361,12 +412,52 @@ let grad_cmd =
             exit 2)
         plan
     in
+    let cost =
+      Option.map
+        (fun r ->
+          {
+            Parad_runtime.Cost_model.default with
+            Parad_runtime.Cost_model.transcendental_remat = r;
+          })
+        remat_rate
+    in
+    if seeds > 1 && ranks > 1 then begin
+      Printf.eprintf
+        "--seeds %d needs a shared-memory run: the MPI adjoint runtime \
+         exchanges single-stride planes (got --ranks %d)\n"
+        seeds ranks;
+      exit 2
+    end;
+    if seeds > 1 && snap_budget <> None then begin
+      Printf.eprintf
+        "--seeds cannot be combined with --snap-budget: the binomial \
+         driver reverses one seed per sweep\n";
+      exit 2
+    end;
     guarded (fun () ->
         let p = L.run ~nranks:ranks ~nthreads:threads flavor inp in
         let g, extra =
           match snap_budget with
+          | None when seeds > 1 ->
+            let c =
+              L.compile
+                ~opts:{ opts with Parad_core.Plan.seeds }
+                flavor
+            in
+            let d_rets =
+              Array.init seeds (fun l -> 1.0 +. float_of_int l)
+            in
+            let gs =
+              L.gradient_batched ?cost ~nthreads:threads ?faults ?deadline
+                ~engine c ~d_rets inp
+            in
+            Printf.printf
+              "batched: %d seed lanes in one reverse sweep (lane l seeded \
+               with l+1)\n"
+              seeds;
+            gs.(0), None
           | None ->
-            ( L.gradient ~nranks:ranks ~nthreads:threads ~opts ?faults
+            ( L.gradient ?cost ~nranks:ranks ~nthreads:threads ~opts ?faults
                 ?deadline ~engine flavor inp,
               None )
           | Some budget ->
@@ -381,9 +472,11 @@ let grad_cmd =
           "%s: forward %.0f cycles, gradient %.0f cycles, overhead %.2fx\n"
           (L.flavor_name flavor) p.L.makespan g.L.g_makespan
           (g.L.g_makespan /. p.L.makespan);
-        Printf.printf "engine %s: gradient wall %.2f ms\n"
+        Printf.printf
+          "engine %s: gradient wall %.2f ms, %d interpreter fallback(s)\n"
           (Parad_engine.Engine.choice_to_string engine)
-          (float_of_int g.L.g_stats.Parad_runtime.Stats.wall_ns /. 1e6);
+          (float_of_int g.L.g_stats.Parad_runtime.Stats.wall_ns /. 1e6)
+          g.L.g_stats.Parad_runtime.Stats.eng_fallbacks;
         (match extra with
         | None -> ()
         | Some b ->
@@ -416,7 +509,7 @@ let grad_cmd =
       const run $ flavor_arg $ ranks_arg $ threads_arg $ size_arg $ iters_arg
       $ recompute_depth_arg $ no_coalesce_arg $ snap_budget_arg
       $ snap_tiers_arg $ deadline_ms_arg $ deadline_cycles_arg
-      $ grad_plan_arg $ engine_arg)
+      $ grad_plan_arg $ engine_arg $ seeds_arg $ remat_rate_arg)
 
 let check_cmd =
   let run () =
@@ -682,6 +775,8 @@ let recover_cmd =
       in
       let finish (recov : Exec.recovery) (stats : Parad_runtime.Stats.t) =
         report_recovery recov;
+        Printf.printf "wall: %.2f ms inside the simulator (replays included)\n"
+          (float_of_int stats.wall_ns /. 1e6);
         let issues = audit_issues () in
         let degraded = issues <> [] || stats.messages_lost > 0 in
         if recov.Exec.r_restarts > 0 && degraded then exit 4

@@ -766,10 +766,11 @@ let compile ?(opts = Parad_core.Plan.default_options) ?(post_opt = true)
         c_steps;
   }
 
-let config_of ~nthreads (c : compiled) =
+let config_of ?cost ~nthreads (c : compiled) =
   {
     Interp.default_config with
     nthreads;
+    cost = Option.value cost ~default:Interp.default_config.Interp.cost;
     coalesce = c.c_opts.Parad_core.Plan.coalesce_comm;
   }
 
@@ -777,7 +778,8 @@ let config_of ~nthreads (c : compiled) =
    zero shadow buffers (coords, velocities, energy), the nodelist and
    mass shadows, the loss seed on rank 0, and the scalar-adjoint
    spill cell for dt0. *)
-let grad_setup ?inject_nan flavor (inp : input) ~nranks ~shadows ctx ~rank =
+let grad_setup ?inject_nan ?(d_ret = 1.0) flavor (inp : input) ~nranks
+    ~shadows ctx ~rank =
   let args, bufs, m = setup_args ?inject_nan flavor inp ~nranks ctx ~rank in
   ignore bufs;
   let jl = julia flavor in
@@ -796,7 +798,7 @@ let grad_setup ?inject_nan flavor (inp : input) ~nranks ~shadows ctx ~rank =
   let d_args = Exec.zeros ctx 1 in
   args
   @ Array.to_list (Array.map fst svals)
-  @ [ d_nl; d_mass; Value.VFloat (if rank = 0 then 1.0 else 0.0); d_args ]
+  @ [ d_nl; d_mass; Value.VFloat (if rank = 0 then d_ret else 0.0); d_args ]
 
 let pack_grad ~nranks ~shadows ~values ~makespan ~stats =
   {
@@ -811,29 +813,101 @@ let pack_grad ~nranks ~shadows ~values ~makespan ~stats =
     interpretation — no pipeline work — so repeated calls with equal
     inputs are bit-identical to each other and to a cold
     {!gradient}. *)
-let gradient_compiled ?(nthreads = 1) ?(nranks = 1) ?faults ?mpi_ref ?san
-    ?inject_nan ?deadline ?(engine = Engine.Interp) (c : compiled)
+let gradient_compiled ?cost ?(nthreads = 1) ?(nranks = 1) ?faults ?mpi_ref
+    ?san ?inject_nan ?deadline ?d_ret ?(engine = Engine.Interp) (c : compiled)
     (inp : input) : grad_result =
-  let cfg = config_of ~nthreads c in
+  let cfg = config_of ?cost ~nthreads c in
   let shadows = Array.make nranks [||] in
   let res =
     Exec.run_spmd ~cfg ?faults ?mpi_ref ?san ?deadline
       ~call:(Engine.call_fn c.c_eng engine) c.c_dprog ~nranks
       ~fname:c.c_dname
-      ~setup:(grad_setup ?inject_nan c.c_flavor inp ~nranks ~shadows)
+      ~setup:(grad_setup ?inject_nan ?d_ret c.c_flavor inp ~nranks ~shadows)
   in
   pack_grad ~nranks ~shadows ~values:res.Exec.values
     ~makespan:res.Exec.makespan ~stats:res.Exec.stats
+
+(* ---- batched multi-seed adjoints (ISSUE 10) ----
+
+   A plan compiled with [opts.seeds = k > 1] emits k-stride adjoint
+   planes: one forward/taping pass and one reverse sweep propagate all k
+   return seeds, sharing the tape, the cache stream, and every primal
+   re-evaluation across lanes. *)
+
+let grad_setup_batched flavor (inp : input) ~seeds ~d_rets ~shadows ctx ~rank
+    =
+  let args, bufs, m = setup_args flavor inp ~nranks:1 ctx ~rank in
+  ignore bufs;
+  let jl = julia flavor in
+  let nn = Array.length m.node_mass in
+  let ne = Array.length m.energy in
+  let mk len =
+    let d = Exec.floats ctx (Array.make len 0.0) in
+    if jl then Exec.ptr_cell ctx d, d else d, d
+  in
+  let svals =
+    Array.init 7 (fun i -> mk ((if i < 6 then nn else ne) * seeds))
+  in
+  let d_nl = Exec.ints ctx (Array.make (ne * 8) 0) in
+  let d_mass, _ = mk (nn * seeds) in
+  shadows.(rank) <- Array.map snd svals;
+  (* d_ret is a k-cell seed buffer under batched lanes (k > 1); a 1-lane
+     plan keeps the classic scalar-seed convention *)
+  let d_ret =
+    if seeds = 1 then Value.VFloat d_rets.(0) else Exec.floats ctx d_rets
+  in
+  let d_args = Exec.zeros ctx seeds in
+  args
+  @ Array.to_list (Array.map fst svals)
+  @ [ d_nl; d_mass; d_ret; d_args ]
+
+(** Run one batched gradient against a plan compiled with
+    [opts.seeds = k > 1]: [d_rets.(l)] seeds lane [l]'s return adjoint,
+    and the result array holds lane [l]'s gradient at index [l] — each
+    column bit-identical to a standalone single-seed run with
+    [~d_ret:d_rets.(l)]. Shared-memory flavors only (single rank): the
+    MPI adjoint runtime exchanges single-stride planes, so batched MPI
+    plans are rejected at compile time. *)
+let gradient_batched ?cost ?(nthreads = 1) ?faults ?san ?deadline
+    ?(engine = Engine.Interp) (c : compiled) ~d_rets (inp : input) :
+    grad_result array =
+  let seeds = c.c_opts.Parad_core.Plan.seeds in
+  if Array.length d_rets <> seeds then
+    invalid_arg
+      (Printf.sprintf "gradient_batched: %d seed values for a %d-lane plan"
+         (Array.length d_rets) seeds);
+  let cfg = config_of ?cost ~nthreads c in
+  let shadows = Array.make 1 [||] in
+  let res =
+    Exec.run_spmd ~cfg ?faults ?san ?deadline
+      ~call:(Engine.call_fn c.c_eng engine) c.c_dprog ~nranks:1
+      ~fname:c.c_dname
+      ~setup:(grad_setup_batched c.c_flavor inp ~seeds ~d_rets ~shadows)
+  in
+  let coords = Exec.to_floats shadows.(0).(0) in
+  let energy = Exec.to_floats shadows.(0).(6) in
+  let col plane lane =
+    let n = Array.length plane / seeds in
+    Array.init n (fun i -> plane.((i * seeds) + lane))
+  in
+  Array.init seeds (fun lane ->
+      {
+        g_total = Value.to_float res.Exec.values.(0);
+        d_coords = [| col coords lane |];
+        d_energy = [| col energy lane |];
+        g_makespan = res.Exec.makespan;
+        g_stats = res.Exec.stats;
+      })
 
 (** Gradient of the returned total energy w.r.t. initial coordinates and
     element energies (seeded on rank 0's return, as the loss is
     all-reduced and identical on every rank). One-shot: compiles and
     executes. *)
-let gradient ?(nthreads = 1) ?(nranks = 1)
+let gradient ?cost ?(nthreads = 1) ?(nranks = 1)
     ?(opts = Parad_core.Plan.default_options) ?(post_opt = true) ?(pre = [])
     ?faults ?mpi_ref ?san ?inject_nan ?deadline ?engine flavor (inp : input) :
     grad_result =
-  gradient_compiled ~nthreads ~nranks ?faults ?mpi_ref ?san ?inject_nan
+  gradient_compiled ?cost ~nthreads ~nranks ?faults ?mpi_ref ?san ?inject_nan
     ?deadline ?engine
     (compile ~opts ~post_opt ~pre flavor)
     inp

@@ -327,6 +327,7 @@ type grad_result = {
 type compiled = {
   c_variant : variant;
   c_ntasks : int;  (** the task split is baked into the IR *)
+  c_opts : Parad_core.Plan.options;
   c_prog : Parad_ir.Prog.t;
   c_dprog : Parad_ir.Prog.t;
   c_dname : string;
@@ -349,12 +350,12 @@ let compile ?(opts = Parad_core.Plan.default_options) ?(post_opt = true)
     if post_opt then Parad_opt.Pipeline.run dprog Parad_opt.Pipeline.post_ad
     else dprog
   in
-  { c_variant = variant; c_ntasks = ntasks; c_prog = prog; c_dprog = dprog;
-    c_dname = dname; c_eng = Engine.prepare dprog }
+  { c_variant = variant; c_ntasks = ntasks; c_opts = opts; c_prog = prog;
+    c_dprog = dprog; c_dname = dname; c_eng = Engine.prepare dprog }
 
 (** Execute one gradient request against a cached plan (pure
     interpretation; bit-identical to a cold {!gradient}). *)
-let gradient_compiled ?nthreads ?san ?faults ?deadline
+let gradient_compiled ?nthreads ?san ?faults ?deadline ?(ge_seed = 1.0)
     ?(engine = Engine.Interp) (c : compiled) (inp : input) : grad_result =
   let nthreads = Option.value nthreads ~default:c.c_ntasks in
   let cfg = { Interp.default_config with nthreads } in
@@ -373,7 +374,7 @@ let gradient_compiled ?nthreads ?san ?faults ?deadline
         let gl = shade (Array.length inp.lig_data) 0.0 in
         let gp = shade (Array.length inp.pro_data) 0.0 in
         let gq = shade (Array.length inp.pose_data) 0.0 in
-        let ge = shade inp.nposes 1.0 in
+        let ge = shade inp.nposes ge_seed in
         shadows := [ gl; gp; gq; ge ];
         match variant with
         | Seq | Omp ->
@@ -393,6 +394,70 @@ let gradient_compiled ?nthreads ?san ?faults ?deadline
       g_makespan = res.Exec.makespan;
       g_stats = res.Exec.stats;
     }
+  | _ -> assert false
+
+(** Batched multi-seed adjoints (ISSUE 10): against a plan compiled with
+    [opts.seeds = k > 1], one taping pass and one reverse sweep propagate
+    k energy seeds — lane [l] seeds every pose's energy adjoint with
+    [ge_seeds.(l)]. Returns one {!grad_result} per lane, each column
+    bit-identical to a standalone run with [~ge_seed:ge_seeds.(l)]. *)
+let gradient_batched ?nthreads ?san ?faults ?deadline
+    ?(engine = Engine.Interp) (c : compiled) ~ge_seeds (inp : input) :
+    grad_result array =
+  let seeds = c.c_opts.Parad_core.Plan.seeds in
+  if Array.length ge_seeds <> seeds then
+    invalid_arg
+      (Printf.sprintf "gradient_batched: %d seed values for a %d-lane plan"
+         (Array.length ge_seeds) seeds);
+  let nthreads = Option.value nthreads ~default:c.c_ntasks in
+  let cfg = { Interp.default_config with nthreads } in
+  let variant = c.c_variant in
+  let shadows = ref [] in
+  let outs = ref [] in
+  let res =
+    Exec.run ~cfg ?san ?faults ?deadline
+      ~call:(Engine.call_fn c.c_eng engine) c.c_dprog ~fname:c.c_dname
+      ~setup:(fun ctx ->
+        let args, bufs = setup_args variant inp ctx in
+        outs := bufs;
+        (* k-stride shadow planes: cell i, lane l at [i*k + l] *)
+        let plane len = Exec.floats ctx (Array.make (len * seeds) 0.0) in
+        let gl = plane (Array.length inp.lig_data) in
+        let gp = plane (Array.length inp.pro_data) in
+        let gq = plane (Array.length inp.pose_data) in
+        let ge =
+          Exec.floats ctx
+            (Array.init (inp.nposes * seeds) (fun i ->
+                 ge_seeds.(i mod seeds)))
+        in
+        shadows := [ gl; gp; gq; ge ];
+        match variant with
+        | Seq | Omp ->
+          let d_deck = Exec.ptr_table ctx [ gl; gp; gq ] in
+          args @ [ d_deck; ge ]
+        | Julia ->
+          let wrap v = Exec.ptr_cell ctx v in
+          args @ [ wrap gl; wrap gp; wrap gq; wrap ge ])
+  in
+  match !shadows, List.rev !outs with
+  | [ gl; gp; gq; _ ], e :: _ ->
+    let energies = Exec.to_floats e in
+    let pl = Exec.to_floats gl
+    and pp = Exec.to_floats gp
+    and pq = Exec.to_floats gq in
+    let col plane lane =
+      let n = Array.length plane / seeds in
+      Array.init n (fun i -> plane.((i * seeds) + lane))
+    in
+    Array.init seeds (fun lane ->
+        {
+          g_energies = energies;
+          d_lig = col pl lane;
+          d_pro = col pp lane;
+          d_poses = col pq lane;
+          g_makespan = res.Exec.makespan;
+          g_stats = res.Exec.stats;
+        })
   | _ -> assert false
 
 (** Reverse-mode gradient of sum(energies) w.r.t. ligand, protein and

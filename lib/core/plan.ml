@@ -68,6 +68,13 @@ type options = {
           killed mid-reverse-sweep can restore there instead of replaying
           its whole forward sweep *)
   prefix : string;  (** prefix for generated function names *)
+  seeds : int;
+      (** adjoint batch width k: the reverse sweep propagates [k] seed
+          vectors through contiguous k-stride adjoint planes (registers,
+          shadow buffers, [d_ret]/[d_args]) in one pass over one tape.
+          [1] emits the classic single-seed gradient; [k > 1] changes the
+          gradient's calling convention — [d_ret] becomes a k-cell float
+          buffer and every float shadow argument a k-stride plane *)
 }
 
 let default_options =
@@ -78,6 +85,7 @@ let default_options =
     coalesce_comm = true;
     ckpt_reverse = false;
     prefix = "";
+    seeds = 1;
   }
 
 type t = {

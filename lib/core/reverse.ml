@@ -131,6 +131,22 @@ let fshadow st v =
   | Some s -> s
   | None -> unsupported "forward: no shadow for %a" Var.pp v
 
+(* Under batched seeds ([opts.seeds = k > 1]) the shadow of a float array
+   is a contiguous k-stride plane — lane [l] of cell [i] lives at
+   [i*k + l] — so shadow allocation lengths and shadow gep offsets scale
+   by k. Pointer-array shadows (which hold shadow pointers) and int
+   shadows (MPI request duals) are never scaled. At k = 1 both helpers
+   are the identity and emission is unchanged. *)
+let shadow_len st (elem : Ty.t) (n : Var.t) =
+  let k = st.eng.opts.seeds in
+  if k > 1 && Ty.equal elem Ty.Float then B.mul st.b n (B.i64 st.b k) else n
+
+let shadow_off st (pty : Ty.t) (ix : Var.t) =
+  let k = st.eng.opts.seeds in
+  if k > 1 && Ty.equal pty (Ty.Ptr Ty.Float) then
+    B.mul st.b ix (B.i64 st.b k)
+  else ix
+
 (* Resolve the shadow of an Int-typed value (an MPI request): either noted
    directly at its isend/irecv, or chased through a load from a request
    array (the shadow array holds shadow request ids). *)
@@ -233,7 +249,7 @@ and fwd_node st ~idxs ~on_yield { occ; ins; subs } =
   | Alloc (v, elem, n, kind) ->
     let v' = B.alloc b ~kind elem (g n) in
     fset st v v';
-    let s = B.alloc b ~kind elem (g n) in
+    let s = B.alloc b ~kind elem (shadow_len st elem (g n)) in
     Hashtbl.replace st.shadow (Var.id v) s;
     mark_if_private st v s;
     cache_val v v';
@@ -258,7 +274,7 @@ and fwd_node st ~idxs ~on_yield { occ; ins; subs } =
   | Gep (v, p, ix) ->
     let v' = B.gep b (g p) (g ix) in
     fset st v v';
-    let s = B.gep b (fshadow st p) (g ix) in
+    let s = B.gep b (fshadow st p) (shadow_off st (Var.ty p) (g ix)) in
     Hashtbl.replace st.shadow (Var.id v) s;
     cache_val v v';
     cache_shadow v s
@@ -502,12 +518,23 @@ type rscope = {
   pmap : (int, Var.t) Hashtbl.t;  (* orig region-param id -> reverse var *)
   rfork : int option;  (* current fork occurrence in the reverse sweep *)
   dlocal : Var.t option;  (* per-thread adjoint registers inside a fork *)
+  sbuf : Var.t option;
+      (* per-thread k-cell scratch holding the current statement's taken
+         adjoint lane group (the batched analog of the scalar [dv] SSA
+         value); [None] when [opts.seeds = 1] *)
 }
 
 type rstate = {
   fs : fstate;  (* forward tables, for ADirect resolution *)
   race : Race.t;
   dreg : Var.t;  (* shared adjoint registers, indexed by orig var id *)
+  fslots : (int, (int, int) Hashtbl.t * int ref) Hashtbl.t;
+      (* fork occurrence -> (var id -> dense slot, count): per-thread
+         adjoint registers are numbered densely per parallel region, so
+         each member's [dlocal] is sized by that region's locals instead
+         of the whole function's [var_count] — at [seeds = k] the plane
+         is k-stride and the allocation (zeroed per member, per region)
+         would otherwise dominate the batched reverse sweep *)
   prestok : (int, Var.t) Hashtbl.t;  (* preserve-begin occ -> reverse token *)
   task_mode : bool;
       (* this reverse half runs as a task, concurrently with its siblings:
@@ -525,7 +552,8 @@ type rstate = {
          markers are emitted only at the outermost chain *)
 }
 
-let child_scope sc ~idxs ?(fork = sc.rfork) ?(dlocal = sc.dlocal) () =
+let child_scope sc ~idxs ?(fork = sc.rfork) ?(dlocal = sc.dlocal)
+    ?(sbuf = sc.sbuf) () =
   {
     rparent = Some sc;
     memo = Hashtbl.create 16;
@@ -533,6 +561,7 @@ let child_scope sc ~idxs ?(fork = sc.rfork) ?(dlocal = sc.dlocal) () =
     pmap = Hashtbl.create 8;
     rfork = fork;
     dlocal;
+    sbuf;
   }
 
 let rec memo_find sc k =
@@ -628,7 +657,9 @@ and recompute rs sc k =
     let v = Plan.var st.p id in
     match Finfo.def_site fi v with
     | Finfo.DInstr (Gep (_, p, ix), _) ->
-      B.gep b (resolve rs sc (KShadow (Var.id p))) (resolve rs sc (KVal (Var.id ix)))
+      B.gep b
+        (resolve rs sc (KShadow (Var.id p)))
+        (shadow_off st (Var.ty p) (resolve rs sc (KVal (Var.id ix))))
     | Finfo.DInstr (Select (_, c, a, b'), _) ->
       B.select b
         (resolve rs sc (KVal (Var.id c)))
@@ -638,32 +669,78 @@ and recompute rs sc k =
     | _ -> unsupported "reverse: cannot recompute shadow of %a" Var.pp v)
   | KAux _ -> unsupported "reverse: cannot recompute aux"
 
-(* Which adjoint-register buffer hosts the slot of [v] at the current
-   point. Captured-by-value outer registers inside a parallel region go to
-   the shared buffer (atomically); locals go to the per-thread buffer. *)
-let adj_host rs sc (v : Var.t) : Var.t * bool (* atomic *) =
+(* ---- batched adjoint lanes ----
+
+   With [opts.seeds = k > 1] every adjoint slot — the register files
+   ([dreg]/[dlocal]) and float shadow memory — is a contiguous k-stride
+   plane (cell [i], lane [l] at [i*k + l]), and each reverse statement
+   becomes one or two [adj.*_k] runtime calls that loop natively over
+   the lane group ({!Interp.intrinsic}). Primal resolution ([resolve]:
+   cache traffic, transcendentals, partial computation) stays outside
+   those calls, so one tape and one primal stream amortize across all k
+   seeds — that sharing, plus the per-lane work costing a float op
+   instead of an interpreter dispatch, is the whole point of the batch.
+   At k = 1 emission keeps the classic scalar layout: the intrinsic
+   per-lane arithmetic mirrors it exactly (same ops, same order), which
+   keeps every batched lane bit-identical to its standalone run. *)
+
+let fork_slot_tables (fi : Finfo.t) =
+  let tbl = Hashtbl.create 8 in
+  Array.iteri
+    (fun id fo ->
+      match fo with
+      | None -> ()
+      | Some occ ->
+        let map, n =
+          match Hashtbl.find_opt tbl occ with
+          | Some x -> x
+          | None ->
+            let x = Hashtbl.create 32, ref 0 in
+            Hashtbl.add tbl occ x;
+            x
+        in
+        Hashtbl.replace map id !n;
+        incr n)
+    fi.Finfo.fork_occ;
+  tbl
+
+let fork_nlocals rs occ =
+  match Hashtbl.find_opt rs.fslots occ with Some (_, n) -> !n | None -> 0
+
+(* Which adjoint-register buffer hosts the adjoint of [v] at the current
+   point, and at which slot. Captured-by-value outer registers inside a
+   parallel region go to the shared buffer (atomically) at their var id;
+   locals go to the per-thread buffer at their dense per-region slot. *)
+let adj_host rs sc (v : Var.t) : Var.t * bool (* atomic *) * int =
   let fi = rs.fs.p.fi in
   match Finfo.fork_of fi v, sc.rfork with
-  | None, None -> rs.dreg, false
-  | None, Some _ -> rs.dreg, true
+  | None, None -> rs.dreg, false, Var.id v
+  | None, Some _ -> rs.dreg, true, Var.id v
   | Some f, Some f' when f = f' -> (
     match sc.dlocal with
-    | Some d -> d, false
+    | Some d -> (
+      match Hashtbl.find_opt rs.fslots f with
+      | Some (map, _) -> d, false, Hashtbl.find map (Var.id v)
+      | None -> unsupported "reverse: missing per-thread adjoint slots")
     | None -> unsupported "reverse: missing per-thread adjoint registers")
   | Some _, _ ->
     unsupported "reverse: adjoint of %a escapes its parallel region" Var.pp v
 
-let accum rs sc (v : Var.t) (dv : Var.t) =
+(* [v] owns an adjoint register: non-constant float. *)
+let accumulable rs (v : Var.t) =
   let is_const =
     match Finfo.def_site rs.fs.p.fi v with
     | Finfo.DInstr (Const _, _) -> true
     | _ -> false
     | exception _ -> false
   in
-  if Ty.equal (Var.ty v) Ty.Float && not is_const then begin
+  Ty.equal (Var.ty v) Ty.Float && not is_const
+
+let accum rs sc (v : Var.t) (dv : Var.t) =
+  if accumulable rs v then begin
     let b = rs.fs.b in
-    let host, atomic = adj_host rs sc v in
-    let ix = B.i64 b (Var.id v) in
+    let host, atomic, slot = adj_host rs sc v in
+    let ix = B.i64 b slot in
     if atomic then B.atomic_add b host ix dv
     else begin
       let cur = B.load b host ix in
@@ -673,17 +750,15 @@ let accum rs sc (v : Var.t) (dv : Var.t) =
 
 let read_adj rs sc (v : Var.t) =
   let b = rs.fs.b in
-  let host, _ = adj_host rs sc v in
-  let ix = B.i64 b (Var.id v) in
+  let host, _, slot = adj_host rs sc v in
+  let ix = B.i64 b slot in
   let d = B.load b host ix in
   B.store b host ix (B.f64 b 0.0);
   d
 
-(* Accumulate [dv] into shadow memory cell [sp[ix]]: serial when the
-   thread-locality analysis proves privacy, atomic otherwise (§VI-A1). *)
-let accum_mem rs sc ~(primal_ptr : Var.t) (sp : Var.t) (ix : Var.t) (dv : Var.t)
-    =
-  let b = rs.fs.b in
+(* Shadow-memory accumulation is serial when the thread-locality
+   analysis proves privacy, atomic otherwise (§VI-A1). *)
+let mem_atomic rs sc ~(primal_ptr : Var.t) =
   let fi = rs.fs.p.fi in
   let task_shared () =
     (* in task mode, only non-escaping local allocations are private *)
@@ -696,26 +771,136 @@ let accum_mem rs sc ~(primal_ptr : Var.t) (sp : Var.t) (ix : Var.t) (dv : Var.t)
       | Finfo.DInstr (Alloc _, _) -> Race.is_escaped rs.race base
       | _ -> true)
   in
-  let atomic =
-    match sc.rfork with
-    | None -> (not rs.fs.p.opts.assume_private) && task_shared ()
-    | Some focc ->
-      if rs.fs.p.opts.assume_private then false
-      else if rs.fs.p.opts.atomic_always then true
-      else (
-        match Finfo.pointer_base fi primal_ptr with
-        | None -> true
-        | Some base -> (
-          match Finfo.def_site fi base with
-          | Finfo.DInstr (Alloc _, _) when Finfo.fork_of fi base = Some focc ->
-            (* allocated inside this parallel region: thread-local *)
-            false
-          | _ -> not (Race.is_private rs.race base)))
-  in
-  if atomic then B.atomic_add b sp ix dv
+  match sc.rfork with
+  | None -> (not rs.fs.p.opts.assume_private) && task_shared ()
+  | Some focc ->
+    if rs.fs.p.opts.assume_private then false
+    else if rs.fs.p.opts.atomic_always then true
+    else (
+      match Finfo.pointer_base fi primal_ptr with
+      | None -> true
+      | Some base -> (
+        match Finfo.def_site fi base with
+        | Finfo.DInstr (Alloc _, _) when Finfo.fork_of fi base = Some focc ->
+          (* allocated inside this parallel region: thread-local *)
+          false
+        | _ -> not (Race.is_private rs.race base)))
+
+let accum_mem rs sc ~(primal_ptr : Var.t) (sp : Var.t) (ix : Var.t) (dv : Var.t)
+    =
+  let b = rs.fs.b in
+  if mem_atomic rs sc ~primal_ptr then B.atomic_add b sp ix dv
   else begin
     let cur = B.load b sp ix in
     B.store b sp ix (B.add b cur dv)
+  end
+
+(* ---- statement-level reverse emission ----
+
+   A scalar reverse statement takes the adjoint of its result [v] and
+   folds a per-operand function of it into each operand's slot. The
+   per-operand formulas are [aspec]s whose [amode] numbers the runtime's
+   [adj.acc_k] dispatch table; [rev_stmt] emits either classic scalar IR
+   (seeds = 1, [scalar_formula] below) or the k-wide intrinsic calls —
+   both compute the same float ops in the same order. *)
+
+type aspec = {
+  at : Var.t;  (* accumulation target *)
+  amode : int;
+  ac1 : Var.t option;  (* lane-invariant coefficients, resolved once *)
+  ac2 : Var.t option;
+  acond : Var.t option;
+}
+
+let spec ?c1 ?c2 ?cond at amode =
+  { at; amode; ac1 = c1; ac2 = c2; acond = cond }
+
+let scalar_formula b (s : aspec) (dv : Var.t) =
+  let c1 () = Option.get s.ac1 in
+  let c2 () = Option.get s.ac2 in
+  let cond () = Option.get s.acond in
+  match s.amode with
+  | 0 -> dv
+  | 1 -> B.neg b dv
+  | 2 -> B.mul b dv (c1 ())
+  | 3 -> B.div b dv (c1 ())
+  | 4 -> B.neg b (B.mul b dv (c1 ()))
+  | 5 -> B.neg b (B.div b (B.mul b dv (c1 ())) (c2 ()))
+  | 6 -> B.div b (B.mul b dv (c1 ())) (c2 ())
+  | 7 -> B.select b (cond ()) dv (B.f64 b 0.0)
+  | 8 -> B.select b (cond ()) (B.f64 b 0.0) dv
+  | 9 -> B.select b (cond ()) dv (B.neg b dv)
+  | _ -> assert false
+
+let kcall rs name args = ignore (B.call rs.fs.b ~ret:Ty.Unit name args)
+
+let sbuf_of sc =
+  match sc.sbuf with
+  | Some s -> s
+  | None -> unsupported "reverse: missing batched adjoint scratch"
+
+(* scratch <- v's lane group, zeroing it (the k-wide [read_adj]) *)
+let emit_take_k rs sc (v : Var.t) =
+  let b = rs.fs.b in
+  let k = rs.fs.p.opts.seeds in
+  let host, _, slot = adj_host rs sc v in
+  kcall rs "adj.take_k" [ sbuf_of sc; host; B.i64 b (slot * k); B.i64 b k ]
+
+(* The 7-var argument group describing one accumulation target: host
+   plane, lane-group offset, dispatch mode, coefficients, atomicity. *)
+let acc_args rs sc (s : aspec) =
+  let b = rs.fs.b in
+  let k = rs.fs.p.opts.seeds in
+  let host, atomic, slot = adj_host rs sc s.at in
+  [
+    host;
+    B.i64 b (slot * k);
+    B.i64 b s.amode;
+    (match s.ac1 with Some c -> c | None -> B.f64 b 0.0);
+    (match s.ac2 with Some c -> c | None -> B.f64 b 0.0);
+    (match s.acond with Some c -> c | None -> B.bool b false);
+    B.i64 b (if atomic then 1 else 0);
+  ]
+
+(* target's lane group += formula(lane group of [from], default scratch) *)
+let emit_acc_k ?from rs sc (s : aspec) =
+  if accumulable rs s.at then begin
+    let b = rs.fs.b in
+    let k = rs.fs.p.opts.seeds in
+    match acc_args rs sc s with
+    | host :: off :: rest ->
+      kcall rs "adj.acc_k"
+        ((host :: off
+          :: (match from with Some d -> d | None -> sbuf_of sc)
+          :: rest)
+        @ [ B.i64 b k ])
+    | _ -> assert false
+  end
+
+let rev_stmt rs sc (v : Var.t) (specs : aspec list) =
+  if rs.fs.p.opts.seeds = 1 then begin
+    let b = rs.fs.b in
+    let dv = read_adj rs sc v in
+    List.iter (fun s -> accum rs sc s.at (scalar_formula b s dv)) specs
+  end
+  else begin
+    let b = rs.fs.b in
+    let k = rs.fs.p.opts.seeds in
+    let host, _, slot = adj_host rs sc v in
+    let take = [ sbuf_of sc; host; B.i64 b (slot * k) ] in
+    (* one fused dispatch per statement: take + up to two accumulates
+       (hot path of the batched sweep; see the engine's native
+       closures) *)
+    match List.filter (fun s -> accumulable rs s.at) specs with
+    | [] -> emit_take_k rs sc v
+    | [ s1 ] ->
+      kcall rs "adj.rev1_k" (take @ acc_args rs sc s1 @ [ B.i64 b k ])
+    | [ s1; s2 ] ->
+      kcall rs "adj.rev2_k"
+        (take @ acc_args rs sc s1 @ acc_args rs sc s2 @ [ B.i64 b k ])
+    | _ ->
+      emit_take_k rs sc v;
+      List.iter (fun s -> emit_acc_k rs sc s) specs
   end
 
 let rec rev_emit rs sc ?if_results (nodes : anode list) =
@@ -760,81 +945,139 @@ and rev_node rs sc ?if_results { occ; ins; subs } =
   | Const _ | Cmp _ | Gep _ | Free _ | Barrier | Return _ -> (
     match ins with Barrier -> B.barrier b | _ -> ())
   | Bin (v, op, x, y) when is_f v && useful v -> (
-    let dv = read_adj rs sc v in
+    (* primal operands resolve once, outside the statement's adjoint
+       work: cache reads and derivative transcendentals are shared by
+       every seed lane *)
     match op with
-    | Add ->
-      accum rs sc x dv;
-      accum rs sc y dv
-    | Sub ->
-      accum rs sc x dv;
-      accum rs sc y (B.neg b dv)
+    | Add -> rev_stmt rs sc v [ spec x 0; spec y 0 ]
+    | Sub -> rev_stmt rs sc v [ spec x 0; spec y 1 ]
     | Mul ->
-      accum rs sc x (B.mul b dv (rval y));
-      accum rs sc y (B.mul b dv (rval x))
+      let ry = rval y in
+      let rx = rval x in
+      rev_stmt rs sc v [ spec x 2 ~c1:ry; spec y 2 ~c1:rx ]
     | Div ->
       let ry = rval y in
-      accum rs sc x (B.div b dv ry);
-      accum rs sc y (B.neg b (B.div b (B.mul b dv (rval x)) (B.mul b ry ry)))
+      let rx = rval x in
+      let ryy = B.mul b ry ry in
+      rev_stmt rs sc v [ spec x 3 ~c1:ry; spec y 5 ~c1:rx ~c2:ryy ]
     | Min ->
       let c = B.le b (rval x) (rval y) in
-      let zero = B.f64 b 0.0 in
-      accum rs sc x (B.select b c dv zero);
-      accum rs sc y (B.select b c zero dv)
+      rev_stmt rs sc v [ spec x 7 ~cond:c; spec y 8 ~cond:c ]
     | Max ->
       let c = B.ge b (rval x) (rval y) in
-      let zero = B.f64 b 0.0 in
-      accum rs sc x (B.select b c dv zero);
-      accum rs sc y (B.select b c zero dv)
+      rev_stmt rs sc v [ spec x 7 ~cond:c; spec y 8 ~cond:c ]
     | Pow ->
       let rx = rval x and ry = rval y in
       let r = B.pow b rx ry in
-      accum rs sc x
-        (B.mul b dv (B.mul b ry (B.pow b rx (B.sub b ry (B.f64 b 1.0)))));
-      accum rs sc y (B.mul b dv (B.mul b r (B.log_ b rx)))
+      let gx = B.mul b ry (B.pow b rx (B.sub b ry (B.f64 b 1.0))) in
+      let gy = B.mul b r (B.log_ b rx) in
+      rev_stmt rs sc v [ spec x 2 ~c1:gx; spec y 2 ~c1:gy ]
     | Rem -> ())
   | Bin _ -> ()
   | Un (v, op, x) when is_f v && useful v -> (
     match op with
-    | Neg -> accum rs sc x (B.neg b (read_adj rs sc v))
+    | Neg -> rev_stmt rs sc v [ spec x 1 ]
     | Sqrt ->
-      let dv = read_adj rs sc v in
-      accum rs sc x (B.div b (B.mul b dv (B.f64 b 0.5)) (rval v))
-    | Exp -> accum rs sc x (B.mul b (read_adj rs sc v) (rval v))
-    | Sin -> accum rs sc x (B.mul b (read_adj rs sc v) (B.cos_ b (rval x)))
+      let rv = rval v in
+      rev_stmt rs sc v [ spec x 6 ~c1:(B.f64 b 0.5) ~c2:rv ]
+    | Exp ->
+      let rv = rval v in
+      rev_stmt rs sc v [ spec x 2 ~c1:rv ]
+    | Sin ->
+      let cx = B.cos_ b (rval x) in
+      rev_stmt rs sc v [ spec x 2 ~c1:cx ]
     | Cos ->
-      accum rs sc x (B.neg b (B.mul b (read_adj rs sc v) (B.sin_ b (rval x))))
-    | Log -> accum rs sc x (B.div b (read_adj rs sc v) (rval x))
+      let sx = B.sin_ b (rval x) in
+      rev_stmt rs sc v [ spec x 4 ~c1:sx ]
+    | Log ->
+      let rx = rval x in
+      rev_stmt rs sc v [ spec x 3 ~c1:rx ]
     | Abs ->
-      let dv = read_adj rs sc v in
       let c = B.ge b (rval x) (B.f64 b 0.0) in
-      accum rs sc x (B.select b c dv (B.neg b dv))
+      rev_stmt rs sc v [ spec x 9 ~cond:c ]
     | Floor | ToFloat -> ()
     | ToInt | Not -> ())
   | Un _ -> ()
   | Select (v, c, x, y) when is_f v && useful v ->
-    let dv = read_adj rs sc v in
     let rc = rval c in
-    let zero = B.f64 b 0.0 in
-    accum rs sc x (B.select b rc dv zero);
-    accum rs sc y (B.select b rc zero dv)
+    rev_stmt rs sc v [ spec x 7 ~cond:rc; spec y 8 ~cond:rc ]
   | Select _ -> ()
   | Alloc (v, _, _, kind) -> (
     match kind with
     | Instr.Gc -> () (* the collector owns GC shadows *)
     | Instr.Stack | Instr.Heap -> B.free b (rshadow v))
   | Load (v, p, ix) when is_f v && useful v ->
-    let dv = read_adj rs sc v in
-    accum_mem rs sc ~primal_ptr:p (rshadow p) (rval ix) dv
+    let sp = rshadow p in
+    let k = rs.fs.p.opts.seeds in
+    if k = 1 then begin
+      let dv = read_adj rs sc v in
+      accum_mem rs sc ~primal_ptr:p sp (rval ix) dv
+    end
+    else begin
+      (* shadow[ix*k ..] += v's lane group, one fused dispatch *)
+      let host, _, slot = adj_host rs sc v in
+      let mb = B.mul b (rval ix) (B.i64 b k) in
+      let atomic = mem_atomic rs sc ~primal_ptr:p in
+      kcall rs "adj.mrev_k"
+        [
+          sbuf_of sc;
+          host;
+          B.i64 b (slot * k);
+          sp;
+          mb;
+          B.i64 b (if atomic then 1 else 0);
+          B.i64 b k;
+        ]
+    end
   | Load _ -> ()
   | Store (p, ix, x) when is_f x ->
-    let sp = rshadow p and rix = rval ix in
-    let d = B.load b sp rix in
-    B.store b sp rix (B.f64 b 0.0);
-    accum rs sc x d
+    let sp = rshadow p in
+    let k = rs.fs.p.opts.seeds in
+    if k = 1 then begin
+      let mix = rval ix in
+      let d = B.load b sp mix in
+      B.store b sp mix (B.f64 b 0.0);
+      accum rs sc x d
+    end
+    else begin
+      (* pull (and zero) the stored cell's lane group, fold it into x;
+         the zeroing must happen even when x accumulates nowhere *)
+      let mb = B.mul b (rval ix) (B.i64 b k) in
+      if accumulable rs x then begin
+        let host, atomic, slot = adj_host rs sc x in
+        kcall rs "adj.srev_k"
+          [
+            sbuf_of sc;
+            sp;
+            mb;
+            host;
+            B.i64 b (slot * k);
+            B.i64 b (if atomic then 1 else 0);
+            B.i64 b k;
+          ]
+      end
+      else kcall rs "adj.mtake_k" [ sp; mb; sbuf_of sc; B.i64 b k ]
+    end
   | Store _ -> ()
   | AtomicAdd (p, ix, x) ->
     (* all contributions share the final cell adjoint; nothing is zeroed *)
-    accum rs sc x (B.load b (rshadow p) (rval ix))
+    let sp = rshadow p in
+    let k = rs.fs.p.opts.seeds in
+    if k = 1 then accum rs sc x (B.load b sp (rval ix))
+    else if accumulable rs x then begin
+      let mb = B.mul b (rval ix) (B.i64 b k) in
+      let host, atomic, slot = adj_host rs sc x in
+      kcall rs "adj.arev_k"
+        [
+          sbuf_of sc;
+          sp;
+          mb;
+          host;
+          B.i64 b (slot * k);
+          B.i64 b (if atomic then 1 else 0);
+          B.i64 b k;
+        ]
+    end
   | Call (v, name, args) -> rev_call rs sc ~occ v name args
   | Spawn (v, _, args) ->
     (* reverse of spawn: wait for the adjoint task, then fold its scalar
@@ -911,17 +1154,25 @@ and rev_node rs sc ?if_results { occ; ins; subs } =
     in
     let rnth = rval nth in
     let pm, _ = List.nth sc.ridxs (List.length sc.ridxs - 1) in
-    let var_count = rs.fs.p.fi.Finfo.func.var_count in
+    let seeds = rs.fs.p.opts.seeds in
+    (* densely numbered per-region locals, not the function's var_count *)
+    let nslots = max 1 (fork_nlocals rs occ) * seeds in
     B.fork b ~nth:rnth (fun ~tid:tid' ~nth:nth' ->
-        let dlocal = B.alloc b Ty.Float (B.i64 b var_count) in
+        let dlocal = B.alloc b Ty.Float (B.i64 b nslots) in
+        (* members run concurrently: each needs its own lane scratch *)
+        let sbuf =
+          if seeds > 1 then Some (B.alloc b Ty.Float (B.i64 b seeds))
+          else None
+        in
         let inner = B.add b (B.mul b pm nth') tid' in
         let sc' =
           child_scope sc ~idxs:(sc.ridxs @ [ inner, pm ]) ~fork:(Some occ)
-            ~dlocal:(Some dlocal) ()
+            ~dlocal:(Some dlocal) ~sbuf ()
         in
         Hashtbl.replace sc'.pmap (Var.id tid) tid';
         Hashtbl.replace sc'.pmap (Var.id nth_param) nth';
         rev_emit rs sc' body_nodes;
+        (match sbuf with Some s -> B.free b s | None -> ());
         B.free b dlocal)
   | Workshare { iv; lo; hi; schedule; _ } ->
     let body_nodes = match subs with [ x ] -> x | _ -> assert false in
@@ -940,10 +1191,8 @@ and rev_node rs sc ?if_results { occ; ins; subs } =
     | Some results ->
       List.iter2
         (fun r v ->
-          if Ty.equal (Var.ty r) Ty.Float && Plan.is_useful rs.fs.p r then begin
-            let d = read_adj rs sc r in
-            accum rs sc v d
-          end)
+          if Ty.equal (Var.ty r) Ty.Float && Plan.is_useful rs.fs.p r then
+            rev_stmt rs sc r [ spec v 0 ])
         results vs)
 
 and task_callee rs (h : Var.t) =
@@ -1122,15 +1371,22 @@ let no_yield _ = unsupported "yield outside a region"
    Shadow pointer arguments are accumulated into; when f has active scalar
    (float) arguments their adjoints are written to the d_args buffer in
    float-argument order; d_ret seeds the return adjoint when f returns a
-   float. *)
+   float.
+
+   Batched seeds change the calling convention: with [opts.seeds = k > 1]
+   every float shadow argument is a k-stride plane (cell i, lane l at
+   [i*k + l]), [d_ret] becomes a k-cell float buffer (one seed per lane),
+   and [d_args] holds k cells per scalar argument, param-major. *)
 let emit_combined eng (f : Func.t) (p : Plan.t) dname =
   let race = Race.analyze p.fi f in
+  let seeds = eng.opts.seeds in
   let nscal = List.length (scalar_params f) in
   let pparams = ptr_params f in
+  let d_ret_ty = if seeds > 1 then Ty.Ptr Ty.Float else Ty.Float in
   let params_spec =
     List.map (fun v -> Var.name v, Var.ty v) f.params
     @ List.map (fun v -> "d_" ^ Var.name v, Var.ty v) pparams
-    @ (if Ty.equal f.ret_ty Ty.Float then [ "d_ret", Ty.Float ] else [])
+    @ (if Ty.equal f.ret_ty Ty.Float then [ "d_ret", d_ret_ty ] else [])
     @ if nscal > 0 then [ "d_args", Ty.Ptr Ty.Float ] else []
   in
   let attrs =
@@ -1204,12 +1460,16 @@ let emit_combined eng (f : Func.t) (p : Plan.t) dname =
   end;
   (* reverse sweep *)
   let var_count = f.var_count in
-  let dreg = B.alloc b Ty.Float (B.i64 b var_count) in
+  let dreg = B.alloc b Ty.Float (B.i64 b (var_count * seeds)) in
+  let sbuf =
+    if seeds > 1 then Some (B.alloc b Ty.Float (B.i64 b seeds)) else None
+  in
   let rs =
     {
       fs = st;
       race;
       dreg;
+      fslots = fork_slot_tables st.p.fi;
       prestok = Hashtbl.create 4;
       task_mode = false;
       pend_sends = false;
@@ -1224,20 +1484,38 @@ let emit_combined eng (f : Func.t) (p : Plan.t) dname =
       pmap = Hashtbl.create 8;
       rfork = None;
       dlocal = None;
+      sbuf;
     }
   in
   (match d_ret, st.ret_orig with
-  | Some d, Some v when Ty.equal (Var.ty v) Ty.Float -> accum rs root v d
+  | Some d, Some v when Ty.equal (Var.ty v) Ty.Float ->
+    if seeds = 1 then accum rs root v d
+    else
+      (* d_ret is a k-cell buffer: lane l seeds the return with d[l] *)
+      emit_acc_k ~from:d rs root (spec v 0)
   | _ -> ());
   rev_emit rs root nodes;
   (match d_args with
   | Some da ->
     List.iteri
       (fun k sp ->
-        let v = B.load b dreg (B.i64 b (Var.id sp)) in
-        B.store b da (B.i64 b k) v)
+        if seeds = 1 then begin
+          let v = B.load b dreg (B.i64 b (Var.id sp)) in
+          B.store b da (B.i64 b k) v
+        end
+        else
+          (* param-major: param k's lane group lands at da[k*seeds ..] *)
+          kcall rs "adj.pack_k"
+            [
+              da;
+              B.i64 b (k * seeds);
+              dreg;
+              B.i64 b (Var.id sp * seeds);
+              B.i64 b seeds;
+            ])
       (scalar_params f)
   | None -> ());
+  (match sbuf with Some s -> B.free b s | None -> ());
   B.free b dreg;
   free_caches st;
   (match f.ret_ty, st.ret_val with
@@ -1333,6 +1611,7 @@ let emit_split eng gname =
         fs = st;
         race;
         dreg;
+        fslots = fork_slot_tables p.fi;
         prestok = Hashtbl.create 4;
         task_mode = e.spawned;
         pend_sends = false;
@@ -1348,6 +1627,8 @@ let emit_split eng gname =
         pmap = Hashtbl.create 8;
         rfork = None;
         dlocal = None;
+        (* split mode is task-only, which batching rejects *)
+        sbuf = None;
       }
     in
     (match d_ret, ret_var f with
@@ -1377,6 +1658,26 @@ let emit_split eng gname =
     gradient's calling convention. *)
 let gradient ?(opts = Plan.default_options) (src : Prog.t) fname =
   let f = Prog.find_exn src fname in
+  if opts.seeds < 1 then unsupported "seeds must be >= 1 (got %d)" opts.seeds;
+  (* Batched lanes cover the shared-memory paradigms. Split-mode callees
+     and task adjoints would need k-lane scalar-adjoint blocks, and the
+     MPI adjoint runtime exchanges single-stride shadow planes — both are
+     rejected up front rather than silently miscomputing. *)
+  if opts.seeds > 1 then
+    Instr.iter_instrs
+      (fun i ->
+        match i with
+        | Instr.Spawn _ | Instr.Sync _ ->
+          unsupported "batched seeds (k>1) cannot differentiate task parallelism"
+        | Instr.Call (_, n, _) when not (String.contains n '.') ->
+          unsupported "batched seeds (k>1) cannot differentiate calls to %S" n
+        | Instr.Call (_, n, _)
+          when String.length n >= 4
+               && String.sub n 0 4 = "mpi."
+               && n <> "mpi.rank" && n <> "mpi.size" && n <> "mpi.barrier" ->
+          unsupported "batched seeds (k>1) cannot differentiate %S" n
+        | _ -> ())
+      f.body;
   let dst = Prog.copy src in
   let eng = { src; dst; opts; callees = Hashtbl.create 8 } in
   let fi = Finfo.of_func f in

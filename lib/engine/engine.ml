@@ -72,6 +72,9 @@ type eframe = {
   i : int array;
   b : bool array;
   v : Value.t array;
+  sl : int array;
+      (** tape slots of the float registers (parallel to [f]) — sized only
+          for functions compiled in taping mode, [[||]] otherwise *)
   mutable istack : Interp.frame list;
       (** synthetic interpreter view of the call stack (shares [v]) — what
           delegated intrinsics and the GC root walk see. Mutable so cached
@@ -94,6 +97,7 @@ type thr = {
   mutable defer : mstate option;  (** [Some _] inside a parallel member *)
   dl : dl option;
   mutable retv : Value.t;  (** return-value hand-off slot *)
+  mutable rets : int;  (** return-value tape-slot hand-off (taping mode) *)
   mutable yb : bool;  (** while-condition hand-off slot *)
 }
 
@@ -111,6 +115,7 @@ type cfun = {
   ni : int;
   nb : int;
   nv : int;
+  tp : bool;  (** compiled in taping mode: frames carry tape slots *)
   mutable code : code;
 }
 
@@ -126,17 +131,21 @@ type pflags = {
 type prepared = {
   prog : Prog.t;
   funcs : (string, cfun) Hashtbl.t;
+  tfuncs : (string, cfun) Hashtbl.t;
+      (** taping-mode compilations, kept apart so instrumented runs never
+          slow the plain closures with runtime instrument checks *)
   fsafe : (string, pflags option) Hashtbl.t;
       (** function par-safety memo; [None] = unsafe *)
   plk : Mutex.t;
-      (** guards [funcs]/[fsafe]: call sites resolve lazily, possibly from
-          pool domains *)
+      (** guards [funcs]/[tfuncs]/[fsafe]: call sites resolve lazily,
+          possibly from pool domains *)
 }
 
 let prepare prog =
   {
     prog;
     funcs = Hashtbl.create 16;
+    tfuncs = Hashtbl.create 16;
     fsafe = Hashtbl.create 16;
     plk = Mutex.create ();
   }
@@ -192,10 +201,47 @@ let charge_mem t (buf : Value.buffer) =
   in
   charge t (c.Cost_model.mem *. mult)
 
+(* [n] cells of traffic in one charge (the k-wide adjoint intrinsics) *)
+let charge_mem_n t (buf : Value.buffer) n =
+  let c = t.cost in
+  let mult =
+    if buf.socket <> t.socket then c.Cost_model.numa_remote_mult else 1.0
+  in
+  charge t (c.Cost_model.mem *. mult *. float_of_int n)
+
 let check_rank t (buf : Value.buffer) =
   if buf.rank <> t.ctx.Interp.rank then
     error "cross-rank memory access: buffer of rank %d touched by rank %d"
       buf.rank t.ctx.Interp.rank
+
+(* ---- taping-mode (instrument) bridge ----
+
+   Taped closures are compiled into a separate function table and only
+   ever run under an instrumented context, so the hook lookup cannot fail
+   on well-formed entries. [Interp.instrument.record] charges
+   [tape_record] through the Sim strand clock, so the engine clock is
+   bridged across every record call. *)
+
+let tape_ins t =
+  match t.ctx.Interp.instrument with
+  | Some i -> i
+  | None -> error "engine: taped code run without instrumentation"
+
+let record1 t s1 p1 =
+  let ins = tape_ins t in
+  sync_out t;
+  let s = ins.Interp.record [ s1, p1 ] in
+  sync_in t;
+  s
+
+let record2 t s1 p1 s2 p2 =
+  let ins = tape_ins t in
+  sync_out t;
+  let s = ins.Interp.record [ s1, p1; s2, p2 ] in
+  sync_in t;
+  s
+
+let tape_buf_slots t (buf : Value.buffer) = (tape_ins t).Interp.buf_slots buf
 
 (* Replicas of the interpreter's SDC hooks with [t.clock.now] standing in for
    [Sim.now ()] (identical by the engine's charge discipline). *)
@@ -227,6 +273,7 @@ let new_eframe cf caller_istack =
     i = Array.make (max cf.ni 1) 0;
     b = Array.make (max cf.nb 1) false;
     v;
+    sl = (if cf.tp then Array.make (max cf.nf 1) 0 else [||]);
     istack = { Interp.vals = v; slots = None } :: caller_istack;
     stack_allocs = ref [];
   }
@@ -241,6 +288,7 @@ let copy_eframe fr =
     i = Array.copy fr.i;
     b = Array.copy fr.b;
     v;
+    sl = Array.copy fr.sl;
     istack =
       { Interp.vals = v; slots = None }
       :: (match fr.istack with [] -> [] | _ :: tl -> tl);
@@ -519,7 +567,7 @@ let fork_par_safe prep (r : Instr.region) =
 
 (* ---- lowering: slot assignment ---- *)
 
-let make_cfun (fn : Func.t) =
+let make_cfun ~taped (fn : Func.t) =
   let n = max fn.Func.var_count 1 in
   let file = Array.make n 3 in
   let idx = Array.make n 0 in
@@ -562,6 +610,7 @@ let make_cfun (fn : Func.t) =
     ni = !ni;
     nb = !nb;
     nv = !nv;
+    tp = taped;
     code = (fun _ _ -> error "engine: function compiled without a body");
   }
 
@@ -671,6 +720,7 @@ let make_body_frame (parent : cfun) (r : Instr.region) ~entry_defs =
       ni = !ni;
       nb = !nb;
       nv = !nv;
+      tp = false;
       code = (fun _ _ -> error "engine: member frame has no code");
     }
   in
@@ -696,6 +746,7 @@ let make_body_frame (parent : cfun) (r : Instr.region) ~entry_defs =
       i = Array.make (max sub.ni 1) 0;
       b = Array.make (max sub.nb 1) false;
       v;
+      sl = [||];
       istack = [ { Interp.vals = v; slots = None } ];
       stack_allocs = ref [];
     }
@@ -754,7 +805,13 @@ let make_body_frame (parent : cfun) (r : Instr.region) ~entry_defs =
 
 type ydest = YNone | YVars of Var.t list | YCond
 
-type env = { prep : prepared; cf : cfun; fname : string; ydest : ydest }
+type env = {
+  prep : prepared;
+  cf : cfun;
+  fname : string;
+  ydest : ydest;
+  taped : bool;  (** compiling for an instrumented (tape-baseline) run *)
+}
 
 let slot env v = env.cf.idx.(Var.id v)
 
@@ -801,20 +858,58 @@ let brd env v : eframe -> bool =
     let r = reader env v in
     fun fr -> Value.to_bool (r fr)
 
+(* Raw slot indices for the k-wide adjoint closures: the hot fused
+   reverse-statement ops read their ~18 arguments straight out of the
+   typed frame arrays (two loads each) instead of composing generic
+   reader closures (a [caml_apply] per argument, and a boxed float per
+   float read). The argument types are fixed by the reverse engine's
+   emission; anything else is malformed IR. *)
+let pslot env v =
+  match Var.ty v with
+  | Ty.Ptr _ -> slot env v
+  | t -> error "adjoint intrinsic: pointer argument has type %a" Ty.pp t
+
+let islot env v =
+  match Var.ty v with
+  | Ty.Int -> slot env v
+  | t -> error "adjoint intrinsic: int argument has type %a" Ty.pp t
+
+let fslot env v =
+  match Var.ty v with
+  | Ty.Float -> slot env v
+  | t -> error "adjoint intrinsic: float argument has type %a" Ty.pp t
+
+let bslot env v =
+  match Var.ty v with
+  | Ty.Bool -> slot env v
+  | t -> error "adjoint intrinsic: bool argument has type %a" Ty.pp t
+
 (* Same-frame move [src -> dst], register-to-register when the types
-   agree, boxed otherwise. *)
+   agree, boxed otherwise. In taping mode a float move also carries the
+   source's tape slot (the interpreter's [Select]/yield slot copies); a
+   cross-type write into a float leaves the passive slot. *)
 let xmove env src dst : eframe -> unit =
   if Ty.equal (Var.ty src) (Var.ty dst) then begin
     let s = slot env src and d = slot env dst in
     match Var.ty dst with
-    | Ty.Float -> fun fr -> fr.f.(d) <- fr.f.(s)
+    | Ty.Float ->
+      if env.taped then fun fr ->
+        fr.f.(d) <- fr.f.(s);
+        fr.sl.(d) <- fr.sl.(s)
+      else fun fr -> fr.f.(d) <- fr.f.(s)
     | Ty.Int -> fun fr -> fr.i.(d) <- fr.i.(s)
     | Ty.Bool -> fun fr -> fr.b.(d) <- fr.b.(s)
     | Ty.Unit | Ty.Ptr _ -> fun fr -> fr.v.(d) <- fr.v.(s)
   end
   else begin
     let r = reader env src and w = writer env dst in
-    fun fr -> w fr (r fr)
+    match Var.ty dst with
+    | Ty.Float when env.taped ->
+      let d = slot env dst in
+      fun fr ->
+        w fr (r fr);
+        fr.sl.(d) <- 0
+    | _ -> fun fr -> w fr (r fr)
   end
 
 (* Loop-variable write (always an int in well-formed IR). *)
@@ -826,12 +921,17 @@ let ivw env v : eframe -> int -> unit =
     let w = writer env v in
     fun fr n -> w fr (VInt n)
 
-(* Caller-frame -> callee-frame argument move (types already checked). *)
+(* Caller-frame -> callee-frame argument move (types already checked).
+   Taped calls pass the argument's tape slot along with its value. *)
 let arg_move env (ccf : cfun) (p : Var.t) (a : Var.t) :
     eframe -> eframe -> unit =
   let s = env.cf.idx.(Var.id a) and d = ccf.idx.(Var.id p) in
   match Var.ty p with
-  | Ty.Float -> fun src dst -> dst.f.(d) <- src.f.(s)
+  | Ty.Float ->
+    if env.taped then fun src dst ->
+      dst.f.(d) <- src.f.(s);
+      dst.sl.(d) <- src.sl.(s)
+    else fun src dst -> dst.f.(d) <- src.f.(s)
   | Ty.Int -> fun src dst -> dst.i.(d) <- src.i.(s)
   | Ty.Bool -> fun src dst -> dst.b.(d) <- src.b.(s)
   | Ty.Unit | Ty.Ptr _ -> fun src dst -> dst.v.(d) <- src.v.(s)
@@ -1000,7 +1100,11 @@ and compile_straight env (i : Instr.t) : sc =
     match k, Var.ty v with
     | Instr.Cfloat x, Ty.Float ->
       let d = slot env v in
-      fun t fr ->
+      if env.taped then fun t fr ->
+        charge t t.cost.Cost_model.arith;
+        fr.f.(d) <- x;
+        fr.sl.(d) <- 0
+      else fun t fr ->
         charge t t.cost.Cost_model.arith;
         fr.f.(d) <- x
     | Instr.Cint x, Ty.Int ->
@@ -1028,7 +1132,9 @@ and compile_straight env (i : Instr.t) : sc =
         w fr x)
   | Instr.Bin (v, op, a, b) -> (
     match Var.ty a, Var.ty b, Var.ty v with
-    | Ty.Float, Ty.Float, Ty.Float -> compile_fbin env v op a b
+    | Ty.Float, Ty.Float, Ty.Float ->
+      if env.taped then compile_fbin_taped env v op a b
+      else compile_fbin env v op a b
     | Ty.Int, Ty.Int, Ty.Int -> compile_ibin env v op a b
     | _ -> fun _ _ -> error "bad operands for %s" (Instr.binop_name op))
   | Instr.Cmp (v, op, a, b) -> compile_cmp env v op a b
@@ -1074,7 +1180,17 @@ and compile_straight env (i : Instr.t) : sc =
     match Var.ty v with
     | Ty.Float ->
       let d = slot env v in
-      fun t fr ->
+      if env.taped then fun t fr ->
+        let ptr = Value.to_ptr (p_rd fr) in
+        check_rank t ptr.buf;
+        charge_mem t ptr.buf;
+        let i = Memory.check_access ~who:fname ptr (ix_rd fr) in
+        fr.f.(d) <-
+          (match ptr.buf.data with
+          | FCells a -> Array.unsafe_get a i
+          | VCells a -> Value.to_float a.(i));
+        fr.sl.(d) <- (tape_buf_slots t ptr.buf).(i)
+      else fun t fr ->
         let ptr = Value.to_ptr (p_rd fr) in
         check_rank t ptr.buf;
         charge_mem t ptr.buf;
@@ -1097,7 +1213,20 @@ and compile_straight env (i : Instr.t) : sc =
     match Var.ty x with
     | Ty.Float ->
       let x_rd = frd env x in
-      fun t fr ->
+      if env.taped then begin
+        let sx = slot env x in
+        fun t fr ->
+          let ptr = Value.to_ptr (p_rd fr) in
+          check_rank t ptr.buf;
+          charge_mem t ptr.buf;
+          let idx = ix_rd fr in
+          let i = Memory.check_access ~who:fname ptr idx in
+          (match ptr.buf.data with
+          | FCells a -> Array.unsafe_set a i (x_rd fr)
+          | VCells _ -> Memory.store ~who:fname ptr idx (VFloat (x_rd fr)));
+          (tape_buf_slots t ptr.buf).(i) <- fr.sl.(sx)
+      end
+      else fun t fr ->
         let ptr = Value.to_ptr (p_rd fr) in
         check_rank t ptr.buf;
         charge_mem t ptr.buf;
@@ -1124,6 +1253,27 @@ and compile_straight env (i : Instr.t) : sc =
       | VPtr ptr -> w fr (VPtr { ptr with off = ptr.off + ix_rd fr })
       | VNull _ -> error "gep on null pointer"
       | _ -> error "gep on non-pointer")
+  | Instr.AtomicAdd (p, ix, x) when env.taped ->
+    (* instrumented runs are fork-free, so there is never a deferred
+       member log to append to *)
+    let p_rd = reader env p
+    and ix_rd = ird env ix
+    and x_rd = frd env x in
+    let sx = slot env x in
+    let fname = env.fname in
+    fun t fr ->
+      charge t t.cost.Cost_model.atomic;
+      let ptr = Value.to_ptr (p_rd fr) in
+      check_rank t ptr.buf;
+      let idx = ix_rd fr in
+      let i = Memory.check_access ~who:fname ptr idx in
+      (match ptr.buf.data with
+      | FCells a -> Array.unsafe_set a i (Array.unsafe_get a i +. x_rd fr)
+      | VCells _ ->
+        let old = Value.to_float (Memory.load ~who:fname ptr idx) in
+        Memory.store ~who:fname ptr idx (VFloat (old +. x_rd fr)));
+      let bs = tape_buf_slots t ptr.buf in
+      bs.(i) <- record2 t bs.(i) 1.0 fr.sl.(sx) 1.0
   | Instr.AtomicAdd (p, ix, x) ->
     let p_rd = reader env p
     and ix_rd = ird env ix
@@ -1148,8 +1298,20 @@ and compile_straight env (i : Instr.t) : sc =
           let old = Value.to_float (Memory.load ~who:fname ptr idx) in
           Memory.store ~who:fname ptr idx (VFloat (old +. x_rd fr))))
   | Instr.Call (v, name, args) ->
-    if String.contains name '.' then compile_intrinsic env v name args
+    if String.contains name '.' then begin
+      let base = compile_intrinsic env v name args in
+      (* the interpreter's intrinsics all return the passive slot *)
+      match env.taped, Var.ty v with
+      | true, Ty.Float ->
+        let d = slot env v in
+        fun t fr ->
+          base t fr;
+          fr.sl.(d) <- 0
+      | _ -> base
+    end
     else compile_ucall env v name args
+  | Instr.Spawn _ when env.taped ->
+    fun _ _ -> error "tape baseline cannot differentiate task parallelism"
   | Instr.Spawn (v, name, args) ->
     let readers = List.map (reader env) args in
     let w = writer env v in
@@ -1228,6 +1390,9 @@ and compile_straight env (i : Instr.t) : sc =
         in
         go (lo + tid));
       if (not nowait) && width > 1 then do_barrier t
+  | Instr.Fork _ when env.taped ->
+    fun _ _ ->
+      error "tape baseline cannot differentiate fork/join parallelism"
   | Instr.Fork { tid; nth; body } ->
     let uses_gc_roots =
       let found = ref false in
@@ -1360,6 +1525,45 @@ and compile_fbin env v op a b : sc =
       fr.f.(d) <- r
   | Instr.Rem -> fun _ _ -> error "bad operands for %s" (Instr.binop_name op)
 
+(* Taping-mode float binop: same value math and charges as the untaped
+   closure, plus one tape record carrying the operand partials. *)
+and compile_fbin_taped env v op a b : sc =
+  let sa = slot env a
+  and sb = slot env b
+  and d = slot env v in
+  match op with
+  | Instr.Rem -> fun _ _ -> error "bad operands for %s" (Instr.binop_name op)
+  | Instr.Pow ->
+    fun t fr ->
+      let x = fr.f.(sa)
+      and y = fr.f.(sb) in
+      let r = Float.pow x y in
+      charge t
+        (if get_remat t > 0 then t.cost.Cost_model.transcendental_remat
+         else t.cost.Cost_model.transcendental);
+      fr.f.(d) <- r;
+      let px, py = Interp.bin_partials op x y r in
+      fr.sl.(d) <- record2 t fr.sl.(sa) px fr.sl.(sb) py
+  | _ ->
+    let eval : float -> float -> float =
+      match op with
+      | Instr.Add -> ( +. )
+      | Instr.Sub -> ( -. )
+      | Instr.Mul -> ( *. )
+      | Instr.Div -> ( /. )
+      | Instr.Min -> fmin
+      | Instr.Max -> fmax
+      | Instr.Pow | Instr.Rem -> assert false
+    in
+    fun t fr ->
+      let x = fr.f.(sa)
+      and y = fr.f.(sb) in
+      let r = eval x y in
+      charge t t.cost.Cost_model.arith;
+      fr.f.(d) <- r;
+      let px, py = Interp.bin_partials op x y r in
+      fr.sl.(d) <- record2 t fr.sl.(sa) px fr.sl.(sb) py
+
 and compile_ibin env v op a b : sc =
   let sa = slot env a
   and sb = slot env b
@@ -1481,6 +1685,26 @@ and compile_un env v op a : sc =
        charge t t.cost.Cost_model.arith;
        fr.f.(d) <- r
     in
+    let transc_taped f : sc =
+      fun t fr ->
+       let x = fr.f.(sa) in
+       let r = f x in
+       charge t
+         (if get_remat t > 0 then t.cost.Cost_model.transcendental_remat
+          else t.cost.Cost_model.transcendental);
+       fr.f.(d) <- r;
+       fr.sl.(d) <- record1 t fr.sl.(sa) (Interp.un_partial op x r)
+    in
+    let plain_taped f : sc =
+      fun t fr ->
+       let x = fr.f.(sa) in
+       let r = f x in
+       charge t t.cost.Cost_model.arith;
+       fr.f.(d) <- r;
+       fr.sl.(d) <- record1 t fr.sl.(sa) (Interp.un_partial op x r)
+    in
+    let transc = if env.taped then transc_taped else transc
+    and plain = if env.taped then plain_taped else plain in
     match op with
     | Instr.Neg -> plain (fun x -> -.x)
     | Instr.Sqrt -> transc sqrt
@@ -1509,7 +1733,14 @@ and compile_un env v op a : sc =
   | Ty.Int, Ty.Float when op = Instr.ToFloat ->
     let sa = slot env a
     and d = slot env v in
-    fun t fr ->
+    if env.taped then fun t fr ->
+      let r = float_of_int fr.i.(sa) in
+      charge t t.cost.Cost_model.arith;
+      fr.f.(d) <- r;
+      (* int sources are passive; the interpreter records [slot 0, 0.0]
+         which the tape short-circuits to the passive slot *)
+      fr.sl.(d) <- record1 t 0 (Interp.un_partial op 0.0 r)
+    else fun t fr ->
       let r = float_of_int fr.i.(sa) in
       charge t t.cost.Cost_model.arith;
       fr.f.(d) <- r
@@ -1589,13 +1820,34 @@ and compile_ctrl env (i : Instr.t) : code =
       in
       go ()
   | Instr.Return None ->
-    fun t _fr ->
+    if env.taped then fun t _fr ->
+      t.st.Stats.instrs <- t.st.Stats.instrs + 1;
+      t.retv <- VUnit;
+      t.rets <- 0;
+      Ret
+    else fun t _fr ->
       t.st.Stats.instrs <- t.st.Stats.instrs + 1;
       t.retv <- VUnit;
       Ret
   | Instr.Return (Some v) ->
     let r = reader env v in
-    fun t fr ->
+    if env.taped then begin
+      match Var.ty v with
+      | Ty.Float ->
+        let s = slot env v in
+        fun t fr ->
+          t.st.Stats.instrs <- t.st.Stats.instrs + 1;
+          t.retv <- r fr;
+          t.rets <- fr.sl.(s);
+          Ret
+      | _ ->
+        fun t fr ->
+          t.st.Stats.instrs <- t.st.Stats.instrs + 1;
+          t.retv <- r fr;
+          t.rets <- 0;
+          Ret
+    end
+    else fun t fr ->
       t.st.Stats.instrs <- t.st.Stats.instrs + 1;
       t.retv <- r fr;
       Ret
@@ -1682,32 +1934,38 @@ and compile_intrinsic env v name args : sc =
   | "cache.set", a0 :: a1 :: a2 :: _ -> (
     let id_rd = ird env a0
     and idx_rd = ird env a1 in
-    match Var.ty a2 with
-    | Ty.Float ->
+    match Var.ty a2, Var.ty a0, Var.ty a1 with
+    | Ty.Float, Ty.Int, Ty.Int ->
       (* unboxed write: the stored float never round-trips through a
          [VFloat] box on the sequential path (deferred par-member sets
-         still box — they are queued as values for ordered replay) *)
-      let x_rd = frd env a2 in
+         still box — they are queued as values for ordered replay). The
+         cache record is resolved once per call and shared between the
+         representation test (which picks the charge) and the write. *)
+      let s_id = slot env a0
+      and s_idx = slot env a1
+      and s_x = slot env a2 in
+      let s_v = slot env v in
       fun t fr ->
         charge t t.cost.Cost_model.arith;
         let cache = t.ctx.Interp.cache in
-        let id = id_rd fr in
+        let id = fr.i.(s_id) in
+        let c = Cache_rt.get_cache cache id in
         charge t
-          (if Cache_rt.is_unboxed cache ~id then t.cost.Cost_model.mem
+          (if Cache_rt.is_floats c then t.cost.Cost_model.mem
            else t.cost.Cost_model.cache_op);
         t.st.Stats.cache_stores <- t.st.Stats.cache_stores + 1;
-        let idx = idx_rd fr in
+        let idx = fr.i.(s_idx) in
         (match t.defer with
-        | Some m -> m.d_csets <- (id, idx, VFloat (x_rd fr)) :: m.d_csets
+        | Some m -> m.d_csets <- (id, idx, VFloat fr.f.(s_x)) :: m.d_csets
         | None ->
           let before = Cache_rt.cells_written cache in
-          Cache_rt.set_f cache ~id ~idx (x_rd fr);
+          Cache_rt.set_f_c cache c ~id ~idx fr.f.(s_x);
           if Cache_rt.cells_written cache > before then begin
             t.st.Stats.cache_cells <- t.st.Stats.cache_cells + 1;
             let peak = Cache_rt.peak_cells cache in
             if peak > t.st.Stats.cache_peak then t.st.Stats.cache_peak <- peak
           end);
-        w fr VUnit
+        fr.v.(s_v) <- VUnit
     | _ ->
       let x_rd = reader env a2 in
       fun t fr ->
@@ -1734,18 +1992,21 @@ and compile_intrinsic env v name args : sc =
   | "cache.get", a0 :: a1 :: _ -> (
     let id_rd = ird env a0
     and idx_rd = ird env a1 in
-    match Var.ty v with
-    | Ty.Float ->
+    match Var.ty v, Var.ty a0, Var.ty a1 with
+    | Ty.Float, Ty.Int, Ty.Int ->
+      let s_id = slot env a0
+      and s_idx = slot env a1 in
       let d = slot env v in
       fun t fr ->
         charge t t.cost.Cost_model.arith;
         let cache = t.ctx.Interp.cache in
-        let id = id_rd fr in
+        let id = fr.i.(s_id) in
+        let c = Cache_rt.get_cache cache id in
         charge t
-          (if Cache_rt.is_unboxed cache ~id then t.cost.Cost_model.mem
+          (if Cache_rt.is_floats c then t.cost.Cost_model.mem
            else t.cost.Cost_model.cache_op);
         t.st.Stats.cache_loads <- t.st.Stats.cache_loads + 1;
-        let r = Cache_rt.get_f cache ~id ~idx:(idx_rd fr) in
+        let r = Cache_rt.get_f_c cache c ~id ~idx:fr.i.(s_idx) in
         eng_apply_flips t;
         fr.f.(d) <- r
     | _ ->
@@ -1774,6 +2035,379 @@ and compile_intrinsic env v name args : sc =
       end;
       Cache_rt.free cache ~id;
       w fr VUnit
+  (* ---- k-wide batched adjoint runtime (opts.seeds > 1) ----
+
+     Hot inner ops of the batched reverse sweep: one per reverse
+     statement, each looping natively over a k-lane group. Compiled
+     in-engine (raw [FCells] access, no delegation, no [Value] boxing
+     per argument) with charges mirroring {!Interp.intrinsic}'s
+     implementation exactly, so Seq keeps interp's virtual makespans on
+     batched plans. Per-lane arithmetic matches the scalar emission op
+     for op — the bit-identity contract of a batched lane. *)
+  | "adj.take_k", [ scr; host; voff; k ] ->
+    let scr_rd = reader env scr
+    and host_rd = reader env host
+    and voff_rd = ird env voff
+    and k_rd = ird env k in
+    let fname = env.fname in
+    let w = writer env v in
+    fun t fr ->
+      charge t t.cost.Cost_model.arith;
+      let scr = Value.to_ptr (scr_rd fr) in
+      let host = Value.to_ptr (host_rd fr) in
+      let voff = voff_rd fr
+      and k = k_rd fr in
+      let sa = Interp.fplane ~who:fname scr ~base:0 ~n:k in
+      let ha = Interp.fplane ~who:fname host ~base:voff ~n:k in
+      let so = scr.off
+      and ho = host.off + voff in
+      for l = 0 to k - 1 do
+        Array.unsafe_set sa (so + l) (Array.unsafe_get ha (ho + l));
+        Array.unsafe_set ha (ho + l) 0.0
+      done;
+      charge_mem_n t host.buf (2 * k);
+      w fr VUnit
+  | "adj.acc_k", [ host; xoff; scr; mode; c1; c2; cond; atomic; k ] ->
+    let host_rd = reader env host
+    and xoff_rd = ird env xoff
+    and scr_rd = reader env scr
+    and mode_rd = ird env mode
+    and c1_rd = frd env c1
+    and c2_rd = frd env c2
+    and cond_rd = brd env cond
+    and atomic_rd = ird env atomic
+    and k_rd = ird env k in
+    let fname = env.fname in
+    let w = writer env v in
+    fun t fr ->
+      charge t t.cost.Cost_model.arith;
+      let host = Value.to_ptr (host_rd fr) in
+      let scr = Value.to_ptr (scr_rd fr) in
+      let xoff = xoff_rd fr
+      and mode = mode_rd fr
+      and c1 = c1_rd fr
+      and c2 = c2_rd fr
+      and cond = cond_rd fr
+      and atomic = atomic_rd fr <> 0
+      and k = k_rd fr in
+      let ha = Interp.fplane ~who:fname host ~base:xoff ~n:k in
+      let sa = Interp.fplane ~who:fname scr ~base:0 ~n:k in
+      let ho = host.off + xoff
+      and so = scr.off in
+      Interp.adj_acc_lanes ~mode ~c1 ~c2 ~cond ha ho sa so k;
+      charge t
+        (t.cost.Cost_model.arith
+        *. float_of_int (k * (Interp.adj_mode_flops mode + 1)));
+      if atomic then charge t (t.cost.Cost_model.atomic *. float_of_int k)
+      else charge_mem_n t host.buf (2 * k);
+      w fr VUnit
+  | "adj.rev1_k", [ scr; vhost; voff; h1; o1; m1; c11; c12; cnd1; at1; k ]
+    ->
+    (* Fused reverse statement, one operand: take + acc in one dispatch
+       (charges mirror {!Interp.intrinsic}'s fused case). *)
+    let s_scr = pslot env scr
+    and s_vh = pslot env vhost
+    and s_voff = islot env voff
+    and s_h1 = pslot env h1
+    and s_o1 = islot env o1
+    and s_m1 = islot env m1
+    and s_c11 = fslot env c11
+    and s_c12 = fslot env c12
+    and s_cnd1 = bslot env cnd1
+    and s_at1 = islot env at1
+    and s_k = islot env k in
+    let fname = env.fname in
+    let s_v = slot env v in
+    fun t fr ->
+      charge t t.cost.Cost_model.arith;
+      let scr = Value.to_ptr fr.v.(s_scr) in
+      let vhost = Value.to_ptr fr.v.(s_vh) in
+      let voff = fr.i.(s_voff)
+      and k = fr.i.(s_k) in
+      let sa = Interp.fplane ~who:fname scr ~base:0 ~n:k in
+      let ha = Interp.fplane ~who:fname vhost ~base:voff ~n:k in
+      let so = scr.off
+      and ho = vhost.off + voff in
+      for l = 0 to k - 1 do
+        Array.unsafe_set sa (so + l) (Array.unsafe_get ha (ho + l));
+        Array.unsafe_set ha (ho + l) 0.0
+      done;
+      charge_mem_n t vhost.buf (2 * k);
+      let h1 = Value.to_ptr fr.v.(s_h1) in
+      let o1 = fr.i.(s_o1)
+      and m1 = fr.i.(s_m1) in
+      let aa = Interp.fplane ~who:fname h1 ~base:o1 ~n:k in
+      Interp.adj_acc_lanes ~mode:m1 ~c1:fr.f.(s_c11) ~c2:fr.f.(s_c12)
+        ~cond:fr.b.(s_cnd1) aa (h1.off + o1) sa so k;
+      charge t
+        (t.cost.Cost_model.arith
+        *. float_of_int (k * (Interp.adj_mode_flops m1 + 1)));
+      if fr.i.(s_at1) <> 0 then
+        charge t (t.cost.Cost_model.atomic *. float_of_int k)
+      else charge_mem_n t h1.buf (2 * k);
+      fr.v.(s_v) <- VUnit
+  | ( "adj.rev2_k",
+      [
+        scr; vhost; voff; h1; o1; m1; c11; c12; cnd1; at1; h2; o2; m2; c21;
+        c22; cnd2; at2; k;
+      ] ) ->
+    (* Fused reverse statement, two operands. *)
+    let s_scr = pslot env scr
+    and s_vh = pslot env vhost
+    and s_voff = islot env voff
+    and s_h1 = pslot env h1
+    and s_o1 = islot env o1
+    and s_m1 = islot env m1
+    and s_c11 = fslot env c11
+    and s_c12 = fslot env c12
+    and s_cnd1 = bslot env cnd1
+    and s_at1 = islot env at1
+    and s_h2 = pslot env h2
+    and s_o2 = islot env o2
+    and s_m2 = islot env m2
+    and s_c21 = fslot env c21
+    and s_c22 = fslot env c22
+    and s_cnd2 = bslot env cnd2
+    and s_at2 = islot env at2
+    and s_k = islot env k in
+    let fname = env.fname in
+    let s_v = slot env v in
+    fun t fr ->
+      charge t t.cost.Cost_model.arith;
+      let scr = Value.to_ptr fr.v.(s_scr) in
+      let vhost = Value.to_ptr fr.v.(s_vh) in
+      let voff = fr.i.(s_voff)
+      and k = fr.i.(s_k) in
+      let sa = Interp.fplane ~who:fname scr ~base:0 ~n:k in
+      let ha = Interp.fplane ~who:fname vhost ~base:voff ~n:k in
+      let so = scr.off
+      and ho = vhost.off + voff in
+      for l = 0 to k - 1 do
+        Array.unsafe_set sa (so + l) (Array.unsafe_get ha (ho + l));
+        Array.unsafe_set ha (ho + l) 0.0
+      done;
+      charge_mem_n t vhost.buf (2 * k);
+      let h1 = Value.to_ptr fr.v.(s_h1) in
+      let o1 = fr.i.(s_o1)
+      and m1 = fr.i.(s_m1) in
+      let aa = Interp.fplane ~who:fname h1 ~base:o1 ~n:k in
+      Interp.adj_acc_lanes ~mode:m1 ~c1:fr.f.(s_c11) ~c2:fr.f.(s_c12)
+        ~cond:fr.b.(s_cnd1) aa (h1.off + o1) sa so k;
+      charge t
+        (t.cost.Cost_model.arith
+        *. float_of_int (k * (Interp.adj_mode_flops m1 + 1)));
+      if fr.i.(s_at1) <> 0 then
+        charge t (t.cost.Cost_model.atomic *. float_of_int k)
+      else charge_mem_n t h1.buf (2 * k);
+      let h2 = Value.to_ptr fr.v.(s_h2) in
+      let o2 = fr.i.(s_o2)
+      and m2 = fr.i.(s_m2) in
+      let ba = Interp.fplane ~who:fname h2 ~base:o2 ~n:k in
+      Interp.adj_acc_lanes ~mode:m2 ~c1:fr.f.(s_c21) ~c2:fr.f.(s_c22)
+        ~cond:fr.b.(s_cnd2) ba (h2.off + o2) sa so k;
+      charge t
+        (t.cost.Cost_model.arith
+        *. float_of_int (k * (Interp.adj_mode_flops m2 + 1)));
+      if fr.i.(s_at2) <> 0 then
+        charge t (t.cost.Cost_model.atomic *. float_of_int k)
+      else charge_mem_n t h2.buf (2 * k);
+      fr.v.(s_v) <- VUnit
+  | "adj.mrev_k", [ scr; vhost; voff; sp; mb; atomic; k ] ->
+    (* Fused Load reversal: take + accumulate into the shadow plane. *)
+    let s_scr = pslot env scr
+    and s_vh = pslot env vhost
+    and s_voff = islot env voff
+    and s_sp = pslot env sp
+    and s_mb = islot env mb
+    and s_at = islot env atomic
+    and s_k = islot env k in
+    let fname = env.fname in
+    let s_v = slot env v in
+    fun t fr ->
+      charge t t.cost.Cost_model.arith;
+      let scr = Value.to_ptr fr.v.(s_scr) in
+      let vhost = Value.to_ptr fr.v.(s_vh) in
+      let voff = fr.i.(s_voff)
+      and k = fr.i.(s_k) in
+      let sa = Interp.fplane ~who:fname scr ~base:0 ~n:k in
+      let ha = Interp.fplane ~who:fname vhost ~base:voff ~n:k in
+      let so = scr.off
+      and ho = vhost.off + voff in
+      for l = 0 to k - 1 do
+        Array.unsafe_set sa (so + l) (Array.unsafe_get ha (ho + l));
+        Array.unsafe_set ha (ho + l) 0.0
+      done;
+      charge_mem_n t vhost.buf (2 * k);
+      let sp = Value.to_ptr fr.v.(s_sp) in
+      let mb = fr.i.(s_mb) in
+      let pa = Interp.fplane ~who:fname sp ~base:mb ~n:k in
+      let po = sp.off + mb in
+      for l = 0 to k - 1 do
+        Array.unsafe_set pa (po + l)
+          (Array.unsafe_get pa (po + l) +. Array.unsafe_get sa (so + l))
+      done;
+      if fr.i.(s_at) <> 0 then
+        charge t (t.cost.Cost_model.atomic *. float_of_int k)
+      else begin
+        charge t (t.cost.Cost_model.arith *. float_of_int k);
+        charge_mem_n t sp.buf (2 * k)
+      end;
+      fr.v.(s_v) <- VUnit
+  | ("adj.srev_k" | "adj.arev_k"), [ scr; sp; mb; h1; o1; at1; k ] ->
+    (* Fused Store/AtomicAdd reversal (zeroing only for the Store). *)
+    let zero = name = "adj.srev_k" in
+    let s_scr = pslot env scr
+    and s_sp = pslot env sp
+    and s_mb = islot env mb
+    and s_h1 = pslot env h1
+    and s_o1 = islot env o1
+    and s_at1 = islot env at1
+    and s_k = islot env k in
+    let fname = env.fname in
+    let s_v = slot env v in
+    fun t fr ->
+      charge t t.cost.Cost_model.arith;
+      let scr = Value.to_ptr fr.v.(s_scr) in
+      let sp = Value.to_ptr fr.v.(s_sp) in
+      let mb = fr.i.(s_mb)
+      and k = fr.i.(s_k) in
+      let sa = Interp.fplane ~who:fname scr ~base:0 ~n:k in
+      let pa = Interp.fplane ~who:fname sp ~base:mb ~n:k in
+      let so = scr.off
+      and po = sp.off + mb in
+      if zero then begin
+        for l = 0 to k - 1 do
+          Array.unsafe_set sa (so + l) (Array.unsafe_get pa (po + l));
+          Array.unsafe_set pa (po + l) 0.0
+        done;
+        charge_mem_n t sp.buf (2 * k)
+      end
+      else begin
+        for l = 0 to k - 1 do
+          Array.unsafe_set sa (so + l) (Array.unsafe_get pa (po + l))
+        done;
+        charge_mem_n t sp.buf k
+      end;
+      let h1 = Value.to_ptr fr.v.(s_h1) in
+      let o1 = fr.i.(s_o1) in
+      let aa = Interp.fplane ~who:fname h1 ~base:o1 ~n:k in
+      Interp.adj_acc_lanes ~mode:0 ~c1:0.0 ~c2:0.0 ~cond:false aa
+        (h1.off + o1) sa so k;
+      charge t (t.cost.Cost_model.arith *. float_of_int k);
+      if fr.i.(s_at1) <> 0 then
+        charge t (t.cost.Cost_model.atomic *. float_of_int k)
+      else charge_mem_n t h1.buf (2 * k);
+      fr.v.(s_v) <- VUnit
+  | "adj.macc_k", [ sp; mb; scr; atomic; k ] ->
+    let sp_rd = reader env sp
+    and mb_rd = ird env mb
+    and scr_rd = reader env scr
+    and atomic_rd = ird env atomic
+    and k_rd = ird env k in
+    let fname = env.fname in
+    let w = writer env v in
+    fun t fr ->
+      charge t t.cost.Cost_model.arith;
+      let sp = Value.to_ptr (sp_rd fr) in
+      let scr = Value.to_ptr (scr_rd fr) in
+      let mb = mb_rd fr
+      and atomic = atomic_rd fr <> 0
+      and k = k_rd fr in
+      let pa = Interp.fplane ~who:fname sp ~base:mb ~n:k in
+      let sa = Interp.fplane ~who:fname scr ~base:0 ~n:k in
+      let po = sp.off + mb
+      and so = scr.off in
+      for l = 0 to k - 1 do
+        Array.unsafe_set pa (po + l)
+          (Array.unsafe_get pa (po + l) +. Array.unsafe_get sa (so + l))
+      done;
+      if atomic then charge t (t.cost.Cost_model.atomic *. float_of_int k)
+      else begin
+        charge t (t.cost.Cost_model.arith *. float_of_int k);
+        charge_mem_n t sp.buf (2 * k)
+      end;
+      w fr VUnit
+  | "adj.mtake_k", [ sp; mb; scr; k ] ->
+    let sp_rd = reader env sp
+    and mb_rd = ird env mb
+    and scr_rd = reader env scr
+    and k_rd = ird env k in
+    let fname = env.fname in
+    let w = writer env v in
+    fun t fr ->
+      charge t t.cost.Cost_model.arith;
+      let sp = Value.to_ptr (sp_rd fr) in
+      let scr = Value.to_ptr (scr_rd fr) in
+      let mb = mb_rd fr
+      and k = k_rd fr in
+      let pa = Interp.fplane ~who:fname sp ~base:mb ~n:k in
+      let sa = Interp.fplane ~who:fname scr ~base:0 ~n:k in
+      let po = sp.off + mb
+      and so = scr.off in
+      for l = 0 to k - 1 do
+        Array.unsafe_set sa (so + l) (Array.unsafe_get pa (po + l));
+        Array.unsafe_set pa (po + l) 0.0
+      done;
+      charge_mem_n t sp.buf (2 * k);
+      w fr VUnit
+  | "adj.mread_k", [ sp; mb; scr; k ] ->
+    let sp_rd = reader env sp
+    and mb_rd = ird env mb
+    and scr_rd = reader env scr
+    and k_rd = ird env k in
+    let fname = env.fname in
+    let w = writer env v in
+    fun t fr ->
+      charge t t.cost.Cost_model.arith;
+      let sp = Value.to_ptr (sp_rd fr) in
+      let scr = Value.to_ptr (scr_rd fr) in
+      let mb = mb_rd fr
+      and k = k_rd fr in
+      let pa = Interp.fplane ~who:fname sp ~base:mb ~n:k in
+      let sa = Interp.fplane ~who:fname scr ~base:0 ~n:k in
+      let po = sp.off + mb
+      and so = scr.off in
+      for l = 0 to k - 1 do
+        Array.unsafe_set sa (so + l) (Array.unsafe_get pa (po + l))
+      done;
+      charge_mem_n t sp.buf k;
+      w fr VUnit
+  | "adj.pack_k", [ dst; doff; src; soff; k ] ->
+    let dst_rd = reader env dst
+    and doff_rd = ird env doff
+    and src_rd = reader env src
+    and soff_rd = ird env soff
+    and k_rd = ird env k in
+    let fname = env.fname in
+    let w = writer env v in
+    fun t fr ->
+      charge t t.cost.Cost_model.arith;
+      let dst = Value.to_ptr (dst_rd fr) in
+      let src = Value.to_ptr (src_rd fr) in
+      let doff = doff_rd fr
+      and soff = soff_rd fr
+      and k = k_rd fr in
+      let da = Interp.fplane ~who:fname dst ~base:doff ~n:k in
+      let sa = Interp.fplane ~who:fname src ~base:soff ~n:k in
+      let d0 = dst.off + doff
+      and s0 = src.off + soff in
+      for l = 0 to k - 1 do
+        Array.unsafe_set da (d0 + l) (Array.unsafe_get sa (s0 + l))
+      done;
+      charge_mem_n t dst.buf k;
+      charge_mem_n t src.buf k;
+      w fr VUnit
+  | ("parad.checkpoint" | "parad.checkpoint_rev"), _ ->
+    (* No-session checkpoint sites cost one arith op and touch nothing;
+       only live sessions (take/restore/fast-forward) go through the
+       interpreter's implementation. *)
+    let del = delegate env v name args in
+    fun t fr ->
+      (match t.ctx.Interp.ckpt with
+      | None ->
+        charge t t.cost.Cost_model.arith;
+        w fr VUnit
+      | Some _ -> del t fr)
   | _ -> delegate env v name args
 
 (* Any other intrinsic (MPI, checkpoint, GC, AD shadows, ...) delegates to
@@ -1785,6 +2419,7 @@ and delegate env v name args : sc =
   let fname = env.fname in
   fun t fr ->
     let vals = List.map (fun r -> r fr) readers in
+    t.st.Stats.eng_fallbacks <- t.st.Stats.eng_fallbacks + 1;
     sync_out t;
     let e =
       {
@@ -1822,7 +2457,7 @@ and build_ucall env v name args : sc =
   match Prog.find env.prep.prog name with
   | None -> fun _ _ -> error "call to unknown function %S" name
   | Some f -> (
-    let cf = get_cfun env.prep name in
+    let cf = get_cfun env.prep ~taped:env.taped name in
     if List.length args <> List.length f.Func.params then
       fun t _fr ->
         charge t t.cost.Cost_model.call;
@@ -1846,6 +2481,15 @@ and build_ucall env v name args : sc =
         in
         let ret_unit = Ty.equal f.Func.ret_ty Ty.Unit in
         let w = writer env v in
+        let w =
+          if env.taped && Ty.equal (Var.ty v) Ty.Float then begin
+            let d = slot env v in
+            fun (fr : eframe) t ->
+              fr.f.(d) <- Value.to_float t.retv;
+              fr.sl.(d) <- t.rets
+          end
+          else fun fr t -> w fr t.retv
+        in
         fun t fr -> (
           charge t t.cost.Cost_model.call;
           t.st.Stats.calls <- t.st.Stats.calls + 1;
@@ -1870,35 +2514,40 @@ and build_ucall env v name args : sc =
               if not b.freed then Memory.free ~site:name t.ctx.Interp.mem b)
             !(nfr.stack_allocs);
           match out with
-          | Ret -> w fr t.retv
-          | Next when ret_unit -> w fr VUnit
+          | Ret -> w fr t
+          | Next when ret_unit ->
+            t.retv <- VUnit;
+            t.rets <- 0;
+            w fr t
           | Next | Yld -> error "function %s did not return" name))
 
-and get_cfun prep name : cfun =
+and get_cfun prep ?(taped = false) name : cfun =
+  let table = if taped then prep.tfuncs else prep.funcs in
   Mutex.lock prep.plk;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock prep.plk)
     (fun () ->
-      match Hashtbl.find_opt prep.funcs name with
+      match Hashtbl.find_opt table name with
       | Some cf -> cf
       | None -> (
         match Prog.find prep.prog name with
         | None -> error "call to unknown function %S" name
         | Some fn ->
-          let cf = make_cfun fn in
+          let cf = make_cfun ~taped fn in
           (match
-             compile_block { prep; cf; fname = name; ydest = YNone }
+             compile_block { prep; cf; fname = name; ydest = YNone; taped }
                fn.Func.body
            with
           | code ->
             cf.code <- code;
-            Hashtbl.replace prep.funcs name cf
+            Hashtbl.replace table name cf
           | exception ex -> raise ex);
           cf))
 
 (* Boxed-argument call: the engine's replica of [Interp.call_function]
    with an empty caller stack — entry points and spawned tasks. *)
-and call_boxed prep t name (args : Value.t list) : Value.t =
+and call_boxed prep ?(taped = false) ?(slots = []) t name
+    (args : Value.t list) : Value.t =
   match Prog.find prep.prog name with
   | None -> error "call to unknown function %S" name
   | Some f -> (
@@ -1906,7 +2555,7 @@ and call_boxed prep t name (args : Value.t list) : Value.t =
     t.st.Stats.calls <- t.st.Stats.calls + 1;
     if List.length args <> List.length f.Func.params then
       error "call %s: arity mismatch" name;
-    let cf = get_cfun prep name in
+    let cf = get_cfun prep ~taped name in
     let nfr = new_eframe cf [] in
     List.iter2
       (fun p a ->
@@ -1915,6 +2564,13 @@ and call_boxed prep t name (args : Value.t list) : Value.t =
             (Var.name p) Ty.pp (Value.ty a) Ty.pp (Var.ty p);
         write_boxed cf p nfr a)
       f.Func.params args;
+    if taped && slots <> [] then
+      List.iteri
+        (fun i p ->
+          match Var.ty p with
+          | Ty.Float -> nfr.sl.(cf.idx.(Var.id p)) <- List.nth slots i
+          | _ -> ())
+        f.Func.params;
     let saved = t.team in
     t.team <- None;
     let out =
@@ -1932,7 +2588,9 @@ and call_boxed prep t name (args : Value.t list) : Value.t =
       !(nfr.stack_allocs);
     match out with
     | Ret -> t.retv
-    | Next when Ty.equal f.Func.ret_ty Ty.Unit -> VUnit
+    | Next when Ty.equal f.Func.ret_ty Ty.Unit ->
+      t.rets <- 0;
+      VUnit
     | Next | Yld -> error "function %s did not return" name)
 
 (* ---- entry points ---- *)
@@ -1950,16 +2608,29 @@ let choice_to_string = function
   | Seq -> "seq"
   | Par -> "par"
 
-(** Run [fname] on the engine inside the current Sim strand. Contexts the
-    engine cannot replicate bit-exactly (taping, sanitizers, instruction
-    budgets) fall back to the interpreter wholesale. *)
-let exec_call prep mode (ctx : Interp.ctx) fname args =
-  let fallback =
-    (match ctx.Interp.instrument with Some _ -> true | None -> false)
-    || (match ctx.Interp.san with Some _ -> true | None -> false)
-    || ctx.Interp.cfg.Interp.max_instrs > 0
+(** Run [fname] on the engine inside the current Sim strand, threading
+    tape slots for the arguments and the result (both all-zero on
+    uninstrumented runs). Instrumented (taped) runs compile through the
+    taping-mode function table and stay engine-resident on the Seq
+    runner; contexts the engine cannot replicate bit-exactly
+    (sanitizers, instruction budgets, taping under the Par runner whose
+    fork orders records nondeterministically) fall back to the
+    interpreter wholesale — and are counted in [Stats.eng_fallbacks]. *)
+let exec_call_slots prep mode (ctx : Interp.ctx) fname args slots :
+    Value.t * int =
+  let taped =
+    match ctx.Interp.instrument with Some _ -> true | None -> false
   in
-  if fallback then Interp.call ctx fname args
+  let fallback =
+    (match ctx.Interp.san with Some _ -> true | None -> false)
+    || ctx.Interp.cfg.Interp.max_instrs > 0
+    || (taped && match mode with MPar _ -> true | MSeq -> false)
+  in
+  if fallback then begin
+    (Sim.stats ()).Stats.eng_fallbacks <-
+      (Sim.stats ()).Stats.eng_fallbacks + 1;
+    Interp.call_with_slots ctx fname args slots
+  end
   else begin
     ctx.Interp.root_args <- args;
     let s = Sim.self () in
@@ -1981,18 +2652,22 @@ let exec_call prep mode (ctx : Interp.ctx) fname args =
         defer = None;
         dl;
         retv = VUnit;
+        rets = 0;
         yb = false;
         fcache = Hashtbl.create 8;
       }
     in
-    match call_boxed prep t fname args with
+    match call_boxed prep ~taped ~slots t fname args with
     | v ->
       sync_out t;
-      v
+      v, t.rets
     | exception ex ->
       sync_out t;
       raise ex
   end
+
+let exec_call prep mode (ctx : Interp.ctx) fname args =
+  fst (exec_call_slots prep mode ctx fname args [])
 
 (** [call_fn prep choice] is a drop-in replacement for {!Interp.call}
     running on the selected substrate. *)
@@ -2001,3 +2676,16 @@ let call_fn prep choice : Interp.ctx -> string -> Value.t list -> Value.t =
   | Interp -> Interp.call
   | Seq -> fun ctx f args -> exec_call prep MSeq ctx f args
   | Par -> fun ctx f args -> exec_call prep (MPar (Pool.get ())) ctx f args
+
+(** [call_fn_slots prep choice] is the slot-threading counterpart of
+    {!call_fn}: a drop-in replacement for {!Interp.call_with_slots} for
+    harnesses (the tape baseline) that seed argument slots and need the
+    result slot back. *)
+let call_fn_slots prep choice :
+    Interp.ctx -> string -> Value.t list -> int list -> Value.t * int =
+  match choice with
+  | Interp -> Interp.call_with_slots
+  | Seq -> fun ctx f args slots -> exec_call_slots prep MSeq ctx f args slots
+  | Par ->
+    fun ctx f args slots ->
+      exec_call_slots prep (MPar (Pool.get ())) ctx f args slots

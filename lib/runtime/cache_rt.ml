@@ -365,8 +365,11 @@ let get t ~id ~idx =
    [Floats] cache without boxing the value; [Boxed] storage falls back to
    the boxed entry points. *)
 
-let set_f t ~id ~idx x =
-  let c = get_cache t id in
+(* Record-level entry points ([_c]): the execution engine resolves the
+   cache record once per compiled call and reuses it for the
+   representation test, the write and the read — {!set_f}/{!get_f} are
+   these plus a {!get_cache}. *)
+let set_f_c t c ~id ~idx x =
   match c.s with
   | Boxed _ -> set t ~id ~idx (VFloat x)
   | Floats (cells, written) ->
@@ -394,8 +397,9 @@ let set_f t ~id ~idx x =
     end;
     cells.(idx) <- x
 
-let get_f t ~id ~idx =
-  let c = get_cache t id in
+let set_f t ~id ~idx x = set_f_c t (get_cache t id) ~id ~idx x
+
+let get_f_c t c ~id ~idx =
   match c.s with
   | Boxed _ -> Value.to_float (get t ~id ~idx)
   | Floats (cells, written) ->
@@ -406,6 +410,10 @@ let get_f t ~id ~idx =
     if Bytes.get written idx = '\000' then
       error "cache %d: slot %d read before write" id idx;
     cells.(idx)
+
+let get_f t ~id ~idx = get_f_c t (get_cache t id) ~id ~idx
+
+let is_floats c = match c.s with Floats _ -> true | Boxed _ -> false
 
 let free t ~id =
   let c = get_cache t id in

@@ -216,6 +216,110 @@ let check_rank ctx (buf : Value.buffer) =
     error "cross-rank memory access: buffer of rank %d touched by rank %d"
       buf.rank ctx.rank
 
+(* Raw float cells of a k-lane group, bounds-checked once per group
+   instead of once per lane. The adj.*_k intrinsics loop over these
+   natively — that loop is the whole point of batching. *)
+let fplane ~who (p : Value.ptr) ~base ~n =
+  (* One combined liveness+bounds test on the hot path; the failure
+     branch re-runs {!Memory.check_access} on each end of the group so
+     the raised message is exactly the one the unfused per-cell checks
+     would have produced. *)
+  match p.buf.data with
+  | FCells a ->
+    let i = p.off + base in
+    if p.buf.freed || i < 0 || i + n - 1 >= Array.length a then begin
+      ignore (Memory.check_access ~who p base);
+      ignore (Memory.check_access ~who p (base + n - 1))
+    end;
+    a
+  | VCells _ ->
+    ignore (Memory.check_access ~who p base);
+    error "adj intrinsic on a boxed buffer (alloc at %s)" p.buf.asite
+
+(* Float ops per lane of each adj.acc_k mode, for the virtual-time
+   charge: the count the unrolled scalar emission would have paid. *)
+(* host[ho..ho+k) += f(src[so..so+k)) with f selected by [mode]: one
+   specialized tight loop per mode, the adjoint expression inline in the
+   array store so no float crosses a branch join (nothing boxes inside
+   the lane loop). Shared by the interpreter and the native engine
+   closures — one implementation is what keeps their lane values
+   bit-identical by construction. Modes 7/8/9 skip (or negate) the add
+   instead of adding a selected 0.0: adjoint cells start at +0.0 and
+   [+0.0 +. x] never yields -0.0, so an accumulated plane never holds
+   -0.0 and skipping an add-of-zero is bitwise-neutral. *)
+let adj_acc_lanes ~mode ~c1 ~c2 ~cond (ha : float array) ho
+    (sa : float array) so k =
+  let n = k - 1 in
+  match mode with
+  | 0 ->
+    for l = 0 to n do
+      Array.unsafe_set ha (ho + l)
+        (Array.unsafe_get ha (ho + l) +. Array.unsafe_get sa (so + l))
+    done
+  | 1 ->
+    for l = 0 to n do
+      Array.unsafe_set ha (ho + l)
+        (Array.unsafe_get ha (ho + l) -. Array.unsafe_get sa (so + l))
+    done
+  | 2 ->
+    for l = 0 to n do
+      Array.unsafe_set ha (ho + l)
+        (Array.unsafe_get ha (ho + l) +. (Array.unsafe_get sa (so + l) *. c1))
+    done
+  | 3 ->
+    for l = 0 to n do
+      Array.unsafe_set ha (ho + l)
+        (Array.unsafe_get ha (ho + l) +. (Array.unsafe_get sa (so + l) /. c1))
+    done
+  | 4 ->
+    for l = 0 to n do
+      Array.unsafe_set ha (ho + l)
+        (Array.unsafe_get ha (ho + l) +. -.(Array.unsafe_get sa (so + l) *. c1))
+    done
+  | 5 ->
+    for l = 0 to n do
+      Array.unsafe_set ha (ho + l)
+        (Array.unsafe_get ha (ho + l)
+        +. -.(Array.unsafe_get sa (so + l) *. c1 /. c2))
+    done
+  | 6 ->
+    for l = 0 to n do
+      Array.unsafe_set ha (ho + l)
+        (Array.unsafe_get ha (ho + l)
+        +. (Array.unsafe_get sa (so + l) *. c1 /. c2))
+    done
+  | 7 ->
+    if cond then
+      for l = 0 to n do
+        Array.unsafe_set ha (ho + l)
+          (Array.unsafe_get ha (ho + l) +. Array.unsafe_get sa (so + l))
+      done
+  | 8 ->
+    if not cond then
+      for l = 0 to n do
+        Array.unsafe_set ha (ho + l)
+          (Array.unsafe_get ha (ho + l) +. Array.unsafe_get sa (so + l))
+      done
+  | 9 ->
+    if cond then
+      for l = 0 to n do
+        Array.unsafe_set ha (ho + l)
+          (Array.unsafe_get ha (ho + l) +. Array.unsafe_get sa (so + l))
+      done
+    else
+      for l = 0 to n do
+        Array.unsafe_set ha (ho + l)
+          (Array.unsafe_get ha (ho + l) -. Array.unsafe_get sa (so + l))
+      done
+  | m -> error "adjoint accumulate: unknown mode %d" m
+
+let adj_mode_flops = function
+  | 0 -> 0
+  | 1 | 2 | 3 | 7 | 8 -> 1
+  | 4 | 6 | 9 -> 2
+  | 5 -> 3
+  | _ -> 0
+
 (* ---- sanitizer hooks ---- *)
 
 (* RaceSan: log one shadow-memory access. Only meaningful inside a
@@ -1023,6 +1127,198 @@ and intrinsic ctx e name args vals : Value.t * int =
         corrupt_region ctx ~cache_id:id
     end;
     Cache_rt.free ctx.cache ~id;
+    unit_
+  (* ---- k-wide batched adjoint runtime (opts.seeds > 1) ----
+
+     The reverse engine emits one of these per reverse statement instead
+     of k unrolled scalar statements: each call loops natively over the
+     contiguous k-lane group of a k-stride adjoint plane ([FCells]
+     accessed raw after one bounds check per group), so the per-lane cost
+     is a float op, not an interpreter dispatch. Per-lane arithmetic
+     mirrors the scalar emission exactly — same ops, same order — which
+     is what keeps every batched lane bit-identical to its standalone
+     single-seed run. Charges model the same traffic the unrolled scalar
+     sequence would have paid. *)
+  | "adj.take_k" ->
+    (* scratch[l] <- host[voff+l]; host[voff+l] <- 0  (read_adj, k-wide) *)
+    let scr = ptr_arg 0 and host = ptr_arg 1 in
+    let voff = int_arg 2 and k = int_arg 3 in
+    let sa = fplane ~who:e.fname scr ~base:0 ~n:k in
+    let ha = fplane ~who:e.fname host ~base:voff ~n:k in
+    let so = scr.off and ho = host.off + voff in
+    for l = 0 to k - 1 do
+      sa.(so + l) <- ha.(ho + l);
+      ha.(ho + l) <- 0.0
+    done;
+    charge_mem ctx host.buf (2 * k);
+    unit_
+  | "adj.acc_k" ->
+    (* host[xoff+l] += f(scratch[l]) with f selected by [mode]; the
+       lane-invariant coefficients c1/c2/cond are primal values resolved
+       once, outside the call *)
+    let host = ptr_arg 0
+    and xoff = int_arg 1
+    and scr = ptr_arg 2
+    and mode = int_arg 3
+    and c1 = float_arg 4
+    and c2 = float_arg 5 in
+    let cond = to_bool (List.nth vals 6) in
+    let atomic = int_arg 7 <> 0 and k = int_arg 8 in
+    let ha = fplane ~who:e.fname host ~base:xoff ~n:k in
+    let sa = fplane ~who:e.fname scr ~base:0 ~n:k in
+    let ho = host.off + xoff and so = scr.off in
+    adj_acc_lanes ~mode ~c1 ~c2 ~cond ha ho sa so k;
+    charge (c.arith *. float_of_int (k * (adj_mode_flops mode + 1)));
+    if atomic then charge (c.atomic *. float_of_int k)
+    else charge_mem ctx host.buf (2 * k);
+    unit_
+  | "adj.rev1_k" | "adj.rev2_k" ->
+    (* One fused call per reverse statement: take the statement result's
+       lane group into scratch (zeroing it), then fold it into one or
+       two operand lane groups. Exactly [adj.take_k] followed by one or
+       two [adj.acc_k]s, minus the per-call entry charges the split
+       sequence would have paid. *)
+    let scr = ptr_arg 0 and vhost = ptr_arg 1 in
+    let voff = int_arg 2 in
+    let nacc = if name = "adj.rev1_k" then 1 else 2 in
+    let k = int_arg (3 + (7 * nacc)) in
+    let sa = fplane ~who:e.fname scr ~base:0 ~n:k in
+    let ha = fplane ~who:e.fname vhost ~base:voff ~n:k in
+    let so = scr.off and ho = vhost.off + voff in
+    for l = 0 to k - 1 do
+      sa.(so + l) <- ha.(ho + l);
+      ha.(ho + l) <- 0.0
+    done;
+    charge_mem ctx vhost.buf (2 * k);
+    for a = 0 to nacc - 1 do
+      let base = 3 + (7 * a) in
+      let host = ptr_arg base
+      and xoff = int_arg (base + 1)
+      and mode = int_arg (base + 2)
+      and c1 = float_arg (base + 3)
+      and c2 = float_arg (base + 4) in
+      let cond = to_bool (List.nth vals (base + 5)) in
+      let atomic = int_arg (base + 6) <> 0 in
+      let aa = fplane ~who:e.fname host ~base:xoff ~n:k in
+      adj_acc_lanes ~mode ~c1 ~c2 ~cond aa (host.off + xoff) sa so k;
+      charge (c.arith *. float_of_int (k * (adj_mode_flops mode + 1)));
+      if atomic then charge (c.atomic *. float_of_int k)
+      else charge_mem ctx host.buf (2 * k)
+    done;
+    unit_
+  | "adj.mrev_k" ->
+    (* Fused Load reversal: take the loaded value's lane group into
+       scratch, then accumulate it into the shadow plane's lane group
+       ([adj.take_k] followed by [adj.macc_k]). *)
+    let scr = ptr_arg 0 and vhost = ptr_arg 1 in
+    let voff = int_arg 2 in
+    let sp = ptr_arg 3 and mb = int_arg 4 in
+    let atomic = int_arg 5 <> 0 and k = int_arg 6 in
+    let sa = fplane ~who:e.fname scr ~base:0 ~n:k in
+    let ha = fplane ~who:e.fname vhost ~base:voff ~n:k in
+    let so = scr.off and ho = vhost.off + voff in
+    for l = 0 to k - 1 do
+      sa.(so + l) <- ha.(ho + l);
+      ha.(ho + l) <- 0.0
+    done;
+    charge_mem ctx vhost.buf (2 * k);
+    let pa = fplane ~who:e.fname sp ~base:mb ~n:k in
+    let po = sp.off + mb in
+    for l = 0 to k - 1 do
+      pa.(po + l) <- pa.(po + l) +. sa.(so + l)
+    done;
+    if atomic then charge (c.atomic *. float_of_int k)
+    else begin
+      charge (c.arith *. float_of_int k);
+      charge_mem ctx sp.buf (2 * k)
+    end;
+    unit_
+  | "adj.srev_k" | "adj.arev_k" ->
+    (* Fused Store/AtomicAdd reversal: pull the shadow cell's lane group
+       into scratch (zeroing it for a Store, leaving it for an AtomicAdd
+       — all contributions share the final cell adjoint), then fold it
+       into the stored operand's lane group (mode 0). *)
+    let scr = ptr_arg 0 and sp = ptr_arg 1 in
+    let mb = int_arg 2 in
+    let h1 = ptr_arg 3 and o1 = int_arg 4 in
+    let atomic = int_arg 5 <> 0 and k = int_arg 6 in
+    let sa = fplane ~who:e.fname scr ~base:0 ~n:k in
+    let pa = fplane ~who:e.fname sp ~base:mb ~n:k in
+    let so = scr.off and po = sp.off + mb in
+    if name = "adj.srev_k" then begin
+      for l = 0 to k - 1 do
+        sa.(so + l) <- pa.(po + l);
+        pa.(po + l) <- 0.0
+      done;
+      charge_mem ctx sp.buf (2 * k)
+    end
+    else begin
+      for l = 0 to k - 1 do
+        sa.(so + l) <- pa.(po + l)
+      done;
+      charge_mem ctx sp.buf k
+    end;
+    let aa = fplane ~who:e.fname h1 ~base:o1 ~n:k in
+    adj_acc_lanes ~mode:0 ~c1:0.0 ~c2:0.0 ~cond:false aa (h1.off + o1) sa
+      so k;
+    charge (c.arith *. float_of_int k);
+    if atomic then charge (c.atomic *. float_of_int k)
+    else charge_mem ctx h1.buf (2 * k);
+    unit_
+  | "adj.macc_k" ->
+    (* shadow[mb+l] += scratch[l]  (accum_mem, k-wide) *)
+    let sp = ptr_arg 0 and mb = int_arg 1 and scr = ptr_arg 2 in
+    let atomic = int_arg 3 <> 0 and k = int_arg 4 in
+    let pa = fplane ~who:e.fname sp ~base:mb ~n:k in
+    let sa = fplane ~who:e.fname scr ~base:0 ~n:k in
+    let po = sp.off + mb and so = scr.off in
+    for l = 0 to k - 1 do
+      pa.(po + l) <- pa.(po + l) +. sa.(so + l)
+    done;
+    if atomic then charge (c.atomic *. float_of_int k)
+    else begin
+      charge (c.arith *. float_of_int k);
+      charge_mem ctx sp.buf (2 * k)
+    end;
+    unit_
+  | "adj.mtake_k" ->
+    (* scratch[l] <- shadow[mb+l]; shadow[mb+l] <- 0  (Store reversal) *)
+    let sp = ptr_arg 0 and mb = int_arg 1 and scr = ptr_arg 2 in
+    let k = int_arg 3 in
+    let pa = fplane ~who:e.fname sp ~base:mb ~n:k in
+    let sa = fplane ~who:e.fname scr ~base:0 ~n:k in
+    let po = sp.off + mb and so = scr.off in
+    for l = 0 to k - 1 do
+      sa.(so + l) <- pa.(po + l);
+      pa.(po + l) <- 0.0
+    done;
+    charge_mem ctx sp.buf (2 * k);
+    unit_
+  | "adj.mread_k" ->
+    (* scratch[l] <- shadow[mb+l]  (AtomicAdd reversal: nothing zeroed) *)
+    let sp = ptr_arg 0 and mb = int_arg 1 and scr = ptr_arg 2 in
+    let k = int_arg 3 in
+    let pa = fplane ~who:e.fname sp ~base:mb ~n:k in
+    let sa = fplane ~who:e.fname scr ~base:0 ~n:k in
+    let po = sp.off + mb and so = scr.off in
+    for l = 0 to k - 1 do
+      sa.(so + l) <- pa.(po + l)
+    done;
+    charge_mem ctx sp.buf k;
+    unit_
+  | "adj.pack_k" ->
+    (* dst[doff+l] <- src[soff+l]  (d_args packing, param-major) *)
+    let dst = ptr_arg 0 and doff = int_arg 1 in
+    let src = ptr_arg 2 and soff = int_arg 3 in
+    let k = int_arg 4 in
+    let da = fplane ~who:e.fname dst ~base:doff ~n:k in
+    let sa = fplane ~who:e.fname src ~base:soff ~n:k in
+    let d0 = dst.off + doff and s0 = src.off + soff in
+    for l = 0 to k - 1 do
+      da.(d0 + l) <- sa.(s0 + l)
+    done;
+    charge_mem ctx dst.buf k;
+    charge_mem ctx src.buf k;
     unit_
   (* ---- adjoint MPI runtime (generated by the AD engine) ---- *)
   | "mpi.adjnote_isend" | "mpi.adjnote_irecv" ->

@@ -56,6 +56,10 @@ type t = {
       (** host wall-clock nanoseconds spent inside the simulator run(s)
           that produced these counters — real time, not modeled time, so
           it is *not* printed by {!pp} (figures compare virtual time) *)
+  mutable eng_fallbacks : int;
+      (** times a native-engine entry point handed a call (or a single
+          intrinsic) back to the interpreter instead of running compiled
+          code — zero on a fully engine-resident run *)
 }
 
 let create () =
@@ -102,6 +106,7 @@ let create () =
     sdc_recovered = 0;
     msgs_retransmitted = 0;
     wall_ns = 0;
+    eng_fallbacks = 0;
   }
 
 let pp ppf s =
@@ -139,7 +144,8 @@ let pp ppf s =
     > 0
   then
     Fmt.pf ppf " sdc_inj=%d sdc_det=%d sdc_rec=%d retrans=%d" s.sdc_injected
-      s.sdc_detected s.sdc_recovered s.msgs_retransmitted
+      s.sdc_detected s.sdc_recovered s.msgs_retransmitted;
+  if s.eng_fallbacks > 0 then Fmt.pf ppf " eng_fallbacks=%d" s.eng_fallbacks
 
 (** Fold [s] into [into]: counters add, peak watermarks take the max.
     Used by harnesses that drive one logical computation through several
@@ -189,4 +195,5 @@ let merge ~into (s : t) =
   into.sdc_detected <- into.sdc_detected + s.sdc_detected;
   into.sdc_recovered <- into.sdc_recovered + s.sdc_recovered;
   into.msgs_retransmitted <- into.msgs_retransmitted + s.msgs_retransmitted;
-  into.wall_ns <- into.wall_ns + s.wall_ns
+  into.wall_ns <- into.wall_ns + s.wall_ns;
+  into.eng_fallbacks <- into.eng_fallbacks + s.eng_fallbacks

@@ -57,6 +57,9 @@ type request = {
   rq_depth : int;  (** recompute depth (plan option) *)
   rq_budget : int;  (** snapshot budget; > 0 selects the binomial driver *)
   rq_coalesce : bool;
+  rq_seeds : int;
+      (** adjoint seed lanes; > 1 selects the batched sweep (one taping
+          pass, one k-wide reverse sweep — lane [l] seeded with [l + 1]) *)
   rq_niter : int;
   rq_nx : int;
   rq_escale : float;
@@ -145,6 +148,18 @@ let request_of_json ~default_watchdog_ms j =
   let coalesce =
     Option.value (Json.bool_field "coalesce" j) ~default:true
   in
+  let seeds = geti "seeds" 1 1 in
+  (match app with
+  | Lulesh fl when seeds > 1 && L.uses_mpi fl ->
+    invalid
+      "flavor %S cannot batch seeds (the MPI adjoint runtime exchanges \
+       single-stride planes); use a shared-memory flavor"
+      (L.flavor_name fl)
+  | _ -> ());
+  if seeds > 1 && budget > 0 then
+    invalid
+      "snap_budget cannot combine with seeds > 1 (the binomial driver \
+       replays single-seed sweeps)";
   let niter = geti "niter" 2 1 in
   let nx = geti "nx" 2 2 in
   let escale = getf "escale" 1.0 in
@@ -163,6 +178,8 @@ let request_of_json ~default_watchdog_ms j =
       | exception Invalid_argument m -> invalid "bad fault plan: %s" m)
   in
   let inject_nan = Json.int_field "inject_nan" j in
+  if seeds > 1 && inject_nan <> None then
+    invalid "inject_nan is not supported with seeds > 1";
   let san =
     match Json.str_field "sanitize" j with
     | None | Some "off" -> None
@@ -205,6 +222,7 @@ let request_of_json ~default_watchdog_ms j =
     rq_depth = depth;
     rq_budget = budget;
     rq_coalesce = coalesce;
+    rq_seeds = seeds;
     rq_niter = niter;
     rq_nx = nx;
     rq_escale = escale;
@@ -217,19 +235,34 @@ let request_of_json ~default_watchdog_ms j =
   }
 
 (** Canonical plan-cache key (DESIGN.md "gradient service"):
-    app|flavor|r<ranks>|t<threads>|d<recompute-depth>|b<snap-budget>|c<coalesce>.
-    Everything that shapes the *compiled programs* is in the key; mesh
-    size, horizon, faults, sanitizer and deadline are per-request
-    execution state and deliberately are not. *)
+    app|flavor|r<ranks>|t<threads>|d<recompute-depth>|b<snap-budget>|c<coalesce>|s<seeds>.
+    Everything that shapes the *compiled programs* is in the key — the
+    seed width is, because the adjoint kernels are emitted with k-stride
+    accumulation; mesh size, horizon, faults, sanitizer and deadline are
+    per-request execution state and deliberately are not. *)
 let plan_key rq =
   let app, flavor =
     match rq.rq_app with
     | Lulesh fl -> "lulesh", L.flavor_name fl
     | Bude v -> "bude", MB.variant_name v
   in
-  Printf.sprintf "%s|%s|r%d|t%d|d%d|b%d|c%d" app flavor rq.rq_nranks
+  Printf.sprintf "%s|%s|r%d|t%d|d%d|b%d|c%d|s%d" app flavor rq.rq_nranks
     rq.rq_nthreads rq.rq_depth rq.rq_budget
     (if rq.rq_coalesce then 1 else 0)
+    rq.rq_seeds
+
+(** Everything that determines the *bits* of a fault-free,
+    sanitizer-free run: the plan key plus the per-request execution
+    state. The simulator is deterministic, so two requests with equal
+    signatures are the same sweep — the basis for seed-batched
+    coalescing in {!submit}. *)
+let exec_sig rq =
+  let fo = function None -> "-" | Some f -> Printf.sprintf "%h" f in
+  Printf.sprintf "%s|n%d|x%d|e%h|p%d|g%s|dc%s|dw%s" (plan_key rq) rq.rq_niter
+    rq.rq_nx rq.rq_escale rq.rq_nposes
+    (Parad_engine.Engine.choice_to_string rq.rq_engine)
+    (fo rq.rq_deadline.Sim.dl_cycles)
+    (fo rq.rq_deadline.Sim.dl_wall_ms)
 
 (* ---- compiled-plan payloads ---- *)
 
@@ -241,6 +274,7 @@ let compile_plan rq =
       Parad_core.Plan.default_options with
       recompute_depth = rq.rq_depth;
       coalesce_comm = rq.rq_coalesce;
+      seeds = rq.rq_seeds;
     }
   in
   match rq.rq_app with
@@ -269,20 +303,41 @@ let digest_floats h a = Array.fold_left fnv_float h a
     equal digests mean bit-identical gradients. The warm-vs-cold
     equality assertions in [parad slam] and the plan-cache tests
     compare these. *)
-let digest_lulesh (g : L.grad_result) =
-  let h = fnv_float fnv_init g.L.g_total in
+let fold_lulesh h (g : L.grad_result) =
+  let h = fnv_float h g.L.g_total in
   let h = Array.fold_left digest_floats h g.L.d_coords in
-  let h = Array.fold_left digest_floats h g.L.d_energy in
-  Printf.sprintf "%016Lx" h
+  Array.fold_left digest_floats h g.L.d_energy
 
-let digest_bude (g : MB.grad_result) =
-  let h = digest_floats fnv_init g.MB.g_energies in
+let digest_lulesh g = Printf.sprintf "%016Lx" (fold_lulesh fnv_init g)
+
+(** Batched digest: the lane digests chained in lane order, so it covers
+    every adjoint column of the sweep. *)
+let digest_lulesh_lanes gs =
+  Printf.sprintf "%016Lx" (Array.fold_left fold_lulesh fnv_init gs)
+
+let fold_bude h (g : MB.grad_result) =
+  let h = digest_floats h g.MB.g_energies in
   let h = digest_floats h g.MB.d_lig in
   let h = digest_floats h g.MB.d_pro in
-  let h = digest_floats h g.MB.d_poses in
-  Printf.sprintf "%016Lx" h
+  digest_floats h g.MB.d_poses
+
+let digest_bude g = Printf.sprintf "%016Lx" (fold_bude fnv_init g)
+
+let digest_bude_lanes gs =
+  Printf.sprintf "%016Lx" (Array.fold_left fold_bude fnv_init gs)
 
 (* ---- service state ---- *)
+
+type exec_result = {
+  x_class : string;
+  x_error : string option;
+  x_digest : string option;
+  x_total : float option;
+  x_cycles : float;  (** virtual makespan of the (final) attempt *)
+  x_instrs : int;
+  x_wall_ns : int;  (** host wall-clock spent inside the simulator *)
+  x_retries : int;
+}
 
 type config = {
   workers : int;  (** virtual worker-pool width *)
@@ -309,19 +364,37 @@ let default_config =
     watchdog_ms = Some 30_000.0;
   }
 
+(** Last completed seed-batched sweep on a plan key. A later request
+    with the same execution signature that arrives before [sw_finish]
+    would have queued behind it — instead it coalesces: the simulator is
+    deterministic, so the in-flight sweep's lanes *are* its lanes, and
+    it rides along without consuming a worker. *)
+type sweep = {
+  sw_sig : string;  (** {!exec_sig} of the request that ran the sweep *)
+  sw_finish : float;  (** virtual completion time of the sweep *)
+  sw_result : exec_result;
+}
+
 type t = {
   cfg : config;
   cache : plan Plan_cache.t;
   breakers : (string, Breaker.t) Hashtbl.t;
+  sweeps : (string, sweep) Hashtbl.t;
+      (** per plan key: the most recent coalescible batched sweep *)
   pool : float array;  (** per virtual worker: free-at time *)
   mutable vnow : float;  (** virtual arrival clock *)
   mutable starts : float list;  (** start times of admitted requests *)
   (* counters *)
   mutable submitted : int;
   mutable executed : int;
+  mutable coalesced : int;
+      (** requests served by riding an in-flight batched sweep *)
   mutable shed : int;
   mutable breaker_rejects : int;
   mutable retries_total : int;
+  mutable wall_ns : int;
+      (** host wall-clock spent inside the simulator across every
+          executed request (riders add nothing: no execution) *)
   mutable by_class : (string * int) list;
   mutable latencies : float list;  (** virtual latencies, newest first *)
   mutable draining : bool;
@@ -334,14 +407,17 @@ let create ?(cfg = default_config) () =
     cfg;
     cache = Plan_cache.create ~cap:cfg.cache_cap;
     breakers = Hashtbl.create 16;
+    sweeps = Hashtbl.create 16;
     pool = Array.make cfg.workers 0.0;
     vnow = 0.0;
     starts = [];
     submitted = 0;
     executed = 0;
+    coalesced = 0;
     shed = 0;
     breaker_rejects = 0;
     retries_total = 0;
+    wall_ns = 0;
     by_class = [];
     latencies = [];
     draining = false;
@@ -365,16 +441,6 @@ let count_class t cls =
 
 (* ---- execution ---- *)
 
-type exec_result = {
-  x_class : string;
-  x_error : string option;
-  x_digest : string option;
-  x_total : float option;
-  x_cycles : float;  (** virtual makespan of the (final) attempt *)
-  x_instrs : int;
-  x_retries : int;
-}
-
 let lulesh_input rq =
   {
     L.nx = rq.rq_nx;
@@ -386,8 +452,8 @@ let lulesh_input rq =
   }
 
 (* One attempt; raises on failure. Returns (class, digest, total,
-   makespan, instrs) — class can still be degraded/findings when a
-   sanitizer ran in degrade mode. *)
+   makespan, instrs, wall_ns) — class can still be degraded/findings
+   when a sanitizer ran in degrade mode. *)
 let attempt rq plan ~faults =
   let san = Option.map (fun mode -> Sanitizer.create ~mode ()) rq.rq_san in
   let deadline = rq.rq_deadline in
@@ -417,7 +483,24 @@ let attempt rq plan ~faults =
       digest_lulesh g,
       g.L.g_total,
       g.L.g_makespan,
-      g.L.g_stats.Stats.instrs )
+      g.L.g_stats.Stats.instrs,
+      g.L.g_stats.Stats.wall_ns )
+  | Plulesh c, Lulesh _ when rq.rq_seeds > 1 ->
+    (* one taping pass, one k-wide reverse sweep: lane [l] seeded with
+       [l + 1], matching `parad grad --seeds` *)
+    let d_rets =
+      Array.init rq.rq_seeds (fun l -> 1.0 +. float_of_int l)
+    in
+    let gs =
+      L.gradient_batched ~nthreads:rq.rq_nthreads ?faults ?san ~deadline
+        ~engine:rq.rq_engine c ~d_rets (lulesh_input rq)
+    in
+    ( sanitizer_class (),
+      digest_lulesh_lanes gs,
+      gs.(0).L.g_total,
+      gs.(0).L.g_makespan,
+      gs.(0).L.g_stats.Stats.instrs,
+      gs.(0).L.g_stats.Stats.wall_ns )
   | Plulesh c, Lulesh _ ->
     let g =
       L.gradient_compiled ~nthreads:rq.rq_nthreads ~nranks:rq.rq_nranks
@@ -428,7 +511,23 @@ let attempt rq plan ~faults =
       digest_lulesh g,
       g.L.g_total,
       g.L.g_makespan,
-      g.L.g_stats.Stats.instrs )
+      g.L.g_stats.Stats.instrs,
+      g.L.g_stats.Stats.wall_ns )
+  | Pbude c, Bude _ when rq.rq_seeds > 1 ->
+    let inp = MB.deck ~nposes:rq.rq_nposes ~natlig:4 ~natpro:6 in
+    let ge_seeds =
+      Array.init rq.rq_seeds (fun l -> 1.0 +. float_of_int l)
+    in
+    let gs =
+      MB.gradient_batched ~nthreads:rq.rq_nthreads ?san ?faults ~deadline
+        ~engine:rq.rq_engine c ~ge_seeds inp
+    in
+    ( sanitizer_class (),
+      digest_bude_lanes gs,
+      Array.fold_left ( +. ) 0.0 gs.(0).MB.g_energies,
+      gs.(0).MB.g_makespan,
+      gs.(0).MB.g_stats.Stats.instrs,
+      gs.(0).MB.g_stats.Stats.wall_ns )
   | Pbude c, Bude _ ->
     let inp = MB.deck ~nposes:rq.rq_nposes ~natlig:4 ~natpro:6 in
     let g =
@@ -439,7 +538,8 @@ let attempt rq plan ~faults =
       digest_bude g,
       Array.fold_left ( +. ) 0.0 g.MB.g_energies,
       g.MB.g_makespan,
-      g.MB.g_stats.Stats.instrs )
+      g.MB.g_stats.Stats.instrs,
+      g.MB.g_stats.Stats.wall_ns )
   | Plulesh _, Bude _ | Pbude _, Lulesh _ ->
     invalid_arg "Service.attempt: plan/app mismatch (cache key collision)"
 
@@ -490,7 +590,7 @@ let transient = function
 let execute t rq plan =
   let rec go ~faults ~tries ~backoff =
     match attempt rq plan ~faults with
-    | cls, digest, total, cycles, instrs ->
+    | cls, digest, total, cycles, instrs, wall_ns ->
       {
         x_class = cls;
         x_error = None;
@@ -498,6 +598,7 @@ let execute t rq plan =
         x_total = Some total;
         x_cycles = cycles +. backoff;
         x_instrs = instrs;
+        x_wall_ns = wall_ns;
         x_retries = tries;
       }
     | exception e when transient e && tries < t.cfg.retries ->
@@ -523,6 +624,7 @@ let execute t rq plan =
         x_total = None;
         x_cycles = backoff;
         x_instrs = 0;
+        x_wall_ns = 0;
         x_retries = tries;
       }
   in
@@ -530,8 +632,8 @@ let execute t rq plan =
 
 (* ---- responses ---- *)
 
-let respond ?digest ?total ?error ?(cached = false) ?(queue = 0.0)
-    ?(exec = 0.0) ?(retries = 0) ?key ~id cls =
+let respond ?digest ?total ?error ?(cached = false) ?(coalesced = false)
+    ?(queue = 0.0) ?(exec = 0.0) ?(retries = 0) ?key ~id cls =
   let open Json in
   let f = Printf.sprintf "%.17g" in
   Obj
@@ -539,6 +641,7 @@ let respond ?digest ?total ?error ?(cached = false) ?(queue = 0.0)
        "code", Num (float_of_int (class_code cls)) ]
     @ (match key with Some k -> [ "plan_key", Str k ] | None -> [])
     @ [ "cached", Bool cached ]
+    @ (if coalesced then [ "coalesced", Bool true ] else [])
     @ (match digest with Some d -> [ "digest", Str d ] | None -> [])
     @ (match total with Some v -> [ "total", Str (f v) ] | None -> [])
     @ [
@@ -588,6 +691,32 @@ let submit t j =
       respond ~id ~key ~error:"draining" "overloaded"
     end
     else
+      (* seed-batched coalescing: a deterministic k-lane request that
+         would queue behind an identical in-flight sweep rides it
+         instead — one sweep serves both, no worker consumed *)
+      let coalescible =
+        rq.rq_seeds > 1 && rq.rq_faults = None && rq.rq_san = None
+        && rq.rq_inject_nan = None
+      in
+      let rider =
+        if coalescible then
+          match Hashtbl.find_opt t.sweeps key with
+          | Some sw when sw.sw_sig = exec_sig rq && arrival < sw.sw_finish
+            ->
+            Some sw
+          | _ -> None
+        else None
+      in
+      match rider with
+      | Some sw ->
+        t.coalesced <- t.coalesced + 1;
+        let queue = sw.sw_finish -. arrival in
+        t.latencies <- queue :: t.latencies;
+        count_class t sw.sw_result.x_class;
+        respond ~id ~key ~cached:true ~coalesced:true
+          ?digest:sw.sw_result.x_digest ?total:sw.sw_result.x_total ~queue
+          ~exec:0.0 sw.sw_result.x_class
+      | None -> (
       match Breaker.admit breaker with
       | Breaker.Reject ->
         t.breaker_rejects <- t.breaker_rejects + 1;
@@ -621,6 +750,14 @@ let submit t j =
           | plan, cached ->
             let r = execute t rq plan in
             t.executed <- t.executed + 1;
+            t.wall_ns <- t.wall_ns + r.x_wall_ns;
+            if coalescible && r.x_error = None && r.x_digest <> None then
+              Hashtbl.replace t.sweeps key
+                {
+                  sw_sig = exec_sig rq;
+                  sw_finish = start +. r.x_cycles;
+                  sw_result = r;
+                };
             let ok = class_code r.x_class <= 1 || r.x_class = "degraded" in
             Breaker.record breaker ~ok;
             let queue = start -. arrival in
@@ -630,7 +767,7 @@ let submit t j =
             respond ~id ~key ~cached ?digest:r.x_digest ?total:r.x_total
               ?error:r.x_error ~queue ~exec:r.x_cycles ~retries:r.x_retries
               r.x_class
-        end))
+        end)))
 
 (* ---- summary / drain ---- *)
 
@@ -656,6 +793,7 @@ let summary t =
       "event", Str "summary";
       "submitted", Num (float_of_int t.submitted);
       "executed", Num (float_of_int t.executed);
+      "coalesced", Num (float_of_int t.coalesced);
       "shed", Num (float_of_int t.shed);
       "breaker_rejects", Num (float_of_int t.breaker_rejects);
       "retries", Num (float_of_int t.retries_total);
@@ -667,6 +805,7 @@ let summary t =
       "breaker_recoveries", Num (float_of_int recoveries);
       "p50_cycles", Num (percentile 0.50 t.latencies);
       "p95_cycles", Num (percentile 0.95 t.latencies);
+      "wall_ns", Num (float_of_int t.wall_ns);
       "classes",
       Obj
         (List.sort compare t.by_class

@@ -11,16 +11,24 @@ module V = Value
 (** Run the tape baseline over an SPMD execution; returns per-rank input
     adjoints in the same shape as {!Grad_check.reverse_spmd}. Buffers are
     activated as inputs; seeds apply to final buffer contents; [d_ret]
-    seeds each rank's return value. *)
-let reverse_spmd ?(cfg = Interp.default_config) ~nranks ~args ~seeds ~d_ret
-    prog fname =
+    seeds each rank's return value.
+
+    [call_slots] substitutes the slot-threading entry point that runs the
+    taped primal — pass [Engine.call_fn_slots prep Engine.Seq] to record
+    the tape from engine-compiled code (identical tape, FNV-identical
+    adjoints, identical makespan). [lowered] reverses through the
+    linearized adjoint program ({!Tape.lower}) instead of the
+    entry-at-a-time interpreter. *)
+let reverse_spmd ?(cfg = Interp.default_config) ?faults ?san
+    ?(call_slots = Interp.call_with_slots) ?(lowered = false) ~nranks ~args
+    ~seeds ~d_ret prog fname =
   let f = Parad_ir.Prog.find_exn prog fname in
   let ret_float = GC.ret_float f in
   let tapes = Array.init nranks (fun rank -> Tape.create ~rank) in
   let grads = Array.make nranks [] in
   let primals = Array.make nranks 0.0 in
   let makespan, stats =
-    Exec.run_spmd_custom ~cfg
+    Exec.run_spmd_custom ~cfg ?faults ?san
       ~instrument:(fun ~rank -> Tape.instrument tapes.(rank))
       prog ~nranks
       ~body:(fun ctx ~rank ->
@@ -28,15 +36,15 @@ let reverse_spmd ?(cfg = Interp.default_config) ~nranks ~args ~seeds ~d_ret
         let vals, bufs = GC.build_args ctx (args ~rank) in
         List.iter (Tape.activate t) bufs;
         let ret, ret_slot =
-          Interp.call_with_slots ctx fname vals
-            (List.map (fun _ -> 0) vals)
+          call_slots ctx fname vals (List.map (fun _ -> 0) vals)
         in
         if ret_float then primals.(rank) <- V.to_float ret;
         (* reverse sweep, still inside the simulation *)
         let sw = Tape.sweep t in
         List.iter2 (Tape.seed sw) bufs (seeds ~rank);
         if ret_float then Tape.seed_slot sw ret_slot (d_ret ~rank);
-        Tape.reverse sw ctx;
+        (if lowered then Tape.reverse_lowered sw ctx
+         else Tape.reverse sw ctx);
         grads.(rank) <- List.map (Tape.adjoint_of sw) bufs)
   in
   ( {
@@ -49,12 +57,13 @@ let reverse_spmd ?(cfg = Interp.default_config) ~nranks ~args ~seeds ~d_ret
     tapes )
 
 (** Single-rank convenience wrapper. *)
-let reverse ?cfg ?seeds ?(d_ret = 1.0) prog fname args =
+let reverse ?cfg ?faults ?san ?call_slots ?lowered ?seeds ?(d_ret = 1.0)
+    prog fname args =
   let seeds_l =
     match seeds with Some s -> s | None -> GC.default_seeds args
   in
   let g, tapes =
-    reverse_spmd ?cfg ~nranks:1
+    reverse_spmd ?cfg ?faults ?san ?call_slots ?lowered ~nranks:1
       ~args:(fun ~rank:_ -> args)
       ~seeds:(fun ~rank:_ -> seeds_l)
       ~d_ret:(fun ~rank:_ -> d_ret)

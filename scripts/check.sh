@@ -500,4 +500,36 @@ if [ "${CORES:-1}" -ge 2 ]; then
 fi
 echo "engine gate: seq ${SEQ_SP}x >= ${ENG_MIN}x, bit-identical on all rows (cores=${CORES})"
 
+# ---- batched multi-seed adjoint gate ----
+# The batch figure runs one k-lane batched reverse sweep against k
+# sequential single-seed gradients on the same engine and records both
+# in BENCH_batch.json. Gates: (1) every lane column must be
+# bit-identical to its standalone run ("bitwise": true — fig_batch
+# itself exits 1 otherwise); (2) the lulesh_omp/k8 amortization must
+# stay at or above the checked-in floor (bench/batch_threshold).
+
+echo "== batched-adjoint gate =="
+dune exec bench/main.exe -- --quick --figure batch > /tmp/parad-batch.out 2>&1 || {
+  echo "FAIL: batch benchmark did not run (or a lane diverged)"
+  cat /tmp/parad-batch.out
+  exit 1
+}
+tail -n 10 /tmp/parad-batch.out
+BATCH_MIN=$(cat bench/batch_threshold)
+if grep -q '"bitwise": false' BENCH_batch.json; then
+  echo "FAIL: a batched lane is not bit-identical to its standalone run"
+  exit 1
+fi
+K8_ROW=$(grep -o '"name": "lulesh_omp/k8",[^}]*' BENCH_batch.json)
+[ -n "$K8_ROW" ] || {
+  echo "FAIL: no lulesh_omp/k8 row in BENCH_batch.json"
+  exit 1
+}
+K8_SP=$(echo "$K8_ROW" | grep -o '"speedup": [0-9.]*' | awk '{print $2}')
+awk -v s="$K8_SP" -v t="$BATCH_MIN" 'BEGIN { exit !(s >= t) }' || {
+  echo "FAIL: batched k=8 speedup ${K8_SP}x below floor ${BATCH_MIN}x"
+  exit 1
+}
+echo "batch gate: k=8 ${K8_SP}x >= ${BATCH_MIN}x, every lane bit-identical"
+
 echo "all checks passed"

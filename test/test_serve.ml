@@ -299,6 +299,86 @@ let test_retry_consumes_kill () =
   Alcotest.(check (option string)) "retried bits = clean bits" (digest clean)
     (digest r)
 
+(* ---- batched seeds + coalescing ---- *)
+
+let test_seeds_validation () =
+  let svc = S.create ~cfg:no_watchdog () in
+  let invalid fields =
+    let r = send svc fields in
+    Alcotest.(check string)
+      (Printf.sprintf "%s rejected" (req fields))
+      "invalid" (cls r)
+  in
+  invalid (("seeds", J.Num 0.0) :: base "omp" 1);
+  invalid (("seeds", J.Num 2.0) :: base "mpi" 2) (* MPI can't batch *);
+  invalid
+    (("seeds", J.Num 2.0) :: ("snap_budget", J.Num 2.0) :: base "omp" 1);
+  invalid
+    (("seeds", J.Num 2.0) :: ("inject_nan", J.Num 3.0) :: base "omp" 1);
+  (* seeds: 1 is the plain single-seed path, not an error *)
+  Alcotest.(check string) "seeds=1 ok" "ok"
+    (cls (send svc (("seeds", J.Num 1.0) :: base "omp" 1)))
+
+let test_seeds_batched_ok () =
+  let svc = S.create ~cfg:no_watchdog () in
+  let fields = ("seeds", J.Num 4.0) :: base "omp" 1 in
+  let cold = send svc fields in
+  Alcotest.(check string) "batched sweep ok" "ok" (cls cold);
+  Alcotest.(check bool) "seed width is in the plan key" true
+    (match J.str_field "plan_key" cold with
+    | Some k ->
+      String.length k >= 3 && String.sub k (String.length k - 3) 3 = "|s4"
+    | None -> false);
+  (* a warm run replays the cached 4-lane plan bit-identically *)
+  let svc2 = S.create ~cfg:no_watchdog () in
+  let again = send svc2 fields in
+  Alcotest.(check (option string)) "digest deterministic across services"
+    (digest cold) (digest again);
+  (* bude batches too *)
+  let b =
+    send svc
+      [ "app", J.Str "bude"; "flavor", J.Str "omp"; "seeds", J.Num 3.0 ]
+  in
+  Alcotest.(check string) "bude batched ok" "ok" (cls b)
+
+let test_seeds_coalesce () =
+  let svc = S.create ~cfg:no_watchdog () in
+  let fields = ("seeds", J.Num 2.0) :: base "omp" 1 in
+  let first = send svc fields in
+  Alcotest.(check string) "sweep ok" "ok" (cls first);
+  (* identical signature arriving while the sweep is in flight rides it:
+     same digest, no execution of its own *)
+  let rider = send svc (("burst", J.Bool true) :: fields) in
+  Alcotest.(check (option bool)) "rider coalesced" (Some true)
+    (J.bool_field "coalesced" rider);
+  Alcotest.(check (option string)) "rider digest = sweep digest"
+    (digest first) (digest rider);
+  Alcotest.(check (option (float 0.0))) "rider executes nothing"
+    (Some 0.0)
+    (J.num_field "exec_cycles" rider);
+  (* a different signature on the same key must NOT ride *)
+  let other =
+    send svc
+      (("burst", J.Bool true) :: ("seeds", J.Num 2.0) :: base ~niter:3 "omp" 1)
+  in
+  Alcotest.(check (option bool)) "different niter does not coalesce" None
+    (J.bool_field "coalesced" other);
+  (* faulty requests never ride a clean sweep *)
+  let faulty =
+    send svc (("burst", J.Bool true) :: ("faults", J.Str "drop-retry") :: fields)
+  in
+  Alcotest.(check (option bool)) "faulty request does not coalesce" None
+    (J.bool_field "coalesced" faulty);
+  Alcotest.(check int) "coalesced counter" 1 svc.S.coalesced;
+  (* the stats line surfaces host wall time for the executed sweeps *)
+  match S.handle_line svc {|{"cmd": "stats"}|} |> J.of_string with
+  | Ok s ->
+    Alcotest.(check bool) "summary carries wall_ns > 0" true
+      (match J.num_field "wall_ns" s with Some w -> w > 0.0 | None -> false);
+    Alcotest.(check (option int)) "summary counts riders" (Some 1)
+      (J.int_field "coalesced" s)
+  | Error m -> Alcotest.failf "bad stats reply: %s" m
+
 (* ---- drain ---- *)
 
 let test_drain () =
@@ -417,6 +497,9 @@ let () =
           Alcotest.test_case "deadline" `Quick test_deadline_classified;
           Alcotest.test_case "admission" `Quick test_admission_sheds;
           Alcotest.test_case "retry" `Quick test_retry_consumes_kill;
+          Alcotest.test_case "seeds-validation" `Quick test_seeds_validation;
+          Alcotest.test_case "seeds-batched" `Quick test_seeds_batched_ok;
+          Alcotest.test_case "seeds-coalesce" `Quick test_seeds_coalesce;
           Alcotest.test_case "drain" `Quick test_drain;
         ] );
       ( "checkpoint",

@@ -174,6 +174,205 @@ let test_tape_ampi_scaling_artifact () =
        r8)
     true (r8 < r2)
 
+(* ---- engine-compiled taping and the lowered reverse sweep ---- *)
+
+let bits = Int64.bits_of_float
+
+let check_bits_arr name a b =
+  Alcotest.(check (array int64)) name (Array.map bits a) (Array.map bits b)
+
+(* run the tape baseline with the primal on the engine's Seq runner vs
+   the interpreter: identical tape, FNV-identical adjoints, identical
+   makespan, zero interpreter fallbacks *)
+let engine_slots prog =
+  let prep = Parad_engine.Engine.prepare prog in
+  Parad_engine.Engine.call_fn_slots prep Parad_engine.Engine.Seq
+
+let test_engine_taping_bit_identical () =
+  let prog = serial_prog () in
+  let args = [ GC.ABuf input; GC.AInt 4 ] in
+  let seeds = [ Array.make 4 0.0 ] in
+  let ri, _ = TC.reverse prog "k" args ~seeds in
+  let re, _ = TC.reverse ~call_slots:(engine_slots prog) prog "k" args ~seeds in
+  Alcotest.(check int64) "primal bits" (bits ri.GC.primal) (bits re.GC.primal);
+  check_bits_arr "adjoint bits" (List.hd ri.GC.d_bufs) (List.hd re.GC.d_bufs);
+  Alcotest.(check (float 0.0)) "makespan" ri.GC.makespan re.GC.makespan;
+  Alcotest.(check int)
+    "tape entries" ri.GC.stats.Stats.tape_entries
+    re.GC.stats.Stats.tape_entries;
+  Alcotest.(check int)
+    "engine stayed resident" 0 re.GC.stats.Stats.eng_fallbacks
+
+let test_engine_taping_ampi () =
+  let prog = ring_prog () in
+  let nranks = 4 in
+  let n = 3 in
+  let data rank =
+    Array.init n (fun i -> 0.2 +. (0.3 *. float_of_int (rank + i)))
+  in
+  let args ~rank = [ GC.ABuf (data rank); GC.AInt n ] in
+  let seeds ~rank:_ = [ Array.make n 0.0 ] in
+  let d_ret ~rank = if rank = 0 then 1.0 else 0.0 in
+  let ri, _ = TC.reverse_spmd prog "ring" ~nranks ~args ~seeds ~d_ret in
+  let re, _ =
+    TC.reverse_spmd ~call_slots:(engine_slots prog) prog "ring" ~nranks ~args
+      ~seeds ~d_ret
+  in
+  for r = 0 to nranks - 1 do
+    check_bits_arr
+      (Printf.sprintf "rank %d adjoint bits" r)
+      (List.hd ri.GC.s_d_bufs.(r))
+      (List.hd re.GC.s_d_bufs.(r))
+  done;
+  Alcotest.(check (float 0.0)) "makespan" ri.GC.s_makespan re.GC.s_makespan
+
+let test_engine_taping_rejects_openmp () =
+  (* the engine's taped compile must reject fork/join with the
+     interpreter's exact diagnostic *)
+  let prog = Prog.create () in
+  let b, ps =
+    B.func prog "pf" ~params:[ "x", Ty.Ptr Ty.Float; "n", Ty.Int ]
+      ~ret:Ty.Unit
+  in
+  let x, n = two ps in
+  B.parallel_for b ~lo:(B.i64 b 0) ~hi:n (fun i ->
+      B.store b x i (B.f64 b 1.0));
+  B.return b None;
+  ignore (B.finish b);
+  let run call_slots =
+    match
+      TC.reverse ?call_slots prog "pf"
+        [ GC.ABuf [| 0.0; 0.0 |]; GC.AInt 2 ]
+        ~seeds:[ Array.make 2 1.0 ]
+    with
+    | _ -> Alcotest.fail "tape accepted fork/join parallelism"
+    | exception Value.Runtime_error m -> m
+  in
+  Alcotest.(check string)
+    "byte-identical diagnostic" (run None)
+    (run (Some (engine_slots prog)))
+
+let test_taped_sanitizer_falls_back () =
+  (* a sanitized taped run cannot stay engine-resident: the engine must
+     hand the whole call to the interpreter (counted) and the result must
+     be bit-identical to a pure interpreter run *)
+  let prog = serial_prog () in
+  let args = [ GC.ABuf input; GC.AInt 4 ] in
+  let seeds = [ Array.make 4 0.0 ] in
+  let san () = Sanitizer.create () in
+  let ri, _ = TC.reverse ~san:(san ()) prog "k" args ~seeds in
+  let re, _ =
+    TC.reverse ~san:(san ()) ~call_slots:(engine_slots prog) prog "k" args
+      ~seeds
+  in
+  check_bits_arr "adjoint bits" (List.hd ri.GC.d_bufs) (List.hd re.GC.d_bufs);
+  Alcotest.(check (float 0.0)) "makespan" ri.GC.makespan re.GC.makespan;
+  Alcotest.(check bool)
+    "fallback counted" true
+    (re.GC.stats.Stats.eng_fallbacks > 0)
+
+let test_taped_fault_plan_identical () =
+  (* fault injection lives in the message runtime, which taped engine
+     code reaches through the same delegated intrinsics: a lossy plan
+     must leave engine and interpreter taping bit-identical *)
+  let prog = ring_prog () in
+  let nranks = 4 in
+  let n = 3 in
+  let args ~rank =
+    [ GC.ABuf (Array.init n (fun i -> 0.1 +. float_of_int (rank + i))); GC.AInt n ]
+  in
+  let seeds ~rank:_ = [ Array.make n 0.0 ] in
+  let d_ret ~rank = if rank = 0 then 1.0 else 0.0 in
+  let plan () = Faults.plan_of_name ~nranks "drop-retry" in
+  let ri, _ =
+    TC.reverse_spmd ~faults:(plan ()) prog "ring" ~nranks ~args ~seeds ~d_ret
+  in
+  let re, _ =
+    TC.reverse_spmd ~faults:(plan ()) ~call_slots:(engine_slots prog) prog
+      "ring" ~nranks ~args ~seeds ~d_ret
+  in
+  for r = 0 to nranks - 1 do
+    check_bits_arr
+      (Printf.sprintf "rank %d adjoint bits" r)
+      (List.hd ri.GC.s_d_bufs.(r))
+      (List.hd re.GC.s_d_bufs.(r))
+  done;
+  Alcotest.(check (float 0.0)) "makespan" ri.GC.s_makespan re.GC.s_makespan;
+  Alcotest.(check bool)
+    "retries actually injected" true
+    (re.GC.s_stats.Stats.send_retries > 0)
+
+let test_lowered_sweep_identical () =
+  let serial = serial_prog () in
+  let args = [ GC.ABuf input; GC.AInt 4 ] in
+  let seeds = [ Array.make 4 0.0 ] in
+  let ri, _ = TC.reverse serial "k" args ~seeds in
+  let rl, _ = TC.reverse ~lowered:true serial "k" args ~seeds in
+  check_bits_arr "serial adjoint bits" (List.hd ri.GC.d_bufs)
+    (List.hd rl.GC.d_bufs);
+  Alcotest.(check (float 0.0)) "serial makespan" ri.GC.makespan rl.GC.makespan;
+  let ring = ring_prog () in
+  let nranks = 4 in
+  let n = 3 in
+  let rargs ~rank =
+    [ GC.ABuf (Array.init n (fun i -> 0.2 +. (0.3 *. float_of_int (rank + i)))); GC.AInt n ]
+  in
+  let rseeds ~rank:_ = [ Array.make n 0.0 ] in
+  let d_ret ~rank = if rank = 0 then 1.0 else 0.0 in
+  let si, _ =
+    TC.reverse_spmd ring "ring" ~nranks ~args:rargs ~seeds:rseeds ~d_ret
+  in
+  let sl, _ =
+    TC.reverse_spmd ~lowered:true ring "ring" ~nranks ~args:rargs
+      ~seeds:rseeds ~d_ret
+  in
+  for r = 0 to nranks - 1 do
+    check_bits_arr
+      (Printf.sprintf "rank %d adjoint bits" r)
+      (List.hd si.GC.s_d_bufs.(r))
+      (List.hd sl.GC.s_d_bufs.(r))
+  done;
+  Alcotest.(check (float 0.0)) "ring makespan" si.GC.s_makespan sl.GC.s_makespan
+
+let test_batched_sweep_lanes_identical () =
+  (* one k-wide sweep; every lane must be bit-identical to a standalone
+     scalar sweep with that lane's seed *)
+  let module Tape = Parad_tape.Tape in
+  let prog = serial_prog () in
+  let width = 3 in
+  let d_rets = [| 1.0; -2.5; 0.125 |] in
+  let scalar = Array.make width [||] in
+  let batched = Array.make width [||] in
+  let tape = Tape.create ~rank:0 in
+  ignore
+    (Exec.run_spmd_custom prog ~nranks:1
+       ~instrument:(fun ~rank:_ -> Tape.instrument tape)
+       ~body:(fun ctx ~rank:_ ->
+         let t = tape in
+         let vals, bufs = GC.build_args ctx [ GC.ABuf input; GC.AInt 4 ] in
+         List.iter (Tape.activate t) bufs;
+         let _, ret_slot =
+           Interp.call_with_slots ctx "k" vals
+             (List.map (fun _ -> 0) vals)
+         in
+         for l = 0 to width - 1 do
+           let sw = Tape.sweep t in
+           Tape.seed_slot sw ret_slot d_rets.(l);
+           Tape.reverse sw ctx;
+           scalar.(l) <- Tape.adjoint_of sw (List.hd bufs)
+         done;
+         let bsw = Tape.sweep_batched ~width t in
+         for l = 0 to width - 1 do
+           Tape.seed_slot_batched bsw ~lane:l ret_slot d_rets.(l)
+         done;
+         Tape.reverse_batched bsw ctx;
+         for l = 0 to width - 1 do
+           batched.(l) <- Tape.adjoint_of_batched bsw ~lane:l (List.hd bufs)
+         done));
+  for l = 0 to width - 1 do
+    check_bits_arr (Printf.sprintf "lane %d" l) scalar.(l) batched.(l)
+  done
+
 let () =
   Alcotest.run "tape"
     [
@@ -192,5 +391,24 @@ let () =
             test_tape_ampi_matches_enzyme;
           Alcotest.test_case "scaling artifact" `Quick
             test_tape_ampi_scaling_artifact;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "taping bit-identical" `Quick
+            test_engine_taping_bit_identical;
+          Alcotest.test_case "taping over mpi" `Quick test_engine_taping_ampi;
+          Alcotest.test_case "rejects openmp" `Quick
+            test_engine_taping_rejects_openmp;
+          Alcotest.test_case "sanitizer falls back" `Quick
+            test_taped_sanitizer_falls_back;
+          Alcotest.test_case "fault plan identical" `Quick
+            test_taped_fault_plan_identical;
+        ] );
+      ( "lowered",
+        [
+          Alcotest.test_case "lowered sweep identical" `Quick
+            test_lowered_sweep_identical;
+          Alcotest.test_case "batched lanes identical" `Quick
+            test_batched_sweep_lanes_identical;
         ] );
     ]
